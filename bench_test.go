@@ -1,0 +1,309 @@
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation section (§VIII). Each reports the figure's metric through
+// b.ReportMetric, so `go test -bench=. -benchmem` regenerates the headline
+// numbers at laptop scale; cmd/benchrunner prints the full paper-style
+// series (all datasets, k = 10..100).
+//
+// The environment (Netflix-analogue dataset, all four method indexes) is
+// built once and shared across benchmarks.
+package promips
+
+import (
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"promips/internal/bench"
+	"promips/internal/core"
+	"promips/internal/dataset"
+	"promips/internal/mips"
+	"promips/internal/randproj"
+)
+
+// benchN is the shared dataset size; override with PROMIPS_BENCH_N.
+func benchN() int {
+	if s := os.Getenv("PROMIPS_BENCH_N"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 4000
+}
+
+var (
+	benchOnce sync.Once
+	benchEnv  *bench.Env
+	benchIdx  []bench.Built
+	benchErr  error
+)
+
+func sharedEnv(b *testing.B) (*bench.Env, []bench.Built) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = bench.NewEnv(bench.Config{
+			Spec: dataset.Netflix(), N: benchN(), NumQueries: 10, Seed: 7,
+		})
+		if benchErr != nil {
+			return
+		}
+		benchIdx, benchErr = benchEnv.BuildAll(nil)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchEnv, benchIdx
+}
+
+// runQueries drives b.N queries round-robin through the workload.
+func runQueries(b *testing.B, env *bench.Env, m mips.Method, k int) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := env.Queries[i%len(env.Queries)]
+		if _, _, err := m.Search(q, k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3Datasets regenerates the Table III workload: dataset
+// generation cost per point for each of the four analogues.
+func BenchmarkTable3Datasets(b *testing.B) {
+	for _, spec := range dataset.Specs() {
+		b.Run(spec.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec.Generate(500, int64(i))
+			}
+			b.ReportMetric(float64(spec.D), "dims")
+		})
+	}
+}
+
+// BenchmarkFig4IndexSize reports each method's index size (Fig 4a) and
+// build cost per run (Fig 4b is BenchmarkFig4Preprocess).
+func BenchmarkFig4IndexSize(b *testing.B) {
+	env, builts := sharedEnv(b)
+	for _, bt := range builts {
+		b.Run(bt.Method.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = bt.Method.IndexSizeBytes()
+			}
+			b.ReportMetric(float64(bt.IndexBytes)/(1<<20), "MB")
+			b.ReportMetric(float64(bt.IndexBytes)/float64(len(env.Data)), "B/point")
+		})
+	}
+}
+
+// BenchmarkFig4Preprocess measures ProMIPS index construction (Fig 4b);
+// the baselines' build times are reported by BenchmarkFig4IndexSize's
+// shared build and by cmd/benchrunner.
+func BenchmarkFig4Preprocess(b *testing.B) {
+	env, _ := sharedEnv(b)
+	dirBase := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := dirBase + "/" + strconv.Itoa(i)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			b.Fatal(err)
+		}
+		ix, err := core.Build(env.Data, dir, core.Options{M: 6, Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix.Close()
+	}
+}
+
+// fig5to9 measures one accuracy/efficiency metric for every method at k=10.
+func fig5to9Metric(b *testing.B, metric string) {
+	env, builts := sharedEnv(b)
+	for _, bt := range builts {
+		b.Run(bt.Method.Name(), func(b *testing.B) {
+			p, err := env.Measure(bt.Method, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runQueries(b, env, bt.Method, 10)
+			// Reported after the timed loop: ResetTimer deletes metrics.
+			switch metric {
+			case "ratio":
+				b.ReportMetric(p.Ratio, "ratio")
+			case "recall":
+				b.ReportMetric(p.Recall, "recall")
+			case "pages":
+				b.ReportMetric(p.Pages, "pages/query")
+			case "cpu":
+				b.ReportMetric(p.CPUms, "ms/query")
+			case "total":
+				b.ReportMetric(p.TotalMs, "ms/query")
+			}
+		})
+	}
+}
+
+// BenchmarkFig5OverallRatio reproduces Fig 5 (overall ratio vs k) at k=10.
+func BenchmarkFig5OverallRatio(b *testing.B) { fig5to9Metric(b, "ratio") }
+
+// BenchmarkFig6Recall reproduces Fig 6 (recall vs k) at k=10.
+func BenchmarkFig6Recall(b *testing.B) { fig5to9Metric(b, "recall") }
+
+// BenchmarkFig7PageAccess reproduces Fig 7 (page access vs k) at k=10.
+func BenchmarkFig7PageAccess(b *testing.B) { fig5to9Metric(b, "pages") }
+
+// BenchmarkFig8CPUTime reproduces Fig 8 (CPU time vs k) at k=10.
+func BenchmarkFig8CPUTime(b *testing.B) { fig5to9Metric(b, "cpu") }
+
+// BenchmarkFig9TotalTime reproduces Fig 9 (total time vs k) at k=10.
+func BenchmarkFig9TotalTime(b *testing.B) { fig5to9Metric(b, "total") }
+
+// BenchmarkFig10ImpactC reproduces Fig 10: ProMIPS accuracy/efficiency as
+// the approximation ratio c varies.
+func BenchmarkFig10ImpactC(b *testing.B) {
+	env, _ := sharedEnv(b)
+	for _, c := range []float64{0.7, 0.8, 0.9} {
+		b.Run("c="+strconv.FormatFloat(c, 'f', 1, 64), func(b *testing.B) {
+			bt, err := env.BuildProMIPS(core.Options{C: c})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bt.Method.Close()
+			p, err := env.Measure(bt.Method, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runQueries(b, env, bt.Method, 10)
+			b.ReportMetric(p.Ratio, "ratio")
+			b.ReportMetric(p.Pages, "pages/query")
+		})
+	}
+}
+
+// BenchmarkFig11ImpactP reproduces Fig 11: ProMIPS accuracy/efficiency as
+// the guarantee probability p varies.
+func BenchmarkFig11ImpactP(b *testing.B) {
+	env, _ := sharedEnv(b)
+	for _, pv := range []float64{0.3, 0.5, 0.7, 0.9} {
+		b.Run("p="+strconv.FormatFloat(pv, 'f', 1, 64), func(b *testing.B) {
+			bt, err := env.BuildProMIPS(core.Options{P: pv})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bt.Method.Close()
+			p, err := env.Measure(bt.Method, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runQueries(b, env, bt.Method, 10)
+			b.ReportMetric(p.Ratio, "ratio")
+			b.ReportMetric(p.Pages, "pages/query")
+		})
+	}
+}
+
+// BenchmarkTable2Scaling supports the Table II complexity claims: ProMIPS
+// query cost as n doubles (the per-query page count should grow clearly
+// sub-linearly in n).
+func BenchmarkTable2Scaling(b *testing.B) {
+	for _, n := range []int{1000, 2000, 4000} {
+		b.Run("n="+strconv.Itoa(n), func(b *testing.B) {
+			env, err := bench.NewEnv(bench.Config{
+				Spec: dataset.Netflix(), N: n, NumQueries: 5, Seed: 9,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			bt, err := env.BuildProMIPS(core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bt.Method.Close()
+			p, err := env.Measure(bt.Method, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runQueries(b, env, bt.Method, 10)
+			b.ReportMetric(p.Pages, "pages/query")
+			b.ReportMetric(p.Pages/float64(n)*1000, "pages/kpoint")
+		})
+	}
+}
+
+// BenchmarkAblationQuickProbe compares Algorithm 3 (Quick-Probe) with
+// Algorithm 1 (incremental NN) — the design §V motivates.
+func BenchmarkAblationQuickProbe(b *testing.B) {
+	env, _ := sharedEnv(b)
+	qp, err := env.BuildProMIPS(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer qp.Method.Close()
+	inc, err := env.BuildProMIPSIncremental(core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer inc.Method.Close()
+	for _, bt := range []bench.Built{qp, inc} {
+		b.Run(bt.Method.Name(), func(b *testing.B) {
+			p, err := env.Measure(bt.Method, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runQueries(b, env, bt.Method, 10)
+			b.ReportMetric(p.Pages, "pages/query")
+			b.ReportMetric(p.CPUms, "ms/query")
+		})
+	}
+}
+
+// BenchmarkAblationPartition compares the paper's new partition pattern
+// against ring-only iDistance (§VI).
+func BenchmarkAblationPartition(b *testing.B) {
+	env, _ := sharedEnv(b)
+	for _, tc := range []struct {
+		name string
+		ksp  int
+	}{{"sub-partitions", 0}, {"ring-only", 1}} {
+		b.Run(tc.name, func(b *testing.B) {
+			bt, err := env.BuildProMIPS(core.Options{Ksp: tc.ksp})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bt.Method.Close()
+			p, err := env.Measure(bt.Method, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runQueries(b, env, bt.Method, 10)
+			b.ReportMetric(p.Pages, "pages/query")
+		})
+	}
+}
+
+// BenchmarkAblationProjDim sweeps the projected dimension m around the
+// optimized value of §V-B.
+func BenchmarkAblationProjDim(b *testing.B) {
+	env, _ := sharedEnv(b)
+	for _, m := range []int{4, 6, 8, 10} {
+		b.Run("m="+strconv.Itoa(m), func(b *testing.B) {
+			bt, err := env.BuildProMIPS(core.Options{M: m})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bt.Method.Close()
+			p, err := env.Measure(bt.Method, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runQueries(b, env, bt.Method, 10)
+			b.ReportMetric(p.Ratio, "ratio")
+			b.ReportMetric(p.Pages, "pages/query")
+		})
+	}
+	b.Run("optimized-m-formula", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			randproj.OptimizedM(len(env.Data))
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Command benchrunner regenerates the tables and figures of the ProMIPS
+// paper's evaluation section (§VIII) on the synthetic dataset analogues.
+//
+// Usage:
+//
+//	benchrunner -fig all                      # everything, all datasets
+//	benchrunner -fig 5 -dataset Netflix       # one figure, one dataset
+//	benchrunner -fig ablations -dataset Sift
+//	benchrunner -fig 4 -n 5000 -queries 20    # override workload size
+//
+// Figures: 4 (index size + preprocessing), 5 (overall ratio), 6 (recall),
+// 7 (page access), 8 (CPU time), 9 (total time), 10 (impact of c),
+// 11 (impact of p), table2 (complexity scaling), ablations (Quick-Probe,
+// partition pattern, projected dimension).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"promips/internal/bench"
+	"promips/internal/dataset"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all,4,5,6,7,8,9,10,11,table2,ablations")
+	ds := flag.String("dataset", "all", "dataset: all, Netflix, Yahoo, P53, Sift")
+	n := flag.Int("n", 0, "points per dataset (0 = laptop-scale default)")
+	queries := flag.Int("queries", 0, "queries per dataset (0 = 100, the paper's workload)")
+	seed := flag.Int64("seed", 1, "random seed")
+	kList := flag.String("ks", "", "comma-separated k values (default 10..100 step 10)")
+	flag.Parse()
+
+	specs := dataset.Specs()
+	if *ds != "all" {
+		s, err := dataset.Get(*ds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		specs = []dataset.Spec{s}
+	}
+	ks := bench.Ks()
+	if *kList != "" {
+		ks = nil
+		for _, part := range strings.Split(*kList, ",") {
+			var k int
+			if _, err := fmt.Sscan(strings.TrimSpace(part), &k); err != nil || k <= 0 {
+				fmt.Fprintf(os.Stderr, "benchrunner: bad k %q\n", part)
+				os.Exit(1)
+			}
+			ks = append(ks, k)
+		}
+	}
+
+	for _, spec := range specs {
+		if err := runDataset(spec, *fig, *n, *queries, *seed, ks); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runDataset(spec dataset.Spec, fig string, n, queries int, seed int64, ks []int) error {
+	fmt.Printf("\n######## dataset %s ########\n", spec.Name)
+	env, err := bench.NewEnv(bench.Config{Spec: spec, N: n, NumQueries: queries, Seed: seed})
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+	fmt.Printf("n=%d d=%d queries=%d page=%dB m=%d\n",
+		len(env.Data), spec.D, len(env.Queries), spec.PageSize, spec.M)
+
+	wantSweep := fig == "all" || fig == "4" || fig == "5" || fig == "6" || fig == "7" || fig == "8" || fig == "9"
+	if wantSweep {
+		builts, err := env.BuildAll(nil)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			for _, b := range builts {
+				b.Method.Close()
+			}
+		}()
+		fig4 := bench.Fig4(env, builts)
+		if fig == "all" || fig == "4" {
+			fmt.Println()
+			fig4.Fprint(os.Stdout)
+		}
+		if fig != "4" {
+			tables, err := bench.Sweep(env, builts, ks)
+			if err != nil {
+				return err
+			}
+			want := map[string]int{"5": 0, "6": 1, "7": 2, "8": 3, "9": 4}
+			if idx, ok := want[fig]; ok {
+				fmt.Println()
+				tables[idx].Fprint(os.Stdout)
+			} else { // all
+				for _, t := range tables {
+					fmt.Println()
+					t.Fprint(os.Stdout)
+				}
+			}
+		}
+	}
+
+	if fig == "all" || fig == "10" {
+		t, err := bench.Fig10(env, []float64{0.7, 0.8, 0.9}, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t.Fprint(os.Stdout)
+	}
+	if fig == "all" || fig == "11" {
+		t, err := bench.Fig11(env, []float64{0.3, 0.5, 0.7, 0.9}, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t.Fprint(os.Stdout)
+	}
+	if fig == "all" || fig == "table2" {
+		base := bench.Config{Spec: spec, NumQueries: min(queriesOrDefault(queries), 20), Seed: seed}
+		nBase := len(env.Data)
+		t, err := bench.Table2Scaling(base, []int{nBase / 4, nBase / 2, nBase}, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t.Fprint(os.Stdout)
+	}
+	if fig == "all" || fig == "ablations" {
+		t, err := bench.AblationQuickProbe(env, []int{10, 50, 100})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t.Fprint(os.Stdout)
+		t2, err := bench.AblationPartition(env, []int{10, 50, 100})
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t2.Fprint(os.Stdout)
+		t3, err := bench.AblationProjDim(env, []int{4, 6, 8, 10}, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t3.Fprint(os.Stdout)
+	}
+	return nil
+}
+
+func queriesOrDefault(q int) int {
+	if q <= 0 {
+		return 100
+	}
+	return q
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+// Command promipsctl builds, inspects and queries ProMIPS indexes from the
+// command line.
+//
+// Usage:
+//
+//	promipsctl build -data vectors.pds -dir ./idx [-c 0.9 -p 0.5 -m 0 -page 4096]
+//	promipsctl query -dir ./idx -data vectors.pds [-k 10 -queries 5 -seed 1]
+//	promipsctl stats -dir ./idx
+//
+// Vector files use the datagen format (see cmd/datagen).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"promips/internal/core"
+	"promips/internal/dataset"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "build":
+		err = runBuild(os.Args[2:])
+	case "query":
+		err = runQuery(os.Args[2:])
+	case "stats":
+		err = runStats(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promipsctl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  promipsctl build -data vectors.pds -dir ./idx [-c 0.9 -p 0.5 -m 0 -page 4096 -seed 1]
+  promipsctl query -dir ./idx -data vectors.pds [-k 10 -queries 5 -seed 1]
+  promipsctl stats -dir ./idx`)
+}
+
+func runBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	dataPath := fs.String("data", "", "vector file (datagen format)")
+	dir := fs.String("dir", "", "index directory (created)")
+	c := fs.Float64("c", 0.9, "approximation ratio c in (0,1)")
+	p := fs.Float64("p", 0.5, "guarantee probability p in (0,1)")
+	m := fs.Int("m", 0, "projected dimension (0 = optimized)")
+	page := fs.Int("page", 4096, "disk page size in bytes")
+	seed := fs.Int64("seed", 1, "random seed")
+	fs.Parse(args)
+	if *dataPath == "" || *dir == "" {
+		return fmt.Errorf("build requires -data and -dir")
+	}
+	data, err := dataset.ReadFile(*dataPath)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		return err
+	}
+	start := time.Now()
+	ix, err := core.Build(data, *dir, core.Options{
+		C: *c, P: *p, M: *m, PageSize: *page, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	if err := ix.Save(*dir); err != nil {
+		return err
+	}
+	sz := ix.Sizes()
+	fmt.Printf("built index over n=%d d=%d points in %v\n", ix.Len(), ix.Dim(), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("projected dimension m=%d\n", ix.M())
+	fmt.Printf("index size: %.2f MB (btree %.2f, projected %.2f, quick-probe %.2f, norms %.2f)\n",
+		float64(sz.Total())/(1<<20), float64(sz.BTree)/(1<<20), float64(sz.Projected)/(1<<20),
+		float64(sz.QuickProbe)/(1<<20), float64(sz.Norms)/(1<<20))
+	return nil
+}
+
+func runQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	dir := fs.String("dir", "", "index directory")
+	dataPath := fs.String("data", "", "vector file to draw queries from")
+	k := fs.Int("k", 10, "results per query")
+	nq := fs.Int("queries", 5, "number of queries")
+	seed := fs.Int64("seed", 1, "query selection seed")
+	fs.Parse(args)
+	if *dir == "" || *dataPath == "" {
+		return fmt.Errorf("query requires -dir and -data")
+	}
+	ix, err := core.Open(*dir)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	data, err := dataset.ReadFile(*dataPath)
+	if err != nil {
+		return err
+	}
+	rng := newRand(*seed)
+	for qi := 0; qi < *nq; qi++ {
+		q := data[rng.Intn(len(data))]
+		start := time.Now()
+		res, st, err := ix.Search(q, *k)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("query %d: %v, %d candidates, %d page accesses, terminated by %s\n",
+			qi, time.Since(start).Round(time.Microsecond), st.Candidates, st.PageAccesses, st.TerminatedBy)
+		for i, r := range res {
+			fmt.Printf("  #%-3d id=%-8d ip=%.4f\n", i+1, r.ID, r.IP)
+		}
+	}
+	return nil
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	dir := fs.String("dir", "", "index directory")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("stats requires -dir")
+	}
+	ix, err := core.Open(*dir)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	o := ix.Options()
+	sz := ix.Sizes()
+	fmt.Printf("points: %d  dim: %d  projected m: %d\n", ix.Len(), ix.Dim(), ix.M())
+	fmt.Printf("c: %.2f  p: %.2f  page size: %d\n", o.C, o.P, o.PageSize)
+	fmt.Printf("index size: %.2f MB\n", float64(sz.Total())/(1<<20))
+	fmt.Printf("  btree:       %10d bytes\n", sz.BTree)
+	fmt.Printf("  projected:   %10d bytes\n", sz.Projected)
+	fmt.Printf("  quick-probe: %10d bytes\n", sz.QuickProbe)
+	fmt.Printf("  norms:       %10d bytes\n", sz.Norms)
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"promips/internal/dataset"
+)
+
+// The CLI's subcommand helpers are exercised directly: write a dataset
+// file, build an index, query it and print stats — the full promipsctl
+// round trip without spawning a process.
+func TestCLIBuildQueryStatsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "vectors.pds")
+	idxDir := filepath.Join(dir, "idx")
+
+	r := rand.New(rand.NewSource(1))
+	data := make([][]float32, 300)
+	for i := range data {
+		v := make([]float32, 16)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+	if err := dataset.WriteFile(dataPath, data); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runBuild([]string{"-data", dataPath, "-dir", idxDir, "-m", "5", "-seed", "2"}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := runQuery([]string{"-dir", idxDir, "-data", dataPath, "-k", "5", "-queries", "2"}); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if err := runStats([]string{"-dir", idxDir}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}
+
+func TestCLIMissingFlags(t *testing.T) {
+	if err := runBuild([]string{}); err == nil {
+		t.Fatal("build without flags should fail")
+	}
+	if err := runQuery([]string{}); err == nil {
+		t.Fatal("query without flags should fail")
+	}
+	if err := runStats([]string{}); err == nil {
+		t.Fatal("stats without flags should fail")
+	}
+}
+
+func TestCLIBadDataFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := runBuild([]string{"-data", filepath.Join(dir, "missing.pds"), "-dir", dir}); err == nil {
+		t.Fatal("build with missing data file should fail")
+	}
+}

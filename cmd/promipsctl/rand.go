@@ -1,0 +1,6 @@
+package main
+
+import "math/rand"
+
+// newRand isolates the deprecated-free construction of a seeded generator.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,98 @@
+// Multilabel: the multi-class label prediction use case (Dean et al.,
+// CVPR 2013, cited in the paper's introduction). Each class has a weight
+// vector; predicting the top-k labels of a feature vector is exactly a
+// MIPS query over the class weights. With tens of thousands of classes,
+// scanning all of them per prediction is wasteful — ProMIPS answers with a
+// probability-guaranteed approximation.
+//
+//	go run ./examples/multilabel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"promips"
+)
+
+const (
+	numClasses = 20000
+	featureDim = 256
+	numTest    = 25
+	topLabels  = 5
+)
+
+func main() {
+	r := rand.New(rand.NewSource(17))
+
+	// Class weight vectors: each class is a direction in feature space
+	// plus a bias toward a shared backbone (classes are correlated, as
+	// softmax layers are in practice).
+	backbone := randVec(r, featureDim, 1)
+	classes := make([][]float32, numClasses)
+	for c := range classes {
+		w := randVec(r, featureDim, 1)
+		for j := range w {
+			w[j] = 0.3*backbone[j] + 0.7*w[j]
+		}
+		classes[c] = w
+	}
+
+	index, err := promips.Build(classes, promips.Options{C: 0.9, P: 0.7, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer index.Close()
+	fmt.Printf("label space: %d classes, %d features, m=%d, index %.2f MB\n\n",
+		index.Len(), index.Dim(), index.M(), float64(index.Sizes().Total())/(1<<20))
+
+	// Test features: each drawn near a known class direction so we can see
+	// whether the true class surfaces in the predicted labels.
+	correct, candTotal := 0, 0
+	for t := 0; t < numTest; t++ {
+		trueClass := r.Intn(numClasses)
+		feat := make([]float32, featureDim)
+		for j := range feat {
+			feat[j] = 2*classes[trueClass][j] + float32(r.NormFloat64())*0.5
+		}
+		preds, stats, err := index.Search(feat, topLabels)
+		if err != nil {
+			log.Fatal(err)
+		}
+		candTotal += stats.Candidates
+		hit := false
+		for _, p := range preds {
+			if int(p.ID) == trueClass {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			correct++
+		}
+		if t < 5 {
+			fmt.Printf("test %d: true class %-6d predictions %v  hit=%v\n",
+				t, trueClass, predIDs(preds), hit)
+		}
+	}
+	fmt.Printf("\ntop-%d label accuracy: %d/%d\n", topLabels, correct, numTest)
+	fmt.Printf("avg classes scored per prediction: %d of %d (%.1f%%)\n",
+		candTotal/numTest, numClasses, float64(candTotal)/float64(numTest)/numClasses*100)
+}
+
+func randVec(r *rand.Rand, d int, scale float64) []float32 {
+	v := make([]float32, d)
+	for j := range v {
+		v[j] = float32(r.NormFloat64() * scale)
+	}
+	return v
+}
+
+func predIDs(rs []promips.Result) []uint32 {
+	out := make([]uint32, len(rs))
+	for i, r := range rs {
+		out[i] = r.ID
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a ProMIPS index over random vectors and run one
+// c-approximate maximum inner product query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"promips"
+)
+
+func main() {
+	// A toy dataset: 5000 points in 64 dimensions.
+	r := rand.New(rand.NewSource(7))
+	const n, d = 5000, 64
+	data := make([][]float32, n)
+	for i := range data {
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+
+	// Build with the paper's defaults: c = 0.9, p = 0.5, optimized m.
+	// Dir is omitted, so the index lives in a temp directory until Close.
+	index, err := promips.Build(data, promips.Options{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer index.Close()
+	fmt.Printf("indexed %d points (d=%d) with projected dimension m=%d\n",
+		index.Len(), index.Dim(), index.M())
+	fmt.Printf("index size: %.2f MB\n", float64(index.Sizes().Total())/(1<<20))
+
+	// One query: top-10 approximate MIP points.
+	q := make([]float32, d)
+	for j := range q {
+		q[j] = float32(r.NormFloat64())
+	}
+	results, stats, err := index.Search(q, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntop-10 c-AMIP results (verified %d candidates, %d page accesses, terminated by condition %s):\n",
+		stats.Candidates, stats.PageAccesses, stats.TerminatedBy)
+	for i, res := range results {
+		fmt.Printf("  #%-2d id=%-6d ⟨o,q⟩=%.4f\n", i+1, res.ID, res.IP)
+	}
+
+	// Compare with the exact answer to see the approximation quality.
+	exact, err := index.Exact(q, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact MIP: id=%d ⟨o,q⟩=%.4f  →  overall ratio of top result: %.4f\n",
+		exact[0].ID, exact[0].IP, results[0].IP/exact[0].IP)
+}

@@ -1,0 +1,75 @@
+// Tuning: explores ProMIPS' accuracy–efficiency trade-off surface, the
+// subject of the paper's Figs 10 and 11. It sweeps the approximation ratio
+// c and the guarantee probability p on one dataset and prints how overall
+// ratio, verified candidates and page accesses respond — the practical
+// guide for choosing (c, p) in a deployment.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"promips"
+	"promips/internal/dataset"
+	"promips/internal/exact"
+	"promips/internal/mips"
+	"promips/internal/vec"
+)
+
+func main() {
+	spec := dataset.Netflix()
+	data := spec.Generate(6000, 21)
+	queries := spec.Queries(15, 21)
+	const k = 10
+	gt := exact.Compute(data, queries, k)
+
+	fmt.Println("sweep of approximation ratio c (p=0.5):")
+	fmt.Printf("%-5s %-13s %-12s %-12s\n", "c", "overallRatio", "candidates", "pageAccess")
+	for _, c := range []float64{0.5, 0.7, 0.8, 0.9, 0.95} {
+		summary := run(data, queries, gt, promips.Options{C: c, P: 0.5, M: spec.M, Seed: 9}, k)
+		fmt.Printf("%-5.2f %-13.4f %-12.0f %-12.0f\n", c, summary.ratio, summary.cands, summary.pages)
+	}
+
+	fmt.Println("\nsweep of guarantee probability p (c=0.9):")
+	fmt.Printf("%-5s %-13s %-12s %-12s\n", "p", "overallRatio", "candidates", "pageAccess")
+	for _, p := range []float64{0.3, 0.5, 0.7, 0.9} {
+		summary := run(data, queries, gt, promips.Options{C: 0.9, P: p, M: spec.M, Seed: 9}, k)
+		fmt.Printf("%-5.2f %-13.4f %-12.0f %-12.0f\n", p, summary.ratio, summary.cands, summary.pages)
+	}
+
+	fmt.Println("\nreading the tables: larger c and larger p both widen the")
+	fmt.Println("probability-guaranteed search range — accuracy rises, but so do")
+	fmt.Println("verified candidates and page accesses (the paper's Figs 10–11).")
+}
+
+type summary struct {
+	ratio, cands, pages float64
+}
+
+func run(data, queries [][]float32, gt *exact.GroundTruth, opts promips.Options, k int) summary {
+	index, err := promips.Build(data, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer index.Close()
+	var s summary
+	for qi, q := range queries {
+		res, stats, err := index.Search(q, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		returned := make([]mips.Result, len(res))
+		for i, r := range res {
+			returned[i] = mips.Result{ID: r.ID, IP: vec.Dot(data[r.ID], q)}
+		}
+		sort.Slice(returned, func(a, b int) bool { return returned[a].IP > returned[b].IP })
+		s.ratio += gt.OverallRatio(qi, returned)
+		s.cands += float64(stats.Candidates)
+		s.pages += float64(stats.PageAccesses)
+	}
+	n := float64(len(queries))
+	return summary{ratio: s.ratio / n, cands: s.cands / n, pages: s.pages / n}
+}

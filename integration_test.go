@@ -1,0 +1,93 @@
+package promips
+
+import (
+	"sort"
+	"testing"
+
+	"promips/internal/dataset"
+	"promips/internal/exact"
+	"promips/internal/mips"
+	"promips/internal/vec"
+)
+
+// End-to-end over all four paper dataset analogues at miniature scale:
+// build with the paper's per-dataset parameters (projected dimension, page
+// size), query with dataset members, and check the c-AMIP guarantee band.
+func TestIntegrationAllDatasets(t *testing.T) {
+	sizes := map[string]int{"Netflix": 1200, "Yahoo": 1200, "P53": 300, "Sift": 1500}
+	for _, spec := range dataset.Specs() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			n := sizes[spec.Name]
+			data := spec.Generate(n, 77)
+			ix, err := Build(data, Options{
+				Dir: t.TempDir(), Seed: 78,
+				M: spec.M, PageSize: spec.PageSize,
+				C: 0.9, P: 0.7,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ix.Close()
+
+			queries := make([][]float32, 8)
+			for i := range queries {
+				queries[i] = data[(i*97)%n]
+			}
+			gt := exact.Compute(data, queries, 10)
+			var ratioSum float64
+			for qi, q := range queries {
+				res, st, err := ix.Search(q, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res) != 10 {
+					t.Fatalf("query %d returned %d results", qi, len(res))
+				}
+				if st.PageAccesses <= 0 {
+					t.Fatalf("query %d reports no page accesses", qi)
+				}
+				returned := make([]mips.Result, len(res))
+				for i, r := range res {
+					returned[i] = mips.Result{ID: r.ID, IP: vec.Dot(data[r.ID], q)}
+				}
+				sort.Slice(returned, func(a, b int) bool { return returned[a].IP > returned[b].IP })
+				ratioSum += gt.OverallRatio(qi, returned)
+			}
+			avg := ratioSum / float64(len(queries))
+			// The guarantee is per-query with probability p; averaged over
+			// dataset-member queries the ratio sits well above c.
+			if avg < 0.9 {
+				t.Fatalf("%s: average overall ratio %.4f below c", spec.Name, avg)
+			}
+		})
+	}
+}
+
+// The query's own vector is in the dataset, so the exact MIP point for a
+// dataset-member query almost always includes itself or a same-cluster
+// point; the index must find an answer at least as good as c times that.
+func TestIntegrationSelfQueries(t *testing.T) {
+	spec := dataset.Sift()
+	data := spec.Generate(800, 91)
+	ix, err := Build(data, Options{Dir: t.TempDir(), Seed: 92, M: spec.M, C: 0.9, P: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	ok := 0
+	for i := 0; i < 20; i++ {
+		q := data[i*37%800]
+		res, _, err := ix.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best := exact.TopK(data, q, 1)[0]
+		if best.IP <= 0 || res[0].IP >= 0.9*best.IP {
+			ok++
+		}
+	}
+	if ok < 16 {
+		t.Fatalf("self-query guarantee: %d/20", ok)
+	}
+}

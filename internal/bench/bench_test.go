@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"promips/internal/core"
+	"promips/internal/dataset"
+)
+
+// tinyEnv builds a small, fast environment on the Netflix generator.
+func tinyEnv(t *testing.T, n, queries int) *Env {
+	t.Helper()
+	env, err := NewEnv(Config{
+		Spec: dataset.Netflix(), N: n, NumQueries: queries,
+		Seed: 42, WorkDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { env.Close() })
+	return env
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := Table{Title: "T", Header: []string{"a", "long-column"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	s := tb.String()
+	if !strings.Contains(s, "== T ==") || !strings.Contains(s, "long-column") {
+		t.Fatalf("table output:\n%s", s)
+	}
+	if len(strings.Split(strings.TrimSpace(s), "\n")) != 5 {
+		t.Fatalf("expected 5 lines, got:\n%s", s)
+	}
+}
+
+func TestKs(t *testing.T) {
+	ks := Ks()
+	if len(ks) != 10 || ks[0] != 10 || ks[9] != 100 {
+		t.Fatalf("Ks() = %v", ks)
+	}
+}
+
+func TestGroundTruthPrefixReuse(t *testing.T) {
+	env := tinyEnv(t, 300, 4)
+	gt10 := env.GroundTruth(10)
+	gt5 := env.GroundTruth(5)
+	if gt5.K != 5 || len(gt5.TopK[0]) != 5 {
+		t.Fatalf("prefix ground truth shape wrong")
+	}
+	for qi := range gt5.TopK {
+		for i := 0; i < 5; i++ {
+			if gt5.TopK[qi][i] != gt10.TopK[qi][i] {
+				t.Fatal("prefix ground truth differs from full")
+			}
+		}
+	}
+}
+
+func TestBuildUnknownMethod(t *testing.T) {
+	env := tinyEnv(t, 100, 2)
+	if _, err := env.Build("FAISS"); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+}
+
+func TestMeasureProMIPS(t *testing.T) {
+	env := tinyEnv(t, 800, 5)
+	b, err := env.BuildProMIPS(core.Options{M: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Method.Close()
+	p, err := env.Measure(b.Method, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ratio < 0.5 || p.Ratio > 1.0001 {
+		t.Fatalf("ratio = %v", p.Ratio)
+	}
+	if p.Recall < 0 || p.Recall > 1.0001 {
+		t.Fatalf("recall = %v", p.Recall)
+	}
+	if p.Pages <= 0 || p.CPUms < 0 {
+		t.Fatalf("pages=%v cpu=%v", p.Pages, p.CPUms)
+	}
+	if p.TotalMs < p.CPUms {
+		t.Fatal("total time below CPU time")
+	}
+}
+
+// End-to-end smoke test: all four methods build and answer queries on a
+// small environment, and Fig 4 + the sweep tables render.
+func TestAllMethodsEndToEnd(t *testing.T) {
+	env := tinyEnv(t, 1200, 4)
+	builts, err := env.BuildAll(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, b := range builts {
+			b.Method.Close()
+		}
+	}()
+	fig4 := Fig4(env, builts)
+	if len(fig4.Rows) != 4 {
+		t.Fatalf("Fig4 rows = %d", len(fig4.Rows))
+	}
+	tables, err := Sweep(env, builts, []int{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, tb := range tables {
+		if len(tb.Rows) != 1 || len(tb.Rows[0]) != 5 {
+			t.Fatalf("table %d shape wrong:\n%s", i, tb.String())
+		}
+	}
+	// Every method should reach a sane ratio on this easy workload.
+	for col := 1; col <= 4; col++ {
+		var ratio float64
+		if _, err := fmtSscan(tables[0].Rows[0][col], &ratio); err != nil {
+			t.Fatal(err)
+		}
+		if ratio < 0.55 {
+			t.Fatalf("method %s ratio %v too low:\n%s", tables[0].Header[col], ratio, tables[0].String())
+		}
+	}
+}
+
+func TestFig10And11(t *testing.T) {
+	env := tinyEnv(t, 600, 3)
+	t10, err := Fig10(env, []float64{0.7, 0.9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t10.Rows) != 2 {
+		t.Fatalf("Fig10 rows:\n%s", t10.String())
+	}
+	t11, err := Fig11(env, []float64{0.3, 0.7}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t11.Rows) != 2 {
+		t.Fatalf("Fig11 rows:\n%s", t11.String())
+	}
+}
+
+func TestAblations(t *testing.T) {
+	env := tinyEnv(t, 600, 3)
+	qp, err := AblationQuickProbe(env, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qp.Rows) != 1 {
+		t.Fatalf("quick-probe ablation:\n%s", qp.String())
+	}
+	part, err := AblationPartition(env, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part.Rows) != 1 {
+		t.Fatalf("partition ablation:\n%s", part.String())
+	}
+	pd, err := AblationProjDim(env, []int{4, 6}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pd.Rows) != 2 {
+		t.Fatalf("projdim ablation:\n%s", pd.String())
+	}
+}
+
+func TestTable2Scaling(t *testing.T) {
+	tb, err := Table2Scaling(Config{Spec: dataset.Netflix(), NumQueries: 3, Seed: 1},
+		[]int{300, 600}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("scaling table:\n%s", tb.String())
+	}
+}
+
+// fmtSscan wraps fmt.Sscan for test readability.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

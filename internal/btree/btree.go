@@ -1,0 +1,573 @@
+// Package btree implements a disk-resident B+-tree over a pager.Pager. It is
+// the "single B+-tree" that makes iDistance a lightweight index in the
+// paper's sense: int64 keys (iDistance ring keys) map to variable-length
+// value blobs (the encoded sub-partition directory of a ring). Values larger
+// than the inline threshold spill into overflow page chains, so one ring can
+// describe arbitrarily many sub-partitions.
+//
+// The tree is build-once / read-mostly, matching the paper's workload:
+// Insert replaces on duplicate keys, Delete removes lazily (no rebalancing),
+// and freed overflow pages are not recycled.
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"promips/internal/pager"
+)
+
+const (
+	magic       = uint32(0x50425431) // "PBT1"
+	nodeLeaf    = byte(0)
+	nodeInner   = byte(1)
+	headerSize  = 16 // type(1) + nkeys(2) + pad(5) + next(8)
+	innerEntry  = 16 // key(8) + child(8)
+	leafFixed   = 13 // key(8) + flag(1) + len(4)
+	ovHeader    = 12 // next(8) + used(4)
+	flagInline  = byte(0)
+	flagOverflw = byte(1)
+)
+
+// nilPage marks an absent page link (stored on disk as all-ones).
+var nilPage int64 = -1
+
+// ErrValueTooLarge is reserved for future size limits; the overflow chain
+// currently accepts any value length.
+var ErrValueTooLarge = errors.New("btree: value too large")
+
+// Tree is a B+-tree rooted in page 0's metadata.
+type Tree struct {
+	pg     *pager.Pager
+	root   int64
+	height int
+	count  int64
+}
+
+// Create initializes a new tree on an empty pager (page 0 becomes the meta
+// page, page 1 the empty root leaf).
+func Create(pg *pager.Pager) (*Tree, error) {
+	if pg.NumPages() != 0 {
+		return nil, fmt.Errorf("btree: Create requires an empty pager, have %d pages", pg.NumPages())
+	}
+	if _, err := pg.Alloc(); err != nil { // meta page
+		return nil, err
+	}
+	rootID, err := pg.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	t := &Tree{pg: pg, root: rootID, height: 1}
+	if err := t.writeNode(rootID, &node{leaf: true, next: nilPage}); err != nil {
+		return nil, err
+	}
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Open loads an existing tree from its meta page.
+func Open(pg *pager.Pager) (*Tree, error) {
+	meta, err := pg.Read(0)
+	if err != nil {
+		return nil, fmt.Errorf("btree: read meta: %w", err)
+	}
+	if binary.LittleEndian.Uint32(meta) != magic {
+		return nil, errors.New("btree: bad magic in meta page")
+	}
+	t := &Tree{
+		pg:     pg,
+		root:   int64(binary.LittleEndian.Uint64(meta[8:])),
+		height: int(binary.LittleEndian.Uint32(meta[16:])),
+		count:  int64(binary.LittleEndian.Uint64(meta[24:])),
+	}
+	return t, nil
+}
+
+func (t *Tree) writeMeta() error {
+	buf := make([]byte, t.pg.PageSize())
+	binary.LittleEndian.PutUint32(buf, magic)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(t.root))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(t.height))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(t.count))
+	return t.pg.Write(0, buf)
+}
+
+// Count returns the number of keys in the tree.
+func (t *Tree) Count() int64 { return t.count }
+
+// Height returns the number of node levels (1 = root is a leaf).
+func (t *Tree) Height() int { return t.height }
+
+// inlineMax is the largest value stored inside a leaf; bigger values go to
+// overflow chains. A quarter page keeps at least a few entries per leaf.
+func (t *Tree) inlineMax() int { return (t.pg.PageSize() - headerSize) / 4 }
+
+// node is the in-memory form of a tree page.
+type node struct {
+	leaf bool
+	keys []int64
+	// Leaf payload: vals[i] holds inline bytes when ov[i] == nilPage,
+	// otherwise the value lives in the overflow chain starting at ov[i]
+	// with total length vlen[i].
+	vals [][]byte
+	ov   []int64
+	vlen []uint32
+	next int64
+	// Inner payload: children[i] subtree holds keys < keys[i];
+	// children[len(keys)] holds the rest.
+	children []int64
+}
+
+func (n *node) size(pageSize int) int {
+	if !n.leaf {
+		return headerSize + len(n.keys)*innerEntry + 8
+	}
+	s := headerSize
+	for i := range n.keys {
+		s += leafFixed
+		if n.ov[i] == nilPage {
+			s += len(n.vals[i])
+		} else {
+			s += 8
+		}
+	}
+	return s
+}
+
+func (t *Tree) readNode(id int64) (*node, error) {
+	buf, err := t.pg.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	n := &node{leaf: buf[0] == nodeLeaf}
+	nk := int(binary.LittleEndian.Uint16(buf[1:]))
+	off := headerSize
+	if n.leaf {
+		n.next = int64(binary.LittleEndian.Uint64(buf[8:]))
+		n.keys = make([]int64, nk)
+		n.vals = make([][]byte, nk)
+		n.ov = make([]int64, nk)
+		n.vlen = make([]uint32, nk)
+		for i := 0; i < nk; i++ {
+			n.keys[i] = int64(binary.LittleEndian.Uint64(buf[off:]))
+			flag := buf[off+8]
+			l := binary.LittleEndian.Uint32(buf[off+9:])
+			off += leafFixed
+			n.vlen[i] = l
+			if flag == flagInline {
+				n.ov[i] = nilPage
+				n.vals[i] = append([]byte(nil), buf[off:off+int(l)]...)
+				off += int(l)
+			} else {
+				n.ov[i] = int64(binary.LittleEndian.Uint64(buf[off:]))
+				off += 8
+			}
+		}
+		return n, nil
+	}
+	n.keys = make([]int64, nk)
+	n.children = make([]int64, nk+1)
+	for i := 0; i < nk; i++ {
+		n.keys[i] = int64(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	for i := 0; i <= nk; i++ {
+		n.children[i] = int64(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return n, nil
+}
+
+func (t *Tree) writeNode(id int64, n *node) error {
+	buf := make([]byte, t.pg.PageSize())
+	if n.leaf {
+		buf[0] = nodeLeaf
+	} else {
+		buf[0] = nodeInner
+	}
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(n.keys)))
+	off := headerSize
+	if n.leaf {
+		binary.LittleEndian.PutUint64(buf[8:], uint64(n.next))
+		for i := range n.keys {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(n.keys[i]))
+			if n.ov[i] == nilPage {
+				buf[off+8] = flagInline
+				binary.LittleEndian.PutUint32(buf[off+9:], uint32(len(n.vals[i])))
+				off += leafFixed
+				copy(buf[off:], n.vals[i])
+				off += len(n.vals[i])
+			} else {
+				buf[off+8] = flagOverflw
+				binary.LittleEndian.PutUint32(buf[off+9:], n.vlen[i])
+				off += leafFixed
+				binary.LittleEndian.PutUint64(buf[off:], uint64(n.ov[i]))
+				off += 8
+			}
+		}
+	} else {
+		for _, k := range n.keys {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(k))
+			off += 8
+		}
+		for _, c := range n.children {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(c))
+			off += 8
+		}
+	}
+	if off > len(buf) {
+		panic(fmt.Sprintf("btree: node %d overflows page: %d > %d", id, off, len(buf)))
+	}
+	return t.pg.Write(id, buf)
+}
+
+// writeOverflow stores val in a chain of overflow pages, returning the head.
+func (t *Tree) writeOverflow(val []byte) (int64, error) {
+	chunk := t.pg.PageSize() - ovHeader
+	var head, prev int64 = nilPage, nilPage
+	var prevBuf []byte
+	for off := 0; off < len(val) || head == nilPage; off += chunk {
+		id, err := t.pg.Alloc()
+		if err != nil {
+			return 0, err
+		}
+		if head == nilPage {
+			head = id
+		}
+		if prev != nilPage {
+			binary.LittleEndian.PutUint64(prevBuf, uint64(id))
+			if err := t.pg.Write(prev, prevBuf); err != nil {
+				return 0, err
+			}
+		}
+		buf := make([]byte, t.pg.PageSize())
+		binary.LittleEndian.PutUint64(buf, uint64(nilPage))
+		end := off + chunk
+		if end > len(val) {
+			end = len(val)
+		}
+		used := end - off
+		binary.LittleEndian.PutUint32(buf[8:], uint32(used))
+		copy(buf[ovHeader:], val[off:end])
+		if err := t.pg.Write(id, buf); err != nil {
+			return 0, err
+		}
+		prev, prevBuf = id, buf
+		if end >= len(val) {
+			break
+		}
+	}
+	return head, nil
+}
+
+func (t *Tree) readOverflow(head int64, total uint32) ([]byte, error) {
+	out := make([]byte, 0, total)
+	for id := head; id != nilPage; {
+		buf, err := t.pg.Read(id)
+		if err != nil {
+			return nil, err
+		}
+		next := int64(binary.LittleEndian.Uint64(buf))
+		used := binary.LittleEndian.Uint32(buf[8:])
+		out = append(out, buf[ovHeader:ovHeader+int(used)]...)
+		id = next
+	}
+	if uint32(len(out)) != total {
+		return nil, fmt.Errorf("btree: overflow chain length %d, want %d", len(out), total)
+	}
+	return out, nil
+}
+
+// Get returns the value stored under key, or ok=false if absent.
+func (t *Tree) Get(key int64) ([]byte, bool, error) {
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, false, err
+		}
+		id = n.children[childIndex(n.keys, key)]
+	}
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, false, err
+	}
+	i, found := leafIndex(n.keys, key)
+	if !found {
+		return nil, false, nil
+	}
+	if n.ov[i] == nilPage {
+		return n.vals[i], true, nil
+	}
+	v, err := t.readOverflow(n.ov[i], n.vlen[i])
+	return v, err == nil, err
+}
+
+// childIndex returns the child slot to follow for key in an inner node:
+// the first i with key < keys[i], else the last child.
+func childIndex(keys []int64, key int64) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if key < keys[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// leafIndex returns the insertion position of key and whether it is present.
+func leafIndex(keys []int64, key int64) (int, bool) {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(keys) && keys[lo] == key
+}
+
+type splitResult struct {
+	split  bool
+	sepKey int64
+	right  int64
+}
+
+// Insert stores value under key, replacing any previous value.
+func (t *Tree) Insert(key int64, value []byte) error {
+	res, replaced, err := t.insertAt(t.root, t.height, key, value)
+	if err != nil {
+		return err
+	}
+	if res.split {
+		newRootID, err := t.pg.Alloc()
+		if err != nil {
+			return err
+		}
+		root := &node{
+			leaf:     false,
+			keys:     []int64{res.sepKey},
+			children: []int64{t.root, res.right},
+		}
+		if err := t.writeNode(newRootID, root); err != nil {
+			return err
+		}
+		t.root = newRootID
+		t.height++
+	}
+	if !replaced {
+		t.count++
+	}
+	return t.writeMeta()
+}
+
+func (t *Tree) insertAt(id int64, level int, key int64, value []byte) (splitResult, bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return splitResult{}, false, err
+	}
+	if level == 1 {
+		return t.insertLeaf(id, n, key, value)
+	}
+	ci := childIndex(n.keys, key)
+	res, replaced, err := t.insertAt(n.children[ci], level-1, key, value)
+	if err != nil {
+		return splitResult{}, false, err
+	}
+	if !res.split {
+		return splitResult{}, replaced, nil
+	}
+	// Insert separator into this inner node.
+	n.keys = append(n.keys, 0)
+	copy(n.keys[ci+1:], n.keys[ci:])
+	n.keys[ci] = res.sepKey
+	n.children = append(n.children, 0)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = res.right
+	if n.size(t.pg.PageSize()) <= t.pg.PageSize() {
+		return splitResult{}, replaced, t.writeNode(id, n)
+	}
+	// Split inner node at the middle key; the middle key moves up.
+	mid := len(n.keys) / 2
+	sep := n.keys[mid]
+	right := &node{
+		leaf:     false,
+		keys:     append([]int64(nil), n.keys[mid+1:]...),
+		children: append([]int64(nil), n.children[mid+1:]...),
+	}
+	n.keys = n.keys[:mid]
+	n.children = n.children[:mid+1]
+	rightID, err := t.pg.Alloc()
+	if err != nil {
+		return splitResult{}, false, err
+	}
+	if err := t.writeNode(rightID, right); err != nil {
+		return splitResult{}, false, err
+	}
+	if err := t.writeNode(id, n); err != nil {
+		return splitResult{}, false, err
+	}
+	return splitResult{split: true, sepKey: sep, right: rightID}, replaced, nil
+}
+
+func (t *Tree) insertLeaf(id int64, n *node, key int64, value []byte) (splitResult, bool, error) {
+	// Prepare the entry representation (inline or overflow).
+	var inline []byte
+	ovPage := nilPage
+	vlen := uint32(len(value))
+	if len(value) <= t.inlineMax() {
+		inline = append([]byte(nil), value...)
+	} else {
+		head, err := t.writeOverflow(value)
+		if err != nil {
+			return splitResult{}, false, err
+		}
+		ovPage = head
+	}
+
+	i, found := leafIndex(n.keys, key)
+	replaced := false
+	if found {
+		n.vals[i], n.ov[i], n.vlen[i] = inline, ovPage, vlen
+		replaced = true
+	} else {
+		n.keys = append(n.keys, 0)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = key
+		n.vals = append(n.vals, nil)
+		copy(n.vals[i+1:], n.vals[i:])
+		n.vals[i] = inline
+		n.ov = append(n.ov, 0)
+		copy(n.ov[i+1:], n.ov[i:])
+		n.ov[i] = ovPage
+		n.vlen = append(n.vlen, 0)
+		copy(n.vlen[i+1:], n.vlen[i:])
+		n.vlen[i] = vlen
+	}
+	if n.size(t.pg.PageSize()) <= t.pg.PageSize() {
+		return splitResult{}, replaced, t.writeNode(id, n)
+	}
+
+	// Split the leaf so both halves fit; balance by serialized size.
+	target := n.size(t.pg.PageSize()) / 2
+	acc := headerSize
+	split := 1
+	for j := 0; j < len(n.keys)-1; j++ {
+		es := leafFixed
+		if n.ov[j] == nilPage {
+			es += len(n.vals[j])
+		} else {
+			es += 8
+		}
+		acc += es
+		if acc >= target {
+			split = j + 1
+			break
+		}
+		split = j + 2
+	}
+	right := &node{
+		leaf: true,
+		keys: append([]int64(nil), n.keys[split:]...),
+		vals: append([][]byte(nil), n.vals[split:]...),
+		ov:   append([]int64(nil), n.ov[split:]...),
+		vlen: append([]uint32(nil), n.vlen[split:]...),
+		next: n.next,
+	}
+	rightID, err := t.pg.Alloc()
+	if err != nil {
+		return splitResult{}, false, err
+	}
+	n.keys = n.keys[:split]
+	n.vals = n.vals[:split]
+	n.ov = n.ov[:split]
+	n.vlen = n.vlen[:split]
+	n.next = rightID
+	if err := t.writeNode(rightID, right); err != nil {
+		return splitResult{}, false, err
+	}
+	if err := t.writeNode(id, n); err != nil {
+		return splitResult{}, false, err
+	}
+	return splitResult{split: true, sepKey: right.keys[0], right: rightID}, replaced, nil
+}
+
+// Delete removes key from its leaf (lazily: inner separators and overflow
+// pages are left in place). It reports whether the key was present.
+func (t *Tree) Delete(key int64) (bool, error) {
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return false, err
+		}
+		id = n.children[childIndex(n.keys, key)]
+	}
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	i, found := leafIndex(n.keys, key)
+	if !found {
+		return false, nil
+	}
+	n.keys = append(n.keys[:i], n.keys[i+1:]...)
+	n.vals = append(n.vals[:i], n.vals[i+1:]...)
+	n.ov = append(n.ov[:i], n.ov[i+1:]...)
+	n.vlen = append(n.vlen[:i], n.vlen[i+1:]...)
+	if err := t.writeNode(id, n); err != nil {
+		return false, err
+	}
+	t.count--
+	return true, t.writeMeta()
+}
+
+// Scan visits keys in [lo, hi] in ascending order. fn returning false stops
+// the scan early.
+func (t *Tree) Scan(lo, hi int64, fn func(key int64, val []byte) bool) error {
+	if lo > hi {
+		return nil
+	}
+	id := t.root
+	for level := t.height; level > 1; level-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		id = n.children[childIndex(n.keys, lo)]
+	}
+	for id != nilPage {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		start, _ := leafIndex(n.keys, lo)
+		for i := start; i < len(n.keys); i++ {
+			if n.keys[i] > hi {
+				return nil
+			}
+			var v []byte
+			if n.ov[i] == nilPage {
+				v = n.vals[i]
+			} else {
+				v, err = t.readOverflow(n.ov[i], n.vlen[i])
+				if err != nil {
+					return err
+				}
+			}
+			if !fn(n.keys[i], v) {
+				return nil
+			}
+		}
+		id = n.next
+	}
+	return nil
+}

@@ -1,0 +1,365 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"promips/internal/pager"
+)
+
+func newTestTree(t *testing.T, pageSize int) (*Tree, *pager.Pager) {
+	t.Helper()
+	pg, err := pager.Create(filepath.Join(t.TempDir(), "bt.db"), pager.Options{PageSize: pageSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pg.Close() })
+	tr, err := Create(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, pg
+}
+
+func TestInsertGetSingle(t *testing.T) {
+	tr, _ := newTestTree(t, 256)
+	if err := tr.Insert(42, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tr.Get(42)
+	if err != nil || !ok {
+		t.Fatalf("Get(42) = %v %v %v", v, ok, err)
+	}
+	if string(v) != "hello" {
+		t.Fatalf("value = %q", v)
+	}
+	if _, ok, _ := tr.Get(41); ok {
+		t.Fatal("Get(41) should be absent")
+	}
+	if tr.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", tr.Count())
+	}
+}
+
+func TestInsertReplace(t *testing.T) {
+	tr, _ := newTestTree(t, 256)
+	tr.Insert(7, []byte("a"))
+	tr.Insert(7, []byte("bb"))
+	v, ok, _ := tr.Get(7)
+	if !ok || string(v) != "bb" {
+		t.Fatalf("replaced value = %q, ok=%v", v, ok)
+	}
+	if tr.Count() != 1 {
+		t.Fatalf("Count after replace = %d, want 1", tr.Count())
+	}
+}
+
+func TestManyInsertsWithSplits(t *testing.T) {
+	tr, _ := newTestTree(t, 256) // tiny pages force deep trees
+	const n = 2000
+	r := rand.New(rand.NewSource(3))
+	perm := r.Perm(n)
+	for _, k := range perm {
+		val := []byte(fmt.Sprintf("value-%d", k))
+		if err := tr.Insert(int64(k), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Count() != n {
+		t.Fatalf("Count = %d, want %d", tr.Count(), n)
+	}
+	if tr.Height() < 3 {
+		t.Fatalf("expected height >= 3 with 256B pages, got %d", tr.Height())
+	}
+	for k := 0; k < n; k++ {
+		v, ok, err := tr.Get(int64(k))
+		if err != nil || !ok {
+			t.Fatalf("Get(%d): ok=%v err=%v", k, ok, err)
+		}
+		if want := fmt.Sprintf("value-%d", k); string(v) != want {
+			t.Fatalf("Get(%d) = %q, want %q", k, v, want)
+		}
+	}
+}
+
+func TestNegativeAndExtremeKeys(t *testing.T) {
+	tr, _ := newTestTree(t, 256)
+	keys := []int64{-1 << 62, -1000, -1, 0, 1, 1000, 1 << 62}
+	for _, k := range keys {
+		if err := tr.Insert(k, []byte{byte(k & 0xff)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range keys {
+		v, ok, _ := tr.Get(k)
+		if !ok || v[0] != byte(k&0xff) {
+			t.Fatalf("Get(%d) failed", k)
+		}
+	}
+}
+
+func TestOverflowValues(t *testing.T) {
+	tr, _ := newTestTree(t, 256)
+	r := rand.New(rand.NewSource(5))
+	sizes := []int{0, 1, 63, 64, 100, 244, 245, 500, 4096, 10000}
+	want := make(map[int64][]byte)
+	for i, sz := range sizes {
+		v := make([]byte, sz)
+		r.Read(v)
+		want[int64(i)] = v
+		if err := tr.Insert(int64(i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k, v := range want {
+		got, ok, err := tr.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%d): ok=%v err=%v", k, ok, err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("Get(%d): %d bytes differ (len %d vs %d)", k, len(v), len(got), len(v))
+		}
+	}
+}
+
+func TestScanFullRange(t *testing.T) {
+	tr, _ := newTestTree(t, 256)
+	const n = 500
+	for k := 0; k < n; k++ {
+		tr.Insert(int64(k*2), []byte{byte(k)})
+	}
+	var got []int64
+	err := tr.Scan(-100, 1<<40, func(k int64, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("scan visited %d keys, want %d", len(got), n)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan out of order")
+	}
+}
+
+func TestScanSubRangeAndEarlyStop(t *testing.T) {
+	tr, _ := newTestTree(t, 256)
+	for k := 0; k < 100; k++ {
+		tr.Insert(int64(k), []byte{byte(k)})
+	}
+	var got []int64
+	tr.Scan(10, 20, func(k int64, v []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 11 || got[0] != 10 || got[10] != 20 {
+		t.Fatalf("sub-range scan = %v", got)
+	}
+	got = nil
+	tr.Scan(0, 99, func(k int64, v []byte) bool {
+		got = append(got, k)
+		return len(got) < 5
+	})
+	if len(got) != 5 {
+		t.Fatalf("early stop visited %d", len(got))
+	}
+	// Empty range.
+	got = nil
+	tr.Scan(50, 40, func(k int64, v []byte) bool { got = append(got, k); return true })
+	if len(got) != 0 {
+		t.Fatalf("lo>hi should visit nothing, got %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, _ := newTestTree(t, 256)
+	for k := 0; k < 200; k++ {
+		tr.Insert(int64(k), []byte{1})
+	}
+	for k := 0; k < 200; k += 2 {
+		ok, err := tr.Delete(int64(k))
+		if err != nil || !ok {
+			t.Fatalf("Delete(%d) = %v %v", k, ok, err)
+		}
+	}
+	if ok, _ := tr.Delete(0); ok {
+		t.Fatal("double delete reported present")
+	}
+	if tr.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", tr.Count())
+	}
+	for k := 0; k < 200; k++ {
+		_, ok, _ := tr.Get(int64(k))
+		if want := k%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", k, ok, want)
+		}
+	}
+}
+
+func TestPersistenceReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bt.db")
+	pg, err := pager.Create(path, pager.Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Create(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte{9}, 3000)
+	for k := 0; k < 300; k++ {
+		v := []byte(fmt.Sprintf("v%d", k))
+		if k == 150 {
+			v = big
+		}
+		if err := tr.Insert(int64(k), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pg2, err := pager.Open(path, pager.Options{PageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg2.Close()
+	tr2, err := Open(pg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Count() != 300 {
+		t.Fatalf("Count after reopen = %d", tr2.Count())
+	}
+	v, ok, err := tr2.Get(150)
+	if err != nil || !ok || !bytes.Equal(v, big) {
+		t.Fatalf("big value lost after reopen: ok=%v err=%v len=%d", ok, err, len(v))
+	}
+	v, ok, _ = tr2.Get(299)
+	if !ok || string(v) != "v299" {
+		t.Fatalf("Get(299) after reopen = %q %v", v, ok)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	pg, err := pager.Create(filepath.Join(t.TempDir(), "junk.db"), pager.Options{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pg.Close()
+	pg.Alloc()
+	if _, err := Open(pg); err == nil {
+		t.Fatal("expected error opening non-btree pager")
+	}
+}
+
+func TestCreateRejectsNonEmptyPager(t *testing.T) {
+	pg, _ := pager.Create(filepath.Join(t.TempDir(), "x.db"), pager.Options{PageSize: 256})
+	defer pg.Close()
+	pg.Alloc()
+	if _, err := Create(pg); err == nil {
+		t.Fatal("expected error creating tree on non-empty pager")
+	}
+}
+
+// Property: the tree behaves exactly like a map[int64][]byte under random
+// insert/replace/delete, and Scan returns sorted keys equal to the model.
+func TestPropertyModelEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		dir := t.TempDir()
+		pg, err := pager.Create(filepath.Join(dir, "m.db"), pager.Options{PageSize: 256})
+		if err != nil {
+			return false
+		}
+		defer pg.Close()
+		tr, err := Create(pg)
+		if err != nil {
+			return false
+		}
+		r := rand.New(rand.NewSource(seed))
+		model := make(map[int64][]byte)
+		for op := 0; op < 400; op++ {
+			k := int64(r.Intn(120) - 20)
+			switch r.Intn(3) {
+			case 0, 1:
+				v := make([]byte, r.Intn(80))
+				r.Read(v)
+				if tr.Insert(k, v) != nil {
+					return false
+				}
+				model[k] = v
+			case 2:
+				ok, err := tr.Delete(k)
+				if err != nil {
+					return false
+				}
+				if _, inModel := model[k]; ok != inModel {
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if tr.Count() != int64(len(model)) {
+			return false
+		}
+		for k, v := range model {
+			got, ok, err := tr.Get(k)
+			if err != nil || !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		var keys []int64
+		err = tr.Scan(-1<<62, 1<<62, func(k int64, v []byte) bool {
+			keys = append(keys, k)
+			if !bytes.Equal(v, model[k]) {
+				keys = nil
+				return false
+			}
+			return true
+		})
+		if err != nil || len(keys) != len(model) {
+			return false
+		}
+		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	pg, err := pager.Create(filepath.Join(b.TempDir(), "bench.db"), pager.Options{PageSize: 4096, PoolSize: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pg.Close()
+	tr, _ := Create(pg)
+	val := bytes.Repeat([]byte{1}, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int64(i), val)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	pg, _ := pager.Create(filepath.Join(b.TempDir(), "bench.db"), pager.Options{PageSize: 4096, PoolSize: 4096})
+	defer pg.Close()
+	tr, _ := Create(pg)
+	val := bytes.Repeat([]byte{1}, 64)
+	for i := 0; i < 10000; i++ {
+		tr.Insert(int64(i), val)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(int64(i % 10000))
+	}
+}

@@ -1,0 +1,302 @@
+// Package core implements ProMIPS itself: the probability-guaranteed
+// c-AMIP search of Song, Gu, Zhang and Yu (ICDE 2021). It ties together the
+// substrates — 2-stable projections (internal/randproj), the chi-square
+// machinery (internal/stats), the disk-resident iDistance index
+// (internal/idistance) and the original-vector store (internal/store) —
+// into the pre-process and searching process of the paper's Fig. 2:
+//
+//	Pre-process:  project points → compute norms and sign codes for
+//	              Quick-Probe → build iDistance → lay original points out
+//	              on disk in sub-partition order.
+//	Search:       Quick-Probe locates a point whose projected distance
+//	              seeds a range search (Algorithm 3 / MIP-Search-II);
+//	              candidates are verified by true inner product; Conditions
+//	              A and B decide termination, with a range extension to
+//	              r' = sqrt(Ψm⁻¹(p)·(‖oM‖²+‖q‖²−2⟨omax,q⟩/c)) when the
+//	              estimated range falls short of the probability guarantee.
+//
+// Algorithm 1 (incremental NN + per-point condition tests) is also provided
+// as SearchIncremental for the ablation benchmarks.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"promips/internal/idistance"
+	"promips/internal/pager"
+	"promips/internal/randproj"
+	"promips/internal/store"
+	"promips/internal/vec"
+)
+
+// Options configures index construction and the default query parameters.
+// Zero values take the paper's defaults (§VIII-A-4).
+type Options struct {
+	// C is the approximation ratio c ∈ (0,1); results satisfy
+	// ⟨o,q⟩ ≥ c·⟨o*,q⟩ with probability at least P. Default 0.9.
+	C float64
+	// P is the guarantee probability p ∈ (0,1). Default 0.5.
+	P float64
+	// M is the projected dimensionality; 0 selects the optimized
+	// m = argmin 2^m(m+1)+n/2^m of §V-B.
+	M int
+	// Kp, Nkey, Ksp control the iDistance partition pattern
+	// (defaults 5, 40, 10).
+	Kp, Nkey, Ksp int
+	// Epsilon is the iDistance ring width; 0 derives it from the data.
+	Epsilon float64
+	// PageSize is the disk page size in bytes (default 4096; the paper
+	// uses 65536 for the 5408-dimensional P53 dataset).
+	PageSize int
+	// PoolSize is the buffer-pool capacity in pages per page file.
+	PoolSize int
+	// Seed makes projections and clustering deterministic.
+	Seed int64
+}
+
+func (o *Options) normalize() error {
+	if o.C == 0 {
+		o.C = 0.9
+	}
+	if o.P == 0 {
+		o.P = 0.5
+	}
+	if o.C <= 0 || o.C >= 1 {
+		return fmt.Errorf("core: approximation ratio c must be in (0,1), got %v", o.C)
+	}
+	if o.P <= 0 || o.P >= 1 {
+		return fmt.Errorf("core: probability p must be in (0,1), got %v", o.P)
+	}
+	if o.PageSize <= 0 {
+		o.PageSize = pager.DefaultPageSize
+	}
+	return nil
+}
+
+// group is one Quick-Probe bucket: the points sharing an m-bit sign code.
+// Only the member with the smallest 1-norm matters at query time (it
+// maximizes LB²/(c·(‖o‖₁+‖q‖₁)²) within the group), so that is all we keep
+// in memory; the paper likewise stores per-group sorted 1-norms.
+type group struct {
+	code     uint32
+	minNorm1 float64
+	minID    uint32
+	count    int
+}
+
+// Result is one returned point with its exact inner product to the query.
+type Result struct {
+	ID uint32
+	IP float64
+}
+
+// SearchStats reports the work one query performed.
+type SearchStats struct {
+	// Candidates is the number of points verified by exact inner product.
+	Candidates int
+	// PageAccesses counts disk pages touched (buffer-pool misses across the
+	// iDistance pagers and the vector store, with pools dropped at query
+	// start) — the paper's Page Access metric.
+	PageAccesses int64
+	// GroupsProbed is how many sign-code groups Quick-Probe examined.
+	GroupsProbed int
+	// Radius is the search range Quick-Probe determined.
+	Radius float64
+	// ExtendedRadius is the compensation range r' (0 when no extension ran).
+	ExtendedRadius float64
+	// TerminatedBy records which condition ended the search:
+	// "A", "B", or "exhausted".
+	TerminatedBy string
+}
+
+// Index is a built ProMIPS index.
+type Index struct {
+	opts Options
+	n, d int
+	m    int
+
+	proj  *randproj.Projector
+	idist *idistance.Index
+	orig  *store.Store
+
+	norm2Sq    []float64 // per id, ‖o‖²
+	norm1      []float64 // per id, ‖o‖₁
+	codes      []uint32  // per id, sign code of P(o)
+	maxNorm2Sq float64   // ‖oM‖² (monotone: never lowered by deletes)
+	groups     []group
+
+	// Update state (see update.go): recently inserted points awaiting
+	// compaction, and tombstoned ids.
+	delta   []deltaEntry
+	deleted map[uint32]bool
+}
+
+// Build constructs an index over data in dir (page files are created
+// there). Point i keeps id uint32(i).
+func Build(data [][]float32, dir string, opts Options) (*Index, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	d := len(data[0])
+	for i, p := range data {
+		if len(p) != d {
+			return nil, fmt.Errorf("core: point %d has dim %d, want %d", i, len(p), d)
+		}
+	}
+	m := opts.M
+	if m == 0 {
+		m = randproj.OptimizedM(n)
+	}
+	if m > randproj.MaxM {
+		return nil, fmt.Errorf("core: m=%d exceeds %d", m, randproj.MaxM)
+	}
+
+	// Pre-process step 1: 2-stable projections.
+	proj := randproj.New(d, m, opts.Seed)
+	projected := proj.ProjectAll(data)
+
+	// Pre-process step 2: norms and binary codes for Quick-Probe.
+	ix := &Index{
+		opts: opts, n: n, d: d, m: m, proj: proj,
+		norm2Sq: make([]float64, n),
+		norm1:   make([]float64, n),
+		codes:   make([]uint32, n),
+	}
+	byCode := make(map[uint32]*group)
+	for i, o := range data {
+		ix.norm2Sq[i] = vec.Norm2Sq(o)
+		ix.norm1[i] = vec.Norm1(o)
+		if ix.norm2Sq[i] > ix.maxNorm2Sq {
+			ix.maxNorm2Sq = ix.norm2Sq[i]
+		}
+		code := randproj.Code(projected[i])
+		ix.codes[i] = code
+		g, ok := byCode[code]
+		if !ok {
+			byCode[code] = &group{code: code, minNorm1: ix.norm1[i], minID: uint32(i), count: 1}
+			continue
+		}
+		g.count++
+		if ix.norm1[i] < g.minNorm1 {
+			g.minNorm1, g.minID = ix.norm1[i], uint32(i)
+		}
+	}
+	ix.groups = make([]group, 0, len(byCode))
+	for _, g := range byCode {
+		ix.groups = append(ix.groups, *g)
+	}
+	sort.Slice(ix.groups, func(i, j int) bool { return ix.groups[i].code < ix.groups[j].code })
+
+	// Pre-process step 3: iDistance over the projected points.
+	idx, err := idistance.Build(projected, dir, idistance.Config{
+		Kp: opts.Kp, Nkey: opts.Nkey, Ksp: opts.Ksp, Epsilon: opts.Epsilon,
+		Seed: opts.Seed, PageSize: opts.PageSize, PoolSize: opts.PoolSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ix.idist = idx
+
+	// Pre-process step 4: original points on disk in sub-partition order,
+	// so verification reads are sequential.
+	w, err := store.Create(dir+"/orig.data", d, n, pager.Options{PageSize: opts.PageSize, PoolSize: opts.PoolSize})
+	if err != nil {
+		idx.Close()
+		return nil, err
+	}
+	for _, id := range idx.Layout() {
+		if err := w.Append(id, data[id]); err != nil {
+			idx.Close()
+			return nil, err
+		}
+	}
+	st, err := w.Finalize()
+	if err != nil {
+		idx.Close()
+		return nil, err
+	}
+	ix.orig = st
+	return ix, nil
+}
+
+// Close releases the index's page files.
+func (ix *Index) Close() error {
+	err := ix.idist.Close()
+	if err2 := ix.orig.Close(); err == nil {
+		err = err2
+	}
+	return err
+}
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.n }
+
+// Dim returns the original dimensionality.
+func (ix *Index) Dim() int { return ix.d }
+
+// M returns the projected dimensionality in use.
+func (ix *Index) M() int { return ix.m }
+
+// Options returns the options the index was built with.
+func (ix *Index) Options() Options { return ix.opts }
+
+// SizeBreakdown itemizes the index's storage footprint in bytes.
+type SizeBreakdown struct {
+	BTree      int64 // the single B+-tree (the index proper)
+	Projected  int64 // projected points on disk
+	QuickProbe int64 // sign codes, 1-norms, per-group minima
+	Norms      int64 // per-point ‖o‖² kept for Condition A
+}
+
+// Total returns the summed index size. Following the paper's Fig. 4(a),
+// the original data file is not part of the index.
+func (s SizeBreakdown) Total() int64 { return s.BTree + s.Projected + s.QuickProbe + s.Norms }
+
+// Sizes reports the on-disk/in-memory footprint of each index component.
+func (ix *Index) Sizes() SizeBreakdown {
+	return SizeBreakdown{
+		BTree:      ix.idist.IndexSizeBytes(),
+		Projected:  ix.idist.DataSizeBytes(),
+		QuickProbe: int64(ix.n)*4 + int64(len(ix.groups))*20,
+		Norms:      int64(ix.n) * 16,
+	}
+}
+
+// pagers returns every pager a query can touch.
+func (ix *Index) pagers() []*pager.Pager {
+	return append(ix.idist.Pagers(), ix.orig.Pager())
+}
+
+// resetIO drops buffer pools and counters so the next query is measured
+// against cold caches.
+func (ix *Index) resetIO() {
+	for _, pg := range ix.pagers() {
+		pg.DropPool()
+		pg.ResetStats()
+	}
+}
+
+func (ix *Index) pageMisses() int64 {
+	var total int64
+	for _, pg := range ix.pagers() {
+		total += pg.Stats().Misses
+	}
+	return total
+}
+
+// conditionA evaluates the deterministic termination test (Formula 1):
+// ‖oM‖² + ‖q‖² − 2⟨oi,q⟩/c ≤ 0.
+func (ix *Index) conditionA(normQSq, ipK float64) bool {
+	return ix.maxNorm2Sq+normQSq-2*ipK/ix.opts.C <= 0
+}
+
+// conditionBDenominator is ‖oM‖² + ‖q‖² − 2⟨omax,q⟩/c, the denominator of
+// Formula 2. Non-positive values mean Condition A already holds.
+func (ix *Index) conditionBDenominator(normQSq, ipK float64) float64 {
+	return ix.maxNorm2Sq + normQSq - 2*ipK/ix.opts.C
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"promips/internal/idistance"
+	"promips/internal/pager"
+	"promips/internal/randproj"
+	"promips/internal/store"
+)
+
+// coreMeta is the gob-serialized in-memory state of an Index. The page
+// files (iDistance data + B+-tree, original vectors) stay on disk.
+type coreMeta struct {
+	Opts       Options
+	N, D, M    int
+	Projector  []byte
+	Norm2Sq    []float64
+	Norm1      []float64
+	Codes      []uint32
+	MaxNorm2Sq float64
+	Groups     []groupMeta
+}
+
+type groupMeta struct {
+	Code     uint32
+	MinNorm1 float64
+	MinID    uint32
+	Count    int
+}
+
+// Save persists the index metadata into its directory, alongside the page
+// files Build already wrote there. An index saved to dir can be reloaded
+// with Open(dir).
+func (ix *Index) Save(dir string) error {
+	if err := ix.idist.Save(dir); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, "promips.meta"))
+	if err != nil {
+		return fmt.Errorf("core: save meta: %w", err)
+	}
+	defer f.Close()
+	m := coreMeta{
+		Opts: ix.opts, N: ix.n, D: ix.d, M: ix.m,
+		Projector: ix.proj.Encode(),
+		Norm2Sq:   ix.norm2Sq, Norm1: ix.norm1, Codes: ix.codes,
+		MaxNorm2Sq: ix.maxNorm2Sq,
+	}
+	m.Groups = make([]groupMeta, len(ix.groups))
+	for i, g := range ix.groups {
+		m.Groups[i] = groupMeta{Code: g.code, MinNorm1: g.minNorm1, MinID: g.minID, Count: g.count}
+	}
+	if err := gob.NewEncoder(f).Encode(&m); err != nil {
+		return fmt.Errorf("core: encode meta: %w", err)
+	}
+	return f.Sync()
+}
+
+// Open loads an index previously built in dir and saved with Save.
+func Open(dir string) (*Index, error) {
+	f, err := os.Open(filepath.Join(dir, "promips.meta"))
+	if err != nil {
+		return nil, fmt.Errorf("core: open meta: %w", err)
+	}
+	defer f.Close()
+	var m coreMeta
+	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: decode meta: %w", err)
+	}
+	proj, err := randproj.Decode(m.Projector)
+	if err != nil {
+		return nil, err
+	}
+	idist, err := idistance.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	orig, err := store.Open(filepath.Join(dir, "orig.data"),
+		pager.Options{PageSize: m.Opts.PageSize, PoolSize: m.Opts.PoolSize})
+	if err != nil {
+		idist.Close()
+		return nil, err
+	}
+	ix := &Index{
+		opts: m.Opts, n: m.N, d: m.D, m: m.M,
+		proj: proj, idist: idist, orig: orig,
+		norm2Sq: m.Norm2Sq, norm1: m.Norm1, codes: m.Codes,
+		maxNorm2Sq: m.MaxNorm2Sq,
+	}
+	ix.groups = make([]group, len(m.Groups))
+	for i, g := range m.Groups {
+		ix.groups[i] = group{code: g.Code, minNorm1: g.MinNorm1, minID: g.MinID, count: g.Count}
+	}
+	return ix, nil
+}

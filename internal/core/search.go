@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"promips/internal/idistance"
+	"promips/internal/randproj"
+	"promips/internal/stats"
+	"promips/internal/vec"
+)
+
+// topK maintains the k largest inner products seen so far as a sorted slice
+// (descending by IP). k is at most 100 in the paper's experiments, so linear
+// insertion beats heap bookkeeping.
+type topK struct {
+	k       int
+	results []Result
+}
+
+func newTopK(k int) *topK { return &topK{k: k, results: make([]Result, 0, k)} }
+
+// offer inserts (id, ip) when it beats the current k-th best.
+func (t *topK) offer(id uint32, ip float64) {
+	if len(t.results) == t.k && ip <= t.results[t.k-1].IP {
+		return
+	}
+	pos := sort.Search(len(t.results), func(i int) bool { return t.results[i].IP < ip })
+	t.results = append(t.results, Result{})
+	copy(t.results[pos+1:], t.results[pos:])
+	t.results[pos] = Result{ID: id, IP: ip}
+	if len(t.results) > t.k {
+		t.results = t.results[:t.k]
+	}
+}
+
+// kth returns the current k-th best inner product (⟨omax^k, q⟩ in the
+// paper's c-k-AMIP extension), and false while fewer than k points have
+// been collected.
+func (t *topK) kth() (float64, bool) {
+	if len(t.results) < t.k {
+		return math.Inf(-1), false
+	}
+	return t.results[t.k-1].IP, true
+}
+
+// Search runs the full ProMIPS query (Quick-Probe + MIP-Search-II) and
+// returns the top-k c-AMIP results, best inner product first. With
+// probability at least p (Options.P), every returned point oi satisfies
+// ⟨oi,q⟩ ≥ c·⟨o*i,q⟩.
+func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
+	if len(q) != ix.d {
+		return nil, SearchStats{}, fmt.Errorf("core: query dim %d, want %d", len(q), ix.d)
+	}
+	if k <= 0 {
+		return nil, SearchStats{}, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if live := ix.LiveCount(); k > live {
+		k = live
+	}
+	if k == 0 {
+		return nil, SearchStats{}, fmt.Errorf("core: index has no live points")
+	}
+	ix.resetIO()
+	var st SearchStats
+
+	pq := ix.proj.Project(q)
+	normQSq := vec.Norm2Sq(q)
+	norm1Q := vec.Norm1(q)
+
+	// ---- Quick-Probe (Algorithm 2) -----------------------------------
+	probeID := ix.quickProbe(pq, norm1Q, &st)
+
+	// The located point's projected distance is the estimated range
+	// (fetching its projected vector costs one page access, the only
+	// projected-point read Quick-Probe needs).
+	probePt, err := ix.idist.Projected(probeID, nil)
+	if err != nil {
+		return nil, st, err
+	}
+	r := vec.L2Dist(probePt, pq)
+	if r <= 0 {
+		// The located point projects exactly onto the query; fall back to
+		// one ring width so the range search has volume.
+		r = ix.idist.Epsilon()
+	}
+	st.Radius = r
+
+	// ---- MIP-Search-II (Algorithm 3) ----------------------------------
+	// Candidates are consumed in ascending projected distance (the order
+	// the incremental NN search of Algorithm 1 would return them in), so
+	// Theorem 2 lets us test Condition B on every candidate using the
+	// projected distance the range search already computed — no extra disk
+	// reads, one threshold comparison per point. Condition B's test
+	// Ψm(dis²/denom) ≥ p is evaluated as dis² ≥ Ψm⁻¹(p)·denom.
+	chiThreshold := stats.ChiSquareInvCDF(ix.m, ix.opts.P)
+	top := newTopK(k)
+	// Recently inserted points are evaluated exactly up front (no disk
+	// I/O); their inner products can only tighten the conditions below.
+	ix.scanDelta(q, top)
+	qbuf := make([]float32, ix.d)
+	// verify reads the candidate's original vector, updates the top-k and
+	// returns the terminating condition ("A", "B" or "").
+	verify := func(c idistance.Candidate) (string, error) {
+		if !ix.live(c.ID) {
+			return "", nil // tombstoned by Delete
+		}
+		o, err := ix.orig.Vector(c.ID, qbuf)
+		if err != nil {
+			return "", err
+		}
+		st.Candidates++
+		top.offer(c.ID, vec.Dot(o, q))
+		ipK, full := top.kth()
+		if !full {
+			return "", nil
+		}
+		denom := ix.conditionBDenominator(normQSq, ipK)
+		if denom <= 0 {
+			return "A", nil // Condition A (Formula 1) holds
+		}
+		if c.Dist*c.Dist >= chiThreshold*denom {
+			return "B", nil // Condition B (Formula 2) holds
+		}
+		return "", nil
+	}
+
+	cands, err := ix.idist.RangeSearch(pq, r)
+	if err != nil {
+		return nil, st, err
+	}
+	for _, c := range cands {
+		cond, err := verify(c)
+		if err != nil {
+			return nil, st, err
+		}
+		if cond != "" {
+			st.TerminatedBy = cond
+			st.PageAccesses = ix.pageMisses()
+			return top.results, st, nil
+		}
+	}
+
+	// Range exhausted: test Condition B with the scanned radius (every
+	// unseen point projects farther than r, so Ψm(r²/denom) ≥ p bounds the
+	// miss probability by 1−p).
+	ipK, full := top.kth()
+	if full {
+		denom := ix.conditionBDenominator(normQSq, ipK)
+		if denom <= 0 {
+			st.TerminatedBy = "A"
+			st.PageAccesses = ix.pageMisses()
+			return top.results, st, nil
+		}
+		if stats.ChiSquareCDF(ix.m, r*r/denom) >= ix.opts.P {
+			st.TerminatedBy = "B"
+			st.PageAccesses = ix.pageMisses()
+			return top.results, st, nil
+		}
+	}
+
+	// Compensation: extend the range to r' (Algorithm 3 line 15). When
+	// fewer than k candidates were found the guarantee needs a full scan,
+	// so r' falls back to infinity.
+	rExt := math.Inf(1)
+	if full {
+		denom := ix.conditionBDenominator(normQSq, ipK)
+		rExt = math.Sqrt(stats.ChiSquareInvCDF(ix.m, ix.opts.P) * denom)
+	}
+	st.ExtendedRadius = rExt
+
+	var extCands []idistance.Candidate
+	err = ix.idist.Search(pq, r, rExt, func(c idistance.Candidate) bool {
+		extCands = append(extCands, c)
+		return true
+	})
+	if err != nil {
+		return nil, st, err
+	}
+	sort.Slice(extCands, func(i, j int) bool { return extCands[i].Dist < extCands[j].Dist })
+	for _, c := range extCands {
+		cond, err := verify(c)
+		if err != nil {
+			return nil, st, err
+		}
+		if cond != "" {
+			st.TerminatedBy = cond
+			st.PageAccesses = ix.pageMisses()
+			return top.results, st, nil
+		}
+	}
+	st.TerminatedBy = "exhausted"
+	st.PageAccesses = ix.pageMisses()
+	return top.results, st, nil
+}
+
+// quickProbe implements Algorithm 2: rank the sign-code groups by their
+// Theorem-3 lower bound, return the first group whose cheapest member
+// passes Test A — Ψm(LB²/(c·(‖o‖₁+‖q‖₁)²)) ≥ p — or, failing that, the
+// member with the largest recorded test value.
+func (ix *Index) quickProbe(pq []float32, norm1Q float64, st *SearchStats) uint32 {
+	codeQ := randproj.Code(pq)
+	type ranked struct {
+		lb float64
+		gi int
+	}
+	order := make([]ranked, len(ix.groups))
+	for i, g := range ix.groups {
+		order[i] = ranked{lb: randproj.GroupLowerBound(g.code, codeQ, pq), gi: i}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].lb < order[j].lb })
+
+	threshold := stats.ChiSquareInvCDF(ix.m, ix.opts.P)
+	bestVal := -1.0
+	bestID := ix.groups[order[0].gi].minID
+	for _, rk := range order {
+		st.GroupsProbed++
+		g := ix.groups[rk.gi]
+		ub := randproj.DistUpperBound(g.minNorm1, norm1Q)
+		if ub <= 0 {
+			// Query and point are both the origin: any range works.
+			return g.minID
+		}
+		val := rk.lb * rk.lb / (ix.opts.C * ub * ub)
+		if val >= threshold { // equivalent to Ψm(val) ≥ p, cheaper than the CDF
+			return g.minID
+		}
+		if val > bestVal {
+			bestVal, bestID = val, g.minID
+		}
+	}
+	return bestID
+}
+
+// SearchIncremental runs Algorithm 1 (MIP-Search-I): an incremental NN scan
+// in the projected space, testing Conditions A and B on every returned
+// point. It is kept for the ablation study of Quick-Probe's benefit; the
+// results carry the same probability guarantee.
+func (ix *Index) SearchIncremental(q []float32, k int) ([]Result, SearchStats, error) {
+	if len(q) != ix.d {
+		return nil, SearchStats{}, fmt.Errorf("core: query dim %d, want %d", len(q), ix.d)
+	}
+	if k <= 0 {
+		return nil, SearchStats{}, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if live := ix.LiveCount(); k > live {
+		k = live
+	}
+	if k == 0 {
+		return nil, SearchStats{}, fmt.Errorf("core: index has no live points")
+	}
+	ix.resetIO()
+	var st SearchStats
+
+	pq := ix.proj.Project(q)
+	normQSq := vec.Norm2Sq(q)
+	top := newTopK(k)
+	ix.scanDelta(q, top)
+	buf := make([]float32, ix.d)
+
+	it := ix.idist.NewIterator(pq)
+	for {
+		c, ok := it.Next()
+		if !ok {
+			if err := it.Err(); err != nil {
+				return nil, st, err
+			}
+			st.TerminatedBy = "exhausted"
+			break
+		}
+		if !ix.live(c.ID) {
+			continue
+		}
+		o, err := ix.orig.Vector(c.ID, buf)
+		if err != nil {
+			return nil, st, err
+		}
+		st.Candidates++
+		top.offer(c.ID, vec.Dot(o, q))
+		ipK, full := top.kth()
+		if !full {
+			continue
+		}
+		if ix.conditionA(normQSq, ipK) {
+			st.TerminatedBy = "A"
+			break
+		}
+		denom := ix.conditionBDenominator(normQSq, ipK)
+		if denom > 0 && stats.ChiSquareCDF(ix.m, c.Dist*c.Dist/denom) >= ix.opts.P {
+			st.TerminatedBy = "B"
+			break
+		}
+	}
+	st.PageAccesses = ix.pageMisses()
+	return top.results, st, nil
+}
+
+// Exact scans the whole dataset through the store and returns the true
+// top-k MIP points. It is the ground truth used by the overall-ratio and
+// recall metrics and by tests of the probability guarantee.
+func (ix *Index) Exact(q []float32, k int) ([]Result, error) {
+	if len(q) != ix.d {
+		return nil, fmt.Errorf("core: query dim %d, want %d", len(q), ix.d)
+	}
+	if live := ix.LiveCount(); k > live {
+		k = live
+	}
+	top := newTopK(k)
+	ix.scanDelta(q, top)
+	buf := make([]float32, ix.d)
+	for pos := 0; pos < ix.n; pos++ {
+		// VectorAt walks layout order; recover the id from the layout.
+		id := ix.idist.Layout()[pos]
+		if !ix.live(id) {
+			continue
+		}
+		o, err := ix.orig.VectorAt(pos, buf)
+		if err != nil {
+			return nil, err
+		}
+		top.offer(id, vec.Dot(o, q))
+	}
+	return top.results, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"promips/internal/vec"
+)
+
+// Dynamic updates. The paper motivates the lightweight index with
+// frequently-updated workloads ("in commonly used mobile devices or IoT
+// devices, a huge amount of data will be frequently inserted or deleted in
+// a short time", §I): a single B+-tree is cheap to maintain where hundreds
+// of hash tables are not. This file adds the update path:
+//
+//   - Insert appends to an in-memory delta region that every query scans
+//     exactly (the delta holds recent points, so the scan is small); the
+//     probabilistic machinery is untouched because exact evaluation of the
+//     delta can only improve the returned inner products.
+//   - Delete tombstones a point. Tombstoned points are filtered from
+//     candidate evaluation. If the deleted point was the max-norm point
+//     oM, the stale (larger) ‖oM‖² keeps Conditions A and B conservative,
+//     so the guarantee still holds.
+//   - Compact folds delta and tombstones into a fresh index once the delta
+//     grows past a threshold.
+
+// deltaEntry is one inserted point not yet folded into the disk index.
+type deltaEntry struct {
+	id  uint32
+	v   []float32
+	ip2 float64 // ‖v‖²
+}
+
+// Insert adds a point and returns its id. The point lives in the delta
+// region until Compact is called.
+func (ix *Index) Insert(v []float32) (uint32, error) {
+	if len(v) != ix.d {
+		return 0, fmt.Errorf("core: insert dim %d, want %d", len(v), ix.d)
+	}
+	id := uint32(ix.n + len(ix.delta))
+	n2 := vec.Norm2Sq(v)
+	ix.delta = append(ix.delta, deltaEntry{id: id, v: vec.Clone(v), ip2: n2})
+	if n2 > ix.maxNorm2Sq {
+		// A new max-norm point tightens nothing but must be respected:
+		// Condition A's proof requires ‖oM‖ to bound every live norm.
+		ix.maxNorm2Sq = n2
+	}
+	return id, nil
+}
+
+// Delete tombstones the point with the given id (from the base index or
+// the delta). It reports whether the id was live.
+func (ix *Index) Delete(id uint32) bool {
+	if int(id) >= ix.n+len(ix.delta) {
+		return false
+	}
+	if ix.deleted == nil {
+		ix.deleted = make(map[uint32]bool)
+	}
+	if ix.deleted[id] {
+		return false
+	}
+	ix.deleted[id] = true
+	return true
+}
+
+// LiveCount returns the number of live (non-tombstoned) points.
+func (ix *Index) LiveCount() int { return ix.n + len(ix.delta) - len(ix.deleted) }
+
+// DeltaCount returns the number of points awaiting compaction.
+func (ix *Index) DeltaCount() int { return len(ix.delta) }
+
+// scanDelta offers every live delta point to the accumulator (exact
+// evaluation; no disk I/O).
+func (ix *Index) scanDelta(q []float32, top *topK) {
+	for _, e := range ix.delta {
+		if ix.deleted[e.id] {
+			continue
+		}
+		top.offer(e.id, vec.Dot(e.v, q))
+	}
+}
+
+// live reports whether a base-index candidate id should be considered.
+func (ix *Index) live(id uint32) bool {
+	return len(ix.deleted) == 0 || !ix.deleted[id]
+}
+
+// Compact rebuilds the index in dir, folding in the delta and dropping
+// tombstoned points. Ids are reassigned densely (0..LiveCount-1) in the
+// order base-index survivors first, then delta survivors; the mapping from
+// new id to the previous id is returned so callers can relocate external
+// references.
+func (ix *Index) Compact(dir string) (*Index, []uint32, error) {
+	liveData := make([][]float32, 0, ix.LiveCount())
+	oldIDs := make([]uint32, 0, ix.LiveCount())
+	buf := make([]float32, ix.d)
+	for pos := 0; pos < ix.n; pos++ {
+		id := ix.idist.Layout()[pos]
+		if !ix.live(id) {
+			continue
+		}
+		o, err := ix.orig.VectorAt(pos, buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		liveData = append(liveData, vec.Clone(o))
+		oldIDs = append(oldIDs, id)
+	}
+	for _, e := range ix.delta {
+		if ix.deleted[e.id] {
+			continue
+		}
+		liveData = append(liveData, e.v)
+		oldIDs = append(oldIDs, e.id)
+	}
+	if len(liveData) == 0 {
+		return nil, nil, fmt.Errorf("core: compacting an empty index")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	next, err := Build(liveData, dir, ix.opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return next, oldIDs, nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"promips/internal/vec"
+)
+
+func TestInsertVisibleImmediately(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	data := randData(r, 500, 12)
+	ix := buildIndex(t, data, Options{Seed: 42, M: 5})
+
+	q := randData(r, 1, 12)[0]
+	// Insert a point that dominates every inner product with q.
+	big := vec.Scale(q, 10)
+	id, err := ix.Insert(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 500 {
+		t.Fatalf("inserted id = %d, want 500", id)
+	}
+	res, _, err := ix.Search(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != id {
+		t.Fatalf("dominant inserted point not returned: got %d", res[0].ID)
+	}
+	if ix.LiveCount() != 501 || ix.DeltaCount() != 1 {
+		t.Fatalf("counts = %d live, %d delta", ix.LiveCount(), ix.DeltaCount())
+	}
+}
+
+func TestInsertDimMismatch(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	ix := buildIndex(t, randData(r, 100, 8), Options{Seed: 44, M: 4})
+	if _, err := ix.Insert(make([]float32, 7)); err == nil {
+		t.Fatal("expected dim mismatch error")
+	}
+}
+
+func TestDeleteExcludesFromResults(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	data := randData(r, 400, 10)
+	ix := buildIndex(t, data, Options{Seed: 46, M: 4})
+	q := randData(r, 1, 10)[0]
+	res, _, err := ix.Search(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := res[0].ID
+	if !ix.Delete(top) {
+		t.Fatal("delete of live id returned false")
+	}
+	if ix.Delete(top) {
+		t.Fatal("double delete returned true")
+	}
+	if ix.Delete(9999) {
+		t.Fatal("delete of unknown id returned true")
+	}
+	res2, _, err := ix.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range res2 {
+		if rr.ID == top {
+			t.Fatal("deleted point still returned")
+		}
+	}
+	// Exact must agree.
+	ex, err := ix.Exact(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rr := range ex {
+		if rr.ID == top {
+			t.Fatal("deleted point returned by Exact")
+		}
+	}
+}
+
+func TestDeleteInsertedPoint(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	data := randData(r, 200, 8)
+	ix := buildIndex(t, data, Options{Seed: 48, M: 4})
+	q := randData(r, 1, 8)[0]
+	id, _ := ix.Insert(vec.Scale(q, 10))
+	if !ix.Delete(id) {
+		t.Fatal("delete of delta point failed")
+	}
+	res, _, err := ix.Search(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID == id {
+		t.Fatal("deleted delta point still returned")
+	}
+}
+
+func TestGuaranteeHoldsUnderChurn(t *testing.T) {
+	r := rand.New(rand.NewSource(49))
+	data := randData(r, 800, 12)
+	ix := buildIndex(t, data, Options{Seed: 50, C: 0.9, P: 0.9, M: 5})
+	// Churn: delete 100 random points, insert 150 fresh ones.
+	for i := 0; i < 100; i++ {
+		ix.Delete(uint32(r.Intn(800)))
+	}
+	fresh := randData(r, 150, 12)
+	for _, v := range fresh {
+		if _, err := ix.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ok, trials := 0, 25
+	for trial := 0; trial < trials; trial++ {
+		q := randData(r, 1, 12)[0]
+		res, _, err := ix.Search(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, err := ix.Exact(q, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ex[0].IP <= 0 || res[0].IP >= 0.9*ex[0].IP {
+			ok++
+		}
+	}
+	if frac := float64(ok) / float64(trials); frac < 0.8 {
+		t.Fatalf("guarantee under churn: success rate %.2f", frac)
+	}
+}
+
+func TestCompact(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	data := randData(r, 300, 10)
+	ix := buildIndex(t, data, Options{Seed: 52, M: 4})
+	q := randData(r, 1, 10)[0]
+
+	ix.Delete(5)
+	ix.Delete(7)
+	insID, _ := ix.Insert(vec.Scale(q, 8))
+
+	before, err := ix.Exact(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	next, oldIDs, err := ix.Compact(filepath.Join(t.TempDir(), "compacted"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer next.Close()
+	if next.Len() != 299 { // 300 − 2 deleted + 1 inserted
+		t.Fatalf("compacted size = %d, want 299", next.Len())
+	}
+	if len(oldIDs) != 299 {
+		t.Fatalf("old-id mapping has %d entries", len(oldIDs))
+	}
+	// The dominant inserted point must survive compaction under some new id.
+	after, err := next.Exact(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before[0].IP != after[0].IP {
+		t.Fatalf("top IP changed across compaction: %v vs %v", before[0].IP, after[0].IP)
+	}
+	if oldIDs[after[0].ID] != insID {
+		t.Fatalf("old-id mapping broken: new %d -> old %d, want %d", after[0].ID, oldIDs[after[0].ID], insID)
+	}
+	// Deleted points must be gone.
+	for _, old := range oldIDs {
+		if old == 5 || old == 7 {
+			t.Fatal("deleted id survived compaction")
+		}
+	}
+}
+
+func TestCompactEmptyFails(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	data := randData(r, 10, 6)
+	ix := buildIndex(t, data, Options{Seed: 54, M: 4})
+	for id := uint32(0); id < 10; id++ {
+		ix.Delete(id)
+	}
+	if _, _, err := ix.Compact(t.TempDir()); err == nil {
+		t.Fatal("expected error compacting fully-deleted index")
+	}
+	if _, _, err := ix.Search(randData(r, 1, 6)[0], 1); err == nil {
+		t.Fatal("expected error searching fully-deleted index")
+	}
+}

@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"math"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"promips/internal/vec"
+)
+
+func TestSpecsComplete(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 4 {
+		t.Fatalf("want 4 datasets, got %d", len(specs))
+	}
+	wantNames := []string{"Netflix", "Yahoo", "P53", "Sift"}
+	for i, s := range specs {
+		if s.Name != wantNames[i] {
+			t.Fatalf("spec %d = %q, want %q", i, s.Name, wantNames[i])
+		}
+		if s.FullN <= 0 || s.D <= 0 || s.DefaultN <= 0 || s.PageSize <= 0 || s.M <= 0 {
+			t.Fatalf("spec %q has zero fields: %+v", s.Name, s)
+		}
+		// A vector must fit on one page (the paper's page-size rule).
+		if 4*s.D > s.PageSize {
+			t.Fatalf("spec %q: vector (%dB) exceeds page (%dB)", s.Name, 4*s.D, s.PageSize)
+		}
+	}
+}
+
+func TestTableIIISizes(t *testing.T) {
+	// Paper Table III: n and d of the four datasets.
+	cases := map[string][2]int{
+		"Netflix": {17770, 300},
+		"Yahoo":   {624961, 300},
+		"P53":     {31420, 5408},
+		"Sift":    {11164866, 128},
+	}
+	for name, nd := range cases {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.FullN != nd[0] || s.FullD != nd[1] {
+			t.Fatalf("%s full size = (%d,%d), want %v", name, s.FullN, s.FullD, nd)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("MovieLens"); err == nil {
+		t.Fatal("expected error for unknown dataset")
+	}
+}
+
+func TestGenerateDeterministicAndSized(t *testing.T) {
+	for _, s := range Specs() {
+		a := s.Generate(200, 7)
+		b := s.Generate(200, 7)
+		c := s.Generate(200, 8)
+		if len(a) != 200 || len(a[0]) != s.D {
+			t.Fatalf("%s: generated %dx%d", s.Name, len(a), len(a[0]))
+		}
+		same := true
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("%s: same seed differs", s.Name)
+				}
+				if a[i][j] != c[i][j] {
+					same = false
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s: different seeds identical", s.Name)
+		}
+	}
+}
+
+func TestQueriesDisjointStream(t *testing.T) {
+	s := Netflix()
+	data := s.Generate(100, 3)
+	qs := s.Queries(100, 3)
+	same := true
+	for i := range qs {
+		for j := range qs[i] {
+			if qs[i][j] != data[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("queries replicate the data stream")
+	}
+	if len(qs) != 100 || len(qs[0]) != s.D {
+		t.Fatalf("queries shape %dx%d", len(qs), len(qs[0]))
+	}
+}
+
+func TestNetflixNormSkew(t *testing.T) {
+	data := Netflix().Generate(3000, 5)
+	norms := make([]float64, len(data))
+	for i, v := range data {
+		norms[i] = vec.Norm2(v)
+	}
+	sort.Float64s(norms)
+	median := norms[len(norms)/2]
+	p99 := norms[len(norms)*99/100]
+	// MF-factor norms are skewed: the 99th percentile should sit clearly
+	// above the median (this is what H2-ALSH/Range-LSH partitioning keys
+	// on), but not by the orders of magnitude that would make norm bounds
+	// vacuous.
+	if p99 < 1.2*median || p99 > 5*median {
+		t.Fatalf("norm distribution out of band: median %.3f p99 %.3f", median, p99)
+	}
+}
+
+func TestSiftNonNegativeQuantized(t *testing.T) {
+	data := Sift().Generate(500, 6)
+	for _, v := range data {
+		for _, x := range v {
+			if x < 0 || x > 255 {
+				t.Fatalf("sift coordinate %v out of [0,255]", x)
+			}
+			if x != float32(math.Floor(float64(x))) {
+				t.Fatalf("sift coordinate %v not integral", x)
+			}
+		}
+	}
+}
+
+func TestP53Sparsity(t *testing.T) {
+	data := P53().Generate(200, 9)
+	zero, total := 0, 0
+	for _, v := range data {
+		for _, x := range v {
+			if x == 0 {
+				zero++
+			}
+			total++
+		}
+	}
+	if frac := float64(zero) / float64(total); frac < 0.5 {
+		t.Fatalf("P53 should be mostly sparse, zero fraction %.2f", frac)
+	}
+}
+
+func TestWriteReadFileRoundTrip(t *testing.T) {
+	data := Netflix().Generate(50, 11)
+	path := filepath.Join(t.TempDir(), "nf.pds")
+	if err := WriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatalf("read %d of %d points", len(got), len(data))
+	}
+	for i := range data {
+		for j := range data[i] {
+			if got[i][j] != data[i][j] {
+				t.Fatalf("mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestReadFileErrors(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if err := WriteFile(filepath.Join(t.TempDir(), "e"), nil); err == nil {
+		t.Fatal("expected error writing empty dataset")
+	}
+}

@@ -1,0 +1,85 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// File format used by cmd/datagen: a little-endian header (magic, n, d)
+// followed by n·d float32 values — a simplified fvecs.
+const fileMagic = uint32(0x50445331) // "PDS1"
+
+// WriteFile stores vectors at path.
+func WriteFile(path string, data [][]float32) error {
+	if len(data) == 0 {
+		return fmt.Errorf("dataset: refusing to write empty dataset")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr, fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(data)))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(data[0])))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	for i, v := range data {
+		if len(v) != len(data[0]) {
+			return fmt.Errorf("dataset: point %d has dim %d, want %d", i, len(v), len(data[0]))
+		}
+		for _, x := range v {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(x))
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadFile loads vectors written by WriteFile.
+func ReadFile(path string) ([][]float32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("dataset: short header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr) != fileMagic {
+		return nil, fmt.Errorf("dataset: bad magic in %s", path)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	d := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if n <= 0 || d <= 0 || n > 1<<28 || d > 1<<20 {
+		return nil, fmt.Errorf("dataset: implausible header n=%d d=%d", n, d)
+	}
+	data := make([][]float32, n)
+	row := make([]byte, 4*d)
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, row); err != nil {
+			return nil, fmt.Errorf("dataset: truncated at point %d: %w", i, err)
+		}
+		v := make([]float32, d)
+		for j := 0; j < d; j++ {
+			v[j] = math.Float32frombits(binary.LittleEndian.Uint32(row[4*j:]))
+		}
+		data[i] = v
+	}
+	return data, nil
+}

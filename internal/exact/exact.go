@@ -1,0 +1,98 @@
+// Package exact provides ground-truth MIP search by linear scan, plus a
+// cache of exact top-k answers for a query set — the denominators of the
+// overall-ratio and recall metrics in the paper's evaluation.
+package exact
+
+import (
+	"sort"
+
+	"promips/internal/mips"
+	"promips/internal/vec"
+)
+
+// TopK returns the exact k maximum-inner-product points of q in data,
+// best first. Ties keep the lower id first.
+func TopK(data [][]float32, q []float32, k int) []mips.Result {
+	if k > len(data) {
+		k = len(data)
+	}
+	if k <= 0 {
+		return nil
+	}
+	all := make([]mips.Result, len(data))
+	for i, o := range data {
+		all[i] = mips.Result{ID: uint32(i), IP: vec.Dot(o, q)}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].IP != all[j].IP {
+			return all[i].IP > all[j].IP
+		}
+		return all[i].ID < all[j].ID
+	})
+	return all[:k]
+}
+
+// GroundTruth holds exact answers for a fixed query set.
+type GroundTruth struct {
+	K       int
+	Queries int
+	TopK    [][]mips.Result // per query, exact top-K
+}
+
+// Compute builds the ground truth for all queries at the given k.
+func Compute(data [][]float32, queries [][]float32, k int) *GroundTruth {
+	gt := &GroundTruth{K: k, Queries: len(queries), TopK: make([][]mips.Result, len(queries))}
+	for i, q := range queries {
+		gt.TopK[i] = TopK(data, q, k)
+	}
+	return gt
+}
+
+// OverallRatio is the paper's accuracy metric: (1/k)·Σ ⟨oi,q⟩/⟨o*i,q⟩ for
+// one query's returned list against the exact list. Non-positive exact
+// inner products contribute 1 (the ratio is undefined there; the paper's
+// datasets keep them positive).
+func (gt *GroundTruth) OverallRatio(query int, returned []mips.Result) float64 {
+	ex := gt.TopK[query]
+	k := len(ex)
+	if k == 0 {
+		return 1
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		if i >= len(returned) || ex[i].IP <= 0 {
+			sum++
+			continue
+		}
+		r := returned[i].IP / ex[i].IP
+		if r > 1 {
+			r = 1
+		}
+		sum += r
+	}
+	return sum / float64(k)
+}
+
+// Recall is t/k: the fraction of returned points that belong to the exact
+// top-k set.
+func (gt *GroundTruth) Recall(query int, returned []mips.Result) float64 {
+	ex := gt.TopK[query]
+	k := len(ex)
+	if k == 0 {
+		return 1
+	}
+	exSet := make(map[uint32]bool, k)
+	for _, r := range ex {
+		exSet[r.ID] = true
+	}
+	t := 0
+	for i, r := range returned {
+		if i >= k {
+			break
+		}
+		if exSet[r.ID] {
+			t++
+		}
+	}
+	return float64(t) / float64(k)
+}

@@ -1,0 +1,125 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"promips/internal/mips"
+	"promips/internal/vec"
+)
+
+func randData(r *rand.Rand, n, d int) [][]float32 {
+	data := make([][]float32, n)
+	for i := range data {
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+	return data
+}
+
+func TestTopKBasic(t *testing.T) {
+	data := [][]float32{{1, 0}, {0, 1}, {2, 0}, {-1, 0}}
+	q := []float32{1, 0}
+	got := TopK(data, q, 2)
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 0 {
+		t.Fatalf("TopK = %+v", got)
+	}
+	if got[0].IP != 2 || got[1].IP != 1 {
+		t.Fatalf("IPs = %v %v", got[0].IP, got[1].IP)
+	}
+}
+
+func TestTopKEdges(t *testing.T) {
+	data := [][]float32{{1}, {2}}
+	if got := TopK(data, []float32{1}, 0); got != nil {
+		t.Fatalf("k=0 should return nil, got %v", got)
+	}
+	if got := TopK(data, []float32{1}, 10); len(got) != 2 {
+		t.Fatalf("k>n returned %d", len(got))
+	}
+	if got := TopK(nil, []float32{1}, 3); len(got) != 0 {
+		t.Fatalf("empty data returned %d", len(got))
+	}
+}
+
+func TestTopKTieBreaksByID(t *testing.T) {
+	data := [][]float32{{1, 0}, {1, 0}, {1, 0}}
+	got := TopK(data, []float32{1, 0}, 3)
+	for i, r := range got {
+		if r.ID != uint32(i) {
+			t.Fatalf("tie order = %+v", got)
+		}
+	}
+}
+
+func TestOverallRatioAndRecall(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	data := randData(r, 200, 8)
+	queries := randData(r, 5, 8)
+	gt := Compute(data, queries, 10)
+	for qi := range queries {
+		// Perfect answers: ratio 1, recall 1.
+		if ratio := gt.OverallRatio(qi, gt.TopK[qi]); ratio < 0.999 {
+			t.Fatalf("perfect ratio = %v", ratio)
+		}
+		if rec := gt.Recall(qi, gt.TopK[qi]); rec != 1 {
+			t.Fatalf("perfect recall = %v", rec)
+		}
+		// Garbage answers: low recall.
+		garbage := make([]mips.Result, 10)
+		for i := range garbage {
+			id := uint32(100 + i)
+			garbage[i] = mips.Result{ID: id, IP: vec.Dot(data[id], queries[qi])}
+		}
+		if rec := gt.Recall(qi, garbage); rec > 0.5 {
+			t.Fatalf("garbage recall = %v", rec)
+		}
+	}
+}
+
+func TestOverallRatioShortList(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	data := randData(r, 50, 4)
+	queries := randData(r, 1, 4)
+	gt := Compute(data, queries, 10)
+	// Returning only 3 of 10 results penalizes the ratio (missing entries
+	// count as ratio 1 only when the exact IP is non-positive).
+	short := gt.TopK[0][:3]
+	ratio := gt.OverallRatio(0, short)
+	if ratio <= 0 || ratio > 1 {
+		t.Fatalf("short-list ratio = %v", ratio)
+	}
+}
+
+// Property: TopK returns results in non-increasing IP order and each IP
+// matches a direct dot product.
+func TestPropertyTopKSortedAndConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(100)
+		d := 1 + r.Intn(10)
+		data := randData(r, n, d)
+		q := randData(r, 1, d)[0]
+		k := 1 + r.Intn(n)
+		got := TopK(data, q, k)
+		if len(got) != k {
+			return false
+		}
+		for i, res := range got {
+			if res.IP != vec.Dot(data[res.ID], q) {
+				return false
+			}
+			if i > 0 && got[i-1].IP < res.IP {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

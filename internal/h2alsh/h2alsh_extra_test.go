@@ -1,0 +1,80 @@
+package h2alsh
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// An all-zero dataset exercises the zero-max-norm partition path: no QALSH
+// index is built and any k points are exact answers (every IP is 0).
+func TestAllZeroDataset(t *testing.T) {
+	data := make([][]float32, 50)
+	for i := range data {
+		data[i] = make([]float32, 8)
+	}
+	ix := build(t, data, Config{Seed: 21, PageSize: 512})
+	if ix.Partitions() != 1 {
+		t.Fatalf("zero data should form one partition, got %d", ix.Partitions())
+	}
+	got, _, err := ix.Search([]float32{1, 0, 0, 0, 0, 0, 0, 0}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("returned %d results", len(got))
+	}
+	for _, g := range got {
+		if g.IP != 0 {
+			t.Fatalf("zero data gave IP %v", g.IP)
+		}
+	}
+}
+
+// A dataset with a zero-norm tail: the tiny-norm points merge into the
+// last interval; every point must still be searchable.
+func TestZeroNormTail(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	data := randData(r, 300, 8)
+	for i := 250; i < 300; i++ {
+		for j := range data[i] {
+			data[i][j] = 0
+		}
+	}
+	ix := build(t, data, Config{Seed: 24, PageSize: 512})
+	total := 0
+	for _, p := range ix.parts {
+		total += len(p.ids)
+	}
+	if total != 300 {
+		t.Fatalf("partitions cover %d of 300", total)
+	}
+	q := randData(r, 1, 8)[0]
+	got, _, err := ix.Search(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("returned %d results", len(got))
+	}
+}
+
+func TestKLargerThanN(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	data := randData(r, 30, 6)
+	ix := build(t, data, Config{Seed: 26, PageSize: 512})
+	got, _, err := ix.Search(randData(r, 1, 6)[0], 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("k>n returned %d results, want 30", len(got))
+	}
+}
+
+func TestName(t *testing.T) {
+	r := rand.New(rand.NewSource(27))
+	ix := build(t, randData(r, 20, 4), Config{Seed: 28, PageSize: 512})
+	if ix.Name() != "H2-ALSH" {
+		t.Fatalf("Name = %q", ix.Name())
+	}
+}

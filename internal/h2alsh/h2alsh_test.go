@@ -1,0 +1,157 @@
+package h2alsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"promips/internal/exact"
+)
+
+func randData(r *rand.Rand, n, d int) [][]float32 {
+	data := make([][]float32, n)
+	for i := range data {
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		// Skew norms so the homocentric partition has work to do.
+		scale := float32(0.2 + 3*r.Float64()*r.Float64())
+		for j := range v {
+			v[j] *= scale
+		}
+		data[i] = v
+	}
+	return data
+}
+
+func build(t testing.TB, data [][]float32, cfg Config) *Index {
+	t.Helper()
+	ix, err := Build(data, t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	return ix
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if _, err := Build(nil, t.TempDir(), Config{}); err == nil {
+		t.Fatal("expected error for empty data")
+	}
+}
+
+func TestPartitioningCoversAllPoints(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	data := randData(r, 1200, 12)
+	ix := build(t, data, Config{Seed: 2, PageSize: 1024})
+	if ix.Partitions() < 2 {
+		t.Fatalf("norm-skewed data should give >= 2 partitions, got %d", ix.Partitions())
+	}
+	total := 0
+	prevMax := 1e18
+	for _, p := range ix.parts {
+		total += len(p.ids)
+		if p.maxNorm > prevMax {
+			t.Fatal("partitions not in descending max-norm order")
+		}
+		prevMax = p.maxNorm
+		for _, id := range p.ids {
+			if ix.norms[id] > p.maxNorm+1e-9 {
+				t.Fatalf("point %d exceeds its partition's max norm", id)
+			}
+		}
+	}
+	if total != 1200 {
+		t.Fatalf("partitions cover %d of 1200 points", total)
+	}
+}
+
+func TestSearchQuality(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	data := randData(r, 2000, 16)
+	ix := build(t, data, Config{Seed: 4, PageSize: 1024})
+	var ratioSum float64
+	const queries = 15
+	for trial := 0; trial < queries; trial++ {
+		q := randData(r, 1, 16)[0]
+		got, st, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) == 0 {
+			t.Fatal("no results")
+		}
+		if st.PageAccesses == 0 || st.Candidates == 0 {
+			t.Fatalf("stats empty: %+v", st)
+		}
+		gt := exact.TopK(data, q, 10)
+		for i := range got {
+			if i < len(gt) && gt[i].IP > 0 {
+				ratioSum += got[i].IP / gt[i].IP
+			} else {
+				ratioSum++
+			}
+		}
+	}
+	avg := ratioSum / float64(queries*10)
+	if avg < 0.85 {
+		t.Fatalf("H2-ALSH overall ratio %.3f too low", avg)
+	}
+}
+
+func TestSearchZeroQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	data := randData(r, 200, 8)
+	ix := build(t, data, Config{Seed: 6, PageSize: 512})
+	got, _, err := ix.Search(make([]float32, 8), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("zero query returned %d results", len(got))
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	data := randData(r, 100, 8)
+	ix := build(t, data, Config{Seed: 8, PageSize: 512})
+	if _, _, err := ix.Search(make([]float32, 7), 1); err == nil {
+		t.Fatal("expected dim mismatch error")
+	}
+	if _, _, err := ix.Search(make([]float32, 8), 0); err == nil {
+		t.Fatal("expected k error")
+	}
+}
+
+func TestIndexSizeGrowsWithTables(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	data := randData(r, 600, 10)
+	small := build(t, data, Config{Seed: 10, MaxTables: 8, PageSize: 512})
+	large := build(t, data, Config{Seed: 10, MaxTables: 64, PageSize: 512})
+	if large.IndexSizeBytes() <= small.IndexSizeBytes() {
+		t.Fatalf("more tables should mean a bigger index: %d vs %d",
+			large.IndexSizeBytes(), small.IndexSizeBytes())
+	}
+}
+
+func TestEarlyTerminationByNorm(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	// One dominant-norm cluster and a mass of tiny-norm points: the scan
+	// should stop after the first partition for most queries.
+	data := randData(r, 1500, 12)
+	for i := 100; i < 1500; i++ {
+		for j := range data[i] {
+			data[i][j] *= 0.01
+		}
+	}
+	ix := build(t, data, Config{Seed: 12, PageSize: 1024})
+	q := randData(r, 1, 12)[0]
+	_, st, err := ix.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Candidates > 600 {
+		t.Fatalf("norm pruning ineffective: %d candidates verified", st.Candidates)
+	}
+}

@@ -1,0 +1,394 @@
+// Package idistance implements the iDistance index (Jagadish et al., TODS
+// 2005) with the new partition pattern of the ProMIPS paper (§VI):
+//
+//  1. the projected space is divided into kp k-means partitions with
+//     reference points O₁..O_kp;
+//  2. each partition is sliced into rings of width ε around its reference
+//     point; a point's B+-tree key is I(p) = ⌊i·C + dis(p,Oi)/ε⌋;
+//  3. the points of each ring are further clustered into ksp
+//     sub-partitions (pivot + radius), stored contiguously on disk pages,
+//     so a range query can skip whole sub-partitions whose sphere does not
+//     intersect the query sphere and read the surviving ones sequentially.
+//
+// The only index structure is a single B+-tree mapping ring keys to the
+// ring's sub-partition directory — the "lightweight index" the paper
+// contrasts with multi-table LSH.
+package idistance
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"path/filepath"
+	"sort"
+
+	"promips/internal/btree"
+	"promips/internal/kmeans"
+	"promips/internal/pager"
+	"promips/internal/vec"
+)
+
+// Config controls index construction. The defaults mirror the paper's
+// §VIII-A-4 settings.
+type Config struct {
+	Kp       int     // number of top-level partitions (paper default 5)
+	Nkey     int     // target rings per partition (paper default 40)
+	Ksp      int     // sub-partitions per ring (paper default 10)
+	Epsilon  float64 // ring width; 0 = r_avg/Nkey from the first-stage clustering
+	Seed     int64
+	PageSize int
+	PoolSize int
+}
+
+func (c *Config) normalize() {
+	if c.Kp <= 0 {
+		c.Kp = 5
+	}
+	if c.Nkey <= 0 {
+		c.Nkey = 40
+	}
+	if c.Ksp <= 0 {
+		c.Ksp = 10
+	}
+	if c.PageSize <= 0 {
+		c.PageSize = pager.DefaultPageSize
+	}
+}
+
+// subPartition is one sphere of points stored contiguously on data pages.
+// Sub-partitions of the same ring are packed back to back (a ring starts on
+// a fresh page; its sub-partitions may share boundary pages), so startSlot
+// locates the first entry within its page.
+type subPartition struct {
+	center    []float32
+	radius    float64
+	startPage int64
+	startSlot int
+	numPoints int
+}
+
+// Index is a built iDistance index over n m-dimensional points.
+type Index struct {
+	cfg     Config
+	m, n    int
+	centers [][]float32
+	radii   []float64
+	epsilon float64
+	stride  int64 // C in I(p) = ⌊i·C + dis(p,Oi)/ε⌋
+	maxDist float64
+
+	data *pager.Pager
+	btPg *pager.Pager
+	tree *btree.Tree
+
+	entriesPerPage int
+	locPage        []int64 // id -> data page holding its projected entry
+	locSlot        []int32 // id -> slot within that page
+	layout         []uint32
+}
+
+// Candidate is a point reported by a range or incremental search, with its
+// Euclidean distance to the query in the projected space.
+type Candidate struct {
+	ID   uint32
+	Dist float64
+}
+
+// Build constructs the index over the projected points in dir. Point i's id
+// is uint32(i).
+func Build(projected [][]float32, dir string, cfg Config) (*Index, error) {
+	cfg.normalize()
+	n := len(projected)
+	if n == 0 {
+		return nil, fmt.Errorf("idistance: empty dataset")
+	}
+	m := len(projected[0])
+	entrySize := 4 + vec.EncodedSize(m)
+	if entrySize > cfg.PageSize {
+		return nil, fmt.Errorf("idistance: entry of %d bytes exceeds page size %d", entrySize, cfg.PageSize)
+	}
+
+	// Stage 1: kp-means over the projected points.
+	res := kmeans.Run(projected, kmeans.Config{K: cfg.Kp, Seed: cfg.Seed})
+	kp := len(res.Centroids)
+
+	// Ring width ε from the average first-stage radius (§VI).
+	eps := cfg.Epsilon
+	if eps <= 0 {
+		var avg float64
+		for _, r := range res.Radii {
+			avg += r
+		}
+		avg /= float64(kp)
+		eps = avg / float64(cfg.Nkey)
+		if eps <= 0 {
+			eps = 1 // degenerate data (all points identical)
+		}
+	}
+
+	// Ring assignment and the key stride C (large enough that partitions
+	// never share keys).
+	ringOf := make([]int, n)
+	maxRing := 0
+	for i, p := range projected {
+		r := int(vec.L2Dist(p, res.Centroids[res.Assign[i]]) / eps)
+		ringOf[i] = r
+		if r > maxRing {
+			maxRing = r
+		}
+	}
+	stride := int64(maxRing + 2)
+
+	// Group ids by (partition, ring).
+	rings := make(map[int64][]uint32)
+	for i := 0; i < n; i++ {
+		key := int64(res.Assign[i])*stride + int64(ringOf[i])
+		rings[key] = append(rings[key], uint32(i))
+	}
+	keys := make([]int64, 0, len(rings))
+	for k := range rings {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	opts := pager.Options{PageSize: cfg.PageSize, PoolSize: cfg.PoolSize}
+	data, err := pager.Create(filepath.Join(dir, "idist.data"), opts)
+	if err != nil {
+		return nil, err
+	}
+	btPg, err := pager.Create(filepath.Join(dir, "idist.btree"), opts)
+	if err != nil {
+		data.Close()
+		return nil, err
+	}
+	tree, err := btree.Create(btPg)
+	if err != nil {
+		data.Close()
+		btPg.Close()
+		return nil, err
+	}
+
+	idx := &Index{
+		cfg: cfg, m: m, n: n,
+		centers: res.Centroids, radii: res.Radii,
+		epsilon: eps, stride: stride,
+		data: data, btPg: btPg, tree: tree,
+		entriesPerPage: cfg.PageSize / entrySize,
+		locPage:        make([]int64, n),
+		locSlot:        make([]int32, n),
+		layout:         make([]uint32, 0, n),
+	}
+	for i := range idx.locPage {
+		idx.locPage[i] = -1
+	}
+
+	// Stage 2: per-ring ksp-means, contiguous page layout, B+-tree entry.
+	for _, key := range keys {
+		ids := rings[key]
+		pts := make([][]float32, len(ids))
+		for j, id := range ids {
+			pts[j] = projected[id]
+		}
+		sres := kmeans.Run(pts, kmeans.Config{K: cfg.Ksp, Seed: cfg.Seed + key})
+		subs := make([]subPartition, len(sres.Centroids))
+		for s := range subs {
+			subs[s] = subPartition{center: sres.Centroids[s], radius: sres.Radii[s]}
+		}
+		// Collect member ids per sub-partition in stable order.
+		members := make([][]uint32, len(subs))
+		for j, id := range ids {
+			s := sres.Assign[j]
+			members[s] = append(members[s], id)
+		}
+		// Pack the ring's sub-partitions back to back starting on a fresh
+		// page; record each sub-partition's (page, slot) start.
+		rw := idx.newRingWriter()
+		for s := range subs {
+			if len(members[s]) == 0 {
+				continue
+			}
+			page, slot, err := rw.writeSub(members[s], projected)
+			if err != nil {
+				idx.closeAll()
+				return nil, err
+			}
+			subs[s].startPage = page
+			subs[s].startSlot = slot
+			subs[s].numPoints = len(members[s])
+		}
+		if err := rw.flush(); err != nil {
+			idx.closeAll()
+			return nil, err
+		}
+		if err := tree.Insert(key, encodeSubs(subs, m)); err != nil {
+			idx.closeAll()
+			return nil, err
+		}
+	}
+
+	// The farthest point of any partition bounds every meaningful radius.
+	for p := range res.Radii {
+		if res.Radii[p] > idx.maxDist {
+			idx.maxDist = res.Radii[p]
+		}
+	}
+	if err := data.Sync(); err != nil {
+		idx.closeAll()
+		return nil, err
+	}
+	if err := btPg.Sync(); err != nil {
+		idx.closeAll()
+		return nil, err
+	}
+	return idx, nil
+}
+
+// ringWriter packs one ring's sub-partition entries onto contiguous pages.
+type ringWriter struct {
+	idx  *Index
+	page []byte
+	cur  int64
+	slot int
+}
+
+func (idx *Index) newRingWriter() *ringWriter {
+	return &ringWriter{idx: idx, page: make([]byte, idx.cfg.PageSize), cur: -1}
+}
+
+// writeSub appends one sub-partition's entries and returns the (page, slot)
+// of its first entry.
+func (rw *ringWriter) writeSub(ids []uint32, projected [][]float32) (int64, int, error) {
+	idx := rw.idx
+	entrySize := 4 + vec.EncodedSize(idx.m)
+	firstPage, firstSlot := int64(-1), 0
+	for _, id := range ids {
+		if rw.cur < 0 || rw.slot == idx.entriesPerPage {
+			if err := rw.flush(); err != nil {
+				return 0, 0, err
+			}
+			pid, err := idx.data.Alloc()
+			if err != nil {
+				return 0, 0, err
+			}
+			rw.cur, rw.slot = pid, 0
+			for i := range rw.page {
+				rw.page[i] = 0
+			}
+		}
+		if firstPage < 0 {
+			firstPage, firstSlot = rw.cur, rw.slot
+		}
+		off := rw.slot * entrySize
+		binary.LittleEndian.PutUint32(rw.page[off:], id)
+		vec.Encode(rw.page[off+4:], projected[id])
+		idx.locPage[id] = rw.cur
+		idx.locSlot[id] = int32(rw.slot)
+		idx.layout = append(idx.layout, id)
+		rw.slot++
+	}
+	return firstPage, firstSlot, nil
+}
+
+// flush writes the current partially filled page, keeping it current so
+// the next sub-partition continues on the same page.
+func (rw *ringWriter) flush() error {
+	if rw.cur < 0 {
+		return nil
+	}
+	return rw.idx.data.Write(rw.cur, rw.page)
+}
+
+func (idx *Index) closeAll() {
+	idx.data.Close()
+	idx.btPg.Close()
+}
+
+// Close releases the underlying page files.
+func (idx *Index) Close() error {
+	if err := idx.data.Close(); err != nil {
+		idx.btPg.Close()
+		return err
+	}
+	return idx.btPg.Close()
+}
+
+// M returns the projected dimensionality.
+func (idx *Index) M() int { return idx.m }
+
+// Len returns the number of indexed points.
+func (idx *Index) Len() int { return idx.n }
+
+// Epsilon returns the ring width in use.
+func (idx *Index) Epsilon() float64 { return idx.epsilon }
+
+// Layout returns point ids in on-disk order (sub-partition by
+// sub-partition). The original-vector store is laid out in this order so
+// that verification I/O is sequential, as §VI prescribes.
+func (idx *Index) Layout() []uint32 { return idx.layout }
+
+// IndexSizeBytes returns the on-disk size of the B+-tree (the index proper).
+func (idx *Index) IndexSizeBytes() int64 { return idx.btPg.SizeBytes() }
+
+// DataSizeBytes returns the on-disk size of the projected-point pages.
+func (idx *Index) DataSizeBytes() int64 { return idx.data.SizeBytes() }
+
+// Pagers returns the pagers touched by searches, for I/O accounting.
+func (idx *Index) Pagers() []*pager.Pager { return []*pager.Pager{idx.data, idx.btPg} }
+
+// Projected reads one point's projected vector from disk (the single fetch
+// Quick-Probe performs to turn the located point into a search radius).
+func (idx *Index) Projected(id uint32, dst []float32) ([]float32, error) {
+	if int(id) >= idx.n || idx.locPage[id] < 0 {
+		return nil, fmt.Errorf("idistance: id %d not indexed", id)
+	}
+	page, err := idx.data.Read(idx.locPage[id])
+	if err != nil {
+		return nil, err
+	}
+	entrySize := 4 + vec.EncodedSize(idx.m)
+	off := int(idx.locSlot[id]) * entrySize
+	return vec.Decode(page[off+4:], idx.m, dst), nil
+}
+
+// encodeSubs serializes a ring's sub-partition directory:
+// count uint32, then per sub-partition: startPage int64, startSlot uint32,
+// numPoints uint32, radius float64, center m×float32.
+func encodeSubs(subs []subPartition, m int) []byte {
+	live := 0
+	for _, s := range subs {
+		if s.numPoints > 0 {
+			live++
+		}
+	}
+	buf := make([]byte, 4+live*(8+4+4+8+vec.EncodedSize(m)))
+	binary.LittleEndian.PutUint32(buf, uint32(live))
+	off := 4
+	for _, s := range subs {
+		if s.numPoints == 0 {
+			continue
+		}
+		binary.LittleEndian.PutUint64(buf[off:], uint64(s.startPage))
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(s.startSlot))
+		binary.LittleEndian.PutUint32(buf[off+12:], uint32(s.numPoints))
+		binary.LittleEndian.PutUint64(buf[off+16:], math.Float64bits(s.radius))
+		off += 24
+		off += vec.Encode(buf[off:], s.center)
+	}
+	return buf
+}
+
+func decodeSubs(buf []byte, m int) []subPartition {
+	count := int(binary.LittleEndian.Uint32(buf))
+	subs := make([]subPartition, count)
+	off := 4
+	for i := 0; i < count; i++ {
+		subs[i].startPage = int64(binary.LittleEndian.Uint64(buf[off:]))
+		subs[i].startSlot = int(binary.LittleEndian.Uint32(buf[off+8:]))
+		subs[i].numPoints = int(binary.LittleEndian.Uint32(buf[off+12:]))
+		subs[i].radius = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:]))
+		off += 24
+		subs[i].center = vec.Decode(buf[off:], m, nil)
+		off += vec.EncodedSize(m)
+	}
+	return subs
+}

@@ -1,0 +1,332 @@
+package idistance
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"promips/internal/vec"
+)
+
+func randPoints(r *rand.Rand, n, m int, scale float64) [][]float32 {
+	pts := make([][]float32, n)
+	for i := range pts {
+		p := make([]float32, m)
+		for j := range p {
+			p[j] = float32(r.NormFloat64() * scale)
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func buildTestIndex(t testing.TB, pts [][]float32, cfg Config) *Index {
+	t.Helper()
+	idx, err := Build(pts, t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { idx.Close() })
+	return idx
+}
+
+// bruteRange returns ids within radius r of q, by linear scan.
+func bruteRange(pts [][]float32, q []float32, r float64) map[uint32]float64 {
+	out := make(map[uint32]float64)
+	for i, p := range pts {
+		if d := vec.L2Dist(p, q); d <= r {
+			out[uint32(i)] = d
+		}
+	}
+	return out
+}
+
+func TestBuildEmpty(t *testing.T) {
+	if _, err := Build(nil, t.TempDir(), Config{}); err == nil {
+		t.Fatal("expected error for empty dataset")
+	}
+}
+
+func TestBuildEntryTooLarge(t *testing.T) {
+	pts := randPoints(rand.New(rand.NewSource(1)), 10, 100, 1)
+	if _, err := Build(pts, t.TempDir(), Config{PageSize: 256}); err == nil {
+		t.Fatal("expected error: 100-dim entry exceeds 256B page")
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := randPoints(r, 3000, 6, 10)
+	idx := buildTestIndex(t, pts, Config{Kp: 5, Nkey: 20, Ksp: 8, Seed: 3, PageSize: 512})
+	for trial := 0; trial < 20; trial++ {
+		q := randPoints(r, 1, 6, 10)[0]
+		radius := 2 + r.Float64()*20
+		want := bruteRange(pts, q, radius)
+		got, err := idx.RangeSearch(q, radius)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: range search found %d, brute force %d (r=%.2f)", trial, len(got), len(want), radius)
+		}
+		for _, c := range got {
+			wd, ok := want[c.ID]
+			if !ok {
+				t.Fatalf("trial %d: spurious candidate %d at %.3f", trial, c.ID, c.Dist)
+			}
+			if diff := c.Dist - wd; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("trial %d: distance mismatch for %d: %v vs %v", trial, c.ID, c.Dist, wd)
+			}
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Dist < got[j].Dist }) {
+			t.Fatal("RangeSearch results not sorted")
+		}
+	}
+}
+
+func TestAnnulusSearchExcludesInnerBall(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	pts := randPoints(r, 2000, 5, 10)
+	idx := buildTestIndex(t, pts, Config{Seed: 5, PageSize: 512})
+	q := randPoints(r, 1, 5, 10)[0]
+	rLo, rHi := 8.0, 16.0
+	seen := make(map[uint32]bool)
+	err := idx.Search(q, rLo, rHi, func(c Candidate) bool {
+		if c.Dist <= rLo || c.Dist > rHi {
+			t.Fatalf("candidate %d at %.3f outside annulus (%v,%v]", c.ID, c.Dist, rLo, rHi)
+		}
+		seen[c.ID] = true
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		d := vec.L2Dist(p, q)
+		if d > rLo && d <= rHi && !seen[uint32(i)] {
+			t.Fatalf("missed point %d at distance %.3f", i, d)
+		}
+	}
+}
+
+func TestSearchEarlyStop(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	pts := randPoints(r, 500, 4, 5)
+	idx := buildTestIndex(t, pts, Config{Seed: 7, PageSize: 512})
+	count := 0
+	idx.Search(pts[0], -1, 1e9, func(c Candidate) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d, want 10", count)
+	}
+}
+
+func TestIteratorReturnsAscendingOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	pts := randPoints(r, 1500, 6, 10)
+	idx := buildTestIndex(t, pts, Config{Seed: 9, PageSize: 512})
+	q := randPoints(r, 1, 6, 10)[0]
+	it := idx.NewIterator(q)
+	var dists []float64
+	seen := make(map[uint32]bool)
+	for {
+		c, ok := it.Next()
+		if !ok {
+			break
+		}
+		if seen[c.ID] {
+			t.Fatalf("iterator yielded %d twice", c.ID)
+		}
+		seen[c.ID] = true
+		dists = append(dists, c.Dist)
+	}
+	if it.Err() != nil {
+		t.Fatal(it.Err())
+	}
+	if len(dists) != len(pts) {
+		t.Fatalf("iterator yielded %d of %d points", len(dists), len(pts))
+	}
+	if !sort.Float64sAreSorted(dists) {
+		t.Fatal("iterator distances not ascending")
+	}
+}
+
+func TestIteratorMatchesExactNNOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	pts := randPoints(r, 800, 5, 8)
+	idx := buildTestIndex(t, pts, Config{Seed: 11, PageSize: 512})
+	q := randPoints(r, 1, 5, 8)[0]
+
+	type nn struct {
+		id uint32
+		d  float64
+	}
+	exact := make([]nn, len(pts))
+	for i, p := range pts {
+		exact[i] = nn{uint32(i), vec.L2Dist(p, q)}
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i].d < exact[j].d })
+
+	it := idx.NewIterator(q)
+	for k := 0; k < 50; k++ {
+		c, ok := it.Next()
+		if !ok {
+			t.Fatalf("iterator exhausted at %d", k)
+		}
+		// Compare distances, not ids (ties may reorder).
+		if diff := c.Dist - exact[k].d; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("NN %d: iterator dist %.6f, exact %.6f", k, c.Dist, exact[k].d)
+		}
+	}
+}
+
+func TestIteratorFindsExactDuplicateOfQuery(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	pts := randPoints(r, 300, 4, 5)
+	q := vec.Clone(pts[42])
+	idx := buildTestIndex(t, pts, Config{Seed: 13, PageSize: 512})
+	it := idx.NewIterator(q)
+	c, ok := it.Next()
+	if !ok {
+		t.Fatal("iterator empty")
+	}
+	if c.Dist > 1e-6 {
+		t.Fatalf("first NN at distance %v, want 0 (duplicate of query)", c.Dist)
+	}
+}
+
+func TestProjectedFetch(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	pts := randPoints(r, 400, 6, 10)
+	idx := buildTestIndex(t, pts, Config{Seed: 15, PageSize: 512})
+	for _, id := range []uint32{0, 7, 399} {
+		got, err := idx.Projected(id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if got[j] != pts[id][j] {
+				t.Fatalf("Projected(%d) differs at %d", id, j)
+			}
+		}
+	}
+	if _, err := idx.Projected(400, nil); err == nil {
+		t.Fatal("expected error for out-of-range id")
+	}
+}
+
+func TestLayoutIsPermutation(t *testing.T) {
+	r := rand.New(rand.NewSource(16))
+	pts := randPoints(r, 700, 5, 10)
+	idx := buildTestIndex(t, pts, Config{Seed: 17, PageSize: 512})
+	layout := idx.Layout()
+	if len(layout) != len(pts) {
+		t.Fatalf("layout has %d entries, want %d", len(layout), len(pts))
+	}
+	seen := make(map[uint32]bool, len(layout))
+	for _, id := range layout {
+		if seen[id] {
+			t.Fatalf("id %d appears twice in layout", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSinglePointIndex(t *testing.T) {
+	pts := [][]float32{{1, 2, 3}}
+	idx := buildTestIndex(t, pts, Config{Seed: 18, PageSize: 512})
+	got, err := idx.RangeSearch([]float32{1, 2, 3}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("RangeSearch on singleton = %v", got)
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	pts := make([][]float32, 50)
+	for i := range pts {
+		pts[i] = []float32{7, 7}
+	}
+	idx := buildTestIndex(t, pts, Config{Seed: 19, PageSize: 512})
+	got, err := idx.RangeSearch([]float32{7, 7}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("found %d of 50 identical points", len(got))
+	}
+}
+
+func TestPageAccessAccounting(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	pts := randPoints(r, 3000, 6, 10)
+	idx := buildTestIndex(t, pts, Config{Seed: 21, PageSize: 512, PoolSize: 4096})
+	q := randPoints(r, 1, 6, 10)[0]
+	for _, pg := range idx.Pagers() {
+		pg.DropPool()
+		pg.ResetStats()
+	}
+	if _, err := idx.RangeSearch(q, 5); err != nil {
+		t.Fatal(err)
+	}
+	var small, large int64
+	for _, pg := range idx.Pagers() {
+		small += pg.Stats().Misses
+	}
+	for _, pg := range idx.Pagers() {
+		pg.DropPool()
+		pg.ResetStats()
+	}
+	if _, err := idx.RangeSearch(q, 30); err != nil {
+		t.Fatal(err)
+	}
+	for _, pg := range idx.Pagers() {
+		large += pg.Stats().Misses
+	}
+	if small <= 0 || large <= small {
+		t.Fatalf("page accesses should grow with radius: small=%d large=%d", small, large)
+	}
+	total := idx.data.NumPages() + idx.btPg.NumPages()
+	if large > total {
+		t.Fatalf("page misses %d exceed total pages %d", large, total)
+	}
+}
+
+// Property: for random data, radius and query, the range search equals
+// brute force exactly.
+func TestPropertyRangeSearchComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 200 + r.Intn(400)
+		m := 3 + r.Intn(5)
+		pts := randPoints(r, n, m, 5)
+		dir := t.TempDir()
+		idx, err := Build(pts, dir, Config{Kp: 1 + r.Intn(4), Nkey: 5 + r.Intn(30),
+			Ksp: 1 + r.Intn(8), Seed: seed, PageSize: 512})
+		if err != nil {
+			return false
+		}
+		defer idx.Close()
+		q := randPoints(r, 1, m, 5)[0]
+		radius := r.Float64() * 15
+		want := bruteRange(pts, q, radius)
+		got, err := idx.RangeSearch(q, radius)
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for _, c := range got {
+			if _, ok := want[c.ID]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,84 @@
+package idistance
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"promips/internal/btree"
+	"promips/internal/pager"
+)
+
+// meta is the gob-serialized in-memory state of an Index; the bulk data
+// (projected entries, B+-tree nodes) already lives in the page files.
+type meta struct {
+	Cfg            Config
+	M, N           int
+	Centers        [][]float32
+	Radii          []float64
+	Epsilon        float64
+	Stride         int64
+	MaxDist        float64
+	EntriesPerPage int
+	LocPage        []int64
+	LocSlot        []int32
+	Layout         []uint32
+}
+
+// Save persists the index metadata next to its page files in dir.
+func (idx *Index) Save(dir string) error {
+	f, err := os.Create(filepath.Join(dir, "idist.meta"))
+	if err != nil {
+		return fmt.Errorf("idistance: save meta: %w", err)
+	}
+	defer f.Close()
+	m := meta{
+		Cfg: idx.cfg, M: idx.m, N: idx.n,
+		Centers: idx.centers, Radii: idx.radii,
+		Epsilon: idx.epsilon, Stride: idx.stride, MaxDist: idx.maxDist,
+		EntriesPerPage: idx.entriesPerPage,
+		LocPage:        idx.locPage, LocSlot: idx.locSlot, Layout: idx.layout,
+	}
+	if err := gob.NewEncoder(f).Encode(&m); err != nil {
+		return fmt.Errorf("idistance: encode meta: %w", err)
+	}
+	return f.Sync()
+}
+
+// Open loads an index previously built in dir (Build followed by Save).
+func Open(dir string) (*Index, error) {
+	f, err := os.Open(filepath.Join(dir, "idist.meta"))
+	if err != nil {
+		return nil, fmt.Errorf("idistance: open meta: %w", err)
+	}
+	defer f.Close()
+	var m meta
+	if err := gob.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("idistance: decode meta: %w", err)
+	}
+	opts := pager.Options{PageSize: m.Cfg.PageSize, PoolSize: m.Cfg.PoolSize}
+	data, err := pager.Open(filepath.Join(dir, "idist.data"), opts)
+	if err != nil {
+		return nil, err
+	}
+	btPg, err := pager.Open(filepath.Join(dir, "idist.btree"), opts)
+	if err != nil {
+		data.Close()
+		return nil, err
+	}
+	tree, err := btree.Open(btPg)
+	if err != nil {
+		data.Close()
+		btPg.Close()
+		return nil, err
+	}
+	return &Index{
+		cfg: m.Cfg, m: m.M, n: m.N,
+		centers: m.Centers, radii: m.Radii,
+		epsilon: m.Epsilon, stride: m.Stride, maxDist: m.MaxDist,
+		data: data, btPg: btPg, tree: tree,
+		entriesPerPage: m.EntriesPerPage,
+		locPage:        m.LocPage, locSlot: m.LocSlot, layout: m.Layout,
+	}, nil
+}

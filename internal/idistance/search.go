@@ -1,0 +1,184 @@
+package idistance
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+
+	"promips/internal/vec"
+)
+
+// Search visits every indexed point whose projected distance d to q
+// satisfies rLo < d ≤ rHi, in disk order (sub-partition by sub-partition;
+// callers sort when they need distance order). Pass rLo < 0 for a plain
+// range search. visit returning false stops the scan early.
+//
+// Filtering follows §VI: partitions whose sphere does not intersect the
+// query sphere are skipped via the B+-tree key range; within a surviving
+// ring, a sub-partition is read only when its (pivot, radius) sphere
+// intersects the query sphere and is not entirely inside the rLo ball.
+func (idx *Index) Search(q []float32, rLo, rHi float64, visit func(Candidate) bool) error {
+	entrySize := 4 + vec.EncodedSize(idx.m)
+	stop := false
+	for p, center := range idx.centers {
+		if stop {
+			return nil
+		}
+		dc := vec.L2Dist(q, center)
+		if dc-rHi > idx.radii[p] {
+			continue // query sphere misses this partition entirely
+		}
+		ringLo := int64(math.Max(0, (dc-rHi)/idx.epsilon))
+		// Clamp before the int64 conversion: rHi may be +Inf (full-scan
+		// fallback) and the float→int conversion of an out-of-range value
+		// is undefined.
+		hiRing := (dc + rHi) / idx.epsilon
+		ringHi := idx.stride - 1
+		if !math.IsInf(hiRing, 1) && hiRing < float64(idx.stride-1) {
+			ringHi = int64(hiRing)
+		}
+		loKey := int64(p)*idx.stride + ringLo
+		hiKey := int64(p)*idx.stride + ringHi
+		err := idx.tree.Scan(loKey, hiKey, func(key int64, val []byte) bool {
+			for _, sub := range decodeSubs(val, idx.m) {
+				ds := vec.L2Dist(q, sub.center)
+				if ds-sub.radius > rHi {
+					continue // sphere outside the query sphere
+				}
+				if rLo >= 0 && ds+sub.radius <= rLo {
+					continue // sphere entirely inside the excluded ball
+				}
+				if !idx.scanSub(sub, q, rLo, rHi, entrySize, visit) {
+					stop = true
+					return false
+				}
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanSub reads a sub-partition's pages sequentially, reporting matching
+// points. The first entry sits at (startPage, startSlot); later entries
+// continue across page boundaries. It returns false when visit stops the
+// scan.
+func (idx *Index) scanSub(sub subPartition, q []float32, rLo, rHi float64, entrySize int, visit func(Candidate) bool) bool {
+	remaining := sub.numPoints
+	slot := sub.startSlot
+	buf := make([]float32, idx.m)
+	for pid := sub.startPage; remaining > 0; pid++ {
+		page, err := idx.data.Read(pid)
+		if err != nil {
+			return false
+		}
+		for ; slot < idx.entriesPerPage && remaining > 0; slot++ {
+			off := slot * entrySize
+			id := binary.LittleEndian.Uint32(page[off:])
+			pt := vec.Decode(page[off+4:], idx.m, buf)
+			d := vec.L2Dist(pt, q)
+			remaining--
+			if d <= rHi && (rLo < 0 || d > rLo) {
+				if !visit(Candidate{ID: id, Dist: d}) {
+					return false
+				}
+			}
+		}
+		slot = 0
+	}
+	return true
+}
+
+// RangeSearch collects every point within distance r of q, sorted by
+// ascending projected distance — the order MIP-Search-II consumes
+// candidates in.
+func (idx *Index) RangeSearch(q []float32, r float64) ([]Candidate, error) {
+	var out []Candidate
+	err := idx.Search(q, -1, r, func(c Candidate) bool {
+		out = append(out, c)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
+	return out, nil
+}
+
+// Iterator yields indexed points in ascending projected distance from a
+// query — the incremental NN search of Algorithm 1 (MIP-Search-I). It
+// expands the search radius ring by ring, buffering and sorting each
+// annulus.
+type Iterator struct {
+	idx     *Index
+	q       []float32
+	r       float64
+	step    float64
+	maxR    float64
+	buf     []Candidate
+	pos     int
+	done    bool
+	lastErr error
+}
+
+// NewIterator starts an incremental NN scan from q. The annulus width
+// defaults to the ring width ε (each expansion round touches at most one
+// new ring per partition).
+func (idx *Index) NewIterator(q []float32) *Iterator {
+	maxR := 0.0
+	for p, c := range idx.centers {
+		if d := vec.L2Dist(q, c) + idx.radii[p]; d > maxR {
+			maxR = d
+		}
+	}
+	step := idx.epsilon
+	if step <= 0 {
+		step = 1
+	}
+	return &Iterator{idx: idx, q: q, step: step, maxR: maxR}
+}
+
+// Next returns the next nearest point, or ok=false when the index is
+// exhausted (or a read failed; see Err).
+func (it *Iterator) Next() (Candidate, bool) {
+	for it.pos >= len(it.buf) {
+		if it.done {
+			return Candidate{}, false
+		}
+		lo := it.r
+		hi := it.r + it.step
+		if lo == 0 {
+			lo = -1 // first annulus is the closed ball [0, step]
+		}
+		// Grow the annulus geometrically when rounds come back empty, so a
+		// query far from all partitions doesn't crawl ε by ε.
+		it.buf = it.buf[:0]
+		it.pos = 0
+		err := it.idx.Search(it.q, lo, hi, func(c Candidate) bool {
+			it.buf = append(it.buf, c)
+			return true
+		})
+		if err != nil {
+			it.lastErr = err
+			it.done = true
+			return Candidate{}, false
+		}
+		sort.Slice(it.buf, func(i, j int) bool { return it.buf[i].Dist < it.buf[j].Dist })
+		it.r = hi
+		if hi > it.maxR {
+			it.done = true
+		}
+		if len(it.buf) == 0 {
+			it.step *= 2
+		}
+	}
+	c := it.buf[it.pos]
+	it.pos++
+	return c, true
+}
+
+// Err reports a read error that terminated the iteration, if any.
+func (it *Iterator) Err() error { return it.lastErr }

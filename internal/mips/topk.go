@@ -1,0 +1,43 @@
+package mips
+
+import (
+	"math"
+	"sort"
+)
+
+// TopK accumulates the k largest-inner-product results seen so far,
+// kept sorted descending. It is shared by the baseline methods.
+type TopK struct {
+	k       int
+	results []Result
+}
+
+// NewTopK returns an accumulator for the best k results.
+func NewTopK(k int) *TopK { return &TopK{k: k, results: make([]Result, 0, k)} }
+
+// Offer inserts (id, ip) when it beats the current k-th best.
+func (t *TopK) Offer(id uint32, ip float64) {
+	if len(t.results) == t.k && ip <= t.results[t.k-1].IP {
+		return
+	}
+	pos := sort.Search(len(t.results), func(i int) bool { return t.results[i].IP < ip })
+	t.results = append(t.results, Result{})
+	copy(t.results[pos+1:], t.results[pos:])
+	t.results[pos] = Result{ID: id, IP: ip}
+	if len(t.results) > t.k {
+		t.results = t.results[:t.k]
+	}
+}
+
+// Kth returns the current k-th best inner product; full is false while
+// fewer than k results are held (and the value is -Inf).
+func (t *TopK) Kth() (ip float64, full bool) {
+	if len(t.results) < t.k {
+		return math.Inf(-1), false
+	}
+	return t.results[t.k-1].IP, true
+}
+
+// Results returns the collected results, best first. The slice aliases the
+// accumulator; callers must copy to retain it across further Offers.
+func (t *TopK) Results() []Result { return t.results }

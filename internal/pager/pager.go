@@ -1,0 +1,289 @@
+// Package pager provides a file-backed page store with an LRU buffer pool
+// and page-access accounting. Every disk-resident structure in this
+// repository (the iDistance B+-tree, the original-vector store, QALSH's
+// hash tables, Range-LSH's sequential partitions, PQ's inverted lists) does
+// its I/O through a Pager, so the paper's "Page Access" metric is measured
+// identically for every method: one logical access per page touched.
+package pager
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// DefaultPageSize matches the paper's 4KB pages (64KB is used for P53).
+const DefaultPageSize = 4096
+
+// ErrPageOutOfRange is returned when a page id does not exist in the file.
+var ErrPageOutOfRange = errors.New("pager: page id out of range")
+
+// Stats counts I/O activity. Accesses is the paper's Page Access metric:
+// the number of logical page reads issued by the search algorithms.
+// Misses counts buffer-pool misses (pages actually read from the file).
+type Stats struct {
+	Accesses int64
+	Misses   int64
+	Writes   int64
+}
+
+// Sub returns s - t component-wise; callers snapshot Stats around a query to
+// obtain its per-query page accesses.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{Accesses: s.Accesses - t.Accesses, Misses: s.Misses - t.Misses, Writes: s.Writes - t.Writes}
+}
+
+type poolEntry struct {
+	id    int64
+	data  []byte
+	dirty bool
+	elem  *list.Element
+}
+
+// Pager owns one page file. It is safe for concurrent use.
+type Pager struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	numPages int64
+	poolCap  int
+	pool     map[int64]*poolEntry
+	lruList  *list.List // front = most recently used
+	stats    Stats
+}
+
+// Options configures a Pager.
+type Options struct {
+	PageSize int // 0 means DefaultPageSize
+	PoolSize int // buffer pool capacity in pages; 0 means 1024
+}
+
+func (o *Options) normalize() {
+	if o.PageSize <= 0 {
+		o.PageSize = DefaultPageSize
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 1024
+	}
+}
+
+// Create makes (or truncates) the page file at path.
+func Create(path string, opts Options) (*Pager, error) {
+	opts.normalize()
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: create %s: %w", path, err)
+	}
+	return newPager(f, opts, 0), nil
+}
+
+// Open opens an existing page file. The file length must be a multiple of
+// the page size.
+func Open(path string, opts Options) (*Pager, error) {
+	opts.normalize()
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pager: open %s: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: stat %s: %w", path, err)
+	}
+	if fi.Size()%int64(opts.PageSize) != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pager: %s length %d is not a multiple of page size %d", path, fi.Size(), opts.PageSize)
+	}
+	return newPager(f, opts, fi.Size()/int64(opts.PageSize)), nil
+}
+
+func newPager(f *os.File, opts Options, numPages int64) *Pager {
+	return &Pager{
+		f:        f,
+		pageSize: opts.PageSize,
+		numPages: numPages,
+		poolCap:  opts.PoolSize,
+		pool:     make(map[int64]*poolEntry),
+		lruList:  list.New(),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (p *Pager) PageSize() int { return p.pageSize }
+
+// NumPages returns the number of allocated pages.
+func (p *Pager) NumPages() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.numPages
+}
+
+// SizeBytes returns the on-disk size of the page file.
+func (p *Pager) SizeBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.numPages * int64(p.pageSize)
+}
+
+// Stats returns a snapshot of the I/O counters.
+func (p *Pager) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// ResetStats zeroes the I/O counters.
+func (p *Pager) ResetStats() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats = Stats{}
+}
+
+// Alloc appends a zeroed page and returns its id.
+func (p *Pager) Alloc() (int64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	id := p.numPages
+	p.numPages++
+	e := &poolEntry{id: id, data: make([]byte, p.pageSize), dirty: true}
+	p.insertLocked(e)
+	return id, nil
+}
+
+// Read returns the content of page id. The returned slice aliases the buffer
+// pool; callers must treat it as read-only and must not retain it across
+// other Pager calls. Use ReadCopy when a stable copy is needed.
+func (p *Pager) Read(id int64) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readLocked(id)
+}
+
+// ReadCopy returns a private copy of page id.
+func (p *Pager) ReadCopy(id int64, dst []byte) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	data, err := p.readLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if cap(dst) < p.pageSize {
+		dst = make([]byte, p.pageSize)
+	}
+	dst = dst[:p.pageSize]
+	copy(dst, data)
+	return dst, nil
+}
+
+func (p *Pager) readLocked(id int64) ([]byte, error) {
+	if id < 0 || id >= p.numPages {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, p.numPages)
+	}
+	p.stats.Accesses++
+	if e, ok := p.pool[id]; ok {
+		p.lruList.MoveToFront(e.elem)
+		return e.data, nil
+	}
+	p.stats.Misses++
+	data := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(data, id*int64(p.pageSize)); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	e := &poolEntry{id: id, data: data}
+	p.insertLocked(e)
+	return data, nil
+}
+
+// Write replaces the content of page id. data must be exactly one page.
+func (p *Pager) Write(id int64, data []byte) error {
+	if len(data) != p.pageSize {
+		return fmt.Errorf("pager: write of %d bytes, want %d", len(data), p.pageSize)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id < 0 || id >= p.numPages {
+		return fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, p.numPages)
+	}
+	p.stats.Writes++
+	if e, ok := p.pool[id]; ok {
+		copy(e.data, data)
+		e.dirty = true
+		p.lruList.MoveToFront(e.elem)
+		return nil
+	}
+	e := &poolEntry{id: id, data: append([]byte(nil), data...), dirty: true}
+	p.insertLocked(e)
+	return nil
+}
+
+// insertLocked adds e to the pool, evicting (and flushing) the LRU entry
+// when at capacity.
+func (p *Pager) insertLocked(e *poolEntry) {
+	for len(p.pool) >= p.poolCap {
+		tail := p.lruList.Back()
+		if tail == nil {
+			break
+		}
+		victim := tail.Value.(*poolEntry)
+		if victim.dirty {
+			p.flushLocked(victim)
+		}
+		p.lruList.Remove(tail)
+		delete(p.pool, victim.id)
+	}
+	e.elem = p.lruList.PushFront(e)
+	p.pool[e.id] = e
+}
+
+func (p *Pager) flushLocked(e *poolEntry) {
+	// A write failure here would mean the backing file is gone; every later
+	// Sync/Close reports it, so the eviction path panics rather than losing
+	// a dirty page silently.
+	if _, err := p.f.WriteAt(e.data, e.id*int64(p.pageSize)); err != nil {
+		panic(fmt.Sprintf("pager: flush page %d: %v", e.id, err))
+	}
+	e.dirty = false
+}
+
+// Sync flushes all dirty pages to the file.
+func (p *Pager) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.pool {
+		if e.dirty {
+			if _, err := p.f.WriteAt(e.data, e.id*int64(p.pageSize)); err != nil {
+				return fmt.Errorf("pager: sync page %d: %w", e.id, err)
+			}
+			e.dirty = false
+		}
+	}
+	return p.f.Sync()
+}
+
+// DropPool flushes and empties the buffer pool, so subsequent reads count as
+// misses. Benchmarks call this between queries to model a cold cache.
+func (p *Pager) DropPool() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.pool {
+		if e.dirty {
+			if _, err := p.f.WriteAt(e.data, e.id*int64(p.pageSize)); err != nil {
+				return fmt.Errorf("pager: flush page %d: %w", e.id, err)
+			}
+		}
+	}
+	p.pool = make(map[int64]*poolEntry)
+	p.lruList.Init()
+	return nil
+}
+
+// Close flushes and closes the page file.
+func (p *Pager) Close() error {
+	if err := p.Sync(); err != nil {
+		p.f.Close()
+		return err
+	}
+	return p.f.Close()
+}

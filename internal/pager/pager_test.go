@@ -1,0 +1,295 @@
+package pager
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestPager(t *testing.T, opts Options) *Pager {
+	t.Helper()
+	p, err := Create(filepath.Join(t.TempDir(), "pages.db"), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestAllocReadWriteRoundTrip(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 128})
+	id, err := p.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAB}, 128)
+	if err := p.Write(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read back different data")
+	}
+}
+
+func TestAllocReturnsZeroedPage(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64})
+	id, _ := p.Alloc()
+	got, err := p.Read(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("fresh page not zeroed")
+		}
+	}
+}
+
+func TestReadOutOfRange(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64})
+	if _, err := p.Read(0); err == nil {
+		t.Fatal("expected error reading unallocated page")
+	}
+	if _, err := p.Read(-1); err == nil {
+		t.Fatal("expected error reading negative page id")
+	}
+	if err := p.Write(5, make([]byte, 64)); err == nil {
+		t.Fatal("expected error writing unallocated page")
+	}
+}
+
+func TestWriteWrongSize(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64})
+	id, _ := p.Alloc()
+	if err := p.Write(id, make([]byte, 63)); err == nil {
+		t.Fatal("expected error for short write")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.db")
+	p, err := Create(path, Options{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[int64][]byte)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 20; i++ {
+		id, _ := p.Alloc()
+		data := make([]byte, 256)
+		r.Read(data)
+		if err := p.Write(id, data); err != nil {
+			t.Fatal(err)
+		}
+		want[id] = data
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := Open(path, Options{PageSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	if q.NumPages() != 20 {
+		t.Fatalf("NumPages after reopen = %d, want 20", q.NumPages())
+	}
+	for id, data := range want {
+		got, err := q.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("page %d differs after reopen", id)
+		}
+	}
+}
+
+func TestOpenRejectsBadLength(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pages.db")
+	p, _ := Create(path, Options{PageSize: 100})
+	p.Alloc()
+	p.Close()
+	if _, err := Open(path, Options{PageSize: 64}); err == nil {
+		t.Fatal("expected error for mismatched page size")
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64, PoolSize: 4})
+	var ids []int64
+	for i := 0; i < 10; i++ {
+		id, _ := p.Alloc()
+		ids = append(ids, id)
+	}
+	if err := p.DropPool(); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStats()
+	for _, id := range ids {
+		if _, err := p.Read(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.Accesses != 10 {
+		t.Fatalf("Accesses = %d, want 10", s.Accesses)
+	}
+	if s.Misses != 10 {
+		t.Fatalf("Misses = %d, want 10 (cold pool of size 4)", s.Misses)
+	}
+	// Re-reading the last 4 pages hits the pool: accesses grow, misses don't.
+	for _, id := range ids[6:] {
+		p.Read(id)
+	}
+	s2 := p.Stats()
+	if s2.Accesses != 14 {
+		t.Fatalf("Accesses = %d, want 14", s2.Accesses)
+	}
+	if s2.Misses != 10 {
+		t.Fatalf("Misses = %d, want 10 (hits in pool)", s2.Misses)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Accesses: 10, Misses: 4, Writes: 2}
+	b := Stats{Accesses: 7, Misses: 1, Writes: 2}
+	d := a.Sub(b)
+	if d.Accesses != 3 || d.Misses != 3 || d.Writes != 0 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+func TestLRUEvictionPreservesData(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64, PoolSize: 2})
+	r := rand.New(rand.NewSource(8))
+	want := make([][]byte, 16)
+	for i := range want {
+		id, _ := p.Alloc()
+		data := make([]byte, 64)
+		r.Read(data)
+		if err := p.Write(id, data); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = data
+	}
+	// All but 2 pages have been evicted (and flushed). Everything must read
+	// back intact.
+	for i, data := range want {
+		got, err := p.Read(int64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("page %d corrupted by eviction", i)
+		}
+	}
+}
+
+func TestReadCopyIsPrivate(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64})
+	id, _ := p.Alloc()
+	data := bytes.Repeat([]byte{7}, 64)
+	p.Write(id, data)
+	cp, err := p.ReadCopy(id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp[0] = 99
+	got, _ := p.Read(id)
+	if got[0] != 7 {
+		t.Fatal("ReadCopy aliased the pool buffer")
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64, PoolSize: 8})
+	var ids []int64
+	for i := 0; i < 32; i++ {
+		id, _ := p.Alloc()
+		data := make([]byte, 64)
+		data[0] = byte(i)
+		p.Write(id, data)
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ids[(i*7+g)%len(ids)]
+				got, err := p.ReadCopy(id, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got[0] != byte(id) {
+					errs <- bytes.ErrTooLarge // sentinel; message below
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent read failed: %v", err)
+	}
+}
+
+// Property: any sequence of writes followed by reads returns the written
+// data, regardless of pool size (i.e. the pool is transparent).
+func TestPropertyPoolTransparency(t *testing.T) {
+	f := func(seed int64, poolSize uint8) bool {
+		dir := t.TempDir()
+		p, err := Create(filepath.Join(dir, "p.db"), Options{PageSize: 32, PoolSize: int(poolSize%16) + 1})
+		if err != nil {
+			return false
+		}
+		defer p.Close()
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		want := make([][]byte, n)
+		for i := 0; i < n; i++ {
+			id, _ := p.Alloc()
+			data := make([]byte, 32)
+			r.Read(data)
+			if p.Write(id, data) != nil {
+				return false
+			}
+			want[i] = data
+		}
+		// Random overwrite pass.
+		for i := 0; i < n/2; i++ {
+			id := int64(r.Intn(n))
+			data := make([]byte, 32)
+			r.Read(data)
+			if p.Write(id, data) != nil {
+				return false
+			}
+			want[id] = data
+		}
+		for i := 0; i < n; i++ {
+			got, err := p.Read(int64(i))
+			if err != nil || !bytes.Equal(got, want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

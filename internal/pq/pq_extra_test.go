@@ -1,0 +1,136 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+
+	"promips/internal/vec"
+)
+
+// RerankFactor < 0 disables reranking: the pure-ADC path returns
+// quantization-estimated inner products.
+func TestADCOnlyPath(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	data := randData(r, 600, 15)
+	cfg := smallCfg(22)
+	cfg.RerankFactor = -1
+	ix := build(t, data, cfg)
+	if ix.orig != nil {
+		t.Fatal("ADC-only index should not build a rerank store")
+	}
+	q := randData(r, 1, 15)[0]
+	got, st, err := ix.Search(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("returned %d results", len(got))
+	}
+	if st.PageAccesses == 0 {
+		t.Fatal("ADC scan touched no pages")
+	}
+	// ADC estimates correlate with truth: the mean estimated IP of the
+	// top-5 should be positive when the true top-5 mean is clearly positive.
+	var estSum, trueSum float64
+	for _, g := range got {
+		estSum += g.IP
+		trueSum += vec.Dot(data[g.ID], q)
+	}
+	if trueSum > 5 && estSum <= 0 {
+		t.Fatalf("ADC estimates anti-correlated: est %.2f true %.2f", estSum, trueSum)
+	}
+}
+
+func TestRerankImprovesRecall(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	data := randData(r, 1500, 15)
+	adc := smallCfg(24)
+	adc.RerankFactor = -1
+	rer := smallCfg(24)
+	rer.RerankFactor = 8
+	ixADC := build(t, data, adc)
+	ixRer := build(t, data, rer)
+
+	var hitsADC, hitsRer int
+	for trial := 0; trial < 10; trial++ {
+		q := randData(r, 1, 15)[0]
+		gt := make(map[uint32]bool)
+		top := newTopIDs(data, q, 10)
+		for _, id := range top {
+			gt[id] = true
+		}
+		a, _, err := ixADC.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := ixRer.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range a {
+			if gt[g.ID] {
+				hitsADC++
+			}
+		}
+		for _, g := range b {
+			if gt[g.ID] {
+				hitsRer++
+			}
+		}
+	}
+	if hitsRer < hitsADC {
+		t.Fatalf("reranking reduced recall: %d vs %d", hitsRer, hitsADC)
+	}
+}
+
+// newTopIDs is a minimal exact top-k for this test.
+func newTopIDs(data [][]float32, q []float32, k int) []uint32 {
+	type pair struct {
+		id uint32
+		ip float64
+	}
+	best := make([]pair, 0, k+1)
+	for i, o := range data {
+		ip := vec.Dot(o, q)
+		pos := len(best)
+		for pos > 0 && best[pos-1].ip < ip {
+			pos--
+		}
+		if pos < k {
+			best = append(best, pair{})
+			copy(best[pos+1:], best[pos:])
+			best[pos] = pair{uint32(i), ip}
+			if len(best) > k {
+				best = best[:k]
+			}
+		}
+	}
+	out := make([]uint32, len(best))
+	for i, p := range best {
+		out[i] = p.id
+	}
+	return out
+}
+
+func TestHighDimensionalRotationPages(t *testing.T) {
+	// Rotation rows wider than a page must be rejected with a clear error.
+	r := rand.New(rand.NewSource(25))
+	data := randData(r, 50, 300)
+	cfg := smallCfg(26)
+	cfg.PageSize = 512 // padded dim 304 → row 1216B > 512B page
+	if _, err := Build(data, t.TempDir(), cfg); err == nil {
+		t.Fatal("expected rotation-row page-size error")
+	}
+}
+
+func TestCellsDefaultScalesWithN(t *testing.T) {
+	var a, b Config
+	a.normalize(1000)
+	b.normalize(20000)
+	if a.Cells >= b.Cells {
+		t.Fatalf("cells should grow with n: %d vs %d", a.Cells, b.Cells)
+	}
+	if b.Cells > 64 {
+		t.Fatalf("cells cap exceeded: %d", b.Cells)
+	}
+}

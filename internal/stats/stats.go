@@ -1,0 +1,226 @@
+// Package stats implements the probability functions ProMIPS depends on:
+// the chi-square CDF Ψm(x) with m degrees of freedom, its inverse Ψm⁻¹(p),
+// the regularized incomplete gamma function they are built on, and the
+// standard normal CDF used by the LSH baselines' collision-probability
+// formulas. Everything is pure stdlib; the incomplete gamma follows the
+// classic series/continued-fraction split (series for x < a+1, Lentz's
+// continued fraction otherwise).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	gammaEps     = 1e-14
+	gammaMaxIter = 500
+)
+
+// GammaP returns the regularized lower incomplete gamma function
+// P(a, x) = γ(a,x)/Γ(a) for a > 0, x ≥ 0.
+func GammaP(a, x float64) float64 {
+	switch {
+	case a <= 0:
+		panic(fmt.Sprintf("stats: GammaP requires a > 0, got %v", a))
+	case x < 0:
+		panic(fmt.Sprintf("stats: GammaP requires x >= 0, got %v", x))
+	case x == 0:
+		return 0
+	case x < a+1:
+		return gammaPSeries(a, x)
+	default:
+		return 1 - gammaQContinuedFraction(a, x)
+	}
+}
+
+// GammaQ returns the regularized upper incomplete gamma function
+// Q(a, x) = 1 − P(a, x).
+func GammaQ(a, x float64) float64 {
+	switch {
+	case a <= 0:
+		panic(fmt.Sprintf("stats: GammaQ requires a > 0, got %v", a))
+	case x < 0:
+		panic(fmt.Sprintf("stats: GammaQ requires x >= 0, got %v", x))
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gammaPSeries(a, x)
+	default:
+		return gammaQContinuedFraction(a, x)
+	}
+}
+
+// gammaPSeries evaluates P(a,x) by its power series, accurate for x < a+1.
+func gammaPSeries(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for i := 0; i < gammaMaxIter; i++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*gammaEps {
+			break
+		}
+	}
+	v := sum * math.Exp(-x+a*math.Log(x)-lg)
+	// Clamp: the series can overshoot 1 by an ulp for large a.
+	return math.Min(math.Max(v, 0), 1)
+}
+
+// gammaQContinuedFraction evaluates Q(a,x) by Lentz's modified continued
+// fraction, accurate for x ≥ a+1.
+func gammaQContinuedFraction(a, x float64) float64 {
+	lg, _ := math.Lgamma(a)
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= gammaMaxIter; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < gammaEps {
+			break
+		}
+	}
+	v := math.Exp(-x+a*math.Log(x)-lg) * h
+	return math.Min(math.Max(v, 0), 1)
+}
+
+// ChiSquareCDF returns Ψm(x), the CDF of the chi-square distribution with m
+// degrees of freedom evaluated at x. For x ≤ 0 it returns 0. This is the Ψm
+// of the paper's Condition B and Quick-Probe Test A.
+func ChiSquareCDF(m int, x float64) float64 {
+	if m <= 0 {
+		panic(fmt.Sprintf("stats: ChiSquareCDF requires m > 0, got %d", m))
+	}
+	if x <= 0 || math.IsNaN(x) {
+		return 0
+	}
+	if math.IsInf(x, 1) {
+		return 1
+	}
+	return GammaP(float64(m)/2, x/2)
+}
+
+// ChiSquareInvCDF returns Ψm⁻¹(p): the x with Ψm(x) = p, for p in [0,1).
+// It is used to extend the search range to
+// r' = sqrt(Ψm⁻¹(p)·(‖oM‖²+‖q‖²−2⟨omax,q⟩/c)) when Condition B fails after
+// the Quick-Probe range scan. Newton iterations from the Wilson–Hilferty
+// starting point, with bisection fallback, give full double accuracy.
+func ChiSquareInvCDF(m int, p float64) float64 {
+	if m <= 0 {
+		panic(fmt.Sprintf("stats: ChiSquareInvCDF requires m > 0, got %d", m))
+	}
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: ChiSquareInvCDF requires p in [0,1), got %v", p))
+	}
+	if p == 0 {
+		return 0
+	}
+	df := float64(m)
+	// Wilson–Hilferty approximation as the starting point.
+	z := NormalInvCDF(p)
+	t := 1 - 2/(9*df) + z*math.Sqrt(2/(9*df))
+	x := df * t * t * t
+	if x <= 0 {
+		x = 1e-8
+	}
+
+	lo, hi := 0.0, math.Max(4*x, 4*df+100)
+	for ChiSquareCDF(m, hi) < p {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		f := ChiSquareCDF(m, x) - p
+		if math.Abs(f) < 1e-13 {
+			return x
+		}
+		if f > 0 {
+			hi = x
+		} else {
+			lo = x
+		}
+		pdf := chiSquarePDF(df, x)
+		var next float64
+		if pdf > 1e-300 {
+			next = x - f/pdf
+		}
+		if pdf <= 1e-300 || next <= lo || next >= hi {
+			next = (lo + hi) / 2
+		}
+		if math.Abs(next-x) < 1e-13*(1+x) {
+			return next
+		}
+		x = next
+	}
+	return x
+}
+
+func chiSquarePDF(df, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	half := df / 2
+	lg, _ := math.Lgamma(half)
+	return math.Exp((half-1)*math.Log(x) - x/2 - half*math.Ln2 - lg)
+}
+
+// NormalCDF returns Φ(x), the standard normal CDF. The LSH baselines use it
+// for p-stable collision probabilities.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalInvCDF returns Φ⁻¹(p) for p in (0,1) using the Acklam rational
+// approximation refined by one Halley step; accurate to ~1e-15.
+func NormalInvCDF(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: NormalInvCDF requires p in (0,1), got %v", p))
+	}
+	// Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}

@@ -1,0 +1,229 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Reference values computed with scipy.stats.chi2.cdf.
+func TestChiSquareCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		m    int
+		x    float64
+		want float64
+	}{
+		{1, 1, 0.6826894921370859},   // P(|Z|<1)
+		{1, 3.841458820694124, 0.95}, // 95% quantile of chi2(1)
+		{2, 2, 0.6321205588285577},   // 1-exp(-1)
+		{2, 5.991464547107979, 0.95}, // 95% quantile of chi2(2)
+		{4, 4, 0.5939941502901616},
+		{6, 6, 0.5768099188731565},
+		{6, 12.591587243743977, 0.95}, // 95% quantile of chi2(6)
+		{8, 8, 0.5665298796332909},
+		{10, 10, 0.5595067149347875},
+		{10, 18.307038053275146, 0.95}, // 95% quantile of chi2(10)
+		{10, 2, 0.0036598468273437135},
+		{6, 30, 0.999960691551816}, // Erlang closed form 1 − e⁻¹⁵·(1+15+112.5)
+	}
+	for _, c := range cases {
+		got := ChiSquareCDF(c.m, c.x)
+		if math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("ChiSquareCDF(%d, %v) = %.15f, want %.15f", c.m, c.x, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareCDFEdgeCases(t *testing.T) {
+	if got := ChiSquareCDF(5, 0); got != 0 {
+		t.Errorf("CDF at 0 = %v, want 0", got)
+	}
+	if got := ChiSquareCDF(5, -3); got != 0 {
+		t.Errorf("CDF at -3 = %v, want 0", got)
+	}
+	if got := ChiSquareCDF(5, math.Inf(1)); got != 1 {
+		t.Errorf("CDF at +Inf = %v, want 1", got)
+	}
+	if got := ChiSquareCDF(5, math.NaN()); got != 0 {
+		t.Errorf("CDF at NaN = %v, want 0", got)
+	}
+	if got := ChiSquareCDF(5, 1e9); got != 1 {
+		t.Errorf("CDF at 1e9 = %v, want 1", got)
+	}
+}
+
+func TestChiSquareCDFPanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for m=0")
+		}
+	}()
+	ChiSquareCDF(0, 1)
+}
+
+func TestChiSquareInvCDFRoundTrip(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 30, 50} {
+		for _, p := range []float64{0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999} {
+			x := ChiSquareInvCDF(m, p)
+			back := ChiSquareCDF(m, x)
+			if math.Abs(back-p) > 1e-9 {
+				t.Errorf("m=%d p=%v: CDF(InvCDF(p)) = %v", m, p, back)
+			}
+		}
+	}
+}
+
+func TestChiSquareInvCDFKnownQuantiles(t *testing.T) {
+	// scipy.stats.chi2.ppf reference values.
+	cases := []struct {
+		m    int
+		p    float64
+		want float64
+	}{
+		{1, 0.95, 3.841458820694124},
+		{2, 0.95, 5.991464547107979},
+		{6, 0.5, 5.348120627447116},
+		{6, 0.95, 12.591587243743977},
+		{8, 0.5, 7.344121497701792}, // Erlang closed-form bisection
+		{10, 0.9, 15.987179172105261},
+	}
+	for _, c := range cases {
+		got := ChiSquareInvCDF(c.m, c.p)
+		if math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("InvCDF(%d, %v) = %.12f, want %.12f", c.m, c.p, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareInvCDFZero(t *testing.T) {
+	if got := ChiSquareInvCDF(6, 0); got != 0 {
+		t.Errorf("InvCDF(6,0) = %v, want 0", got)
+	}
+}
+
+func TestChiSquareInvCDFPanics(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("expected panic for p=%v", p)
+				}
+			}()
+			ChiSquareInvCDF(6, p)
+		}()
+	}
+}
+
+func TestGammaPKnownValues(t *testing.T) {
+	// P(1, x) = 1 - exp(-x).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaP(1, x); math.Abs(got-want) > 1e-12 {
+			t.Errorf("GammaP(1,%v) = %v, want %v", x, got, want)
+		}
+	}
+	// P + Q = 1.
+	for _, a := range []float64{0.5, 1, 3, 10, 100} {
+		for _, x := range []float64{0.1, 1, 5, 50, 200} {
+			if s := GammaP(a, x) + GammaQ(a, x); math.Abs(s-1) > 1e-10 {
+				t.Errorf("P+Q at a=%v x=%v = %v", a, x, s)
+			}
+		}
+	}
+}
+
+func TestNormalCDFKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+		{3, 0.9986501019683699},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NormalCDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalInvCDFRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-10, 1e-4, 0.01, 0.3, 0.5, 0.7, 0.99, 1 - 1e-6} {
+		x := NormalInvCDF(p)
+		if got := NormalCDF(x); math.Abs(got-p) > 1e-12*(1+1/p) && math.Abs(got-p) > 1e-9 {
+			t.Errorf("NormalCDF(NormalInvCDF(%v)) = %v", p, got)
+		}
+	}
+}
+
+// Property: Ψm is monotone nondecreasing in x and bounded in [0,1].
+func TestPropertyChiSquareCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(30)
+		x1 := r.Float64() * 100
+		x2 := x1 + r.Float64()*100
+		c1, c2 := ChiSquareCDF(m, x1), ChiSquareCDF(m, x2)
+		return c1 >= 0 && c2 <= 1 && c1 <= c2+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Ψm decreases in m for fixed x (more degrees of freedom shift
+// mass right). This ordering is what makes the paper's optimized-m trade-off
+// meaningful.
+func TestPropertyChiSquareCDFDecreasingInM(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 1 + r.Intn(20)
+		x := r.Float64()*50 + 0.01
+		return ChiSquareCDF(m+1, x) <= ChiSquareCDF(m, x)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: empirical chi-square sample CDF matches Ψm (a Monte-Carlo check
+// of Lemma 2's distributional backbone).
+func TestChiSquareEmpirical(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	m := 6
+	const samples = 20000
+	xs := []float64{2, 4, 6, 8, 12}
+	counts := make([]int, len(xs))
+	for i := 0; i < samples; i++ {
+		var s float64
+		for j := 0; j < m; j++ {
+			z := r.NormFloat64()
+			s += z * z
+		}
+		for k, x := range xs {
+			if s <= x {
+				counts[k]++
+			}
+		}
+	}
+	for k, x := range xs {
+		emp := float64(counts[k]) / samples
+		want := ChiSquareCDF(m, x)
+		if math.Abs(emp-want) > 0.015 {
+			t.Errorf("empirical CDF at %v = %v, want %v", x, emp, want)
+		}
+	}
+}
+
+func BenchmarkChiSquareCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ChiSquareCDF(10, 8.5)
+	}
+}
+
+func BenchmarkChiSquareInvCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ChiSquareInvCDF(10, 0.5)
+	}
+}

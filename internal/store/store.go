@@ -1,0 +1,248 @@
+// Package store provides a disk-resident vector store: fixed-dimension
+// float32 vectors identified by uint32 ids, laid out in a caller-chosen
+// order so that points of the same iDistance sub-partition (or the same
+// LSH norm-partition) sit on adjacent pages. Candidate verification — the
+// dominant I/O of every MIPS method in the paper — reads original vectors
+// through this store, so its page accesses are accounted by the shared
+// pager.
+//
+// File layout (page-aligned):
+//
+//	page 0:            header (magic, dim, n, perPage)
+//	pages 1..T:        id → position table (uint32 per id)
+//	pages T+1..:       vector data, perPage vectors per page
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"promips/internal/pager"
+	"promips/internal/vec"
+)
+
+const storeMagic = uint32(0x50565331) // "PVS1"
+
+// Store reads vectors by id or by layout position.
+type Store struct {
+	pg        *pager.Pager
+	dim       int
+	n         int
+	perPage   int
+	tablePgs  int
+	pos       []uint32 // id -> layout position (kept in memory, persisted in table pages)
+	firstData int64
+}
+
+// Writer builds a Store by appending vectors in layout order.
+type Writer struct {
+	st   *Store
+	next int
+	page []byte
+	cur  int64
+}
+
+// Create starts a new store file for n vectors of the given dimension.
+// A vector must fit in one page: callers choose the page size accordingly
+// (the paper uses 64KB pages for the 5408-dimensional P53 dataset for
+// exactly this reason).
+func Create(path string, dim, n int, opts pager.Options) (*Writer, error) {
+	if opts.PageSize <= 0 {
+		opts.PageSize = pager.DefaultPageSize
+	}
+	if dim <= 0 || n < 0 {
+		return nil, fmt.Errorf("store: invalid dim=%d n=%d", dim, n)
+	}
+	perPage := opts.PageSize / vec.EncodedSize(dim)
+	if perPage == 0 {
+		return nil, fmt.Errorf("store: vector of dim %d (%d bytes) exceeds page size %d; use a larger page size",
+			dim, vec.EncodedSize(dim), opts.PageSize)
+	}
+	pg, err := pager.Create(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	idsPerPage := opts.PageSize / 4
+	tablePgs := (n + idsPerPage - 1) / idsPerPage
+	// Header + table pages.
+	for i := 0; i < 1+tablePgs; i++ {
+		if _, err := pg.Alloc(); err != nil {
+			pg.Close()
+			return nil, err
+		}
+	}
+	st := &Store{
+		pg:        pg,
+		dim:       dim,
+		n:         n,
+		perPage:   perPage,
+		tablePgs:  tablePgs,
+		pos:       make([]uint32, n),
+		firstData: int64(1 + tablePgs),
+	}
+	return &Writer{st: st, page: make([]byte, opts.PageSize), cur: -1}, nil
+}
+
+// Append writes the vector for id at the next layout position.
+func (w *Writer) Append(id uint32, v []float32) error {
+	st := w.st
+	if w.next >= st.n {
+		return fmt.Errorf("store: appended more than the declared %d vectors", st.n)
+	}
+	if len(v) != st.dim {
+		return fmt.Errorf("store: vector dim %d, want %d", len(v), st.dim)
+	}
+	if int(id) >= st.n {
+		return fmt.Errorf("store: id %d out of range [0,%d)", id, st.n)
+	}
+	slot := w.next % st.perPage
+	if slot == 0 {
+		if err := w.flush(); err != nil {
+			return err
+		}
+		pid, err := st.pg.Alloc()
+		if err != nil {
+			return err
+		}
+		w.cur = pid
+		for i := range w.page {
+			w.page[i] = 0
+		}
+	}
+	vec.Encode(w.page[slot*vec.EncodedSize(st.dim):], v)
+	st.pos[id] = uint32(w.next)
+	w.next++
+	return nil
+}
+
+func (w *Writer) flush() error {
+	if w.cur < 0 {
+		return nil
+	}
+	return w.st.pg.Write(w.cur, w.page)
+}
+
+// Finalize writes the header and the id→position table and returns the
+// readable Store. The Writer must have appended exactly n vectors.
+func (w *Writer) Finalize() (*Store, error) {
+	st := w.st
+	if w.next != st.n {
+		return nil, fmt.Errorf("store: appended %d of %d vectors", w.next, st.n)
+	}
+	if err := w.flush(); err != nil {
+		return nil, err
+	}
+	header := make([]byte, st.pg.PageSize())
+	binary.LittleEndian.PutUint32(header, storeMagic)
+	binary.LittleEndian.PutUint32(header[4:], uint32(st.dim))
+	binary.LittleEndian.PutUint32(header[8:], uint32(st.n))
+	binary.LittleEndian.PutUint32(header[12:], uint32(st.perPage))
+	if err := st.pg.Write(0, header); err != nil {
+		return nil, err
+	}
+	idsPerPage := st.pg.PageSize() / 4
+	buf := make([]byte, st.pg.PageSize())
+	for p := 0; p < st.tablePgs; p++ {
+		for i := range buf {
+			buf[i] = 0
+		}
+		for s := 0; s < idsPerPage; s++ {
+			id := p*idsPerPage + s
+			if id >= st.n {
+				break
+			}
+			binary.LittleEndian.PutUint32(buf[s*4:], st.pos[id])
+		}
+		if err := st.pg.Write(int64(1+p), buf); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.pg.Sync(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Open loads an existing store file.
+func Open(path string, opts pager.Options) (*Store, error) {
+	pg, err := pager.Open(path, opts)
+	if err != nil {
+		return nil, err
+	}
+	header, err := pg.Read(0)
+	if err != nil {
+		pg.Close()
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(header) != storeMagic {
+		pg.Close()
+		return nil, errors.New("store: bad magic")
+	}
+	dim := int(binary.LittleEndian.Uint32(header[4:]))
+	n := int(binary.LittleEndian.Uint32(header[8:]))
+	perPage := int(binary.LittleEndian.Uint32(header[12:]))
+	idsPerPage := pg.PageSize() / 4
+	tablePgs := (n + idsPerPage - 1) / idsPerPage
+	st := &Store{
+		pg: pg, dim: dim, n: n, perPage: perPage,
+		tablePgs: tablePgs, pos: make([]uint32, n),
+		firstData: int64(1 + tablePgs),
+	}
+	for p := 0; p < tablePgs; p++ {
+		buf, err := pg.Read(int64(1 + p))
+		if err != nil {
+			pg.Close()
+			return nil, err
+		}
+		for s := 0; s < idsPerPage; s++ {
+			id := p*idsPerPage + s
+			if id >= n {
+				break
+			}
+			st.pos[id] = binary.LittleEndian.Uint32(buf[s*4:])
+		}
+	}
+	return st, nil
+}
+
+// Dim returns the vector dimensionality.
+func (s *Store) Dim() int { return s.dim }
+
+// Len returns the number of vectors.
+func (s *Store) Len() int { return s.n }
+
+// Pager exposes the underlying pager for I/O accounting.
+func (s *Store) Pager() *pager.Pager { return s.pg }
+
+// SizeBytes returns the on-disk size of the store file.
+func (s *Store) SizeBytes() int64 { return s.pg.SizeBytes() }
+
+// Pos returns the layout position of id.
+func (s *Store) Pos(id uint32) int { return int(s.pos[id]) }
+
+// Vector reads the vector for id (one page access; pages shared by nearby
+// positions hit the buffer pool). dst is reused when large enough.
+func (s *Store) Vector(id uint32, dst []float32) ([]float32, error) {
+	if int(id) >= s.n {
+		return nil, fmt.Errorf("store: id %d out of range [0,%d)", id, s.n)
+	}
+	return s.VectorAt(int(s.pos[id]), dst)
+}
+
+// VectorAt reads the vector at a layout position.
+func (s *Store) VectorAt(posn int, dst []float32) ([]float32, error) {
+	if posn < 0 || posn >= s.n {
+		return nil, fmt.Errorf("store: position %d out of range [0,%d)", posn, s.n)
+	}
+	pid := s.firstData + int64(posn/s.perPage)
+	page, err := s.pg.Read(pid)
+	if err != nil {
+		return nil, err
+	}
+	off := (posn % s.perPage) * vec.EncodedSize(s.dim)
+	return vec.Decode(page[off:], s.dim, dst), nil
+}
+
+// Close flushes and closes the file.
+func (s *Store) Close() error { return s.pg.Close() }

@@ -1,0 +1,176 @@
+// Package promips is a from-scratch Go implementation of ProMIPS — the
+// probability-guaranteed c-approximate Maximum Inner Product Search of
+// Song, Gu, Zhang and Yu ("ProMIPS: Efficient High-Dimensional
+// c-Approximate Maximum Inner Product Search with a Lightweight Index",
+// ICDE 2021).
+//
+// Given a dataset D of n points and a query q in R^d, a c-AMIP search
+// returns a point o with ⟨o,q⟩ ≥ c·⟨o*,q⟩, where o* is the exact MIP point.
+// ProMIPS projects points to m dimensions with 2-stable random projections,
+// indexes the projections in a disk-resident iDistance structure backed by
+// a single B+-tree, and terminates its range search through two derived
+// conditions that guarantee the c-AMIP answer with any requested
+// probability p. The Quick-Probe procedure determines the search range up
+// front from m-bit sign codes and data norms, avoiding an incremental NN
+// scan.
+//
+// # Quick start
+//
+//	index, err := promips.Build(data, promips.Options{Dir: dir, C: 0.9, P: 0.5})
+//	if err != nil { ... }
+//	defer index.Close()
+//	results, stats, err := index.Search(query, 10)
+//
+// Results come back best-first with exact inner products; stats reports the
+// verified candidate count and disk pages touched. See the examples/
+// directory for complete programs and DESIGN.md for the system layout.
+package promips
+
+import (
+	"fmt"
+	"os"
+
+	"promips/internal/core"
+)
+
+// Options configures Build. The zero value reproduces the paper's default
+// setting: c = 0.9, p = 0.5, optimized projected dimension, kp = 5,
+// Nkey = 40, ksp = 10 and 4KB pages.
+type Options struct {
+	// Dir is the directory for the index's page files. Empty means a fresh
+	// temporary directory (removed on Close).
+	Dir string
+
+	// C is the approximation ratio c ∈ (0,1). Default 0.9.
+	C float64
+	// P is the guarantee probability p ∈ (0,1). Default 0.5.
+	P float64
+	// M is the projected dimensionality; 0 selects the paper's optimized
+	// m = argmin 2^m(m+1) + n/2^m.
+	M int
+
+	// Kp, Nkey and Ksp shape the iDistance partition pattern: top-level
+	// k-means partitions, rings per partition, sub-partitions per ring.
+	Kp, Nkey, Ksp int
+	// Epsilon overrides the ring width (0 = derive from data).
+	Epsilon float64
+
+	// PageSize is the disk page size in bytes (default 4096). Vectors must
+	// fit in one page: use larger pages for very high dimensions, as the
+	// paper does for P53 (64KB).
+	PageSize int
+	// PoolSize is the per-file buffer pool capacity in pages.
+	PoolSize int
+
+	// Seed fixes all randomness (projections, clustering).
+	Seed int64
+}
+
+// Result is one returned point: its id (position in the Build slice) and
+// exact inner product with the query.
+type Result = core.Result
+
+// SearchStats describes the work a query performed; see core.SearchStats.
+type SearchStats = core.SearchStats
+
+// SizeBreakdown itemizes index storage.
+type SizeBreakdown = core.SizeBreakdown
+
+// Index is a ProMIPS index over a dataset. An Index is not safe for
+// concurrent use: queries reset shared buffer-pool statistics to produce
+// per-query page-access counts (the paper's evaluation metric). Wrap an
+// Index in a mutex, or build one Index per goroutine over the same Dir,
+// when concurrent querying is needed.
+type Index struct {
+	inner   *core.Index
+	dir     string
+	ownsDir bool
+}
+
+// Build constructs an index over data. Every point must share one
+// dimensionality; point i is identified by uint32(i) in results.
+func Build(data [][]float32, opts Options) (*Index, error) {
+	dir := opts.Dir
+	ownsDir := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "promips-*")
+		if err != nil {
+			return nil, fmt.Errorf("promips: temp dir: %w", err)
+		}
+		dir, ownsDir = d, true
+	}
+	inner, err := core.Build(data, dir, core.Options{
+		C: opts.C, P: opts.P, M: opts.M,
+		Kp: opts.Kp, Nkey: opts.Nkey, Ksp: opts.Ksp, Epsilon: opts.Epsilon,
+		PageSize: opts.PageSize, PoolSize: opts.PoolSize, Seed: opts.Seed,
+	})
+	if err != nil {
+		if ownsDir {
+			os.RemoveAll(dir)
+		}
+		return nil, err
+	}
+	return &Index{inner: inner, dir: dir, ownsDir: ownsDir}, nil
+}
+
+// Search returns the top-k c-AMIP points for q, best inner product first.
+// With probability at least p, every returned point oi satisfies
+// ⟨oi,q⟩ ≥ c·⟨o*i,q⟩ against the exact i-th MIP point o*i.
+func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
+	return ix.inner.Search(q, k)
+}
+
+// SearchIncremental answers the same query with the paper's Algorithm 1
+// (incremental NN search with per-point condition tests) instead of
+// Quick-Probe. It exists for comparison; Search is the recommended path.
+func (ix *Index) SearchIncremental(q []float32, k int) ([]Result, SearchStats, error) {
+	return ix.inner.SearchIncremental(q, k)
+}
+
+// Exact returns the true top-k MIP points by scanning the dataset. It is
+// provided for evaluation (overall ratio, recall) and small workloads.
+func (ix *Index) Exact(q []float32, k int) ([]Result, error) {
+	return ix.inner.Exact(q, k)
+}
+
+// Insert adds a point to the index and returns its id. Inserted points
+// live in an exactly-evaluated in-memory delta until Compact; searches see
+// them immediately and the (c, p) guarantee is preserved. This is the
+// frequently-updated workload (§I of the paper) the lightweight index is
+// designed for.
+func (ix *Index) Insert(v []float32) (uint32, error) { return ix.inner.Insert(v) }
+
+// Delete tombstones the point with the given id and reports whether it was
+// live. Deleted points stop appearing in results immediately.
+func (ix *Index) Delete(id uint32) bool { return ix.inner.Delete(id) }
+
+// LiveCount returns the number of live (non-deleted) points, including
+// not-yet-compacted inserts.
+func (ix *Index) LiveCount() int { return ix.inner.LiveCount() }
+
+// Len returns the number of indexed points.
+func (ix *Index) Len() int { return ix.inner.Len() }
+
+// Dim returns the dataset dimensionality.
+func (ix *Index) Dim() int { return ix.inner.Dim() }
+
+// M returns the projected dimensionality in use.
+func (ix *Index) M() int { return ix.inner.M() }
+
+// Sizes itemizes the index's storage footprint.
+func (ix *Index) Sizes() SizeBreakdown { return ix.inner.Sizes() }
+
+// Dir returns the directory holding the index's page files.
+func (ix *Index) Dir() string { return ix.dir }
+
+// Close releases the page files (and removes the index directory when
+// Build created a temporary one).
+func (ix *Index) Close() error {
+	err := ix.inner.Close()
+	if ix.ownsDir {
+		if rmErr := os.RemoveAll(ix.dir); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}

@@ -1,0 +1,131 @@
+package promips
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+)
+
+func randData(r *rand.Rand, n, d int) [][]float32 {
+	data := make([][]float32, n)
+	for i := range data {
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+	return data
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	data := randData(r, 800, 16)
+	ix, err := Build(data, Options{Dir: t.TempDir(), Seed: 2, M: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.Len() != 800 || ix.Dim() != 16 || ix.M() != 5 {
+		t.Fatalf("metadata = %d %d %d", ix.Len(), ix.Dim(), ix.M())
+	}
+	q := randData(r, 1, 16)[0]
+	res, st, err := ix.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 10 || st.Candidates == 0 {
+		t.Fatalf("results=%d candidates=%d", len(res), st.Candidates)
+	}
+	exact, err := ix.Exact(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].IP > exact[0].IP+1e-9 {
+		t.Fatal("approximate result beat the exact maximum")
+	}
+	inc, _, err := ix.SearchIncremental(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc) != 10 {
+		t.Fatalf("incremental returned %d", len(inc))
+	}
+}
+
+func TestTempDirLifecycle(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	data := randData(r, 100, 8)
+	ix, err := Build(data, Options{Seed: 4, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := ix.Dir()
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("temp dir missing: %v", err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("temp dir not removed: %v", err)
+	}
+}
+
+func TestExplicitDirRetained(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	data := randData(r, 100, 8)
+	dir := t.TempDir()
+	ix, err := Build(data, Options{Dir: dir, Seed: 6, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.Close()
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("caller-provided dir must survive Close: %v", err)
+	}
+}
+
+func TestAccuracyAgainstExact(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	data := randData(r, 1500, 24)
+	ix, err := Build(data, Options{Dir: t.TempDir(), Seed: 8, C: 0.9, P: 0.7, M: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	var ratioSum float64
+	const queries = 20
+	for trial := 0; trial < queries; trial++ {
+		q := randData(r, 1, 24)[0]
+		res, _, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _ := ix.Exact(q, 10)
+		for i := range res {
+			if exact[i].IP > 0 {
+				ratioSum += res[i].IP / exact[i].IP
+			} else {
+				ratioSum++
+			}
+		}
+	}
+	avg := ratioSum / float64(queries*10)
+	if avg < 0.9 {
+		t.Fatalf("average overall ratio %.3f below c", avg)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	data := randData(r, 300, 12)
+	ix, err := Build(data, Options{Dir: t.TempDir(), Seed: 10, M: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	if ix.Sizes().Total() <= 0 {
+		t.Fatal("index reports zero size")
+	}
+}

@@ -1,0 +1,49 @@
+package promips
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPublicInsertDelete(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	data := randData(r, 300, 10)
+	ix, err := Build(data, Options{Dir: t.TempDir(), Seed: 62, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	q := randData(r, 1, 10)[0]
+	dominant := make([]float32, 10)
+	for j := range dominant {
+		dominant[j] = q[j] * 20
+	}
+	id, err := ix.Insert(dominant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _, err := ix.Search(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != id {
+		t.Fatalf("inserted dominant point not found: got %d want %d", res[0].ID, id)
+	}
+	if ix.LiveCount() != 301 {
+		t.Fatalf("LiveCount = %d", ix.LiveCount())
+	}
+	if !ix.Delete(id) {
+		t.Fatal("delete failed")
+	}
+	res, _, err = ix.Search(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID == id {
+		t.Fatal("deleted point still returned")
+	}
+	if ix.LiveCount() != 300 {
+		t.Fatalf("LiveCount after delete = %d", ix.LiveCount())
+	}
+}
