@@ -201,6 +201,37 @@ func BenchmarkFig11ImpactP(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentThroughput measures QPS of one shared index served by
+// a 1/2/4/8-worker pool through SearchBatch — the concurrent serving path
+// (per-query I/O accounting, shared buffer pool, read-locked index).
+func BenchmarkConcurrentThroughput(b *testing.B) {
+	env, _ := sharedEnv(b)
+	dir := b.TempDir()
+	ix, err := core.Build(env.Data, dir, core.Options{M: 6, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	// Warm the buffer pool so every worker count runs against the same
+	// cache state.
+	if _, _, err := ix.SearchBatch(env.Queries, 10, 1); err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run("workers="+strconv.Itoa(w), func(b *testing.B) {
+			queries := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.SearchBatch(env.Queries, 10, w); err != nil {
+					b.Fatal(err)
+				}
+				queries += len(env.Queries)
+			}
+			b.ReportMetric(float64(queries)/b.Elapsed().Seconds(), "qps")
+		})
+	}
+}
+
 // BenchmarkTable2Scaling supports the Table II complexity claims: ProMIPS
 // query cost as n doubles (the per-query page count should grow clearly
 // sub-linearly in n).

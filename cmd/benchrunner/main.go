@@ -11,7 +11,8 @@
 // Figures: 4 (index size + preprocessing), 5 (overall ratio), 6 (recall),
 // 7 (page access), 8 (CPU time), 9 (total time), 10 (impact of c),
 // 11 (impact of p), table2 (complexity scaling), ablations (Quick-Probe,
-// partition pattern, projected dimension).
+// partition pattern, projected dimension), concurrency (QPS of one shared
+// index under 1/2/4/8 workers).
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all,4,5,6,7,8,9,10,11,table2,ablations")
+	fig := flag.String("fig", "all", "figure to regenerate: all,4,5,6,7,8,9,10,11,table2,ablations,concurrency")
 	ds := flag.String("dataset", "all", "dataset: all, Netflix, Yahoo, P53, Sift")
 	n := flag.Int("n", 0, "points per dataset (0 = laptop-scale default)")
 	queries := flag.Int("queries", 0, "queries per dataset (0 = 100, the paper's workload)")
@@ -127,6 +128,14 @@ func runDataset(spec dataset.Spec, fig string, n, queries int, seed int64, ks []
 		base := bench.Config{Spec: spec, NumQueries: min(queriesOrDefault(queries), 20), Seed: seed}
 		nBase := len(env.Data)
 		t, err := bench.Table2Scaling(base, []int{nBase / 4, nBase / 2, nBase}, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t.Fprint(os.Stdout)
+	}
+	if fig == "all" || fig == "concurrency" {
+		t, err := bench.Concurrency(env, []int{1, 2, 4, 8}, 10, 3)
 		if err != nil {
 			return err
 		}

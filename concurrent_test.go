@@ -1,0 +1,220 @@
+package promips
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// buildShared builds one index for the concurrency tests: big enough that
+// queries do real multi-page I/O, small enough for -race runs.
+func buildShared(t *testing.T, n int) (*Index, [][]float32) {
+	t.Helper()
+	if testing.Short() {
+		n /= 2
+	}
+	r := rand.New(rand.NewSource(41))
+	data := randData(r, n, 16)
+	ix, err := Build(data, Options{Dir: t.TempDir(), Seed: 42, M: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	queries := make([][]float32, 20)
+	for i := range queries {
+		queries[i] = data[r.Intn(len(data))]
+	}
+	return ix, queries
+}
+
+// TestConcurrentSearchMatchesSequential is the stress test of the issue: N
+// goroutines each run the full query workload against one shared Index and
+// must reproduce the sequential baseline exactly — results AND per-query
+// stats, PageAccesses included. Run with -race this also exercises the
+// pager's shared-lock hit path and the index read lock.
+func TestConcurrentSearchMatchesSequential(t *testing.T) {
+	ix, queries := buildShared(t, 1500)
+	const k = 10
+
+	baseRes := make([][]Result, len(queries))
+	baseStats := make([]SearchStats, len(queries))
+	for i, q := range queries {
+		res, st, err := ix.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseRes[i], baseStats[i] = res, st
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				// Each goroutine starts at a different offset so distinct
+				// queries overlap in time.
+				for off := 0; off < len(queries); off++ {
+					i := (off + g*3) % len(queries)
+					res, st, err := ix.Search(queries[i], k)
+					if err != nil {
+						errs <- err.Error()
+						return
+					}
+					if !reflect.DeepEqual(res, baseRes[i]) {
+						errs <- "concurrent results differ from sequential baseline"
+						return
+					}
+					if st.PageAccesses != baseStats[i].PageAccesses {
+						errs <- "per-query page accounting drifted under concurrency"
+						return
+					}
+					if st != baseStats[i] {
+						errs <- "concurrent stats differ from sequential baseline"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}
+
+// TestSearchBatchMatchesSequential is the acceptance criterion: SearchBatch
+// over 8 workers returns byte-identical results to sequential Search, with
+// correct per-query stats at every position.
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	ix, queries := buildShared(t, 1500)
+	const k = 10
+
+	wantRes := make([][]Result, len(queries))
+	wantStats := make([]SearchStats, len(queries))
+	for i, q := range queries {
+		res, st, err := ix.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRes[i], wantStats[i] = res, st
+	}
+
+	gotRes, gotStats, err := ix.SearchBatchWorkers(queries, k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotRes, wantRes) {
+		t.Fatal("SearchBatch results differ from sequential Search")
+	}
+	if !reflect.DeepEqual(gotStats, wantStats) {
+		t.Fatal("SearchBatch stats differ from sequential Search")
+	}
+
+	// Default worker count must agree too.
+	gotRes2, _, err := ix.SearchBatch(queries, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotRes2, wantRes) {
+		t.Fatal("SearchBatch with default workers differs from sequential Search")
+	}
+}
+
+func TestSearchBatchPropagatesError(t *testing.T) {
+	ix, queries := buildShared(t, 400)
+	bad := make([][]float32, len(queries))
+	copy(bad, queries)
+	bad[len(bad)/2] = []float32{1, 2, 3} // wrong dimensionality
+	if _, _, err := ix.SearchBatchWorkers(bad, 5, 4); err == nil {
+		t.Fatal("expected dimension error from batch")
+	}
+	if res, _, err := ix.SearchBatch(nil, 5); err != nil || res != nil {
+		t.Fatalf("empty batch: res=%v err=%v", res, err)
+	}
+}
+
+// TestConcurrentSearchWithUpdates interleaves writers (Insert/Delete) with
+// searching readers on one shared Index. Results vary with timing, so the
+// test asserts validity, not equality: every returned id must be live at
+// some point, k results come back, and nothing races or panics.
+func TestConcurrentSearchWithUpdates(t *testing.T) {
+	ix, queries := buildShared(t, 1000)
+	const k = 5
+	r := rand.New(rand.NewSource(77))
+	inserts := randData(r, 64, 16)
+
+	baseLive := ix.LiveCount()
+	errs := make(chan error, 12)
+	stop := make(chan struct{})
+
+	// Writers: insert fresh points, then tombstone every fourth one.
+	var writers sync.WaitGroup
+	deleted := 0
+	for i := range inserts {
+		if i%4 == 0 {
+			deleted++
+		}
+	}
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := w; i < len(inserts); i += 2 {
+				id, err := ix.Insert(inserts[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if i%4 == 0 {
+					ix.Delete(id)
+				}
+			}
+		}(w)
+	}
+	// Readers: hammer searches until the writers are done.
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, _, err := ix.Search(queries[(i+g)%len(queries)], k)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(res) != k {
+					errs <- errTooFew
+					return
+				}
+			}
+		}(g)
+	}
+
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if got, want := ix.LiveCount(), baseLive+len(inserts)-deleted; got != want {
+		t.Fatalf("LiveCount after updates = %d, want %d", got, want)
+	}
+}
+
+var errTooFew = errTooFewType{}
+
+type errTooFewType struct{}
+
+func (errTooFewType) Error() string { return "search returned fewer than k results" }

@@ -1,0 +1,3 @@
+module promips
+
+go 1.24

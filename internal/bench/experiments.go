@@ -203,6 +203,61 @@ func Table2Scaling(cfgBase Config, ns []int, k int) (Table, error) {
 	return t, nil
 }
 
+// Concurrency measures serving throughput of one shared ProMIPS index as
+// the worker count grows: the whole query workload, repeated rounds times,
+// is pushed through Index.SearchBatch with 1, 2, 4, … workers. Per-query
+// I/O accounting makes the page metric identical at every worker count, so
+// the table doubles as a correctness check on the concurrent read path.
+func Concurrency(e *Env, workerCounts []int, k, rounds int) (Table, error) {
+	t := Table{
+		Title:  fmt.Sprintf("Concurrency: QPS on one shared index — %s (k=%d, %d queries/round, %d rounds)", e.Cfg.Spec.Name, k, len(e.Queries), rounds),
+		Header: []string{"workers", "wall(ms)", "QPS", "ms/query", "speedup", "pages/query"},
+	}
+	if rounds <= 0 {
+		rounds = 1
+	}
+	b, err := e.BuildProMIPS(core.Options{})
+	if err != nil {
+		return t, err
+	}
+	defer b.Method.Close()
+	ix := b.Method.(proMIPSAdapter).ix
+
+	workload := make([][]float32, 0, len(e.Queries)*rounds)
+	for r := 0; r < rounds; r++ {
+		workload = append(workload, e.Queries...)
+	}
+	// Untimed warm-up so the first worker count (the speedup baseline) does
+	// not pay the cold buffer-pool misses the later counts reuse.
+	if _, _, err := ix.SearchBatch(e.Queries, k, 1); err != nil {
+		return t, err
+	}
+	var base float64
+	for _, w := range workerCounts {
+		start := time.Now()
+		_, qstats, err := ix.SearchBatch(workload, k, w)
+		if err != nil {
+			return t, err
+		}
+		elapsed := time.Since(start).Seconds()
+		if base == 0 {
+			base = elapsed
+		}
+		var pages float64
+		for _, st := range qstats {
+			pages += float64(st.PageAccesses)
+		}
+		nq := float64(len(workload))
+		t.AddRow(fmt.Sprint(w),
+			f1(elapsed*1000),
+			f1(nq/elapsed),
+			f3(elapsed*1000/nq),
+			fmt.Sprintf("%.2fx", base/elapsed),
+			f1(pages/nq))
+	}
+	return t, nil
+}
+
 // AblationQuickProbe compares Algorithm 3 (Quick-Probe + range search)
 // against Algorithm 1 (incremental NN with per-point condition tests) on
 // the same index parameters — the design choice §V motivates.

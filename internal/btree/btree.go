@@ -70,7 +70,7 @@ func Create(pg *pager.Pager) (*Tree, error) {
 
 // Open loads an existing tree from its meta page.
 func Open(pg *pager.Pager) (*Tree, error) {
-	meta, err := pg.Read(0)
+	meta, err := pg.Read(0, nil)
 	if err != nil {
 		return nil, fmt.Errorf("btree: read meta: %w", err)
 	}
@@ -137,8 +137,8 @@ func (n *node) size(pageSize int) int {
 	return s
 }
 
-func (t *Tree) readNode(id int64) (*node, error) {
-	buf, err := t.pg.Read(id)
+func (t *Tree) readNode(id int64, io *pager.IOStats) (*node, error) {
+	buf, err := t.pg.Read(id, io)
 	if err != nil {
 		return nil, err
 	}
@@ -263,10 +263,10 @@ func (t *Tree) writeOverflow(val []byte) (int64, error) {
 	return head, nil
 }
 
-func (t *Tree) readOverflow(head int64, total uint32) ([]byte, error) {
+func (t *Tree) readOverflow(head int64, total uint32, io *pager.IOStats) ([]byte, error) {
 	out := make([]byte, 0, total)
 	for id := head; id != nilPage; {
-		buf, err := t.pg.Read(id)
+		buf, err := t.pg.Read(id, io)
 		if err != nil {
 			return nil, err
 		}
@@ -281,17 +281,18 @@ func (t *Tree) readOverflow(head int64, total uint32) ([]byte, error) {
 	return out, nil
 }
 
-// Get returns the value stored under key, or ok=false if absent.
-func (t *Tree) Get(key int64) ([]byte, bool, error) {
+// Get returns the value stored under key, or ok=false if absent. Page
+// reads are recorded in io (nil discards the accounting).
+func (t *Tree) Get(key int64, io *pager.IOStats) ([]byte, bool, error) {
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		n, err := t.readNode(id)
+		n, err := t.readNode(id, io)
 		if err != nil {
 			return nil, false, err
 		}
 		id = n.children[childIndex(n.keys, key)]
 	}
-	n, err := t.readNode(id)
+	n, err := t.readNode(id, io)
 	if err != nil {
 		return nil, false, err
 	}
@@ -302,7 +303,7 @@ func (t *Tree) Get(key int64) ([]byte, bool, error) {
 	if n.ov[i] == nilPage {
 		return n.vals[i], true, nil
 	}
-	v, err := t.readOverflow(n.ov[i], n.vlen[i])
+	v, err := t.readOverflow(n.ov[i], n.vlen[i], io)
 	return v, err == nil, err
 }
 
@@ -370,7 +371,7 @@ func (t *Tree) Insert(key int64, value []byte) error {
 }
 
 func (t *Tree) insertAt(id int64, level int, key int64, value []byte) (splitResult, bool, error) {
-	n, err := t.readNode(id)
+	n, err := t.readNode(id, nil)
 	if err != nil {
 		return splitResult{}, false, err
 	}
@@ -505,13 +506,13 @@ func (t *Tree) insertLeaf(id int64, n *node, key int64, value []byte) (splitResu
 func (t *Tree) Delete(key int64) (bool, error) {
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		n, err := t.readNode(id)
+		n, err := t.readNode(id, nil)
 		if err != nil {
 			return false, err
 		}
 		id = n.children[childIndex(n.keys, key)]
 	}
-	n, err := t.readNode(id)
+	n, err := t.readNode(id, nil)
 	if err != nil {
 		return false, err
 	}
@@ -531,21 +532,22 @@ func (t *Tree) Delete(key int64) (bool, error) {
 }
 
 // Scan visits keys in [lo, hi] in ascending order. fn returning false stops
-// the scan early.
-func (t *Tree) Scan(lo, hi int64, fn func(key int64, val []byte) bool) error {
+// the scan early. Page reads are recorded in io (nil discards the
+// accounting).
+func (t *Tree) Scan(lo, hi int64, io *pager.IOStats, fn func(key int64, val []byte) bool) error {
 	if lo > hi {
 		return nil
 	}
 	id := t.root
 	for level := t.height; level > 1; level-- {
-		n, err := t.readNode(id)
+		n, err := t.readNode(id, io)
 		if err != nil {
 			return err
 		}
 		id = n.children[childIndex(n.keys, lo)]
 	}
 	for id != nilPage {
-		n, err := t.readNode(id)
+		n, err := t.readNode(id, io)
 		if err != nil {
 			return err
 		}
@@ -558,7 +560,7 @@ func (t *Tree) Scan(lo, hi int64, fn func(key int64, val []byte) bool) error {
 			if n.ov[i] == nilPage {
 				v = n.vals[i]
 			} else {
-				v, err = t.readOverflow(n.ov[i], n.vlen[i])
+				v, err = t.readOverflow(n.ov[i], n.vlen[i], io)
 				if err != nil {
 					return err
 				}

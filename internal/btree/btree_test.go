@@ -31,14 +31,14 @@ func TestInsertGetSingle(t *testing.T) {
 	if err := tr.Insert(42, []byte("hello")); err != nil {
 		t.Fatal(err)
 	}
-	v, ok, err := tr.Get(42)
+	v, ok, err := tr.Get(42, nil)
 	if err != nil || !ok {
 		t.Fatalf("Get(42) = %v %v %v", v, ok, err)
 	}
 	if string(v) != "hello" {
 		t.Fatalf("value = %q", v)
 	}
-	if _, ok, _ := tr.Get(41); ok {
+	if _, ok, _ := tr.Get(41, nil); ok {
 		t.Fatal("Get(41) should be absent")
 	}
 	if tr.Count() != 1 {
@@ -50,7 +50,7 @@ func TestInsertReplace(t *testing.T) {
 	tr, _ := newTestTree(t, 256)
 	tr.Insert(7, []byte("a"))
 	tr.Insert(7, []byte("bb"))
-	v, ok, _ := tr.Get(7)
+	v, ok, _ := tr.Get(7, nil)
 	if !ok || string(v) != "bb" {
 		t.Fatalf("replaced value = %q, ok=%v", v, ok)
 	}
@@ -77,7 +77,7 @@ func TestManyInsertsWithSplits(t *testing.T) {
 		t.Fatalf("expected height >= 3 with 256B pages, got %d", tr.Height())
 	}
 	for k := 0; k < n; k++ {
-		v, ok, err := tr.Get(int64(k))
+		v, ok, err := tr.Get(int64(k), nil)
 		if err != nil || !ok {
 			t.Fatalf("Get(%d): ok=%v err=%v", k, ok, err)
 		}
@@ -96,7 +96,7 @@ func TestNegativeAndExtremeKeys(t *testing.T) {
 		}
 	}
 	for _, k := range keys {
-		v, ok, _ := tr.Get(k)
+		v, ok, _ := tr.Get(k, nil)
 		if !ok || v[0] != byte(k&0xff) {
 			t.Fatalf("Get(%d) failed", k)
 		}
@@ -117,7 +117,7 @@ func TestOverflowValues(t *testing.T) {
 		}
 	}
 	for k, v := range want {
-		got, ok, err := tr.Get(k)
+		got, ok, err := tr.Get(k, nil)
 		if err != nil || !ok {
 			t.Fatalf("Get(%d): ok=%v err=%v", k, ok, err)
 		}
@@ -134,7 +134,7 @@ func TestScanFullRange(t *testing.T) {
 		tr.Insert(int64(k*2), []byte{byte(k)})
 	}
 	var got []int64
-	err := tr.Scan(-100, 1<<40, func(k int64, v []byte) bool {
+	err := tr.Scan(-100, 1<<40, nil, func(k int64, v []byte) bool {
 		got = append(got, k)
 		return true
 	})
@@ -155,7 +155,7 @@ func TestScanSubRangeAndEarlyStop(t *testing.T) {
 		tr.Insert(int64(k), []byte{byte(k)})
 	}
 	var got []int64
-	tr.Scan(10, 20, func(k int64, v []byte) bool {
+	tr.Scan(10, 20, nil, func(k int64, v []byte) bool {
 		got = append(got, k)
 		return true
 	})
@@ -163,7 +163,7 @@ func TestScanSubRangeAndEarlyStop(t *testing.T) {
 		t.Fatalf("sub-range scan = %v", got)
 	}
 	got = nil
-	tr.Scan(0, 99, func(k int64, v []byte) bool {
+	tr.Scan(0, 99, nil, func(k int64, v []byte) bool {
 		got = append(got, k)
 		return len(got) < 5
 	})
@@ -172,7 +172,7 @@ func TestScanSubRangeAndEarlyStop(t *testing.T) {
 	}
 	// Empty range.
 	got = nil
-	tr.Scan(50, 40, func(k int64, v []byte) bool { got = append(got, k); return true })
+	tr.Scan(50, 40, nil, func(k int64, v []byte) bool { got = append(got, k); return true })
 	if len(got) != 0 {
 		t.Fatalf("lo>hi should visit nothing, got %v", got)
 	}
@@ -196,7 +196,7 @@ func TestDelete(t *testing.T) {
 		t.Fatalf("Count = %d, want 100", tr.Count())
 	}
 	for k := 0; k < 200; k++ {
-		_, ok, _ := tr.Get(int64(k))
+		_, ok, _ := tr.Get(int64(k), nil)
 		if want := k%2 == 1; ok != want {
 			t.Fatalf("Get(%d) present=%v, want %v", k, ok, want)
 		}
@@ -240,11 +240,11 @@ func TestPersistenceReopen(t *testing.T) {
 	if tr2.Count() != 300 {
 		t.Fatalf("Count after reopen = %d", tr2.Count())
 	}
-	v, ok, err := tr2.Get(150)
+	v, ok, err := tr2.Get(150, nil)
 	if err != nil || !ok || !bytes.Equal(v, big) {
 		t.Fatalf("big value lost after reopen: ok=%v err=%v len=%d", ok, err, len(v))
 	}
-	v, ok, _ = tr2.Get(299)
+	v, ok, _ = tr2.Get(299, nil)
 	if !ok || string(v) != "v299" {
 		t.Fatalf("Get(299) after reopen = %q %v", v, ok)
 	}
@@ -312,13 +312,13 @@ func TestPropertyModelEquivalence(t *testing.T) {
 			return false
 		}
 		for k, v := range model {
-			got, ok, err := tr.Get(k)
+			got, ok, err := tr.Get(k, nil)
 			if err != nil || !ok || !bytes.Equal(got, v) {
 				return false
 			}
 		}
 		var keys []int64
-		err = tr.Scan(-1<<62, 1<<62, func(k int64, v []byte) bool {
+		err = tr.Scan(-1<<62, 1<<62, nil, func(k int64, v []byte) bool {
 			keys = append(keys, k)
 			if !bytes.Equal(v, model[k]) {
 				keys = nil
@@ -360,6 +360,6 @@ func BenchmarkGet(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Get(int64(i % 10000))
+		tr.Get(int64(i%10000), nil)
 	}
 }

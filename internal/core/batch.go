@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SearchBatch answers many queries against one shared index with a bounded
+// pool of worker goroutines. Results and stats are positionally aligned
+// with queries, and each query's answer (results, stats, everything) is
+// identical to what a sequential Search would return: workers share the
+// read lock and the buffer pool but account their I/O privately.
+//
+// workers <= 0 uses GOMAXPROCS. The first query error cancels the
+// remaining work and is returned.
+func (ix *Index) SearchBatch(queries [][]float32, k, workers int) ([][]Result, []SearchStats, error) {
+	n := len(queries)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([][]Result, n)
+	stats := make([]SearchStats, n)
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				res, st, err := ix.Search(queries[i], k)
+				if err != nil {
+					failed.Store(true)
+					errOnce.Do(func() { firstErr = fmt.Errorf("core: batch query %d: %w", i, err) })
+					return
+				}
+				results[i], stats[i] = res, st
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return results, stats, nil
+}

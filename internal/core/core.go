@@ -22,6 +22,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"promips/internal/idistance"
 	"promips/internal/pager"
@@ -95,9 +96,11 @@ type Result struct {
 type SearchStats struct {
 	// Candidates is the number of points verified by exact inner product.
 	Candidates int
-	// PageAccesses counts disk pages touched (buffer-pool misses across the
-	// iDistance pagers and the vector store, with pools dropped at query
-	// start) — the paper's Page Access metric.
+	// PageAccesses counts the distinct disk pages touched across the
+	// iDistance pagers and the vector store — the paper's Page Access
+	// metric. It is accumulated in a per-query pager.IOStats, so the count
+	// is exact and deterministic even when many queries share the index
+	// concurrently (no shared counters are reset or read).
 	PageAccesses int64
 	// GroupsProbed is how many sign-code groups Quick-Probe examined.
 	GroupsProbed int
@@ -110,7 +113,12 @@ type SearchStats struct {
 	TerminatedBy string
 }
 
-// Index is a built ProMIPS index.
+// Index is a built ProMIPS index. It is safe for concurrent use: searches
+// take the index lock shared (and account their I/O in a private
+// pager.IOStats), while Insert and Delete take it exclusive, so readers
+// never observe a half-applied update. The disk-resident structures are
+// immutable after Build, and the pagers underneath handle their own
+// concurrency.
 type Index struct {
 	opts Options
 	n, d int
@@ -120,11 +128,17 @@ type Index struct {
 	idist *idistance.Index
 	orig  *store.Store
 
-	norm2Sq    []float64 // per id, ‖o‖²
-	norm1      []float64 // per id, ‖o‖₁
-	codes      []uint32  // per id, sign code of P(o)
-	maxNorm2Sq float64   // ‖oM‖² (monotone: never lowered by deletes)
-	groups     []group
+	norm2Sq []float64 // per id, ‖o‖²
+	norm1   []float64 // per id, ‖o‖₁
+	codes   []uint32  // per id, sign code of P(o)
+	groups  []group
+
+	// mu guards the mutable query-visible state: delta, deleted and
+	// maxNorm2Sq. Searches hold it shared for their whole run (the
+	// termination conditions must see one consistent ‖oM‖² and delta set);
+	// Insert/Delete hold it exclusive.
+	mu         sync.RWMutex
+	maxNorm2Sq float64 // ‖oM‖² (monotone: never lowered by deletes)
 
 	// Update state (see update.go): recently inserted points awaiting
 	// compaction, and tombstoned ids.
@@ -265,28 +279,6 @@ func (ix *Index) Sizes() SizeBreakdown {
 		QuickProbe: int64(ix.n)*4 + int64(len(ix.groups))*20,
 		Norms:      int64(ix.n) * 16,
 	}
-}
-
-// pagers returns every pager a query can touch.
-func (ix *Index) pagers() []*pager.Pager {
-	return append(ix.idist.Pagers(), ix.orig.Pager())
-}
-
-// resetIO drops buffer pools and counters so the next query is measured
-// against cold caches.
-func (ix *Index) resetIO() {
-	for _, pg := range ix.pagers() {
-		pg.DropPool()
-		pg.ResetStats()
-	}
-}
-
-func (ix *Index) pageMisses() int64 {
-	var total int64
-	for _, pg := range ix.pagers() {
-		total += pg.Stats().Misses
-	}
-	return total
 }
 
 // conditionA evaluates the deterministic termination test (Formula 1):

@@ -36,6 +36,8 @@ type groupMeta struct {
 // files Build already wrote there. An index saved to dir can be reloaded
 // with Open(dir).
 func (ix *Index) Save(dir string) error {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if err := ix.idist.Save(dir); err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"promips/internal/idistance"
+	"promips/internal/pager"
 	"promips/internal/randproj"
 	"promips/internal/stats"
 	"promips/internal/vec"
@@ -48,21 +49,28 @@ func (t *topK) kth() (float64, bool) {
 // Search runs the full ProMIPS query (Quick-Probe + MIP-Search-II) and
 // returns the top-k c-AMIP results, best inner product first. With
 // probability at least p (Options.P), every returned point oi satisfies
-// ⟨oi,q⟩ ≥ c·⟨o*i,q⟩.
+// ⟨oi,q⟩ ≥ c·⟨o*i,q⟩. Search is safe to call from many goroutines against
+// one shared Index; each call accounts its own page accesses.
 func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.searchLocked(q, k)
+}
+
+func (ix *Index) searchLocked(q []float32, k int) ([]Result, SearchStats, error) {
 	if len(q) != ix.d {
 		return nil, SearchStats{}, fmt.Errorf("core: query dim %d, want %d", len(q), ix.d)
 	}
 	if k <= 0 {
 		return nil, SearchStats{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
-	if live := ix.LiveCount(); k > live {
+	if live := ix.liveCountLocked(); k > live {
 		k = live
 	}
 	if k == 0 {
 		return nil, SearchStats{}, fmt.Errorf("core: index has no live points")
 	}
-	ix.resetIO()
+	io := new(pager.IOStats)
 	var st SearchStats
 
 	pq := ix.proj.Project(q)
@@ -75,7 +83,7 @@ func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
 	// The located point's projected distance is the estimated range
 	// (fetching its projected vector costs one page access, the only
 	// projected-point read Quick-Probe needs).
-	probePt, err := ix.idist.Projected(probeID, nil)
+	probePt, err := ix.idist.Projected(probeID, nil, io)
 	if err != nil {
 		return nil, st, err
 	}
@@ -106,7 +114,7 @@ func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
 		if !ix.live(c.ID) {
 			return "", nil // tombstoned by Delete
 		}
-		o, err := ix.orig.Vector(c.ID, qbuf)
+		o, err := ix.orig.Vector(c.ID, qbuf, io)
 		if err != nil {
 			return "", err
 		}
@@ -126,7 +134,7 @@ func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
 		return "", nil
 	}
 
-	cands, err := ix.idist.RangeSearch(pq, r)
+	cands, err := ix.idist.RangeSearch(pq, r, io)
 	if err != nil {
 		return nil, st, err
 	}
@@ -137,7 +145,7 @@ func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
 		}
 		if cond != "" {
 			st.TerminatedBy = cond
-			st.PageAccesses = ix.pageMisses()
+			st.PageAccesses = io.Pages()
 			return top.results, st, nil
 		}
 	}
@@ -150,12 +158,12 @@ func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
 		denom := ix.conditionBDenominator(normQSq, ipK)
 		if denom <= 0 {
 			st.TerminatedBy = "A"
-			st.PageAccesses = ix.pageMisses()
+			st.PageAccesses = io.Pages()
 			return top.results, st, nil
 		}
 		if stats.ChiSquareCDF(ix.m, r*r/denom) >= ix.opts.P {
 			st.TerminatedBy = "B"
-			st.PageAccesses = ix.pageMisses()
+			st.PageAccesses = io.Pages()
 			return top.results, st, nil
 		}
 	}
@@ -171,7 +179,7 @@ func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
 	st.ExtendedRadius = rExt
 
 	var extCands []idistance.Candidate
-	err = ix.idist.Search(pq, r, rExt, func(c idistance.Candidate) bool {
+	err = ix.idist.Search(pq, r, rExt, io, func(c idistance.Candidate) bool {
 		extCands = append(extCands, c)
 		return true
 	})
@@ -186,12 +194,12 @@ func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
 		}
 		if cond != "" {
 			st.TerminatedBy = cond
-			st.PageAccesses = ix.pageMisses()
+			st.PageAccesses = io.Pages()
 			return top.results, st, nil
 		}
 	}
 	st.TerminatedBy = "exhausted"
-	st.PageAccesses = ix.pageMisses()
+	st.PageAccesses = io.Pages()
 	return top.results, st, nil
 }
 
@@ -236,21 +244,24 @@ func (ix *Index) quickProbe(pq []float32, norm1Q float64, st *SearchStats) uint3
 // SearchIncremental runs Algorithm 1 (MIP-Search-I): an incremental NN scan
 // in the projected space, testing Conditions A and B on every returned
 // point. It is kept for the ablation study of Quick-Probe's benefit; the
-// results carry the same probability guarantee.
+// results carry the same probability guarantee. Like Search, it is safe for
+// concurrent use.
 func (ix *Index) SearchIncremental(q []float32, k int) ([]Result, SearchStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if len(q) != ix.d {
 		return nil, SearchStats{}, fmt.Errorf("core: query dim %d, want %d", len(q), ix.d)
 	}
 	if k <= 0 {
 		return nil, SearchStats{}, fmt.Errorf("core: k must be positive, got %d", k)
 	}
-	if live := ix.LiveCount(); k > live {
+	if live := ix.liveCountLocked(); k > live {
 		k = live
 	}
 	if k == 0 {
 		return nil, SearchStats{}, fmt.Errorf("core: index has no live points")
 	}
-	ix.resetIO()
+	io := new(pager.IOStats)
 	var st SearchStats
 
 	pq := ix.proj.Project(q)
@@ -259,7 +270,7 @@ func (ix *Index) SearchIncremental(q []float32, k int) ([]Result, SearchStats, e
 	ix.scanDelta(q, top)
 	buf := make([]float32, ix.d)
 
-	it := ix.idist.NewIterator(pq)
+	it := ix.idist.NewIterator(pq, io)
 	for {
 		c, ok := it.Next()
 		if !ok {
@@ -272,7 +283,7 @@ func (ix *Index) SearchIncremental(q []float32, k int) ([]Result, SearchStats, e
 		if !ix.live(c.ID) {
 			continue
 		}
-		o, err := ix.orig.Vector(c.ID, buf)
+		o, err := ix.orig.Vector(c.ID, buf, io)
 		if err != nil {
 			return nil, st, err
 		}
@@ -292,18 +303,21 @@ func (ix *Index) SearchIncremental(q []float32, k int) ([]Result, SearchStats, e
 			break
 		}
 	}
-	st.PageAccesses = ix.pageMisses()
+	st.PageAccesses = io.Pages()
 	return top.results, st, nil
 }
 
 // Exact scans the whole dataset through the store and returns the true
 // top-k MIP points. It is the ground truth used by the overall-ratio and
-// recall metrics and by tests of the probability guarantee.
+// recall metrics and by tests of the probability guarantee. Safe for
+// concurrent use.
 func (ix *Index) Exact(q []float32, k int) ([]Result, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	if len(q) != ix.d {
 		return nil, fmt.Errorf("core: query dim %d, want %d", len(q), ix.d)
 	}
-	if live := ix.LiveCount(); k > live {
+	if live := ix.liveCountLocked(); k > live {
 		k = live
 	}
 	top := newTopK(k)
@@ -315,7 +329,7 @@ func (ix *Index) Exact(q []float32, k int) ([]Result, error) {
 		if !ix.live(id) {
 			continue
 		}
-		o, err := ix.orig.VectorAt(pos, buf)
+		o, err := ix.orig.VectorAt(pos, buf, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -32,11 +32,15 @@ type deltaEntry struct {
 }
 
 // Insert adds a point and returns its id. The point lives in the delta
-// region until Compact is called.
+// region until Compact is called. Insert takes the index lock exclusive, so
+// it interleaves correctly with concurrent searches: a search sees either
+// the state before or after the insert, never a partial one.
 func (ix *Index) Insert(v []float32) (uint32, error) {
 	if len(v) != ix.d {
 		return 0, fmt.Errorf("core: insert dim %d, want %d", len(v), ix.d)
 	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	id := uint32(ix.n + len(ix.delta))
 	n2 := vec.Norm2Sq(v)
 	ix.delta = append(ix.delta, deltaEntry{id: id, v: vec.Clone(v), ip2: n2})
@@ -49,8 +53,11 @@ func (ix *Index) Insert(v []float32) (uint32, error) {
 }
 
 // Delete tombstones the point with the given id (from the base index or
-// the delta). It reports whether the id was live.
+// the delta). It reports whether the id was live. Like Insert, it takes the
+// index lock exclusive.
 func (ix *Index) Delete(id uint32) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	if int(id) >= ix.n+len(ix.delta) {
 		return false
 	}
@@ -65,10 +72,20 @@ func (ix *Index) Delete(id uint32) bool {
 }
 
 // LiveCount returns the number of live (non-tombstoned) points.
-func (ix *Index) LiveCount() int { return ix.n + len(ix.delta) - len(ix.deleted) }
+func (ix *Index) LiveCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.liveCountLocked()
+}
+
+func (ix *Index) liveCountLocked() int { return ix.n + len(ix.delta) - len(ix.deleted) }
 
 // DeltaCount returns the number of points awaiting compaction.
-func (ix *Index) DeltaCount() int { return len(ix.delta) }
+func (ix *Index) DeltaCount() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.delta)
+}
 
 // scanDelta offers every live delta point to the accumulator (exact
 // evaluation; no disk I/O).
@@ -92,15 +109,17 @@ func (ix *Index) live(id uint32) bool {
 // new id to the previous id is returned so callers can relocate external
 // references.
 func (ix *Index) Compact(dir string) (*Index, []uint32, error) {
-	liveData := make([][]float32, 0, ix.LiveCount())
-	oldIDs := make([]uint32, 0, ix.LiveCount())
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	liveData := make([][]float32, 0, ix.liveCountLocked())
+	oldIDs := make([]uint32, 0, ix.liveCountLocked())
 	buf := make([]float32, ix.d)
 	for pos := 0; pos < ix.n; pos++ {
 		id := ix.idist.Layout()[pos]
 		if !ix.live(id) {
 			continue
 		}
-		o, err := ix.orig.VectorAt(pos, buf)
+		o, err := ix.orig.VectorAt(pos, buf, nil)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -260,7 +260,7 @@ func (ix *Index) Search(q []float32, k int) ([]mips.Result, mips.QueryStats, err
 		lambda := p.maxNorm
 		verify := func(lid uint32) (float64, error) {
 			gid := p.ids[lid]
-			o, err := ix.orig.Vector(gid, buf)
+			o, err := ix.orig.Vector(gid, buf, nil)
 			if err != nil {
 				return 0, err
 			}

@@ -336,12 +336,13 @@ func (idx *Index) DataSizeBytes() int64 { return idx.data.SizeBytes() }
 func (idx *Index) Pagers() []*pager.Pager { return []*pager.Pager{idx.data, idx.btPg} }
 
 // Projected reads one point's projected vector from disk (the single fetch
-// Quick-Probe performs to turn the located point into a search radius).
-func (idx *Index) Projected(id uint32, dst []float32) ([]float32, error) {
+// Quick-Probe performs to turn the located point into a search radius). The
+// page read is recorded in io (nil discards the accounting).
+func (idx *Index) Projected(id uint32, dst []float32, io *pager.IOStats) ([]float32, error) {
 	if int(id) >= idx.n || idx.locPage[id] < 0 {
 		return nil, fmt.Errorf("idistance: id %d not indexed", id)
 	}
-	page, err := idx.data.Read(idx.locPage[id])
+	page, err := idx.data.Read(idx.locPage[id], io)
 	if err != nil {
 		return nil, err
 	}

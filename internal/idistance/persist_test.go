@@ -17,11 +17,11 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := randPoints(r, 1, 6, 10)[0]
-	want, err := idx.RangeSearch(q, 8)
+	want, err := idx.RangeSearch(q, 8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantProj, err := idx.Projected(42, nil)
+	wantProj, err := idx.Projected(42, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 	if re.Len() != 900 || re.M() != 6 {
 		t.Fatalf("reloaded dims = (%d,%d)", re.Len(), re.M())
 	}
-	got, err := re.RangeSearch(q, 8)
+	got, err := re.RangeSearch(q, 8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 			t.Fatalf("candidate %d changed after reload", i)
 		}
 	}
-	gotProj, err := re.Projected(42, nil)
+	gotProj, err := re.Projected(42, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

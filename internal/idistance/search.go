@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"promips/internal/pager"
 	"promips/internal/vec"
 )
 
@@ -17,12 +18,16 @@ import (
 // query sphere are skipped via the B+-tree key range; within a surviving
 // ring, a sub-partition is read only when its (pivot, radius) sphere
 // intersects the query sphere and is not entirely inside the rLo ball.
-func (idx *Index) Search(q []float32, rLo, rHi float64, visit func(Candidate) bool) error {
+//
+// Page reads (B+-tree nodes and projected-point pages) are recorded in io,
+// the caller's per-query accumulator; nil discards the accounting.
+func (idx *Index) Search(q []float32, rLo, rHi float64, io *pager.IOStats, visit func(Candidate) bool) error {
 	entrySize := 4 + vec.EncodedSize(idx.m)
 	stop := false
+	var scanErr error
 	for p, center := range idx.centers {
 		if stop {
-			return nil
+			return scanErr
 		}
 		dc := vec.L2Dist(q, center)
 		if dc-rHi > idx.radii[p] {
@@ -39,7 +44,7 @@ func (idx *Index) Search(q []float32, rLo, rHi float64, visit func(Candidate) bo
 		}
 		loKey := int64(p)*idx.stride + ringLo
 		hiKey := int64(p)*idx.stride + ringHi
-		err := idx.tree.Scan(loKey, hiKey, func(key int64, val []byte) bool {
+		err := idx.tree.Scan(loKey, hiKey, io, func(key int64, val []byte) bool {
 			for _, sub := range decodeSubs(val, idx.m) {
 				ds := vec.L2Dist(q, sub.center)
 				if ds-sub.radius > rHi {
@@ -48,7 +53,12 @@ func (idx *Index) Search(q []float32, rLo, rHi float64, visit func(Candidate) bo
 				if rLo >= 0 && ds+sub.radius <= rLo {
 					continue // sphere entirely inside the excluded ball
 				}
-				if !idx.scanSub(sub, q, rLo, rHi, entrySize, visit) {
+				more, err := idx.scanSub(sub, q, rLo, rHi, entrySize, io, visit)
+				if err != nil {
+					scanErr, stop = err, true
+					return false
+				}
+				if !more {
 					stop = true
 					return false
 				}
@@ -59,21 +69,23 @@ func (idx *Index) Search(q []float32, rLo, rHi float64, visit func(Candidate) bo
 			return err
 		}
 	}
-	return nil
+	return scanErr
 }
 
 // scanSub reads a sub-partition's pages sequentially, reporting matching
 // points. The first entry sits at (startPage, startSlot); later entries
-// continue across page boundaries. It returns false when visit stops the
-// scan.
-func (idx *Index) scanSub(sub subPartition, q []float32, rLo, rHi float64, entrySize int, visit func(Candidate) bool) bool {
+// continue across page boundaries. It returns more=false when visit stops
+// the scan, and a non-nil error when a page read fails (the caller must
+// not treat that as a clean early stop: a truncated candidate set would
+// silently void the probability guarantee).
+func (idx *Index) scanSub(sub subPartition, q []float32, rLo, rHi float64, entrySize int, io *pager.IOStats, visit func(Candidate) bool) (more bool, err error) {
 	remaining := sub.numPoints
 	slot := sub.startSlot
 	buf := make([]float32, idx.m)
 	for pid := sub.startPage; remaining > 0; pid++ {
-		page, err := idx.data.Read(pid)
+		page, err := idx.data.Read(pid, io)
 		if err != nil {
-			return false
+			return false, err
 		}
 		for ; slot < idx.entriesPerPage && remaining > 0; slot++ {
 			off := slot * entrySize
@@ -83,21 +95,21 @@ func (idx *Index) scanSub(sub subPartition, q []float32, rLo, rHi float64, entry
 			remaining--
 			if d <= rHi && (rLo < 0 || d > rLo) {
 				if !visit(Candidate{ID: id, Dist: d}) {
-					return false
+					return false, nil
 				}
 			}
 		}
 		slot = 0
 	}
-	return true
+	return true, nil
 }
 
 // RangeSearch collects every point within distance r of q, sorted by
 // ascending projected distance — the order MIP-Search-II consumes
-// candidates in.
-func (idx *Index) RangeSearch(q []float32, r float64) ([]Candidate, error) {
+// candidates in. Page reads are recorded in io.
+func (idx *Index) RangeSearch(q []float32, r float64, io *pager.IOStats) ([]Candidate, error) {
 	var out []Candidate
-	err := idx.Search(q, -1, r, func(c Candidate) bool {
+	err := idx.Search(q, -1, r, io, func(c Candidate) bool {
 		out = append(out, c)
 		return true
 	})
@@ -114,6 +126,7 @@ func (idx *Index) RangeSearch(q []float32, r float64) ([]Candidate, error) {
 // annulus.
 type Iterator struct {
 	idx     *Index
+	io      *pager.IOStats
 	q       []float32
 	r       float64
 	step    float64
@@ -124,10 +137,10 @@ type Iterator struct {
 	lastErr error
 }
 
-// NewIterator starts an incremental NN scan from q. The annulus width
-// defaults to the ring width ε (each expansion round touches at most one
-// new ring per partition).
-func (idx *Index) NewIterator(q []float32) *Iterator {
+// NewIterator starts an incremental NN scan from q, recording page reads
+// in io. The annulus width defaults to the ring width ε (each expansion
+// round touches at most one new ring per partition).
+func (idx *Index) NewIterator(q []float32, io *pager.IOStats) *Iterator {
 	maxR := 0.0
 	for p, c := range idx.centers {
 		if d := vec.L2Dist(q, c) + idx.radii[p]; d > maxR {
@@ -138,7 +151,7 @@ func (idx *Index) NewIterator(q []float32) *Iterator {
 	if step <= 0 {
 		step = 1
 	}
-	return &Iterator{idx: idx, q: q, step: step, maxR: maxR}
+	return &Iterator{idx: idx, io: io, q: q, step: step, maxR: maxR}
 }
 
 // Next returns the next nearest point, or ok=false when the index is
@@ -157,7 +170,7 @@ func (it *Iterator) Next() (Candidate, bool) {
 		// query far from all partitions doesn't crawl ε by ε.
 		it.buf = it.buf[:0]
 		it.pos = 0
-		err := it.idx.Search(it.q, lo, hi, func(c Candidate) bool {
+		err := it.idx.Search(it.q, lo, hi, it.io, func(c Candidate) bool {
 			it.buf = append(it.buf, c)
 			return true
 		})

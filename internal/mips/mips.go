@@ -14,9 +14,12 @@ type Result struct {
 
 // QueryStats is the per-query work report common to all methods.
 type QueryStats struct {
-	// PageAccesses counts disk pages touched during the query (buffer-pool
-	// misses with pools dropped at query start) — the paper's Page Access
-	// metric, identical accounting for every method.
+	// PageAccesses counts distinct disk pages touched during the query —
+	// the paper's Page Access metric, identical accounting for every
+	// method. ProMIPS accumulates it in a per-query pager.IOStats; the
+	// single-threaded baselines still measure it as buffer-pool misses
+	// against a pool dropped at query start (the two agree whenever the
+	// pool holds the query's working set).
 	PageAccesses int64
 	// Candidates is the number of points the method examined/verified.
 	Candidates int

@@ -4,14 +4,28 @@
 // hash tables, Range-LSH's sequential partitions, PQ's inverted lists) does
 // its I/O through a Pager, so the paper's "Page Access" metric is measured
 // identically for every method: one logical access per page touched.
+//
+// Concurrency. A Pager is safe for concurrent use. The read path takes the
+// pool lock shared: buffer-pool hits — the common case on a warm index —
+// touch only atomics (recency stamp, counters), so goroutines serving
+// different queries do not serialize on each other. Misses and writes take
+// the lock exclusive. Per-caller accounting goes through IOStats: each
+// query owns an accumulator and threads it through every Read, so no query
+// ever needs to reset the shared counters to measure itself.
+//
+// Page slices returned by Read alias the buffer pool and are never mutated
+// in place: Write installs a fresh buffer (copy-on-write) and eviction only
+// drops the pool's reference. A slice obtained before either event remains
+// a valid, stable snapshot of the page for as long as the caller keeps it.
 package pager
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultPageSize matches the paper's 4KB pages (64KB is used for P53).
@@ -20,9 +34,9 @@ const DefaultPageSize = 4096
 // ErrPageOutOfRange is returned when a page id does not exist in the file.
 var ErrPageOutOfRange = errors.New("pager: page id out of range")
 
-// Stats counts I/O activity. Accesses is the paper's Page Access metric:
-// the number of logical page reads issued by the search algorithms.
-// Misses counts buffer-pool misses (pages actually read from the file).
+// Stats counts I/O activity. Accesses is the number of logical page reads
+// issued through the pager; Misses counts buffer-pool misses (pages
+// actually read from the file).
 type Stats struct {
 	Accesses int64
 	Misses   int64
@@ -35,23 +49,88 @@ func (s Stats) Sub(t Stats) Stats {
 	return Stats{Accesses: s.Accesses - t.Accesses, Misses: s.Misses - t.Misses, Writes: s.Writes - t.Writes}
 }
 
+// ioKey identifies one page of one pager inside an IOStats set.
+type ioKey struct {
+	pager uint64
+	page  int64
+}
+
+// IOStats accumulates one caller's I/O across any number of pagers. It is
+// the per-query accounting channel: searches thread one accumulator through
+// every page read they issue, so the paper's Page Access metric is measured
+// per query without resetting (or even looking at) the pagers' shared
+// counters — which is what makes concurrent queries over one index
+// measurable at all.
+//
+// The zero value is ready to use. A nil *IOStats is valid everywhere one is
+// accepted and discards the accounting. An IOStats is NOT safe for
+// concurrent use: each query owns its own.
+type IOStats struct {
+	// Reads counts logical page reads (every Read/ReadCopy call).
+	Reads int64
+
+	seen map[ioKey]struct{}
+}
+
+func (s *IOStats) record(pager uint64, page int64) {
+	if s == nil {
+		return
+	}
+	s.Reads++
+	if s.seen == nil {
+		s.seen = make(map[ioKey]struct{}, 32)
+	}
+	s.seen[ioKey{pager, page}] = struct{}{}
+}
+
+// Pages returns the number of distinct pages touched — the paper's Page
+// Access metric (equivalent to the buffer-pool misses a query would incur
+// against a cold pool large enough to hold its working set, which is how
+// the metric was measured before accounting became per-query).
+func (s *IOStats) Pages() int64 {
+	if s == nil {
+		return 0
+	}
+	return int64(len(s.seen))
+}
+
+// Reset clears the accumulator for reuse.
+func (s *IOStats) Reset() {
+	if s == nil {
+		return
+	}
+	s.Reads = 0
+	clear(s.seen)
+}
+
+// nextPagerID distinguishes pagers inside IOStats sets.
+var nextPagerID atomic.Uint64
+
 type poolEntry struct {
 	id    int64
 	data  []byte
 	dirty bool
-	elem  *list.Element
+	// lastUsed is the recency stamp for eviction; updated with an atomic on
+	// the shared-lock hit path, compared under the exclusive lock when a
+	// miss needs a victim.
+	lastUsed atomic.Int64
 }
 
-// Pager owns one page file. It is safe for concurrent use.
+// Pager owns one page file. It is safe for concurrent use; see the package
+// comment for the locking contract.
 type Pager struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // guards f geometry, pool membership, dirty flags
 	f        *os.File
+	id       uint64
 	pageSize int
 	numPages int64
 	poolCap  int
 	pool     map[int64]*poolEntry
-	lruList  *list.List // front = most recently used
-	stats    Stats
+
+	clock    atomic.Int64 // recency source for lastUsed stamps
+	accesses atomic.Int64
+	misses   atomic.Int64
+	writes   atomic.Int64
 }
 
 // Options configures a Pager.
@@ -102,11 +181,11 @@ func Open(path string, opts Options) (*Pager, error) {
 func newPager(f *os.File, opts Options, numPages int64) *Pager {
 	return &Pager{
 		f:        f,
+		id:       nextPagerID.Add(1),
 		pageSize: opts.PageSize,
 		numPages: numPages,
 		poolCap:  opts.PoolSize,
 		pool:     make(map[int64]*poolEntry),
-		lruList:  list.New(),
 	}
 }
 
@@ -115,30 +194,34 @@ func (p *Pager) PageSize() int { return p.pageSize }
 
 // NumPages returns the number of allocated pages.
 func (p *Pager) NumPages() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.numPages
 }
 
 // SizeBytes returns the on-disk size of the page file.
 func (p *Pager) SizeBytes() int64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	return p.numPages * int64(p.pageSize)
 }
 
-// Stats returns a snapshot of the I/O counters.
+// Stats returns a snapshot of the shared I/O counters. Per-query accounting
+// should use IOStats instead; the shared counters exist for whole-run
+// aggregates and the single-threaded baseline methods.
 func (p *Pager) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return Stats{
+		Accesses: p.accesses.Load(),
+		Misses:   p.misses.Load(),
+		Writes:   p.writes.Load(),
+	}
 }
 
-// ResetStats zeroes the I/O counters.
+// ResetStats zeroes the shared I/O counters.
 func (p *Pager) ResetStats() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats = Stats{}
+	p.accesses.Store(0)
+	p.misses.Store(0)
+	p.writes.Store(0)
 }
 
 // Alloc appends a zeroed page and returns its id.
@@ -148,24 +231,64 @@ func (p *Pager) Alloc() (int64, error) {
 	id := p.numPages
 	p.numPages++
 	e := &poolEntry{id: id, data: make([]byte, p.pageSize), dirty: true}
+	e.lastUsed.Store(p.clock.Add(1))
 	p.insertLocked(e)
 	return id, nil
 }
 
-// Read returns the content of page id. The returned slice aliases the buffer
-// pool; callers must treat it as read-only and must not retain it across
-// other Pager calls. Use ReadCopy when a stable copy is needed.
-func (p *Pager) Read(id int64) ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.readLocked(id)
+// Read returns the content of page id, recording the access in io (nil
+// discards the accounting). The returned slice aliases the buffer pool;
+// callers must treat it as read-only. It remains a stable snapshot even
+// across concurrent Writes (which install fresh buffers), but holding it
+// does not pin the page in the pool.
+func (p *Pager) Read(id int64, io *IOStats) ([]byte, error) {
+	p.mu.RLock()
+	if id < 0 || id >= p.numPages {
+		n := p.numPages
+		p.mu.RUnlock()
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, n)
+	}
+	if e, ok := p.pool[id]; ok {
+		e.lastUsed.Store(p.clock.Add(1))
+		data := e.data
+		p.mu.RUnlock()
+		p.accesses.Add(1)
+		io.record(p.id, id)
+		return data, nil
+	}
+	p.mu.RUnlock()
+	return p.readMiss(id, io)
 }
 
-// ReadCopy returns a private copy of page id.
-func (p *Pager) ReadCopy(id int64, dst []byte) ([]byte, error) {
+// readMiss loads a page from the file under the exclusive lock.
+func (p *Pager) readMiss(id int64, io *IOStats) ([]byte, error) {
+	p.accesses.Add(1)
+	io.record(p.id, id)
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	data, err := p.readLocked(id)
+	if id >= p.numPages {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, p.numPages)
+	}
+	if e, ok := p.pool[id]; ok {
+		// Another goroutine loaded it between our shared and exclusive
+		// sections; not a miss.
+		e.lastUsed.Store(p.clock.Add(1))
+		return e.data, nil
+	}
+	p.misses.Add(1)
+	data := make([]byte, p.pageSize)
+	if _, err := p.f.ReadAt(data, id*int64(p.pageSize)); err != nil {
+		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	}
+	e := &poolEntry{id: id, data: data}
+	e.lastUsed.Store(p.clock.Add(1))
+	p.insertLocked(e)
+	return data, nil
+}
+
+// ReadCopy returns a private copy of page id, recording the access in io.
+func (p *Pager) ReadCopy(id int64, dst []byte, io *IOStats) ([]byte, error) {
+	data, err := p.Read(id, io)
 	if err != nil {
 		return nil, err
 	}
@@ -177,26 +300,9 @@ func (p *Pager) ReadCopy(id int64, dst []byte) ([]byte, error) {
 	return dst, nil
 }
 
-func (p *Pager) readLocked(id int64) ([]byte, error) {
-	if id < 0 || id >= p.numPages {
-		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, p.numPages)
-	}
-	p.stats.Accesses++
-	if e, ok := p.pool[id]; ok {
-		p.lruList.MoveToFront(e.elem)
-		return e.data, nil
-	}
-	p.stats.Misses++
-	data := make([]byte, p.pageSize)
-	if _, err := p.f.ReadAt(data, id*int64(p.pageSize)); err != nil {
-		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
-	}
-	e := &poolEntry{id: id, data: data}
-	p.insertLocked(e)
-	return data, nil
-}
-
 // Write replaces the content of page id. data must be exactly one page.
+// The pooled buffer is replaced, not overwritten, so slices handed out by
+// earlier Reads keep their pre-write snapshot.
 func (p *Pager) Write(id int64, data []byte) error {
 	if len(data) != p.pageSize {
 		return fmt.Errorf("pager: write of %d bytes, want %d", len(data), p.pageSize)
@@ -206,34 +312,48 @@ func (p *Pager) Write(id int64, data []byte) error {
 	if id < 0 || id >= p.numPages {
 		return fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, p.numPages)
 	}
-	p.stats.Writes++
+	p.writes.Add(1)
 	if e, ok := p.pool[id]; ok {
-		copy(e.data, data)
+		e.data = append([]byte(nil), data...)
 		e.dirty = true
-		p.lruList.MoveToFront(e.elem)
+		e.lastUsed.Store(p.clock.Add(1))
 		return nil
 	}
 	e := &poolEntry{id: id, data: append([]byte(nil), data...), dirty: true}
+	e.lastUsed.Store(p.clock.Add(1))
 	p.insertLocked(e)
 	return nil
 }
 
-// insertLocked adds e to the pool, evicting (and flushing) the LRU entry
-// when at capacity.
+// insertLocked adds e to the pool, evicting (and flushing) the
+// least-recently-stamped entries when at capacity. Finding victims costs a
+// scan of the pool, so a full pool is drained in batches: one scan frees
+// room for many subsequent misses, keeping eviction O(1) amortized on
+// miss-heavy workloads instead of O(poolCap) per page.
 func (p *Pager) insertLocked(e *poolEntry) {
-	for len(p.pool) >= p.poolCap {
-		tail := p.lruList.Back()
-		if tail == nil {
-			break
+	if len(p.pool) >= p.poolCap {
+		batch := p.poolCap / 16
+		if batch < 1 {
+			batch = 1
 		}
-		victim := tail.Value.(*poolEntry)
-		if victim.dirty {
-			p.flushLocked(victim)
+		victims := make([]*poolEntry, 0, len(p.pool))
+		for _, cand := range p.pool {
+			victims = append(victims, cand)
 		}
-		p.lruList.Remove(tail)
-		delete(p.pool, victim.id)
+		sort.Slice(victims, func(i, j int) bool {
+			return victims[i].lastUsed.Load() < victims[j].lastUsed.Load()
+		})
+		evict := len(p.pool) - p.poolCap + batch
+		if evict > len(victims) {
+			evict = len(victims)
+		}
+		for _, victim := range victims[:evict] {
+			if victim.dirty {
+				p.flushLocked(victim)
+			}
+			delete(p.pool, victim.id)
+		}
 	}
-	e.elem = p.lruList.PushFront(e)
 	p.pool[e.id] = e
 }
 
@@ -275,7 +395,6 @@ func (p *Pager) DropPool() error {
 		}
 	}
 	p.pool = make(map[int64]*poolEntry)
-	p.lruList.Init()
 	return nil
 }
 

@@ -2,6 +2,7 @@ package pager
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"path/filepath"
 	"sync"
@@ -29,7 +30,7 @@ func TestAllocReadWriteRoundTrip(t *testing.T) {
 	if err := p.Write(id, data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := p.Read(id)
+	got, err := p.Read(id, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestAllocReadWriteRoundTrip(t *testing.T) {
 func TestAllocReturnsZeroedPage(t *testing.T) {
 	p := newTestPager(t, Options{PageSize: 64})
 	id, _ := p.Alloc()
-	got, err := p.Read(id)
+	got, err := p.Read(id, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,10 +55,10 @@ func TestAllocReturnsZeroedPage(t *testing.T) {
 
 func TestReadOutOfRange(t *testing.T) {
 	p := newTestPager(t, Options{PageSize: 64})
-	if _, err := p.Read(0); err == nil {
+	if _, err := p.Read(0, nil); err == nil {
 		t.Fatal("expected error reading unallocated page")
 	}
-	if _, err := p.Read(-1); err == nil {
+	if _, err := p.Read(-1, nil); err == nil {
 		t.Fatal("expected error reading negative page id")
 	}
 	if err := p.Write(5, make([]byte, 64)); err == nil {
@@ -104,7 +105,7 @@ func TestPersistenceAcrossReopen(t *testing.T) {
 		t.Fatalf("NumPages after reopen = %d, want 20", q.NumPages())
 	}
 	for id, data := range want {
-		got, err := q.Read(id)
+		got, err := q.Read(id, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func TestStatsCounting(t *testing.T) {
 	}
 	p.ResetStats()
 	for _, id := range ids {
-		if _, err := p.Read(id); err != nil {
+		if _, err := p.Read(id, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -150,7 +151,7 @@ func TestStatsCounting(t *testing.T) {
 	}
 	// Re-reading the last 4 pages hits the pool: accesses grow, misses don't.
 	for _, id := range ids[6:] {
-		p.Read(id)
+		p.Read(id, nil)
 	}
 	s2 := p.Stats()
 	if s2.Accesses != 14 {
@@ -186,7 +187,7 @@ func TestLRUEvictionPreservesData(t *testing.T) {
 	// All but 2 pages have been evicted (and flushed). Everything must read
 	// back intact.
 	for i, data := range want {
-		got, err := p.Read(int64(i))
+		got, err := p.Read(int64(i), nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -201,12 +202,12 @@ func TestReadCopyIsPrivate(t *testing.T) {
 	id, _ := p.Alloc()
 	data := bytes.Repeat([]byte{7}, 64)
 	p.Write(id, data)
-	cp, err := p.ReadCopy(id, nil)
+	cp, err := p.ReadCopy(id, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cp[0] = 99
-	got, _ := p.Read(id)
+	got, _ := p.Read(id, nil)
 	if got[0] != 7 {
 		t.Fatal("ReadCopy aliased the pool buffer")
 	}
@@ -230,13 +231,13 @@ func TestConcurrentReaders(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				id := ids[(i*7+g)%len(ids)]
-				got, err := p.ReadCopy(id, nil)
+				got, err := p.ReadCopy(id, nil, nil)
 				if err != nil {
 					errs <- err
 					return
 				}
 				if got[0] != byte(id) {
-					errs <- bytes.ErrTooLarge // sentinel; message below
+					errs <- fmt.Errorf("goroutine %d: page %d corrupted: got[0]=%d, want %d", g, id, got[0], id)
 					return
 				}
 			}
@@ -282,7 +283,7 @@ func TestPropertyPoolTransparency(t *testing.T) {
 			want[id] = data
 		}
 		for i := 0; i < n; i++ {
-			got, err := p.Read(int64(i))
+			got, err := p.Read(int64(i), nil)
 			if err != nil || !bytes.Equal(got, want[i]) {
 				return false
 			}
@@ -291,5 +292,122 @@ func TestPropertyPoolTransparency(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestIOStatsPerCaller(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64, PoolSize: 8})
+	var ids []int64
+	for i := 0; i < 6; i++ {
+		id, _ := p.Alloc()
+		ids = append(ids, id)
+	}
+	var a, b IOStats
+	// Caller A touches pages 0..3, twice each; caller B touches 2..5 once.
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range ids[:4] {
+			if _, err := p.Read(id, &a); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, err := p.Read(id, &b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Reads != 8 || a.Pages() != 4 {
+		t.Fatalf("caller A: Reads=%d Pages=%d, want 8/4", a.Reads, a.Pages())
+	}
+	if b.Reads != 4 || b.Pages() != 4 {
+		t.Fatalf("caller B: Reads=%d Pages=%d, want 4/4", b.Reads, b.Pages())
+	}
+	a.Reset()
+	if a.Reads != 0 || a.Pages() != 0 {
+		t.Fatalf("after Reset: Reads=%d Pages=%d", a.Reads, a.Pages())
+	}
+}
+
+func TestIOStatsSpansPagers(t *testing.T) {
+	dir := t.TempDir()
+	p1, err := Create(filepath.Join(dir, "a.db"), Options{PageSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	p2, err := Create(filepath.Join(dir, "b.db"), Options{PageSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	id1, _ := p1.Alloc()
+	id2, _ := p2.Alloc()
+	var io IOStats
+	// Page 0 of two different pagers must count as two distinct pages.
+	if _, err := p1.Read(id1, &io); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Read(id2, &io); err != nil {
+		t.Fatal(err)
+	}
+	if io.Pages() != 2 {
+		t.Fatalf("Pages = %d, want 2 (distinct pagers)", io.Pages())
+	}
+}
+
+func TestNilIOStatsDiscards(t *testing.T) {
+	var io *IOStats
+	io.record(1, 2) // must not panic
+	if io.Pages() != 0 {
+		t.Fatal("nil IOStats reported pages")
+	}
+	io.Reset()
+}
+
+// TestConcurrentPerQueryAccounting is the pager-level version of the
+// index-level guarantee: goroutines hammering one pager each see exactly
+// their own page set in their IOStats, independent of pool state and of
+// what the other goroutines read.
+func TestConcurrentPerQueryAccounting(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64, PoolSize: 4})
+	const numPages = 24
+	for i := 0; i < numPages; i++ {
+		id, _ := p.Alloc()
+		data := make([]byte, 64)
+		data[0] = byte(id)
+		if err := p.Write(id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var io IOStats
+			seen := make(map[int64]bool)
+			for i := 0; i < 300; i++ {
+				id := int64((i*5 + g*3) % numPages)
+				got, err := p.Read(id, &io)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got[0] != byte(id) {
+					errs <- fmt.Errorf("goroutine %d: page %d corrupted: got[0]=%d, want %d", g, id, got[0], id)
+					return
+				}
+				seen[id] = true
+			}
+			if io.Reads != 300 || io.Pages() != int64(len(seen)) {
+				errs <- fmt.Errorf("goroutine %d: accounting drift: Reads=%d (want 300), Pages=%d (want %d)", g, io.Reads, io.Pages(), len(seen))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent accounting failed: %v", err)
 	}
 }

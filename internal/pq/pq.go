@@ -455,7 +455,7 @@ func (ix *Index) readRotateResidual(c int, x []float32) ([]float32, error) {
 	out := make([]float32, D)
 	rowsDone := 0
 	for pid := ix.cells[c].rotStart; rowsDone < D; pid++ {
-		page, err := ix.rotPg.Read(pid)
+		page, err := ix.rotPg.Read(pid, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -594,7 +594,7 @@ func (ix *Index) Search(q []float32, k int) ([]mips.Result, mips.QueryStats, err
 		}
 		remaining := meta.count
 		for pid := meta.listStart; remaining > 0; pid++ {
-			page, err := ix.listPg.Read(pid)
+			page, err := ix.listPg.Read(pid, nil)
 			if err != nil {
 				return nil, qs, err
 			}
@@ -622,7 +622,7 @@ func (ix *Index) Search(q []float32, k int) ([]mips.Result, mips.QueryStats, err
 		buf := make([]float32, ix.d)
 		top := mips.NewTopK(k)
 		for _, b := range best {
-			o, err := ix.orig.Vector(b.id, buf)
+			o, err := ix.orig.Vector(b.id, buf, nil)
 			if err != nil {
 				return nil, qs, err
 			}

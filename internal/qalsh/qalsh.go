@@ -224,7 +224,7 @@ func (idx *Index) Pager() *pager.Pager { return idx.pg }
 // entry reads entry j of table t.
 func (idx *Index) entry(t int, j int) (float64, uint32, error) {
 	pid := idx.tableStart[t] + int64(j/idx.entriesPerPage)
-	page, err := idx.pg.Read(pid)
+	page, err := idx.pg.Read(pid, nil)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -295,7 +295,7 @@ func (ix *Index) Search(q []float32, k int) ([]mips.Result, mips.QueryStats, err
 		}
 		b := ix.buckets[rb.bi]
 		for pos := b.startPos; pos < b.startPos+b.count; pos++ {
-			o, err := ix.orig.VectorAt(pos, buf)
+			o, err := ix.orig.VectorAt(pos, buf, nil)
 			if err != nil {
 				return nil, qs, err
 			}

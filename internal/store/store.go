@@ -170,7 +170,7 @@ func Open(path string, opts pager.Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	header, err := pg.Read(0)
+	header, err := pg.Read(0, nil)
 	if err != nil {
 		pg.Close()
 		return nil, err
@@ -190,7 +190,7 @@ func Open(path string, opts pager.Options) (*Store, error) {
 		firstData: int64(1 + tablePgs),
 	}
 	for p := 0; p < tablePgs; p++ {
-		buf, err := pg.Read(int64(1 + p))
+		buf, err := pg.Read(int64(1+p), nil)
 		if err != nil {
 			pg.Close()
 			return nil, err
@@ -222,21 +222,23 @@ func (s *Store) SizeBytes() int64 { return s.pg.SizeBytes() }
 func (s *Store) Pos(id uint32) int { return int(s.pos[id]) }
 
 // Vector reads the vector for id (one page access; pages shared by nearby
-// positions hit the buffer pool). dst is reused when large enough.
-func (s *Store) Vector(id uint32, dst []float32) ([]float32, error) {
+// positions hit the buffer pool). dst is reused when large enough. The page
+// read is recorded in io (nil discards the accounting).
+func (s *Store) Vector(id uint32, dst []float32, io *pager.IOStats) ([]float32, error) {
 	if int(id) >= s.n {
 		return nil, fmt.Errorf("store: id %d out of range [0,%d)", id, s.n)
 	}
-	return s.VectorAt(int(s.pos[id]), dst)
+	return s.VectorAt(int(s.pos[id]), dst, io)
 }
 
-// VectorAt reads the vector at a layout position.
-func (s *Store) VectorAt(posn int, dst []float32) ([]float32, error) {
+// VectorAt reads the vector at a layout position, recording the page read
+// in io.
+func (s *Store) VectorAt(posn int, dst []float32, io *pager.IOStats) ([]float32, error) {
 	if posn < 0 || posn >= s.n {
 		return nil, fmt.Errorf("store: position %d out of range [0,%d)", posn, s.n)
 	}
 	pid := s.firstData + int64(posn/s.perPage)
-	page, err := s.pg.Read(pid)
+	page, err := s.pg.Read(pid, io)
 	if err != nil {
 		return nil, err
 	}

@@ -42,7 +42,7 @@ func TestVectorDstReuse(t *testing.T) {
 	vecs := [][]float32{randVec(r, 6), randVec(r, 6)}
 	st := buildStore(t, 6, 2, 256, []uint32{0, 1}, vecs)
 	dst := make([]float32, 16)
-	got, err := st.Vector(0, dst)
+	got, err := st.Vector(0, dst, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestMultiPageIDTable(t *testing.T) {
 	}
 	defer st2.Close()
 	for id := uint32(0); id < n; id++ {
-		got, err := st2.Vector(id, nil)
+		got, err := st2.Vector(id, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

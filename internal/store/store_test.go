@@ -46,7 +46,7 @@ func TestRoundTripSequentialOrder(t *testing.T) {
 	}
 	st := buildStore(t, dim, n, 512, order, vecs)
 	for id := uint32(0); id < n; id++ {
-		got, err := st.Vector(id, nil)
+		got, err := st.Vector(id, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -77,7 +77,7 @@ func TestRoundTripShuffledLayout(t *testing.T) {
 		}
 	}
 	for id := uint32(0); id < n; id++ {
-		got, err := st.Vector(id, nil)
+		got, err := st.Vector(id, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +149,7 @@ func TestPersistenceReopen(t *testing.T) {
 		t.Fatalf("reopened dims = (%d,%d)", st2.Dim(), st2.Len())
 	}
 	for id := uint32(0); id < n; id++ {
-		got, err := st2.Vector(id, nil)
+		got, err := st2.Vector(id, nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -176,7 +176,7 @@ func TestPageLocalityOfAdjacentPositions(t *testing.T) {
 	pg.DropPool()
 	pg.ResetStats()
 	for pos := 0; pos < 8; pos++ {
-		if _, err := st.VectorAt(pos, nil); err != nil {
+		if _, err := st.VectorAt(pos, nil, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -189,10 +189,10 @@ func TestOutOfRangeReads(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	vecs := [][]float32{randVec(r, 4)}
 	st := buildStore(t, 4, 1, 256, []uint32{0}, vecs)
-	if _, err := st.Vector(1, nil); err == nil {
+	if _, err := st.Vector(1, nil, nil); err == nil {
 		t.Fatal("expected error for id out of range")
 	}
-	if _, err := st.VectorAt(-1, nil); err == nil {
+	if _, err := st.VectorAt(-1, nil, nil); err == nil {
 		t.Fatal("expected error for negative position")
 	}
 }

@@ -76,11 +76,14 @@ type SearchStats = core.SearchStats
 // SizeBreakdown itemizes index storage.
 type SizeBreakdown = core.SizeBreakdown
 
-// Index is a ProMIPS index over a dataset. An Index is not safe for
-// concurrent use: queries reset shared buffer-pool statistics to produce
-// per-query page-access counts (the paper's evaluation metric). Wrap an
-// Index in a mutex, or build one Index per goroutine over the same Dir,
-// when concurrent querying is needed.
+// Index is a ProMIPS index over a dataset. An Index is safe for concurrent
+// use: any number of goroutines may call Search, SearchIncremental, Exact
+// and the accessors simultaneously, and Insert/Delete interleave correctly
+// with them (searches see either the state before or after an update,
+// never a partial one). Every query accounts its page accesses in a
+// private accumulator, so SearchStats stays exact — the paper's per-query
+// Page Access metric — under any level of concurrency. See DESIGN.md for
+// the locking contract layer by layer.
 type Index struct {
 	inner   *core.Index
 	dir     string
@@ -118,6 +121,22 @@ func Build(data [][]float32, opts Options) (*Index, error) {
 // ⟨oi,q⟩ ≥ c·⟨o*i,q⟩ against the exact i-th MIP point o*i.
 func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
 	return ix.inner.Search(q, k)
+}
+
+// SearchBatch answers many queries concurrently against the shared index
+// with a bounded worker pool (one worker per available CPU, at most one per
+// query). Results and stats are positionally aligned with queries, and each
+// query's answer is identical to what a sequential Search would return. The
+// first query error cancels the remaining work and is returned.
+func (ix *Index) SearchBatch(queries [][]float32, k int) ([][]Result, []SearchStats, error) {
+	return ix.inner.SearchBatch(queries, k, 0)
+}
+
+// SearchBatchWorkers is SearchBatch with an explicit worker-pool size;
+// workers <= 0 uses one worker per available CPU. It exists for throughput
+// experiments that sweep the worker count.
+func (ix *Index) SearchBatchWorkers(queries [][]float32, k, workers int) ([][]Result, []SearchStats, error) {
+	return ix.inner.SearchBatch(queries, k, workers)
 }
 
 // SearchIncremental answers the same query with the paper's Algorithm 1

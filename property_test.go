@@ -1,0 +1,84 @@
+package promips
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestGuaranteeProperty checks the paper's contract as a property, table-
+// driven across seeds, dimensionalities and (c, p) settings: over a query
+// workload, the fraction of queries whose returned top-1 inner product
+// reaches c times the exact top-1 must be at least the configured p. The
+// guarantee is probabilistic, so the assertion is on the success rate, not
+// on every query; seeds are fixed so the rates are reproducible. Both the
+// Quick-Probe path (Search) and Algorithm 1 (SearchIncremental) must honor
+// the same bound.
+func TestGuaranteeProperty(t *testing.T) {
+	cases := []struct {
+		n, d, m int
+		c, p    float64
+		seed    int64
+	}{
+		{n: 800, d: 16, m: 5, c: 0.9, p: 0.5, seed: 101},
+		{n: 800, d: 16, m: 5, c: 0.9, p: 0.9, seed: 102},
+		{n: 600, d: 24, m: 6, c: 0.8, p: 0.7, seed: 103},
+		{n: 600, d: 12, m: 4, c: 0.7, p: 0.5, seed: 104},
+		{n: 1200, d: 32, m: 6, c: 0.9, p: 0.8, seed: 105},
+	}
+	for ci, tc := range cases {
+		if testing.Short() && ci >= 2 {
+			break
+		}
+		name := fmt.Sprintf("n=%d_d=%d_c=%.1f_p=%.1f", tc.n, tc.d, tc.c, tc.p)
+		t.Run(name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(tc.seed))
+			data := randData(r, tc.n, tc.d)
+			ix, err := Build(data, Options{
+				Dir: t.TempDir(), C: tc.c, P: tc.p, M: tc.m, Seed: tc.seed + 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ix.Close()
+
+			const numQueries = 20
+			okSearch, okIncr := 0, 0
+			for qi := 0; qi < numQueries; qi++ {
+				// The paper's workload: queries are dataset members, so the
+				// exact top-1 inner product is strictly positive and the
+				// c-approximation inequality is meaningful.
+				q := data[r.Intn(len(data))]
+				exact, err := ix.Exact(q, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := tc.c * exact[0].IP
+
+				res, _, err := ix.Search(q, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res[0].IP >= want-1e-9 {
+					okSearch++
+				}
+				inc, _, err := ix.SearchIncremental(q, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if inc[0].IP >= want-1e-9 {
+					okIncr++
+				}
+			}
+			minOK := int(tc.p * numQueries)
+			if okSearch < minOK {
+				t.Errorf("Search: %d/%d queries met the c=%.1f bound, need >= %d (p=%.1f)",
+					okSearch, numQueries, tc.c, minOK, tc.p)
+			}
+			if okIncr < minOK {
+				t.Errorf("SearchIncremental: %d/%d queries met the c=%.1f bound, need >= %d (p=%.1f)",
+					okIncr, numQueries, tc.c, minOK, tc.p)
+			}
+		})
+	}
+}
