@@ -5,7 +5,6 @@ import (
 	"strings"
 	"testing"
 
-	"promips/internal/core"
 	"promips/internal/dataset"
 )
 
@@ -68,7 +67,7 @@ func TestBuildUnknownMethod(t *testing.T) {
 
 func TestMeasureProMIPS(t *testing.T) {
 	env := tinyEnv(t, 800, 5)
-	b, err := env.BuildProMIPS(core.Options{M: 5})
+	b, err := env.BuildProMIPS(ProMIPSOptions{M: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,13 +12,13 @@ import (
 	"path/filepath"
 	"time"
 
+	"promips/exact"
 	"promips/internal/core"
 	"promips/internal/dataset"
-	"promips/internal/exact"
 	"promips/internal/h2alsh"
-	"promips/internal/mips"
 	"promips/internal/pq"
 	"promips/internal/rangelsh"
+	"promips/mips"
 )
 
 // Config describes one experimental environment.
@@ -160,9 +160,34 @@ func (a proMIPSIncrementalAdapter) Search(q []float32, k int) ([]mips.Result, mi
 func (a proMIPSIncrementalAdapter) IndexSizeBytes() int64 { return a.ix.Sizes().Total() }
 func (a proMIPSIncrementalAdapter) Close() error          { return a.ix.Close() }
 
+// ProMIPSOptions selects the ProMIPS build parameters for one experiment.
+// Zero fields fall back to the environment's config and the dataset spec
+// (c, p, m, page size, seed), then to the paper's defaults. It mirrors
+// promips.Options without the directory field — the harness owns its work
+// directories — so the package's exported surface stays free of internal
+// types.
+type ProMIPSOptions struct {
+	C, P          float64
+	M             int
+	Kp, Nkey, Ksp int
+	Epsilon       float64
+	PageSize      int
+	PoolSize      int
+	Seed          int64
+}
+
+func (o ProMIPSOptions) core() core.Options {
+	return core.Options{
+		C: o.C, P: o.P, M: o.M,
+		Kp: o.Kp, Nkey: o.Nkey, Ksp: o.Ksp, Epsilon: o.Epsilon,
+		PageSize: o.PageSize, PoolSize: o.PoolSize, Seed: o.Seed,
+	}
+}
+
 // BuildProMIPS builds the ProMIPS index with the paper's per-dataset
-// parameters. Extra core options (c, p, m, ksp) come from cfg and the spec.
-func (e *Env) BuildProMIPS(opts core.Options) (Built, error) {
+// parameters. Extra options (c, p, m, ksp) come from cfg and the spec.
+func (e *Env) BuildProMIPS(popts ProMIPSOptions) (Built, error) {
+	opts := popts.core()
 	dir := filepath.Join(e.dir, fmt.Sprintf("promips-%d", time.Now().UnixNano()))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return Built{}, err
@@ -192,7 +217,7 @@ func (e *Env) BuildProMIPS(opts core.Options) (Built, error) {
 
 // BuildProMIPSIncremental builds the same index but queries it with
 // Algorithm 1 (for the Quick-Probe ablation).
-func (e *Env) BuildProMIPSIncremental(opts core.Options) (Built, error) {
+func (e *Env) BuildProMIPSIncremental(opts ProMIPSOptions) (Built, error) {
 	b, err := e.BuildProMIPS(opts)
 	if err != nil {
 		return Built{}, err
@@ -204,6 +229,9 @@ func (e *Env) BuildProMIPSIncremental(opts core.Options) (Built, error) {
 
 // Build constructs one method by name with the paper's settings.
 func (e *Env) Build(name string) (Built, error) {
+	if name == "ProMIPS" {
+		return e.BuildProMIPS(ProMIPSOptions{}) // manages its own directory
+	}
 	spec := e.Cfg.Spec
 	dir := filepath.Join(e.dir, fmt.Sprintf("%s-%d", name, time.Now().UnixNano()))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -211,8 +239,6 @@ func (e *Env) Build(name string) (Built, error) {
 	}
 	start := time.Now()
 	switch name {
-	case "ProMIPS":
-		return e.BuildProMIPS(core.Options{})
 	case "H2-ALSH":
 		ix, err := h2alsh.Build(e.Data, dir, h2alsh.Config{
 			C0: 2.0, PageSize: spec.PageSize, Seed: e.Cfg.Seed,

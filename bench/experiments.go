@@ -1,13 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"promips/internal/core"
-	"promips/internal/mips"
 	"promips/internal/vec"
+	"promips/mips"
 )
 
 // PageCostMs is the simulated per-page disk read cost used by the Total
@@ -135,7 +136,7 @@ func Fig10(e *Env, cs []float64, k int) (Table, error) {
 		Header: []string{"c", "OverallRatio", "Recall", "PageAccess", "CPUms"},
 	}
 	for _, c := range cs {
-		b, err := e.BuildProMIPS(core.Options{C: c})
+		b, err := e.BuildProMIPS(ProMIPSOptions{C: c})
 		if err != nil {
 			return t, err
 		}
@@ -156,7 +157,7 @@ func Fig11(e *Env, ps []float64, k int) (Table, error) {
 		Header: []string{"p", "OverallRatio", "Recall", "PageAccess", "CPUms"},
 	}
 	for _, pv := range ps {
-		b, err := e.BuildProMIPS(core.Options{P: pv})
+		b, err := e.BuildProMIPS(ProMIPSOptions{P: pv})
 		if err != nil {
 			return t, err
 		}
@@ -186,7 +187,7 @@ func Table2Scaling(cfgBase Config, ns []int, k int) (Table, error) {
 		if err != nil {
 			return t, err
 		}
-		b, err := env.BuildProMIPS(core.Options{})
+		b, err := env.BuildProMIPS(ProMIPSOptions{})
 		if err != nil {
 			env.Close()
 			return t, err
@@ -216,7 +217,7 @@ func Concurrency(e *Env, workerCounts []int, k, rounds int) (Table, error) {
 	if rounds <= 0 {
 		rounds = 1
 	}
-	b, err := e.BuildProMIPS(core.Options{})
+	b, err := e.BuildProMIPS(ProMIPSOptions{})
 	if err != nil {
 		return t, err
 	}
@@ -229,13 +230,13 @@ func Concurrency(e *Env, workerCounts []int, k, rounds int) (Table, error) {
 	}
 	// Untimed warm-up so the first worker count (the speedup baseline) does
 	// not pay the cold buffer-pool misses the later counts reuse.
-	if _, _, err := ix.SearchBatch(e.Queries, k, 1); err != nil {
+	if _, _, err := ix.SearchBatch(context.Background(), e.Queries, k, 1, core.SearchParams{}); err != nil {
 		return t, err
 	}
 	var base float64
 	for _, w := range workerCounts {
 		start := time.Now()
-		_, qstats, err := ix.SearchBatch(workload, k, w)
+		_, qstats, err := ix.SearchBatch(context.Background(), workload, k, w, core.SearchParams{})
 		if err != nil {
 			return t, err
 		}
@@ -266,12 +267,12 @@ func AblationQuickProbe(e *Env, ks []int) (Table, error) {
 		Title:  fmt.Sprintf("Ablation: Quick-Probe (Alg 3) vs incremental (Alg 1) — %s", e.Cfg.Spec.Name),
 		Header: []string{"k", "QP-CPUms", "Inc-CPUms", "QP-Pages", "Inc-Pages", "QP-Ratio", "Inc-Ratio"},
 	}
-	qp, err := e.BuildProMIPS(core.Options{})
+	qp, err := e.BuildProMIPS(ProMIPSOptions{})
 	if err != nil {
 		return t, err
 	}
 	defer qp.Method.Close()
-	inc, err := e.BuildProMIPSIncremental(core.Options{})
+	inc, err := e.BuildProMIPSIncremental(ProMIPSOptions{})
 	if err != nil {
 		return t, err
 	}
@@ -298,12 +299,12 @@ func AblationPartition(e *Env, ks []int) (Table, error) {
 		Title:  fmt.Sprintf("Ablation: new partition pattern vs ring-only iDistance — %s", e.Cfg.Spec.Name),
 		Header: []string{"k", "New-Pages", "RingOnly-Pages", "New-CPUms", "RingOnly-CPUms"},
 	}
-	sub, err := e.BuildProMIPS(core.Options{})
+	sub, err := e.BuildProMIPS(ProMIPSOptions{})
 	if err != nil {
 		return t, err
 	}
 	defer sub.Method.Close()
-	ring, err := e.BuildProMIPS(core.Options{Ksp: 1})
+	ring, err := e.BuildProMIPS(ProMIPSOptions{Ksp: 1})
 	if err != nil {
 		return t, err
 	}
@@ -330,7 +331,7 @@ func AblationProjDim(e *Env, ms []int, k int) (Table, error) {
 		Header: []string{"m", "OverallRatio", "PageAccess", "CPUms", "IndexMB"},
 	}
 	for _, m := range ms {
-		b, err := e.BuildProMIPS(core.Options{M: m})
+		b, err := e.BuildProMIPS(ProMIPSOptions{M: m})
 		if err != nil {
 			return t, err
 		}

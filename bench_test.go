@@ -9,16 +9,17 @@
 package promips
 
 import (
+	"context"
 	"os"
 	"strconv"
 	"sync"
 	"testing"
 
-	"promips/internal/bench"
+	"promips/bench"
 	"promips/internal/core"
 	"promips/internal/dataset"
-	"promips/internal/mips"
 	"promips/internal/randproj"
+	"promips/mips"
 )
 
 // benchN is the shared dataset size; override with PROMIPS_BENCH_N.
@@ -163,7 +164,7 @@ func BenchmarkFig10ImpactC(b *testing.B) {
 	env, _ := sharedEnv(b)
 	for _, c := range []float64{0.7, 0.8, 0.9} {
 		b.Run("c="+strconv.FormatFloat(c, 'f', 1, 64), func(b *testing.B) {
-			bt, err := env.BuildProMIPS(core.Options{C: c})
+			bt, err := env.BuildProMIPS(bench.ProMIPSOptions{C: c})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -185,7 +186,7 @@ func BenchmarkFig11ImpactP(b *testing.B) {
 	env, _ := sharedEnv(b)
 	for _, pv := range []float64{0.3, 0.5, 0.7, 0.9} {
 		b.Run("p="+strconv.FormatFloat(pv, 'f', 1, 64), func(b *testing.B) {
-			bt, err := env.BuildProMIPS(core.Options{P: pv})
+			bt, err := env.BuildProMIPS(bench.ProMIPSOptions{P: pv})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -214,7 +215,7 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 	defer ix.Close()
 	// Warm the buffer pool so every worker count runs against the same
 	// cache state.
-	if _, _, err := ix.SearchBatch(env.Queries, 10, 1); err != nil {
+	if _, _, err := ix.SearchBatch(context.Background(), env.Queries, 10, 1, core.SearchParams{}); err != nil {
 		b.Fatal(err)
 	}
 	for _, w := range []int{1, 2, 4, 8} {
@@ -222,7 +223,7 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 			queries := 0
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := ix.SearchBatch(env.Queries, 10, w); err != nil {
+				if _, _, err := ix.SearchBatch(context.Background(), env.Queries, 10, w, core.SearchParams{}); err != nil {
 					b.Fatal(err)
 				}
 				queries += len(env.Queries)
@@ -245,7 +246,7 @@ func BenchmarkTable2Scaling(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer env.Close()
-			bt, err := env.BuildProMIPS(core.Options{})
+			bt, err := env.BuildProMIPS(bench.ProMIPSOptions{})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -265,12 +266,12 @@ func BenchmarkTable2Scaling(b *testing.B) {
 // Algorithm 1 (incremental NN) — the design §V motivates.
 func BenchmarkAblationQuickProbe(b *testing.B) {
 	env, _ := sharedEnv(b)
-	qp, err := env.BuildProMIPS(core.Options{})
+	qp, err := env.BuildProMIPS(bench.ProMIPSOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
 	defer qp.Method.Close()
-	inc, err := env.BuildProMIPSIncremental(core.Options{})
+	inc, err := env.BuildProMIPSIncremental(bench.ProMIPSOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func BenchmarkAblationPartition(b *testing.B) {
 		ksp  int
 	}{{"sub-partitions", 0}, {"ring-only", 1}} {
 		b.Run(tc.name, func(b *testing.B) {
-			bt, err := env.BuildProMIPS(core.Options{Ksp: tc.ksp})
+			bt, err := env.BuildProMIPS(bench.ProMIPSOptions{Ksp: tc.ksp})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -318,7 +319,7 @@ func BenchmarkAblationProjDim(b *testing.B) {
 	env, _ := sharedEnv(b)
 	for _, m := range []int{4, 6, 8, 10} {
 		b.Run("m="+strconv.Itoa(m), func(b *testing.B) {
-			bt, err := env.BuildProMIPS(core.Options{M: m})
+			bt, err := env.BuildProMIPS(bench.ProMIPSOptions{M: m})
 			if err != nil {
 				b.Fatal(err)
 			}

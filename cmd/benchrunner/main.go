@@ -21,8 +21,8 @@ import (
 	"os"
 	"strings"
 
-	"promips/internal/bench"
-	"promips/internal/dataset"
+	"promips/bench"
+	"promips/dataset"
 )
 
 func main() {

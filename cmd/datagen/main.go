@@ -12,10 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
-	"promips/internal/dataset"
-	"promips/internal/vec"
+	"promips/dataset"
 )
 
 func main() {
@@ -63,5 +63,9 @@ func printSummary() {
 	}
 	// Show a sample norm to confirm generators are alive.
 	sample := dataset.Netflix().Generate(1, 1)
-	fmt.Printf("\nsample Netflix vector norm: %.3f\n", vec.Norm2(sample[0]))
+	var n2 float64
+	for _, x := range sample[0] {
+		n2 += float64(x) * float64(x)
+	}
+	fmt.Printf("\nsample Netflix vector norm: %.3f\n", math.Sqrt(n2))
 }

@@ -1,23 +1,25 @@
-// Command promipsctl builds, inspects and queries ProMIPS indexes from the
-// command line.
+// Command promipsctl builds, inspects, queries and maintains ProMIPS
+// indexes from the command line, entirely through the public promips API.
 //
 // Usage:
 //
-//	promipsctl build -data vectors.pds -dir ./idx [-c 0.9 -p 0.5 -m 0 -page 4096]
-//	promipsctl query -dir ./idx -data vectors.pds [-k 10 -queries 5 -seed 1]
-//	promipsctl stats -dir ./idx
+//	promipsctl build   -data vectors.pds -dir ./idx [-c 0.9 -p 0.5 -m 0 -page 4096]
+//	promipsctl query   -dir ./idx -data vectors.pds [-k 10 -queries 5 -seed 1 -c 0 -p 0]
+//	promipsctl compact -dir ./idx
+//	promipsctl stats   -dir ./idx
 //
 // Vector files use the datagen format (see cmd/datagen).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"promips/internal/core"
-	"promips/internal/dataset"
+	"promips"
+	"promips/dataset"
 )
 
 func main() {
@@ -31,6 +33,8 @@ func main() {
 		err = runBuild(os.Args[2:])
 	case "query":
 		err = runQuery(os.Args[2:])
+	case "compact":
+		err = runCompact(os.Args[2:])
 	case "stats":
 		err = runStats(os.Args[2:])
 	default:
@@ -45,9 +49,10 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  promipsctl build -data vectors.pds -dir ./idx [-c 0.9 -p 0.5 -m 0 -page 4096 -seed 1]
-  promipsctl query -dir ./idx -data vectors.pds [-k 10 -queries 5 -seed 1]
-  promipsctl stats -dir ./idx`)
+  promipsctl build   -data vectors.pds -dir ./idx [-c 0.9 -p 0.5 -m 0 -page 4096 -seed 1]
+  promipsctl query   -dir ./idx -data vectors.pds [-k 10 -queries 5 -seed 1 -c 0 -p 0]
+  promipsctl compact -dir ./idx
+  promipsctl stats   -dir ./idx`)
 }
 
 func runBuild(args []string) error {
@@ -71,14 +76,14 @@ func runBuild(args []string) error {
 		return err
 	}
 	start := time.Now()
-	ix, err := core.Build(data, *dir, core.Options{
-		C: *c, P: *p, M: *m, PageSize: *page, Seed: *seed,
+	ix, err := promips.Build(data, promips.Options{
+		Dir: *dir, C: *c, P: *p, M: *m, PageSize: *page, Seed: *seed,
 	})
 	if err != nil {
 		return err
 	}
 	defer ix.Close()
-	if err := ix.Save(*dir); err != nil {
+	if err := ix.Save(); err != nil {
 		return err
 	}
 	sz := ix.Sizes()
@@ -97,11 +102,13 @@ func runQuery(args []string) error {
 	k := fs.Int("k", 10, "results per query")
 	nq := fs.Int("queries", 5, "number of queries")
 	seed := fs.Int64("seed", 1, "query selection seed")
+	c := fs.Float64("c", 0, "per-query approximation ratio override (0 = index default)")
+	p := fs.Float64("p", 0, "per-query guarantee probability override (0 = index default)")
 	fs.Parse(args)
 	if *dir == "" || *dataPath == "" {
 		return fmt.Errorf("query requires -dir and -data")
 	}
-	ix, err := core.Open(*dir)
+	ix, err := promips.Open(*dir)
 	if err != nil {
 		return err
 	}
@@ -110,11 +117,19 @@ func runQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	var opts []promips.SearchOption
+	if *c != 0 {
+		opts = append(opts, promips.WithC(*c))
+	}
+	if *p != 0 {
+		opts = append(opts, promips.WithP(*p))
+	}
+	ctx := context.Background()
 	rng := newRand(*seed)
 	for qi := 0; qi < *nq; qi++ {
 		q := data[rng.Intn(len(data))]
 		start := time.Now()
-		res, st, err := ix.Search(q, *k)
+		res, st, err := ix.Search(ctx, q, *k, opts...)
 		if err != nil {
 			return err
 		}
@@ -127,6 +142,30 @@ func runQuery(args []string) error {
 	return nil
 }
 
+func runCompact(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	dir := fs.String("dir", "", "index directory")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("compact requires -dir")
+	}
+	ix, err := promips.Open(*dir)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	before := ix.Len()
+	start := time.Now()
+	remap, err := ix.Compact(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compacted %d -> %d points in %v (ids remapped densely)\n",
+		before, len(remap), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("index size now %.2f MB\n", float64(ix.Sizes().Total())/(1<<20))
+	return nil
+}
+
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	dir := fs.String("dir", "", "index directory")
@@ -134,14 +173,14 @@ func runStats(args []string) error {
 	if *dir == "" {
 		return fmt.Errorf("stats requires -dir")
 	}
-	ix, err := core.Open(*dir)
+	ix, err := promips.Open(*dir)
 	if err != nil {
 		return err
 	}
 	defer ix.Close()
 	o := ix.Options()
 	sz := ix.Sizes()
-	fmt.Printf("points: %d  dim: %d  projected m: %d\n", ix.Len(), ix.Dim(), ix.M())
+	fmt.Printf("points: %d (live %d)  dim: %d  projected m: %d\n", ix.Len(), ix.LiveCount(), ix.Dim(), ix.M())
 	fmt.Printf("c: %.2f  p: %.2f  page size: %d\n", o.C, o.P, o.PageSize)
 	fmt.Printf("index size: %.2f MB\n", float64(sz.Total())/(1<<20))
 	fmt.Printf("  btree:       %10d bytes\n", sz.BTree)

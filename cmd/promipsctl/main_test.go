@@ -5,7 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
-	"promips/internal/dataset"
+	"promips/dataset"
 )
 
 // The CLI's subcommand helpers are exercised directly: write a dataset
@@ -35,6 +35,12 @@ func TestCLIBuildQueryStatsRoundTrip(t *testing.T) {
 	if err := runQuery([]string{"-dir", idxDir, "-data", dataPath, "-k", "5", "-queries", "2"}); err != nil {
 		t.Fatalf("query: %v", err)
 	}
+	if err := runCompact([]string{"-dir", idxDir}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	if err := runQuery([]string{"-dir", idxDir, "-data", dataPath, "-k", "5", "-queries", "2", "-c", "0.8", "-p", "0.7"}); err != nil {
+		t.Fatalf("query after compact: %v", err)
+	}
 	if err := runStats([]string{"-dir", idxDir}); err != nil {
 		t.Fatalf("stats: %v", err)
 	}
@@ -46,6 +52,9 @@ func TestCLIMissingFlags(t *testing.T) {
 	}
 	if err := runQuery([]string{}); err == nil {
 		t.Fatal("query without flags should fail")
+	}
+	if err := runCompact([]string{}); err == nil {
+		t.Fatal("compact without flags should fail")
 	}
 	if err := runStats([]string{}); err == nil {
 		t.Fatal("stats without flags should fail")

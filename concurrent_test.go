@@ -1,6 +1,8 @@
 package promips
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"sync"
@@ -40,7 +42,7 @@ func TestConcurrentSearchMatchesSequential(t *testing.T) {
 	baseRes := make([][]Result, len(queries))
 	baseStats := make([]SearchStats, len(queries))
 	for i, q := range queries {
-		res, st, err := ix.Search(q, k)
+		res, st, err := ix.Search(context.Background(), q, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +61,7 @@ func TestConcurrentSearchMatchesSequential(t *testing.T) {
 				// queries overlap in time.
 				for off := 0; off < len(queries); off++ {
 					i := (off + g*3) % len(queries)
-					res, st, err := ix.Search(queries[i], k)
+					res, st, err := ix.Search(context.Background(), queries[i], k)
 					if err != nil {
 						errs <- err.Error()
 						return
@@ -97,14 +99,14 @@ func TestSearchBatchMatchesSequential(t *testing.T) {
 	wantRes := make([][]Result, len(queries))
 	wantStats := make([]SearchStats, len(queries))
 	for i, q := range queries {
-		res, st, err := ix.Search(q, k)
+		res, st, err := ix.Search(context.Background(), q, k)
 		if err != nil {
 			t.Fatal(err)
 		}
 		wantRes[i], wantStats[i] = res, st
 	}
 
-	gotRes, gotStats, err := ix.SearchBatchWorkers(queries, k, 8)
+	gotRes, gotStats, err := ix.SearchBatch(context.Background(), queries, k, WithWorkers(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +118,7 @@ func TestSearchBatchMatchesSequential(t *testing.T) {
 	}
 
 	// Default worker count must agree too.
-	gotRes2, _, err := ix.SearchBatch(queries, k)
+	gotRes2, _, err := ix.SearchBatch(context.Background(), queries, k)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,10 +132,10 @@ func TestSearchBatchPropagatesError(t *testing.T) {
 	bad := make([][]float32, len(queries))
 	copy(bad, queries)
 	bad[len(bad)/2] = []float32{1, 2, 3} // wrong dimensionality
-	if _, _, err := ix.SearchBatchWorkers(bad, 5, 4); err == nil {
-		t.Fatal("expected dimension error from batch")
+	if _, _, err := ix.SearchBatch(context.Background(), bad, 5, WithWorkers(4)); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("batch with a mis-dimensioned query returned %v, want ErrDimMismatch", err)
 	}
-	if res, _, err := ix.SearchBatch(nil, 5); err != nil || res != nil {
+	if res, _, err := ix.SearchBatch(context.Background(), nil, 5); err != nil || res != nil {
 		t.Fatalf("empty batch: res=%v err=%v", res, err)
 	}
 }
@@ -188,7 +190,7 @@ func TestConcurrentSearchWithUpdates(t *testing.T) {
 					return
 				default:
 				}
-				res, _, err := ix.Search(queries[(i+g)%len(queries)], k)
+				res, _, err := ix.Search(context.Background(), queries[(i+g)%len(queries)], k)
 				if err != nil {
 					errs <- err
 					return

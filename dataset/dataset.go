@@ -1,0 +1,40 @@
+// Package dataset is the public face of the synthetic benchmark dataset
+// generators: analogues of the paper's four evaluation corpora (Table III —
+// Netflix and Yahoo PureSVD latent factors, the P53 bio-assay features,
+// SIFT descriptors) plus the repository's vector-file format. Commands and
+// examples consume the generators through this package; the implementation
+// lives in internal/dataset.
+package dataset
+
+import internal "promips/internal/dataset"
+
+// Spec describes one benchmark dataset: its paper-scale dimensions, the
+// laptop-scale defaults generated here, and the page-size/projected-
+// dimension regime the paper's evaluation assigns it.
+type Spec = internal.Spec
+
+// Specs returns the four benchmark datasets in the paper's order.
+func Specs() []Spec { return internal.Specs() }
+
+// Get looks a dataset up by (case-sensitive) name: "Netflix", "Yahoo",
+// "P53" or "Sift".
+func Get(name string) (Spec, error) { return internal.Get(name) }
+
+// Netflix models PureSVD item factors of the Netflix Prize matrix.
+func Netflix() Spec { return internal.Netflix() }
+
+// Yahoo models PureSVD factors of the Yahoo! Music dataset.
+func Yahoo() Spec { return internal.Yahoo() }
+
+// P53 models the p53 mutants bio-assay features (dimension-scaled).
+func P53() Spec { return internal.P53() }
+
+// Sift models SIFT gradient-histogram descriptors.
+func Sift() Spec { return internal.Sift() }
+
+// WriteFile stores vectors at path in the repository's vector-file format
+// (the format cmd/datagen writes and cmd/promipsctl reads).
+func WriteFile(path string, data [][]float32) error { return internal.WriteFile(path, data) }
+
+// ReadFile loads vectors written by WriteFile.
+func ReadFile(path string) ([][]float32, error) { return internal.ReadFile(path) }

@@ -1,0 +1,28 @@
+package promips
+
+import "promips/internal/errs"
+
+// The error taxonomy. Every layer of the index — pager, store, iDistance,
+// core — wraps one of these sentinels when it fails in a classifiable way,
+// so callers branch with errors.Is regardless of which layer surfaced the
+// problem:
+//
+//	if errors.Is(err, promips.ErrCorruptIndex) { rebuild() }
+var (
+	// ErrClosed is returned by operations on an index after Close.
+	ErrClosed = errs.ErrClosed
+
+	// ErrDimMismatch is returned when a query or inserted vector does not
+	// match the index dimensionality, or a build set mixes dimensions.
+	ErrDimMismatch = errs.ErrDimMismatch
+
+	// ErrCorruptIndex is returned by Open when the on-disk state cannot be
+	// interpreted: bad magic numbers, undecodable metadata, or page files
+	// whose length is not a whole number of pages.
+	ErrCorruptIndex = errs.ErrCorruptIndex
+
+	// ErrEmptyIndex is returned when an operation needs at least one live
+	// point: building over an empty dataset, or searching/compacting an
+	// index whose points are all deleted.
+	ErrEmptyIndex = errs.ErrEmptyIndex
+)

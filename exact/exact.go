@@ -6,8 +6,8 @@ package exact
 import (
 	"sort"
 
-	"promips/internal/mips"
 	"promips/internal/vec"
+	"promips/mips"
 )
 
 // TopK returns the exact k maximum-inner-product points of q in data,

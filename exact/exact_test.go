@@ -5,8 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 
-	"promips/internal/mips"
 	"promips/internal/vec"
+	"promips/mips"
 )
 
 func randData(r *rand.Rand, n, d int) [][]float32 {

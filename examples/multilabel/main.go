@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -56,7 +57,7 @@ func main() {
 		for j := range feat {
 			feat[j] = 2*classes[trueClass][j] + float32(r.NormFloat64())*0.5
 		}
-		preds, stats, err := index.Search(feat, topLabels)
+		preds, stats, err := index.Search(context.Background(), feat, topLabels)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -36,12 +37,13 @@ func main() {
 		index.Len(), index.Dim(), index.M())
 	fmt.Printf("index size: %.2f MB\n", float64(index.Sizes().Total())/(1<<20))
 
-	// One query: top-10 approximate MIP points.
+	// One query: top-10 approximate MIP points. The context cancels a
+	// long-running scan; Background is fine for a demo.
 	q := make([]float32, d)
 	for j := range q {
 		q[j] = float32(r.NormFloat64())
 	}
-	results, stats, err := index.Search(q, 10)
+	results, stats, err := index.Search(context.Background(), q, 10)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,19 +4,23 @@
 // ratio, verified candidates and page accesses respond — the practical
 // guide for choosing (c, p) in a deployment.
 //
+// The sweep runs against ONE index: the guarantee knobs are query-local
+// (Quick-Probe's threshold and both termination conditions are re-derived
+// per query), so WithC/WithP explore the whole surface without rebuilding —
+// the index is built once where the seed version rebuilt it per setting.
+//
 //	go run ./examples/tuning
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"sort"
 
 	"promips"
-	"promips/internal/dataset"
-	"promips/internal/exact"
-	"promips/internal/mips"
-	"promips/internal/vec"
+	"promips/dataset"
+	"promips/exact"
+	"promips/mips"
 )
 
 func main() {
@@ -26,18 +30,24 @@ func main() {
 	const k = 10
 	gt := exact.Compute(data, queries, k)
 
+	index, err := promips.Build(data, promips.Options{M: spec.M, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer index.Close()
+
 	fmt.Println("sweep of approximation ratio c (p=0.5):")
 	fmt.Printf("%-5s %-13s %-12s %-12s\n", "c", "overallRatio", "candidates", "pageAccess")
 	for _, c := range []float64{0.5, 0.7, 0.8, 0.9, 0.95} {
-		summary := run(data, queries, gt, promips.Options{C: c, P: 0.5, M: spec.M, Seed: 9}, k)
-		fmt.Printf("%-5.2f %-13.4f %-12.0f %-12.0f\n", c, summary.ratio, summary.cands, summary.pages)
+		s := run(index, queries, gt, k, promips.WithC(c), promips.WithP(0.5))
+		fmt.Printf("%-5.2f %-13.4f %-12.0f %-12.0f\n", c, s.ratio, s.cands, s.pages)
 	}
 
 	fmt.Println("\nsweep of guarantee probability p (c=0.9):")
 	fmt.Printf("%-5s %-13s %-12s %-12s\n", "p", "overallRatio", "candidates", "pageAccess")
 	for _, p := range []float64{0.3, 0.5, 0.7, 0.9} {
-		summary := run(data, queries, gt, promips.Options{C: 0.9, P: p, M: spec.M, Seed: 9}, k)
-		fmt.Printf("%-5.2f %-13.4f %-12.0f %-12.0f\n", p, summary.ratio, summary.cands, summary.pages)
+		s := run(index, queries, gt, k, promips.WithC(0.9), promips.WithP(p))
+		fmt.Printf("%-5.2f %-13.4f %-12.0f %-12.0f\n", p, s.ratio, s.cands, s.pages)
 	}
 
 	fmt.Println("\nreading the tables: larger c and larger p both widen the")
@@ -49,23 +59,18 @@ type summary struct {
 	ratio, cands, pages float64
 }
 
-func run(data, queries [][]float32, gt *exact.GroundTruth, opts promips.Options, k int) summary {
-	index, err := promips.Build(data, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer index.Close()
+func run(index *promips.Index, queries [][]float32, gt *exact.GroundTruth, k int, opts ...promips.SearchOption) summary {
+	ctx := context.Background()
 	var s summary
 	for qi, q := range queries {
-		res, stats, err := index.Search(q, k)
+		res, stats, err := index.Search(ctx, q, k, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
 		returned := make([]mips.Result, len(res))
 		for i, r := range res {
-			returned[i] = mips.Result{ID: r.ID, IP: vec.Dot(data[r.ID], q)}
+			returned[i] = mips.Result{ID: r.ID, IP: r.IP}
 		}
-		sort.Slice(returned, func(a, b int) bool { return returned[a].IP > returned[b].IP })
 		s.ratio += gt.OverallRatio(qi, returned)
 		s.cands += float64(stats.Candidates)
 		s.pages += float64(stats.PageAccesses)

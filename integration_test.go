@@ -1,13 +1,14 @@
 package promips
 
 import (
+	"context"
 	"sort"
 	"testing"
 
+	"promips/exact"
 	"promips/internal/dataset"
-	"promips/internal/exact"
-	"promips/internal/mips"
 	"promips/internal/vec"
+	"promips/mips"
 )
 
 // End-to-end over all four paper dataset analogues at miniature scale:
@@ -37,7 +38,7 @@ func TestIntegrationAllDatasets(t *testing.T) {
 			gt := exact.Compute(data, queries, 10)
 			var ratioSum float64
 			for qi, q := range queries {
-				res, st, err := ix.Search(q, 10)
+				res, st, err := ix.Search(context.Background(), q, 10)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -78,7 +79,7 @@ func TestIntegrationSelfQueries(t *testing.T) {
 	ok := 0
 	for i := 0; i < 20; i++ {
 		q := data[i*37%800]
-		res, _, err := ix.Search(q, 1)
+		res, _, err := ix.Search(context.Background(), q, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,12 +11,16 @@ import (
 // SearchBatch answers many queries against one shared index with a bounded
 // pool of worker goroutines. Results and stats are positionally aligned
 // with queries, and each query's answer (results, stats, everything) is
-// identical to what a sequential Search would return: workers share the
-// read lock and the buffer pool but account their I/O privately.
+// identical to what a sequential SearchContext with the same params would
+// return: workers share the read lock and the buffer pool but account
+// their I/O privately.
 //
 // workers <= 0 uses GOMAXPROCS. The first query error cancels the
-// remaining work and is returned.
-func (ix *Index) SearchBatch(queries [][]float32, k, workers int) ([][]Result, []SearchStats, error) {
+// remaining work and is returned. Cancellation is checked between batch
+// queries (and, through SearchContext, between sub-partition scans inside
+// each query): once ctx expires no further query starts, every worker
+// drains, and the batch returns ctx.Err().
+func (ix *Index) SearchBatch(ctx context.Context, queries [][]float32, k, workers int, params SearchParams) ([][]Result, []SearchStats, error) {
 	n := len(queries)
 	if n == 0 {
 		return nil, nil, nil
@@ -41,11 +46,16 @@ func (ix *Index) SearchBatch(queries [][]float32, k, workers int) ([][]Result, [
 		go func() {
 			defer wg.Done()
 			for !failed.Load() {
+				if err := ctx.Err(); err != nil {
+					failed.Store(true)
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				res, st, err := ix.Search(queries[i], k)
+				res, st, err := ix.SearchContext(ctx, queries[i], k, params)
 				if err != nil {
 					failed.Store(true)
 					errOnce.Do(func() { firstErr = fmt.Errorf("core: batch query %d: %w", i, err) })

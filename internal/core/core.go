@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync"
 
+	"promips/internal/errs"
 	"promips/internal/idistance"
 	"promips/internal/pager"
 	"promips/internal/randproj"
@@ -133,11 +134,14 @@ type Index struct {
 	codes   []uint32  // per id, sign code of P(o)
 	groups  []group
 
-	// mu guards the mutable query-visible state: delta, deleted and
-	// maxNorm2Sq. Searches hold it shared for their whole run (the
-	// termination conditions must see one consistent ‖oM‖² and delta set);
-	// Insert/Delete hold it exclusive.
+	// mu guards the mutable query-visible state: delta, deleted,
+	// maxNorm2Sq, the closed flag and — since Compact swaps generations in
+	// place — every disk-backed component above. Searches hold it shared
+	// for their whole run (the termination conditions must see one
+	// consistent ‖oM‖² and delta set); Insert/Delete, Close and Compact's
+	// swap phase hold it exclusive.
 	mu         sync.RWMutex
+	closed     bool
 	maxNorm2Sq float64 // ‖oM‖² (monotone: never lowered by deletes)
 
 	// Update state (see update.go): recently inserted points awaiting
@@ -154,12 +158,12 @@ func Build(data [][]float32, dir string, opts Options) (*Index, error) {
 	}
 	n := len(data)
 	if n == 0 {
-		return nil, fmt.Errorf("core: empty dataset")
+		return nil, fmt.Errorf("core: %w: no points to build over", errs.ErrEmptyIndex)
 	}
 	d := len(data[0])
 	for i, p := range data {
 		if len(p) != d {
-			return nil, fmt.Errorf("core: point %d has dim %d, want %d", i, len(p), d)
+			return nil, fmt.Errorf("core: %w: point %d has dim %d, want %d", errs.ErrDimMismatch, i, len(p), d)
 		}
 	}
 	m := opts.M
@@ -238,8 +242,15 @@ func Build(data [][]float32, dir string, opts Options) (*Index, error) {
 	return ix, nil
 }
 
-// Close releases the index's page files.
+// Close releases the index's page files. Further operations return
+// ErrClosed; a second Close is a no-op.
 func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return nil
+	}
+	ix.closed = true
 	err := ix.idist.Close()
 	if err2 := ix.orig.Close(); err == nil {
 		err = err2
@@ -247,14 +258,23 @@ func (ix *Index) Close() error {
 	return err
 }
 
-// Len returns the number of indexed points.
-func (ix *Index) Len() int { return ix.n }
+// Len returns the number of indexed points (compaction folds the delta in,
+// so the count can change over an index's lifetime).
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.n
+}
 
 // Dim returns the original dimensionality.
 func (ix *Index) Dim() int { return ix.d }
 
 // M returns the projected dimensionality in use.
-func (ix *Index) M() int { return ix.m }
+func (ix *Index) M() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.m
+}
 
 // Options returns the options the index was built with.
 func (ix *Index) Options() Options { return ix.opts }
@@ -273,6 +293,8 @@ func (s SizeBreakdown) Total() int64 { return s.BTree + s.Projected + s.QuickPro
 
 // Sizes reports the on-disk/in-memory footprint of each index component.
 func (ix *Index) Sizes() SizeBreakdown {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
 	return SizeBreakdown{
 		BTree:      ix.idist.IndexSizeBytes(),
 		Projected:  ix.idist.DataSizeBytes(),
@@ -282,13 +304,14 @@ func (ix *Index) Sizes() SizeBreakdown {
 }
 
 // conditionA evaluates the deterministic termination test (Formula 1):
-// ‖oM‖² + ‖q‖² − 2⟨oi,q⟩/c ≤ 0.
-func (ix *Index) conditionA(normQSq, ipK float64) bool {
-	return ix.maxNorm2Sq+normQSq-2*ipK/ix.opts.C <= 0
+// ‖oM‖² + ‖q‖² − 2⟨oi,q⟩/c ≤ 0. The approximation ratio c is query-local:
+// per-query overrides recompute the condition without touching the index.
+func (ix *Index) conditionA(c, normQSq, ipK float64) bool {
+	return ix.maxNorm2Sq+normQSq-2*ipK/c <= 0
 }
 
 // conditionBDenominator is ‖oM‖² + ‖q‖² − 2⟨omax,q⟩/c, the denominator of
 // Formula 2. Non-positive values mean Condition A already holds.
-func (ix *Index) conditionBDenominator(normQSq, ipK float64) float64 {
-	return ix.maxNorm2Sq + normQSq - 2*ipK/ix.opts.C
+func (ix *Index) conditionBDenominator(c, normQSq, ipK float64) float64 {
+	return ix.maxNorm2Sq + normQSq - 2*ipK/c
 }

@@ -5,15 +5,22 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 
+	"promips/internal/errs"
+	"promips/internal/fsutil"
 	"promips/internal/idistance"
 	"promips/internal/pager"
 	"promips/internal/randproj"
 	"promips/internal/store"
+	"promips/internal/vec"
 )
 
 // coreMeta is the gob-serialized in-memory state of an Index. The page
-// files (iDistance data + B+-tree, original vectors) stay on disk.
+// files (iDistance data + B+-tree, original vectors) stay on disk. The
+// update state rides along — Delta holds inserted-but-uncompacted points
+// with their assigned ids, Deleted the tombstones — so a saved index
+// reopens with exactly the results it answered before Save.
 type coreMeta struct {
 	Opts       Options
 	N, D, M    int
@@ -23,6 +30,8 @@ type coreMeta struct {
 	Codes      []uint32
 	MaxNorm2Sq float64
 	Groups     []groupMeta
+	Delta      []deltaMeta
+	Deleted    []uint32
 }
 
 type groupMeta struct {
@@ -32,20 +41,25 @@ type groupMeta struct {
 	Count    int
 }
 
+type deltaMeta struct {
+	ID uint32
+	V  []float32
+}
+
 // Save persists the index metadata into its directory, alongside the page
 // files Build already wrote there. An index saved to dir can be reloaded
-// with Open(dir).
+// with Open(dir). Both meta files are written via temp-file + rename and
+// the directory is fsynced afterwards, so a crash mid-Save never corrupts
+// a previously saved state.
 func (ix *Index) Save(dir string) error {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if ix.closed {
+		return errs.ErrClosed
+	}
 	if err := ix.idist.Save(dir); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, "promips.meta"))
-	if err != nil {
-		return fmt.Errorf("core: save meta: %w", err)
-	}
-	defer f.Close()
 	m := coreMeta{
 		Opts: ix.opts, N: ix.n, D: ix.d, M: ix.m,
 		Projector: ix.proj.Encode(),
@@ -56,10 +70,27 @@ func (ix *Index) Save(dir string) error {
 	for i, g := range ix.groups {
 		m.Groups[i] = groupMeta{Code: g.code, MinNorm1: g.minNorm1, MinID: g.minID, Count: g.count}
 	}
-	if err := gob.NewEncoder(f).Encode(&m); err != nil {
-		return fmt.Errorf("core: encode meta: %w", err)
+	m.Delta = make([]deltaMeta, len(ix.delta))
+	for i, e := range ix.delta {
+		m.Delta[i] = deltaMeta{ID: e.id, V: e.v}
 	}
-	return f.Sync()
+	m.Deleted = make([]uint32, 0, len(ix.deleted))
+	for id := range ix.deleted {
+		m.Deleted = append(m.Deleted, id)
+	}
+	sort.Slice(m.Deleted, func(i, j int) bool { return m.Deleted[i] < m.Deleted[j] })
+	err := fsutil.WriteAtomic(filepath.Join(dir, "promips.meta"), func(f *os.File) error {
+		return gob.NewEncoder(f).Encode(&m)
+	})
+	if err != nil {
+		return fmt.Errorf("core: save meta: %w", err)
+	}
+	// One directory fsync makes both meta renames (idist.meta above,
+	// promips.meta here) durable.
+	if err := fsutil.SyncDir(dir); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	return nil
 }
 
 // Open loads an index previously built in dir and saved with Save.
@@ -71,11 +102,11 @@ func Open(dir string) (*Index, error) {
 	defer f.Close()
 	var m coreMeta
 	if err := gob.NewDecoder(f).Decode(&m); err != nil {
-		return nil, fmt.Errorf("core: decode meta: %w", err)
+		return nil, fmt.Errorf("core: decode meta: %v: %w", err, errs.ErrCorruptIndex)
 	}
 	proj, err := randproj.Decode(m.Projector)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: decode projector: %v: %w", err, errs.ErrCorruptIndex)
 	}
 	idist, err := idistance.Open(dir)
 	if err != nil {
@@ -96,6 +127,18 @@ func Open(dir string) (*Index, error) {
 	ix.groups = make([]group, len(m.Groups))
 	for i, g := range m.Groups {
 		ix.groups[i] = group{code: g.Code, minNorm1: g.MinNorm1, minID: g.MinID, count: g.Count}
+	}
+	if len(m.Delta) > 0 {
+		ix.delta = make([]deltaEntry, len(m.Delta))
+		for i, e := range m.Delta {
+			ix.delta[i] = deltaEntry{id: e.ID, v: e.V, ip2: vec.Norm2Sq(e.V)}
+		}
+	}
+	if len(m.Deleted) > 0 {
+		ix.deleted = make(map[uint32]bool, len(m.Deleted))
+		for _, id := range m.Deleted {
+			ix.deleted[id] = true
+		}
 	}
 	return ix, nil
 }

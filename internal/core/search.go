@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"promips/internal/errs"
 	"promips/internal/idistance"
 	"promips/internal/pager"
 	"promips/internal/randproj"
@@ -46,29 +48,101 @@ func (t *topK) kth() (float64, bool) {
 	return t.results[t.k-1].IP, true
 }
 
-// Search runs the full ProMIPS query (Quick-Probe + MIP-Search-II) and
-// returns the top-k c-AMIP results, best inner product first. With
-// probability at least p (Options.P), every returned point oi satisfies
-// ⟨oi,q⟩ ≥ c·⟨o*i,q⟩. Search is safe to call from many goroutines against
-// one shared Index; each call accounts its own page accesses.
-func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.searchLocked(q, k)
+// SearchParams carries a query's overrides of the index defaults. The two
+// guarantee knobs are query-local: Quick-Probe's test threshold and the two
+// termination conditions are recomputed from (c, p) per query, so no index
+// state depends on them. The zero value reproduces the build-time Options.
+type SearchParams struct {
+	// C overrides the approximation ratio for this query (0 = index
+	// default). Must lie in (0,1).
+	C float64
+	// P overrides the guarantee probability for this query (0 = index
+	// default). Must lie in (0,1).
+	P float64
+	// Filter restricts the search to points whose id it accepts; nil
+	// accepts every point. Rejected points are neither verified nor
+	// returned, and the (c, p) guarantee is made against the best point
+	// that passes the filter.
+	Filter func(id uint32) bool
 }
 
-func (ix *Index) searchLocked(q []float32, k int) ([]Result, SearchStats, error) {
+// resolve returns the effective (c, p) for a query.
+func (ix *Index) resolve(p SearchParams) (float64, float64, error) {
+	c, pr := p.C, p.P
+	if c == 0 {
+		c = ix.opts.C
+	}
+	if pr == 0 {
+		pr = ix.opts.P
+	}
+	// Negated-range form so NaN fails too: every comparison with NaN is
+	// false, and a NaN that slipped through would reach idistance's
+	// float→int64 ring conversion, whose result is undefined.
+	if !(c > 0 && c < 1) {
+		return 0, 0, fmt.Errorf("core: approximation ratio c must be in (0,1), got %v", c)
+	}
+	if !(pr > 0 && pr < 1) {
+		return 0, 0, fmt.Errorf("core: probability p must be in (0,1), got %v", pr)
+	}
+	return c, pr, nil
+}
+
+// accepts reports whether the query's filter admits id.
+func (p *SearchParams) accepts(id uint32) bool {
+	return p.Filter == nil || p.Filter(id)
+}
+
+// Search runs the full ProMIPS query (Quick-Probe + MIP-Search-II) with the
+// index defaults and no cancellation. It is the convenience form of
+// SearchContext for internal callers and benchmarks.
+func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
+	return ix.SearchContext(context.Background(), q, k, SearchParams{})
+}
+
+// SearchContext runs the full ProMIPS query (Quick-Probe + MIP-Search-II)
+// and returns the top-k c-AMIP results, best inner product first. With
+// probability at least p, every returned point oi satisfies
+// ⟨oi,q⟩ ≥ c·⟨o*i,q⟩, where (c, p) come from params (falling back to the
+// build-time options). Cancellation is honored between iDistance
+// sub-partition scans; the error then satisfies errors.Is(err, ctx.Err()).
+// SearchContext is safe to call from many goroutines against one shared
+// Index; each call accounts its own page accesses.
+func (ix *Index) SearchContext(ctx context.Context, q []float32, k int, params SearchParams) ([]Result, SearchStats, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.searchLocked(ctx, q, k, params)
+}
+
+// beginSearch is the shared validation prologue of the two query entry
+// points, run under the read lock: closed check, per-query parameter
+// resolution, dimension check, and the k clamp against the live count.
+func (ix *Index) beginSearch(q []float32, k int, params SearchParams) (c, p float64, kk int, err error) {
+	if ix.closed {
+		return 0, 0, 0, errs.ErrClosed
+	}
+	c, p, err = ix.resolve(params)
+	if err != nil {
+		return 0, 0, 0, err
+	}
 	if len(q) != ix.d {
-		return nil, SearchStats{}, fmt.Errorf("core: query dim %d, want %d", len(q), ix.d)
+		return 0, 0, 0, fmt.Errorf("core: %w: query dim %d, want %d", errs.ErrDimMismatch, len(q), ix.d)
 	}
 	if k <= 0 {
-		return nil, SearchStats{}, fmt.Errorf("core: k must be positive, got %d", k)
+		return 0, 0, 0, fmt.Errorf("core: k must be positive, got %d", k)
 	}
 	if live := ix.liveCountLocked(); k > live {
 		k = live
 	}
 	if k == 0 {
-		return nil, SearchStats{}, fmt.Errorf("core: index has no live points")
+		return 0, 0, 0, fmt.Errorf("core: %w: index has no live points", errs.ErrEmptyIndex)
+	}
+	return c, p, k, nil
+}
+
+func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params SearchParams) ([]Result, SearchStats, error) {
+	c, p, k, err := ix.beginSearch(q, k, params)
+	if err != nil {
+		return nil, SearchStats{}, err
 	}
 	io := new(pager.IOStats)
 	var st SearchStats
@@ -78,7 +152,7 @@ func (ix *Index) searchLocked(q []float32, k int) ([]Result, SearchStats, error)
 	norm1Q := vec.Norm1(q)
 
 	// ---- Quick-Probe (Algorithm 2) -----------------------------------
-	probeID := ix.quickProbe(pq, norm1Q, &st)
+	probeID := ix.quickProbe(pq, norm1Q, c, p, &st)
 
 	// The located point's projected distance is the estimated range
 	// (fetching its projected vector costs one page access, the only
@@ -102,44 +176,47 @@ func (ix *Index) searchLocked(q []float32, k int) ([]Result, SearchStats, error)
 	// projected distance the range search already computed — no extra disk
 	// reads, one threshold comparison per point. Condition B's test
 	// Ψm(dis²/denom) ≥ p is evaluated as dis² ≥ Ψm⁻¹(p)·denom.
-	chiThreshold := stats.ChiSquareInvCDF(ix.m, ix.opts.P)
+	chiThreshold := stats.ChiSquareInvCDF(ix.m, p)
 	top := newTopK(k)
 	// Recently inserted points are evaluated exactly up front (no disk
 	// I/O); their inner products can only tighten the conditions below.
-	ix.scanDelta(q, top)
+	ix.scanDelta(q, top, &params)
 	qbuf := make([]float32, ix.d)
 	// verify reads the candidate's original vector, updates the top-k and
 	// returns the terminating condition ("A", "B" or "").
-	verify := func(c idistance.Candidate) (string, error) {
-		if !ix.live(c.ID) {
+	verify := func(cand idistance.Candidate) (string, error) {
+		if !ix.live(cand.ID) {
 			return "", nil // tombstoned by Delete
 		}
-		o, err := ix.orig.Vector(c.ID, qbuf, io)
+		if !params.accepts(cand.ID) {
+			return "", nil // rejected by the query's filter
+		}
+		o, err := ix.orig.Vector(cand.ID, qbuf, io)
 		if err != nil {
 			return "", err
 		}
 		st.Candidates++
-		top.offer(c.ID, vec.Dot(o, q))
+		top.offer(cand.ID, vec.Dot(o, q))
 		ipK, full := top.kth()
 		if !full {
 			return "", nil
 		}
-		denom := ix.conditionBDenominator(normQSq, ipK)
+		denom := ix.conditionBDenominator(c, normQSq, ipK)
 		if denom <= 0 {
 			return "A", nil // Condition A (Formula 1) holds
 		}
-		if c.Dist*c.Dist >= chiThreshold*denom {
+		if cand.Dist*cand.Dist >= chiThreshold*denom {
 			return "B", nil // Condition B (Formula 2) holds
 		}
 		return "", nil
 	}
 
-	cands, err := ix.idist.RangeSearch(pq, r, io)
+	cands, err := ix.idist.RangeSearch(ctx, pq, r, io)
 	if err != nil {
 		return nil, st, err
 	}
-	for _, c := range cands {
-		cond, err := verify(c)
+	for _, cand := range cands {
+		cond, err := verify(cand)
 		if err != nil {
 			return nil, st, err
 		}
@@ -155,13 +232,13 @@ func (ix *Index) searchLocked(q []float32, k int) ([]Result, SearchStats, error)
 	// miss probability by 1−p).
 	ipK, full := top.kth()
 	if full {
-		denom := ix.conditionBDenominator(normQSq, ipK)
+		denom := ix.conditionBDenominator(c, normQSq, ipK)
 		if denom <= 0 {
 			st.TerminatedBy = "A"
 			st.PageAccesses = io.Pages()
 			return top.results, st, nil
 		}
-		if stats.ChiSquareCDF(ix.m, r*r/denom) >= ix.opts.P {
+		if stats.ChiSquareCDF(ix.m, r*r/denom) >= p {
 			st.TerminatedBy = "B"
 			st.PageAccesses = io.Pages()
 			return top.results, st, nil
@@ -173,22 +250,22 @@ func (ix *Index) searchLocked(q []float32, k int) ([]Result, SearchStats, error)
 	// so r' falls back to infinity.
 	rExt := math.Inf(1)
 	if full {
-		denom := ix.conditionBDenominator(normQSq, ipK)
-		rExt = math.Sqrt(stats.ChiSquareInvCDF(ix.m, ix.opts.P) * denom)
+		denom := ix.conditionBDenominator(c, normQSq, ipK)
+		rExt = math.Sqrt(chiThreshold * denom)
 	}
 	st.ExtendedRadius = rExt
 
 	var extCands []idistance.Candidate
-	err = ix.idist.Search(pq, r, rExt, io, func(c idistance.Candidate) bool {
-		extCands = append(extCands, c)
+	err = ix.idist.Search(ctx, pq, r, rExt, io, func(cand idistance.Candidate) bool {
+		extCands = append(extCands, cand)
 		return true
 	})
 	if err != nil {
 		return nil, st, err
 	}
 	sort.Slice(extCands, func(i, j int) bool { return extCands[i].Dist < extCands[j].Dist })
-	for _, c := range extCands {
-		cond, err := verify(c)
+	for _, cand := range extCands {
+		cond, err := verify(cand)
 		if err != nil {
 			return nil, st, err
 		}
@@ -206,8 +283,9 @@ func (ix *Index) searchLocked(q []float32, k int) ([]Result, SearchStats, error)
 // quickProbe implements Algorithm 2: rank the sign-code groups by their
 // Theorem-3 lower bound, return the first group whose cheapest member
 // passes Test A — Ψm(LB²/(c·(‖o‖₁+‖q‖₁)²)) ≥ p — or, failing that, the
-// member with the largest recorded test value.
-func (ix *Index) quickProbe(pq []float32, norm1Q float64, st *SearchStats) uint32 {
+// member with the largest recorded test value. Both (c, p) are the query's
+// effective values, so per-query overrides steer the probe as well.
+func (ix *Index) quickProbe(pq []float32, norm1Q, c, p float64, st *SearchStats) uint32 {
 	codeQ := randproj.Code(pq)
 	type ranked struct {
 		lb float64
@@ -219,7 +297,7 @@ func (ix *Index) quickProbe(pq []float32, norm1Q float64, st *SearchStats) uint3
 	}
 	sort.Slice(order, func(i, j int) bool { return order[i].lb < order[j].lb })
 
-	threshold := stats.ChiSquareInvCDF(ix.m, ix.opts.P)
+	threshold := stats.ChiSquareInvCDF(ix.m, p)
 	bestVal := -1.0
 	bestID := ix.groups[order[0].gi].minID
 	for _, rk := range order {
@@ -230,7 +308,7 @@ func (ix *Index) quickProbe(pq []float32, norm1Q float64, st *SearchStats) uint3
 			// Query and point are both the origin: any range works.
 			return g.minID
 		}
-		val := rk.lb * rk.lb / (ix.opts.C * ub * ub)
+		val := rk.lb * rk.lb / (c * ub * ub)
 		if val >= threshold { // equivalent to Ψm(val) ≥ p, cheaper than the CDF
 			return g.minID
 		}
@@ -241,25 +319,24 @@ func (ix *Index) quickProbe(pq []float32, norm1Q float64, st *SearchStats) uint3
 	return bestID
 }
 
-// SearchIncremental runs Algorithm 1 (MIP-Search-I): an incremental NN scan
-// in the projected space, testing Conditions A and B on every returned
-// point. It is kept for the ablation study of Quick-Probe's benefit; the
-// results carry the same probability guarantee. Like Search, it is safe for
-// concurrent use.
+// SearchIncremental runs Algorithm 1 (MIP-Search-I) with the index
+// defaults; see SearchIncrementalContext.
 func (ix *Index) SearchIncremental(q []float32, k int) ([]Result, SearchStats, error) {
+	return ix.SearchIncrementalContext(context.Background(), q, k, SearchParams{})
+}
+
+// SearchIncrementalContext answers the query with the paper's Algorithm 1
+// (MIP-Search-I): an incremental NN scan in the projected space, testing
+// Conditions A and B on every returned point. It is kept for the ablation
+// study of Quick-Probe's benefit; the results carry the same probability
+// guarantee and honor the same per-query overrides and cancellation points
+// as SearchContext. Like SearchContext, it is safe for concurrent use.
+func (ix *Index) SearchIncrementalContext(ctx context.Context, q []float32, k int, params SearchParams) ([]Result, SearchStats, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	if len(q) != ix.d {
-		return nil, SearchStats{}, fmt.Errorf("core: query dim %d, want %d", len(q), ix.d)
-	}
-	if k <= 0 {
-		return nil, SearchStats{}, fmt.Errorf("core: k must be positive, got %d", k)
-	}
-	if live := ix.liveCountLocked(); k > live {
-		k = live
-	}
-	if k == 0 {
-		return nil, SearchStats{}, fmt.Errorf("core: index has no live points")
+	c, p, k, err := ix.beginSearch(q, k, params)
+	if err != nil {
+		return nil, SearchStats{}, err
 	}
 	io := new(pager.IOStats)
 	var st SearchStats
@@ -267,12 +344,12 @@ func (ix *Index) SearchIncremental(q []float32, k int) ([]Result, SearchStats, e
 	pq := ix.proj.Project(q)
 	normQSq := vec.Norm2Sq(q)
 	top := newTopK(k)
-	ix.scanDelta(q, top)
+	ix.scanDelta(q, top, &params)
 	buf := make([]float32, ix.d)
 
-	it := ix.idist.NewIterator(pq, io)
+	it := ix.idist.NewIterator(ctx, pq, io)
 	for {
-		c, ok := it.Next()
+		cand, ok := it.Next()
 		if !ok {
 			if err := it.Err(); err != nil {
 				return nil, st, err
@@ -280,25 +357,25 @@ func (ix *Index) SearchIncremental(q []float32, k int) ([]Result, SearchStats, e
 			st.TerminatedBy = "exhausted"
 			break
 		}
-		if !ix.live(c.ID) {
+		if !ix.live(cand.ID) || !params.accepts(cand.ID) {
 			continue
 		}
-		o, err := ix.orig.Vector(c.ID, buf, io)
+		o, err := ix.orig.Vector(cand.ID, buf, io)
 		if err != nil {
 			return nil, st, err
 		}
 		st.Candidates++
-		top.offer(c.ID, vec.Dot(o, q))
+		top.offer(cand.ID, vec.Dot(o, q))
 		ipK, full := top.kth()
 		if !full {
 			continue
 		}
-		if ix.conditionA(normQSq, ipK) {
+		if ix.conditionA(c, normQSq, ipK) {
 			st.TerminatedBy = "A"
 			break
 		}
-		denom := ix.conditionBDenominator(normQSq, ipK)
-		if denom > 0 && stats.ChiSquareCDF(ix.m, c.Dist*c.Dist/denom) >= ix.opts.P {
+		denom := ix.conditionBDenominator(c, normQSq, ipK)
+		if denom > 0 && stats.ChiSquareCDF(ix.m, cand.Dist*cand.Dist/denom) >= p {
 			st.TerminatedBy = "B"
 			break
 		}
@@ -314,14 +391,23 @@ func (ix *Index) SearchIncremental(q []float32, k int) ([]Result, SearchStats, e
 func (ix *Index) Exact(q []float32, k int) ([]Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	if ix.closed {
+		return nil, errs.ErrClosed
+	}
 	if len(q) != ix.d {
-		return nil, fmt.Errorf("core: query dim %d, want %d", len(q), ix.d)
+		return nil, fmt.Errorf("core: %w: query dim %d, want %d", errs.ErrDimMismatch, len(q), ix.d)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("core: k must be positive, got %d", k)
 	}
 	if live := ix.liveCountLocked(); k > live {
 		k = live
 	}
+	if k == 0 {
+		return nil, fmt.Errorf("core: %w: index has no live points", errs.ErrEmptyIndex)
+	}
 	top := newTopK(k)
-	ix.scanDelta(q, top)
+	ix.scanDelta(q, top, nil)
 	buf := make([]float32, ix.d)
 	for pos := 0; pos < ix.n; pos++ {
 		// VectorAt walks layout order; recover the id from the layout.

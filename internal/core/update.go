@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 
+	"promips/internal/errs"
 	"promips/internal/vec"
 )
 
@@ -21,8 +23,9 @@ import (
 //     candidate evaluation. If the deleted point was the max-norm point
 //     oM, the stale (larger) ‖oM‖² keeps Conditions A and B conservative,
 //     so the guarantee still holds.
-//   - Compact folds delta and tombstones into a fresh index once the delta
-//     grows past a threshold.
+//   - Compact folds delta and tombstones into a fresh on-disk generation
+//     and swaps it into this Index in place; searches keep running against
+//     the old generation during the rebuild and see the new one atomically.
 
 // deltaEntry is one inserted point not yet folded into the disk index.
 type deltaEntry struct {
@@ -37,10 +40,13 @@ type deltaEntry struct {
 // the state before or after the insert, never a partial one.
 func (ix *Index) Insert(v []float32) (uint32, error) {
 	if len(v) != ix.d {
-		return 0, fmt.Errorf("core: insert dim %d, want %d", len(v), ix.d)
+		return 0, fmt.Errorf("core: %w: insert dim %d, want %d", errs.ErrDimMismatch, len(v), ix.d)
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.closed {
+		return 0, errs.ErrClosed
+	}
 	id := uint32(ix.n + len(ix.delta))
 	n2 := vec.Norm2Sq(v)
 	ix.delta = append(ix.delta, deltaEntry{id: id, v: vec.Clone(v), ip2: n2})
@@ -54,10 +60,13 @@ func (ix *Index) Insert(v []float32) (uint32, error) {
 
 // Delete tombstones the point with the given id (from the base index or
 // the delta). It reports whether the id was live. Like Insert, it takes the
-// index lock exclusive.
+// index lock exclusive. Deleting from a closed index reports false.
 func (ix *Index) Delete(id uint32) bool {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	if ix.closed {
+		return false
+	}
 	if int(id) >= ix.n+len(ix.delta) {
 		return false
 	}
@@ -87,11 +96,15 @@ func (ix *Index) DeltaCount() int {
 	return len(ix.delta)
 }
 
-// scanDelta offers every live delta point to the accumulator (exact
-// evaluation; no disk I/O).
-func (ix *Index) scanDelta(q []float32, top *topK) {
+// scanDelta offers every live delta point accepted by the query's filter to
+// the accumulator (exact evaluation; no disk I/O). params may be nil for an
+// unfiltered scan.
+func (ix *Index) scanDelta(q []float32, top *topK, params *SearchParams) {
 	for _, e := range ix.delta {
 		if ix.deleted[e.id] {
+			continue
+		}
+		if params != nil && !params.accepts(e.id) {
 			continue
 		}
 		top.offer(e.id, vec.Dot(e.v, q))
@@ -103,14 +116,33 @@ func (ix *Index) live(id uint32) bool {
 	return len(ix.deleted) == 0 || !ix.deleted[id]
 }
 
-// Compact rebuilds the index in dir, folding in the delta and dropping
-// tombstoned points. Ids are reassigned densely (0..LiveCount-1) in the
-// order base-index survivors first, then delta survivors; the mapping from
-// new id to the previous id is returned so callers can relocate external
-// references.
-func (ix *Index) Compact(dir string) (*Index, []uint32, error) {
+// Compact rebuilds the index into dir — folding the insert delta in and
+// dropping tombstoned points — and swaps the new generation into ix in
+// place. Ids are reassigned densely (0..Len-1); remap[newID] gives the
+// previous id so callers can relocate external references.
+//
+// The rebuild runs without the exclusive lock: concurrent searches keep
+// answering against the old generation, and updates that land during the
+// rebuild are folded in during the brief exclusive swap phase (inserts move
+// into the new generation's delta, deletes are re-applied through the id
+// remap). The old generation's page files are closed but not removed; the
+// caller owns directory hygiene.
+//
+// Cancellation is honored between the snapshot, build and swap phases; on
+// ctx expiry the index is left untouched and partially written files in dir
+// are the caller's to clean up.
+//
+// Error contract: a non-nil error means the swap did NOT happen — ix is
+// untouched and still serves the old generation, and nothing references
+// dir. A nil error means the new generation is live in ix. Callers rely on
+// this to decide whether dir is removable.
+func (ix *Index) Compact(ctx context.Context, dir string) ([]uint32, error) {
+	// Phase 1: snapshot the live set under the shared lock.
 	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	if ix.closed {
+		ix.mu.RUnlock()
+		return nil, errs.ErrClosed
+	}
 	liveData := make([][]float32, 0, ix.liveCountLocked())
 	oldIDs := make([]uint32, 0, ix.liveCountLocked())
 	buf := make([]float32, ix.d)
@@ -121,7 +153,8 @@ func (ix *Index) Compact(dir string) (*Index, []uint32, error) {
 		}
 		o, err := ix.orig.VectorAt(pos, buf, nil)
 		if err != nil {
-			return nil, nil, err
+			ix.mu.RUnlock()
+			return nil, err
 		}
 		liveData = append(liveData, vec.Clone(o))
 		oldIDs = append(oldIDs, id)
@@ -130,18 +163,89 @@ func (ix *Index) Compact(dir string) (*Index, []uint32, error) {
 		if ix.deleted[e.id] {
 			continue
 		}
-		liveData = append(liveData, e.v)
+		liveData = append(liveData, vec.Clone(e.v))
 		oldIDs = append(oldIDs, e.id)
 	}
+	idMark := uint32(ix.n + len(ix.delta)) // ids below this existed at snapshot time
+	snapDeleted := make(map[uint32]bool, len(ix.deleted))
+	for id := range ix.deleted {
+		snapDeleted[id] = true
+	}
+	opts := ix.opts
+	ix.mu.RUnlock()
+
 	if len(liveData) == 0 {
-		return nil, nil, fmt.Errorf("core: compacting an empty index")
+		return nil, fmt.Errorf("core: compact: %w", errs.ErrEmptyIndex)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 2: build the next generation. Readers are not blocked.
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	next, err := Build(liveData, dir, ix.opts)
+	next, err := Build(liveData, dir, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return next, oldIDs, nil
+	if err := ctx.Err(); err != nil {
+		next.Close()
+		return nil, err
+	}
+
+	// Phase 3: fold updates that arrived during the rebuild, then swap.
+	oldToNew := make(map[uint32]uint32, len(oldIDs))
+	for newID, oldID := range oldIDs {
+		oldToNew[oldID] = uint32(newID)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		next.Close()
+		return nil, errs.ErrClosed
+	}
+	for id := range ix.deleted {
+		if snapDeleted[id] || id >= idMark {
+			continue // already folded out, or a during-rebuild insert handled below
+		}
+		newID := oldToNew[id] // deleted after the snapshot ⇒ live at it ⇒ mapped
+		if next.deleted == nil {
+			next.deleted = make(map[uint32]bool)
+		}
+		next.deleted[newID] = true
+	}
+	remap := oldIDs
+	for _, e := range ix.delta {
+		if e.id < idMark || ix.deleted[e.id] {
+			continue
+		}
+		newID, err := next.Insert(e.v)
+		if err != nil {
+			next.Close()
+			return nil, err
+		}
+		if int(newID) != len(remap) {
+			next.Close()
+			return nil, fmt.Errorf("core: compact: remap misaligned at new id %d", newID)
+		}
+		remap = append(remap, e.id)
+	}
+
+	oldIdist, oldOrig := ix.idist, ix.orig
+	ix.n, ix.m = next.n, next.m
+	ix.proj = next.proj
+	ix.idist, ix.orig = next.idist, next.orig
+	ix.norm2Sq, ix.norm1, ix.codes, ix.groups = next.norm2Sq, next.norm1, next.codes, next.groups
+	ix.maxNorm2Sq = next.maxNorm2Sq
+	ix.delta, ix.deleted = next.delta, next.deleted
+
+	// The old generation is retired: close best-effort. Its pages were
+	// synced at build time and never dirtied since, so a close failure
+	// loses nothing — and surfacing it would misreport the swap (which
+	// already happened) as a failed compaction, breaking the error
+	// contract above.
+	oldIdist.Close()
+	oldOrig.Close()
+	return remap, nil
 }

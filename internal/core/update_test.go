@@ -1,10 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"path/filepath"
 	"testing"
 
+	"promips/internal/errs"
 	"promips/internal/vec"
 )
 
@@ -150,19 +153,21 @@ func TestCompact(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	next, oldIDs, err := ix.Compact(filepath.Join(t.TempDir(), "compacted"))
+	oldIDs, err := ix.Compact(context.Background(), filepath.Join(t.TempDir(), "compacted"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer next.Close()
-	if next.Len() != 299 { // 300 − 2 deleted + 1 inserted
-		t.Fatalf("compacted size = %d, want 299", next.Len())
+	if ix.Len() != 299 { // 300 − 2 deleted + 1 inserted
+		t.Fatalf("compacted size = %d, want 299", ix.Len())
 	}
 	if len(oldIDs) != 299 {
 		t.Fatalf("old-id mapping has %d entries", len(oldIDs))
 	}
+	if ix.DeltaCount() != 0 {
+		t.Fatalf("delta not folded: %d entries remain", ix.DeltaCount())
+	}
 	// The dominant inserted point must survive compaction under some new id.
-	after, err := next.Exact(q, 3)
+	after, err := ix.Exact(q, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,6 +185,65 @@ func TestCompact(t *testing.T) {
 	}
 }
 
+// Updates that land between Compact's snapshot and its swap must not be
+// lost: here they are simulated by compacting, then immediately verifying
+// that post-compaction inserts and deletes behave on the swapped-in
+// generation (ids restart densely, the delta accepts new points).
+func TestCompactThenUpdate(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	data := randData(r, 200, 8)
+	ix := buildIndex(t, data, Options{Seed: 56, M: 4})
+	q := randData(r, 1, 8)[0]
+
+	ix.Delete(3)
+	if _, err := ix.Compact(context.Background(), filepath.Join(t.TempDir(), "gen1")); err != nil {
+		t.Fatal(err)
+	}
+	if got := ix.LiveCount(); got != 199 {
+		t.Fatalf("live after compact = %d", got)
+	}
+	id, err := ix.Insert(vec.Scale(q, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 199 {
+		t.Fatalf("post-compact insert id = %d, want 199", id)
+	}
+	res, _, err := ix.Search(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != id {
+		t.Fatalf("dominant post-compact insert not returned: got %d", res[0].ID)
+	}
+	// A second compaction folds the new delta too.
+	remap, err := ix.Compact(context.Background(), filepath.Join(t.TempDir(), "gen2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(remap) != 200 || ix.DeltaCount() != 0 {
+		t.Fatalf("second compact: remap=%d delta=%d", len(remap), ix.DeltaCount())
+	}
+}
+
+func TestCompactCancelled(t *testing.T) {
+	r := rand.New(rand.NewSource(57))
+	data := randData(r, 100, 6)
+	ix := buildIndex(t, data, Options{Seed: 58, M: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.Compact(ctx, t.TempDir()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled compact returned %v", err)
+	}
+	// The index must be untouched and fully usable.
+	if ix.Len() != 100 {
+		t.Fatalf("len changed after cancelled compact: %d", ix.Len())
+	}
+	if _, _, err := ix.Search(randData(r, 1, 6)[0], 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestCompactEmptyFails(t *testing.T) {
 	r := rand.New(rand.NewSource(53))
 	data := randData(r, 10, 6)
@@ -187,10 +251,10 @@ func TestCompactEmptyFails(t *testing.T) {
 	for id := uint32(0); id < 10; id++ {
 		ix.Delete(id)
 	}
-	if _, _, err := ix.Compact(t.TempDir()); err == nil {
-		t.Fatal("expected error compacting fully-deleted index")
+	if _, err := ix.Compact(context.Background(), t.TempDir()); !errors.Is(err, errs.ErrEmptyIndex) {
+		t.Fatalf("compacting fully-deleted index returned %v, want ErrEmptyIndex", err)
 	}
-	if _, _, err := ix.Search(randData(r, 1, 6)[0], 1); err == nil {
-		t.Fatal("expected error searching fully-deleted index")
+	if _, _, err := ix.Search(randData(r, 1, 6)[0], 1); !errors.Is(err, errs.ErrEmptyIndex) {
+		t.Fatalf("searching fully-deleted index returned %v, want ErrEmptyIndex", err)
 	}
 }

@@ -1,0 +1,27 @@
+// Package errs defines the sentinel errors of the promips error taxonomy.
+// They live in a leaf package so that every layer — pager, store, idistance,
+// core — can wrap them without import cycles, and the public promips package
+// re-exports them. Callers classify failures with errors.Is; the wrapped
+// message carries the layer-specific detail.
+package errs
+
+import "errors"
+
+var (
+	// ErrClosed reports an operation on an index after Close.
+	ErrClosed = errors.New("index is closed")
+
+	// ErrDimMismatch reports a vector whose dimensionality does not match
+	// the index (a query, an inserted point, or an inconsistent build set).
+	ErrDimMismatch = errors.New("dimension mismatch")
+
+	// ErrCorruptIndex reports on-disk state that cannot be interpreted: a
+	// bad magic number, an undecodable metadata file, or a page file whose
+	// length is not a whole number of pages.
+	ErrCorruptIndex = errors.New("corrupt index")
+
+	// ErrEmptyIndex reports an operation that needs at least one live
+	// point: building over an empty dataset, searching an index whose
+	// points are all deleted, or compacting one.
+	ErrEmptyIndex = errors.New("empty index")
+)

@@ -1,0 +1,53 @@
+// Package fsutil holds the crash-safety file primitives every persistence
+// path shares: atomic file replacement and directory-entry durability.
+// Keeping one audited implementation prevents the temp/rename/fsync
+// ordering from drifting between the meta writers and the CURRENT pointer.
+package fsutil
+
+import (
+	"fmt"
+	"os"
+)
+
+// WriteAtomic writes a file via temp-name + fsync + rename, so the path
+// either keeps its previous content or holds the complete new content —
+// never a truncated mix. write streams the content into the temp file.
+// Durability of the rename itself needs a SyncDir on the parent.
+func WriteAtomic(path string, write func(*os.File) error) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if err2 := f.Close(); err == nil {
+		err = err2
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("install %s: %w", path, err)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory, making its entries (renames, creates,
+// unlinks) durable.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, err)
+	}
+	syncErr := d.Sync()
+	d.Close()
+	if syncErr != nil {
+		return fmt.Errorf("sync dir %s: %w", dir, syncErr)
+	}
+	return nil
+}

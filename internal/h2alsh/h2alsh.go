@@ -23,11 +23,11 @@ import (
 	"path/filepath"
 	"sort"
 
-	"promips/internal/mips"
 	"promips/internal/pager"
 	"promips/internal/qalsh"
 	"promips/internal/store"
 	"promips/internal/vec"
+	"promips/mips"
 )
 
 // Config parameterizes an H2-ALSH index.

@@ -4,7 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"promips/internal/exact"
+	"promips/exact"
 )
 
 func randData(r *rand.Rand, n, d int) [][]float32 {

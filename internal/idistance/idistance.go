@@ -23,6 +23,7 @@ import (
 	"sort"
 
 	"promips/internal/btree"
+	"promips/internal/errs"
 	"promips/internal/kmeans"
 	"promips/internal/pager"
 	"promips/internal/vec"
@@ -100,7 +101,7 @@ func Build(projected [][]float32, dir string, cfg Config) (*Index, error) {
 	cfg.normalize()
 	n := len(projected)
 	if n == 0 {
-		return nil, fmt.Errorf("idistance: empty dataset")
+		return nil, fmt.Errorf("idistance: %w: no points to index", errs.ErrEmptyIndex)
 	}
 	m := len(projected[0])
 	entrySize := 4 + vec.EncodedSize(m)

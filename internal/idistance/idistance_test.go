@@ -1,6 +1,7 @@
 package idistance
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -63,7 +64,7 @@ func TestRangeSearchMatchesBruteForce(t *testing.T) {
 		q := randPoints(r, 1, 6, 10)[0]
 		radius := 2 + r.Float64()*20
 		want := bruteRange(pts, q, radius)
-		got, err := idx.RangeSearch(q, radius, nil)
+		got, err := idx.RangeSearch(context.Background(), q, radius, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -92,7 +93,7 @@ func TestAnnulusSearchExcludesInnerBall(t *testing.T) {
 	q := randPoints(r, 1, 5, 10)[0]
 	rLo, rHi := 8.0, 16.0
 	seen := make(map[uint32]bool)
-	err := idx.Search(q, rLo, rHi, nil, func(c Candidate) bool {
+	err := idx.Search(context.Background(), q, rLo, rHi, nil, func(c Candidate) bool {
 		if c.Dist <= rLo || c.Dist > rHi {
 			t.Fatalf("candidate %d at %.3f outside annulus (%v,%v]", c.ID, c.Dist, rLo, rHi)
 		}
@@ -115,7 +116,7 @@ func TestSearchEarlyStop(t *testing.T) {
 	pts := randPoints(r, 500, 4, 5)
 	idx := buildTestIndex(t, pts, Config{Seed: 7, PageSize: 512})
 	count := 0
-	idx.Search(pts[0], -1, 1e9, nil, func(c Candidate) bool {
+	idx.Search(context.Background(), pts[0], -1, 1e9, nil, func(c Candidate) bool {
 		count++
 		return count < 10
 	})
@@ -129,7 +130,7 @@ func TestIteratorReturnsAscendingOrder(t *testing.T) {
 	pts := randPoints(r, 1500, 6, 10)
 	idx := buildTestIndex(t, pts, Config{Seed: 9, PageSize: 512})
 	q := randPoints(r, 1, 6, 10)[0]
-	it := idx.NewIterator(q, nil)
+	it := idx.NewIterator(context.Background(), q, nil)
 	var dists []float64
 	seen := make(map[uint32]bool)
 	for {
@@ -170,7 +171,7 @@ func TestIteratorMatchesExactNNOrder(t *testing.T) {
 	}
 	sort.Slice(exact, func(i, j int) bool { return exact[i].d < exact[j].d })
 
-	it := idx.NewIterator(q, nil)
+	it := idx.NewIterator(context.Background(), q, nil)
 	for k := 0; k < 50; k++ {
 		c, ok := it.Next()
 		if !ok {
@@ -188,7 +189,7 @@ func TestIteratorFindsExactDuplicateOfQuery(t *testing.T) {
 	pts := randPoints(r, 300, 4, 5)
 	q := vec.Clone(pts[42])
 	idx := buildTestIndex(t, pts, Config{Seed: 13, PageSize: 512})
-	it := idx.NewIterator(q, nil)
+	it := idx.NewIterator(context.Background(), q, nil)
 	c, ok := it.Next()
 	if !ok {
 		t.Fatal("iterator empty")
@@ -238,7 +239,7 @@ func TestLayoutIsPermutation(t *testing.T) {
 func TestSinglePointIndex(t *testing.T) {
 	pts := [][]float32{{1, 2, 3}}
 	idx := buildTestIndex(t, pts, Config{Seed: 18, PageSize: 512})
-	got, err := idx.RangeSearch([]float32{1, 2, 3}, 0.5, nil)
+	got, err := idx.RangeSearch(context.Background(), []float32{1, 2, 3}, 0.5, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestIdenticalPoints(t *testing.T) {
 		pts[i] = []float32{7, 7}
 	}
 	idx := buildTestIndex(t, pts, Config{Seed: 19, PageSize: 512})
-	got, err := idx.RangeSearch([]float32{7, 7}, 0.1, nil)
+	got, err := idx.RangeSearch(context.Background(), []float32{7, 7}, 0.1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestPageAccessAccounting(t *testing.T) {
 		pg.DropPool()
 		pg.ResetStats()
 	}
-	if _, err := idx.RangeSearch(q, 5, nil); err != nil {
+	if _, err := idx.RangeSearch(context.Background(), q, 5, nil); err != nil {
 		t.Fatal(err)
 	}
 	var small, large int64
@@ -282,7 +283,7 @@ func TestPageAccessAccounting(t *testing.T) {
 		pg.DropPool()
 		pg.ResetStats()
 	}
-	if _, err := idx.RangeSearch(q, 30, nil); err != nil {
+	if _, err := idx.RangeSearch(context.Background(), q, 30, nil); err != nil {
 		t.Fatal(err)
 	}
 	for _, pg := range idx.Pagers() {
@@ -315,7 +316,7 @@ func TestPropertyRangeSearchComplete(t *testing.T) {
 		q := randPoints(r, 1, m, 5)[0]
 		radius := r.Float64() * 15
 		want := bruteRange(pts, q, radius)
-		got, err := idx.RangeSearch(q, radius, nil)
+		got, err := idx.RangeSearch(context.Background(), q, radius, nil)
 		if err != nil || len(got) != len(want) {
 			return false
 		}

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 
 	"promips/internal/btree"
+	"promips/internal/errs"
+	"promips/internal/fsutil"
 	"promips/internal/pager"
 )
 
@@ -26,13 +28,12 @@ type meta struct {
 	Layout         []uint32
 }
 
-// Save persists the index metadata next to its page files in dir.
+// Save persists the index metadata next to its page files in dir. The meta
+// file is written to a temp name and renamed over, so a crash mid-Save
+// never truncates a previously saved (and possibly still referenced) meta
+// file. Directory-entry durability is the caller's concern (core.Save
+// fsyncs dir once after both meta renames).
 func (idx *Index) Save(dir string) error {
-	f, err := os.Create(filepath.Join(dir, "idist.meta"))
-	if err != nil {
-		return fmt.Errorf("idistance: save meta: %w", err)
-	}
-	defer f.Close()
 	m := meta{
 		Cfg: idx.cfg, M: idx.m, N: idx.n,
 		Centers: idx.centers, Radii: idx.radii,
@@ -40,10 +41,13 @@ func (idx *Index) Save(dir string) error {
 		EntriesPerPage: idx.entriesPerPage,
 		LocPage:        idx.locPage, LocSlot: idx.locSlot, Layout: idx.layout,
 	}
-	if err := gob.NewEncoder(f).Encode(&m); err != nil {
-		return fmt.Errorf("idistance: encode meta: %w", err)
+	err := fsutil.WriteAtomic(filepath.Join(dir, "idist.meta"), func(f *os.File) error {
+		return gob.NewEncoder(f).Encode(&m)
+	})
+	if err != nil {
+		return fmt.Errorf("idistance: save meta: %w", err)
 	}
-	return f.Sync()
+	return nil
 }
 
 // Open loads an index previously built in dir (Build followed by Save).
@@ -55,7 +59,7 @@ func Open(dir string) (*Index, error) {
 	defer f.Close()
 	var m meta
 	if err := gob.NewDecoder(f).Decode(&m); err != nil {
-		return nil, fmt.Errorf("idistance: decode meta: %w", err)
+		return nil, fmt.Errorf("idistance: decode meta: %v: %w", err, errs.ErrCorruptIndex)
 	}
 	opts := pager.Options{PageSize: m.Cfg.PageSize, PoolSize: m.Cfg.PoolSize}
 	data, err := pager.Open(filepath.Join(dir, "idist.data"), opts)

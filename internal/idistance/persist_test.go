@@ -1,6 +1,7 @@
 package idistance
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -17,7 +18,7 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := randPoints(r, 1, 6, 10)[0]
-	want, err := idx.RangeSearch(q, 8, nil)
+	want, err := idx.RangeSearch(context.Background(), q, 8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestSaveOpenRoundTrip(t *testing.T) {
 	if re.Len() != 900 || re.M() != 6 {
 		t.Fatalf("reloaded dims = (%d,%d)", re.Len(), re.M())
 	}
-	got, err := re.RangeSearch(q, 8, nil)
+	got, err := re.RangeSearch(context.Background(), q, 8, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package idistance
 
 import (
+	"context"
 	"encoding/binary"
 	"math"
 	"sort"
@@ -19,15 +20,22 @@ import (
 // ring, a sub-partition is read only when its (pivot, radius) sphere
 // intersects the query sphere and is not entirely inside the rLo ball.
 //
+// Cancellation is checked between sub-partition scans (one sub-partition is
+// at most a few pages of sequential I/O, so a cancelled query stops within
+// that bound); the scan then returns ctx.Err().
+//
 // Page reads (B+-tree nodes and projected-point pages) are recorded in io,
 // the caller's per-query accumulator; nil discards the accounting.
-func (idx *Index) Search(q []float32, rLo, rHi float64, io *pager.IOStats, visit func(Candidate) bool) error {
+func (idx *Index) Search(ctx context.Context, q []float32, rLo, rHi float64, io *pager.IOStats, visit func(Candidate) bool) error {
 	entrySize := 4 + vec.EncodedSize(idx.m)
 	stop := false
 	var scanErr error
 	for p, center := range idx.centers {
 		if stop {
 			return scanErr
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		dc := vec.L2Dist(q, center)
 		if dc-rHi > idx.radii[p] {
@@ -46,6 +54,10 @@ func (idx *Index) Search(q []float32, rLo, rHi float64, io *pager.IOStats, visit
 		hiKey := int64(p)*idx.stride + ringHi
 		err := idx.tree.Scan(loKey, hiKey, io, func(key int64, val []byte) bool {
 			for _, sub := range decodeSubs(val, idx.m) {
+				if err := ctx.Err(); err != nil {
+					scanErr, stop = err, true
+					return false
+				}
 				ds := vec.L2Dist(q, sub.center)
 				if ds-sub.radius > rHi {
 					continue // sphere outside the query sphere
@@ -107,9 +119,9 @@ func (idx *Index) scanSub(sub subPartition, q []float32, rLo, rHi float64, entry
 // RangeSearch collects every point within distance r of q, sorted by
 // ascending projected distance — the order MIP-Search-II consumes
 // candidates in. Page reads are recorded in io.
-func (idx *Index) RangeSearch(q []float32, r float64, io *pager.IOStats) ([]Candidate, error) {
+func (idx *Index) RangeSearch(ctx context.Context, q []float32, r float64, io *pager.IOStats) ([]Candidate, error) {
 	var out []Candidate
-	err := idx.Search(q, -1, r, io, func(c Candidate) bool {
+	err := idx.Search(ctx, q, -1, r, io, func(c Candidate) bool {
 		out = append(out, c)
 		return true
 	})
@@ -126,6 +138,7 @@ func (idx *Index) RangeSearch(q []float32, r float64, io *pager.IOStats) ([]Cand
 // annulus.
 type Iterator struct {
 	idx     *Index
+	ctx     context.Context
 	io      *pager.IOStats
 	q       []float32
 	r       float64
@@ -139,8 +152,10 @@ type Iterator struct {
 
 // NewIterator starts an incremental NN scan from q, recording page reads
 // in io. The annulus width defaults to the ring width ε (each expansion
-// round touches at most one new ring per partition).
-func (idx *Index) NewIterator(q []float32, io *pager.IOStats) *Iterator {
+// round touches at most one new ring per partition). The context is held
+// for the iterator's lifetime — an iterator is one query's scan — and
+// cancellation surfaces through Err after Next returns false.
+func (idx *Index) NewIterator(ctx context.Context, q []float32, io *pager.IOStats) *Iterator {
 	maxR := 0.0
 	for p, c := range idx.centers {
 		if d := vec.L2Dist(q, c) + idx.radii[p]; d > maxR {
@@ -151,7 +166,7 @@ func (idx *Index) NewIterator(q []float32, io *pager.IOStats) *Iterator {
 	if step <= 0 {
 		step = 1
 	}
-	return &Iterator{idx: idx, io: io, q: q, step: step, maxR: maxR}
+	return &Iterator{idx: idx, ctx: ctx, io: io, q: q, step: step, maxR: maxR}
 }
 
 // Next returns the next nearest point, or ok=false when the index is
@@ -170,7 +185,7 @@ func (it *Iterator) Next() (Candidate, bool) {
 		// query far from all partitions doesn't crawl ε by ε.
 		it.buf = it.buf[:0]
 		it.pos = 0
-		err := it.idx.Search(it.q, lo, hi, it.io, func(c Candidate) bool {
+		err := it.idx.Search(it.ctx, it.q, lo, hi, it.io, func(c Candidate) bool {
 			it.buf = append(it.buf, c)
 			return true
 		})

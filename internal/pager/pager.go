@@ -26,6 +26,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"promips/internal/errs"
 )
 
 // DefaultPageSize matches the paper's 4KB pages (64KB is used for P53).
@@ -173,7 +175,8 @@ func Open(path string, opts Options) (*Pager, error) {
 	}
 	if fi.Size()%int64(opts.PageSize) != 0 {
 		f.Close()
-		return nil, fmt.Errorf("pager: %s length %d is not a multiple of page size %d", path, fi.Size(), opts.PageSize)
+		return nil, fmt.Errorf("pager: %s length %d is not a multiple of page size %d: %w",
+			path, fi.Size(), opts.PageSize, errs.ErrCorruptIndex)
 	}
 	return newPager(f, opts, fi.Size()/int64(opts.PageSize)), nil
 }

@@ -24,10 +24,10 @@ import (
 	"sort"
 
 	"promips/internal/kmeans"
-	"promips/internal/mips"
 	"promips/internal/pager"
 	"promips/internal/store"
 	"promips/internal/vec"
+	"promips/mips"
 )
 
 // Config parameterizes the PQ index. Paper defaults: 16 subspaces, 256

@@ -5,7 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
-	"promips/internal/exact"
+	"promips/exact"
 	"promips/internal/vec"
 )
 

@@ -22,10 +22,10 @@ import (
 	"path/filepath"
 	"sort"
 
-	"promips/internal/mips"
 	"promips/internal/pager"
 	"promips/internal/store"
 	"promips/internal/vec"
+	"promips/mips"
 )
 
 // Config parameterizes a Range-LSH index.

@@ -15,9 +15,9 @@ package store
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 
+	"promips/internal/errs"
 	"promips/internal/pager"
 	"promips/internal/vec"
 )
@@ -177,7 +177,7 @@ func Open(path string, opts pager.Options) (*Store, error) {
 	}
 	if binary.LittleEndian.Uint32(header) != storeMagic {
 		pg.Close()
-		return nil, errors.New("store: bad magic")
+		return nil, fmt.Errorf("store: bad magic: %w", errs.ErrCorruptIndex)
 	}
 	dim := int(binary.LittleEndian.Uint32(header[4:]))
 	n := int(binary.LittleEndian.Uint32(header[8:]))

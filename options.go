@@ -1,0 +1,59 @@
+package promips
+
+import "promips/internal/core"
+
+// A SearchOption adjusts one query (or one batch) without touching the
+// index: the guarantee knobs are recomputed query-locally from Quick-Probe's
+// two termination conditions, so concurrent queries can run with different
+// (c, p) settings against one shared index.
+type SearchOption func(*searchConfig)
+
+// searchConfig is the resolved option set for one Search/SearchBatch call.
+type searchConfig struct {
+	params  core.SearchParams
+	workers int
+}
+
+func resolveOptions(opts []SearchOption) searchConfig {
+	var cfg searchConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithC overrides the approximation ratio c ∈ (0,1) for this query. Every
+// returned point then satisfies ⟨o,q⟩ ≥ c·⟨o*,q⟩ with the query's guarantee
+// probability. Passing exactly 0 restores the index default; any other
+// value outside (0,1) makes the query fail.
+func WithC(c float64) SearchOption {
+	return func(cfg *searchConfig) { cfg.params.C = c }
+}
+
+// WithP overrides the guarantee probability p ∈ (0,1) for this query.
+// Larger p widens the probability-guaranteed search range: accuracy rises,
+// and so do verified candidates and page accesses. Passing exactly 0
+// restores the index default; any other value outside (0,1) makes the
+// query fail.
+func WithP(p float64) SearchOption {
+	return func(cfg *searchConfig) { cfg.params.P = p }
+}
+
+// WithFilter restricts the query to points whose id the predicate accepts —
+// predicate-constrained MIPS (e.g. "recommend only items the user has not
+// seen"). Rejected points are neither verified nor returned; the (c, p)
+// guarantee is made against the best point that passes the filter. The
+// predicate must be fast and side-effect free: it runs once per candidate
+// under the index's shared lock — and, when the option is passed to
+// SearchBatch, concurrently from every worker goroutine, so it must also
+// be safe for concurrent use (a pure function of the id, or reads of
+// state that is not mutated during the batch).
+func WithFilter(f func(id uint32) bool) SearchOption {
+	return func(cfg *searchConfig) { cfg.params.Filter = f }
+}
+
+// WithWorkers sets the worker-pool size for SearchBatch (n <= 0 means one
+// worker per available CPU). Single-query Search ignores it.
+func WithWorkers(n int) SearchOption {
+	return func(cfg *searchConfig) { cfg.workers = n }
+}

@@ -19,18 +19,49 @@
 //	index, err := promips.Build(data, promips.Options{Dir: dir, C: 0.9, P: 0.5})
 //	if err != nil { ... }
 //	defer index.Close()
-//	results, stats, err := index.Search(query, 10)
+//	results, stats, err := index.Search(ctx, query, 10)
 //
 // Results come back best-first with exact inner products; stats reports the
-// verified candidate count and disk pages touched. See the examples/
-// directory for complete programs and DESIGN.md for the system layout.
+// verified candidate count and disk pages touched.
+//
+// # Lifecycle
+//
+// An index lives in a directory and survives the process that built it:
+//
+//	Build ─→ Insert/Delete ─→ Save ─→ Close          (persist)
+//	Open  ─→ Search/Insert/… ─→ Compact ─→ Save …    (reopen, maintain)
+//
+// Save persists the full query-visible state — including inserted points
+// awaiting compaction and tombstones — so Open returns an index that
+// answers exactly as the saved one did. Compact folds the delta and drops
+// tombstones by rebuilding into a fresh generation subdirectory and
+// atomically swapping it in; searches keep running throughout. See the
+// examples/ directory for complete programs and DESIGN.md for the system
+// layout, the generation-directory swap protocol and the error taxonomy.
+//
+// # Per-query options
+//
+// Search, SearchIncremental and SearchBatch accept functional options:
+// WithC and WithP re-derive the paper's two termination conditions with
+// query-local guarantees, WithFilter restricts the search to ids a
+// predicate accepts, and WithWorkers sizes SearchBatch's pool. All queries
+// take a context and stop between iDistance sub-partition scans (and, for
+// batches, between queries) once it is cancelled.
 package promips
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
 
 	"promips/internal/core"
+	"promips/internal/fsutil"
 )
 
 // Options configures Build. The zero value reproduces the paper's default
@@ -38,7 +69,7 @@ import (
 // Nkey = 40, ksp = 10 and 4KB pages.
 type Options struct {
 	// Dir is the directory for the index's page files. Empty means a fresh
-	// temporary directory (removed on Close).
+	// temporary directory (removed on Close unless the index was Saved).
 	Dir string
 
 	// C is the approximation ratio c ∈ (0,1). Default 0.9.
@@ -76,18 +107,32 @@ type SearchStats = core.SearchStats
 // SizeBreakdown itemizes index storage.
 type SizeBreakdown = core.SizeBreakdown
 
+// currentFile names the generation pointer inside an index directory. Its
+// content is the active generation subdirectory, or "." when the index
+// lives in the directory root (as Build lays it out).
+const currentFile = "CURRENT"
+
 // Index is a ProMIPS index over a dataset. An Index is safe for concurrent
 // use: any number of goroutines may call Search, SearchIncremental, Exact
-// and the accessors simultaneously, and Insert/Delete interleave correctly
+// and the accessors simultaneously; Insert/Delete interleave correctly
 // with them (searches see either the state before or after an update,
-// never a partial one). Every query accounts its page accesses in a
-// private accumulator, so SearchStats stays exact — the paper's per-query
-// Page Access metric — under any level of concurrency. See DESIGN.md for
-// the locking contract layer by layer.
+// never a partial one); and Compact rebuilds in the background, swapping
+// the new generation in atomically. Every query accounts its page accesses
+// in a private accumulator, so SearchStats stays exact — the paper's
+// per-query Page Access metric — under any level of concurrency. See
+// DESIGN.md for the locking contract layer by layer.
 type Index struct {
-	inner   *core.Index
-	dir     string
-	ownsDir bool
+	inner *core.Index
+
+	// mu serializes the lifecycle operations (Save, Compact, Close) and
+	// guards the fields below; queries and updates go straight to inner,
+	// whose own lock orders them against Compact's swap.
+	mu         sync.Mutex
+	dir        string
+	gen        string // active generation subdirectory; "" = dir itself
+	durableGen string // the generation CURRENT names on disk (trails gen if a Compact failed to persist)
+	ownsDir    bool   // Build created dir as a temp directory
+	saved      bool   // the caller persisted the index with Save
 }
 
 // Build constructs an index over data. Every point must share one
@@ -116,34 +161,91 @@ func Build(data [][]float32, opts Options) (*Index, error) {
 	return &Index{inner: inner, dir: dir, ownsDir: ownsDir}, nil
 }
 
+// Open loads an index previously persisted to dir with Save. The returned
+// index serves queries immediately and supports the full lifecycle —
+// updates, Save, Compact. State that claims to be an index but cannot be
+// loaded — an undecodable metadata or page file, an invalid CURRENT, or a
+// CURRENT naming a generation whose files are gone — surfaces as
+// ErrCorruptIndex; a directory that simply was never saved surfaces the
+// underlying fs error.
+func Open(dir string) (*Index, error) {
+	gen, err := readCurrent(dir)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.Open(filepath.Join(dir, gen))
+	if err != nil {
+		if gen != "" && errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("promips: %w: %s names generation %q but its files are missing: %v",
+				ErrCorruptIndex, currentFile, gen, err)
+		}
+		return nil, err
+	}
+	sweepStaleGenerations(dir, gen)
+	return &Index{inner: inner, dir: dir, gen: gen, durableGen: gen, saved: true}, nil
+}
+
+// rootGenerationFiles are the files one generation consists of, as laid
+// out by Build (page files) and Save (meta). removeGeneration and
+// sweepStaleGenerations both rely on this list to retire a root-layout
+// generation without touching CURRENT or the gen-* subdirectories beside
+// it.
+var rootGenerationFiles = []string{"idist.data", "idist.btree", "idist.meta", "orig.data", "promips.meta"}
+
+// sweepStaleGenerations removes (best-effort) every generation other than
+// the one CURRENT durably names: a crash between Compact's CURRENT flip
+// and its old-generation removal — or during a generation build — leaves
+// superseded or partial files that nothing will ever reference again.
+// CURRENT is the single source of truth, so everything else is garbage.
+// (Indexes are single-process; there is no other opener to race with.)
+func sweepStaleGenerations(dir, active string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "gen-") && e.Name() != active {
+			os.RemoveAll(filepath.Join(dir, e.Name()))
+		}
+	}
+	if active != "" {
+		// The root generation was superseded by a gen-* subdirectory.
+		for _, name := range rootGenerationFiles {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
 // Search returns the top-k c-AMIP points for q, best inner product first.
 // With probability at least p, every returned point oi satisfies
-// ⟨oi,q⟩ ≥ c·⟨o*i,q⟩ against the exact i-th MIP point o*i.
-func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
-	return ix.inner.Search(q, k)
+// ⟨oi,q⟩ ≥ c·⟨o*i,q⟩ against the exact i-th MIP point o*i; (c, p) default
+// to the build-time options and are overridden per query with WithC and
+// WithP. WithFilter restricts the search to accepted ids. Cancelling ctx
+// stops the scan between iDistance sub-partitions and returns ctx.Err().
+func (ix *Index) Search(ctx context.Context, q []float32, k int, opts ...SearchOption) ([]Result, SearchStats, error) {
+	cfg := resolveOptions(opts)
+	return ix.inner.SearchContext(ctx, q, k, cfg.params)
 }
 
 // SearchBatch answers many queries concurrently against the shared index
-// with a bounded worker pool (one worker per available CPU, at most one per
-// query). Results and stats are positionally aligned with queries, and each
-// query's answer is identical to what a sequential Search would return. The
-// first query error cancels the remaining work and is returned.
-func (ix *Index) SearchBatch(queries [][]float32, k int) ([][]Result, []SearchStats, error) {
-	return ix.inner.SearchBatch(queries, k, 0)
-}
-
-// SearchBatchWorkers is SearchBatch with an explicit worker-pool size;
-// workers <= 0 uses one worker per available CPU. It exists for throughput
-// experiments that sweep the worker count.
-func (ix *Index) SearchBatchWorkers(queries [][]float32, k, workers int) ([][]Result, []SearchStats, error) {
-	return ix.inner.SearchBatch(queries, k, workers)
+// with a bounded worker pool (WithWorkers sizes it; the default is one
+// worker per available CPU, at most one per query). Results and stats are
+// positionally aligned with queries, and each query's answer is identical
+// to what a sequential Search with the same options would return. The
+// first query error cancels the remaining work and is returned; cancelling
+// ctx stops the batch between queries with ctx.Err().
+func (ix *Index) SearchBatch(ctx context.Context, queries [][]float32, k int, opts ...SearchOption) ([][]Result, []SearchStats, error) {
+	cfg := resolveOptions(opts)
+	return ix.inner.SearchBatch(ctx, queries, k, cfg.workers, cfg.params)
 }
 
 // SearchIncremental answers the same query with the paper's Algorithm 1
 // (incremental NN search with per-point condition tests) instead of
 // Quick-Probe. It exists for comparison; Search is the recommended path.
-func (ix *Index) SearchIncremental(q []float32, k int) ([]Result, SearchStats, error) {
-	return ix.inner.SearchIncremental(q, k)
+// It honors the same options and cancellation points as Search.
+func (ix *Index) SearchIncremental(ctx context.Context, q []float32, k int, opts ...SearchOption) ([]Result, SearchStats, error) {
+	cfg := resolveOptions(opts)
+	return ix.inner.SearchIncrementalContext(ctx, q, k, cfg.params)
 }
 
 // Exact returns the true top-k MIP points by scanning the dataset. It is
@@ -156,18 +258,122 @@ func (ix *Index) Exact(q []float32, k int) ([]Result, error) {
 // live in an exactly-evaluated in-memory delta until Compact; searches see
 // them immediately and the (c, p) guarantee is preserved. This is the
 // frequently-updated workload (§I of the paper) the lightweight index is
-// designed for.
+// designed for. Inserting a vector of the wrong dimensionality returns
+// ErrDimMismatch.
 func (ix *Index) Insert(v []float32) (uint32, error) { return ix.inner.Insert(v) }
 
 // Delete tombstones the point with the given id and reports whether it was
 // live. Deleted points stop appearing in results immediately.
 func (ix *Index) Delete(id uint32) bool { return ix.inner.Delete(id) }
 
+// Save persists the index's full query-visible state — metadata, the
+// insert delta, tombstones — into its directory, next to the page files,
+// and marks the directory as the caller's: Close no longer removes it even
+// when Build created it as a temporary. A saved directory reopens with
+// Open.
+func (ix *Index) Save() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := ix.inner.Save(filepath.Join(ix.dir, ix.gen)); err != nil {
+		return err
+	}
+	if err := writeCurrent(ix.dir, ix.gen); err != nil {
+		return err
+	}
+	// Save can also complete a handover a failed Compact left behind: once
+	// CURRENT names ix.gen, any older generation it superseded is garbage.
+	if ix.durableGen != ix.gen {
+		ix.removeGeneration(ix.durableGen)
+		ix.durableGen = ix.gen
+	}
+	ix.saved = true
+	return nil
+}
+
+// Compact folds the insert delta into the disk-resident structures and
+// drops tombstoned points. It rebuilds into a fresh generation
+// subdirectory (gen-000001, gen-000002, …) while searches keep answering
+// against the old generation, swaps the new generation in atomically —
+// updates that land mid-rebuild are folded in during the swap — and then
+// retires the old generation's files. Ids are reassigned densely
+// (0..Len-1); remap[newID] gives the previous id so callers can relocate
+// external references.
+//
+// The swap is made durable before the old generation is removed: the new
+// generation's metadata is written first, then the CURRENT pointer is
+// atomically renamed over, so a crash at any step leaves a directory Open
+// can load. Cancelling ctx before the swap leaves the index untouched.
+//
+// Error contract: when the rebuild itself fails (cancellation included),
+// the index is untouched and the returned remap is nil. When the rebuild
+// succeeded but persisting it did not, Compact returns the VALID remap
+// together with a non-nil error: the in-memory index already serves the
+// remapped ids, so the caller must apply the remap despite the error, and
+// a later Save (or the next Compact) completes the durable handover — the
+// last durably written generation stays on disk and loadable until then.
+func (ix *Index) Compact(ctx context.Context) ([]uint32, error) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	nextGen := fmt.Sprintf("gen-%06d", genSeq(ix.gen)+1)
+	genDir := filepath.Join(ix.dir, nextGen)
+	remap, err := ix.inner.Compact(ctx, genDir)
+	if err != nil {
+		// Core's error contract: the swap did not happen, nothing
+		// references genDir, and the index still serves the old
+		// generation — so the partial build is removable.
+		os.RemoveAll(genDir)
+		return nil, err
+	}
+	// The in-memory swap happened: from here on every Save must target the
+	// new generation, so advance the pointer before attempting the
+	// persistence steps. If either fails, the durable generation's files
+	// stay on disk and CURRENT keeps naming them — Open still loads the
+	// last durable state — while this process serves the new generation
+	// and a later Save can complete the handover.
+	oldGen := ix.gen
+	ix.gen = nextGen
+	// core.Save writes both meta files via temp+rename and fsyncs genDir,
+	// so every dirent of the new generation is durable before CURRENT
+	// starts naming it — a crash cannot persist the pointer flip while
+	// losing the files it points at.
+	if err := ix.inner.Save(genDir); err != nil {
+		return remap, fmt.Errorf("promips: compact: persist new generation: %w", err)
+	}
+	if err := writeCurrent(ix.dir, nextGen); err != nil {
+		return remap, fmt.Errorf("promips: compact: %w", err)
+	}
+	// nextGen is durable: retire every generation it supersedes — the one
+	// the swap replaced AND, if an earlier Compact swapped in memory but
+	// failed to persist, the older generation CURRENT named until now
+	// (otherwise its files would leak, referenced by nothing).
+	retired := map[string]bool{oldGen: true, ix.durableGen: true}
+	delete(retired, nextGen)
+	for gen := range retired {
+		ix.removeGeneration(gen)
+	}
+	ix.durableGen = nextGen
+	return remap, nil
+}
+
+// removeGeneration deletes a superseded generation's files. The root
+// generation lives next to CURRENT and the gen-* subdirectories, so its
+// files go individually; a gen directory goes wholesale.
+func (ix *Index) removeGeneration(gen string) {
+	if gen == "" {
+		for _, name := range rootGenerationFiles {
+			os.Remove(filepath.Join(ix.dir, name))
+		}
+		return
+	}
+	os.RemoveAll(filepath.Join(ix.dir, gen))
+}
+
 // LiveCount returns the number of live (non-deleted) points, including
 // not-yet-compacted inserts.
 func (ix *Index) LiveCount() int { return ix.inner.LiveCount() }
 
-// Len returns the number of indexed points.
+// Len returns the number of points in the disk-resident index (compaction
+// folds the delta in, so Len can change over the index's lifetime).
 func (ix *Index) Len() int { return ix.inner.Len() }
 
 // Dim returns the dataset dimensionality.
@@ -179,17 +385,87 @@ func (ix *Index) M() int { return ix.inner.M() }
 // Sizes itemizes the index's storage footprint.
 func (ix *Index) Sizes() SizeBreakdown { return ix.inner.Sizes() }
 
-// Dir returns the directory holding the index's page files.
+// Options returns the configuration the index was built with (Dir set to
+// the index directory). ix.dir is assigned once and never mutated, so no
+// lifecycle lock is taken — the accessor stays responsive while Compact
+// holds it for a rebuild.
+func (ix *Index) Options() Options {
+	o := ix.inner.Options()
+	return Options{
+		Dir: ix.dir,
+		C:   o.C, P: o.P, M: o.M,
+		Kp: o.Kp, Nkey: o.Nkey, Ksp: o.Ksp, Epsilon: o.Epsilon,
+		PageSize: o.PageSize, PoolSize: o.PoolSize, Seed: o.Seed,
+	}
+}
+
+// Dir returns the directory holding the index (generation subdirectories
+// and the CURRENT pointer live underneath it). Like Options, it reads only
+// immutable state and never blocks on a running Compact.
 func (ix *Index) Dir() string { return ix.dir }
 
-// Close releases the page files (and removes the index directory when
-// Build created a temporary one).
+// Close releases the page files. When Build created a temporary directory
+// and the index was never Saved, the directory is removed; a saved or
+// caller-provided directory always survives Close. Operations after Close
+// return ErrClosed.
 func (ix *Index) Close() error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
 	err := ix.inner.Close()
-	if ix.ownsDir {
+	if ix.ownsDir && !ix.saved {
 		if rmErr := os.RemoveAll(ix.dir); err == nil {
 			err = rmErr
 		}
 	}
 	return err
+}
+
+// genSeq extracts the sequence number of a generation subdirectory name
+// ("" — the root — is generation 0).
+func genSeq(gen string) int {
+	n, _ := strconv.Atoi(strings.TrimPrefix(gen, "gen-"))
+	return n
+}
+
+// readCurrent resolves the active generation recorded in dir's CURRENT
+// file. A missing file means the root layout Build produces.
+func readCurrent(dir string) (string, error) {
+	b, err := os.ReadFile(filepath.Join(dir, currentFile))
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	if err != nil {
+		return "", fmt.Errorf("promips: read %s: %w", currentFile, err)
+	}
+	gen := strings.TrimSpace(string(b))
+	if gen == "." {
+		return "", nil
+	}
+	if gen == "" || strings.ContainsAny(gen, "/\\") || !strings.HasPrefix(gen, "gen-") {
+		return "", fmt.Errorf("promips: %w: %s names invalid generation %q", ErrCorruptIndex, currentFile, gen)
+	}
+	return gen, nil
+}
+
+// writeCurrent atomically records gen as dir's active generation (write to
+// a temp file, fsync, rename, fsync the directory). The directory fsync is
+// load-bearing: without it, a crash could persist the caller's subsequent
+// old-generation unlinks but not the rename, leaving CURRENT pointing at
+// files that no longer exist.
+func writeCurrent(dir, gen string) error {
+	content := gen
+	if content == "" {
+		content = "."
+	}
+	err := fsutil.WriteAtomic(filepath.Join(dir, currentFile), func(f *os.File) error {
+		_, err := f.WriteString(content + "\n")
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("promips: %w", err)
+	}
+	if err := fsutil.SyncDir(dir); err != nil {
+		return fmt.Errorf("promips: %w", err)
+	}
+	return nil
 }

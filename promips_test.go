@@ -1,6 +1,7 @@
 package promips
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"testing"
@@ -30,7 +31,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		t.Fatalf("metadata = %d %d %d", ix.Len(), ix.Dim(), ix.M())
 	}
 	q := randData(r, 1, 16)[0]
-	res, st, err := ix.Search(q, 10)
+	res, st, err := ix.Search(context.Background(), q, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if res[0].IP > exact[0].IP+1e-9 {
 		t.Fatal("approximate result beat the exact maximum")
 	}
-	inc, _, err := ix.SearchIncremental(q, 10)
+	inc, _, err := ix.SearchIncremental(context.Background(), q, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestAccuracyAgainstExact(t *testing.T) {
 	const queries = 20
 	for trial := 0; trial < queries; trial++ {
 		q := randData(r, 1, 24)[0]
-		res, _, err := ix.Search(q, 10)
+		res, _, err := ix.Search(context.Background(), q, 10)
 		if err != nil {
 			t.Fatal(err)
 		}

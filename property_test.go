@@ -1,8 +1,10 @@
 package promips
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"reflect"
 	"testing"
 )
 
@@ -14,6 +16,12 @@ import (
 // on every query; seeds are fixed so the rates are reproducible. Both the
 // Quick-Probe path (Search) and Algorithm 1 (SearchIncremental) must honor
 // the same bound.
+//
+// Each case also re-runs every query through a second index built with
+// unrelated (c, p) defaults but queried with the WithC/WithP per-query
+// overrides. The two must agree result-for-result and stat-for-stat — the
+// guarantee knobs are query-local, so overriding them reproduces the
+// dedicated index exactly (same seed, same layout).
 func TestGuaranteeProperty(t *testing.T) {
 	cases := []struct {
 		n, d, m int
@@ -26,6 +34,7 @@ func TestGuaranteeProperty(t *testing.T) {
 		{n: 600, d: 12, m: 4, c: 0.7, p: 0.5, seed: 104},
 		{n: 1200, d: 32, m: 6, c: 0.9, p: 0.8, seed: 105},
 	}
+	ctx := context.Background()
 	for ci, tc := range cases {
 		if testing.Short() && ci >= 2 {
 			break
@@ -41,6 +50,15 @@ func TestGuaranteeProperty(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer ix.Close()
+			// Same seed, different build-time defaults: only the WithC and
+			// WithP overrides below can make it behave like ix.
+			over, err := Build(data, Options{
+				Dir: t.TempDir(), C: 0.55, P: 0.35, M: tc.m, Seed: tc.seed + 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer over.Close()
 
 			const numQueries = 20
 			okSearch, okIncr := 0, 0
@@ -55,19 +73,33 @@ func TestGuaranteeProperty(t *testing.T) {
 				}
 				want := tc.c * exact[0].IP
 
-				res, _, err := ix.Search(q, 1)
+				res, st, err := ix.Search(ctx, q, 1)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if res[0].IP >= want-1e-9 {
 					okSearch++
 				}
-				inc, _, err := ix.SearchIncremental(q, 1)
+				inc, _, err := ix.SearchIncremental(ctx, q, 1)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if inc[0].IP >= want-1e-9 {
 					okIncr++
+				}
+
+				// Per-query overrides must reproduce the dedicated index
+				// exactly: results and every stat, Quick-Probe's work and
+				// the termination condition included.
+				oRes, oSt, err := over.Search(ctx, q, 1, WithC(tc.c), WithP(tc.p))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(oRes, res) {
+					t.Fatalf("query %d: WithC/WithP results diverge from dedicated index:\n got %v\nwant %v", qi, oRes, res)
+				}
+				if oSt != st {
+					t.Fatalf("query %d: WithC/WithP stats diverge from dedicated index:\n got %+v\nwant %+v", qi, oSt, st)
 				}
 			}
 			minOK := int(tc.p * numQueries)

@@ -1,6 +1,7 @@
 package promips
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -23,7 +24,7 @@ func TestPublicInsertDelete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _, err := ix.Search(q, 1)
+	res, _, err := ix.Search(context.Background(), q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestPublicInsertDelete(t *testing.T) {
 	if !ix.Delete(id) {
 		t.Fatal("delete failed")
 	}
-	res, _, err = ix.Search(q, 1)
+	res, _, err = ix.Search(context.Background(), q, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
