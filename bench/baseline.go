@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"promips/internal/core"
+	"promips/internal/dataset"
+)
+
+// This file is the repo's performance measurement rail: every perf PR is
+// judged against a recorded BENCH_<label>.json produced by the same harness
+// (cmd/benchrunner -out). The headline series is the sequential Search hot
+// path (ns/op, allocs/op, B/op) plus the paper's Page Access metric and the
+// concurrent-serving QPS curve, all on the default synthetic workload so
+// runs are comparable across commits.
+
+// PerfConfig selects the workload RunPerf measures. Zero values take the
+// default synthetic workload: the Netflix analogue at n=4000 with 100
+// member queries at k=10, seed 1 — the exact workload BenchmarkSearch and
+// cmd/benchrunner -out use, so the two harnesses are comparable.
+type PerfConfig struct {
+	Label      string
+	N          int
+	NumQueries int
+	K          int
+	Seed       int64
+	Workers    []int // worker counts for the QPS curve; nil = 1,2,4,8
+}
+
+func (c *PerfConfig) normalize() {
+	if c.Label == "" {
+		c.Label = "dev"
+	}
+	if c.N <= 0 {
+		c.N = 4000
+	}
+	if c.NumQueries <= 0 {
+		c.NumQueries = 100
+	}
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Workers == nil {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+}
+
+// PerfPoint is one benchmark loop's reduced measurements.
+type PerfPoint struct {
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+	PagesPerOp  float64 `json:"pages_per_op"`
+	CandsPerOp  float64 `json:"candidates_per_op"`
+}
+
+// BatchPoint is the concurrent-serving throughput at one worker count.
+type BatchPoint struct {
+	Workers int     `json:"workers"`
+	QPS     float64 `json:"qps"`
+}
+
+// PerfReport is the JSON document benchrunner -out emits.
+type PerfReport struct {
+	Label     string `json:"label"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+
+	Dataset    string `json:"dataset"`
+	N          int    `json:"n"`
+	D          int    `json:"d"`
+	M          int    `json:"m"`
+	K          int    `json:"k"`
+	NumQueries int    `json:"num_queries"`
+	Seed       int64  `json:"seed"`
+
+	Search      PerfPoint    `json:"search"`
+	Incremental PerfPoint    `json:"search_incremental"`
+	Batch       []BatchPoint `json:"batch_qps"`
+
+	// Baseline embeds the prior run this one is compared against
+	// (benchrunner -baseline), and Delta the relative change of the headline
+	// Search metrics: negative ns/op or allocs/op percentages are
+	// improvements.
+	Baseline *PerfReport `json:"baseline,omitempty"`
+	Delta    *PerfDelta  `json:"delta_vs_baseline,omitempty"`
+}
+
+// PerfDelta is the relative change of the headline metrics vs the baseline,
+// in percent (negative = faster / fewer).
+type PerfDelta struct {
+	SearchNsPerOpPct     float64 `json:"search_ns_per_op_pct"`
+	SearchAllocsPerOpPct float64 `json:"search_allocs_per_op_pct"`
+	SearchBytesPerOpPct  float64 `json:"search_bytes_per_op_pct"`
+	SearchPagesPerOpPct  float64 `json:"search_pages_per_op_pct"`
+}
+
+// RunPerf measures the query hot path on the default synthetic workload and
+// returns the report. The environment is built once; the buffer pool is
+// warmed before any timed loop so every run measures the steady state.
+func RunPerf(cfg PerfConfig) (*PerfReport, error) {
+	cfg.normalize()
+	env, err := NewEnv(Config{Spec: defaultSpec(), N: cfg.N, NumQueries: cfg.NumQueries, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	b, err := env.BuildProMIPS(ProMIPSOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer b.Method.Close()
+	ix := b.Method.(proMIPSAdapter).ix
+
+	rep := &PerfReport{
+		Label:      cfg.Label,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Dataset:    env.Cfg.Spec.Name,
+		N:          len(env.Data),
+		D:          env.Cfg.Spec.D,
+		M:          ix.M(),
+		K:          cfg.K,
+		NumQueries: len(env.Queries),
+		Seed:       cfg.Seed,
+	}
+
+	// Warm the buffer pool: one untimed pass over the whole workload.
+	for _, q := range env.Queries {
+		if _, _, err := ix.Search(q, cfg.K); err != nil {
+			return nil, err
+		}
+	}
+
+	rep.Search, err = measureSearch(env, cfg.K, func(q []float32, k int) error {
+		_, _, err := ix.Search(q, k)
+		return err
+	}, func(q []float32, k int) (core.SearchStats, error) {
+		_, st, err := ix.Search(q, k)
+		return st, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Incremental, err = measureSearch(env, cfg.K, func(q []float32, k int) error {
+		_, _, err := ix.SearchIncremental(q, k)
+		return err
+	}, func(q []float32, k int) (core.SearchStats, error) {
+		_, st, err := ix.SearchIncremental(q, k)
+		return st, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, w := range cfg.Workers {
+		start := time.Now()
+		if _, _, err := ix.SearchBatch(context.Background(), env.Queries, cfg.K, w, core.SearchParams{}); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Seconds()
+		rep.Batch = append(rep.Batch, BatchPoint{Workers: w, QPS: float64(len(env.Queries)) / elapsed})
+	}
+	return rep, nil
+}
+
+// measureSearch times one query entry point with testing.Benchmark and
+// augments the result with the paper's per-query page/candidate averages.
+func measureSearch(env *Env, k int, run func(q []float32, k int) error,
+	stat func(q []float32, k int) (core.SearchStats, error)) (PerfPoint, error) {
+	var loopErr error
+	res := testing.Benchmark(func(tb *testing.B) {
+		tb.ReportAllocs()
+		for i := 0; i < tb.N; i++ {
+			q := env.Queries[i%len(env.Queries)]
+			if err := run(q, k); err != nil {
+				loopErr = err
+				tb.FailNow()
+			}
+		}
+	})
+	if loopErr != nil {
+		return PerfPoint{}, loopErr
+	}
+	var pages, cands float64
+	for _, q := range env.Queries {
+		st, err := stat(q, k)
+		if err != nil {
+			return PerfPoint{}, err
+		}
+		pages += float64(st.PageAccesses)
+		cands += float64(st.Candidates)
+	}
+	nq := float64(len(env.Queries))
+	return PerfPoint{
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Iterations:  res.N,
+		PagesPerOp:  pages / nq,
+		CandsPerOp:  cands / nq,
+	}, nil
+}
+
+// defaultSpec is the default synthetic workload's dataset: the Netflix
+// analogue (d=300, 4KB pages, m=6).
+func defaultSpec() dataset.Spec { return dataset.Netflix() }
+
+// CompareToBaseline embeds prior into rep and fills the headline deltas.
+func (rep *PerfReport) CompareToBaseline(prior *PerfReport) {
+	// Strip any nested baseline so reports don't grow into chains.
+	p := *prior
+	p.Baseline, p.Delta = nil, nil
+	rep.Baseline = &p
+	rep.Delta = &PerfDelta{
+		SearchNsPerOpPct:     pct(float64(rep.Search.NsPerOp), float64(p.Search.NsPerOp)),
+		SearchAllocsPerOpPct: pct(float64(rep.Search.AllocsPerOp), float64(p.Search.AllocsPerOp)),
+		SearchBytesPerOpPct:  pct(float64(rep.Search.BytesPerOp), float64(p.Search.BytesPerOp)),
+		SearchPagesPerOpPct:  pct(rep.Search.PagesPerOp, p.Search.PagesPerOp),
+	}
+}
+
+func pct(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+// WriteFile marshals the report to path as indented JSON.
+func (rep *PerfReport) WriteFile(path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadPerfReport reads a report written by WriteFile.
+func LoadPerfReport(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep PerfReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -68,6 +68,78 @@ func runQueries(b *testing.B, env *bench.Env, m mips.Method, k int) {
 	}
 }
 
+var (
+	searchOnce sync.Once
+	searchEnv  *bench.Env
+	searchIx   *core.Index
+	searchErr  error
+)
+
+// searchBenchEnv builds a ProMIPS-only environment for the hot-path
+// benchmarks (the four-method sharedEnv is much slower to set up) and warms
+// the buffer pool so the timed loops measure the steady state. The index is
+// built directly through internal/core with the same parameters
+// bench.RunPerf uses (this test package lives inside the module), keeping
+// the public bench API free of internal types.
+func searchBenchEnv(b *testing.B) (*bench.Env, *core.Index) {
+	b.Helper()
+	searchOnce.Do(func() {
+		searchEnv, searchErr = bench.NewEnv(bench.Config{
+			Spec: dataset.Netflix(), N: benchN(), NumQueries: 100, Seed: 1,
+		})
+		if searchErr != nil {
+			return
+		}
+		dir, err := os.MkdirTemp("", "promips-searchbench-*")
+		if err != nil {
+			searchErr = err
+			return
+		}
+		searchIx, searchErr = core.Build(searchEnv.Data, dir, core.Options{M: 6, Seed: 1})
+		if searchErr != nil {
+			return
+		}
+		for _, q := range searchEnv.Queries {
+			if _, _, searchErr = searchIx.Search(q, 10); searchErr != nil {
+				return
+			}
+		}
+	})
+	if searchErr != nil {
+		b.Fatal(searchErr)
+	}
+	return searchEnv, searchIx
+}
+
+// BenchmarkSearch is the headline hot-path benchmark the repo's perf
+// trajectory (BENCH_*.json) tracks: one warm sequential ProMIPS query on the
+// default synthetic workload. Run with -benchmem; cmd/benchrunner -out
+// records the same loop plus page accesses and the QPS curve as JSON.
+func BenchmarkSearch(b *testing.B) {
+	env, ix := searchBenchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := env.Queries[i%len(env.Queries)]
+		if _, _, err := ix.Search(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchIncremental tracks the Algorithm 1 path the same way.
+func BenchmarkSearchIncremental(b *testing.B) {
+	env, ix := searchBenchEnv(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := env.Queries[i%len(env.Queries)]
+		if _, _, err := ix.SearchIncremental(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkTable3Datasets regenerates the Table III workload: dataset
 // generation cost per point for each of the four analogues.
 func BenchmarkTable3Datasets(b *testing.B) {

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"promips/bench"
@@ -32,7 +33,18 @@ func main() {
 	queries := flag.Int("queries", 0, "queries per dataset (0 = 100, the paper's workload)")
 	seed := flag.Int64("seed", 1, "random seed")
 	kList := flag.String("ks", "", "comma-separated k values (default 10..100 step 10)")
+	out := flag.String("out", "", "perf mode: write a BENCH_<label>.json report to this path instead of printing figures")
+	label := flag.String("label", "", "perf mode: label recorded in the report (default derived from -out filename)")
+	baseline := flag.String("baseline", "", "perf mode: prior report to embed and diff against")
 	flag.Parse()
+
+	if *out != "" {
+		if err := runPerf(*out, *label, *baseline, *n, *queries, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	specs := dataset.Specs()
 	if *ds != "all" {
@@ -62,6 +74,46 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// runPerf records the perf baseline every perf PR is judged against: the
+// Search hot path (ns/op, allocs/op, B/op, pages) and the QPS curve on the
+// default synthetic workload, written as JSON for the repo's BENCH_*.json
+// trajectory.
+func runPerf(out, label, baselinePath string, n, queries int, seed int64) error {
+	if label == "" {
+		base := filepath.Base(out)
+		base = strings.TrimSuffix(base, filepath.Ext(base))
+		label = strings.TrimPrefix(base, "BENCH_")
+	}
+	cfg := bench.PerfConfig{Label: label, N: n, NumQueries: queries, Seed: seed}
+	fmt.Fprintf(os.Stderr, "perf: measuring label=%q...\n", label)
+	rep, err := bench.RunPerf(cfg)
+	if err != nil {
+		return err
+	}
+	if baselinePath != "" {
+		prior, err := bench.LoadPerfReport(baselinePath)
+		if err != nil {
+			return err
+		}
+		rep.CompareToBaseline(prior)
+	}
+	if err := rep.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("perf[%s]: Search %d ns/op, %d allocs/op, %d B/op, %.1f pages/query\n",
+		rep.Label, rep.Search.NsPerOp, rep.Search.AllocsPerOp, rep.Search.BytesPerOp, rep.Search.PagesPerOp)
+	for _, bp := range rep.Batch {
+		fmt.Printf("perf[%s]: batch workers=%d %.0f qps\n", rep.Label, bp.Workers, bp.QPS)
+	}
+	if rep.Delta != nil {
+		fmt.Printf("perf[%s]: vs %s: ns/op %+.1f%%, allocs/op %+.1f%%, B/op %+.1f%%, pages %+.1f%%\n",
+			rep.Label, rep.Baseline.Label, rep.Delta.SearchNsPerOpPct, rep.Delta.SearchAllocsPerOpPct,
+			rep.Delta.SearchBytesPerOpPct, rep.Delta.SearchPagesPerOpPct)
+	}
+	fmt.Printf("perf: wrote %s\n", out)
+	return nil
 }
 
 func runDataset(spec dataset.Spec, fig string, n, queries int, seed int64, ks []int) error {

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"promips/internal/dataset"
+)
+
+// TestSearchSteadyStateAllocs pins the scratch-pool contract: once warm, a
+// Search allocates only the result slice it hands to the caller (plus a
+// handful of slack for buffer-pool churn) — not the ~1000 allocations per
+// query the pre-scratch implementation made. GC is paused so a collection
+// mid-measurement cannot empty the sync.Pool and charge the rebuild to one
+// unlucky run.
+func TestSearchSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are only meaningful without it")
+	}
+	data := dataset.Netflix().Generate(1000, 5)
+	ix, err := Build(data, t.TempDir(), Options{M: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	queries := data[:16]
+	for _, q := range queries {
+		if _, _, err := ix.Search(q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	i := 0
+	avg := testing.AllocsPerRun(200, func() {
+		q := queries[i%len(queries)]
+		i++
+		if _, _, err := ix.Search(q, 10); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One allocation is inherent (the returned results slice); allow a few
+	// more for pool-eviction rereads. The pre-PR baseline was ~1000.
+	if avg > 8 {
+		t.Fatalf("steady-state Search allocs/op = %.1f, want <= 8", avg)
+	}
+}

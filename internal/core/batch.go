@@ -20,6 +20,11 @@ import (
 // queries (and, through SearchContext, between sub-partition scans inside
 // each query): once ctx expires no further query starts, every worker
 // drains, and the batch returns ctx.Err().
+//
+// Memory: each query draws a pooled queryScratch inside searchLocked, so a
+// worker reuses the same scratch (projection buffers, candidate slices,
+// I/O log, verification cursor) across the queries it claims — steady-state
+// batch throughput allocates per query only the result slices it returns.
 func (ix *Index) SearchBatch(ctx context.Context, queries [][]float32, k, workers int, params SearchParams) ([][]Result, []SearchStats, error) {
 	n := len(queries)
 	if n == 0 {

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"promips/internal/dataset"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/search_golden.json from the current implementation")
+
+// goldenResult is one result with its inner product as exact float64 bits,
+// so the comparison is bit-level, not within-epsilon.
+type goldenResult struct {
+	ID     uint32 `json:"id"`
+	IPBits uint64 `json:"ip_bits"`
+}
+
+// goldenStats is the comparable subset of SearchStats (radii as float bits).
+type goldenStats struct {
+	Candidates    int    `json:"candidates"`
+	PageAccesses  int64  `json:"page_accesses"`
+	GroupsProbed  int    `json:"groups_probed"`
+	RadiusBits    uint64 `json:"radius_bits"`
+	ExtRadiusBits uint64 `json:"ext_radius_bits"`
+	TerminatedBy  string `json:"terminated_by"`
+}
+
+// goldenQuery records everything one query returned: results and the full
+// per-query stats.
+type goldenQuery struct {
+	Results []goldenResult `json:"results"`
+	Stats   goldenStats    `json:"stats"`
+}
+
+type goldenFile struct {
+	Search      []goldenQuery `json:"search"`
+	Overrides   []goldenQuery `json:"search_c8_p7"`
+	Incremental []goldenQuery `json:"incremental"`
+}
+
+func capture(t *testing.T, res []Result, st SearchStats) goldenQuery {
+	t.Helper()
+	g := goldenQuery{Stats: goldenStats{
+		Candidates:    st.Candidates,
+		PageAccesses:  st.PageAccesses,
+		GroupsProbed:  st.GroupsProbed,
+		RadiusBits:    math.Float64bits(st.Radius),
+		ExtRadiusBits: math.Float64bits(st.ExtendedRadius),
+		TerminatedBy:  st.TerminatedBy,
+	}}
+	for _, r := range res {
+		g.Results = append(g.Results, goldenResult{ID: r.ID, IPBits: math.Float64bits(r.IP)})
+	}
+	return g
+}
+
+// TestSearchGolden pins the query path bit-for-bit: a fixed-seed index and
+// workload must reproduce the committed results (ids AND float bits of every
+// inner product and radius) and per-query stats exactly. The golden file was
+// generated before the zero-copy/scratch hot-path rewrite, so this test is
+// the "results are byte-identical before and after" gate every further perf
+// change is held to. Regenerate (only when an intentional semantic change
+// occurs) with: go test ./internal/core -run TestSearchGolden -update-golden
+func TestSearchGolden(t *testing.T) {
+	data := dataset.Netflix().Generate(1500, 11)
+	ix, err := Build(data, t.TempDir(), Options{M: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	queries := data[:8]
+	var got goldenFile
+	for _, q := range queries {
+		res, st, err := ix.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Search = append(got.Search, capture(t, res, st))
+
+		res, st, err = ix.SearchContext(context.Background(), q, 10, SearchParams{C: 0.8, P: 0.7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Overrides = append(got.Overrides, capture(t, res, st))
+
+		res, st, err = ix.SearchIncremental(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Incremental = append(got.Incremental, capture(t, res, st))
+	}
+
+	path := filepath.Join("testdata", "search_golden.json")
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	var want goldenFile
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	check := func(section string, got, want []goldenQuery) {
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d queries, want %d", section, len(got), len(want))
+		}
+		for qi := range want {
+			g, w := got[qi], want[qi]
+			if len(g.Results) != len(w.Results) {
+				t.Fatalf("%s query %d: %d results, want %d", section, qi, len(g.Results), len(w.Results))
+			}
+			for i := range w.Results {
+				if g.Results[i] != w.Results[i] {
+					t.Errorf("%s query %d result %d: got id=%d ip=%x, want id=%d ip=%x",
+						section, qi, i, g.Results[i].ID, g.Results[i].IPBits, w.Results[i].ID, w.Results[i].IPBits)
+				}
+			}
+			if g.Stats != w.Stats {
+				t.Errorf("%s query %d stats: got %+v, want %+v", section, qi, g.Stats, w.Stats)
+			}
+		}
+	}
+	check("search", got.Search, want.Search)
+	check("overrides", got.Overrides, want.Overrides)
+	check("incremental", got.Incremental, want.Incremental)
+}

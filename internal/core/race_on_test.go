@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-count regression tests skip themselves (the instrumentation
+// itself allocates).
+const raceEnabled = true

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync"
+
+	"promips/internal/idistance"
+	"promips/internal/pager"
+	"promips/internal/store"
+)
+
+// queryScratch is the per-query working memory of the search hot path. One
+// query needs a projected-query buffer, Quick-Probe's group ranking, the
+// candidate collections of the range search and its extension, the top-k
+// accumulator's backing array, the per-query I/O accounting (with its
+// distinct-page set) and the store's page-local verification cursor. All of
+// it lives here and is recycled through a sync.Pool, so a steady query load
+// allocates almost nothing per Search: only the result slice handed to the
+// caller (scratch memory must never escape into a return value — the next
+// query would overwrite it).
+//
+// A scratch belongs to exactly one query for its duration. SearchBatch
+// workers each draw their own from the pool, so concurrent queries never
+// share one.
+type queryScratch struct {
+	io      pager.IOStats
+	pq      []float32 // projected query (m)
+	probePt []float32 // Quick-Probe point's projected vector (m)
+
+	order    []rankedGroup         // Quick-Probe's group ranking
+	cands    []idistance.Candidate // range-search candidates
+	extCands []idistance.Candidate // compensation-range candidates
+	stream   idistance.CandidateStream
+
+	top    topK         // its results slice is the pooled backing
+	reader store.Reader // page-local verification cursor
+}
+
+// rankedGroup is one Quick-Probe ranking entry: a sign-code group and its
+// Theorem-3 lower bound for the current query.
+type rankedGroup struct {
+	lb float64
+	gi int
+}
+
+var queryScratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+// getScratch draws a scratch from the pool and binds it to this query:
+// accounting cleared, verification cursor rebound to the index's current
+// store generation (Compact may have swapped it since the scratch was last
+// used).
+func getScratch(ix *Index) *queryScratch {
+	sc := queryScratchPool.Get().(*queryScratch)
+	sc.io.Reset()
+	sc.reader.Reset(ix.orig)
+	return sc
+}
+
+// putScratch returns sc to the pool. The pinned verification pages are
+// released first so an idle pool does not hold page snapshots (or a
+// retired store generation) alive.
+func putScratch(sc *queryScratch) {
+	sc.reader.Reset(nil)
+	queryScratchPool.Put(sc)
+}
+
+// takeResults copies the top-k accumulator's current contents into a fresh
+// slice for the caller; the (possibly grown) backing array stays pooled.
+// This is the one unavoidable steady-state allocation of a query: results
+// outlive the query, scratch memory must not.
+func (sc *queryScratch) takeResults() []Result {
+	out := make([]Result, len(sc.top.results))
+	copy(out, sc.top.results)
+	return out
+}

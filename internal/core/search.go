@@ -4,11 +4,11 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"promips/internal/errs"
 	"promips/internal/idistance"
-	"promips/internal/pager"
 	"promips/internal/randproj"
 	"promips/internal/stats"
 	"promips/internal/vec"
@@ -23,6 +23,15 @@ type topK struct {
 }
 
 func newTopK(k int) *topK { return &topK{k: k, results: make([]Result, 0, k)} }
+
+// reset prepares a pooled accumulator for a new query, reusing its backing.
+func (t *topK) reset(k int) {
+	t.k = k
+	if cap(t.results) < k {
+		t.results = make([]Result, 0, k)
+	}
+	t.results = t.results[:0]
+}
 
 // offer inserts (id, ip) when it beats the current k-th best.
 func (t *topK) offer(id uint32, ip float64) {
@@ -144,24 +153,31 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
-	io := new(pager.IOStats)
+	sc := getScratch(ix)
+	defer putScratch(sc)
+	io := &sc.io
 	var st SearchStats
 
-	pq := ix.proj.Project(q)
+	sc.pq = ix.proj.ProjectInto(q, sc.pq)
+	pq := sc.pq
 	normQSq := vec.Norm2Sq(q)
 	norm1Q := vec.Norm1(q)
 
+	// Ψm⁻¹(p) is shared by Quick-Probe's Test A and Condition B below —
+	// one inverse-CDF evaluation per query, not two.
+	chiThreshold := stats.ChiSquareInvCDF(ix.m, p)
+
 	// ---- Quick-Probe (Algorithm 2) -----------------------------------
-	probeID := ix.quickProbe(pq, norm1Q, c, p, &st)
+	probeID := ix.quickProbe(pq, norm1Q, c, chiThreshold, &st, sc)
 
 	// The located point's projected distance is the estimated range
 	// (fetching its projected vector costs one page access, the only
 	// projected-point read Quick-Probe needs).
-	probePt, err := ix.idist.Projected(probeID, nil, io)
+	sc.probePt, err = ix.idist.Projected(probeID, sc.probePt, io)
 	if err != nil {
 		return nil, st, err
 	}
-	r := vec.L2Dist(probePt, pq)
+	r := vec.L2Dist(sc.probePt, pq)
 	if r <= 0 {
 		// The located point projects exactly onto the query; fall back to
 		// one ring width so the range search has volume.
@@ -176,14 +192,14 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 	// projected distance the range search already computed — no extra disk
 	// reads, one threshold comparison per point. Condition B's test
 	// Ψm(dis²/denom) ≥ p is evaluated as dis² ≥ Ψm⁻¹(p)·denom.
-	chiThreshold := stats.ChiSquareInvCDF(ix.m, p)
-	top := newTopK(k)
+	top := &sc.top
+	top.reset(k)
 	// Recently inserted points are evaluated exactly up front (no disk
 	// I/O); their inner products can only tighten the conditions below.
 	ix.scanDelta(q, top, &params)
-	qbuf := make([]float32, ix.d)
-	// verify reads the candidate's original vector, updates the top-k and
-	// returns the terminating condition ("A", "B" or "").
+	// verify computes the candidate's exact inner product straight from its
+	// store page (zero-copy, page-local via the scratch reader), updates
+	// the top-k and returns the terminating condition ("A", "B" or "").
 	verify := func(cand idistance.Candidate) (string, error) {
 		if !ix.live(cand.ID) {
 			return "", nil // tombstoned by Delete
@@ -191,12 +207,12 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 		if !params.accepts(cand.ID) {
 			return "", nil // rejected by the query's filter
 		}
-		o, err := ix.orig.Vector(cand.ID, qbuf, io)
+		ip, err := sc.reader.Dot(cand.ID, q, io)
 		if err != nil {
 			return "", err
 		}
 		st.Candidates++
-		top.offer(cand.ID, vec.Dot(o, q))
+		top.offer(cand.ID, ip)
 		ipK, full := top.kth()
 		if !full {
 			return "", nil
@@ -211,11 +227,20 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 		return "", nil
 	}
 
-	cands, err := ix.idist.RangeSearch(ctx, pq, r, io)
+	// Candidates are collected unsorted and streamed in ascending projected
+	// distance: the lazy stream sorts only the prefix the verify loop
+	// actually consumes before a condition terminates the query (usually a
+	// small fraction of the collected set).
+	sc.cands, err = ix.idist.CollectRangeAppend(ctx, pq, r, io, sc.cands)
 	if err != nil {
 		return nil, st, err
 	}
-	for _, cand := range cands {
+	sc.stream.Init(sc.cands)
+	for {
+		cand, ok := sc.stream.Next()
+		if !ok {
+			break
+		}
 		cond, err := verify(cand)
 		if err != nil {
 			return nil, st, err
@@ -223,7 +248,7 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 		if cond != "" {
 			st.TerminatedBy = cond
 			st.PageAccesses = io.Pages()
-			return top.results, st, nil
+			return sc.takeResults(), st, nil
 		}
 	}
 
@@ -236,12 +261,12 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 		if denom <= 0 {
 			st.TerminatedBy = "A"
 			st.PageAccesses = io.Pages()
-			return top.results, st, nil
+			return sc.takeResults(), st, nil
 		}
 		if stats.ChiSquareCDF(ix.m, r*r/denom) >= p {
 			st.TerminatedBy = "B"
 			st.PageAccesses = io.Pages()
-			return top.results, st, nil
+			return sc.takeResults(), st, nil
 		}
 	}
 
@@ -255,16 +280,21 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 	}
 	st.ExtendedRadius = rExt
 
-	var extCands []idistance.Candidate
+	extCands := sc.extCands[:0]
 	err = ix.idist.Search(ctx, pq, r, rExt, io, func(cand idistance.Candidate) bool {
 		extCands = append(extCands, cand)
 		return true
 	})
+	sc.extCands = extCands
 	if err != nil {
 		return nil, st, err
 	}
-	sort.Slice(extCands, func(i, j int) bool { return extCands[i].Dist < extCands[j].Dist })
-	for _, cand := range extCands {
+	sc.stream.Init(extCands)
+	for {
+		cand, ok := sc.stream.Next()
+		if !ok {
+			break
+		}
 		cond, err := verify(cand)
 		if err != nil {
 			return nil, st, err
@@ -272,32 +302,39 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 		if cond != "" {
 			st.TerminatedBy = cond
 			st.PageAccesses = io.Pages()
-			return top.results, st, nil
+			return sc.takeResults(), st, nil
 		}
 	}
 	st.TerminatedBy = "exhausted"
 	st.PageAccesses = io.Pages()
-	return top.results, st, nil
+	return sc.takeResults(), st, nil
 }
 
 // quickProbe implements Algorithm 2: rank the sign-code groups by their
 // Theorem-3 lower bound, return the first group whose cheapest member
 // passes Test A — Ψm(LB²/(c·(‖o‖₁+‖q‖₁)²)) ≥ p — or, failing that, the
-// member with the largest recorded test value. Both (c, p) are the query's
-// effective values, so per-query overrides steer the probe as well.
-func (ix *Index) quickProbe(pq []float32, norm1Q, c, p float64, st *SearchStats) uint32 {
+// member with the largest recorded test value. c and threshold = Ψm⁻¹(p)
+// are derived from the query's effective (c, p), so per-query overrides
+// steer the probe as well. The ranking lives in the query scratch; ties in
+// the lower bound break on group index so the probe is deterministic under
+// any sorting algorithm.
+func (ix *Index) quickProbe(pq []float32, norm1Q, c, threshold float64, st *SearchStats, sc *queryScratch) uint32 {
 	codeQ := randproj.Code(pq)
-	type ranked struct {
-		lb float64
-		gi int
-	}
-	order := make([]ranked, len(ix.groups))
+	order := sc.order[:0]
 	for i, g := range ix.groups {
-		order[i] = ranked{lb: randproj.GroupLowerBound(g.code, codeQ, pq), gi: i}
+		order = append(order, rankedGroup{lb: randproj.GroupLowerBound(g.code, codeQ, pq), gi: i})
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].lb < order[j].lb })
+	sc.order = order
+	slices.SortFunc(order, func(a, b rankedGroup) int {
+		if a.lb != b.lb {
+			if a.lb < b.lb {
+				return -1
+			}
+			return 1
+		}
+		return a.gi - b.gi
+	})
 
-	threshold := stats.ChiSquareInvCDF(ix.m, p)
 	bestVal := -1.0
 	bestID := ix.groups[order[0].gi].minID
 	for _, rk := range order {
@@ -338,16 +375,18 @@ func (ix *Index) SearchIncrementalContext(ctx context.Context, q []float32, k in
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
-	io := new(pager.IOStats)
+	sc := getScratch(ix)
+	defer putScratch(sc)
+	io := &sc.io
 	var st SearchStats
 
-	pq := ix.proj.Project(q)
+	sc.pq = ix.proj.ProjectInto(q, sc.pq)
 	normQSq := vec.Norm2Sq(q)
-	top := newTopK(k)
+	top := &sc.top
+	top.reset(k)
 	ix.scanDelta(q, top, &params)
-	buf := make([]float32, ix.d)
 
-	it := ix.idist.NewIterator(ctx, pq, io)
+	it := ix.idist.NewIterator(ctx, sc.pq, io)
 	for {
 		cand, ok := it.Next()
 		if !ok {
@@ -360,12 +399,12 @@ func (ix *Index) SearchIncrementalContext(ctx context.Context, q []float32, k in
 		if !ix.live(cand.ID) || !params.accepts(cand.ID) {
 			continue
 		}
-		o, err := ix.orig.Vector(cand.ID, buf, io)
+		ip, err := sc.reader.Dot(cand.ID, q, io)
 		if err != nil {
 			return nil, st, err
 		}
 		st.Candidates++
-		top.offer(cand.ID, vec.Dot(o, q))
+		top.offer(cand.ID, ip)
 		ipK, full := top.kth()
 		if !full {
 			continue
@@ -381,7 +420,7 @@ func (ix *Index) SearchIncrementalContext(ctx context.Context, q []float32, k in
 		}
 	}
 	st.PageAccesses = io.Pages()
-	return top.results, st, nil
+	return sc.takeResults(), st, nil
 }
 
 // Exact scans the whole dataset through the store and returns the true
@@ -408,18 +447,19 @@ func (ix *Index) Exact(q []float32, k int) ([]Result, error) {
 	}
 	top := newTopK(k)
 	ix.scanDelta(q, top, nil)
-	buf := make([]float32, ix.d)
+	rd := ix.orig.NewReader()
+	layout := ix.idist.Layout()
 	for pos := 0; pos < ix.n; pos++ {
-		// VectorAt walks layout order; recover the id from the layout.
-		id := ix.idist.Layout()[pos]
+		// The reader walks layout order; recover the id from the layout.
+		id := layout[pos]
 		if !ix.live(id) {
 			continue
 		}
-		o, err := ix.orig.VectorAt(pos, buf, nil)
+		ip, err := rd.DotAt(pos, q, nil)
 		if err != nil {
 			return nil, err
 		}
-		top.offer(id, vec.Dot(o, q))
+		top.offer(id, ip)
 	}
 	return top.results, nil
 }

@@ -241,6 +241,13 @@ func Build(projected [][]float32, dir string, cfg Config) (*Index, error) {
 		idx.closeAll()
 		return nil, err
 	}
+	// The tree is immutable from here on (updates go through core's delta
+	// and compaction): decode every node once so the query path never
+	// re-decodes a node page. Page accounting is unaffected.
+	if err := tree.Freeze(); err != nil {
+		idx.closeAll()
+		return nil, err
+	}
 	return idx, nil
 }
 
@@ -379,18 +386,34 @@ func encodeSubs(subs []subPartition, m int) []byte {
 	return buf
 }
 
-func decodeSubs(buf []byte, m int) []subPartition {
-	count := int(binary.LittleEndian.Uint32(buf))
-	subs := make([]subPartition, count)
+// decodeSubsInto parses a ring's sub-partition directory into sc.subs,
+// reusing its storage. Each center is aliased straight into the B+-tree
+// value bytes when the host allows the zero-copy view (the value buffers
+// are freshly allocated per node read and never mutated, so the alias is a
+// stable read-only snapshot); otherwise it is decoded into a fresh slice —
+// never into reused storage, which could alias a previous ring's view. The
+// returned slice is valid until the next decodeSubsInto call on sc.
+func decodeSubsInto(buf []byte, m int, sc *scanScratch) []subPartition {
+	count := int(vec.U32(buf))
+	subs := sc.subs
+	if cap(subs) < count {
+		subs = make([]subPartition, count)
+	}
+	subs = subs[:count]
 	off := 4
 	for i := 0; i < count; i++ {
-		subs[i].startPage = int64(binary.LittleEndian.Uint64(buf[off:]))
-		subs[i].startSlot = int(binary.LittleEndian.Uint32(buf[off+8:]))
-		subs[i].numPoints = int(binary.LittleEndian.Uint32(buf[off+12:]))
-		subs[i].radius = math.Float64frombits(binary.LittleEndian.Uint64(buf[off+16:]))
+		subs[i].startPage = int64(vec.U64(buf[off:]))
+		subs[i].startSlot = int(vec.U32(buf[off+8:]))
+		subs[i].numPoints = int(vec.U32(buf[off+12:]))
+		subs[i].radius = math.Float64frombits(vec.U64(buf[off+16:]))
 		off += 24
-		subs[i].center = vec.Decode(buf[off:], m, nil)
+		if v, ok := vec.F32View(buf[off:], m); ok {
+			subs[i].center = v
+		} else {
+			subs[i].center = vec.Decode(buf[off:], m, nil)
+		}
 		off += vec.EncodedSize(m)
 	}
+	sc.subs = subs
 	return subs
 }

@@ -1,14 +1,44 @@
 package idistance
 
 import (
+	"cmp"
 	"context"
-	"encoding/binary"
 	"math"
-	"sort"
+	"sync"
 
 	"promips/internal/pager"
 	"promips/internal/vec"
 )
+
+// CompareCandidates orders by ascending projected distance with the id as a
+// deterministic tie-break, so every sort in the query path yields one
+// well-defined order regardless of the sorting algorithm.
+func CompareCandidates(a, b Candidate) int {
+	if a.Dist != b.Dist {
+		if a.Dist < b.Dist {
+			return -1
+		}
+		return 1
+	}
+	return cmp.Compare(a.ID, b.ID)
+}
+
+// scanScratch is the per-query scratch of the scan path: the decoded
+// sub-partition directory of the ring being visited. Pooled so a steady
+// query load allocates nothing here.
+type scanScratch struct {
+	subs []subPartition
+}
+
+var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
+func (sc *scanScratch) release() {
+	// Drop the aliased center views before pooling so the scratch does not
+	// retain B+-tree value buffers across queries.
+	subs := sc.subs[:cap(sc.subs)]
+	clear(subs)
+	scanScratchPool.Put(sc)
+}
 
 // Search visits every indexed point whose projected distance d to q
 // satisfies rLo < d ≤ rHi, in disk order (sub-partition by sub-partition;
@@ -28,6 +58,8 @@ import (
 // the caller's per-query accumulator; nil discards the accounting.
 func (idx *Index) Search(ctx context.Context, q []float32, rLo, rHi float64, io *pager.IOStats, visit func(Candidate) bool) error {
 	entrySize := 4 + vec.EncodedSize(idx.m)
+	sc := scanScratchPool.Get().(*scanScratch)
+	defer sc.release()
 	stop := false
 	var scanErr error
 	for p, center := range idx.centers {
@@ -53,7 +85,7 @@ func (idx *Index) Search(ctx context.Context, q []float32, rLo, rHi float64, io 
 		loKey := int64(p)*idx.stride + ringLo
 		hiKey := int64(p)*idx.stride + ringHi
 		err := idx.tree.Scan(loKey, hiKey, io, func(key int64, val []byte) bool {
-			for _, sub := range decodeSubs(val, idx.m) {
+			for _, sub := range decodeSubsInto(val, idx.m, sc) {
 				if err := ctx.Err(); err != nil {
 					scanErr, stop = err, true
 					return false
@@ -86,14 +118,15 @@ func (idx *Index) Search(ctx context.Context, q []float32, rLo, rHi float64, io 
 
 // scanSub reads a sub-partition's pages sequentially, reporting matching
 // points. The first entry sits at (startPage, startSlot); later entries
-// continue across page boundaries. It returns more=false when visit stops
-// the scan, and a non-nil error when a page read fails (the caller must
-// not treat that as a clean early stop: a truncated candidate set would
+// continue across page boundaries. Distances are computed by the fused
+// zero-copy kernel straight from the page bytes — no per-entry decode
+// buffer exists on this path. It returns more=false when visit stops the
+// scan, and a non-nil error when a page read fails (the caller must not
+// treat that as a clean early stop: a truncated candidate set would
 // silently void the probability guarantee).
 func (idx *Index) scanSub(sub subPartition, q []float32, rLo, rHi float64, entrySize int, io *pager.IOStats, visit func(Candidate) bool) (more bool, err error) {
 	remaining := sub.numPoints
 	slot := sub.startSlot
-	buf := make([]float32, idx.m)
 	for pid := sub.startPage; remaining > 0; pid++ {
 		page, err := idx.data.Read(pid, io)
 		if err != nil {
@@ -101,9 +134,8 @@ func (idx *Index) scanSub(sub subPartition, q []float32, rLo, rHi float64, entry
 		}
 		for ; slot < idx.entriesPerPage && remaining > 0; slot++ {
 			off := slot * entrySize
-			id := binary.LittleEndian.Uint32(page[off:])
-			pt := vec.Decode(page[off+4:], idx.m, buf)
-			d := vec.L2Dist(pt, q)
+			id := vec.U32(page[off:])
+			d := math.Sqrt(vec.L2DistSqBytes(page[off+4:], q))
 			remaining--
 			if d <= rHi && (rLo < 0 || d > rLo) {
 				if !visit(Candidate{ID: id, Dist: d}) {
@@ -120,7 +152,27 @@ func (idx *Index) scanSub(sub subPartition, q []float32, rLo, rHi float64, entry
 // ascending projected distance — the order MIP-Search-II consumes
 // candidates in. Page reads are recorded in io.
 func (idx *Index) RangeSearch(ctx context.Context, q []float32, r float64, io *pager.IOStats) ([]Candidate, error) {
-	var out []Candidate
+	return idx.RangeSearchAppend(ctx, q, r, io, nil)
+}
+
+// RangeSearchAppend is RangeSearch accumulating into out's storage (out is
+// truncated first), so a per-query scratch slice makes the candidate
+// collection allocation-free in the steady state.
+func (idx *Index) RangeSearchAppend(ctx context.Context, q []float32, r float64, io *pager.IOStats, out []Candidate) ([]Candidate, error) {
+	out, err := idx.CollectRangeAppend(ctx, q, r, io, out)
+	if err != nil {
+		return nil, err
+	}
+	SortCandidates(out)
+	return out, nil
+}
+
+// CollectRangeAppend gathers every point within distance r of q into out's
+// storage in disk order, without sorting. The hot path streams the result
+// through a CandidateStream, which yields ascending order lazily and skips
+// the sorting work for candidates the caller never consumes.
+func (idx *Index) CollectRangeAppend(ctx context.Context, q []float32, r float64, io *pager.IOStats, out []Candidate) ([]Candidate, error) {
+	out = out[:0]
 	err := idx.Search(ctx, q, -1, r, io, func(c Candidate) bool {
 		out = append(out, c)
 		return true
@@ -128,7 +180,6 @@ func (idx *Index) RangeSearch(ctx context.Context, q []float32, r float64, io *p
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Dist < out[j].Dist })
 	return out, nil
 }
 
@@ -194,7 +245,7 @@ func (it *Iterator) Next() (Candidate, bool) {
 			it.done = true
 			return Candidate{}, false
 		}
-		sort.Slice(it.buf, func(i, j int) bool { return it.buf[i].Dist < it.buf[j].Dist })
+		SortCandidates(it.buf)
 		it.r = hi
 		if hi > it.maxR {
 			it.done = true

@@ -1,0 +1,94 @@
+package pager
+
+import (
+	"math/bits"
+	"slices"
+)
+
+// Sorting the per-query access log is on the query hot path (IOStats.Pages
+// runs once per search), so the sort is specialized: inline comparisons on
+// the concrete key type instead of the generic sort's indirect comparator
+// call per comparison. Same shape as internal/idistance's candidate sort —
+// median-of-three Hoare quicksort, insertion-sort cutoff, stdlib fallback
+// on pathological pivot sequences.
+
+func ioKeyLess(a, b ioKey) bool {
+	if a.pager != b.pager {
+		return a.pager < b.pager
+	}
+	return a.page < b.page
+}
+
+func ioKeyCmp(a, b ioKey) int {
+	switch {
+	case ioKeyLess(a, b):
+		return -1
+	case ioKeyLess(b, a):
+		return 1
+	}
+	return 0
+}
+
+func sortIOKeys(s []ioKey) {
+	quickIOKeys(s, 2*bits.Len(uint(len(s))))
+}
+
+func quickIOKeys(s []ioKey, depth int) {
+	for len(s) > 16 {
+		if depth == 0 {
+			slices.SortFunc(s, ioKeyCmp)
+			return
+		}
+		depth--
+		// Median-of-three pivot parked at index 0 (Hoare's non-empty-split
+		// guarantee).
+		ia, ib, ic := 0, len(s)/2, len(s)-1
+		if ioKeyLess(s[ib], s[ia]) {
+			ia, ib = ib, ia
+		}
+		if ioKeyLess(s[ic], s[ib]) {
+			ib = ic
+			if ioKeyLess(s[ib], s[ia]) {
+				ib = ia
+			}
+		}
+		s[0], s[ib] = s[ib], s[0]
+		pivot := s[0]
+		i, j := -1, len(s)
+		for {
+			for {
+				i++
+				if !ioKeyLess(s[i], pivot) {
+					break
+				}
+			}
+			for {
+				j--
+				if !ioKeyLess(pivot, s[j]) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			s[i], s[j] = s[j], s[i]
+		}
+		m := j + 1
+		if m <= len(s)-m {
+			quickIOKeys(s[:m], depth)
+			s = s[m:]
+		} else {
+			quickIOKeys(s[m:], depth)
+			s = s[:m]
+		}
+	}
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && ioKeyLess(v, s[j]) {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,6 +65,11 @@ type ioKey struct {
 // counters — which is what makes concurrent queries over one index
 // measurable at all.
 //
+// Recording is a slice append (the record path runs once per page read on
+// the query hot path, so it must not hash); the distinct-page reduction is
+// deferred to Pages, which sorts and compacts the log in place, once, when
+// the caller reads the metric.
+//
 // The zero value is ready to use. A nil *IOStats is valid everywhere one is
 // accepted and discards the accounting. An IOStats is NOT safe for
 // concurrent use: each query owns its own.
@@ -71,7 +77,8 @@ type IOStats struct {
 	// Reads counts logical page reads (every Read/ReadCopy call).
 	Reads int64
 
-	seen map[ioKey]struct{}
+	seen   []ioKey // access log; seen[:unique] is sorted and duplicate-free
+	unique int
 }
 
 func (s *IOStats) record(pager uint64, page int64) {
@@ -79,10 +86,13 @@ func (s *IOStats) record(pager uint64, page int64) {
 		return
 	}
 	s.Reads++
-	if s.seen == nil {
-		s.seen = make(map[ioKey]struct{}, 32)
+	// Repeat reads of the page just touched are the common duplicate shape
+	// (sequential scans re-entering a boundary page, B+-tree descents), and
+	// skipping them keeps the log near the distinct-page count.
+	if n := len(s.seen); n > 0 && s.seen[n-1] == (ioKey{pager, page}) {
+		return
 	}
-	s.seen[ioKey{pager, page}] = struct{}{}
+	s.seen = append(s.seen, ioKey{pager, page})
 }
 
 // Pages returns the number of distinct pages touched — the paper's Page
@@ -93,16 +103,22 @@ func (s *IOStats) Pages() int64 {
 	if s == nil {
 		return 0
 	}
-	return int64(len(s.seen))
+	if len(s.seen) != s.unique {
+		sortIOKeys(s.seen)
+		s.seen = slices.Compact(s.seen)
+		s.unique = len(s.seen)
+	}
+	return int64(s.unique)
 }
 
-// Reset clears the accumulator for reuse.
+// Reset clears the accumulator for reuse, keeping its storage.
 func (s *IOStats) Reset() {
 	if s == nil {
 		return
 	}
 	s.Reads = 0
-	clear(s.seen)
+	s.seen = s.seen[:0]
+	s.unique = 0
 }
 
 // nextPagerID distinguishes pagers inside IOStats sets.
@@ -287,6 +303,15 @@ func (p *Pager) readMiss(id int64, io *IOStats) ([]byte, error) {
 	e.lastUsed.Store(p.clock.Add(1))
 	p.insertLocked(e)
 	return data, nil
+}
+
+// RecordRead accounts a logical read of page id that was served by a cache
+// layered above the pager (e.g. the B+-tree's decoded-node cache), so the
+// paper's Page Access metric stays identical whether or not the cache is in
+// play. The buffer pool is not touched.
+func (p *Pager) RecordRead(id int64, io *IOStats) {
+	p.accesses.Add(1)
+	io.record(p.id, id)
 }
 
 // ReadCopy returns a private copy of page id, recording the access in io.

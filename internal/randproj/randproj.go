@@ -57,18 +57,27 @@ func (p *Projector) M() int { return p.m }
 
 // Project returns P(o), the m 2-stable projections of o.
 func (p *Projector) Project(o []float32) []float32 {
+	return p.ProjectInto(o, nil)
+}
+
+// ProjectInto computes P(o) into dst (reused when its capacity suffices),
+// so per-query callers can project without allocating.
+func (p *Projector) ProjectInto(o []float32, dst []float32) []float32 {
 	if len(o) != p.d {
 		panic(fmt.Sprintf("randproj: point has dim %d, want %d", len(o), p.d))
 	}
-	out := make([]float32, p.m)
+	if cap(dst) < p.m {
+		dst = make([]float32, p.m)
+	}
+	dst = dst[:p.m]
 	for i, row := range p.rows {
 		var s float64
 		for j, v := range row {
 			s += float64(v) * float64(o[j])
 		}
-		out[i] = float32(s)
+		dst[i] = float32(s)
 	}
-	return out
+	return dst
 }
 
 // ProjectAll projects every point of data.

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"fmt"
+
+	"promips/internal/pager"
+	"promips/internal/vec"
+)
+
+// readerWindow is how many recently touched data pages a Reader keeps
+// pinned. Verification consumes candidates in the iDistance layout order the
+// store was written in, so consecutive candidates overwhelmingly share a
+// page or straddle a small set of adjacent ones; a tiny window captures
+// almost all of the locality without growing per-query state.
+const readerWindow = 4
+
+// Reader is one query's cursor over the store: a page-local memo that turns
+// the pager round trip per candidate into one per distinct page. Page
+// slices handed out by the pager are stable snapshots (writes install fresh
+// buffers; eviction only drops the pool's reference), so pinning them here
+// is safe for the Reader's lifetime.
+//
+// A Reader belongs to a single query: it is not safe for concurrent use,
+// and it must not outlive the Store it came from (a compaction swap closes
+// the old generation's pager once the index lock is released). Repeat hits
+// on a pinned page bypass the pager, so they are not re-recorded in io —
+// the paper's Page Access metric counts distinct pages, which is unchanged.
+type Reader struct {
+	s     *Store
+	pids  [readerWindow]int64
+	pages [readerWindow][]byte
+	next  int
+}
+
+// NewReader returns a Reader with an empty window.
+func (s *Store) NewReader() Reader {
+	r := Reader{s: s}
+	for i := range r.pids {
+		r.pids[i] = -1
+	}
+	return r
+}
+
+// Reset empties the window and rebinds the Reader to st, so a pooled query
+// scratch can reuse the same Reader value across queries (and across
+// compaction generation swaps).
+func (r *Reader) Reset(st *Store) {
+	r.s = st
+	for i := range r.pids {
+		r.pids[i] = -1
+		r.pages[i] = nil
+	}
+	r.next = 0
+}
+
+// entry returns the encoded bytes of the vector at layout position posn,
+// reading the page through the pinned window.
+func (r *Reader) entry(posn int, io *pager.IOStats) ([]byte, error) {
+	s := r.s
+	if posn < 0 || posn >= s.n {
+		return nil, fmt.Errorf("store: position %d out of range [0,%d)", posn, s.n)
+	}
+	pid := s.firstData + int64(posn/s.perPage)
+	off := (posn % s.perPage) * vec.EncodedSize(s.dim)
+	for i := range r.pids {
+		if r.pids[i] == pid {
+			return r.pages[i][off:], nil
+		}
+	}
+	page, err := s.pg.Read(pid, io)
+	if err != nil {
+		return nil, err
+	}
+	r.pids[r.next] = pid
+	r.pages[r.next] = page
+	r.next = (r.next + 1) % readerWindow
+	return page[off:], nil
+}
+
+// Dot returns ⟨o,q⟩ for the stored vector with the given id, computed
+// straight from the page bytes (zero-copy on little-endian hosts, fused
+// decode otherwise) — the verification kernel of the query hot path.
+func (r *Reader) Dot(id uint32, q []float32, io *pager.IOStats) (float64, error) {
+	if int(id) >= r.s.n {
+		return 0, fmt.Errorf("store: id %d out of range [0,%d)", id, r.s.n)
+	}
+	return r.DotAt(int(r.s.pos[id]), q, io)
+}
+
+// DotAt is Dot by layout position.
+func (r *Reader) DotAt(posn int, q []float32, io *pager.IOStats) (float64, error) {
+	if len(q) != r.s.dim {
+		return 0, fmt.Errorf("store: query dim %d, want %d", len(q), r.s.dim)
+	}
+	entry, err := r.entry(posn, io)
+	if err != nil {
+		return 0, err
+	}
+	return vec.DotBytes(entry, q), nil
+}
+
+// Vector reads the vector with the given id into dst (reused when large
+// enough), like Store.Vector but through the pinned window.
+func (r *Reader) Vector(id uint32, dst []float32, io *pager.IOStats) ([]float32, error) {
+	if int(id) >= r.s.n {
+		return nil, fmt.Errorf("store: id %d out of range [0,%d)", id, r.s.n)
+	}
+	entry, err := r.entry(int(r.s.pos[id]), io)
+	if err != nil {
+		return nil, err
+	}
+	return vec.Decode(entry, r.s.dim, dst), nil
+}

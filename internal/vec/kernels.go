@@ -1,0 +1,154 @@
+package vec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"unsafe"
+)
+
+// Fused page kernels. Candidate verification — the dominant cost of every
+// MIPS method in the paper — reads original vectors back from disk pages.
+// The kernels in this file compute reductions straight from the page bytes
+// the pager hands out: on little-endian hosts the bytes are aliased as
+// []float32 with no copy at all; elsewhere (or when a caller passes an
+// unaligned buffer) a fused decode loop converts each element in the
+// reduction itself, so no intermediate []float32 buffer exists on either
+// path.
+//
+// Bit-exactness contract: every kernel performs the exact float operation
+// sequence of Decode followed by the corresponding []float32 reduction
+// (single float64 accumulator, ascending index order). The 4-way unrolling
+// below keeps that order — it only removes loop overhead, never
+// reassociates the sum — so DotBytes/L2DistSqBytes are bit-identical to
+// Dot/L2DistSq on decoded copies, and search results are bit-identical to
+// the pre-kernel implementation (pinned by internal/core's golden test).
+
+// hostLittleEndian reports whether this machine stores multi-byte values
+// little-endian, i.e. whether the on-disk layout can be aliased directly.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// F32View returns buf's first 4*dim bytes aliased as a []float32 without
+// copying, and ok=true, when the host is little-endian and buf is 4-byte
+// aligned. Otherwise ok=false and the caller must fall back to Decode (or a
+// fused *Bytes kernel). The view shares memory with buf: it is read-only
+// and valid exactly as long as buf is — for pager pages, until the page's
+// owner releases it (see the pager's snapshot contract).
+func F32View(buf []byte, dim int) ([]float32, bool) {
+	if dim == 0 {
+		return nil, true
+	}
+	if len(buf) < 4*dim {
+		panic(fmt.Sprintf("vec: F32View of %d floats over %d bytes", dim, len(buf)))
+	}
+	if !hostLittleEndian {
+		return nil, false
+	}
+	p := unsafe.Pointer(&buf[0])
+	if uintptr(p)%unsafe.Alignof(float32(0)) != 0 {
+		return nil, false
+	}
+	return unsafe.Slice((*float32)(p), dim), true
+}
+
+// U32 reads a little-endian uint32 — the record-id load of the page scan
+// loops, kept here so the scan paths carry no per-element binary.* decoding.
+func U32(buf []byte) uint32 { return binary.LittleEndian.Uint32(buf) }
+
+// U64 reads a little-endian uint64 (directory metadata in the scan paths).
+func U64(buf []byte) uint64 { return binary.LittleEndian.Uint64(buf) }
+
+// dotKernel is the shared inner-product loop: single float64 accumulator in
+// ascending index order (the bit-exactness contract), 4-way unrolled.
+// Callers guarantee len(b) <= len(a).
+func dotKernel(a, b []float32) float64 {
+	var s float64
+	i, n := 0, len(b)
+	for ; i+4 <= n; i += 4 {
+		s += float64(a[i]) * float64(b[i])
+		s += float64(a[i+1]) * float64(b[i+1])
+		s += float64(a[i+2]) * float64(b[i+2])
+		s += float64(a[i+3]) * float64(b[i+3])
+	}
+	for ; i < n; i++ {
+		s += float64(a[i]) * float64(b[i])
+	}
+	return s
+}
+
+// l2Kernel is the shared squared-distance loop; same contract as dotKernel.
+func l2Kernel(a, b []float32) float64 {
+	var s float64
+	i, n := 0, len(b)
+	for ; i+4 <= n; i += 4 {
+		d0 := float64(a[i]) - float64(b[i])
+		s += d0 * d0
+		d1 := float64(a[i+1]) - float64(b[i+1])
+		s += d1 * d1
+		d2 := float64(a[i+2]) - float64(b[i+2])
+		s += d2 * d2
+		d3 := float64(a[i+3]) - float64(b[i+3])
+		s += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// DotBytes returns ⟨o,b⟩ where o is the len(b)-dimensional encoded vector
+// at the start of buf — bit-identical to Dot(Decode(buf, len(b), nil), b)
+// with no decode buffer. It panics when buf is too short, mirroring Dot's
+// dimension-mismatch panic.
+func DotBytes(buf []byte, b []float32) float64 {
+	if len(buf) < 4*len(b) {
+		panic(fmt.Sprintf("vec: DotBytes of %d floats over %d bytes", len(b), len(buf)))
+	}
+	if v, ok := F32View(buf, len(b)); ok {
+		return dotKernel(v, b)
+	}
+	return dotBytesPortable(buf, b)
+}
+
+// dotBytesPortable is the fused decode+multiply fallback for big-endian or
+// unaligned buffers; same operation order as dotKernel.
+func dotBytesPortable(buf []byte, b []float32) float64 {
+	var s float64
+	for i := range b {
+		o := math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		s += float64(o) * float64(b[i])
+	}
+	return s
+}
+
+// L2DistSqBytes returns ‖o−b‖₂² for the encoded vector at the start of buf —
+// bit-identical to L2DistSq(Decode(buf, len(b), nil), b) with no decode
+// buffer.
+func L2DistSqBytes(buf []byte, b []float32) float64 {
+	if len(buf) < 4*len(b) {
+		panic(fmt.Sprintf("vec: L2DistSqBytes of %d floats over %d bytes", len(b), len(buf)))
+	}
+	if v, ok := F32View(buf, len(b)); ok {
+		return l2Kernel(v, b)
+	}
+	return l2DistSqBytesPortable(buf, b)
+}
+
+func l2DistSqBytesPortable(buf []byte, b []float32) float64 {
+	var s float64
+	for i := range b {
+		o := math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+		d := float64(o) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+// L2DistBytes returns ‖o−b‖₂ for the encoded vector at the start of buf.
+func L2DistBytes(buf []byte, b []float32) float64 {
+	return math.Sqrt(L2DistSqBytes(buf, b))
+}

@@ -1,0 +1,188 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"unsafe"
+)
+
+// encodeAt returns v encoded little-endian into a buffer with the given
+// leading pad, so tests can control the alignment of the encoded bytes.
+func encodeAt(v []float32, pad int) []byte {
+	buf := make([]byte, pad+EncodedSize(len(v)))
+	Encode(buf[pad:], v)
+	return buf[pad:]
+}
+
+// randVec draws n float32s including adversarial payloads: NaN, ±Inf,
+// negative zero, denormals and huge magnitudes.
+func advVec(rng *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		switch rng.Intn(12) {
+		case 0:
+			out[i] = float32(math.NaN())
+		case 1:
+			out[i] = float32(math.Inf(1))
+		case 2:
+			out[i] = float32(math.Inf(-1))
+		case 3:
+			out[i] = float32(math.Copysign(0, -1))
+		case 4:
+			out[i] = math.Float32frombits(rng.Uint32()) // any bit pattern
+		case 5:
+			out[i] = float32(rng.NormFloat64()) * 1e30
+		default:
+			out[i] = float32(rng.NormFloat64())
+		}
+	}
+	return out
+}
+
+// bitsEqual compares float64s as bits (so -0 != +0 and Inf must match
+// exactly), except that any NaN equals any NaN: IEEE 754 leaves the
+// propagated payload unspecified, and the compiler may commute multiply
+// operands differently between two inlined copies of the same loop, which
+// flips the propagated NaN's sign bit. Every non-NaN result is fully
+// determined by the operation sequence and must match bit-for-bit.
+func bitsEqual(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// TestFusedKernelsBitIdentical is the property test of the zero-copy page
+// kernels: for random lengths (including odd ones that exercise the unroll
+// tail) and adversarial payloads, DotBytes and L2DistSqBytes must be
+// bit-identical to Decode + Dot / L2DistSq, and the same must hold for the
+// portable (non-aliasing) fallbacks.
+func TestFusedKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(70) // 0..69 covers empty, tails of every residue, larger runs
+		o := advVec(rng, n)
+		q := advVec(rng, n)
+		buf := encodeAt(o, 0)
+
+		decoded := Decode(buf, n, nil)
+		wantDot := Dot(decoded, q)
+		wantL2 := L2DistSq(decoded, q)
+
+		if got := DotBytes(buf, q); !bitsEqual(got, wantDot) {
+			t.Fatalf("n=%d DotBytes=%x want %x", n, math.Float64bits(got), math.Float64bits(wantDot))
+		}
+		if got := L2DistSqBytes(buf, q); !bitsEqual(got, wantL2) {
+			t.Fatalf("n=%d L2DistSqBytes=%x want %x", n, math.Float64bits(got), math.Float64bits(wantL2))
+		}
+		if got := dotBytesPortable(buf, q); !bitsEqual(got, wantDot) {
+			t.Fatalf("n=%d portable dot=%x want %x", n, math.Float64bits(got), math.Float64bits(wantDot))
+		}
+		if got := l2DistSqBytesPortable(buf, q); !bitsEqual(got, wantL2) {
+			t.Fatalf("n=%d portable l2=%x want %x", n, math.Float64bits(got), math.Float64bits(wantL2))
+		}
+		if !bitsEqual(math.Sqrt(wantL2), L2DistBytes(buf, q)) {
+			t.Fatalf("n=%d L2DistBytes mismatch", n)
+		}
+
+		// Unaligned encoding: the view must be granted exactly when the
+		// buffer start is float-aligned (a 1-padded slice usually is not,
+		// but the tiny allocator can place small odd-sized buffers at any
+		// alignment), and the fused fallback must be bit-identical either
+		// way.
+		un := encodeAt(o, 1)
+		if n > 0 {
+			aligned := uintptr(unsafe.Pointer(&un[0]))%4 == 0
+			if _, ok := F32View(un, n); ok != (aligned && hostLittleEndian) {
+				t.Fatalf("n=%d F32View ok=%v, want %v", n, ok, aligned && hostLittleEndian)
+			}
+		}
+		if got := DotBytes(un, q); !bitsEqual(got, wantDot) {
+			t.Fatalf("n=%d unaligned DotBytes=%x want %x", n, math.Float64bits(got), math.Float64bits(wantDot))
+		}
+		if got := L2DistSqBytes(un, q); !bitsEqual(got, wantL2) {
+			t.Fatalf("n=%d unaligned L2DistSqBytes=%x want %x", n, math.Float64bits(got), math.Float64bits(wantL2))
+		}
+	}
+}
+
+// TestF32View checks the aliasing contract: same values as Decode, shared
+// memory, empty views, and the short-buffer panic.
+func TestF32View(t *testing.T) {
+	o := []float32{1.5, -2.25, float32(math.Inf(1)), 0}
+	buf := encodeAt(o, 0)
+	v, ok := F32View(buf, len(o))
+	if !ok {
+		if hostLittleEndian {
+			t.Fatal("F32View refused an aligned buffer on a little-endian host")
+		}
+		t.Skip("big-endian host: no aliased view")
+	}
+	for i := range o {
+		if math.Float32bits(v[i]) != math.Float32bits(o[i]) {
+			t.Fatalf("view[%d]=%v want %v", i, v[i], o[i])
+		}
+	}
+	// The view aliases, not copies: a byte edit must show through.
+	buf[0]++
+	if math.Float32bits(v[0]) == math.Float32bits(o[0]) {
+		t.Fatal("F32View copied instead of aliasing")
+	}
+
+	if v, ok := F32View(nil, 0); !ok || len(v) != 0 {
+		t.Fatal("empty view should succeed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for short buffer")
+		}
+	}()
+	F32View(buf, len(o)+1)
+}
+
+// FuzzDotBytes cross-checks the fused kernel against decode-then-reduce on
+// fuzzer-chosen bytes.
+func FuzzDotBytes(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 0, 64}, uint8(2))
+	f.Add([]byte{255, 255, 255, 127, 1, 0, 0, 0, 9, 9, 9, 9}, uint8(3))
+	f.Fuzz(func(t *testing.T, raw []byte, dim uint8) {
+		n := int(dim) % 33
+		if len(raw) < 4*n {
+			t.Skip()
+		}
+		q := make([]float32, n)
+		for i := range q {
+			q[i] = float32(i) - 7.5
+		}
+		decoded := Decode(raw, n, nil)
+		if got, want := DotBytes(raw, q), Dot(decoded, q); !bitsEqual(got, want) {
+			t.Fatalf("DotBytes=%x want %x", math.Float64bits(got), math.Float64bits(want))
+		}
+		if got, want := L2DistSqBytes(raw, q), L2DistSq(decoded, q); !bitsEqual(got, want) {
+			t.Fatalf("L2DistSqBytes=%x want %x", math.Float64bits(got), math.Float64bits(want))
+		}
+	})
+}
+
+func BenchmarkDotDecodeThenReduce(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	o, q := advVec(rng, 300), advVec(rng, 300)
+	buf := encodeAt(o, 0)
+	dst := make([]float32, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = Decode(buf, 300, dst)
+		_ = Dot(dst, q)
+	}
+}
+
+func BenchmarkDotBytesFused(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	o, q := advVec(rng, 300), advVec(rng, 300)
+	buf := encodeAt(o, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = DotBytes(buf, q)
+	}
+}

@@ -18,11 +18,7 @@ func Dot(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: Dot dimension mismatch %d != %d", len(a), len(b)))
 	}
-	var s float64
-	for i := range a {
-		s += float64(a[i]) * float64(b[i])
-	}
-	return s
+	return dotKernel(a, b)
 }
 
 // Norm2Sq returns ‖a‖₂².
@@ -53,12 +49,7 @@ func L2DistSq(a, b []float32) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("vec: L2DistSq dimension mismatch %d != %d", len(a), len(b)))
 	}
-	var s float64
-	for i := range a {
-		d := float64(a[i]) - float64(b[i])
-		s += d * d
-	}
-	return s
+	return l2Kernel(a, b)
 }
 
 // L2Dist returns the Euclidean distance ‖a−b‖₂.
