@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// gateBaselinePath is the committed perf baseline the pages/query gate
+// compares against (repo root, relative to this package).
+const gateBaselinePath = "../BENCH_pr4.json"
+
+// gateTolerance is the allowed pages/query regression before the gate
+// fails. The measurement is deterministic for a fixed workload (the Page
+// Access metric has no timing component), so 5% is slack for intentional
+// small trade-offs, not for noise.
+const gateTolerance = 1.05
+
+// TestPagesPerQueryGate is the CI perf gate: it re-measures pages/query on
+// the reduced gate workload recorded in the committed baseline report and
+// fails on a >5% regression. Unlike ns/op, the metric is exact and
+// machine-independent, so it can gate every test run — including short
+// mode and -race — without flaking. Regenerate the baseline (only with an
+// intentional, explained change) via:
+//
+//	go run ./cmd/benchrunner -out BENCH_<label>.json -label <label> -baseline BENCH_<prev>.json
+func TestPagesPerQueryGate(t *testing.T) {
+	rep, err := LoadPerfReport(gateBaselinePath)
+	if os.IsNotExist(err) {
+		t.Skipf("no committed baseline at %s", gateBaselinePath)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Gate == nil {
+		t.Skipf("baseline %s predates the gate section", gateBaselinePath)
+	}
+	want := rep.Gate.PagesPerQuery
+	if want <= 0 {
+		t.Fatalf("baseline gate records non-positive pages/query %v", want)
+	}
+	got, err := GatePagesPerQuery(*rep.Gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pages/query: measured %.2f, baseline %.2f (limit %.2f)", got, want, want*gateTolerance)
+	if got > want*gateTolerance {
+		t.Fatalf("pages/query regressed: measured %.2f > baseline %.2f +5%% (%.2f); if intentional, regenerate %s and document why",
+			got, want, want*gateTolerance, gateBaselinePath)
+	}
+}

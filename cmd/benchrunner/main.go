@@ -102,10 +102,25 @@ func runPerf(out, label, baselinePath string, n, queries int, seed int64) error 
 	if err := rep.WriteFile(out); err != nil {
 		return err
 	}
-	fmt.Printf("perf[%s]: Search %d ns/op, %d allocs/op, %d B/op, %.1f pages/query\n",
-		rep.Label, rep.Search.NsPerOp, rep.Search.AllocsPerOp, rep.Search.BytesPerOp, rep.Search.PagesPerOp)
+	fmt.Printf("perf[%s]: Search %d ns/op, %d allocs/op, %d B/op, %.1f pages/query (gomaxprocs=%d)\n",
+		rep.Label, rep.Search.NsPerOp, rep.Search.AllocsPerOp, rep.Search.BytesPerOp, rep.Search.PagesPerOp, rep.GoMaxProcs)
+	if eff := rep.Prefilter; eff != nil {
+		fmt.Printf("perf[%s]: pq_prefilter candidates %.1f -> %.1f, pages %.1f -> %.1f (preranked %.0f, pruned %.0f per query)\n",
+			rep.Label, eff.CandidatesWithout, eff.CandidatesWith, eff.PagesWithout, eff.PagesWith,
+			eff.PrerankedPerQuery, eff.PrunedPerQuery)
+	}
+	if m := rep.BatchModel; m != nil {
+		fmt.Printf("perf[%s]: batch disk model: pool=%d pages, %dus/miss\n", rep.Label, m.PoolPages, m.MissLatencyUS)
+	}
 	for _, bp := range rep.Batch {
-		fmt.Printf("perf[%s]: batch workers=%d %.0f qps\n", rep.Label, bp.Workers, bp.QPS)
+		fmt.Printf("perf[%s]: batch workers=%d %.0f qps (%.2fx, %.1f pages/q, hit %.1f%%)\n",
+			rep.Label, bp.Workers, bp.QPS, bp.Speedup, bp.PagesPerQuery, bp.HitRatio*100)
+	}
+	for _, bp := range rep.BatchWarm {
+		fmt.Printf("perf[%s]: batch-warm workers=%d %.0f qps (%.2fx)\n", rep.Label, bp.Workers, bp.QPS, bp.Speedup)
+	}
+	if g := rep.Gate; g != nil {
+		fmt.Printf("perf[%s]: gate n=%d queries=%d: %.2f pages/query\n", rep.Label, g.N, g.NumQueries, g.PagesPerQuery)
 	}
 	if rep.Delta != nil {
 		fmt.Printf("perf[%s]: vs %s: ns/op %+.1f%%, allocs/op %+.1f%%, B/op %+.1f%%, pages %+.1f%%\n",
@@ -187,12 +202,22 @@ func runDataset(spec dataset.Spec, fig string, n, queries int, seed int64, ks []
 		t.Fprint(os.Stdout)
 	}
 	if fig == "all" || fig == "concurrency" {
-		t, err := bench.Concurrency(env, []int{1, 2, 4, 8}, 10, 3)
+		// Warm in-RAM curve and the disk-resident model (small pool + the
+		// paper's per-page cost as miss latency) side by side: the second
+		// is where worker scaling is expected, and the per-worker
+		// pages/query, hit%, and speedup columns say why when it is not.
+		t, err := bench.Concurrency(env, []int{1, 2, 4, 8}, 10, 3, 0)
 		if err != nil {
 			return err
 		}
 		fmt.Println()
 		t.Fprint(os.Stdout)
+		t2, err := bench.Concurrency(env, []int{1, 2, 4, 8}, 10, 1, bench.DiskModelMissLatency)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t2.Fprint(os.Stdout)
 	}
 	if fig == "all" || fig == "ablations" {
 		t, err := bench.AblationQuickProbe(env, []int{10, 50, 100})

@@ -169,6 +169,9 @@ func runCompact(args []string) error {
 func runStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ExitOnError)
 	dir := fs.String("dir", "", "index directory")
+	dataPath := fs.String("data", "", "optional vector file: exercise the cache with -queries searches before printing counters")
+	nq := fs.Int("queries", 0, "queries to run against the live index when -data is given (default 20)")
+	seed := fs.Int64("seed", 1, "query selection seed")
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("stats requires -dir")
@@ -187,5 +190,27 @@ func runStats(args []string) error {
 	fmt.Printf("  projected:   %10d bytes\n", sz.Projected)
 	fmt.Printf("  quick-probe: %10d bytes\n", sz.QuickProbe)
 	fmt.Printf("  norms:       %10d bytes\n", sz.Norms)
+	fmt.Printf("  pq-sketch:   %10d bytes\n", sz.Sketch)
+	if *dataPath != "" {
+		data, err := dataset.ReadFile(*dataPath)
+		if err != nil {
+			return err
+		}
+		n := *nq
+		if n <= 0 {
+			n = 20
+		}
+		rng := newRand(*seed)
+		ctx := context.Background()
+		for qi := 0; qi < n; qi++ {
+			if _, _, err := ix.Search(ctx, data[rng.Intn(len(data))], 10); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("exercised cache with %d queries\n", n)
+	}
+	cs := ix.CacheStats()
+	fmt.Printf("buffer pool: %d accesses, %d hits (%.1f%%), %d misses, %d evictions, %d writes\n",
+		cs.Accesses, cs.Hits, cs.HitRatio()*100, cs.Misses, cs.Evictions, cs.Writes)
 	return nil
 }

@@ -23,10 +23,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"promips/internal/errs"
 	"promips/internal/idistance"
 	"promips/internal/pager"
+	"promips/internal/pq"
 	"promips/internal/randproj"
 	"promips/internal/store"
 	"promips/internal/vec"
@@ -53,6 +55,11 @@ type Options struct {
 	PageSize int
 	// PoolSize is the buffer-pool capacity in pages per page file.
 	PoolSize int
+	// MissLatency is a simulated disk latency per buffer-pool miss (one per
+	// readahead run), slept on the read path. Zero disables it; the
+	// benchmark harness uses it to model a disk-resident working set (the
+	// paper's cost regime) on machines whose page files sit in RAM.
+	MissLatency time.Duration
 	// Seed makes projections and clustering deterministic.
 	Seed int64
 }
@@ -103,6 +110,16 @@ type SearchStats struct {
 	// is exact and deterministic even when many queries share the index
 	// concurrently (no shared counters are reset or read).
 	PageAccesses int64
+	// Preranked is how many of the verified candidates were verified during
+	// the PQ-sketch pre-ranking pass (0 when pre-ranking is off or the
+	// index has no sketch). Pre-ranking changes verification ORDER only;
+	// every counted candidate is still exactly verified.
+	Preranked int
+	// NormPruned counts candidates skipped without any disk read because an
+	// exact in-memory bound — Cauchy-Schwarz ‖o‖‖q‖, or the PQ-sketch
+	// estimate plus its residual bound — proves they cannot enter the
+	// top-k (no probability is spent; results are unchanged).
+	NormPruned int
 	// GroupsProbed is how many sign-code groups Quick-Probe examined.
 	GroupsProbed int
 	// Radius is the search range Quick-Probe determined.
@@ -128,6 +145,12 @@ type Index struct {
 	proj  *randproj.Projector
 	idist *idistance.Index
 	orig  *store.Store
+
+	// sketch holds in-memory PQ codes for every base-index point; searches
+	// use its estimated inner products to decide verification ORDER only
+	// (every result stays exactly verified), so a nil sketch — an index
+	// saved before sketches existed — just disables pre-ranking.
+	sketch *pq.Sketch
 
 	norm2Sq []float64 // per id, ‖o‖²
 	norm1   []float64 // per id, ‖o‖₁
@@ -210,10 +233,19 @@ func Build(data [][]float32, dir string, opts Options) (*Index, error) {
 	}
 	sort.Slice(ix.groups, func(i, j int) bool { return ix.groups[i].code < ix.groups[j].code })
 
+	// Pre-process step 2b: PQ sketch codes over the original vectors, kept
+	// in memory to pre-rank candidate verification (16 bytes per point).
+	sk, err := pq.BuildSketch(data, pq.SketchConfig{Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	ix.sketch = sk
+
 	// Pre-process step 3: iDistance over the projected points.
 	idx, err := idistance.Build(projected, dir, idistance.Config{
 		Kp: opts.Kp, Nkey: opts.Nkey, Ksp: opts.Ksp, Epsilon: opts.Epsilon,
 		Seed: opts.Seed, PageSize: opts.PageSize, PoolSize: opts.PoolSize,
+		MissLatency: opts.MissLatency,
 	})
 	if err != nil {
 		return nil, err
@@ -222,7 +254,7 @@ func Build(data [][]float32, dir string, opts Options) (*Index, error) {
 
 	// Pre-process step 4: original points on disk in sub-partition order,
 	// so verification reads are sequential.
-	w, err := store.Create(dir+"/orig.data", d, n, pager.Options{PageSize: opts.PageSize, PoolSize: opts.PoolSize})
+	w, err := store.Create(dir+"/orig.data", d, n, pager.Options{PageSize: opts.PageSize, PoolSize: opts.PoolSize, MissLatency: opts.MissLatency})
 	if err != nil {
 		idx.Close()
 		return nil, err
@@ -285,22 +317,48 @@ type SizeBreakdown struct {
 	Projected  int64 // projected points on disk
 	QuickProbe int64 // sign codes, 1-norms, per-group minima
 	Norms      int64 // per-point ‖o‖² kept for Condition A
+	Sketch     int64 // in-memory PQ codes + codebooks for pre-ranking
 }
 
 // Total returns the summed index size. Following the paper's Fig. 4(a),
 // the original data file is not part of the index.
-func (s SizeBreakdown) Total() int64 { return s.BTree + s.Projected + s.QuickProbe + s.Norms }
+func (s SizeBreakdown) Total() int64 {
+	return s.BTree + s.Projected + s.QuickProbe + s.Norms + s.Sketch
+}
 
 // Sizes reports the on-disk/in-memory footprint of each index component.
 func (ix *Index) Sizes() SizeBreakdown {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
+	var sketch int64
+	if ix.sketch != nil {
+		sketch = ix.sketch.Bytes()
+	}
 	return SizeBreakdown{
 		BTree:      ix.idist.IndexSizeBytes(),
 		Projected:  ix.idist.DataSizeBytes(),
 		QuickProbe: int64(ix.n)*4 + int64(len(ix.groups))*20,
 		Norms:      int64(ix.n) * 16,
+		Sketch:     sketch,
 	}
+}
+
+// CacheStats aggregates the buffer-pool counters of every pager the index
+// reads through (the iDistance B+-tree and data files and the
+// original-vector store) — the I/O engine's whole-run diagnostics. Unlike
+// SearchStats, these are shared counters: concurrent queries all add to
+// them, and Sub of two snapshots brackets a measured interval.
+func (ix *Index) CacheStats() pager.Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.closed {
+		return pager.Stats{}
+	}
+	var total pager.Stats
+	for _, pg := range append(ix.idist.Pagers(), ix.orig.Pager()) {
+		total = total.Add(pg.Stats())
+	}
+	return total
 }
 
 // conditionA evaluates the deterministic termination test (Formula 1):

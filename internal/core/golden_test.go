@@ -62,11 +62,21 @@ func capture(t *testing.T, res []Result, st SearchStats) goldenQuery {
 
 // TestSearchGolden pins the query path bit-for-bit: a fixed-seed index and
 // workload must reproduce the committed results (ids AND float bits of every
-// inner product and radius) and per-query stats exactly. The golden file was
-// generated before the zero-copy/scratch hot-path rewrite, so this test is
-// the "results are byte-identical before and after" gate every further perf
-// change is held to. Regenerate (only when an intentional semantic change
-// occurs) with: go test ./internal/core -run TestSearchGolden -update-golden
+// inner product and radius) and per-query stats exactly.
+//
+// Regeneration history: the file was first generated before the PR 3
+// zero-copy/scratch hot-path rewrite and pinned that rewrite to bit-equal
+// results. It was regenerated for PR 4's I/O engine, which INTENTIONALLY
+// changes what a query verifies (not what it returns a guarantee for):
+// PQ-sketch pre-ranking verifies the estimated-best candidates first, and
+// the exact norm/sketch bounds skip candidates that provably cannot enter
+// the top-k, so Candidates/PageAccesses drop and the returned set can only
+// shift toward higher inner products (every result is still exactly
+// verified; TestRecallParityWithPrerank pins recall against the
+// pre-ranking-off path). Since then this file again gates perf changes to
+// bit-identical behavior. Regenerate (only when an intentional semantic
+// change occurs) with:
+// go test ./internal/core -run TestSearchGolden -update-golden
 func TestSearchGolden(t *testing.T) {
 	data := dataset.Netflix().Generate(1500, 11)
 	ix, err := Build(data, t.TempDir(), Options{M: 6, Seed: 3})

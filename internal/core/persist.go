@@ -11,6 +11,7 @@ import (
 	"promips/internal/fsutil"
 	"promips/internal/idistance"
 	"promips/internal/pager"
+	"promips/internal/pq"
 	"promips/internal/randproj"
 	"promips/internal/store"
 	"promips/internal/vec"
@@ -32,6 +33,9 @@ type coreMeta struct {
 	Groups     []groupMeta
 	Delta      []deltaMeta
 	Deleted    []uint32
+	// Sketch is the marshaled PQ pre-ranking sketch. Empty in metas saved
+	// before sketches existed; Open then runs without pre-ranking.
+	Sketch []byte
 }
 
 type groupMeta struct {
@@ -65,6 +69,13 @@ func (ix *Index) Save(dir string) error {
 		Projector: ix.proj.Encode(),
 		Norm2Sq:   ix.norm2Sq, Norm1: ix.norm1, Codes: ix.codes,
 		MaxNorm2Sq: ix.maxNorm2Sq,
+	}
+	if ix.sketch != nil {
+		sk, err := ix.sketch.Marshal()
+		if err != nil {
+			return err
+		}
+		m.Sketch = sk
 	}
 	m.Groups = make([]groupMeta, len(ix.groups))
 	for i, g := range ix.groups {
@@ -113,7 +124,7 @@ func Open(dir string) (*Index, error) {
 		return nil, err
 	}
 	orig, err := store.Open(filepath.Join(dir, "orig.data"),
-		pager.Options{PageSize: m.Opts.PageSize, PoolSize: m.Opts.PoolSize})
+		pager.Options{PageSize: m.Opts.PageSize, PoolSize: m.Opts.PoolSize, MissLatency: m.Opts.MissLatency})
 	if err != nil {
 		idist.Close()
 		return nil, err
@@ -123,6 +134,15 @@ func Open(dir string) (*Index, error) {
 		proj: proj, idist: idist, orig: orig,
 		norm2Sq: m.Norm2Sq, norm1: m.Norm1, codes: m.Codes,
 		maxNorm2Sq: m.MaxNorm2Sq,
+	}
+	if len(m.Sketch) > 0 {
+		sk, err := pq.UnmarshalSketch(m.Sketch)
+		if err != nil {
+			idist.Close()
+			orig.Close()
+			return nil, fmt.Errorf("core: %v: %w", err, errs.ErrCorruptIndex)
+		}
+		ix.sketch = sk
 	}
 	ix.groups = make([]group, len(m.Groups))
 	for i, g := range m.Groups {

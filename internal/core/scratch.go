@@ -1,10 +1,12 @@
 package core
 
 import (
+	"sort"
 	"sync"
 
 	"promips/internal/idistance"
 	"promips/internal/pager"
+	"promips/internal/pq"
 	"promips/internal/store"
 )
 
@@ -31,8 +33,64 @@ type queryScratch struct {
 	extCands []idistance.Candidate // compensation-range candidates
 	stream   idistance.CandidateStream
 
+	// PQ-sketch pre-ranking state: the query's asymmetric lookup table, the
+	// estimated-best window selected for early verification, and its ids
+	// (sorted) for the stream phase's membership check.
+	lut        []float64
+	prerank    []prerankCand
+	prerankIDs []uint32
+
 	top    topK         // its results slice is the pooled backing
 	reader store.Reader // page-local verification cursor
+}
+
+// prerankCand is one pre-ranking window entry: a range-search candidate and
+// its sketch-estimated inner product with the query.
+type prerankCand struct {
+	cand idistance.Candidate
+	est  float64
+}
+
+// prerankMinWindow floors the pre-ranking window: even at tiny k the
+// sketch-estimated best few dozen candidates are verified up front — enough
+// to put the true top-k's inner products into Condition B's denominator
+// before the distance-ordered pass starts, and noise next to the hundreds
+// of verifications it saves.
+const prerankMinWindow = 48
+
+// selectPrerank fills sc.prerank with the candidates of sc.cands holding
+// the largest sketch-estimated inner products (window max(4k,
+// prerankMinWindow)), best first. sc.lut must already hold the query's
+// lookup table. The selection is deterministic: ties in the estimate break
+// on the smaller id.
+func (sc *queryScratch) selectPrerank(sk *pq.Sketch, k int) []prerankCand {
+	w := 4 * k
+	if w < prerankMinWindow {
+		w = prerankMinWindow
+	}
+	if w > len(sc.cands) {
+		w = len(sc.cands)
+	}
+	sel := sc.prerank[:0]
+	for _, cand := range sc.cands {
+		est := sk.Estimate(cand.ID, sc.lut)
+		pos := sort.Search(len(sel), func(i int) bool {
+			if sel[i].est != est {
+				return sel[i].est < est
+			}
+			return sel[i].cand.ID > cand.ID
+		})
+		if pos >= w {
+			continue
+		}
+		if len(sel) < w {
+			sel = append(sel, prerankCand{})
+		}
+		copy(sel[pos+1:], sel[pos:])
+		sel[pos] = prerankCand{cand: cand, est: est}
+	}
+	sc.prerank = sel
+	return sel
 }
 
 // rankedGroup is one Quick-Probe ranking entry: a sign-code group and its

@@ -73,7 +73,23 @@ type SearchParams struct {
 	// returned, and the (c, p) guarantee is made against the best point
 	// that passes the filter.
 	Filter func(id uint32) bool
+	// NoPrerank disables the PQ-sketch verification pre-ranking and restores
+	// the pure ascending-projected-distance order (the pre-sketch behavior).
+	// Benchmarks use it to measure the pre-ranking effect; results satisfy
+	// the same (c, p) guarantee either way.
+	NoPrerank bool
 }
+
+// Candidate verdicts of the verification path: skipped candidates
+// (tombstoned or filtered) advance nothing; pruned and verified ones both
+// advance the Condition B distance frontier — a pruned candidate is exactly
+// (if one-sidedly) bounded, so it is "seen" in the sense the termination
+// argument needs.
+const (
+	candSkipped = iota
+	candPruned
+	candVerified
+)
 
 // resolve returns the effective (c, p) for a query.
 func (ix *Index) resolve(p SearchParams) (float64, float64, error) {
@@ -197,59 +213,144 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 	// Recently inserted points are evaluated exactly up front (no disk
 	// I/O); their inner products can only tighten the conditions below.
 	ix.scanDelta(q, top, &params)
-	// verify computes the candidate's exact inner product straight from its
-	// store page (zero-copy, page-local via the scratch reader), updates
-	// the top-k and returns the terminating condition ("A", "B" or "").
-	verify := func(cand idistance.Candidate) (string, error) {
+	// sketchLUT is set once the pre-ranking pass builds the query's lookup
+	// table; it arms the sketch-bound prune inside verifyCand.
+	var sketchLUT []float64
+	normQ := math.Sqrt(normQSq)
+	// verifyCand computes the candidate's exact inner product straight from
+	// its store page (zero-copy, page-local via the scratch reader) and
+	// updates the top-k. Before paying the page read it applies two EXACT
+	// in-memory prunes — no probability is spent, and the result set is
+	// bit-identical to verifying everything:
+	//   1. Cauchy-Schwarz: ⟨o,q⟩ ≤ ‖o‖‖q‖, with ‖o‖² in memory;
+	//   2. the PQ-sketch bound ⟨o,q⟩ ≤ estimate + residual·‖q‖.
+	// A candidate whose bound cannot beat ⟨omax^k,q⟩ (which offer ignores
+	// at equality) cannot change the result set, so its store page is never
+	// touched. This is what turns the pre-ranking pass into page savings:
+	// ⟨omax^k,q⟩ peaks after the pre-ranked window, disqualifying most of
+	// the remaining candidates from memory alone.
+	verifyCand := func(cand idistance.Candidate) (verdict int, err error) {
 		if !ix.live(cand.ID) {
-			return "", nil // tombstoned by Delete
+			return candSkipped, nil // tombstoned by Delete
 		}
 		if !params.accepts(cand.ID) {
-			return "", nil // rejected by the query's filter
+			return candSkipped, nil // rejected by the query's filter
+		}
+		if ipK, full := top.kth(); full {
+			if ipK >= 0 && ix.norm2Sq[cand.ID]*normQSq <= ipK*ipK {
+				st.NormPruned++
+				return candPruned, nil
+			}
+			if sketchLUT != nil && ix.sketch.Bound(cand.ID, sketchLUT, normQ) <= ipK {
+				st.NormPruned++
+				return candPruned, nil
+			}
 		}
 		ip, err := sc.reader.Dot(cand.ID, q, io)
 		if err != nil {
-			return "", err
+			return candSkipped, err
 		}
 		st.Candidates++
 		top.offer(cand.ID, ip)
+		return candVerified, nil
+	}
+	// conditions evaluates the termination tests at a distance frontier:
+	// every point NOT yet exactly verified projects at least dist from the
+	// query, so Theorem 2 lets Condition B be tested with dist — no extra
+	// disk reads, one threshold comparison. Condition B's test
+	// Ψm(dis²/denom) ≥ p is evaluated as dis² ≥ Ψm⁻¹(p)·denom.
+	conditions := func(dist float64) string {
 		ipK, full := top.kth()
 		if !full {
-			return "", nil
+			return ""
 		}
 		denom := ix.conditionBDenominator(c, normQSq, ipK)
 		if denom <= 0 {
-			return "A", nil // Condition A (Formula 1) holds
+			return "A" // Condition A (Formula 1) holds
 		}
-		if cand.Dist*cand.Dist >= chiThreshold*denom {
-			return "B", nil // Condition B (Formula 2) holds
+		if dist*dist >= chiThreshold*denom {
+			return "B" // Condition B (Formula 2) holds
 		}
-		return "", nil
+		return ""
 	}
 
-	// Candidates are collected unsorted and streamed in ascending projected
-	// distance: the lazy stream sorts only the prefix the verify loop
-	// actually consumes before a condition terminates the query (usually a
-	// small fraction of the collected set).
+	// Candidates are collected unsorted, in disk order.
 	sc.cands, err = ix.idist.CollectRangeAppend(ctx, pq, r, io, sc.cands)
 	if err != nil {
 		return nil, st, err
 	}
-	sc.stream.Init(sc.cands)
-	for {
-		cand, ok := sc.stream.Next()
-		if !ok {
-			break
+
+	// ---- PQ-sketch pre-ranking ---------------------------------------
+	// Verify the sketch-estimated best candidates first: the true top-k
+	// usually sits inside this window, so ⟨omax^k,q⟩ — and with it
+	// Condition B's denominator — reaches (near) its final value after a
+	// few dozen exact verifications instead of hundreds. The guarantee is
+	// untouched: the sketch only reorders verification, every result is
+	// still exactly verified, and the distance-ordered pass below tests the
+	// termination conditions at frontiers no farther than the first
+	// unverified candidate (see DESIGN.md "I/O engine").
+	terminated := ""
+	preranked := sc.prerankIDs[:0]
+	if ix.sketch != nil && !params.NoPrerank && len(sc.cands) > k {
+		sc.lut = ix.sketch.NewLUT(q, sc.lut)
+		sketchLUT = sc.lut
+		for _, pc := range sc.selectPrerank(ix.sketch, k) {
+			v, err := verifyCand(pc.cand)
+			if err != nil {
+				return nil, st, err
+			}
+			if v == candVerified {
+				st.Preranked++
+			}
+			if v != candSkipped {
+				// Seen (verified or exactly bounded): the distance-ordered
+				// pass below treats it as frontier-advancing only.
+				preranked = append(preranked, pc.cand.ID)
+			}
 		}
-		cond, err := verify(cand)
-		if err != nil {
-			return nil, st, err
+		slices.Sort(preranked)
+		// Condition A needs no distance frontier, so it can already fire.
+		if ipK, full := top.kth(); full && ix.conditionBDenominator(c, normQSq, ipK) <= 0 {
+			terminated = "A"
 		}
-		if cond != "" {
-			st.TerminatedBy = cond
-			st.PageAccesses = io.Pages()
-			return sc.takeResults(), st, nil
+	}
+	sc.prerankIDs = preranked
+
+	// The distance-ordered pass: the lazy stream yields ascending projected
+	// distance, sorting only the prefix consumed before a condition
+	// terminates the query (usually a small fraction of the collected set).
+	if terminated == "" {
+		sc.stream.Init(sc.cands)
+		for {
+			cand, ok := sc.stream.Next()
+			if !ok {
+				break
+			}
+			if len(preranked) > 0 {
+				if _, found := slices.BinarySearch(preranked, cand.ID); found {
+					// Verified in the pre-rank pass; its distance still
+					// advances the termination frontier.
+					if terminated = conditions(cand.Dist); terminated != "" {
+						break
+					}
+					continue
+				}
+			}
+			v, err := verifyCand(cand)
+			if err != nil {
+				return nil, st, err
+			}
+			if v != candSkipped {
+				if terminated = conditions(cand.Dist); terminated != "" {
+					break
+				}
+			}
 		}
+	}
+	if terminated != "" {
+		st.TerminatedBy = terminated
+		st.PageAccesses = io.Pages()
+		return sc.takeResults(), st, nil
 	}
 
 	// Range exhausted: test Condition B with the scanned radius (every
@@ -289,17 +390,22 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 	if err != nil {
 		return nil, st, err
 	}
+	// Extension candidates lie in (r, r'] — disjoint from the range pass, so
+	// none of them can have been pre-rank verified.
 	sc.stream.Init(extCands)
 	for {
 		cand, ok := sc.stream.Next()
 		if !ok {
 			break
 		}
-		cond, err := verify(cand)
+		v, err := verifyCand(cand)
 		if err != nil {
 			return nil, st, err
 		}
-		if cond != "" {
+		if v == candSkipped {
+			continue
+		}
+		if cond := conditions(cand.Dist); cond != "" {
 			st.TerminatedBy = cond
 			st.PageAccesses = io.Pages()
 			return sc.takeResults(), st, nil
@@ -399,12 +505,19 @@ func (ix *Index) SearchIncrementalContext(ctx context.Context, q []float32, k in
 		if !ix.live(cand.ID) || !params.accepts(cand.ID) {
 			continue
 		}
-		ip, err := sc.reader.Dot(cand.ID, q, io)
-		if err != nil {
-			return nil, st, err
+		// The same exact Cauchy-Schwarz prune as the main path: a candidate
+		// whose norm cannot beat the current k-th inner product is counted
+		// seen without touching its store page.
+		if ipK, full := top.kth(); full && ipK >= 0 && ix.norm2Sq[cand.ID]*normQSq <= ipK*ipK {
+			st.NormPruned++
+		} else {
+			ip, err := sc.reader.Dot(cand.ID, q, io)
+			if err != nil {
+				return nil, st, err
+			}
+			st.Candidates++
+			top.offer(cand.ID, ip)
 		}
-		st.Candidates++
-		top.offer(cand.ID, ip)
 		ipK, full := top.kth()
 		if !full {
 			continue

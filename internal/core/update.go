@@ -236,6 +236,7 @@ func (ix *Index) Compact(ctx context.Context, dir string) ([]uint32, error) {
 	ix.n, ix.m = next.n, next.m
 	ix.proj = next.proj
 	ix.idist, ix.orig = next.idist, next.orig
+	ix.sketch = next.sketch
 	ix.norm2Sq, ix.norm1, ix.codes, ix.groups = next.norm2Sq, next.norm1, next.codes, next.groups
 	ix.maxNorm2Sq = next.maxNorm2Sq
 	ix.delta, ix.deleted = next.delta, next.deleted

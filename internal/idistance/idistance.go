@@ -21,6 +21,7 @@ import (
 	"math"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"promips/internal/btree"
 	"promips/internal/errs"
@@ -39,6 +40,9 @@ type Config struct {
 	Seed     int64
 	PageSize int
 	PoolSize int
+	// MissLatency is a simulated per-miss disk latency forwarded to the
+	// pagers (benchmark harness only; zero disables it).
+	MissLatency time.Duration
 }
 
 func (c *Config) normalize() {
@@ -57,9 +61,12 @@ func (c *Config) normalize() {
 }
 
 // subPartition is one sphere of points stored contiguously on data pages.
-// Sub-partitions of the same ring are packed back to back (a ring starts on
-// a fresh page; its sub-partitions may share boundary pages), so startSlot
-// locates the first entry within its page.
+// Sub-partitions — and the rings containing them — are packed back to back
+// with no alignment slack (neighbouring sub-partitions share boundary
+// pages), so startSlot locates the first entry within its page. Dense
+// packing keeps the data file at its information-theoretic page count,
+// which the Page Access metric rewards directly: a ring-aligned layout was
+// measured at 5× the pages for the same entries.
 type subPartition struct {
 	center    []float32
 	radius    float64
@@ -152,7 +159,7 @@ func Build(projected [][]float32, dir string, cfg Config) (*Index, error) {
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 
-	opts := pager.Options{PageSize: cfg.PageSize, PoolSize: cfg.PoolSize}
+	opts := pager.Options{PageSize: cfg.PageSize, PoolSize: cfg.PoolSize, MissLatency: cfg.MissLatency}
 	data, err := pager.Create(filepath.Join(dir, "idist.data"), opts)
 	if err != nil {
 		return nil, err
@@ -184,6 +191,10 @@ func Build(projected [][]float32, dir string, cfg Config) (*Index, error) {
 	}
 
 	// Stage 2: per-ring ksp-means, contiguous page layout, B+-tree entry.
+	// One ring writer spans all rings: each ring continues on the page the
+	// previous one ended on, so the file carries no per-ring alignment
+	// slack.
+	rw := idx.newRingWriter()
 	for _, key := range keys {
 		ids := rings[key]
 		pts := make([][]float32, len(ids))
@@ -201,9 +212,8 @@ func Build(projected [][]float32, dir string, cfg Config) (*Index, error) {
 			s := sres.Assign[j]
 			members[s] = append(members[s], id)
 		}
-		// Pack the ring's sub-partitions back to back starting on a fresh
-		// page; record each sub-partition's (page, slot) start.
-		rw := idx.newRingWriter()
+		// Pack the ring's sub-partitions back to back; record each
+		// sub-partition's (page, slot) start.
 		for s := range subs {
 			if len(members[s]) == 0 {
 				continue

@@ -24,19 +24,23 @@ func CompareCandidates(a, b Candidate) int {
 }
 
 // scanScratch is the per-query scratch of the scan path: the decoded
-// sub-partition directory of the ring being visited. Pooled so a steady
-// query load allocates nothing here.
+// sub-partition directory of the ring being visited and the page views of
+// the sub-partition run being scanned. Pooled so a steady query load
+// allocates nothing here.
 type scanScratch struct {
-	subs []subPartition
+	subs  []subPartition
+	pages [][]byte
 }
 
 var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
 
 func (sc *scanScratch) release() {
-	// Drop the aliased center views before pooling so the scratch does not
-	// retain B+-tree value buffers across queries.
+	// Drop the aliased center views and buffer-pool page views before
+	// pooling so the scratch does not retain B+-tree value buffers or page
+	// snapshots across queries.
 	subs := sc.subs[:cap(sc.subs)]
 	clear(subs)
+	clear(sc.pages[:cap(sc.pages)])
 	scanScratchPool.Put(sc)
 }
 
@@ -97,7 +101,7 @@ func (idx *Index) Search(ctx context.Context, q []float32, rLo, rHi float64, io 
 				if rLo >= 0 && ds+sub.radius <= rLo {
 					continue // sphere entirely inside the excluded ball
 				}
-				more, err := idx.scanSub(sub, q, rLo, rHi, entrySize, io, visit)
+				more, err := idx.scanSub(sub, q, rLo, rHi, entrySize, sc, io, visit)
 				if err != nil {
 					scanErr, stop = err, true
 					return false
@@ -116,22 +120,26 @@ func (idx *Index) Search(ctx context.Context, q []float32, rLo, rHi float64, io 
 	return scanErr
 }
 
-// scanSub reads a sub-partition's pages sequentially, reporting matching
-// points. The first entry sits at (startPage, startSlot); later entries
-// continue across page boundaries. Distances are computed by the fused
-// zero-copy kernel straight from the page bytes — no per-entry decode
-// buffer exists on this path. It returns more=false when visit stops the
-// scan, and a non-nil error when a page read fails (the caller must not
-// treat that as a clean early stop: a truncated candidate set would
-// silently void the probability guarantee).
-func (idx *Index) scanSub(sub subPartition, q []float32, rLo, rHi float64, entrySize int, io *pager.IOStats, visit func(Candidate) bool) (more bool, err error) {
+// scanSub reads a sub-partition's short sequential page run in one
+// readahead round trip and reports matching points. The first entry sits at
+// (startPage, startSlot); later entries continue across page boundaries.
+// The whole run is fetched with a single pager.ReadRun — cached pages come
+// from the pool, the missing remainder costs one contiguous file read under
+// one shard lock instead of a pager round trip per page — and distances are
+// computed by the fused zero-copy kernel straight from the page bytes (no
+// per-entry decode buffer exists on this path). It returns more=false when
+// visit stops the scan, and a non-nil error when the run read fails (the
+// caller must not treat that as a clean early stop: a truncated candidate
+// set would silently void the probability guarantee).
+func (idx *Index) scanSub(sub subPartition, q []float32, rLo, rHi float64, entrySize int, sc *scanScratch, io *pager.IOStats, visit func(Candidate) bool) (more bool, err error) {
+	nPages := (sub.startSlot + sub.numPoints + idx.entriesPerPage - 1) / idx.entriesPerPage
+	sc.pages, err = idx.data.ReadRun(sub.startPage, nPages, sc.pages[:0], io)
+	if err != nil {
+		return false, err
+	}
 	remaining := sub.numPoints
 	slot := sub.startSlot
-	for pid := sub.startPage; remaining > 0; pid++ {
-		page, err := idx.data.Read(pid, io)
-		if err != nil {
-			return false, err
-		}
+	for _, page := range sc.pages {
 		for ; slot < idx.entriesPerPage && remaining > 0; slot++ {
 			off := slot * entrySize
 			id := vec.U32(page[off:])

@@ -1,17 +1,28 @@
-// Package pager provides a file-backed page store with an LRU buffer pool
-// and page-access accounting. Every disk-resident structure in this
-// repository (the iDistance B+-tree, the original-vector store, QALSH's
+// Package pager provides a file-backed page store with a sharded CLOCK
+// buffer pool and page-access accounting. Every disk-resident structure in
+// this repository (the iDistance B+-tree, the original-vector store, QALSH's
 // hash tables, Range-LSH's sequential partitions, PQ's inverted lists) does
 // its I/O through a Pager, so the paper's "Page Access" metric is measured
 // identically for every method: one logical access per page touched.
 //
-// Concurrency. A Pager is safe for concurrent use. The read path takes the
-// pool lock shared: buffer-pool hits — the common case on a warm index —
-// touch only atomics (recency stamp, counters), so goroutines serving
-// different queries do not serialize on each other. Misses and writes take
-// the lock exclusive. Per-caller accounting goes through IOStats: each
-// query owns an accumulator and threads it through every Read, so no query
-// ever needs to reset the shared counters to measure itself.
+// Concurrency. A Pager is safe for concurrent use. The buffer pool is split
+// into lock-striped shards keyed by page id (consecutive pages share a
+// shard block, so short sequential runs resolve under one shard lock), and
+// the pool-hit path — the common case on a warm index — takes only that
+// shard's lock shared, so goroutines serving different queries do not
+// serialize on one pool mutex. Misses read the file OUTSIDE any lock and
+// install the page under the shard's exclusive lock afterwards: concurrent
+// misses — the case that dominates on a disk-resident working set — overlap
+// instead of queueing behind a global mutex (two goroutines missing the
+// same page may duplicate the file read; the first installed copy wins).
+// Per-caller accounting goes through IOStats: each query owns an
+// accumulator and threads it through every Read, so no query ever needs to
+// reset the shared counters to measure itself.
+//
+// Eviction is CLOCK second-chance per shard: hits set a reference bit with
+// one atomic store, and a miss that needs room sweeps the shard's ring,
+// giving referenced pages a second pass before they go. This keeps the hit
+// path free of list maintenance (no LRU chain to relink under a lock).
 //
 // Page slices returned by Read alias the buffer pool and are never mutated
 // in place: Write installs a fresh buffer (copy-on-write) and eviction only
@@ -24,9 +35,9 @@ import (
 	"fmt"
 	"os"
 	"slices"
-	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"promips/internal/errs"
 )
@@ -37,19 +48,59 @@ const DefaultPageSize = 4096
 // ErrPageOutOfRange is returned when a page id does not exist in the file.
 var ErrPageOutOfRange = errors.New("pager: page id out of range")
 
+// Sharding geometry. maxShards bounds the stripe count; shardBlockShift
+// groups runs of 2^shardBlockShift consecutive pages into one shard, so the
+// sequential runs ReadRun fetches (sub-partition scans, store verification
+// windows) resolve under a single shard lock while unrelated queries still
+// spread across stripes.
+const (
+	maxShards       = 16
+	shardBlockShift = 3 // 8-page blocks
+	minShardPages   = 32
+)
+
 // Stats counts I/O activity. Accesses is the number of logical page reads
-// issued through the pager; Misses counts buffer-pool misses (pages
-// actually read from the file).
+// issued through the pager; Hits the buffer-pool hits among them; Misses
+// the pool misses (pages actually read from the file); Evictions the pages
+// CLOCK pushed out of the pool to make room.
 type Stats struct {
-	Accesses int64
-	Misses   int64
-	Writes   int64
+	Accesses  int64
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Writes    int64
 }
 
 // Sub returns s - t component-wise; callers snapshot Stats around a query to
 // obtain its per-query page accesses.
 func (s Stats) Sub(t Stats) Stats {
-	return Stats{Accesses: s.Accesses - t.Accesses, Misses: s.Misses - t.Misses, Writes: s.Writes - t.Writes}
+	return Stats{
+		Accesses:  s.Accesses - t.Accesses,
+		Hits:      s.Hits - t.Hits,
+		Misses:    s.Misses - t.Misses,
+		Evictions: s.Evictions - t.Evictions,
+		Writes:    s.Writes - t.Writes,
+	}
+}
+
+// Add returns s + t component-wise, for aggregating counters across the
+// pagers of one index.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		Accesses:  s.Accesses + t.Accesses,
+		Hits:      s.Hits + t.Hits,
+		Misses:    s.Misses + t.Misses,
+		Evictions: s.Evictions + t.Evictions,
+		Writes:    s.Writes + t.Writes,
+	}
+}
+
+// HitRatio returns Hits/Accesses, or 0 when no accesses were recorded.
+func (s Stats) HitRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
 }
 
 // ioKey identifies one page of one pager inside an IOStats set.
@@ -74,7 +125,8 @@ type ioKey struct {
 // accepted and discards the accounting. An IOStats is NOT safe for
 // concurrent use: each query owns its own.
 type IOStats struct {
-	// Reads counts logical page reads (every Read/ReadCopy call).
+	// Reads counts logical page reads (every Read/ReadCopy call, and one per
+	// page of a ReadRun).
 	Reads int64
 
 	seen   []ioKey // access log; seen[:unique] is sorted and duplicate-free
@@ -124,37 +176,66 @@ func (s *IOStats) Reset() {
 // nextPagerID distinguishes pagers inside IOStats sets.
 var nextPagerID atomic.Uint64
 
+// poolEntry is one cached page. The reference bit starts CLEAR on install
+// and is set only by a later touch (hit, write), so the CLOCK sweep grants
+// its second chance to re-referenced pages specifically: a sequential scan
+// that touches each page once cannot displace the re-used working set
+// behind it (scan resistance), and a fill evicts in insertion order like
+// the LRU it replaced.
 type poolEntry struct {
 	id    int64
 	data  []byte
 	dirty bool
-	// lastUsed is the recency stamp for eviction; updated with an atomic on
-	// the shared-lock hit path, compared under the exclusive lock when a
-	// miss needs a victim.
-	lastUsed atomic.Int64
+	ref   atomic.Bool // CLOCK reference bit; set on re-touch, cleared by the sweep
+}
+
+// shard is one stripe of the buffer pool: a page map plus a CLOCK ring of
+// at most cap entries. writeSeq (guarded by mu) counts Writes landing in
+// the shard; the optimistic miss path samples it before its lock-free file
+// read and re-reads under the lock when it moved, so bytes that raced a
+// Write — or a concurrent eviction flush, which could tear an unlocked
+// read — are never installed or returned.
+type shard struct {
+	mu       sync.RWMutex
+	pool     map[int64]*poolEntry
+	ring     []*poolEntry
+	hand     int
+	cap      int
+	writeSeq uint64
 }
 
 // Pager owns one page file. It is safe for concurrent use; see the package
 // comment for the locking contract.
 type Pager struct {
-	mu       sync.RWMutex // guards f geometry, pool membership, dirty flags
 	f        *os.File
 	id       uint64
 	pageSize int
-	numPages int64
-	poolCap  int
-	pool     map[int64]*poolEntry
+	numPages atomic.Int64 // published page count: raised only after the page is readable
+	allocSeq atomic.Int64 // id reservation counter for Alloc
+	shards   []shard
+	shardN   int64 // len(shards), for the id → shard map
 
-	clock    atomic.Int64 // recency source for lastUsed stamps
-	accesses atomic.Int64
-	misses   atomic.Int64
-	writes   atomic.Int64
+	missLatency time.Duration
+
+	accesses  atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	writes    atomic.Int64
 }
 
 // Options configures a Pager.
 type Options struct {
 	PageSize int // 0 means DefaultPageSize
 	PoolSize int // buffer pool capacity in pages; 0 means 1024
+
+	// MissLatency is a simulated per-file-read latency, slept on every pool
+	// miss (once per contiguous span for ReadRun). Zero — the default —
+	// disables it. It exists for the benchmark harness: the paper's cost
+	// model charges queries per disk page, and sleeping the miss path models
+	// a disk-resident working set so concurrent-serving scaling is
+	// measurable even when the files sit in the OS page cache.
+	MissLatency time.Duration
 }
 
 func (o *Options) normalize() {
@@ -198,60 +279,88 @@ func Open(path string, opts Options) (*Pager, error) {
 }
 
 func newPager(f *os.File, opts Options, numPages int64) *Pager {
-	return &Pager{
-		f:        f,
-		id:       nextPagerID.Add(1),
-		pageSize: opts.PageSize,
-		numPages: numPages,
-		poolCap:  opts.PoolSize,
-		pool:     make(map[int64]*poolEntry),
+	// Stripe count scales with the pool: a pool below minShardPages per
+	// stripe gains nothing from striping (and would fragment its capacity
+	// into useless slivers), a big pool stripes up to maxShards. Power of
+	// two so the shard map is a mask.
+	nShards := 1
+	for nShards < maxShards && opts.PoolSize/(nShards*2) >= minShardPages {
+		nShards *= 2
 	}
+	perShard := (opts.PoolSize + nShards - 1) / nShards
+	p := &Pager{
+		f:           f,
+		id:          nextPagerID.Add(1),
+		pageSize:    opts.PageSize,
+		shards:      make([]shard, nShards),
+		shardN:      int64(nShards),
+		missLatency: opts.MissLatency,
+	}
+	p.numPages.Store(numPages)
+	p.allocSeq.Store(numPages)
+	for i := range p.shards {
+		p.shards[i] = shard{pool: make(map[int64]*poolEntry), cap: perShard}
+	}
+	return p
+}
+
+// shard maps a page id to its stripe: consecutive pages share a
+// 2^shardBlockShift block, blocks round-robin across stripes.
+func (p *Pager) shard(id int64) *shard {
+	return &p.shards[(id>>shardBlockShift)&(p.shardN-1)]
 }
 
 // PageSize returns the page size in bytes.
 func (p *Pager) PageSize() int { return p.pageSize }
 
 // NumPages returns the number of allocated pages.
-func (p *Pager) NumPages() int64 {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.numPages
-}
+func (p *Pager) NumPages() int64 { return p.numPages.Load() }
 
 // SizeBytes returns the on-disk size of the page file.
-func (p *Pager) SizeBytes() int64 {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return p.numPages * int64(p.pageSize)
-}
+func (p *Pager) SizeBytes() int64 { return p.numPages.Load() * int64(p.pageSize) }
+
+// Shards returns the number of buffer-pool stripes in use (diagnostics).
+func (p *Pager) Shards() int { return int(p.shardN) }
 
 // Stats returns a snapshot of the shared I/O counters. Per-query accounting
 // should use IOStats instead; the shared counters exist for whole-run
-// aggregates and the single-threaded baseline methods.
+// aggregates, hit-ratio diagnostics and the single-threaded baselines.
 func (p *Pager) Stats() Stats {
 	return Stats{
-		Accesses: p.accesses.Load(),
-		Misses:   p.misses.Load(),
-		Writes:   p.writes.Load(),
+		Accesses:  p.accesses.Load(),
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		Evictions: p.evictions.Load(),
+		Writes:    p.writes.Load(),
 	}
 }
 
 // ResetStats zeroes the shared I/O counters.
 func (p *Pager) ResetStats() {
 	p.accesses.Store(0)
+	p.hits.Store(0)
 	p.misses.Store(0)
+	p.evictions.Store(0)
 	p.writes.Store(0)
 }
 
-// Alloc appends a zeroed page and returns its id.
+// Alloc appends a zeroed page and returns its id. The id is reserved from
+// allocSeq but published through numPages only AFTER the zeroed entry is
+// installed, so a concurrent reader that passes the range check finds the
+// pool entry instead of racing the not-yet-extended file.
 func (p *Pager) Alloc() (int64, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	id := p.numPages
-	p.numPages++
+	id := p.allocSeq.Add(1) - 1
+	sh := p.shard(id)
+	sh.mu.Lock()
 	e := &poolEntry{id: id, data: make([]byte, p.pageSize), dirty: true}
-	e.lastUsed.Store(p.clock.Add(1))
-	p.insertLocked(e)
+	sh.insert(p, e)
+	sh.mu.Unlock()
+	for {
+		cur := p.numPages.Load()
+		if cur >= id+1 || p.numPages.CompareAndSwap(cur, id+1) {
+			break
+		}
+	}
 	return id, nil
 }
 
@@ -261,48 +370,200 @@ func (p *Pager) Alloc() (int64, error) {
 // across concurrent Writes (which install fresh buffers), but holding it
 // does not pin the page in the pool.
 func (p *Pager) Read(id int64, io *IOStats) ([]byte, error) {
-	p.mu.RLock()
-	if id < 0 || id >= p.numPages {
-		n := p.numPages
-		p.mu.RUnlock()
-		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, n)
+	if id < 0 || id >= p.numPages.Load() {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, p.numPages.Load())
 	}
-	if e, ok := p.pool[id]; ok {
-		e.lastUsed.Store(p.clock.Add(1))
-		data := e.data
-		p.mu.RUnlock()
-		p.accesses.Add(1)
-		io.record(p.id, id)
-		return data, nil
-	}
-	p.mu.RUnlock()
-	return p.readMiss(id, io)
-}
-
-// readMiss loads a page from the file under the exclusive lock.
-func (p *Pager) readMiss(id int64, io *IOStats) ([]byte, error) {
 	p.accesses.Add(1)
 	io.record(p.id, id)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if id >= p.numPages {
-		return nil, fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, p.numPages)
+	sh := p.shard(id)
+	sh.mu.RLock()
+	if e, ok := sh.pool[id]; ok {
+		e.ref.Store(true)
+		data := e.data
+		sh.mu.RUnlock()
+		p.hits.Add(1)
+		return data, nil
 	}
-	if e, ok := p.pool[id]; ok {
-		// Another goroutine loaded it between our shared and exclusive
-		// sections; not a miss.
-		e.lastUsed.Store(p.clock.Add(1))
-		return e.data, nil
+	sh.mu.RUnlock()
+	return p.readMiss(sh, id)
+}
+
+// readMiss loads a page from the file with no lock held — misses in
+// different (or even the same) shard overlap — then installs it under the
+// shard's exclusive lock. Three races are handled at install time:
+//   - another goroutine installed the page meanwhile: the pooled copy wins
+//     (it may carry a Write newer than the bytes this read saw);
+//   - a Write landed in this shard during the unlocked read (writeSeq
+//     moved): the unlocked bytes may be stale — or torn by the racing
+//     eviction flush — so the page is re-read under the lock, serialized
+//     with this shard's writes and flushes, before anything is served;
+//   - the unlocked read failed (e.g. EOF racing an Alloc that published
+//     its id before installing the zeroed entry): resolved by the same
+//     locked pool re-check + re-read.
+func (p *Pager) readMiss(sh *shard, id int64) ([]byte, error) {
+	sh.mu.RLock()
+	if e, ok := sh.pool[id]; ok {
+		// Installed since the caller's shared-lock check: a hit after all.
+		e.ref.Store(true)
+		data := e.data
+		sh.mu.RUnlock()
+		p.hits.Add(1)
+		return data, nil
 	}
+	seq := sh.writeSeq
+	sh.mu.RUnlock()
 	p.misses.Add(1)
 	data := make([]byte, p.pageSize)
-	if _, err := p.f.ReadAt(data, id*int64(p.pageSize)); err != nil {
-		return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+	_, readErr := p.f.ReadAt(data, id*int64(p.pageSize))
+	if p.missLatency > 0 {
+		time.Sleep(p.missLatency)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.pool[id]; ok {
+		e.ref.Store(true)
+		return e.data, nil
+	}
+	if readErr != nil || sh.writeSeq != seq {
+		// Locked re-read: nothing can write or flush this shard's pages now,
+		// and any raced Write has been fully flushed (its eviction completed
+		// under an earlier hold of this lock).
+		if _, err := p.f.ReadAt(data, id*int64(p.pageSize)); err != nil {
+			return nil, fmt.Errorf("pager: read page %d: %w", id, err)
+		}
 	}
 	e := &poolEntry{id: id, data: data}
-	e.lastUsed.Store(p.clock.Add(1))
-	p.insertLocked(e)
+	sh.insert(p, e)
 	return data, nil
+}
+
+// ReadRun returns the contents of the n consecutive pages starting at
+// first, appended to dst, recording one access per page in io. Cached pages
+// come from the pool; the missing ones of each shard block are fetched with
+// one contiguous file read (one syscall-equivalent — and one MissLatency
+// sleep — per gap-free span), which is what makes a sub-partition's short
+// sequential page run cost one I/O round trip instead of one per page. The
+// returned slices alias the buffer pool under the same stability contract
+// as Read.
+func (p *Pager) ReadRun(first int64, n int, dst [][]byte, io *IOStats) ([][]byte, error) {
+	if n <= 0 {
+		return dst, nil
+	}
+	if first < 0 || first+int64(n) > p.numPages.Load() {
+		return nil, fmt.Errorf("%w: run [%d,%d) (have %d)", ErrPageOutOfRange, first, first+int64(n), p.numPages.Load())
+	}
+	base := len(dst)
+	for i := 0; i < n; i++ {
+		dst = append(dst, nil)
+		io.record(p.id, first+int64(i))
+	}
+	p.accesses.Add(int64(n))
+	// Walk the run one shard block at a time: every page of a block lives in
+	// the same shard, so the block's hits and installs happen under one lock
+	// acquisition.
+	blockSize := int64(1) << shardBlockShift
+	for start := first; start < first+int64(n); {
+		end := (start/blockSize + 1) * blockSize
+		if last := first + int64(n); end > last {
+			end = last
+		}
+		if err := p.readChunk(start, end, dst[base+int(start-first):base+int(end-first)]); err != nil {
+			return nil, err
+		}
+		start = end
+	}
+	return dst, nil
+}
+
+// chunkSpan is one gap-free run of missing pages inside a shard block,
+// with its own exactly sized buffer: installed pool entries alias it page
+// by page, so a resident entry never pins bytes beyond its own span (a
+// block-wide buffer would let one cached page retain the whole block).
+type chunkSpan struct {
+	first, end int64
+	buf        []byte
+}
+
+// readChunk fills out with pages [start, end) of one shard block. The fast
+// path (everything cached) finishes under the shared lock; otherwise the
+// missing pages are read from the file in contiguous spans without any
+// lock and installed under the exclusive lock — with the same raced-Write
+// (writeSeq), raced-install (pool copy wins) and failed-unlocked-read
+// handling as readMiss.
+func (p *Pager) readChunk(start, end int64, out [][]byte) error {
+	sh := p.shard(start)
+	missing := 0
+	sh.mu.RLock()
+	for id := start; id < end; id++ {
+		if e, ok := sh.pool[id]; ok {
+			e.ref.Store(true)
+			out[id-start] = e.data
+		} else {
+			missing++
+		}
+	}
+	seq := sh.writeSeq
+	sh.mu.RUnlock()
+	if missing == 0 {
+		p.hits.Add(end - start)
+		return nil
+	}
+	p.hits.Add(end - start - int64(missing))
+	p.misses.Add(int64(missing))
+
+	// Read every gap-free span of missing pages with one ReadAt into a
+	// span-sized buffer.
+	var spans []chunkSpan
+	var readErr error
+	slept := false
+	for id := start; id < end; {
+		if out[id-start] != nil {
+			id++
+			continue
+		}
+		spanEnd := id + 1
+		for spanEnd < end && out[spanEnd-start] == nil {
+			spanEnd++
+		}
+		span := chunkSpan{first: id, end: spanEnd, buf: make([]byte, int(spanEnd-id)*p.pageSize)}
+		if _, err := p.f.ReadAt(span.buf, id*int64(p.pageSize)); err != nil && readErr == nil {
+			readErr = err
+		}
+		spans = append(spans, span)
+		if p.missLatency > 0 && !slept {
+			// One simulated disk round trip per run chunk: the readahead
+			// contract is one I/O wait for the whole span, not one per page.
+			time.Sleep(p.missLatency)
+			slept = true
+		}
+		id = spanEnd
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, span := range spans {
+		if readErr != nil || sh.writeSeq != seq {
+			// The unlocked bytes may be stale, torn by a racing eviction
+			// flush, or missing (EOF racing an Alloc): re-read the span
+			// under the lock, serialized with this shard's writes/flushes,
+			// skipping pages the pool resolved meanwhile below.
+			if _, err := p.f.ReadAt(span.buf, span.first*int64(p.pageSize)); err != nil {
+				return fmt.Errorf("pager: read pages [%d,%d): %w", span.first, span.end, err)
+			}
+		}
+		for id := span.first; id < span.end; id++ {
+			if e, ok := sh.pool[id]; ok {
+				// Installed (or written) concurrently; the pool copy wins.
+				e.ref.Store(true)
+				out[id-start] = e.data
+				continue
+			}
+			off := int(id-span.first) * p.pageSize
+			e := &poolEntry{id: id, data: span.buf[off : off+p.pageSize]}
+			sh.insert(p, e)
+			out[id-start] = e.data
+		}
+	}
+	return nil
 }
 
 // RecordRead accounts a logical read of page id that was served by a cache
@@ -311,6 +572,7 @@ func (p *Pager) readMiss(id int64, io *IOStats) ([]byte, error) {
 // play. The buffer pool is not touched.
 func (p *Pager) RecordRead(id int64, io *IOStats) {
 	p.accesses.Add(1)
+	p.hits.Add(1)
 	io.record(p.id, id)
 }
 
@@ -335,57 +597,56 @@ func (p *Pager) Write(id int64, data []byte) error {
 	if len(data) != p.pageSize {
 		return fmt.Errorf("pager: write of %d bytes, want %d", len(data), p.pageSize)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if id < 0 || id >= p.numPages {
-		return fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, p.numPages)
+	if id < 0 || id >= p.numPages.Load() {
+		return fmt.Errorf("%w: %d (have %d)", ErrPageOutOfRange, id, p.numPages.Load())
 	}
 	p.writes.Add(1)
-	if e, ok := p.pool[id]; ok {
+	sh := p.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.writeSeq++
+	if e, ok := sh.pool[id]; ok {
 		e.data = append([]byte(nil), data...)
 		e.dirty = true
-		e.lastUsed.Store(p.clock.Add(1))
+		e.ref.Store(true)
 		return nil
 	}
 	e := &poolEntry{id: id, data: append([]byte(nil), data...), dirty: true}
-	e.lastUsed.Store(p.clock.Add(1))
-	p.insertLocked(e)
+	sh.insert(p, e)
 	return nil
 }
 
-// insertLocked adds e to the pool, evicting (and flushing) the
-// least-recently-stamped entries when at capacity. Finding victims costs a
-// scan of the pool, so a full pool is drained in batches: one scan frees
-// room for many subsequent misses, keeping eviction O(1) amortized on
-// miss-heavy workloads instead of O(poolCap) per page.
-func (p *Pager) insertLocked(e *poolEntry) {
-	if len(p.pool) >= p.poolCap {
-		batch := p.poolCap / 16
-		if batch < 1 {
-			batch = 1
-		}
-		victims := make([]*poolEntry, 0, len(p.pool))
-		for _, cand := range p.pool {
-			victims = append(victims, cand)
-		}
-		sort.Slice(victims, func(i, j int) bool {
-			return victims[i].lastUsed.Load() < victims[j].lastUsed.Load()
-		})
-		evict := len(p.pool) - p.poolCap + batch
-		if evict > len(victims) {
-			evict = len(victims)
-		}
-		for _, victim := range victims[:evict] {
-			if victim.dirty {
-				p.flushLocked(victim)
-			}
-			delete(p.pool, victim.id)
-		}
+// insert adds e to the shard (whose lock the caller holds), evicting with
+// the CLOCK sweep when the ring is full.
+func (sh *shard) insert(p *Pager, e *poolEntry) {
+	if len(sh.ring) < sh.cap {
+		sh.ring = append(sh.ring, e)
+		sh.pool[e.id] = e
+		return
 	}
-	p.pool[e.id] = e
+	// CLOCK second chance: sweep from the hand, clearing reference bits;
+	// the first unreferenced entry is the victim. Concurrent hits can re-set
+	// bits behind the hand, so the sweep is bounded: after two full passes
+	// the entry under the hand is taken regardless.
+	for step := 0; ; step++ {
+		cand := sh.ring[sh.hand]
+		if step < 2*len(sh.ring) && cand.ref.Swap(false) {
+			sh.hand = (sh.hand + 1) % len(sh.ring)
+			continue
+		}
+		if cand.dirty {
+			p.flushEntry(cand)
+		}
+		delete(sh.pool, cand.id)
+		p.evictions.Add(1)
+		sh.ring[sh.hand] = e
+		sh.pool[e.id] = e
+		sh.hand = (sh.hand + 1) % len(sh.ring)
+		return
+	}
 }
 
-func (p *Pager) flushLocked(e *poolEntry) {
+func (p *Pager) flushEntry(e *poolEntry) {
 	// A write failure here would mean the backing file is gone; every later
 	// Sync/Close reports it, so the eviction path panics rather than losing
 	// a dirty page silently.
@@ -397,15 +658,19 @@ func (p *Pager) flushLocked(e *poolEntry) {
 
 // Sync flushes all dirty pages to the file.
 func (p *Pager) Sync() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, e := range p.pool {
-		if e.dirty {
-			if _, err := p.f.WriteAt(e.data, e.id*int64(p.pageSize)); err != nil {
-				return fmt.Errorf("pager: sync page %d: %w", e.id, err)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.pool {
+			if e.dirty {
+				if _, err := p.f.WriteAt(e.data, e.id*int64(p.pageSize)); err != nil {
+					sh.mu.Unlock()
+					return fmt.Errorf("pager: sync page %d: %w", e.id, err)
+				}
+				e.dirty = false
 			}
-			e.dirty = false
 		}
+		sh.mu.Unlock()
 	}
 	return p.f.Sync()
 }
@@ -413,16 +678,22 @@ func (p *Pager) Sync() error {
 // DropPool flushes and empties the buffer pool, so subsequent reads count as
 // misses. Benchmarks call this between queries to model a cold cache.
 func (p *Pager) DropPool() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, e := range p.pool {
-		if e.dirty {
-			if _, err := p.f.WriteAt(e.data, e.id*int64(p.pageSize)); err != nil {
-				return fmt.Errorf("pager: flush page %d: %w", e.id, err)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.pool {
+			if e.dirty {
+				if _, err := p.f.WriteAt(e.data, e.id*int64(p.pageSize)); err != nil {
+					sh.mu.Unlock()
+					return fmt.Errorf("pager: flush page %d: %w", e.id, err)
+				}
 			}
 		}
+		sh.pool = make(map[int64]*poolEntry)
+		sh.ring = sh.ring[:0]
+		sh.hand = 0
+		sh.mu.Unlock()
 	}
-	p.pool = make(map[int64]*poolEntry)
 	return nil
 }
 

@@ -1,0 +1,317 @@
+package pager
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fillPages allocates n pages, each stamped with its id in byte 0, and
+// drops the pool so reads start cold.
+func fillPages(t *testing.T, p *Pager, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		id, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, p.PageSize())
+		data[0] = byte(id)
+		if err := p.Write(id, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.DropPool(); err != nil {
+		t.Fatal(err)
+	}
+	p.ResetStats()
+}
+
+// TestShardScaling pins the stripe-count policy: tiny pools stay single
+// shard (so their capacity is not fragmented), big pools stripe out.
+func TestShardScaling(t *testing.T) {
+	for _, tc := range []struct {
+		pool, wantShards int
+	}{
+		{1, 1}, {8, 1}, {32, 1}, {64, 2}, {256, 8}, {1024, 16}, {65536, 16},
+	} {
+		p := newTestPager(t, Options{PageSize: 64, PoolSize: tc.pool})
+		if got := p.Shards(); got != tc.wantShards {
+			t.Errorf("PoolSize=%d: %d shards, want %d", tc.pool, got, tc.wantShards)
+		}
+	}
+}
+
+// TestClockSecondChance verifies the CLOCK policy actually grants second
+// chances: with a pool of 2 and the access pattern A B A C, page A's
+// reference bit must save it, so C evicts B and a re-read of A still hits.
+func TestClockSecondChance(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64, PoolSize: 2})
+	fillPages(t, p, 3)
+	readOK := func(id int64) {
+		t.Helper()
+		got, err := p.Read(id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(id) {
+			t.Fatalf("page %d corrupted", id)
+		}
+	}
+	readOK(0) // miss: pool {0}
+	readOK(1) // miss: pool {0,1}
+	readOK(0) // hit: sets 0's reference bit
+	before := p.Stats()
+	readOK(2) // miss: CLOCK clears 0's bit, evicts 1
+	readOK(0) // must still be a hit — 1 was the victim
+	d := p.Stats().Sub(before)
+	if d.Misses != 1 || d.Hits != 1 {
+		t.Fatalf("after A B A C A: interval misses=%d hits=%d, want 1/1", d.Misses, d.Hits)
+	}
+	if d.Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", d.Evictions)
+	}
+	// And 1 is gone: reading it now misses.
+	before = p.Stats()
+	readOK(1)
+	if p.Stats().Sub(before).Misses != 1 {
+		t.Fatal("victim page still pooled")
+	}
+}
+
+// TestReadRunBasics covers the readahead entry point: full-miss runs,
+// full-hit runs, mixed runs with cached holes, shard-block-crossing runs,
+// and the error cases.
+func TestReadRunBasics(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64, PoolSize: 1024})
+	const n = 64
+	fillPages(t, p, n)
+
+	check := func(pages [][]byte, first int64) {
+		t.Helper()
+		for i, page := range pages {
+			if len(page) != 64 || page[0] != byte(first+int64(i)) {
+				t.Fatalf("run page %d (id %d) corrupted", i, first+int64(i))
+			}
+		}
+	}
+
+	// Cold run spanning several shard blocks.
+	var io IOStats
+	pages, err := p.ReadRun(3, 20, nil, &io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(pages, 3)
+	if io.Reads != 20 || io.Pages() != 20 {
+		t.Fatalf("io: Reads=%d Pages=%d, want 20/20", io.Reads, io.Pages())
+	}
+	s := p.Stats()
+	if s.Misses != 20 || s.Hits != 0 {
+		t.Fatalf("cold run: misses=%d hits=%d, want 20/0", s.Misses, s.Hits)
+	}
+
+	// The same run again: all hits.
+	before := p.Stats()
+	pages, err = p.ReadRun(3, 20, pages[:0], &io)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(pages, 3)
+	d := p.Stats().Sub(before)
+	if d.Hits != 20 || d.Misses != 0 {
+		t.Fatalf("warm run: hits=%d misses=%d, want 20/0", d.Hits, d.Misses)
+	}
+
+	// A run overlapping the cached range: holes are fetched, cached pages
+	// served from the pool.
+	before = p.Stats()
+	pages, err = p.ReadRun(0, 30, pages[:0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(pages, 0)
+	d = p.Stats().Sub(before)
+	if d.Misses != 10 || d.Hits != 20 {
+		t.Fatalf("mixed run: misses=%d hits=%d, want 10/20", d.Misses, d.Hits)
+	}
+
+	// Bounds.
+	if _, err := p.ReadRun(-1, 2, nil, nil); err == nil {
+		t.Fatal("expected error for negative first page")
+	}
+	if _, err := p.ReadRun(n-1, 2, nil, nil); err == nil {
+		t.Fatal("expected error for run past the end")
+	}
+	if out, err := p.ReadRun(5, 0, nil, nil); err != nil || len(out) != 0 {
+		t.Fatalf("empty run: %v, %d pages", err, len(out))
+	}
+}
+
+// TestReadRunSeesWrites asserts the pool-wins rule: a page Written while
+// cached must be served from the pool by a subsequent ReadRun, not
+// re-fetched stale from the file.
+func TestReadRunSeesWrites(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64, PoolSize: 1024})
+	fillPages(t, p, 8)
+	fresh := bytes.Repeat([]byte{0xEE}, 64)
+	if err := p.Write(4, fresh); err != nil {
+		t.Fatal(err)
+	}
+	pages, err := p.ReadRun(0, 8, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pages[4], fresh) {
+		t.Fatal("ReadRun returned stale bytes for a written page")
+	}
+}
+
+// TestReadRunAgainstRandomReads cross-checks ReadRun against single-page
+// Reads under random interleaving and a small pool (constant eviction).
+func TestReadRunAgainstRandomReads(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64, PoolSize: 4})
+	const n = 40
+	fillPages(t, p, n)
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 300; trial++ {
+		if rng.Intn(2) == 0 {
+			first := int64(rng.Intn(n - 1))
+			length := 1 + rng.Intn(int(int64(n)-first))
+			pages, err := p.ReadRun(first, length, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, page := range pages {
+				if page[0] != byte(first+int64(i)) {
+					t.Fatalf("trial %d: run page id %d corrupted", trial, first+int64(i))
+				}
+			}
+		} else {
+			id := int64(rng.Intn(n))
+			page, err := p.Read(id, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if page[0] != byte(id) {
+				t.Fatalf("trial %d: page %d corrupted", trial, id)
+			}
+		}
+	}
+}
+
+// TestOneShardStress hammers a single shard block from many goroutines —
+// reads, runs and writes all landing on the same stripe — under a pool
+// small enough to evict constantly. Each page carries a per-page sequence
+// number its (single) writer increments, and every reader asserts the
+// sequence it observes never goes backwards: a miss path that installed
+// stale or torn file bytes over a newer Write (the lock-free read race)
+// fails here deterministically in content, and -race covers the memory
+// model.
+func TestOneShardStress(t *testing.T) {
+	p := newTestPager(t, Options{PageSize: 64, PoolSize: 4})
+	if p.Shards() != 1 {
+		t.Fatalf("want a single shard for the stress, got %d", p.Shards())
+	}
+	// One shard block: pages 0..7 all map to shard 0 even with striping.
+	const blockPages = 8
+	fillPages(t, p, blockPages)
+
+	pageSeq := func(page []byte) uint32 {
+		return uint32(page[4]) | uint32(page[5])<<8 | uint32(page[6])<<16 | uint32(page[7])<<24
+	}
+
+	var wg, readers sync.WaitGroup
+	errs := make(chan error, 16)
+	stop := make(chan struct{})
+	// Two writers own disjoint page sets (id%2), each stamping its pages
+	// with an increasing sequence, so per-page sequences are well ordered.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := uint32(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := int64(g + 2*(int(i)%(blockPages/2)))
+				buf[0] = byte(id)
+				buf[4], buf[5], buf[6], buf[7] = byte(i), byte(i>>8), byte(i>>16), byte(i>>24)
+				if err := p.Write(id, buf); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		readers.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			defer readers.Done()
+			var io IOStats
+			var lastSeen [blockPages]uint32
+			observe := func(id int64, page []byte) error {
+				if page[0] != byte(id) {
+					return fmt.Errorf("goroutine %d: page %d corrupted: %d", g, id, page[0])
+				}
+				seq := pageSeq(page)
+				if seq < lastSeen[id] {
+					return fmt.Errorf("goroutine %d: page %d went backwards: saw seq %d after %d (stale install)",
+						g, id, seq, lastSeen[id])
+				}
+				lastSeen[id] = seq
+				return nil
+			}
+			for i := 0; i < 2000; i++ {
+				if g%2 == 0 {
+					id := int64((i*3 + g) % blockPages)
+					page, err := p.Read(id, &io)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if err := observe(id, page); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					first := int64(i % (blockPages - 2))
+					pages, err := p.ReadRun(first, 3, nil, &io)
+					if err != nil {
+						errs <- err
+						return
+					}
+					for j, page := range pages {
+						if err := observe(first+int64(j), page); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	// Readers finish their fixed iteration counts with the writers still
+	// churning, then the writers are stopped.
+	readers.Wait()
+	close(stop)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("stress deadlocked")
+	}
+	close(errs)
+	for err := range errs {
+		t.Fatalf("stress failure: %v", err)
+	}
+}

@@ -1,0 +1,295 @@
+package pq
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"promips/internal/kmeans"
+	"promips/internal/vec"
+)
+
+// Sketch is an in-memory product-quantization inner-product estimator: the
+// dataset's vectors are split into Subspaces contiguous chunks, each chunk
+// quantized against a small per-subspace codebook, and a point is kept as
+// Subspaces one-byte codes. At query time one lookup table of
+// ⟨codebook centroid, query chunk⟩ inner products turns every point's
+// estimated ⟨o,q⟩ into Subspaces table lookups and adds — no disk I/O, no
+// per-point float math.
+//
+// ProMIPS uses the sketch to PRE-RANK candidate verification: the
+// estimated-best candidates are verified (exactly, from the original-vector
+// store) first, so the true top-k surfaces after far fewer disk
+// verifications and Condition B's denominator shrinks early. The sketch
+// never decides membership of the result set — every returned point is still
+// exactly verified — so the (c, p) guarantee is untouched; see DESIGN.md.
+//
+// A Sketch is immutable after BuildSketch and safe for concurrent use.
+type Sketch struct {
+	d, n      int
+	subspaces int
+	subDim    int // ceil(d / subspaces); the last chunk is zero-padded
+	centroids int
+	codebooks [][]float32 // [subspaces][centroids*subDim], row-major
+	codes     []byte      // [n][subspaces], row-major
+	// resid[i] = sqrt(Σ_sub ‖chunk_sub(o_i) − codeword‖²): the point's total
+	// quantization residual. By Cauchy-Schwarz (per subspace, then across
+	// subspaces), |⟨o,q⟩ − Estimate(o,q)| ≤ resid[o]·‖q‖, making Bound an
+	// EXACT upper bound on the true inner product — the basis of the
+	// no-probability-spent candidate prune.
+	resid []float32
+}
+
+// SketchConfig sizes a Sketch. The defaults (16 subspaces × 16 centroids)
+// keep it at 16 bytes per point with a per-query table build of
+// centroids × d multiplications — noise next to one candidate verification.
+type SketchConfig struct {
+	Subspaces   int   // default 16 (clamped to d)
+	Centroids   int   // per-subspace codebook size, ≤ 256; default 16
+	TrainSample int   // max points used to train codebooks; default 2000
+	MaxIter     int   // k-means iterations per codebook; default 8
+	Seed        int64 // clustering seed
+}
+
+func (c *SketchConfig) normalize(d int) {
+	if c.Subspaces <= 0 {
+		c.Subspaces = 16
+	}
+	if c.Subspaces > d {
+		c.Subspaces = d
+	}
+	if c.Centroids <= 0 {
+		c.Centroids = 16
+	}
+	if c.Centroids > 256 {
+		c.Centroids = 256
+	}
+	if c.TrainSample <= 0 {
+		c.TrainSample = 2000
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 8
+	}
+}
+
+// BuildSketch trains the per-subspace codebooks on (a sample of) data and
+// encodes every point. Point i's codes row is i, matching the ids the
+// ProMIPS core assigns at Build.
+func BuildSketch(data [][]float32, cfg SketchConfig) (*Sketch, error) {
+	n := len(data)
+	if n == 0 {
+		return nil, fmt.Errorf("pq: sketch over empty dataset")
+	}
+	d := len(data[0])
+	cfg.normalize(d)
+	subDim := (d + cfg.Subspaces - 1) / cfg.Subspaces
+
+	s := &Sketch{
+		d: d, n: n,
+		subspaces: cfg.Subspaces,
+		subDim:    subDim,
+		codebooks: make([][]float32, cfg.Subspaces),
+		codes:     make([]byte, n*cfg.Subspaces),
+		resid:     make([]float32, n),
+	}
+	residSq := make([]float64, n)
+
+	// Training sample: an even stride over the dataset keeps the sample
+	// deterministic and spread across the (often locality-ordered) input.
+	stride := 1
+	if n > cfg.TrainSample {
+		stride = n / cfg.TrainSample
+	}
+
+	chunk := make([]float32, subDim)
+	for sub := 0; sub < cfg.Subspaces; sub++ {
+		lo := sub * subDim
+		sample := make([][]float32, 0, n/stride+1)
+		for i := 0; i < n; i += stride {
+			sample = append(sample, subChunk(data[i], lo, subDim, nil))
+		}
+		res := kmeans.Run(sample, kmeans.Config{K: cfg.Centroids, Seed: cfg.Seed + int64(sub)*131, MaxIter: cfg.MaxIter})
+		k := len(res.Centroids)
+		book := make([]float32, k*subDim)
+		for ci, cent := range res.Centroids {
+			copy(book[ci*subDim:], cent)
+		}
+		s.codebooks[sub] = book
+		if sub == 0 {
+			s.centroids = k
+		} else if k != s.centroids {
+			// Degenerate data can reduce a codebook below K; pad with copies
+			// of the last centroid so every subspace has the same table
+			// geometry (codes never reference the padding).
+			if k < s.centroids {
+				pad := make([]float32, s.centroids*subDim)
+				copy(pad, book)
+				for ci := k; ci < s.centroids; ci++ {
+					copy(pad[ci*subDim:], book[(k-1)*subDim:k*subDim])
+				}
+				s.codebooks[sub] = pad
+			} else {
+				s.codebooks[sub] = book[:s.centroids*subDim]
+			}
+		}
+
+		// Encode every point against this codebook, accumulating its
+		// quantization residual.
+		for i, o := range data {
+			c := subChunk(o, lo, subDim, chunk)
+			best, bestD := 0, float64(0)
+			for ci := 0; ci < k && ci < s.centroids; ci++ {
+				dd := vec.L2DistSq(c, book[ci*subDim:(ci+1)*subDim])
+				if ci == 0 || dd < bestD {
+					best, bestD = ci, dd
+				}
+			}
+			s.codes[i*cfg.Subspaces+sub] = byte(best)
+			residSq[i] += bestD
+		}
+	}
+	for i, r2 := range residSq {
+		// Round the residual up by one float32 ulp-ish factor so the bound
+		// stays an upper bound after the float32 truncation.
+		s.resid[i] = float32(math.Sqrt(r2)) * (1 + 1e-6)
+	}
+	return s, nil
+}
+
+// subChunk copies v[lo:lo+subDim] into dst (allocating when nil),
+// zero-padding past the end of v.
+func subChunk(v []float32, lo, subDim int, dst []float32) []float32 {
+	if dst == nil {
+		dst = make([]float32, subDim)
+	}
+	dst = dst[:subDim]
+	n := copy(dst, v[min(lo, len(v)):])
+	for i := n; i < subDim; i++ {
+		dst[i] = 0
+	}
+	return dst
+}
+
+// Len returns the number of encoded points.
+func (s *Sketch) Len() int { return s.n }
+
+// Bytes returns the in-memory footprint of the codes, residuals and
+// codebooks (the per-point cost the index size accounting charges the
+// sketch with).
+func (s *Sketch) Bytes() int64 {
+	book := int64(s.subspaces) * int64(s.centroids) * int64(s.subDim) * 4
+	return int64(len(s.codes)) + int64(len(s.resid))*4 + book
+}
+
+// LUTSize returns the length of the lookup table NewLUT fills.
+func (s *Sketch) LUTSize() int { return s.subspaces * s.centroids }
+
+// NewLUT builds the query's asymmetric lookup table into dst (reused when
+// large enough): lut[sub*centroids+c] = ⟨codebook[sub][c], q chunk sub⟩, so
+// Estimate is a pure table walk.
+func (s *Sketch) NewLUT(q []float32, dst []float64) []float64 {
+	if cap(dst) < s.LUTSize() {
+		dst = make([]float64, s.LUTSize())
+	}
+	dst = dst[:s.LUTSize()]
+	for sub := 0; sub < s.subspaces; sub++ {
+		lo := sub * s.subDim
+		hi := lo + s.subDim
+		if hi > s.d {
+			hi = s.d
+		}
+		if lo >= s.d {
+			for c := 0; c < s.centroids; c++ {
+				dst[sub*s.centroids+c] = 0
+			}
+			continue
+		}
+		chunk := q[lo:hi]
+		book := s.codebooks[sub]
+		for c := 0; c < s.centroids; c++ {
+			row := book[c*s.subDim : c*s.subDim+len(chunk)]
+			var acc float64
+			for j, v := range chunk {
+				acc += float64(row[j]) * float64(v)
+			}
+			dst[sub*s.centroids+c] = acc
+		}
+	}
+	return dst
+}
+
+// Estimate returns the sketch's estimated ⟨o_id, q⟩ from a table NewLUT
+// built for q.
+func (s *Sketch) Estimate(id uint32, lut []float64) float64 {
+	row := s.codes[int(id)*s.subspaces : (int(id)+1)*s.subspaces]
+	var acc float64
+	for sub, code := range row {
+		acc += lut[sub*s.centroids+int(code)]
+	}
+	return acc
+}
+
+// Bound returns an EXACT upper bound on ⟨o_id, q⟩: the sketch estimate plus
+// the point's quantization residual times ‖q‖ (normQ), widened by a
+// relative epsilon that dominates the float64 accumulation error (without
+// it, a zero-residual point — one that IS a codeword — would rest the
+// bound on bit-for-bit rounding agreement between two differently ordered
+// dot products). A candidate whose Bound cannot beat the current k-th
+// inner product provably cannot enter the top-k, so its disk verification
+// can be skipped with no probability spent.
+func (s *Sketch) Bound(id uint32, lut []float64, normQ float64) float64 {
+	b := s.Estimate(id, lut) + float64(s.resid[id])*normQ
+	if b >= 0 {
+		return b * (1 + 1e-9)
+	}
+	return b * (1 - 1e-9)
+}
+
+// sketchMeta is the gob image of a Sketch.
+type sketchMeta struct {
+	D, N      int
+	Subspaces int
+	SubDim    int
+	Centroids int
+	Codebooks [][]float32
+	Codes     []byte
+	Resid     []float32
+}
+
+// Marshal serializes the sketch for persistence alongside the index meta.
+func (s *Sketch) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(sketchMeta{
+		D: s.d, N: s.n,
+		Subspaces: s.subspaces, SubDim: s.subDim, Centroids: s.centroids,
+		Codebooks: s.codebooks, Codes: s.codes, Resid: s.resid,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pq: marshal sketch: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalSketch reverses Marshal.
+func UnmarshalSketch(b []byte) (*Sketch, error) {
+	var m sketchMeta
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+		return nil, fmt.Errorf("pq: unmarshal sketch: %w", err)
+	}
+	if m.N <= 0 || m.Subspaces <= 0 || m.Centroids <= 0 || m.SubDim <= 0 ||
+		len(m.Codes) != m.N*m.Subspaces || len(m.Codebooks) != m.Subspaces ||
+		len(m.Resid) != m.N {
+		return nil, fmt.Errorf("pq: unmarshal sketch: inconsistent geometry")
+	}
+	for _, book := range m.Codebooks {
+		if len(book) != m.Centroids*m.SubDim {
+			return nil, fmt.Errorf("pq: unmarshal sketch: inconsistent codebook size")
+		}
+	}
+	return &Sketch{
+		d: m.D, n: m.N,
+		subspaces: m.Subspaces, subDim: m.SubDim, centroids: m.Centroids,
+		codebooks: m.Codebooks, codes: m.Codes, resid: m.Resid,
+	}, nil
+}

@@ -1,0 +1,156 @@
+package pq
+
+import (
+	"math/rand"
+	"testing"
+
+	"promips/internal/vec"
+)
+
+func randVecs(r *rand.Rand, n, d int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestSketchBoundIsUpperBound is the load-bearing property: Bound must
+// dominate the true inner product for every (point, query) pair — the
+// candidate prune's exactness (and with it the (c,p) guarantee) rests on
+// it.
+func TestSketchBoundIsUpperBound(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, d := range []int{7, 32, 300} {
+		data := randVecs(r, 300, d)
+		s, err := BuildSketch(data, SketchConfig{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := randVecs(r, 20, d)
+		var lut []float64
+		for _, q := range queries {
+			lut = s.NewLUT(q, lut)
+			normQ := vec.Norm2(q)
+			for id := range data {
+				truth := vec.Dot(data[id], q)
+				bound := s.Bound(uint32(id), lut, normQ)
+				if bound < truth {
+					t.Fatalf("d=%d id=%d: bound %v < true inner product %v", d, id, bound, truth)
+				}
+			}
+		}
+	}
+}
+
+// TestSketchEstimateQuality sanity-checks that the estimate actually
+// correlates with the truth: averaged over many pairs, |estimate - truth|
+// must be far below the inner products' own spread (otherwise pre-ranking
+// would be noise).
+func TestSketchEstimateQuality(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	const d = 64
+	data := randVecs(r, 500, d)
+	s, err := BuildSketch(data, SketchConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[7]
+	lut := s.NewLUT(q, nil)
+	var errSum, magSum float64
+	for id := range data {
+		truth := vec.Dot(data[id], q)
+		est := s.Estimate(uint32(id), lut)
+		if est > truth {
+			errSum += est - truth
+		} else {
+			errSum += truth - est
+		}
+		if truth < 0 {
+			magSum -= truth
+		} else {
+			magSum += truth
+		}
+	}
+	if errSum > magSum {
+		t.Fatalf("estimate error %.2f exceeds signal magnitude %.2f", errSum, magSum)
+	}
+}
+
+func TestSketchMarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	data := randVecs(r, 120, 40)
+	s, err := BuildSketch(data, SketchConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := UnmarshalSketch(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[3]
+	lut1 := s.NewLUT(q, nil)
+	lut2 := s2.NewLUT(q, nil)
+	normQ := vec.Norm2(q)
+	for id := range data {
+		if s.Estimate(uint32(id), lut1) != s2.Estimate(uint32(id), lut2) {
+			t.Fatalf("id %d: estimate differs after round trip", id)
+		}
+		if s.Bound(uint32(id), lut1, normQ) != s2.Bound(uint32(id), lut2, normQ) {
+			t.Fatalf("id %d: bound differs after round trip", id)
+		}
+	}
+	if s2.Bytes() != s.Bytes() || s2.Len() != s.Len() {
+		t.Fatal("geometry differs after round trip")
+	}
+}
+
+func TestUnmarshalSketchRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalSketch([]byte("not a gob")); err == nil {
+		t.Fatal("expected error for garbage blob")
+	}
+	// A structurally valid gob with inconsistent geometry must be rejected
+	// too: truncate the codes of a real sketch.
+	r := rand.New(rand.NewSource(23))
+	data := randVecs(r, 50, 16)
+	s, err := BuildSketch(data, SketchConfig{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.codes = s.codes[:len(s.codes)-1]
+	blob, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalSketch(blob); err == nil {
+		t.Fatal("expected error for inconsistent code length")
+	}
+}
+
+// TestSketchLowDim covers d < default subspaces (each subspace one
+// dimension) and tiny datasets (fewer points than centroids).
+func TestSketchLowDim(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	data := randVecs(r, 9, 3)
+	s, err := BuildSketch(data, SketchConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data[0]
+	lut := s.NewLUT(q, nil)
+	normQ := vec.Norm2(q)
+	for id := range data {
+		truth := vec.Dot(data[id], q)
+		if b := s.Bound(uint32(id), lut, normQ); b < truth {
+			t.Fatalf("id %d: bound %v < truth %v", id, b, truth)
+		}
+	}
+}

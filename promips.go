@@ -107,6 +107,42 @@ type SearchStats = core.SearchStats
 // SizeBreakdown itemizes index storage.
 type SizeBreakdown = core.SizeBreakdown
 
+// CacheStats aggregates the I/O engine's buffer-pool counters across every
+// page file the index reads through (the iDistance B+-tree and projected
+// data, and the original-vector store). These are whole-index, whole-run
+// counters — concurrent queries all add to them — so two snapshots bracket
+// a measured interval; per-query accounting lives in SearchStats instead.
+type CacheStats struct {
+	// Accesses is the number of logical page reads.
+	Accesses int64
+	// Hits counts reads served by the buffer pool, Misses those that went
+	// to the file.
+	Hits, Misses int64
+	// Evictions counts pages the CLOCK policy pushed out to make room.
+	Evictions int64
+	// Writes counts page writes.
+	Writes int64
+}
+
+// HitRatio returns Hits/Accesses, or 0 before any reads.
+func (s CacheStats) HitRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Sub returns s - t component-wise, for bracketing an interval.
+func (s CacheStats) Sub(t CacheStats) CacheStats {
+	return CacheStats{
+		Accesses:  s.Accesses - t.Accesses,
+		Hits:      s.Hits - t.Hits,
+		Misses:    s.Misses - t.Misses,
+		Evictions: s.Evictions - t.Evictions,
+		Writes:    s.Writes - t.Writes,
+	}
+}
+
 // currentFile names the generation pointer inside an index directory. Its
 // content is the active generation subdirectory, or "." when the index
 // lives in the directory root (as Build lays it out).
@@ -384,6 +420,18 @@ func (ix *Index) M() int { return ix.inner.M() }
 
 // Sizes itemizes the index's storage footprint.
 func (ix *Index) Sizes() SizeBreakdown { return ix.inner.Sizes() }
+
+// CacheStats snapshots the buffer-pool counters of the index's I/O engine.
+func (ix *Index) CacheStats() CacheStats {
+	s := ix.inner.CacheStats()
+	return CacheStats{
+		Accesses:  s.Accesses,
+		Hits:      s.Hits,
+		Misses:    s.Misses,
+		Evictions: s.Evictions,
+		Writes:    s.Writes,
+	}
+}
 
 // Options returns the configuration the index was built with (Dir set to
 // the index directory). ix.dir is assigned once and never mutated, so no
