@@ -10,6 +10,7 @@ package promips
 
 import (
 	"context"
+	"math/rand"
 	"os"
 	"strconv"
 	"sync"
@@ -124,6 +125,49 @@ func BenchmarkSearch(b *testing.B) {
 		if _, _, err := ix.Search(q, 10); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkInsertAck measures the acknowledgement cost of one Insert
+// under each journal policy. The ISSUE-5 acceptance bar: fsync=never must
+// sit within 10% of the journal-off (pre-WAL) path — the journal append is
+// an in-memory encode into the buffered log, not a syscall — while
+// fsync=always pays the real fsync an acknowledged-durable update costs.
+func BenchmarkInsertAck(b *testing.B) {
+	r := rand.New(rand.NewSource(17))
+	data := make([][]float32, 500)
+	for i := range data {
+		v := make([]float32, 50)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+	for _, tc := range []struct {
+		name  string
+		fsync FsyncPolicy
+	}{
+		{"journal-off", FsyncDisabled},
+		{"fsync-never", FsyncNever},
+		{"fsync-always", FsyncAlways},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			ix, err := Build(data, Options{Dir: b.TempDir(), Seed: 18, M: 5, Fsync: tc.fsync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ix.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ix.Insert(data[i%len(data)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// The deferred Close (FsyncNever's batched write-out) is
+			// teardown, not acknowledgement cost.
+			b.StopTimer()
+		})
 	}
 }
 

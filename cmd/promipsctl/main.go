@@ -7,6 +7,7 @@
 //	promipsctl query   -dir ./idx -data vectors.pds [-k 10 -queries 5 -seed 1 -c 0 -p 0]
 //	promipsctl compact -dir ./idx
 //	promipsctl stats   -dir ./idx
+//	promipsctl recover -dir ./idx [-commit]
 //
 // Vector files use the datagen format (see cmd/datagen).
 package main
@@ -37,6 +38,8 @@ func main() {
 		err = runCompact(os.Args[2:])
 	case "stats":
 		err = runStats(os.Args[2:])
+	case "recover":
+		err = runRecover(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -52,7 +55,8 @@ func usage() {
   promipsctl build   -data vectors.pds -dir ./idx [-c 0.9 -p 0.5 -m 0 -page 4096 -seed 1]
   promipsctl query   -dir ./idx -data vectors.pds [-k 10 -queries 5 -seed 1 -c 0 -p 0]
   promipsctl compact -dir ./idx
-  promipsctl stats   -dir ./idx`)
+  promipsctl stats   -dir ./idx
+  promipsctl recover -dir ./idx [-commit]`)
 }
 
 func runBuild(args []string) error {
@@ -212,5 +216,60 @@ func runStats(args []string) error {
 	cs := ix.CacheStats()
 	fmt.Printf("buffer pool: %d accesses, %d hits (%.1f%%), %d misses, %d evictions, %d writes\n",
 		cs.Accesses, cs.Hits, cs.HitRatio()*100, cs.Misses, cs.Evictions, cs.Writes)
+	printJournal(ix)
+	return nil
+}
+
+// printJournal reports the write-ahead journal's state: how many
+// acknowledged updates are not yet folded into a Save, and what this
+// Open's replay recovered.
+func printJournal(ix *promips.Index) {
+	if ix.Options().Fsync == promips.FsyncDisabled {
+		fmt.Println("journal: disabled (FsyncDisabled)")
+		return
+	}
+	fmt.Printf("journal: %d pending update(s)\n", ix.JournalLen())
+	if rec := ix.Recovery(); rec.Replayed > 0 || rec.Skipped > 0 || rec.TruncatedBytes > 0 {
+		fmt.Printf("recovery at open: %d update(s) replayed, %d already persisted, %d torn byte(s) truncated\n",
+			rec.Replayed, rec.Skipped, rec.TruncatedBytes)
+	}
+}
+
+// runRecover opens the index — which IS the recovery procedure: the
+// write-ahead journal is replayed on top of the last Save and any torn
+// record tail is cleanly truncated — and reports what happened. With
+// -commit the recovered state is folded into the metadata (Save), so the
+// journal is emptied and the next open is replay-free.
+func runRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	dir := fs.String("dir", "", "index directory")
+	commit := fs.Bool("commit", false, "persist the recovered state (Save) so the journal is emptied")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("recover requires -dir")
+	}
+	start := time.Now()
+	ix, err := promips.Open(*dir)
+	if err != nil {
+		return fmt.Errorf("recovery failed: %w", err)
+	}
+	defer ix.Close()
+	rec := ix.Recovery()
+	fmt.Printf("opened in %v: %d points (%d live), journal policy %v\n",
+		time.Since(start).Round(time.Millisecond), ix.Len(), ix.LiveCount(), ix.Options().Fsync)
+	fmt.Printf("recovery: %d update(s) replayed on top of the last save\n", rec.Replayed)
+	fmt.Printf("          %d record(s) already covered by the saved metadata\n", rec.Skipped)
+	fmt.Printf("          %d torn byte(s) cleanly truncated from the journal tail\n", rec.TruncatedBytes)
+	fmt.Printf("journal now holds %d pending update(s)\n", ix.JournalLen())
+	if !*commit {
+		if ix.JournalLen() > 0 {
+			fmt.Println("run with -commit to fold the recovered updates into the metadata")
+		}
+		return nil
+	}
+	if err := ix.Save(); err != nil {
+		return fmt.Errorf("commit: %w", err)
+	}
+	fmt.Println("committed: recovered state persisted, journal emptied")
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"promips"
 	"promips/dataset"
 )
 
@@ -46,6 +47,71 @@ func TestCLIBuildQueryStatsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCLIRecover drives the recovery diagnostics: updates acknowledged
+// into the journal but never saved must survive a process "crash" (close
+// without save), show up in recover's report, and -commit must fold them
+// in so the journal empties.
+func TestCLIRecover(t *testing.T) {
+	dir := t.TempDir()
+	dataPath := filepath.Join(dir, "vectors.pds")
+	idxDir := filepath.Join(dir, "idx")
+
+	r := rand.New(rand.NewSource(3))
+	data := make([][]float32, 200)
+	for i := range data {
+		v := make([]float32, 12)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+	if err := dataset.WriteFile(dataPath, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := runBuild([]string{"-data", dataPath, "-dir", idxDir, "-m", "5", "-seed", "4"}); err != nil {
+		t.Fatalf("build: %v", err)
+	}
+
+	// Crash-sim: updates journaled, never saved, fds dropped.
+	ix, err := promips.Open(idxDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Insert(data[0]); err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Delete(7) {
+		t.Fatal("delete")
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := runRecover([]string{"-dir", idxDir}); err != nil {
+		t.Fatalf("recover (dry): %v", err)
+	}
+	if err := runRecover([]string{"-dir", idxDir, "-commit"}); err != nil {
+		t.Fatalf("recover -commit: %v", err)
+	}
+	re, err := promips.Open(idxDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if rec := re.Recovery(); rec.Replayed != 0 {
+		t.Fatalf("after commit, open still replays %d", rec.Replayed)
+	}
+	if re.JournalLen() != 0 {
+		t.Fatalf("after commit, journal holds %d", re.JournalLen())
+	}
+	if re.LiveCount() != 200 {
+		t.Fatalf("LiveCount = %d, want 200 (one insert, one delete)", re.LiveCount())
+	}
+	if err := runStats([]string{"-dir", idxDir}); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+}
+
 func TestCLIMissingFlags(t *testing.T) {
 	if err := runBuild([]string{}); err == nil {
 		t.Fatal("build without flags should fail")
@@ -58,6 +124,9 @@ func TestCLIMissingFlags(t *testing.T) {
 	}
 	if err := runStats([]string{}); err == nil {
 		t.Fatal("stats without flags should fail")
+	}
+	if err := runRecover([]string{}); err == nil {
+		t.Fatal("recover without flags should fail")
 	}
 }
 

@@ -1,0 +1,36 @@
+package promips
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCurrent: CURRENT's content is the trust boundary between disk
+// and the generation machinery. Arbitrary bytes must resolve to either the
+// root layout, a plain gen-* name, or ErrCorruptIndex — never a name that
+// escapes the index directory, and never a panic.
+func FuzzParseCurrent(f *testing.F) {
+	f.Add([]byte("gen-000001\n"))
+	f.Add([]byte(".\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("gen-../../../etc/passwd"))
+	f.Add([]byte("gen-000002/../gen-000001"))
+	f.Add([]byte("\\gen-1"))
+	f.Add([]byte("  gen-000003  "))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		gen, err := parseCurrent(data)
+		if err != nil {
+			if gen != "" {
+				t.Fatalf("error AND generation %q", gen)
+			}
+			return
+		}
+		if gen == "" {
+			return // root layout
+		}
+		if !strings.HasPrefix(gen, "gen-") || strings.ContainsAny(gen, "/\\") {
+			t.Fatalf("accepted generation %q", gen)
+		}
+	})
+}

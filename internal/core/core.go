@@ -21,17 +21,21 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"promips/internal/errs"
+	"promips/internal/fsutil"
 	"promips/internal/idistance"
 	"promips/internal/pager"
 	"promips/internal/pq"
 	"promips/internal/randproj"
 	"promips/internal/store"
 	"promips/internal/vec"
+	"promips/internal/wal"
 )
 
 // Options configures index construction and the default query parameters.
@@ -62,6 +66,67 @@ type Options struct {
 	MissLatency time.Duration
 	// Seed makes projections and clustering deterministic.
 	Seed int64
+	// Fsync selects the update journal's durability policy (the zero value
+	// is FsyncAlways). Persisted in the metadata, so a reopened index keeps
+	// the policy it was built with.
+	Fsync FsyncPolicy
+
+	// fs is the filesystem seam persistence writes through; nil means the
+	// real filesystem. Unexported so gob skips it when the Options ride
+	// inside coreMeta; set it with WithFS.
+	fs fsutil.FS
+}
+
+// FsyncPolicy selects how the update journal acknowledges Insert/Delete.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways (the default) fsyncs the journal before every update is
+	// acknowledged: an acknowledged update survives any crash.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncNever journals updates without fsync (buffered, flushed on
+	// Close): acknowledged updates survive a clean shutdown, and a crash
+	// may lose the un-synced tail — never corrupting the index.
+	FsyncNever
+	// FsyncDisabled turns the journal off entirely: updates are durable
+	// only from the next successful Save (the pre-journal semantics).
+	FsyncDisabled
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "fsync-always"
+	case FsyncNever:
+		return "fsync-never"
+	case FsyncDisabled:
+		return "disabled"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// WithFS returns a copy of o whose persistence goes through fsys — the
+// crash-injection seam. The zero/nil value means the real filesystem.
+func (o Options) WithFS(fsys fsutil.FS) Options {
+	o.fs = fsys
+	return o
+}
+
+// fsys resolves the filesystem seam.
+func (o Options) fsys() fsutil.FS {
+	if o.fs == nil {
+		return fsutil.OS
+	}
+	return o.fs
+}
+
+// syncMode maps the fsync policy onto the journal's mode. Only meaningful
+// when the policy is not FsyncDisabled.
+func (o Options) syncMode() wal.SyncMode {
+	if o.Fsync == FsyncNever {
+		return wal.SyncNever
+	}
+	return wal.SyncAlways
 }
 
 func (o *Options) normalize() error {
@@ -171,6 +236,42 @@ type Index struct {
 	// compaction, and tombstoned ids.
 	delta   []deltaEntry
 	deleted map[uint32]bool
+
+	// journal is the write-ahead update log (wal.log in the index
+	// directory): every acknowledged Insert/Delete appends a record before
+	// the in-memory state changes, Open replays it on top of the persisted
+	// delta, and Save truncates it once the delta is durable. Nil when
+	// Options.Fsync is FsyncDisabled. Guarded by mu like the delta it
+	// shadows (appends under the exclusive lock, truncation under Save's
+	// shared lock — the two cannot interleave).
+	journal *wal.Journal
+
+	// recovery describes what Open's journal replay did.
+	recovery RecoveryStats
+
+	// journalCovered counts records sitting in the journal that the
+	// persisted metadata already covers — a crash between Save's meta
+	// fsync and the journal truncation leaves them behind, and replay
+	// skips them. JournalLen subtracts it so it reports only updates a
+	// recovery would actually replay; the next successful journal Reset
+	// empties the log and clears it. Atomic: Save updates it under the
+	// shared lock, concurrent with JournalLen readers.
+	journalCovered atomic.Int64
+}
+
+// RecoveryStats reports what the journal replay at Open recovered.
+type RecoveryStats struct {
+	// Replayed is the number of journal records applied on top of the
+	// persisted delta — updates that were acknowledged but not yet saved
+	// when the previous process stopped.
+	Replayed int
+	// Skipped is the number of records already covered by the persisted
+	// metadata (a crash between the metadata fsync and the journal
+	// truncation leaves the journal one Save behind; replay is idempotent).
+	Skipped int
+	// TruncatedBytes is the size of the torn journal tail that was cleanly
+	// cut (a record half-written at crash time, never acknowledged).
+	TruncatedBytes int64
 }
 
 // Build constructs an index over data in dir (page files are created
@@ -271,6 +372,19 @@ func Build(data [][]float32, dir string, opts Options) (*Index, error) {
 		return nil, err
 	}
 	ix.orig = st
+
+	// Pre-process step 5: a fresh update journal. Build may target a
+	// directory that held an older index, so any stale wal.log is
+	// truncated, not replayed.
+	if opts.Fsync != FsyncDisabled {
+		j, err := wal.Create(opts.fsys(), filepath.Join(dir, "wal.log"), opts.syncMode())
+		if err != nil {
+			idx.Close()
+			st.Close()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		ix.journal = j
+	}
 	return ix, nil
 }
 
@@ -287,6 +401,13 @@ func (ix *Index) Close() error {
 	if err2 := ix.orig.Close(); err == nil {
 		err = err2
 	}
+	// Close flushes (FsyncNever buffers) but never truncates: the journal
+	// must survive Close so an unsaved index still replays at Open.
+	if ix.journal != nil {
+		if err2 := ix.journal.Close(); err == nil {
+			err = err2
+		}
+	}
 	return err
 }
 
@@ -300,6 +421,27 @@ func (ix *Index) Len() int {
 
 // Dim returns the original dimensionality.
 func (ix *Index) Dim() int { return ix.d }
+
+// JournalLen returns the number of updates in the write-ahead journal
+// that are not yet folded into a Save — exactly what a crash-recovery
+// Open would replay (records a stale journal holds but the metadata
+// already covers are excluded). 0 when the journal is disabled.
+func (ix *Index) JournalLen() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if ix.journal == nil {
+		return 0
+	}
+	n := ix.journal.Len() - int(ix.journalCovered.Load())
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Recovery reports what the journal replay at Open recovered. Zero for a
+// freshly built index.
+func (ix *Index) Recovery() RecoveryStats { return ix.recovery }
 
 // M returns the projected dimensionality in use.
 func (ix *Index) M() int {

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -15,6 +16,7 @@ import (
 	"promips/internal/randproj"
 	"promips/internal/store"
 	"promips/internal/vec"
+	"promips/internal/wal"
 )
 
 // coreMeta is the gob-serialized in-memory state of an Index. The page
@@ -50,18 +52,77 @@ type deltaMeta struct {
 	V  []float32
 }
 
+// decodeCoreMeta decodes and validates a promips.meta stream. Every
+// failure — gob-level or a decoded value that breaks the invariants the
+// search path indexes by — is ErrCorruptIndex-classified, and no input
+// can panic (pinned by FuzzCoreMetaDecode).
+func decodeCoreMeta(r io.Reader) (*coreMeta, error) {
+	var m coreMeta
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("core: decode meta: %v: %w", err, errs.ErrCorruptIndex)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// validate checks the structural invariants the rest of the code indexes
+// by without re-checking: per-point arrays sized to N, group minima inside
+// the base index, delta ids dense above the base and delta vectors of the
+// index dimensionality, tombstones inside the live id range. Gob decodes
+// arbitrary bytes into a well-typed struct happily, so none of this is
+// guaranteed before a successful validate.
+func (m *coreMeta) validate() error {
+	corrupt := func(format string, args ...any) error {
+		return fmt.Errorf("core: meta: "+format+": %w", append(args, errs.ErrCorruptIndex)...)
+	}
+	if m.N < 1 || m.D < 1 || m.M < 1 || m.M > randproj.MaxM {
+		return corrupt("implausible shape n=%d d=%d m=%d", m.N, m.D, m.M)
+	}
+	if len(m.Norm2Sq) != m.N || len(m.Norm1) != m.N || len(m.Codes) != m.N {
+		return corrupt("per-point arrays sized %d/%d/%d, want n=%d",
+			len(m.Norm2Sq), len(m.Norm1), len(m.Codes), m.N)
+	}
+	for i, g := range m.Groups {
+		if int(g.MinID) >= m.N || g.Count < 1 {
+			return corrupt("group %d (code %d) minID=%d count=%d over n=%d", i, g.Code, g.MinID, g.Count, m.N)
+		}
+	}
+	for i, e := range m.Delta {
+		if int(e.ID) != m.N+i {
+			return corrupt("delta entry %d has id %d, want dense id %d", i, e.ID, m.N+i)
+		}
+		if len(e.V) != m.D {
+			return corrupt("delta entry %d has dim %d, want %d", i, len(e.V), m.D)
+		}
+	}
+	for _, id := range m.Deleted {
+		if int(id) >= m.N+len(m.Delta) {
+			return corrupt("tombstone %d outside id range %d", id, m.N+len(m.Delta))
+		}
+	}
+	return nil
+}
+
 // Save persists the index metadata into its directory, alongside the page
 // files Build already wrote there. An index saved to dir can be reloaded
 // with Open(dir). Both meta files are written via temp-file + rename and
 // the directory is fsynced afterwards, so a crash mid-Save never corrupts
-// a previously saved state.
+// a previously saved state. Once the metadata — which embeds the full
+// update delta and tombstone set — is durable, the write-ahead journal is
+// truncated: its records are now covered by the meta, and replay is
+// idempotent for any crash in between. The order is load-bearing: the
+// journal may only shrink AFTER the directory fsync proves the meta that
+// covers it durable (the crash matrix enforces this).
 func (ix *Index) Save(dir string) error {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if ix.closed {
 		return errs.ErrClosed
 	}
-	if err := ix.idist.Save(dir); err != nil {
+	fsys := ix.opts.fsys()
+	if err := ix.idist.SaveFS(fsys, dir); err != nil {
 		return err
 	}
 	m := coreMeta{
@@ -70,6 +131,7 @@ func (ix *Index) Save(dir string) error {
 		Norm2Sq:   ix.norm2Sq, Norm1: ix.norm1, Codes: ix.codes,
 		MaxNorm2Sq: ix.maxNorm2Sq,
 	}
+	m.Opts.fs = nil // the seam is per-process, never persisted
 	if ix.sketch != nil {
 		sk, err := ix.sketch.Marshal()
 		if err != nil {
@@ -90,7 +152,7 @@ func (ix *Index) Save(dir string) error {
 		m.Deleted = append(m.Deleted, id)
 	}
 	sort.Slice(m.Deleted, func(i, j int) bool { return m.Deleted[i] < m.Deleted[j] })
-	err := fsutil.WriteAtomic(filepath.Join(dir, "promips.meta"), func(f *os.File) error {
+	err := fsutil.WriteAtomic(fsys, filepath.Join(dir, "promips.meta"), func(f fsutil.File) error {
 		return gob.NewEncoder(f).Encode(&m)
 	})
 	if err != nil {
@@ -98,22 +160,40 @@ func (ix *Index) Save(dir string) error {
 	}
 	// One directory fsync makes both meta renames (idist.meta above,
 	// promips.meta here) durable.
-	if err := fsutil.SyncDir(dir); err != nil {
+	if err := fsutil.SyncDir(fsys, dir); err != nil {
 		return fmt.Errorf("core: %w", err)
+	}
+	// The journaled updates are durable in the meta now; empty the journal.
+	// A failure here leaves a stale-but-harmless journal (replay skips
+	// records the meta already covers) and surfaces so the caller retries.
+	if ix.journal != nil {
+		if err := ix.journal.Reset(); err != nil {
+			return fmt.Errorf("core: truncate journal: %w", err)
+		}
+		ix.journalCovered.Store(0)
 	}
 	return nil
 }
 
-// Open loads an index previously built in dir and saved with Save.
-func Open(dir string) (*Index, error) {
+// Open loads an index previously built in dir and saved with Save, then
+// replays the write-ahead journal on top of the persisted delta —
+// recovering updates acknowledged after the last Save. See OpenFS for the
+// crash-injection seam.
+func Open(dir string) (*Index, error) { return OpenFS(dir, nil) }
+
+// OpenFS is Open writing through an explicit filesystem seam (nil means
+// the real filesystem). The seam matters even on the read path: recovery
+// itself writes — truncating a torn journal tail, recreating a missing
+// journal — and must itself be crash-safe.
+func OpenFS(dir string, fsys fsutil.FS) (*Index, error) {
 	f, err := os.Open(filepath.Join(dir, "promips.meta"))
 	if err != nil {
 		return nil, fmt.Errorf("core: open meta: %w", err)
 	}
-	defer f.Close()
-	var m coreMeta
-	if err := gob.NewDecoder(f).Decode(&m); err != nil {
-		return nil, fmt.Errorf("core: decode meta: %v: %w", err, errs.ErrCorruptIndex)
+	m, err := decodeCoreMeta(f)
+	f.Close()
+	if err != nil {
+		return nil, err
 	}
 	proj, err := randproj.Decode(m.Projector)
 	if err != nil {
@@ -135,11 +215,15 @@ func Open(dir string) (*Index, error) {
 		norm2Sq: m.Norm2Sq, norm1: m.Norm1, codes: m.Codes,
 		maxNorm2Sq: m.MaxNorm2Sq,
 	}
+	ix.opts.fs = fsys
+	closeAll := func() {
+		idist.Close()
+		orig.Close()
+	}
 	if len(m.Sketch) > 0 {
 		sk, err := pq.UnmarshalSketch(m.Sketch)
 		if err != nil {
-			idist.Close()
-			orig.Close()
+			closeAll()
 			return nil, fmt.Errorf("core: %v: %w", err, errs.ErrCorruptIndex)
 		}
 		ix.sketch = sk
@@ -152,6 +236,9 @@ func Open(dir string) (*Index, error) {
 		ix.delta = make([]deltaEntry, len(m.Delta))
 		for i, e := range m.Delta {
 			ix.delta[i] = deltaEntry{id: e.ID, v: e.V, ip2: vec.Norm2Sq(e.V)}
+			if ix.delta[i].ip2 > ix.maxNorm2Sq {
+				ix.maxNorm2Sq = ix.delta[i].ip2
+			}
 		}
 	}
 	if len(m.Deleted) > 0 {
@@ -160,5 +247,68 @@ func Open(dir string) (*Index, error) {
 			ix.deleted[id] = true
 		}
 	}
+	if m.Opts.Fsync != FsyncDisabled {
+		j, recs, torn, err := wal.Open(ix.opts.fsys(), filepath.Join(dir, "wal.log"), ix.opts.syncMode())
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		ix.journal = j
+		if err := ix.replayJournal(recs); err != nil {
+			j.Close()
+			closeAll()
+			return nil, err
+		}
+		ix.recovery.TruncatedBytes = torn
+		ix.journalCovered.Store(int64(ix.recovery.Skipped))
+	}
 	return ix, nil
+}
+
+// replayJournal applies the journal's records on top of the state the
+// metadata restored. Records the meta already covers are skipped — insert
+// ids are assigned densely and logged in order, so a record inserting an
+// id below the next free one is a duplicate from a crash between the meta
+// fsync and the journal truncation, and tombstoning is naturally
+// idempotent. Records no crash could produce (an id gap, a wrong-dimension
+// vector, a tombstone outside the live range) are ErrCorruptIndex.
+func (ix *Index) replayJournal(recs []wal.Record) error {
+	for _, r := range recs {
+		switch r.Type {
+		case wal.TypeInsert:
+			next := uint32(ix.n + len(ix.delta))
+			if r.ID < next {
+				ix.recovery.Skipped++
+				continue
+			}
+			if r.ID > next {
+				return fmt.Errorf("core: journal: insert id %d skips ahead of %d: %w", r.ID, next, errs.ErrCorruptIndex)
+			}
+			if len(r.Vec) != ix.d {
+				return fmt.Errorf("core: journal: insert id %d has dim %d, want %d: %w", r.ID, len(r.Vec), ix.d, errs.ErrCorruptIndex)
+			}
+			n2 := vec.Norm2Sq(r.Vec)
+			ix.delta = append(ix.delta, deltaEntry{id: r.ID, v: r.Vec, ip2: n2})
+			if n2 > ix.maxNorm2Sq {
+				ix.maxNorm2Sq = n2
+			}
+			ix.recovery.Replayed++
+		case wal.TypeDelete:
+			if int(r.ID) >= ix.n+len(ix.delta) {
+				return fmt.Errorf("core: journal: tombstone %d outside id range %d: %w", r.ID, ix.n+len(ix.delta), errs.ErrCorruptIndex)
+			}
+			if ix.deleted[r.ID] {
+				ix.recovery.Skipped++
+				continue
+			}
+			if ix.deleted == nil {
+				ix.deleted = make(map[uint32]bool)
+			}
+			ix.deleted[r.ID] = true
+			ix.recovery.Replayed++
+		default:
+			return fmt.Errorf("core: journal: record type %d: %w", r.Type, errs.ErrCorruptIndex)
+		}
+	}
+	return nil
 }

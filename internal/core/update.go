@@ -7,6 +7,7 @@ import (
 
 	"promips/internal/errs"
 	"promips/internal/vec"
+	"promips/internal/wal"
 )
 
 // Dynamic updates. The paper motivates the lightweight index with
@@ -38,18 +39,51 @@ type deltaEntry struct {
 // region until Compact is called. Insert takes the index lock exclusive, so
 // it interleaves correctly with concurrent searches: a search sees either
 // the state before or after the insert, never a partial one.
+//
+// Durability: the update is journaled BEFORE the in-memory state changes,
+// under the journal's fsync policy. A successful return therefore means
+// the insert survives a crash (FsyncAlways) or a clean shutdown
+// (FsyncNever); an error means neither memory nor — as far as the journal
+// could guarantee — disk took the update. Inserting into a closed index
+// returns ErrClosed.
 func (ix *Index) Insert(v []float32) (uint32, error) {
 	if len(v) != ix.d {
 		return 0, fmt.Errorf("core: %w: insert dim %d, want %d", errs.ErrDimMismatch, len(v), ix.d)
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
+	return ix.insertLocked(v, true)
+}
+
+// insertLocked is Insert's body; the caller holds ix.mu exclusive.
+// Compact's fold phase inserts with journaled=false: the folded records
+// were acknowledged (and journaled) in the generation being replaced,
+// which stays the durable one until the handover commits, and the new
+// generation's metadata is persisted — covering them — within the same
+// exclusive section, so journaling them again would buy nothing and cost
+// one fsync each.
+func (ix *Index) insertLocked(v []float32, journaled bool) (uint32, error) {
 	if ix.closed {
 		return 0, errs.ErrClosed
 	}
 	id := uint32(ix.n + len(ix.delta))
+	clone := vec.Clone(v)
+	if journaled && ix.journal != nil {
+		// Write-ahead: if the record cannot be logged, the insert is not
+		// acknowledged and memory is untouched. The journal heals (or
+		// poisons itself) so the failed bytes can never precede a later
+		// record; the id is not burned — the next insert reuses it, and by
+		// then either the journal healed (the failed record is gone) or it
+		// is poisoned (no later record can follow the garbage). The journal
+		// gets the private clone, not the caller's slice: under FsyncNever
+		// it retains the vector until a batched flush, and the delta never
+		// mutates it.
+		if err := ix.journal.Append(wal.Record{Type: wal.TypeInsert, ID: id, Vec: clone}); err != nil {
+			return 0, fmt.Errorf("core: insert: %w", err)
+		}
+	}
 	n2 := vec.Norm2Sq(v)
-	ix.delta = append(ix.delta, deltaEntry{id: id, v: vec.Clone(v), ip2: n2})
+	ix.delta = append(ix.delta, deltaEntry{id: id, v: clone, ip2: n2})
 	if n2 > ix.maxNorm2Sq {
 		// A new max-norm point tightens nothing but must be respected:
 		// Condition A's proof requires ‖oM‖ to bound every live norm.
@@ -60,24 +94,41 @@ func (ix *Index) Insert(v []float32) (uint32, error) {
 
 // Delete tombstones the point with the given id (from the base index or
 // the delta). It reports whether the id was live. Like Insert, it takes the
-// index lock exclusive. Deleting from a closed index reports false.
+// index lock exclusive. Deleting from a closed index reports false; use
+// DeleteChecked to distinguish "absent" from "closed" or a journal
+// failure.
 func (ix *Index) Delete(id uint32) bool {
+	ok, _ := ix.DeleteChecked(id)
+	return ok
+}
+
+// DeleteChecked is Delete with a typed error: (false, ErrClosed) on a
+// closed index, (false, journal error) when the tombstone could not be
+// logged — the delete is then NOT applied — and (false, nil) when the id
+// was simply absent or already deleted. Journaling follows the same
+// write-ahead discipline as Insert.
+func (ix *Index) DeleteChecked(id uint32) (bool, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.closed {
-		return false
+		return false, errs.ErrClosed
 	}
 	if int(id) >= ix.n+len(ix.delta) {
-		return false
+		return false, nil
+	}
+	if ix.deleted[id] {
+		return false, nil
+	}
+	if ix.journal != nil {
+		if err := ix.journal.Append(wal.Record{Type: wal.TypeDelete, ID: id}); err != nil {
+			return false, fmt.Errorf("core: delete: %w", err)
+		}
 	}
 	if ix.deleted == nil {
 		ix.deleted = make(map[uint32]bool)
 	}
-	if ix.deleted[id] {
-		return false
-	}
 	ix.deleted[id] = true
-	return true
+	return true, nil
 }
 
 // LiveCount returns the number of live (non-tombstoned) points.
@@ -128,15 +179,28 @@ func (ix *Index) live(id uint32) bool {
 // remap). The old generation's page files are closed but not removed; the
 // caller owns directory hygiene.
 //
+// persist, when non-nil, runs inside the exclusive section after the fold
+// and BEFORE the in-memory swap: it must make the new generation durable
+// (save its metadata, flip the caller's generation pointer). Running it
+// under the lock is what keeps the write-ahead guarantee across
+// compaction — no update can be acknowledged into the new generation's
+// journal until the pointer durably names that generation, so a crash at
+// any instant recovers a generation together with the journal holding its
+// acknowledged updates. persist returns committed=true once the pointer
+// flip is visible (even if making it durable then failed): from that
+// point the swap must proceed — the on-disk logical state already names
+// the new generation — and Compact returns the valid remap alongside the
+// error.
+//
 // Cancellation is honored between the snapshot, build and swap phases; on
 // ctx expiry the index is left untouched and partially written files in dir
 // are the caller's to clean up.
 //
-// Error contract: a non-nil error means the swap did NOT happen — ix is
-// untouched and still serves the old generation, and nothing references
-// dir. A nil error means the new generation is live in ix. Callers rely on
-// this to decide whether dir is removable.
-func (ix *Index) Compact(ctx context.Context, dir string) ([]uint32, error) {
+// Error contract: error with a nil remap means nothing happened — ix is
+// untouched, still serving (and journaling into) the old generation, and
+// nothing references dir. A nil error (or the committed-corner error
+// above, with a non-nil remap) means the new generation is live in ix.
+func (ix *Index) Compact(ctx context.Context, dir string, persist func(next *Index) (committed bool, err error)) ([]uint32, error) {
 	// Phase 1: snapshot the live set under the shared lock.
 	ix.mu.RLock()
 	if ix.closed {
@@ -220,7 +284,9 @@ func (ix *Index) Compact(ctx context.Context, dir string) ([]uint32, error) {
 		if e.id < idMark || ix.deleted[e.id] {
 			continue
 		}
-		newID, err := next.Insert(e.v)
+		// next is private to this call until the swap below, so its lock is
+		// not needed; journaled=false — see insertLocked.
+		newID, err := next.insertLocked(e.v, false)
 		if err != nil {
 			next.Close()
 			return nil, err
@@ -232,7 +298,42 @@ func (ix *Index) Compact(ctx context.Context, dir string) ([]uint32, error) {
 		remap = append(remap, e.id)
 	}
 
-	oldIdist, oldOrig := ix.idist, ix.orig
+	// Durable handover, still under the exclusive lock: no search observes
+	// the new generation and — crucially — no update can be acknowledged
+	// into its journal before the generation pointer durably names it.
+	if persist != nil {
+		committed, err := persist(next)
+		if err != nil && !committed {
+			next.Close()
+			return nil, err
+		}
+		if err != nil {
+			// The pointer flip is visible but its durability is uncertain
+			// (a directory fsync failed after the rename). The logical
+			// on-disk state names the new generation, so the swap must
+			// proceed; surface the error with the valid remap and let the
+			// caller's next Save retry the fsync. Until that Save, a crash
+			// could still recover the OLD generation — so under
+			// FsyncAlways the new journal is poisoned: updates fail loudly
+			// instead of acknowledging a durability promise the pointer
+			// cannot back yet. (FsyncNever acks never promise crash
+			// durability, so they keep flowing.)
+			ix.swapLocked(next)
+			if ix.journal != nil && ix.opts.Fsync == FsyncAlways {
+				ix.journal.Poison(fmt.Errorf("generation pointer not durable: %w", err))
+			}
+			return remap, err
+		}
+	}
+
+	ix.swapLocked(next)
+	return remap, nil
+}
+
+// swapLocked installs next's state into ix (caller holds ix.mu exclusive)
+// and retires the old generation's handles.
+func (ix *Index) swapLocked(next *Index) {
+	oldIdist, oldOrig, oldJournal := ix.idist, ix.orig, ix.journal
 	ix.n, ix.m = next.n, next.m
 	ix.proj = next.proj
 	ix.idist, ix.orig = next.idist, next.orig
@@ -240,6 +341,13 @@ func (ix *Index) Compact(ctx context.Context, dir string) ([]uint32, error) {
 	ix.norm2Sq, ix.norm1, ix.codes, ix.groups = next.norm2Sq, next.norm1, next.codes, next.groups
 	ix.maxNorm2Sq = next.maxNorm2Sq
 	ix.delta, ix.deleted = next.delta, next.deleted
+	// The journal swaps with the generation it lives in. The persist step
+	// above already saved the new generation's metadata (covering the
+	// folded updates — next's journal is empty) and flipped the pointer,
+	// so from here every acknowledged update journals into the generation
+	// a recovery would load. The OLD generation's journal stays on disk
+	// untouched until the caller retires the generation's files.
+	ix.journal = next.journal
 
 	// The old generation is retired: close best-effort. Its pages were
 	// synced at build time and never dirtied since, so a close failure
@@ -248,5 +356,7 @@ func (ix *Index) Compact(ctx context.Context, dir string) ([]uint32, error) {
 	// contract above.
 	oldIdist.Close()
 	oldOrig.Close()
-	return remap, nil
+	if oldJournal != nil {
+		oldJournal.Close()
+	}
 }

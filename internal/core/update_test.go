@@ -153,7 +153,7 @@ func TestCompact(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	oldIDs, err := ix.Compact(context.Background(), filepath.Join(t.TempDir(), "compacted"))
+	oldIDs, err := ix.Compact(context.Background(), filepath.Join(t.TempDir(), "compacted"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestCompactThenUpdate(t *testing.T) {
 	q := randData(r, 1, 8)[0]
 
 	ix.Delete(3)
-	if _, err := ix.Compact(context.Background(), filepath.Join(t.TempDir(), "gen1")); err != nil {
+	if _, err := ix.Compact(context.Background(), filepath.Join(t.TempDir(), "gen1"), nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := ix.LiveCount(); got != 199 {
@@ -217,7 +217,7 @@ func TestCompactThenUpdate(t *testing.T) {
 		t.Fatalf("dominant post-compact insert not returned: got %d", res[0].ID)
 	}
 	// A second compaction folds the new delta too.
-	remap, err := ix.Compact(context.Background(), filepath.Join(t.TempDir(), "gen2"))
+	remap, err := ix.Compact(context.Background(), filepath.Join(t.TempDir(), "gen2"), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestCompactCancelled(t *testing.T) {
 	ix := buildIndex(t, data, Options{Seed: 58, M: 4})
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := ix.Compact(ctx, t.TempDir()); !errors.Is(err, context.Canceled) {
+	if _, err := ix.Compact(ctx, t.TempDir(), nil); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled compact returned %v", err)
 	}
 	// The index must be untouched and fully usable.
@@ -251,7 +251,7 @@ func TestCompactEmptyFails(t *testing.T) {
 	for id := uint32(0); id < 10; id++ {
 		ix.Delete(id)
 	}
-	if _, err := ix.Compact(context.Background(), t.TempDir()); !errors.Is(err, errs.ErrEmptyIndex) {
+	if _, err := ix.Compact(context.Background(), t.TempDir(), nil); !errors.Is(err, errs.ErrEmptyIndex) {
 		t.Fatalf("compacting fully-deleted index returned %v, want ErrEmptyIndex", err)
 	}
 	if _, _, err := ix.Search(randData(r, 1, 6)[0], 1); !errors.Is(err, errs.ErrEmptyIndex) {

@@ -1,45 +1,76 @@
 // Package fsutil holds the crash-safety file primitives every persistence
-// path shares: atomic file replacement and directory-entry durability.
+// path shares — atomic file replacement, directory-entry durability, the
+// append discipline of the update journal — behind a small filesystem seam.
 // Keeping one audited implementation prevents the temp/rename/fsync
-// ordering from drifting between the meta writers and the CURRENT pointer.
+// ordering from drifting between the meta writers, the CURRENT pointer and
+// the journal; keeping it behind an interface lets the crash-injection
+// harness (FaultFS) fail or "crash" any persistence path at an exact
+// operation and hand the torn on-disk state back for reopen.
 package fsutil
 
 import (
 	"fmt"
+	"io"
 	"os"
 )
 
-// WriteAtomic writes a file via temp-name + fsync + rename, so the path
-// either keeps its previous content or holds the complete new content —
-// never a truncated mix. write streams the content into the temp file.
-// Durability of the rename itself needs a SyncDir on the parent.
-func WriteAtomic(path string, write func(*os.File) error) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return fmt.Errorf("write %s: %w", path, err)
-	}
-	err = write(f)
-	if err == nil {
-		err = f.Sync()
-	}
-	if err2 := f.Close(); err == nil {
-		err = err2
-	}
-	if err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("write %s: %w", path, err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return fmt.Errorf("install %s: %w", path, err)
-	}
-	return nil
+// FS is the filesystem seam the persistence paths write through. Only the
+// mutating surface is abstracted (plus ReadFile, which the journal and the
+// CURRENT pointer use to load small files wholesale); bulk page I/O stays
+// on *os.File in internal/pager, because page files are written once at
+// build time and never referenced by any metadata until a Save performed
+// through this seam succeeds.
+type FS interface {
+	// Create creates (or truncates) the file at path for writing. The
+	// returned File writes in append mode, so a Truncate mid-stream moves
+	// the write position to the new end instead of leaving a hole — the
+	// journal's reset-then-append sequence depends on this.
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if absent. Writes
+	// through the returned File land at the end of the file.
+	OpenAppend(path string) (File, error)
+	// ReadFile returns the content of path.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath (POSIX rename).
+	Rename(oldpath, newpath string) error
+	// Remove unlinks path.
+	Remove(path string) error
+	// SyncDir fsyncs a directory, making its entries (renames, creates,
+	// unlinks) durable.
+	SyncDir(dir string) error
 }
 
-// SyncDir fsyncs a directory, making its entries (renames, creates,
-// unlinks) durable.
-func SyncDir(dir string) error {
+// File is the writable-file surface the persistence paths need.
+type File interface {
+	io.Writer
+	// Sync fsyncs the file content.
+	Sync() error
+	// Truncate cuts the file to size bytes. The append offset of an
+	// OpenAppend file is unaffected (appends still land at the new end).
+	Truncate(size int64) error
+	Close() error
+}
+
+// OS is the real filesystem.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC|os.O_APPEND, 0o644)
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
 		return fmt.Errorf("sync dir %s: %w", dir, err)
@@ -51,3 +82,35 @@ func SyncDir(dir string) error {
 	}
 	return nil
 }
+
+// WriteAtomic writes a file via temp-name + fsync + rename, so the path
+// either keeps its previous content or holds the complete new content —
+// never a truncated mix. write streams the content into the temp file.
+// Durability of the rename itself needs a SyncDir on the parent.
+func WriteAtomic(fsys FS, path string, write func(File) error) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	err = write(f)
+	if err == nil {
+		err = f.Sync()
+	}
+	if err2 := f.Close(); err == nil {
+		err = err2
+	}
+	if err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("install %s: %w", path, err)
+	}
+	return nil
+}
+
+// SyncDir fsyncs a directory through the seam. Kept as a free function so
+// call sites read the same as before the seam existed.
+func SyncDir(fsys FS, dir string) error { return fsys.SyncDir(dir) }

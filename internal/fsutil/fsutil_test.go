@@ -1,0 +1,159 @@
+package fsutil
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeString(s string) func(File) error {
+	return func(f File) error {
+		_, err := f.Write([]byte(s))
+		return err
+	}
+}
+
+func TestWriteAtomicReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta")
+	if err := WriteAtomic(OS, path, writeString("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAtomic(OS, path, writeString("two")); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "two" {
+		t.Fatalf("content = %q", b)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+}
+
+func TestWriteAtomicKeepsOldOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "meta")
+	if err := WriteAtomic(OS, path, writeString("old")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteAtomic(OS, path, func(File) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "old" {
+		t.Fatalf("old content lost: %q", b)
+	}
+}
+
+// TestFaultFSCounting pins the op stream a known sequence produces, so the
+// crash matrix's FailAt indexes mean what we think they mean.
+func TestFaultFSCounting(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &FaultFS{}
+	if err := WriteAtomic(ffs, filepath.Join(dir, "a"), writeString("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// WriteAtomic = create + write + sync + rename; then syncdir.
+	if got := ffs.Ops(); got != 5 {
+		t.Fatalf("ops = %d, want 5", got)
+	}
+	for op, want := range map[Op]int{OpCreate: 1, OpWrite: 1, OpSync: 1, OpRename: 1, OpSyncDir: 1, OpRemove: 0} {
+		if got := ffs.Count(op); got != want {
+			t.Fatalf("count[%v] = %d, want %d", op, got, want)
+		}
+	}
+}
+
+func TestFaultFSTransient(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	if err := WriteAtomic(OS, path, writeString("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Fault the rename (op 4). The write must fail, the old content must
+	// survive, and a subsequent attempt must succeed.
+	ffs := &FaultFS{FailAt: 4}
+	if err := WriteAtomic(ffs, path, writeString("new")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	b, _ := os.ReadFile(path)
+	if string(b) != "old" {
+		t.Fatalf("content after failed rename = %q", b)
+	}
+	if err := WriteAtomic(ffs, path, writeString("new")); err != nil {
+		t.Fatalf("retry after transient fault: %v", err)
+	}
+	b, _ = os.ReadFile(path)
+	if string(b) != "new" {
+		t.Fatalf("content after retry = %q", b)
+	}
+}
+
+func TestFaultFSCrashTearsWriteAndKillsEverything(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	ffs := &FaultFS{FailAt: 2, Crash: true} // op 2 = the write inside WriteAtomic
+	err := WriteAtomic(ffs, path, writeString("abcdefgh"))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	if !ffs.Crashed() {
+		t.Fatal("not crashed")
+	}
+	// The temp file holds a torn prefix: the crash applied half the bytes,
+	// and the cleanup Remove after the failure was itself suppressed.
+	b, err := os.ReadFile(path + ".tmp")
+	if err != nil {
+		t.Fatalf("torn temp file should exist: %v", err)
+	}
+	if string(b) != "abcd" {
+		t.Fatalf("torn content = %q, want half-written prefix", b)
+	}
+	// Everything after the crash fails.
+	if err := ffs.SyncDir(dir); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash syncdir err = %v", err)
+	}
+	if err := ffs.Rename(path+".tmp", path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash rename err = %v", err)
+	}
+	if _, err := ffs.Create(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash create err = %v", err)
+	}
+	// Ops counts stop at the crash point.
+	if got := ffs.Ops(); got != 2 {
+		t.Fatalf("ops = %d, want 2", got)
+	}
+}
+
+func TestFaultFSCrashOnFileOpenedEarlier(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &FaultFS{FailAt: 3, Crash: true}
+	f, err := ffs.OpenAppend(filepath.Join(dir, "wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("r1")); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrInjected) { // op 3: crash
+		t.Fatalf("sync err = %v", err)
+	}
+	if _, err := f.Write([]byte("r2")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-crash write through old handle err = %v", err)
+	}
+	b, _ := os.ReadFile(filepath.Join(dir, "wal"))
+	if string(b) != "r1" {
+		t.Fatalf("wal content = %q", b)
+	}
+}

@@ -33,7 +33,11 @@ type meta struct {
 // never truncates a previously saved (and possibly still referenced) meta
 // file. Directory-entry durability is the caller's concern (core.Save
 // fsyncs dir once after both meta renames).
-func (idx *Index) Save(dir string) error {
+func (idx *Index) Save(dir string) error { return idx.SaveFS(fsutil.OS, dir) }
+
+// SaveFS is Save writing through an explicit filesystem seam, so the
+// crash-injection harness can fault this meta write like any other.
+func (idx *Index) SaveFS(fsys fsutil.FS, dir string) error {
 	m := meta{
 		Cfg: idx.cfg, M: idx.m, N: idx.n,
 		Centers: idx.centers, Radii: idx.radii,
@@ -41,7 +45,7 @@ func (idx *Index) Save(dir string) error {
 		EntriesPerPage: idx.entriesPerPage,
 		LocPage:        idx.locPage, LocSlot: idx.locSlot, Layout: idx.layout,
 	}
-	err := fsutil.WriteAtomic(filepath.Join(dir, "idist.meta"), func(f *os.File) error {
+	err := fsutil.WriteAtomic(fsys, filepath.Join(dir, "idist.meta"), func(f fsutil.File) error {
 		return gob.NewEncoder(f).Encode(&m)
 	})
 	if err != nil {

@@ -54,6 +54,25 @@ func F32View(buf []byte, dim int) ([]float32, bool) {
 	return unsafe.Slice((*float32)(p), dim), true
 }
 
+// AppendF32LE appends v's elements to dst in little-endian float32 wire
+// format — the inverse of F32View, used by the update journal's record
+// encoder on the insert acknowledgement path. On a little-endian host the
+// whole slice is appended as one bulk copy of its underlying bytes; the
+// portable fallback encodes element-wise. Both paths produce identical
+// bytes (IEEE-754 bits, little-endian order).
+func AppendF32LE(dst []byte, v []float32) []byte {
+	if len(v) == 0 {
+		return dst
+	}
+	if hostLittleEndian {
+		return append(dst, unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), 4*len(v))...)
+	}
+	for _, x := range v {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(x))
+	}
+	return dst
+}
+
 // U32 reads a little-endian uint32 — the record-id load of the page scan
 // loops, kept here so the scan paths carry no per-element binary.* decoding.
 func U32(buf []byte) uint32 { return binary.LittleEndian.Uint32(buf) }

@@ -1,0 +1,419 @@
+// Package wal implements the durable update journal: an append-only,
+// checksummed record log (wal.log) living inside the active index
+// generation. Every acknowledged Insert/Delete appends one record; Open
+// replays the log on top of the persisted delta; Save/Compact truncate it
+// once the delta is durable in the metadata.
+//
+// # On-disk format
+//
+// The file starts with an 8-byte magic ("PMWAL" + version 1 + two zero
+// bytes) followed by records:
+//
+//	record := crc32c(payload) u32 | len(payload) u32 | payload
+//	payload := type u8 | id u32 | vector float32-LE...   (insert)
+//	payload := type u8 | id u32                          (delete)
+//
+// All integers are little-endian; the checksum is CRC-32C (Castagnoli).
+//
+// # Crash discipline
+//
+// A crash can tear the last record (or the header) mid-write; it can never
+// damage earlier bytes of an append-only file. Decode therefore treats any
+// trailing anomaly — short header, short record, oversized or undersized
+// length, checksum mismatch — as a torn tail: the valid prefix is kept and
+// the caller truncates the rest (Open does this automatically). Anomalies
+// that a tear cannot produce — wrong magic, an unknown record type or a
+// malformed payload protected by a VALID checksum — are reported as
+// errs.ErrCorruptIndex.
+//
+// # Sync policy
+//
+// SyncAlways fsyncs after every record: an acknowledged update survives
+// any crash. SyncNever keeps acknowledged records in memory and writes
+// them out batched at Close (a Save discards them instead — the persisted
+// delta covers them): updates are durable after a clean shutdown, and a
+// crash recovers the last Save — the contract promips.FsyncNever
+// documents.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"math"
+	"path/filepath"
+	"sync/atomic"
+
+	"promips/internal/errs"
+	"promips/internal/fsutil"
+	"promips/internal/vec"
+)
+
+var magic = []byte{'P', 'M', 'W', 'A', 'L', 1, 0, 0}
+
+const (
+	headerLen = 8
+	recHdrLen = 8 // crc u32 + payload length u32
+	// maxPayload bounds a record's declared payload length. Large enough
+	// for any supported vector (dimension is bounded far below this by the
+	// page-size constraint), small enough that a torn or hostile length
+	// field cannot force a huge allocation.
+	maxPayload = 1 << 24
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Type tags a journal record.
+type Type uint8
+
+const (
+	TypeInsert Type = 1
+	TypeDelete Type = 2
+)
+
+// Record is one logged update. Vec is nil for deletes. The id is the one
+// the update was acknowledged with, so replay can tell records already
+// covered by a persisted delta (id below the watermark) from records that
+// must be re-applied.
+type Record struct {
+	Type Type
+	ID   uint32
+	Vec  []float32
+}
+
+// SyncMode selects the append durability policy.
+type SyncMode int
+
+const (
+	// SyncAlways fsyncs the log after every appended record.
+	SyncAlways SyncMode = iota
+	// SyncNever buffers appends in memory and leaves writeback to the OS.
+	SyncNever
+)
+
+// Journal is an open update journal positioned for appending.
+//
+// Synchronization contract: the mutating methods — Append, Reset, Close —
+// require external serialization; core.Index already orders them under its
+// index lock (appends hold it exclusive, Reset runs inside Save, and the
+// public lifecycle lock serializes Saves), and adding a journal mutex
+// would tax every insert acknowledgement for ordering the caller has
+// already paid for. Len alone is safe concurrently with anything.
+//
+// In SyncNever mode Append neither encodes nor writes: it retains the
+// Record (the caller guarantees Vec is immutable — core hands the journal
+// its private delta clone, so the refs add no meaningful memory on top of
+// the delta itself) and the encode+checksum+write happen batched at Close.
+// That IS the SyncNever durability contract — acknowledged updates survive
+// a clean shutdown, a crash recovers the last Save — and it makes the
+// acknowledgement cost a slice append, with the deferred work landing in
+// the one place SyncNever is obliged to do I/O. A Reset (Save persisted
+// the delta) discards the pending records without ever writing them.
+type Journal struct {
+	fsys fsutil.FS
+	path string
+	mode SyncMode
+	f    fsutil.File
+	size int64 // bytes durably part of the log (header + whole records written)
+
+	count atomic.Int64 // records in the journal, pending ones included
+
+	pending []Record // SyncNever: acknowledged records awaiting encode+write
+	enc     []byte   // reusable encode scratch
+	bad     error    // first unhealed append/flush failure; poisons the journal
+}
+
+// Create starts a fresh, empty journal at path, truncating any previous
+// file there (Build writes into directories that may hold a stale log).
+// Under SyncAlways the header and the directory entry are made durable
+// before Create returns.
+func Create(fsys fsutil.FS, path string, mode SyncMode) (*Journal, error) {
+	f, err := fsys.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("wal: create: %w", err)
+	}
+	if _, err := f.Write(magic); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: write header: %w", err)
+	}
+	if mode == SyncAlways {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: sync header: %w", err)
+		}
+		if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+	}
+	return &Journal{fsys: fsys, path: path, mode: mode, f: f, size: headerLen}, nil
+}
+
+// Open loads the journal at path, decodes its records, clean-truncates any
+// torn tail, and returns the journal positioned for append together with
+// the decoded records and the number of torn bytes removed. A missing file
+// (or one whose header write was itself torn) is treated as an empty
+// journal and recreated. On-disk states no crash can produce surface as
+// errs.ErrCorruptIndex.
+func Open(fsys fsutil.FS, path string, mode SyncMode) (*Journal, []Record, int64, error) {
+	b, err := fsys.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			j, cerr := Create(fsys, path, mode)
+			return j, nil, 0, cerr
+		}
+		return nil, nil, 0, fmt.Errorf("wal: read: %w", err)
+	}
+	recs, validLen, err := Decode(b)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if validLen < headerLen {
+		// Torn header: no record was ever acknowledged from this file.
+		// Start over.
+		j, cerr := Create(fsys, path, mode)
+		return j, nil, int64(len(b)) - validLen, cerr
+	}
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("wal: open append: %w", err)
+	}
+	torn := int64(len(b)) - validLen
+	if torn > 0 {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, nil, 0, fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+		if mode == SyncAlways {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return nil, nil, 0, fmt.Errorf("wal: sync truncated tail: %w", err)
+			}
+		}
+	}
+	j := &Journal{fsys: fsys, path: path, mode: mode, f: f, size: validLen}
+	j.count.Store(int64(len(recs)))
+	return j, recs, torn, nil
+}
+
+// Decode parses journal bytes and returns the decoded records plus the
+// length of the valid prefix (validLen ≤ len(b); the caller truncates the
+// rest). A non-nil error is always errs.ErrCorruptIndex-classified and
+// means the content cannot be a crash artifact; records decoded before the
+// corruption are returned alongside it. Decode never panics on arbitrary
+// input — pinned by FuzzDecode.
+func Decode(b []byte) ([]Record, int64, error) {
+	n := len(b)
+	if n < headerLen {
+		// A prefix of the magic is a torn header; anything else is not ours.
+		for i := range b {
+			if b[i] != magic[i] {
+				return nil, 0, fmt.Errorf("wal: bad header: %w", errs.ErrCorruptIndex)
+			}
+		}
+		return nil, 0, nil
+	}
+	for i := range magic {
+		if b[i] != magic[i] {
+			return nil, 0, fmt.Errorf("wal: bad magic: %w", errs.ErrCorruptIndex)
+		}
+	}
+	var recs []Record
+	off := int64(headerLen)
+	for off < int64(n) {
+		if off+recHdrLen > int64(n) {
+			break // torn record header
+		}
+		crc := binary.LittleEndian.Uint32(b[off:])
+		plen := int64(binary.LittleEndian.Uint32(b[off+4:]))
+		if plen < 5 || plen > maxPayload || off+recHdrLen+plen > int64(n) {
+			break // torn length field or torn payload
+		}
+		payload := b[off+recHdrLen : off+recHdrLen+plen]
+		if crc32.Checksum(payload, crcTable) != crc {
+			break // torn payload
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return recs, off, err
+		}
+		recs = append(recs, rec)
+		off += recHdrLen + plen
+	}
+	return recs, off, nil
+}
+
+// decodePayload decodes one checksum-verified payload. Anything malformed
+// here survived the CRC, so it is corruption (or a version we do not
+// speak), never a tear.
+func decodePayload(p []byte) (Record, error) {
+	rec := Record{Type: Type(p[0]), ID: binary.LittleEndian.Uint32(p[1:5])}
+	body := p[5:]
+	switch rec.Type {
+	case TypeInsert:
+		if len(body) == 0 || len(body)%4 != 0 {
+			return Record{}, fmt.Errorf("wal: insert record with %d payload bytes: %w", len(p), errs.ErrCorruptIndex)
+		}
+		rec.Vec = make([]float32, len(body)/4)
+		for i := range rec.Vec {
+			rec.Vec[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[i*4:]))
+		}
+	case TypeDelete:
+		if len(body) != 0 {
+			return Record{}, fmt.Errorf("wal: delete record with %d payload bytes: %w", len(p), errs.ErrCorruptIndex)
+		}
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record type %d: %w", rec.Type, errs.ErrCorruptIndex)
+	}
+	return rec, nil
+}
+
+// appendRecord encodes r onto dst. The vector bytes go through the bulk
+// little-endian kernel — the insert acknowledgement path runs this per
+// update, so the encode must stay near memcpy cost.
+func appendRecord(dst []byte, r Record) []byte {
+	plen := 5
+	if r.Type == TypeInsert {
+		plen += 4 * len(r.Vec)
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0)
+	dst = append(dst, byte(r.Type))
+	dst = binary.LittleEndian.AppendUint32(dst, r.ID)
+	if r.Type == TypeInsert {
+		dst = vec.AppendF32LE(dst, r.Vec)
+	}
+	payload := dst[start+recHdrLen:]
+	binary.LittleEndian.PutUint32(dst[start:], crc32.Checksum(payload, crcTable))
+	binary.LittleEndian.PutUint32(dst[start+4:], uint32(plen))
+	return dst
+}
+
+// Append logs one record under the journal's sync policy and returns once
+// the record is acknowledged per that policy: written-and-fsynced under
+// SyncAlways, retained for the next batched flush under SyncNever (r.Vec
+// must stay immutable until then — see the type comment). On a write or
+// sync failure the journal heals itself by truncating back to the last
+// good size; if even that fails, the journal is poisoned — every later
+// Append returns the original error — until a Reset succeeds, so a
+// half-written record can never be followed by a record that would replay
+// wrongly.
+func (j *Journal) Append(r Record) error {
+	if j.bad != nil {
+		return fmt.Errorf("wal: journal poisoned by earlier failure: %w", j.bad)
+	}
+	if j.mode == SyncNever {
+		j.pending = append(j.pending, r)
+		j.count.Add(1)
+		return nil
+	}
+	j.enc = appendRecord(j.enc[:0], r)
+	if err := j.write(j.enc, "append"); err != nil {
+		return err
+	}
+	j.count.Add(1)
+	return nil
+}
+
+// write puts enc at the end of the log (fsyncing under SyncAlways),
+// healing or poisoning on failure; on success j.size advances.
+func (j *Journal) write(enc []byte, what string) error {
+	n, err := j.f.Write(enc)
+	if err == nil && n < len(enc) {
+		err = fmt.Errorf("wal: short write (%d of %d bytes)", n, len(enc))
+	}
+	if err == nil && j.mode == SyncAlways {
+		err = j.f.Sync()
+	}
+	if err == nil {
+		j.size += int64(len(enc))
+		return nil
+	}
+	// Heal: cut back to the last record boundary. The failed bytes may or
+	// may not be on disk; either way nothing after j.size is acknowledged.
+	if terr := j.f.Truncate(j.size); terr != nil {
+		j.bad = err
+	}
+	return fmt.Errorf("wal: %s: %w", what, err)
+}
+
+// flush encodes and writes the pending SyncNever records. On failure they
+// are kept (still acknowledged in memory) and the journal is poisoned
+// until the next successful Reset discards them as persisted-elsewhere.
+func (j *Journal) flush() error {
+	if len(j.pending) == 0 {
+		return nil
+	}
+	j.enc = j.enc[:0]
+	for _, r := range j.pending {
+		j.enc = appendRecord(j.enc, r)
+	}
+	if err := j.write(j.enc, "flush"); err != nil {
+		if j.bad == nil {
+			j.bad = err
+		}
+		return err
+	}
+	j.pending = j.pending[:0]
+	return nil
+}
+
+// Len returns the number of records currently in the journal (replayed at
+// Open plus appended since, minus Resets; pending records included). Len
+// is safe to call concurrently with any other method.
+func (j *Journal) Len() int { return int(j.count.Load()) }
+
+// Poison puts the journal in the failed state: every Append returns err
+// until a Reset succeeds. Callers use it when the journal's backing
+// guarantee has been lost out-of-band — e.g. the generation pointer that
+// makes this journal the recovered one could not be fsynced — so that no
+// update can be acknowledged against a durability promise that cannot be
+// kept.
+func (j *Journal) Poison(err error) {
+	if j.bad == nil {
+		j.bad = err
+	}
+}
+
+// Reset empties the journal — called once the updates it logs are durable
+// in the persisted metadata. A successful Reset also clears a poisoned
+// state: whatever half-written bytes poisoned it are gone with the
+// truncate, and pending records are covered by the meta that prompted the
+// Reset. A crash between the metadata fsync and Reset is safe: replay is
+// idempotent against the persisted delta (ids below the watermark are
+// skipped, deletes re-apply).
+func (j *Journal) Reset() error {
+	j.pending = j.pending[:0]
+	if err := j.f.Truncate(headerLen); err != nil {
+		if j.bad == nil {
+			j.bad = err
+		}
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if j.mode == SyncAlways {
+		if err := j.f.Sync(); err != nil {
+			if j.bad == nil {
+				j.bad = err
+			}
+			return fmt.Errorf("wal: reset sync: %w", err)
+		}
+	}
+	j.size = headerLen
+	j.count.Store(0)
+	j.bad = nil
+	return nil
+}
+
+// Close flushes pending records (best effort — the flush error is
+// returned, but the file is closed regardless) and releases the file. It
+// deliberately does NOT truncate: the journal must survive Close so a
+// crash-after-close (or a process that never Saves) still replays.
+func (j *Journal) Close() error {
+	err := j.flush()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,351 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"promips/internal/errs"
+	"promips/internal/fsutil"
+)
+
+func mkRecords() []Record {
+	return []Record{
+		{Type: TypeInsert, ID: 100, Vec: []float32{1, -2.5, 3.25}},
+		{Type: TypeDelete, ID: 7},
+		{Type: TypeInsert, ID: 101, Vec: []float32{0, 0.5, -0.125}},
+		{Type: TypeDelete, ID: 100},
+	}
+}
+
+func recordsEqual(t *testing.T, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("record count = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].Type != want[i].Type || got[i].ID != want[i].ID {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+		if len(got[i].Vec) != len(want[i].Vec) {
+			t.Fatalf("record %d vec len = %d, want %d", i, len(got[i].Vec), len(want[i].Vec))
+		}
+		for k := range got[i].Vec {
+			if got[i].Vec[k] != want[i].Vec[k] {
+				t.Fatalf("record %d vec[%d] = %v, want %v", i, k, got[i].Vec[k], want[i].Vec[k])
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, mode := range []SyncMode{SyncAlways, SyncNever} {
+		path := filepath.Join(t.TempDir(), "wal.log")
+		j, err := Create(fsutil.OS, path, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mkRecords()
+		for _, r := range want {
+			if err := j.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if j.Len() != len(want) {
+			t.Fatalf("Len = %d", j.Len())
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j2, got, torn, err := Open(fsutil.OS, path, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer j2.Close()
+		if torn != 0 {
+			t.Fatalf("torn = %d", torn)
+		}
+		recordsEqual(t, got, want)
+		if j2.Len() != len(want) {
+			t.Fatalf("reopened Len = %d", j2.Len())
+		}
+	}
+}
+
+func TestOpenMissingCreates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j, recs, torn, err := Open(fsutil.OS, path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs) != 0 || torn != 0 {
+		t.Fatalf("recs=%d torn=%d", len(recs), torn)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("journal file not created: %v", err)
+	}
+}
+
+// TestTornTailTruncated chops the file mid-record at every possible byte
+// boundary: reopen must keep exactly the records whose bytes fully
+// survived and truncate the rest, never erroring.
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j, err := Create(fsutil.OS, path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mkRecords()
+	var sizes []int64 // file size after each record
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+		st, _ := os.Stat(path)
+		sizes = append(sizes, st.Size())
+	}
+	j.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		p := filepath.Join(dir, "wal.log")
+		if err := os.WriteFile(p, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j2, got, torn, err := Open(fsutil.OS, p, SyncAlways)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		wantN := 0
+		for _, s := range sizes {
+			if int64(cut) >= s {
+				wantN++
+			}
+		}
+		if len(got) != wantN {
+			t.Fatalf("cut=%d: got %d records, want %d", cut, len(got), wantN)
+		}
+		recordsEqual(t, got, want[:wantN])
+		if int64(cut) > sizesOr(sizes, wantN) && torn == 0 {
+			t.Fatalf("cut=%d: expected torn bytes reported", cut)
+		}
+		// The torn tail must be gone from disk.
+		st, _ := os.Stat(p)
+		if wantN > 0 && st.Size() != sizes[wantN-1] {
+			t.Fatalf("cut=%d: file size %d after reopen, want %d", cut, st.Size(), sizes[wantN-1])
+		}
+		// And the journal must accept appends cleanly after truncation.
+		if err := j2.Append(Record{Type: TypeDelete, ID: 9}); err != nil {
+			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
+		}
+		j2.Close()
+		_, got2, _, err := Open(fsutil.OS, p, SyncAlways)
+		if err != nil {
+			t.Fatalf("cut=%d reopen: %v", cut, err)
+		}
+		if len(got2) != wantN+1 {
+			t.Fatalf("cut=%d: %d records after re-append, want %d", cut, len(got2), wantN+1)
+		}
+	}
+}
+
+func sizesOr(sizes []int64, n int) int64 {
+	if n == 0 {
+		return int64(headerLen)
+	}
+	return sizes[n-1]
+}
+
+func TestBadMagicIsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("NOTAWAL0records"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := Open(fsutil.OS, path, SyncAlways)
+	if !errors.Is(err, errs.ErrCorruptIndex) {
+		t.Fatalf("err = %v, want ErrCorruptIndex", err)
+	}
+}
+
+func TestValidCRCBadPayloadIsCorrupt(t *testing.T) {
+	// A record with a correct checksum over a malformed payload (unknown
+	// type) cannot be a crash artifact: Decode must say corrupt.
+	b := append([]byte{}, magic...)
+	b = appendRecord(b, Record{Type: Type(9), ID: 1})
+	_, _, err := Decode(b)
+	if !errors.Is(err, errs.ErrCorruptIndex) {
+		t.Fatalf("err = %v, want ErrCorruptIndex", err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j, err := Create(fsutil.OS, path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range mkRecords() {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 0 {
+		t.Fatalf("Len after reset = %d", j.Len())
+	}
+	if err := j.Append(Record{Type: TypeDelete, ID: 3}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, recs, torn, err := Open(fsutil.OS, path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 || len(recs) != 1 || recs[0].ID != 3 {
+		t.Fatalf("after reset+append: torn=%d recs=%+v", torn, recs)
+	}
+}
+
+// TestSyncPolicy pins the policy's observable contract through the fault
+// injector's op counters: SyncAlways issues one fsync per acknowledged
+// record, SyncNever issues none (and no write either, while buffered).
+func TestSyncPolicy(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &fsutil.FaultFS{}
+	j, err := Create(ffs, filepath.Join(dir, "wal.log"), SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ffs.Count(fsutil.OpSync)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(Record{Type: TypeDelete, ID: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ffs.Count(fsutil.OpSync) - base; got != 3 {
+		t.Fatalf("SyncAlways issued %d fsyncs for 3 appends", got)
+	}
+	j.Close()
+
+	ffs2 := &fsutil.FaultFS{}
+	j2, err := Create(ffs2, filepath.Join(dir, "wal2.log"), SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0, s0 := ffs2.Count(fsutil.OpWrite), ffs2.Count(fsutil.OpSync)
+	for i := 0; i < 3; i++ {
+		if err := j2.Append(Record{Type: TypeDelete, ID: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w := ffs2.Count(fsutil.OpWrite) - w0; w != 0 {
+		t.Fatalf("SyncNever wrote %d times while buffering", w)
+	}
+	if s := ffs2.Count(fsutil.OpSync) - s0; s != 0 {
+		t.Fatalf("SyncNever issued %d fsyncs", s)
+	}
+	// Close flushes the buffer so a clean shutdown keeps the records.
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, _, err := Open(fsutil.OS, filepath.Join(dir, "wal2.log"), SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records after buffered close = %d", len(recs))
+	}
+}
+
+// TestAppendFailureHealsOrPoisons: a torn append must either be cut back
+// out of the file (heal) or poison the journal so no later record can
+// land after garbage.
+func TestAppendFailureHealsOrPoisons(t *testing.T) {
+	dir := t.TempDir()
+	// Create = create+write+sync+syncdir (ops 1-4). Append = write+sync.
+	// Fail the first append's write (op 5), crash mode off so the healing
+	// truncate (op 6) succeeds.
+	ffs := &fsutil.FaultFS{FailAt: 5}
+	j, err := Create(ffs, filepath.Join(dir, "wal.log"), SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Record{Type: TypeInsert, ID: 0, Vec: []float32{1, 2}}); !errors.Is(err, fsutil.ErrInjected) {
+		t.Fatalf("append err = %v", err)
+	}
+	// Healed: the next append must succeed and the log must hold exactly it.
+	if err := j.Append(Record{Type: TypeDelete, ID: 5}); err != nil {
+		t.Fatalf("append after heal: %v", err)
+	}
+	j.Close()
+	_, recs, torn, err := Open(fsutil.OS, filepath.Join(dir, "wal.log"), SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 || len(recs) != 1 || recs[0].Type != TypeDelete || recs[0].ID != 5 {
+		t.Fatalf("after heal: torn=%d recs=%+v", torn, recs)
+	}
+
+	// Now fail the write AND the healing truncate: the journal must poison.
+	ffs2 := &fsutil.FaultFS{FailAt: 5, Crash: true}
+	j2, err := Create(ffs2, filepath.Join(dir, "wal2.log"), SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(Record{Type: TypeDelete, ID: 1}); err == nil {
+		t.Fatal("append should fail")
+	}
+	if err := j2.Append(Record{Type: TypeDelete, ID: 2}); err == nil {
+		t.Fatal("poisoned journal accepted a record")
+	}
+}
+
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: a real journal, its truncations, and corruptions.
+	b := append([]byte{}, magic...)
+	for _, r := range mkRecords() {
+		b = appendRecord(b, r)
+	}
+	f.Add(b)
+	f.Add(b[:len(b)-3])
+	f.Add(b[:headerLen])
+	f.Add(b[:3])
+	f.Add([]byte{})
+	bad := append([]byte{}, b...)
+	bad[headerLen+10] ^= 0xff
+	f.Add(bad)
+	f.Add(append([]byte{}, "garbage that is definitely not a journal"...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, validLen, err := Decode(data)
+		if validLen < 0 || validLen > int64(len(data)) {
+			t.Fatalf("validLen %d out of range [0,%d]", validLen, len(data))
+		}
+		if err != nil && !errors.Is(err, errs.ErrCorruptIndex) {
+			t.Fatalf("non-taxonomy error: %v", err)
+		}
+		// The valid prefix must re-decode to the same records, cleanly.
+		recs2, validLen2, err2 := Decode(data[:validLen])
+		if err != nil {
+			// Corruption sits right at validLen; the prefix before it is clean.
+			if err2 != nil && errors.Is(err2, errs.ErrCorruptIndex) && validLen2 == validLen {
+				// The corrupt record's bytes were excluded, so the prefix
+				// must now decode clean; reaching here means it did not.
+				t.Fatalf("prefix still corrupt after exclusion: %v", err2)
+			}
+		} else if err2 != nil {
+			t.Fatalf("valid prefix failed to re-decode: %v", err2)
+		}
+		if len(recs2) != len(recs) || validLen2 != validLen {
+			t.Fatalf("re-decode mismatch: %d/%d records, %d/%d bytes", len(recs2), len(recs), validLen2, validLen)
+		}
+	})
+}

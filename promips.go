@@ -39,6 +39,20 @@
 // examples/ directory for complete programs and DESIGN.md for the system
 // layout, the generation-directory swap protocol and the error taxonomy.
 //
+// # Durability
+//
+// Acknowledged updates survive crashes, not just Saves: every Insert and
+// Delete appends a checksummed record to a write-ahead journal (wal.log in
+// the active generation) before it returns, under the fsync policy of
+// Options.Fsync — FsyncAlways (default: each acknowledgement is fsynced,
+// surviving any crash), FsyncNever (buffered; surviving a clean Close), or
+// FsyncDisabled (no journal; the pre-Save state is what a crash recovers).
+// Open replays the journal on top of the last Save and reports the result
+// via Recovery; Save and Compact empty the journal once the delta is
+// durable in the metadata. Crash consistency at every write/rename/fsync
+// boundary is exercised by a deterministic fault-injection matrix; see
+// DESIGN.md, "Durability & recovery".
+//
 // # Per-query options
 //
 // Search, SearchIncremental and SearchBatch accept functional options:
@@ -95,7 +109,36 @@ type Options struct {
 
 	// Seed fixes all randomness (projections, clustering).
 	Seed int64
+
+	// Fsync selects the write-ahead journal's durability policy for
+	// Insert/Delete acknowledgements (see FsyncPolicy; the zero value is
+	// FsyncAlways). The policy is persisted with the index, so Open keeps
+	// the one the index was built with.
+	Fsync FsyncPolicy
+
+	// fs is the filesystem seam persistence writes through; nil means the
+	// real filesystem. Unexported: it exists for the deterministic
+	// crash-injection tests, which live in this package.
+	fs fsutil.FS
 }
+
+// FsyncPolicy selects how the update journal acknowledges Insert/Delete;
+// see the Durability section of the package documentation.
+type FsyncPolicy = core.FsyncPolicy
+
+const (
+	// FsyncAlways (the default) fsyncs the journal before every update is
+	// acknowledged: an acknowledged update survives any crash.
+	FsyncAlways = core.FsyncAlways
+	// FsyncNever journals updates without fsync (buffered in memory,
+	// written out on Close): acknowledged updates survive a clean
+	// shutdown, and a crash may lose the unwritten tail — but never
+	// corrupts the index.
+	FsyncNever = core.FsyncNever
+	// FsyncDisabled turns the journal off entirely: updates are durable
+	// only from the next successful Save.
+	FsyncDisabled = core.FsyncDisabled
+)
 
 // Result is one returned point: its id (position in the Build slice) and
 // exact inner product with the query.
@@ -160,13 +203,17 @@ const currentFile = "CURRENT"
 type Index struct {
 	inner *core.Index
 
+	// fs is the filesystem seam the lifecycle writes (CURRENT, via
+	// writeCurrent) go through. Assigned once at Build/Open.
+	fs fsutil.FS
+
 	// mu serializes the lifecycle operations (Save, Compact, Close) and
 	// guards the fields below; queries and updates go straight to inner,
 	// whose own lock orders them against Compact's swap.
 	mu         sync.Mutex
 	dir        string
 	gen        string // active generation subdirectory; "" = dir itself
-	durableGen string // the generation CURRENT names on disk (trails gen if a Compact failed to persist)
+	durableGen string // the generation CURRENT names on disk (trails gen only after Compact's committed-corner fsync failure)
 	ownsDir    bool   // Build created dir as a temp directory
 	saved      bool   // the caller persisted the index with Save
 }
@@ -183,33 +230,46 @@ func Build(data [][]float32, opts Options) (*Index, error) {
 		}
 		dir, ownsDir = d, true
 	}
+	fsys := opts.fs
+	if fsys == nil {
+		fsys = fsutil.OS
+	}
 	inner, err := core.Build(data, dir, core.Options{
 		C: opts.C, P: opts.P, M: opts.M,
 		Kp: opts.Kp, Nkey: opts.Nkey, Ksp: opts.Ksp, Epsilon: opts.Epsilon,
 		PageSize: opts.PageSize, PoolSize: opts.PoolSize, Seed: opts.Seed,
-	})
+		Fsync: opts.Fsync,
+	}.WithFS(fsys))
 	if err != nil {
 		if ownsDir {
 			os.RemoveAll(dir)
 		}
 		return nil, err
 	}
-	return &Index{inner: inner, dir: dir, ownsDir: ownsDir}, nil
+	return &Index{inner: inner, fs: fsys, dir: dir, ownsDir: ownsDir}, nil
 }
 
-// Open loads an index previously persisted to dir with Save. The returned
-// index serves queries immediately and supports the full lifecycle —
-// updates, Save, Compact. State that claims to be an index but cannot be
-// loaded — an undecodable metadata or page file, an invalid CURRENT, or a
-// CURRENT naming a generation whose files are gone — surfaces as
-// ErrCorruptIndex; a directory that simply was never saved surfaces the
-// underlying fs error.
-func Open(dir string) (*Index, error) {
-	gen, err := readCurrent(dir)
+// Open loads an index previously persisted to dir with Save, replaying
+// the write-ahead journal on top of the persisted state: updates that were
+// acknowledged under the index's fsync policy but not yet folded into a
+// Save are recovered (Recovery reports how many). The returned index
+// serves queries immediately and supports the full lifecycle — updates,
+// Save, Compact. State that claims to be an index but cannot be loaded —
+// an undecodable metadata or page file, an invalid CURRENT, a journal
+// whose content no crash could have produced, or a CURRENT naming a
+// generation whose files are gone — surfaces as ErrCorruptIndex; a
+// directory that simply was never saved surfaces the underlying fs error.
+func Open(dir string) (*Index, error) { return openFS(dir, fsutil.OS) }
+
+// openFS is Open through an explicit filesystem seam. Recovery writes
+// (truncating a torn journal tail) go through it, so the crash harness can
+// crash recovery itself.
+func openFS(dir string, fsys fsutil.FS) (*Index, error) {
+	gen, err := readCurrent(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	inner, err := core.Open(filepath.Join(dir, gen))
+	inner, err := core.OpenFS(filepath.Join(dir, gen), fsys)
 	if err != nil {
 		if gen != "" && errors.Is(err, fs.ErrNotExist) {
 			return nil, fmt.Errorf("promips: %w: %s names generation %q but its files are missing: %v",
@@ -218,7 +278,7 @@ func Open(dir string) (*Index, error) {
 		return nil, err
 	}
 	sweepStaleGenerations(dir, gen)
-	return &Index{inner: inner, dir: dir, gen: gen, durableGen: gen, saved: true}, nil
+	return &Index{inner: inner, fs: fsys, dir: dir, gen: gen, durableGen: gen, saved: true}, nil
 }
 
 // rootGenerationFiles are the files one generation consists of, as laid
@@ -226,7 +286,7 @@ func Open(dir string) (*Index, error) {
 // sweepStaleGenerations both rely on this list to retire a root-layout
 // generation without touching CURRENT or the gen-* subdirectories beside
 // it.
-var rootGenerationFiles = []string{"idist.data", "idist.btree", "idist.meta", "orig.data", "promips.meta"}
+var rootGenerationFiles = []string{"idist.data", "idist.btree", "idist.meta", "orig.data", "promips.meta", "wal.log"}
 
 // sweepStaleGenerations removes (best-effort) every generation other than
 // the one CURRENT durably names: a crash between Compact's CURRENT flip
@@ -294,34 +354,78 @@ func (ix *Index) Exact(q []float32, k int) ([]Result, error) {
 // live in an exactly-evaluated in-memory delta until Compact; searches see
 // them immediately and the (c, p) guarantee is preserved. This is the
 // frequently-updated workload (§I of the paper) the lightweight index is
-// designed for. Inserting a vector of the wrong dimensionality returns
-// ErrDimMismatch.
+// designed for.
+//
+// Durability: the insert is appended to the write-ahead journal — under
+// the index's Options.Fsync policy — before it is acknowledged, so a
+// successful return means the point survives a crash (FsyncAlways) or a
+// clean Close (FsyncNever) even without a Save. Inserting a vector of the
+// wrong dimensionality returns ErrDimMismatch; inserting into a closed
+// index returns ErrClosed; a journal write failure returns the I/O error
+// and the insert is not applied.
 func (ix *Index) Insert(v []float32) (uint32, error) { return ix.inner.Insert(v) }
 
 // Delete tombstones the point with the given id and reports whether it was
-// live. Deleted points stop appearing in results immediately.
+// live. Deleted points stop appearing in results immediately. The boolean
+// conflates "id absent" with "index closed" and "journal failed" — use
+// DeleteChecked to tell them apart.
 func (ix *Index) Delete(id uint32) bool { return ix.inner.Delete(id) }
+
+// DeleteChecked tombstones like Delete but reports failure modes as typed
+// errors: (false, ErrClosed) on a closed index, (false, err) when the
+// tombstone could not be journaled (the delete is then not applied), and
+// (false, nil) only when the id was genuinely absent or already deleted.
+// Deletes are journaled and replayed exactly like inserts.
+func (ix *Index) DeleteChecked(id uint32) (bool, error) { return ix.inner.DeleteChecked(id) }
+
+// JournalLen returns the number of acknowledged updates sitting in the
+// write-ahead journal — those a crash-recovery Open would replay. Save and
+// Compact fold them into the persisted metadata and empty the journal; 0
+// also when the journal is disabled (FsyncDisabled).
+func (ix *Index) JournalLen() int { return ix.inner.JournalLen() }
+
+// RecoveryStats reports what the journal replay at Open recovered; see
+// core.RecoveryStats.
+type RecoveryStats = core.RecoveryStats
+
+// Recovery describes what Open's journal replay did: how many acknowledged
+// updates were recovered on top of the last Save, how many journal records
+// the metadata already covered, and whether a torn record tail was cleanly
+// truncated. Zero for a freshly built index.
+func (ix *Index) Recovery() RecoveryStats { return ix.inner.Recovery() }
 
 // Save persists the index's full query-visible state — metadata, the
 // insert delta, tombstones — into its directory, next to the page files,
 // and marks the directory as the caller's: Close no longer removes it even
 // when Build created it as a temporary. A saved directory reopens with
-// Open.
+// Open. Once the metadata is durable, the write-ahead journal is emptied:
+// its updates are covered by the meta from here on (a crash between the
+// two is safe — replay is idempotent).
 func (ix *Index) Save() error {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	if err := ix.inner.Save(filepath.Join(ix.dir, ix.gen)); err != nil {
-		return err
-	}
-	if err := writeCurrent(ix.dir, ix.gen); err != nil {
-		return err
-	}
-	// Save can also complete a handover a failed Compact left behind: once
-	// CURRENT names ix.gen, any older generation it superseded is garbage.
 	if ix.durableGen != ix.gen {
+		// Complete the handover a committed-corner Compact left behind —
+		// BEFORE inner.Save, whose journal Reset clears the poison that
+		// was guarding acknowledgements: the pointer must be durable
+		// first, or a crash would still recover the old generation
+		// without the post-compact updates. ix.gen's files are complete
+		// on disk (Compact persisted them before attempting the flip), so
+		// flipping here is safe, and once it sticks the superseded
+		// generation is garbage.
+		if err := writeCurrent(ix.fs, ix.dir, ix.gen); err != nil {
+			return err
+		}
 		ix.removeGeneration(ix.durableGen)
 		ix.durableGen = ix.gen
 	}
+	if err := ix.inner.Save(filepath.Join(ix.dir, ix.gen)); err != nil {
+		return err
+	}
+	if err := writeCurrent(ix.fs, ix.dir, ix.gen); err != nil {
+		return err
+	}
+	ix.durableGen = ix.gen
 	ix.saved = true
 	return nil
 }
@@ -329,59 +433,71 @@ func (ix *Index) Save() error {
 // Compact folds the insert delta into the disk-resident structures and
 // drops tombstoned points. It rebuilds into a fresh generation
 // subdirectory (gen-000001, gen-000002, …) while searches keep answering
-// against the old generation, swaps the new generation in atomically —
-// updates that land mid-rebuild are folded in during the swap — and then
-// retires the old generation's files. Ids are reassigned densely
-// (0..Len-1); remap[newID] gives the previous id so callers can relocate
-// external references.
+// against the old generation, then — in one exclusive section — folds in
+// the updates that landed mid-rebuild, persists the new generation's
+// metadata, atomically flips the CURRENT pointer, swaps the new
+// generation in, and retires the old generation's files. Ids are
+// reassigned densely (0..Len-1); remap[newID] gives the previous id so
+// callers can relocate external references.
 //
-// The swap is made durable before the old generation is removed: the new
-// generation's metadata is written first, then the CURRENT pointer is
-// atomically renamed over, so a crash at any step leaves a directory Open
-// can load. Cancelling ctx before the swap leaves the index untouched.
+// The handover is atomic with respect to both crashes and updates: the
+// new generation's files are durable before CURRENT names them, and no
+// update can be acknowledged into the new generation's journal before the
+// flip — so recovery at any instant loads a generation together with the
+// journal holding its acknowledged updates, and the write-ahead guarantee
+// holds across compaction. Cancelling ctx before the swap leaves the
+// index untouched.
 //
-// Error contract: when the rebuild itself fails (cancellation included),
-// the index is untouched and the returned remap is nil. When the rebuild
-// succeeded but persisting it did not, Compact returns the VALID remap
-// together with a non-nil error: the in-memory index already serves the
-// remapped ids, so the caller must apply the remap despite the error, and
-// a later Save (or the next Compact) completes the durable handover — the
-// last durably written generation stays on disk and loadable until then.
+// Error contract: on error the index is untouched — still serving and
+// journaling the old generation — and the returned remap is nil, with one
+// narrow exception: if the pointer flip became visible but could not be
+// made durable (a directory fsync failed after the rename — a drive-level
+// failure), the swap completes and the VALID remap is returned with the
+// error. In that corner, FsyncAlways updates fail until a Save completes
+// the handover — an acknowledgement whose crash durability the pointer
+// cannot back yet is refused, not faked — so the caller's recovery is:
+// apply the remap, Save, resume updating.
 func (ix *Index) Compact(ctx context.Context) ([]uint32, error) {
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	nextGen := fmt.Sprintf("gen-%06d", genSeq(ix.gen)+1)
 	genDir := filepath.Join(ix.dir, nextGen)
-	remap, err := ix.inner.Compact(ctx, genDir)
-	if err != nil {
-		// Core's error contract: the swap did not happen, nothing
-		// references genDir, and the index still serves the old
-		// generation — so the partial build is removable.
-		os.RemoveAll(genDir)
-		return nil, err
+	remap, err := ix.inner.Compact(ctx, genDir, func(next *core.Index) (bool, error) {
+		// next.Save writes both meta files via temp+rename and fsyncs
+		// genDir, so every dirent of the new generation is durable before
+		// CURRENT starts naming it — a crash cannot persist the pointer
+		// flip while losing the files it points at.
+		if err := next.Save(genDir); err != nil {
+			return false, fmt.Errorf("promips: compact: persist new generation: %w", err)
+		}
+		committed, err := writeCurrentCommitted(ix.fs, ix.dir, nextGen)
+		if err != nil {
+			err = fmt.Errorf("promips: compact: %w", err)
+		}
+		return committed, err
+	})
+	if remap == nil {
+		if err != nil {
+			// Nothing happened: the index still serves the old generation
+			// and nothing — CURRENT included — references genDir, so the
+			// partial build is removable.
+			os.RemoveAll(genDir)
+			return nil, err
+		}
+		return nil, fmt.Errorf("promips: compact: nil remap without error")
 	}
-	// The in-memory swap happened: from here on every Save must target the
-	// new generation, so advance the pointer before attempting the
-	// persistence steps. If either fails, the durable generation's files
-	// stay on disk and CURRENT keeps naming them — Open still loads the
-	// last durable state — while this process serves the new generation
-	// and a later Save can complete the handover.
+	// The swap happened and CURRENT names nextGen (durably, unless err
+	// reports the fsync corner). Retire every generation it supersedes —
+	// the one the swap replaced AND, if an earlier committed-corner error
+	// left durableGen trailing, the generation it still named.
 	oldGen := ix.gen
 	ix.gen = nextGen
-	// core.Save writes both meta files via temp+rename and fsyncs genDir,
-	// so every dirent of the new generation is durable before CURRENT
-	// starts naming it — a crash cannot persist the pointer flip while
-	// losing the files it points at.
-	if err := ix.inner.Save(genDir); err != nil {
-		return remap, fmt.Errorf("promips: compact: persist new generation: %w", err)
+	if err != nil {
+		// Committed corner: keep the superseded files until a Save
+		// confirms durability (it re-runs writeCurrent's fsync and then
+		// retires the trailing generation).
+		return remap, err
 	}
-	if err := writeCurrent(ix.dir, nextGen); err != nil {
-		return remap, fmt.Errorf("promips: compact: %w", err)
-	}
-	// nextGen is durable: retire every generation it supersedes — the one
-	// the swap replaced AND, if an earlier Compact swapped in memory but
-	// failed to persist, the older generation CURRENT named until now
-	// (otherwise its files would leak, referenced by nothing).
 	retired := map[string]bool{oldGen: true, ix.durableGen: true}
 	delete(retired, nextGen)
 	for gen := range retired {
@@ -444,6 +560,7 @@ func (ix *Index) Options() Options {
 		C:   o.C, P: o.P, M: o.M,
 		Kp: o.Kp, Nkey: o.Nkey, Ksp: o.Ksp, Epsilon: o.Epsilon,
 		PageSize: o.PageSize, PoolSize: o.PoolSize, Seed: o.Seed,
+		Fsync: o.Fsync,
 	}
 }
 
@@ -477,14 +594,21 @@ func genSeq(gen string) int {
 
 // readCurrent resolves the active generation recorded in dir's CURRENT
 // file. A missing file means the root layout Build produces.
-func readCurrent(dir string) (string, error) {
-	b, err := os.ReadFile(filepath.Join(dir, currentFile))
-	if os.IsNotExist(err) {
-		return "", nil
-	}
+func readCurrent(fsys fsutil.FS, dir string) (string, error) {
+	b, err := fsys.ReadFile(filepath.Join(dir, currentFile))
 	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return "", nil
+		}
 		return "", fmt.Errorf("promips: read %s: %w", currentFile, err)
 	}
+	return parseCurrent(b)
+}
+
+// parseCurrent validates CURRENT's content — the trust boundary between
+// the filesystem and the generation machinery, so arbitrary bytes must
+// yield ErrCorruptIndex, never a path escape (pinned by FuzzParseCurrent).
+func parseCurrent(b []byte) (string, error) {
 	gen := strings.TrimSpace(string(b))
 	if gen == "." {
 		return "", nil
@@ -496,24 +620,36 @@ func readCurrent(dir string) (string, error) {
 }
 
 // writeCurrent atomically records gen as dir's active generation (write to
-// a temp file, fsync, rename, fsync the directory). The directory fsync is
-// load-bearing: without it, a crash could persist the caller's subsequent
-// old-generation unlinks but not the rename, leaving CURRENT pointing at
-// files that no longer exist.
-func writeCurrent(dir, gen string) error {
+// a temp file, fsync, rename, fsync the directory).
+func writeCurrent(fsys fsutil.FS, dir, gen string) error {
+	_, err := writeCurrentCommitted(fsys, dir, gen)
+	return err
+}
+
+// writeCurrentCommitted is writeCurrent reporting whether the pointer
+// flip became visible. The rename inside WriteAtomic is the commit point:
+// every WriteAtomic failure leaves CURRENT untouched (failures before the
+// rename never touch it, and rename(2) makes no change when it fails), so
+// WriteAtomic error ⇒ committed=false. A directory-fsync failure AFTER
+// the rename leaves the flip visible but of uncertain durability
+// (committed=true with the error). Compact's handover branches on exactly
+// this distinction. The directory fsync is load-bearing: without it, a
+// crash could persist the caller's subsequent old-generation unlinks but
+// not the rename, leaving CURRENT pointing at files that no longer exist.
+func writeCurrentCommitted(fsys fsutil.FS, dir, gen string) (bool, error) {
 	content := gen
 	if content == "" {
 		content = "."
 	}
-	err := fsutil.WriteAtomic(filepath.Join(dir, currentFile), func(f *os.File) error {
-		_, err := f.WriteString(content + "\n")
+	err := fsutil.WriteAtomic(fsys, filepath.Join(dir, currentFile), func(f fsutil.File) error {
+		_, err := f.Write([]byte(content + "\n"))
 		return err
 	})
 	if err != nil {
-		return fmt.Errorf("promips: %w", err)
+		return false, fmt.Errorf("promips: %w", err)
 	}
-	if err := fsutil.SyncDir(dir); err != nil {
-		return fmt.Errorf("promips: %w", err)
+	if err := fsutil.SyncDir(fsys, dir); err != nil {
+		return true, fmt.Errorf("promips: %w", err)
 	}
-	return nil
+	return true, nil
 }

@@ -2,8 +2,11 @@ package promips
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"testing"
+
+	"promips/internal/fsutil"
 )
 
 func TestPublicInsertDelete(t *testing.T) {
@@ -46,5 +49,86 @@ func TestPublicInsertDelete(t *testing.T) {
 	}
 	if ix.LiveCount() != 300 {
 		t.Fatalf("LiveCount after delete = %d", ix.LiveCount())
+	}
+}
+
+// TestUpdateErrorContract pins the update API's error taxonomy: a closed
+// index is ErrClosed (not a silent false/zero), and DeleteChecked
+// distinguishes "absent" (false, nil) from failure modes.
+func TestUpdateErrorContract(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	data := randData(r, 100, 8)
+	ix, err := Build(data, Options{Dir: t.TempDir(), Seed: 72, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Live id: (true, nil). Again: (false, nil) — already deleted, not an error.
+	ok, err := ix.DeleteChecked(11)
+	if !ok || err != nil {
+		t.Fatalf("DeleteChecked(live) = %v, %v", ok, err)
+	}
+	ok, err = ix.DeleteChecked(11)
+	if ok || err != nil {
+		t.Fatalf("DeleteChecked(deleted) = %v, %v", ok, err)
+	}
+	// Absent id: (false, nil) — absence is not an error.
+	ok, err = ix.DeleteChecked(10_000)
+	if ok || err != nil {
+		t.Fatalf("DeleteChecked(absent) = %v, %v", ok, err)
+	}
+
+	if err := ix.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Closed index: typed errors, distinguishable from "absent".
+	if _, err := ix.Insert(data[0]); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Insert after Close = %v, want ErrClosed", err)
+	}
+	ok, err = ix.DeleteChecked(12)
+	if ok || !errors.Is(err, ErrClosed) {
+		t.Fatalf("DeleteChecked after Close = %v, %v, want false, ErrClosed", ok, err)
+	}
+	if ix.Delete(12) {
+		t.Fatal("Delete after Close reported true")
+	}
+}
+
+// TestInsertJournalFailureNotApplied: when the journal cannot log an
+// insert, the insert must not be acknowledged OR applied — and once the
+// transient fault clears, the same id is reused cleanly.
+func TestInsertJournalFailureNotApplied(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	data := randData(r, 80, 8)
+	ffs := &fsutil.FaultFS{}
+	ix, err := Build(data, Options{Dir: t.TempDir(), Seed: 82, M: 4, fs: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+
+	// Fault the next journal write.
+	ffs.FailAt = ffs.Ops() + 1
+	v := randData(r, 1, 8)[0]
+	if _, err := ix.Insert(v); !errors.Is(err, fsutil.ErrInjected) {
+		t.Fatalf("Insert under journal fault = %v, want ErrInjected", err)
+	}
+	if ix.LiveCount() != 80 {
+		t.Fatalf("failed insert was applied: LiveCount = %d", ix.LiveCount())
+	}
+	if ix.JournalLen() != 0 {
+		t.Fatalf("failed insert left %d journal records", ix.JournalLen())
+	}
+	// Fault consumed: the insert now succeeds and takes the first free id.
+	id, err := ix.Insert(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 80 {
+		t.Fatalf("id = %d, want 80 (ids are not burned by failed inserts)", id)
+	}
+	if ix.JournalLen() != 1 {
+		t.Fatalf("JournalLen = %d", ix.JournalLen())
 	}
 }
