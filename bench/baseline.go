@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
@@ -98,6 +99,21 @@ type PrefilterEffect struct {
 	PrunedPerQuery    float64 `json:"pruned_per_query"`
 }
 
+// InsertAckReport records what one acknowledged-durable update costs under
+// FsyncAlways: serially (one updater pays one whole fsync per ack) and with
+// Updaters concurrent inserters, where the group-commit sequencer coalesces
+// every ack that overlaps an in-flight fsync onto the next one.
+// AmortizationX = serial/parallel is the headline: how many fsyncs' worth of
+// latency the coalescing saves per ack at this concurrency. FsyncNever is
+// the no-durability floor the serial number is read against.
+type InsertAckReport struct {
+	Updaters          int     `json:"updaters"`
+	SerialNsPerOp     int64   `json:"serial_ns_per_op"`
+	ParallelNsPerOp   int64   `json:"parallel_ns_per_op"`
+	AmortizationX     float64 `json:"amortization_x"`
+	FsyncNeverNsPerOp int64   `json:"fsync_never_ns_per_op"`
+}
+
 // GatePoint is the reduced-workload pages/query measurement the CI perf
 // gate re-runs and compares against (see TestPagesPerQueryGate): small
 // enough to run on every test invocation, deterministic for a fixed seed.
@@ -128,6 +144,11 @@ type PerfReport struct {
 
 	Search      PerfPoint `json:"search"`
 	Incremental PerfPoint `json:"search_incremental"`
+	// Filtered is the same hot path with a WithFilter predicate rejecting
+	// half the ids — the filtered-serving workload promipsd exposes.
+	Filtered PerfPoint `json:"search_filtered"`
+	// InsertAck tracks the acknowledged-update cost under group commit.
+	InsertAck *InsertAckReport `json:"insert_ack,omitempty"`
 	// Batch is the disk-model concurrent-serving curve (see BatchModel);
 	// BatchWarm is the warm all-in-RAM curve earlier reports called
 	// batch_qps, kept for cross-report continuity.
@@ -158,7 +179,9 @@ type PerfDelta struct {
 // RunPerf measures the query hot path on the default synthetic workload and
 // returns the report. The environment is built once; the buffer pool is
 // warmed before any timed loop so every run measures the steady state.
-func RunPerf(cfg PerfConfig) (*PerfReport, error) {
+// ctx bounds the whole run (benchrunner's -timeout): it is threaded into
+// every query the harness issues and checked between measurement stages.
+func RunPerf(ctx context.Context, cfg PerfConfig) (*PerfReport, error) {
 	cfg.normalize()
 	env, err := NewEnv(Config{Spec: defaultSpec(), N: cfg.N, NumQueries: cfg.NumQueries, Seed: cfg.Seed})
 	if err != nil {
@@ -216,16 +239,33 @@ func RunPerf(cfg PerfConfig) (*PerfReport, error) {
 		return nil, err
 	}
 
+	// Filtered hot path: the same workload with a predicate rejecting every
+	// even id — the filtered-serving shape (WithFilter / promipsd requests
+	// carrying a tenant predicate). Tracked so a regression in the
+	// filter-aware candidate path shows up in the trajectory, not just in
+	// unit tests.
+	filtered := core.SearchParams{Filter: func(id uint32) bool { return id%2 == 1 }}
+	rep.Filtered, err = measureSearch(env, cfg.K, func(q []float32, k int) error {
+		_, _, err := ix.SearchContext(ctx, q, k, filtered)
+		return err
+	}, func(q []float32, k int) (core.SearchStats, error) {
+		_, st, err := ix.SearchContext(ctx, q, k, filtered)
+		return st, err
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	// PQ-prefilter A/B: the same warm index and workload with the sketch
 	// subsystem (pre-ranking + exact bound pruning) on and off.
-	rep.Prefilter, err = measurePrefilter(env, ix, cfg.K)
+	rep.Prefilter, err = measurePrefilter(ctx, env, ix, cfg.K)
 	if err != nil {
 		return nil, err
 	}
 
 	// Warm in-RAM concurrent curve (cross-report continuity; on a
 	// single-core machine it is flat by construction).
-	rep.BatchWarm, err = measureBatchCurve(env, ix, cfg.K, cfg.Workers)
+	rep.BatchWarm, err = measureBatchCurve(ctx, env, ix, cfg.K, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -244,10 +284,20 @@ func RunPerf(cfg PerfConfig) (*PerfReport, error) {
 	ixDisk := bDisk.Method.(proMIPSAdapter).ix
 	// One settling pass so the first measured point does not pay the
 	// fully-cold pool alone.
-	if _, _, err := ixDisk.SearchBatch(context.Background(), env.Queries, cfg.K, 4, core.SearchParams{}); err != nil {
+	if _, _, err := ixDisk.SearchBatch(ctx, env.Queries, cfg.K, 4, core.SearchParams{}); err != nil {
 		return nil, err
 	}
-	rep.Batch, err = measureBatchCurve(env, ixDisk, cfg.K, cfg.Workers)
+	rep.Batch, err = measureBatchCurve(ctx, env, ixDisk, cfg.K, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Acknowledged-update cost under group commit: serial vs 8 concurrent
+	// updaters under FsyncAlways, with the FsyncNever floor.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rep.InsertAck, err = MeasureInsertAck(8, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
@@ -256,6 +306,81 @@ func RunPerf(cfg PerfConfig) (*PerfReport, error) {
 	rep.Gate, err = measureGate(cfg.Seed, cfg.K)
 	if err != nil {
 		return nil, err
+	}
+	return rep, nil
+}
+
+// MeasureInsertAck times one acknowledged Insert under FsyncAlways with a
+// single updater and with `updaters` concurrent ones (the group-commit
+// amortization measurement BenchmarkInsertAckParallel runs interactively),
+// plus the FsyncNever floor. Exported so benchrunner's report and ad-hoc
+// measurements share one harness.
+func MeasureInsertAck(updaters int, seed int64) (*InsertAckReport, error) {
+	r := rand.New(rand.NewSource(seed))
+	data := make([][]float32, 500)
+	for i := range data {
+		v := make([]float32, 50)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+	run := func(fsync core.FsyncPolicy, par int) (int64, error) {
+		dir, err := os.MkdirTemp("", "promips-ackbench-*")
+		if err != nil {
+			return 0, err
+		}
+		defer os.RemoveAll(dir)
+		ix, err := core.Build(data, dir, core.Options{M: 5, Seed: seed + 1, Fsync: fsync})
+		if err != nil {
+			return 0, err
+		}
+		defer ix.Close()
+		var loopErr error
+		res := testing.Benchmark(func(tb *testing.B) {
+			if par <= 1 {
+				for i := 0; i < tb.N; i++ {
+					if _, err := ix.Insert(data[i%len(data)]); err != nil {
+						loopErr = err
+						tb.FailNow()
+					}
+				}
+				return
+			}
+			// RunParallel spawns SetParallelism×GOMAXPROCS goroutines; round
+			// up so `par` concurrent updaters exist even on one core — the
+			// coalescing being measured happens while goroutines BLOCK in
+			// fsync, so it does not need parallel CPUs.
+			tb.SetParallelism((par + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+			tb.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := ix.Insert(data[i%len(data)]); err != nil {
+						loopErr = err
+						break
+					}
+					i++
+				}
+			})
+		})
+		if loopErr != nil {
+			return 0, loopErr
+		}
+		return res.NsPerOp(), nil
+	}
+	rep := &InsertAckReport{Updaters: updaters}
+	var err error
+	if rep.SerialNsPerOp, err = run(core.FsyncAlways, 1); err != nil {
+		return nil, err
+	}
+	if rep.ParallelNsPerOp, err = run(core.FsyncAlways, updaters); err != nil {
+		return nil, err
+	}
+	if rep.FsyncNeverNsPerOp, err = run(core.FsyncNever, 1); err != nil {
+		return nil, err
+	}
+	if rep.ParallelNsPerOp > 0 {
+		rep.AmortizationX = float64(rep.SerialNsPerOp) / float64(rep.ParallelNsPerOp)
 	}
 	return rep, nil
 }
@@ -271,13 +396,13 @@ const (
 // measureBatchCurve pushes the whole query workload through SearchBatch at
 // each worker count, recording QPS, speedup vs the first count, per-query
 // pages and the buffer-pool hit ratio over the interval.
-func measureBatchCurve(env *Env, ix *core.Index, k int, workers []int) ([]BatchPoint, error) {
+func measureBatchCurve(ctx context.Context, env *Env, ix *core.Index, k int, workers []int) ([]BatchPoint, error) {
 	var out []BatchPoint
 	var base float64
 	for _, w := range workers {
 		before := ix.CacheStats()
 		start := time.Now()
-		_, stats, err := ix.SearchBatch(context.Background(), env.Queries, k, w, core.SearchParams{})
+		_, stats, err := ix.SearchBatch(ctx, env.Queries, k, w, core.SearchParams{})
 		if err != nil {
 			return nil, err
 		}
@@ -305,12 +430,12 @@ func measureBatchCurve(env *Env, ix *core.Index, k int, workers []int) ([]BatchP
 
 // measurePrefilter runs the workload with the PQ-sketch subsystem off and
 // on, recording verified candidates and pages per query for both.
-func measurePrefilter(env *Env, ix *core.Index, k int) (*PrefilterEffect, error) {
+func measurePrefilter(ctx context.Context, env *Env, ix *core.Index, k int) (*PrefilterEffect, error) {
 	eff := &PrefilterEffect{}
 	for _, noPrerank := range []bool{true, false} {
 		var cands, pages, preranked, pruned float64
 		for _, q := range env.Queries {
-			_, st, err := ix.SearchContext(context.Background(), q, k, core.SearchParams{NoPrerank: noPrerank})
+			_, st, err := ix.SearchContext(ctx, q, k, core.SearchParams{NoPrerank: noPrerank})
 			if err != nil {
 				return nil, err
 			}

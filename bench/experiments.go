@@ -219,7 +219,10 @@ func Table2Scaling(cfgBase Config, ns []int, k int) (Table, error) {
 // that simulated per-miss disk cost (the paper's PageCostMs charge), so
 // the curve measures miss overlap — the disk-resident serving regime —
 // rather than warm in-RAM CPU scaling.
-func Concurrency(e *Env, workerCounts []int, k, rounds int, missLatency time.Duration) (Table, error) {
+//
+// ctx bounds the whole experiment (benchrunner's -timeout): it is passed
+// to every SearchBatch, so a deadline aborts between queries.
+func Concurrency(ctx context.Context, e *Env, workerCounts []int, k, rounds int, missLatency time.Duration) (Table, error) {
 	popts := ProMIPSOptions{}
 	model := "warm pool"
 	if missLatency > 0 {
@@ -248,14 +251,14 @@ func Concurrency(e *Env, workerCounts []int, k, rounds int, missLatency time.Dur
 	}
 	// Untimed warm-up so the first worker count (the speedup baseline) does
 	// not pay the fully cold buffer pool alone.
-	if _, _, err := ix.SearchBatch(context.Background(), e.Queries, k, 1, core.SearchParams{}); err != nil {
+	if _, _, err := ix.SearchBatch(ctx, e.Queries, k, 1, core.SearchParams{}); err != nil {
 		return t, err
 	}
 	var base float64
 	for _, w := range workerCounts {
 		before := ix.CacheStats()
 		start := time.Now()
-		_, qstats, err := ix.SearchBatch(context.Background(), workload, k, w, core.SearchParams{})
+		_, qstats, err := ix.SearchBatch(ctx, workload, k, w, core.SearchParams{})
 		if err != nil {
 			return t, err
 		}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"sync"
 	"testing"
@@ -166,6 +167,49 @@ func BenchmarkInsertAck(b *testing.B) {
 			}
 			// The deferred Close (FsyncNever's batched write-out) is
 			// teardown, not acknowledgement cost.
+			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkInsertAckParallel is BenchmarkInsertAck's fsync-always case with
+// concurrent updaters — the group-commit measurement. Every ack that arrives
+// while another updater's fsync is in flight coalesces onto the next one, so
+// per-ack cost at 8 updaters must sit well below the serial fsync-always
+// number (the PR-6 acceptance bar is ≥4× amortization; BENCH_pr6.json
+// records the same measurement via bench.MeasureInsertAck). The coalescing
+// happens while goroutines block in fsync, so it shows up even at
+// GOMAXPROCS=1 — SetParallelism rounds up to keep 8 updaters alive.
+func BenchmarkInsertAckParallel(b *testing.B) {
+	r := rand.New(rand.NewSource(17))
+	data := make([][]float32, 500)
+	for i := range data {
+		v := make([]float32, 50)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		data[i] = v
+	}
+	for _, updaters := range []int{2, 8} {
+		b.Run("updaters="+strconv.Itoa(updaters), func(b *testing.B) {
+			ix, err := Build(data, Options{Dir: b.TempDir(), Seed: 18, M: 5, Fsync: FsyncAlways})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ix.Close()
+			b.SetParallelism((updaters + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := ix.Insert(data[i%len(data)]); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
 			b.StopTimer()
 		})
 	}

@@ -1,0 +1,260 @@
+// Package client speaks promipsd's HTTP/JSON protocol. It owns the wire
+// types (the server imports them from here, so the two cannot drift) and
+// maps the server's typed error codes back onto the promips sentinels —
+// errors.Is(err, promips.ErrJournalPoisoned) works the same against a
+// remote index as against an embedded one.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"promips"
+)
+
+// Wire types. Requests carry an optional TimeoutMs: the server derives the
+// request context's deadline from it, capped by its own -timeout flag, so
+// a slow query is cut off server-side with 504/CodeDeadline rather than
+// only by the client hanging up.
+
+// SearchRequest asks for the top K maximum-inner-product points.
+type SearchRequest struct {
+	Vector []float32 `json:"vector"`
+	K      int       `json:"k"`
+	// C and P override the index's (c, p) guarantee knobs for this query
+	// (0 keeps the index default), exactly like promips.WithC / WithP.
+	C float64 `json:"c,omitempty"`
+	P float64 `json:"p,omitempty"`
+	// TimeoutMs is the per-request deadline in milliseconds (0 = server
+	// default; values above the server's cap are clamped to it).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// SearchResponse carries the results and the query's work stats.
+type SearchResponse struct {
+	Results []promips.Result    `json:"results"`
+	Stats   promips.SearchStats `json:"stats"`
+}
+
+// BatchRequest runs one query per vector over the server's worker pool.
+type BatchRequest struct {
+	Vectors   [][]float32 `json:"vectors"`
+	K         int         `json:"k"`
+	C         float64     `json:"c,omitempty"`
+	P         float64     `json:"p,omitempty"`
+	Workers   int         `json:"workers,omitempty"`
+	TimeoutMs int64       `json:"timeout_ms,omitempty"`
+}
+
+// BatchResponse mirrors promips.SearchBatch: results and stats per query,
+// in request order.
+type BatchResponse struct {
+	Results [][]promips.Result    `json:"results"`
+	Stats   []promips.SearchStats `json:"stats"`
+}
+
+// InsertRequest adds one vector to the index.
+type InsertRequest struct {
+	Vector    []float32 `json:"vector"`
+	TimeoutMs int64     `json:"timeout_ms,omitempty"`
+}
+
+// InsertResponse acknowledges a durable insert with its assigned id.
+type InsertResponse struct {
+	ID uint32 `json:"id"`
+}
+
+// DeleteRequest tombstones one id.
+type DeleteRequest struct {
+	ID        uint32 `json:"id"`
+	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+}
+
+// DeleteResponse reports whether the id was live (false = already absent,
+// which is not an error).
+type DeleteResponse struct {
+	Deleted bool `json:"deleted"`
+}
+
+// StatsResponse is a point-in-time snapshot of the served index.
+type StatsResponse struct {
+	Points     int                 `json:"points"`      // base-index points (compaction folds the delta in)
+	Live       int                 `json:"live"`        // live points: base + delta - tombstones
+	Dim        int                 `json:"dim"`         // vector dimensionality
+	M          int                 `json:"m"`           // projected dimensionality
+	JournalLen int                 `json:"journal_len"` // acknowledged updates a crash-recovery would replay
+	Cache      promips.CacheStats  `json:"cache"`       // whole-run buffer-pool counters
+	Recovery   promips.RecoveryStats `json:"recovery"`  // what the journal replay at startup recovered
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error     string `json:"error"`
+	Code      string `json:"code"`
+	Retryable bool   `json:"retryable"`
+}
+
+// Error codes. The server maps the promips error taxonomy onto these; the
+// client maps them back (see APIError.Is).
+const (
+	CodeBadRequest      = "bad_request"      // 400: malformed JSON, missing fields
+	CodeDimMismatch     = "dim_mismatch"     // 400: vector dimensionality does not match the index
+	CodeEmptyIndex      = "empty_index"      // 422: the index has no live points
+	CodeQueueFull       = "queue_full"       // 429: admission queue overflow; retry after backoff
+	CodeClosed          = "closed"           // 503: the index is shutting down
+	CodeJournalPoisoned = "journal_poisoned" // 503: updates refused until a Save heals the journal; retryable
+	CodeDeadline        = "deadline"         // 504: the per-request deadline expired
+	CodeInternal        = "internal"         // 500: everything else
+)
+
+// APIError is a non-2xx server response. It implements errors.Is against
+// the promips sentinels, so remote and embedded error handling share one
+// code path.
+type APIError struct {
+	Status    int    // HTTP status
+	Code      string // one of the Code constants
+	Message   string // human-readable detail from the server
+	Retryable bool   // the server expects a later retry to succeed
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("promipsd: %s (http %d, code %s)", e.Message, e.Status, e.Code)
+}
+
+// Is maps wire codes back onto the promips sentinels.
+func (e *APIError) Is(target error) bool {
+	switch e.Code {
+	case CodeDimMismatch:
+		return target == promips.ErrDimMismatch
+	case CodeEmptyIndex:
+		return target == promips.ErrEmptyIndex
+	case CodeClosed:
+		return target == promips.ErrClosed
+	case CodeJournalPoisoned:
+		return target == promips.ErrJournalPoisoned
+	case CodeDeadline:
+		return target == context.DeadlineExceeded
+	}
+	return false
+}
+
+// Client talks to one promipsd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (connection
+// pooling, TLS, client-side timeouts).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the promipsd at baseURL, e.g.
+// "http://127.0.0.1:7845". The default transport has a 30s overall
+// timeout; per-request deadlines ride in the request bodies.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Search runs one top-K query.
+func (c *Client) Search(ctx context.Context, req SearchRequest) (SearchResponse, error) {
+	var out SearchResponse
+	err := c.post(ctx, "/v1/search", req, &out)
+	return out, err
+}
+
+// SearchBatch runs one query per vector over the server's worker pool.
+func (c *Client) SearchBatch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.post(ctx, "/v1/searchbatch", req, &out)
+	return out, err
+}
+
+// Insert adds a vector; the returned id is assigned by the server and the
+// update is durable under the index's fsync policy when this returns nil.
+func (c *Client) Insert(ctx context.Context, vec []float32) (uint32, error) {
+	var out InsertResponse
+	err := c.post(ctx, "/v1/insert", InsertRequest{Vector: vec}, &out)
+	return out.ID, err
+}
+
+// Delete tombstones an id, reporting whether it was live.
+func (c *Client) Delete(ctx context.Context, id uint32) (bool, error) {
+	var out DeleteResponse
+	err := c.post(ctx, "/v1/delete", DeleteRequest{ID: id}, &out)
+	return out.Deleted, err
+}
+
+// Stats snapshots the served index.
+func (c *Client) Stats(ctx context.Context) (StatsResponse, error) {
+	var out StatsResponse
+	err := c.get(ctx, "/v1/stats", &out)
+	return out, err
+}
+
+// Save persists the index state and truncates the journal — also the
+// recovery action for CodeJournalPoisoned.
+func (c *Client) Save(ctx context.Context) error {
+	return c.post(ctx, "/v1/save", struct{}{}, &struct{}{})
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("client: encode %s request: %w", path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb ErrorBody
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		if json.Unmarshal(data, &eb) != nil || eb.Code == "" {
+			eb = ErrorBody{Error: strings.TrimSpace(string(data)), Code: CodeInternal}
+			if eb.Error == "" {
+				eb.Error = resp.Status
+			}
+		}
+		return &APIError{Status: resp.StatusCode, Code: eb.Code, Message: eb.Error, Retryable: eb.Retryable}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}

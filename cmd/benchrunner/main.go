@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -36,10 +37,21 @@ func main() {
 	out := flag.String("out", "", "perf mode: write a BENCH_<label>.json report to this path instead of printing figures")
 	label := flag.String("label", "", "perf mode: label recorded in the report (default derived from -out filename)")
 	baseline := flag.String("baseline", "", "perf mode: prior report to embed and diff against")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	flag.Parse()
 
+	// Every experiment below runs under this context: -timeout turns a hung
+	// or mis-sized workload into a clean deadline error instead of a CI job
+	// that has to be killed from outside.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *out != "" {
-		if err := runPerf(*out, *label, *baseline, *n, *queries, *seed); err != nil {
+		if err := runPerf(ctx, *out, *label, *baseline, *n, *queries, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
@@ -69,7 +81,7 @@ func main() {
 	}
 
 	for _, spec := range specs {
-		if err := runDataset(spec, *fig, *n, *queries, *seed, ks); err != nil {
+		if err := runDataset(ctx, spec, *fig, *n, *queries, *seed, ks); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner:", err)
 			os.Exit(1)
 		}
@@ -80,7 +92,7 @@ func main() {
 // Search hot path (ns/op, allocs/op, B/op, pages) and the QPS curve on the
 // default synthetic workload, written as JSON for the repo's BENCH_*.json
 // trajectory.
-func runPerf(out, label, baselinePath string, n, queries int, seed int64) error {
+func runPerf(ctx context.Context, out, label, baselinePath string, n, queries int, seed int64) error {
 	if label == "" {
 		base := filepath.Base(out)
 		base = strings.TrimSuffix(base, filepath.Ext(base))
@@ -88,7 +100,7 @@ func runPerf(out, label, baselinePath string, n, queries int, seed int64) error 
 	}
 	cfg := bench.PerfConfig{Label: label, N: n, NumQueries: queries, Seed: seed}
 	fmt.Fprintf(os.Stderr, "perf: measuring label=%q...\n", label)
-	rep, err := bench.RunPerf(cfg)
+	rep, err := bench.RunPerf(ctx, cfg)
 	if err != nil {
 		return err
 	}
@@ -104,6 +116,12 @@ func runPerf(out, label, baselinePath string, n, queries int, seed int64) error 
 	}
 	fmt.Printf("perf[%s]: Search %d ns/op, %d allocs/op, %d B/op, %.1f pages/query (gomaxprocs=%d)\n",
 		rep.Label, rep.Search.NsPerOp, rep.Search.AllocsPerOp, rep.Search.BytesPerOp, rep.Search.PagesPerOp, rep.GoMaxProcs)
+	fmt.Printf("perf[%s]: filtered Search %d ns/op, %.1f pages/query\n",
+		rep.Label, rep.Filtered.NsPerOp, rep.Filtered.PagesPerOp)
+	if a := rep.InsertAck; a != nil {
+		fmt.Printf("perf[%s]: insert ack (fsync-always): %d ns/op serial, %d ns/op at %d updaters (%.1fx amortized; fsync-never floor %d ns/op)\n",
+			rep.Label, a.SerialNsPerOp, a.ParallelNsPerOp, a.Updaters, a.AmortizationX, a.FsyncNeverNsPerOp)
+	}
 	if eff := rep.Prefilter; eff != nil {
 		fmt.Printf("perf[%s]: pq_prefilter candidates %.1f -> %.1f, pages %.1f -> %.1f (preranked %.0f, pruned %.0f per query)\n",
 			rep.Label, eff.CandidatesWithout, eff.CandidatesWith, eff.PagesWithout, eff.PagesWith,
@@ -131,7 +149,7 @@ func runPerf(out, label, baselinePath string, n, queries int, seed int64) error 
 	return nil
 }
 
-func runDataset(spec dataset.Spec, fig string, n, queries int, seed int64, ks []int) error {
+func runDataset(ctx context.Context, spec dataset.Spec, fig string, n, queries int, seed int64, ks []int) error {
 	fmt.Printf("\n######## dataset %s ########\n", spec.Name)
 	env, err := bench.NewEnv(bench.Config{Spec: spec, N: n, NumQueries: queries, Seed: seed})
 	if err != nil {
@@ -206,13 +224,13 @@ func runDataset(spec dataset.Spec, fig string, n, queries int, seed int64, ks []
 		// paper's per-page cost as miss latency) side by side: the second
 		// is where worker scaling is expected, and the per-worker
 		// pages/query, hit%, and speedup columns say why when it is not.
-		t, err := bench.Concurrency(env, []int{1, 2, 4, 8}, 10, 3, 0)
+		t, err := bench.Concurrency(ctx, env, []int{1, 2, 4, 8}, 10, 3, 0)
 		if err != nil {
 			return err
 		}
 		fmt.Println()
 		t.Fprint(os.Stdout)
-		t2, err := bench.Concurrency(env, []int{1, 2, 4, 8}, 10, 1, bench.DiskModelMissLatency)
+		t2, err := bench.Concurrency(ctx, env, []int{1, 2, 4, 8}, 10, 1, bench.DiskModelMissLatency)
 		if err != nil {
 			return err
 		}

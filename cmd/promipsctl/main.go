@@ -53,10 +53,25 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   promipsctl build   -data vectors.pds -dir ./idx [-c 0.9 -p 0.5 -m 0 -page 4096 -seed 1]
-  promipsctl query   -dir ./idx -data vectors.pds [-k 10 -queries 5 -seed 1 -c 0 -p 0]
-  promipsctl compact -dir ./idx
-  promipsctl stats   -dir ./idx
+  promipsctl query   -dir ./idx -data vectors.pds [-k 10 -queries 5 -seed 1 -c 0 -p 0 -timeout 0]
+  promipsctl compact -dir ./idx [-timeout 0]
+  promipsctl stats   -dir ./idx [-timeout 0]
   promipsctl recover -dir ./idx [-commit]`)
+}
+
+// timeoutFlag registers the shared -timeout flag: a bound on all the
+// index work the subcommand issues (0 = none).
+func timeoutFlag(fs *flag.FlagSet) *time.Duration {
+	return fs.Duration("timeout", 0, "abort index operations after this long (0 = no limit)")
+}
+
+// opCtx derives the context every index operation of a subcommand runs
+// under from its -timeout value.
+func opCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), timeout)
 }
 
 func runBuild(args []string) error {
@@ -108,6 +123,7 @@ func runQuery(args []string) error {
 	seed := fs.Int64("seed", 1, "query selection seed")
 	c := fs.Float64("c", 0, "per-query approximation ratio override (0 = index default)")
 	p := fs.Float64("p", 0, "per-query guarantee probability override (0 = index default)")
+	timeout := timeoutFlag(fs)
 	fs.Parse(args)
 	if *dir == "" || *dataPath == "" {
 		return fmt.Errorf("query requires -dir and -data")
@@ -128,7 +144,8 @@ func runQuery(args []string) error {
 	if *p != 0 {
 		opts = append(opts, promips.WithP(*p))
 	}
-	ctx := context.Background()
+	ctx, cancel := opCtx(*timeout)
+	defer cancel()
 	rng := newRand(*seed)
 	for qi := 0; qi < *nq; qi++ {
 		q := data[rng.Intn(len(data))]
@@ -149,6 +166,7 @@ func runQuery(args []string) error {
 func runCompact(args []string) error {
 	fs := flag.NewFlagSet("compact", flag.ExitOnError)
 	dir := fs.String("dir", "", "index directory")
+	timeout := timeoutFlag(fs)
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("compact requires -dir")
@@ -158,9 +176,11 @@ func runCompact(args []string) error {
 		return err
 	}
 	defer ix.Close()
+	ctx, cancel := opCtx(*timeout)
+	defer cancel()
 	before := ix.Len()
 	start := time.Now()
-	remap, err := ix.Compact(context.Background())
+	remap, err := ix.Compact(ctx)
 	if err != nil {
 		return err
 	}
@@ -176,6 +196,7 @@ func runStats(args []string) error {
 	dataPath := fs.String("data", "", "optional vector file: exercise the cache with -queries searches before printing counters")
 	nq := fs.Int("queries", 0, "queries to run against the live index when -data is given (default 20)")
 	seed := fs.Int64("seed", 1, "query selection seed")
+	timeout := timeoutFlag(fs)
 	fs.Parse(args)
 	if *dir == "" {
 		return fmt.Errorf("stats requires -dir")
@@ -205,7 +226,8 @@ func runStats(args []string) error {
 			n = 20
 		}
 		rng := newRand(*seed)
-		ctx := context.Background()
+		ctx, cancel := opCtx(*timeout)
+		defer cancel()
 		for qi := 0; qi < n; qi++ {
 			if _, _, err := ix.Search(ctx, data[rng.Intn(len(data))], 10); err != nil {
 				return err

@@ -1,0 +1,111 @@
+// Command promipsd serves a promips index over HTTP/JSON.
+//
+// Endpoints (see the promips/client package for the wire types):
+//
+//	POST /v1/search       one top-K query
+//	POST /v1/searchbatch  one query per vector, server worker pool
+//	POST /v1/insert       add a vector (acknowledged = durable)
+//	POST /v1/delete       tombstone an id
+//	POST /v1/save         persist + truncate the journal (heals a poisoned one)
+//	GET  /v1/stats        index snapshot
+//	GET  /healthz         liveness
+//
+// Admission is bounded: at most -searchq searches and -updateq updates run
+// at once; excess requests get 429 + Retry-After instead of queuing without
+// limit. Every request runs under a deadline (-timeout, shortened by the
+// request's timeout_ms). On SIGINT/SIGTERM the listener drains in-flight
+// requests (up to -drain), then the index is Saved — folding the journal
+// into the metadata so the next open replays nothing — and closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"promips"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "index directory (required; create one with promipsctl build)")
+		addr    = flag.String("addr", "127.0.0.1:7845", "listen address")
+		timeout = flag.Duration("timeout", 5*time.Second, "default and maximum per-request deadline")
+		searchq = flag.Int("searchq", 64, "max concurrent search requests before 429")
+		updateq = flag.Int("updateq", 64, "max concurrent update requests before 429")
+		drain   = flag.Duration("drain", 10*time.Second, "shutdown grace for in-flight requests")
+	)
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "promipsd: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*dir, *addr, *timeout, *searchq, *updateq, *drain); err != nil {
+		log.Fatalf("promipsd: %v", err)
+	}
+}
+
+func run(dir, addr string, timeout time.Duration, searchq, updateq int, drain time.Duration) error {
+	ix, err := promips.Open(dir)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", dir, err)
+	}
+	rec := ix.Recovery()
+	log.Printf("opened %s: %d live points, dim %d (journal replayed %d)", dir, ix.LiveCount(), ix.Dim(), rec.Replayed)
+
+	srv := &http.Server{
+		Addr: addr,
+		Handler: newServer(ix, serverConfig{
+			requestTimeout: timeout,
+			searchSlots:    searchq,
+			updateSlots:    updateq,
+		}),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", addr)
+		serveErr <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-serveErr:
+		ix.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight requests finish, then
+	// fold the journal into durable metadata so the next open is replay-free.
+	log.Printf("shutting down: draining for up to %s", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if err := ix.Save(); err != nil {
+		ix.Close()
+		return fmt.Errorf("save on shutdown: %w", err)
+	}
+	if err := ix.Close(); err != nil {
+		return fmt.Errorf("close on shutdown: %w", err)
+	}
+	// ListenAndServe has returned ErrServerClosed by now; anything else is real.
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("clean shutdown: index saved")
+	return nil
+}

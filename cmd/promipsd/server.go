@@ -1,0 +1,271 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"time"
+
+	"promips"
+	"promips/client"
+)
+
+// serverConfig sizes the server's admission control and deadlines.
+type serverConfig struct {
+	// requestTimeout is the default AND maximum per-request deadline;
+	// a request's timeout_ms can only shorten it.
+	requestTimeout time.Duration
+	// searchSlots / updateSlots bound how many searches (Search,
+	// SearchBatch) and updates (Insert, Delete, Save) may be in flight;
+	// requests beyond the bound are rejected with 429 rather than queued
+	// without limit, so a burst degrades loudly instead of accumulating
+	// latency. Zero slots reject everything (useful in tests).
+	searchSlots, updateSlots int
+}
+
+// server wires a promips.Index behind promipsd's HTTP/JSON endpoints.
+type server struct {
+	ix  *promips.Index
+	cfg serverConfig
+	mux *http.ServeMux
+
+	searchGate gate
+	updateGate gate
+}
+
+// gate is a counting semaphore used as bounded admission control:
+// TryEnter claims a slot without blocking; a full gate means 429.
+type gate chan struct{}
+
+func (g gate) TryEnter() bool {
+	select {
+	case g <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (g gate) Leave() { <-g }
+
+func newServer(ix *promips.Index, cfg serverConfig) *server {
+	if cfg.requestTimeout <= 0 {
+		cfg.requestTimeout = 5 * time.Second
+	}
+	s := &server{
+		ix:         ix,
+		cfg:        cfg,
+		mux:        http.NewServeMux(),
+		searchGate: make(gate, cfg.searchSlots),
+		updateGate: make(gate, cfg.updateSlots),
+	}
+	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/searchbatch", s.handleSearchBatch)
+	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
+	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/save", s.handleSave)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// reqCtx derives the request's working context: the server's configured
+// timeout, shortened (never extended) by the request's timeout_ms.
+func (s *server) reqCtx(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.requestTimeout
+	if timeoutMs > 0 {
+		if rd := time.Duration(timeoutMs) * time.Millisecond; rd < d {
+			d = rd
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// statusFor maps the promips error taxonomy onto wire codes. Retryable
+// means a later identical request is expected to succeed: a poisoned
+// journal heals at the next Save, a deadline may be a transient stall, a
+// full queue drains.
+func statusFor(err error) (status int, code string, retryable bool) {
+	switch {
+	case errors.Is(err, promips.ErrJournalPoisoned):
+		return http.StatusServiceUnavailable, client.CodeJournalPoisoned, true
+	case errors.Is(err, promips.ErrDimMismatch):
+		return http.StatusBadRequest, client.CodeDimMismatch, false
+	case errors.Is(err, promips.ErrEmptyIndex):
+		return http.StatusUnprocessableEntity, client.CodeEmptyIndex, false
+	case errors.Is(err, promips.ErrClosed):
+		return http.StatusServiceUnavailable, client.CodeClosed, false
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, client.CodeDeadline, true
+	default:
+		return http.StatusInternalServerError, client.CodeInternal, false
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status, code, retryable := statusFor(err)
+	if status >= 500 {
+		log.Printf("promipsd: %s: %v", code, err)
+	}
+	writeJSON(w, status, client.ErrorBody{Error: err.Error(), Code: code, Retryable: retryable})
+}
+
+func writeQueueFull(w http.ResponseWriter, what string) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusTooManyRequests, client.ErrorBody{
+		Error:     fmt.Sprintf("%s admission queue is full", what),
+		Code:      client.CodeQueueFull,
+		Retryable: true,
+	})
+}
+
+// decode parses the JSON body into v, rejecting trailing garbage.
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	return nil
+}
+
+func writeBadRequest(w http.ResponseWriter, err error) {
+	writeJSON(w, http.StatusBadRequest, client.ErrorBody{Error: "bad request: " + err.Error(), Code: client.CodeBadRequest})
+}
+
+func searchOpts(c, p float64, workers int) []promips.SearchOption {
+	var opts []promips.SearchOption
+	if c != 0 {
+		opts = append(opts, promips.WithC(c))
+	}
+	if p != 0 {
+		opts = append(opts, promips.WithP(p))
+	}
+	if workers > 0 {
+		opts = append(opts, promips.WithWorkers(workers))
+	}
+	return opts
+}
+
+func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req client.SearchRequest
+	if err := decode(r, &req); err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	if !s.searchGate.TryEnter() {
+		writeQueueFull(w, "search")
+		return
+	}
+	defer s.searchGate.Leave()
+	ctx, cancel := s.reqCtx(r, req.TimeoutMs)
+	defer cancel()
+	res, stats, err := s.ix.Search(ctx, req.Vector, req.K, searchOpts(req.C, req.P, 0)...)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, client.SearchResponse{Results: res, Stats: stats})
+}
+
+func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req client.BatchRequest
+	if err := decode(r, &req); err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	if !s.searchGate.TryEnter() {
+		writeQueueFull(w, "search")
+		return
+	}
+	defer s.searchGate.Leave()
+	ctx, cancel := s.reqCtx(r, req.TimeoutMs)
+	defer cancel()
+	res, stats, err := s.ix.SearchBatch(ctx, req.Vectors, req.K, searchOpts(req.C, req.P, req.Workers)...)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, client.BatchResponse{Results: res, Stats: stats})
+}
+
+func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	var req client.InsertRequest
+	if err := decode(r, &req); err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	if !s.updateGate.TryEnter() {
+		writeQueueFull(w, "update")
+		return
+	}
+	defer s.updateGate.Leave()
+	// Insert has no ctx parameter: durability is bounded by the journal's
+	// group commit, not by a scan. The request deadline still applies to
+	// admission (the gate) — an insert that entered is run to completion,
+	// because a half-acknowledged update helps nobody.
+	id, err := s.ix.Insert(req.Vector)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, client.InsertResponse{ID: id})
+}
+
+func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req client.DeleteRequest
+	if err := decode(r, &req); err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	if !s.updateGate.TryEnter() {
+		writeQueueFull(w, "update")
+		return
+	}
+	defer s.updateGate.Leave()
+	deleted, err := s.ix.DeleteChecked(req.ID)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, client.DeleteResponse{Deleted: deleted})
+}
+
+func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
+	if !s.updateGate.TryEnter() {
+		writeQueueFull(w, "update")
+		return
+	}
+	defer s.updateGate.Leave()
+	if err := s.ix.Save(); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, client.StatsResponse{
+		Points:     s.ix.Len(),
+		Live:       s.ix.LiveCount(),
+		Dim:        s.ix.Dim(),
+		M:          s.ix.M(),
+		JournalLen: s.ix.JournalLen(),
+		Cache:      s.ix.CacheStats(),
+		Recovery:   s.ix.Recovery(),
+	})
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"promips"
+	"promips/client"
+)
+
+func testVecs(r *rand.Rand, n, d int) [][]float32 {
+	out := make([][]float32, n)
+	for i := range out {
+		v := make([]float32, d)
+		for j := range v {
+			v[j] = float32(r.NormFloat64())
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// newTestServer builds a small index and serves it through the real handler
+// stack, returning a client pointed at it.
+func newTestServer(t *testing.T, cfg serverConfig) (*promips.Index, *client.Client) {
+	t.Helper()
+	r := rand.New(rand.NewSource(7))
+	data := testVecs(r, 200, 8)
+	ix, err := promips.Build(data, promips.Options{Dir: t.TempDir(), Seed: 8, M: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ix.Close() })
+	hs := httptest.NewServer(newServer(ix, cfg))
+	t.Cleanup(hs.Close)
+	return ix, client.New(hs.URL, client.WithHTTPClient(hs.Client()))
+}
+
+// TestRoundTrips drives every endpoint through the real HTTP stack and the
+// client package: insert → search finds it → delete → stats agree.
+func TestRoundTrips(t *testing.T) {
+	ix, c := newTestServer(t, serverConfig{searchSlots: 4, updateSlots: 4})
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(9))
+	vec := testVecs(r, 1, 8)[0]
+
+	id, err := c.Insert(ctx, vec)
+	if err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	res, err := c.Search(ctx, client.SearchRequest{Vector: vec, K: 5})
+	if err != nil {
+		t.Fatalf("search: %v", err)
+	}
+	if len(res.Results) != 5 {
+		t.Fatalf("search returned %d results, want 5", len(res.Results))
+	}
+	found := false
+	for _, got := range res.Results {
+		if got.ID == id {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("freshly inserted id %d missing from its own top-5", id)
+	}
+
+	batch, err := c.SearchBatch(ctx, client.BatchRequest{Vectors: testVecs(r, 6, 8), K: 3, Workers: 3})
+	if err != nil {
+		t.Fatalf("searchbatch: %v", err)
+	}
+	if len(batch.Results) != 6 || len(batch.Stats) != 6 {
+		t.Fatalf("searchbatch returned %d/%d entries, want 6/6", len(batch.Results), len(batch.Stats))
+	}
+
+	deleted, err := c.Delete(ctx, id)
+	if err != nil || !deleted {
+		t.Fatalf("delete live id: deleted=%v err=%v", deleted, err)
+	}
+	if deleted, err = c.Delete(ctx, id); err != nil || deleted {
+		t.Fatalf("delete dead id: deleted=%v err=%v", deleted, err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Live != ix.LiveCount() || st.Dim != 8 {
+		t.Fatalf("stats live=%d dim=%d, index says live=%d dim=8", st.Live, st.Dim, ix.LiveCount())
+	}
+
+	if err := c.Save(ctx); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if st, err = c.Stats(ctx); err != nil || st.JournalLen != 0 {
+		t.Fatalf("after save: journal_len=%d err=%v, want 0", st.JournalLen, err)
+	}
+}
+
+// TestErrorMapping asserts the wire errors carry the right status+code and
+// that the client maps them back to the promips sentinels — errors.Is parity
+// between remote and embedded use.
+func TestErrorMapping(t *testing.T) {
+	_, c := newTestServer(t, serverConfig{searchSlots: 4, updateSlots: 4})
+	ctx := context.Background()
+
+	_, err := c.Search(ctx, client.SearchRequest{Vector: []float32{1, 2}, K: 3})
+	if !errors.Is(err, promips.ErrDimMismatch) {
+		t.Fatalf("mis-dimensioned remote search = %v, want errors.Is ErrDimMismatch", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest || ae.Code != client.CodeDimMismatch {
+		t.Fatalf("wire error = %+v, want 400/%s", ae, client.CodeDimMismatch)
+	}
+
+	if _, err := c.Insert(ctx, []float32{1}); !errors.Is(err, promips.ErrDimMismatch) {
+		t.Fatalf("mis-dimensioned remote insert = %v, want ErrDimMismatch", err)
+	}
+}
+
+// TestStatusForPoisoned pins the satellite: a poisoned journal surfaces as
+// 503 + the journal_poisoned code, marked retryable — not a generic 500.
+func TestStatusForPoisoned(t *testing.T) {
+	wrapped := errorsJoinLike()
+	status, code, retryable := statusFor(wrapped)
+	if status != http.StatusServiceUnavailable || code != client.CodeJournalPoisoned || !retryable {
+		t.Fatalf("statusFor(poisoned) = %d/%s/retryable=%v, want 503/%s/true",
+			status, code, retryable, client.CodeJournalPoisoned)
+	}
+	// And the client maps that code back to the sentinel.
+	ae := &client.APIError{Status: status, Code: code, Retryable: retryable, Message: wrapped.Error()}
+	if !errors.Is(ae, promips.ErrJournalPoisoned) {
+		t.Fatal("client does not map journal_poisoned back to ErrJournalPoisoned")
+	}
+
+	if status, code, _ := statusFor(context.DeadlineExceeded); status != http.StatusGatewayTimeout || code != client.CodeDeadline {
+		t.Fatalf("statusFor(deadline) = %d/%s, want 504/%s", status, code, client.CodeDeadline)
+	}
+	if status, code, _ := statusFor(errors.New("boom")); status != http.StatusInternalServerError || code != client.CodeInternal {
+		t.Fatalf("statusFor(opaque) = %d/%s, want 500/%s", status, code, client.CodeInternal)
+	}
+}
+
+// errorsJoinLike builds an error shaped like what core.Insert returns off a
+// poisoned journal: the sentinel wrapped under operation context.
+func errorsJoinLike() error {
+	return &wrapErr{msg: "core: insert: wal: update journal poisoned by earlier failure: injected fault"}
+}
+
+type wrapErr struct{ msg string }
+
+func (e *wrapErr) Error() string { return e.msg }
+func (e *wrapErr) Is(target error) bool {
+	return target == promips.ErrJournalPoisoned
+}
+
+// TestQueueFull pins bounded admission: with zero slots every request is
+// refused with 429 + queue_full + Retry-After, and the client marks it
+// retryable.
+func TestQueueFull(t *testing.T) {
+	_, c := newTestServer(t, serverConfig{searchSlots: 0, updateSlots: 0})
+	ctx := context.Background()
+
+	_, err := c.Search(ctx, client.SearchRequest{Vector: make([]float32, 8), K: 3})
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests || ae.Code != client.CodeQueueFull || !ae.Retryable {
+		t.Fatalf("search with zero slots = %v, want 429/%s retryable", err, client.CodeQueueFull)
+	}
+	if _, err := c.Insert(ctx, make([]float32, 8)); !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("insert with zero slots = %v, want 429", err)
+	}
+}
+
+// TestRequestTimeout pins the deadline path end to end: a request-level
+// timeout_ms far below the work's duration must come back 504/deadline.
+// A 1ns server cap guarantees expiry without any slow-disk machinery.
+func TestRequestTimeout(t *testing.T) {
+	ix, _ := newTestServer(t, serverConfig{searchSlots: 4, updateSlots: 4})
+	hs := httptest.NewServer(newServer(ix, serverConfig{
+		requestTimeout: 1, // 1ns: every context is born expired
+		searchSlots:    4,
+		updateSlots:    4,
+	}))
+	defer hs.Close()
+	c := client.New(hs.URL, client.WithHTTPClient(hs.Client()))
+
+	_, err := c.Search(context.Background(), client.SearchRequest{Vector: make([]float32, 8), K: 3})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("search under expired deadline = %v, want errors.Is DeadlineExceeded", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusGatewayTimeout || !ae.Retryable {
+		t.Fatalf("wire error = %+v, want 504 retryable", ae)
+	}
+}

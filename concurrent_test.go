@@ -127,6 +127,41 @@ func TestSearchBatchMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestSearchBatchFilterConcurrent pins WithFilter's documented concurrency
+// contract: the predicate is called concurrently from every SearchBatch
+// worker, and the filtered batch must reproduce the sequential filtered
+// baseline exactly. Run under -race (CI does) this catches any unsynchronized
+// state the filter path might grow.
+func TestSearchBatchFilterConcurrent(t *testing.T) {
+	ix, queries := buildShared(t, 1500)
+	const k = 10
+	filter := func(id uint32) bool { return id%3 != 0 }
+
+	wantRes := make([][]Result, len(queries))
+	for i, q := range queries {
+		res, _, err := ix.Search(context.Background(), q, k, WithFilter(filter))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRes[i] = res
+	}
+
+	gotRes, _, err := ix.SearchBatch(context.Background(), queries, k, WithFilter(filter), WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotRes, wantRes) {
+		t.Fatal("filtered SearchBatch differs from sequential filtered Search")
+	}
+	for i, res := range gotRes {
+		for _, r := range res {
+			if r.ID%3 == 0 {
+				t.Fatalf("query %d returned filtered-out id %d", i, r.ID)
+			}
+		}
+	}
+}
+
 func TestSearchBatchPropagatesError(t *testing.T) {
 	ix, queries := buildShared(t, 400)
 	bad := make([][]float32, len(queries))

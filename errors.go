@@ -25,4 +25,13 @@ var (
 	// point: building over an empty dataset, or searching/compacting an
 	// index whose points are all deleted.
 	ErrEmptyIndex = errs.ErrEmptyIndex
+
+	// ErrJournalPoisoned is returned by Insert/Delete when the update
+	// journal refuses further acknowledgements because an earlier write,
+	// fsync or generation-handover failure could not be healed in place.
+	// It is RETRYABLE: a successful Save persists the in-memory state
+	// through the metadata path and heals the journal, after which updates
+	// flow again. promipsd surfaces it as 503 with a retryable error code
+	// so clients can back off instead of treating it as a hard failure.
+	ErrJournalPoisoned = errs.ErrJournalPoisoned
 )

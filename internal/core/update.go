@@ -36,40 +36,69 @@ type deltaEntry struct {
 }
 
 // Insert adds a point and returns its id. The point lives in the delta
-// region until Compact is called. Insert takes the index lock exclusive, so
-// it interleaves correctly with concurrent searches: a search sees either
-// the state before or after the insert, never a partial one.
+// region until Compact is called. Insert takes the index lock exclusive
+// only to SEQUENCE the update — write the journal record and apply the
+// in-memory change — and releases it before waiting for durability, so it
+// interleaves correctly with concurrent searches (each sees the state
+// before or after the insert, never a partial one) and an updater's fsync
+// never stalls readers. Under FsyncAlways the fsyncs are group-committed:
+// concurrent inserts that overlap one fsync are all covered by the next,
+// so N racing updaters pay ~2 fsyncs between them instead of N (see
+// wal.Journal.WaitDurable).
 //
-// Durability: the update is journaled BEFORE the in-memory state changes,
-// under the journal's fsync policy. A successful return therefore means
-// the insert survives a crash (FsyncAlways) or a clean shutdown
-// (FsyncNever); an error means neither memory nor — as far as the journal
-// could guarantee — disk took the update. Inserting into a closed index
-// returns ErrClosed.
+// Durability: the record is journaled BEFORE the in-memory state changes,
+// and the insert is acknowledged only once the journal says it is durable
+// under its fsync policy. A successful return therefore means the insert
+// survives a crash (FsyncAlways) or a clean shutdown (FsyncNever). On a
+// journal WRITE failure neither memory nor disk took the update (the
+// journal heals in place). On a group-FSYNC failure the insert is applied
+// in memory but NOT acknowledged — it behaves like an un-acked update: a
+// crash may or may not recover it, a later Save persists it — and the
+// journal is poisoned (ErrJournalPoisoned) until a successful Save
+// re-establishes durability through the metadata path. Inserting into a
+// closed index returns ErrClosed.
 func (ix *Index) Insert(v []float32) (uint32, error) {
 	if len(v) != ix.d {
 		return 0, fmt.Errorf("core: %w: insert dim %d, want %d", errs.ErrDimMismatch, len(v), ix.d)
 	}
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	return ix.insertLocked(v, true)
+	id, lsn, err := ix.insertLocked(v, true)
+	j := ix.journal
+	ix.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	// The durability wait runs OUTSIDE the index lock: searches proceed
+	// against the already-applied update while the disk catches up, and
+	// every concurrent updater parked here is acknowledged by the same
+	// group fsync.
+	if lsn > 0 {
+		if err := j.WaitDurable(lsn); err != nil {
+			return 0, fmt.Errorf("core: insert: %w", err)
+		}
+	}
+	return id, nil
 }
 
-// insertLocked is Insert's body; the caller holds ix.mu exclusive.
-// Compact's fold phase inserts with journaled=false: the folded records
-// were acknowledged (and journaled) in the generation being replaced,
-// which stays the durable one until the handover commits, and the new
-// generation's metadata is persisted — covering them — within the same
-// exclusive section, so journaling them again would buy nothing and cost
-// one fsync each.
-func (ix *Index) insertLocked(v []float32, journaled bool) (uint32, error) {
+// insertLocked is Insert's sequencing half; the caller holds ix.mu
+// exclusive. It writes the journal record, applies the in-memory change,
+// and returns the record's LSN — the caller waits for durability on it
+// AFTER releasing the lock (lsn 0 means nothing to wait for: the journal
+// is off, buffered, or journaled=false). Compact's fold phase inserts with
+// journaled=false: the folded records were acknowledged (and journaled) in
+// the generation being replaced, which stays the durable one until the
+// handover commits, and the new generation's metadata is persisted —
+// covering them — within the same exclusive section, so journaling them
+// again would buy nothing and cost one fsync each.
+func (ix *Index) insertLocked(v []float32, journaled bool) (uint32, int64, error) {
 	if ix.closed {
-		return 0, errs.ErrClosed
+		return 0, 0, errs.ErrClosed
 	}
 	id := uint32(ix.n + len(ix.delta))
 	clone := vec.Clone(v)
+	var lsn int64
 	if journaled && ix.journal != nil {
-		// Write-ahead: if the record cannot be logged, the insert is not
+		// Write-ahead: if the record cannot be WRITTEN, the insert is not
 		// acknowledged and memory is untouched. The journal heals (or
 		// poisons itself) so the failed bytes can never precede a later
 		// record; the id is not burned — the next insert reuses it, and by
@@ -78,9 +107,11 @@ func (ix *Index) insertLocked(v []float32, journaled bool) (uint32, error) {
 		// gets the private clone, not the caller's slice: under FsyncNever
 		// it retains the vector until a batched flush, and the delta never
 		// mutates it.
-		if err := ix.journal.Append(wal.Record{Type: wal.TypeInsert, ID: id, Vec: clone}); err != nil {
-			return 0, fmt.Errorf("core: insert: %w", err)
+		l, err := ix.journal.Append(wal.Record{Type: wal.TypeInsert, ID: id, Vec: clone})
+		if err != nil {
+			return 0, 0, fmt.Errorf("core: insert: %w", err)
 		}
+		lsn = l
 	}
 	n2 := vec.Norm2Sq(v)
 	ix.delta = append(ix.delta, deltaEntry{id: id, v: clone, ip2: n2})
@@ -89,7 +120,7 @@ func (ix *Index) insertLocked(v []float32, journaled bool) (uint32, error) {
 		// Condition A's proof requires ‖oM‖ to bound every live norm.
 		ix.maxNorm2Sq = n2
 	}
-	return id, nil
+	return id, lsn, nil
 }
 
 // Delete tombstones the point with the given id (from the base index or
@@ -104,30 +135,44 @@ func (ix *Index) Delete(id uint32) bool {
 
 // DeleteChecked is Delete with a typed error: (false, ErrClosed) on a
 // closed index, (false, journal error) when the tombstone could not be
-// logged — the delete is then NOT applied — and (false, nil) when the id
-// was simply absent or already deleted. Journaling follows the same
-// write-ahead discipline as Insert.
+// logged, and (false, nil) when the id was simply absent or already
+// deleted. Journaling follows the same write-ahead and group-commit
+// discipline as Insert: the record write and the in-memory tombstone are
+// sequenced under the exclusive lock, the fsync wait happens after it is
+// released. On a journal WRITE failure the delete is NOT applied; on a
+// group-FSYNC failure it is applied in memory but NOT acknowledged
+// (false, ErrJournalPoisoned-wrapped error) — like an un-acked update, a
+// crash may or may not recover it and a later Save persists it.
 func (ix *Index) DeleteChecked(id uint32) (bool, error) {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if ix.closed {
+		ix.mu.Unlock()
 		return false, errs.ErrClosed
 	}
-	if int(id) >= ix.n+len(ix.delta) {
+	if int(id) >= ix.n+len(ix.delta) || ix.deleted[id] {
+		ix.mu.Unlock()
 		return false, nil
 	}
-	if ix.deleted[id] {
-		return false, nil
-	}
+	var lsn int64
 	if ix.journal != nil {
-		if err := ix.journal.Append(wal.Record{Type: wal.TypeDelete, ID: id}); err != nil {
+		l, err := ix.journal.Append(wal.Record{Type: wal.TypeDelete, ID: id})
+		if err != nil {
+			ix.mu.Unlock()
 			return false, fmt.Errorf("core: delete: %w", err)
 		}
+		lsn = l
 	}
 	if ix.deleted == nil {
 		ix.deleted = make(map[uint32]bool)
 	}
 	ix.deleted[id] = true
+	j := ix.journal
+	ix.mu.Unlock()
+	if lsn > 0 {
+		if err := j.WaitDurable(lsn); err != nil {
+			return false, fmt.Errorf("core: delete: %w", err)
+		}
+	}
 	return true, nil
 }
 
@@ -286,7 +331,7 @@ func (ix *Index) Compact(ctx context.Context, dir string, persist func(next *Ind
 		}
 		// next is private to this call until the swap below, so its lock is
 		// not needed; journaled=false — see insertLocked.
-		newID, err := next.insertLocked(e.v, false)
+		newID, _, err := next.insertLocked(e.v, false)
 		if err != nil {
 			next.Close()
 			return nil, err
@@ -314,15 +359,29 @@ func (ix *Index) Compact(ctx context.Context, dir string, persist func(next *Ind
 			// proceed; surface the error with the valid remap and let the
 			// caller's next Save retry the fsync. Until that Save, a crash
 			// could still recover the OLD generation — so under
-			// FsyncAlways the new journal is poisoned: updates fail loudly
-			// instead of acknowledging a durability promise the pointer
-			// cannot back yet. (FsyncNever acks never promise crash
-			// durability, so they keep flowing.)
+			// FsyncAlways BOTH journals are poisoned: the old one first
+			// (any updater still parked in its WaitDurable is refused
+			// rather than acknowledged against a pointer that may not
+			// survive a crash), then the new one after the swap, so
+			// updates fail loudly instead of acknowledging a durability
+			// promise the pointer cannot back yet. (FsyncNever acks never
+			// promise crash durability, so they keep flowing.)
+			if ix.journal != nil && ix.opts.Fsync == FsyncAlways {
+				ix.journal.Poison(fmt.Errorf("generation pointer not durable: %w", err))
+			}
 			ix.swapLocked(next)
 			if ix.journal != nil && ix.opts.Fsync == FsyncAlways {
 				ix.journal.Poison(fmt.Errorf("generation pointer not durable: %w", err))
 			}
 			return remap, err
+		}
+		// Durable handover complete: every record in the OLD journal is
+		// covered by the new generation's fsynced metadata (the snapshot
+		// and the fold above took all of them in). Seal it so any updater
+		// still waiting on its group fsync is acknowledged from the
+		// metadata's durability instead of racing the Close in swapLocked.
+		if ix.journal != nil {
+			ix.journal.SealDurable()
 		}
 	}
 

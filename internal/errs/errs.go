@@ -24,4 +24,11 @@ var (
 	// point: building over an empty dataset, searching an index whose
 	// points are all deleted, or compacting one.
 	ErrEmptyIndex = errors.New("empty index")
+
+	// ErrJournalPoisoned reports an update journal that refuses further
+	// acknowledgements because an earlier write, fsync or handover failure
+	// could not be healed in place. The condition is RETRYABLE at the index
+	// level: a successful Save persists the in-memory state through the
+	// metadata path and clears it. Servers map it to a retry-later status.
+	ErrJournalPoisoned = errors.New("update journal poisoned")
 )

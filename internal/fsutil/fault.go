@@ -68,6 +68,40 @@ type FaultFS struct {
 	ops     int
 	counts  [opCount]int
 	crashed bool
+	onOp    func(Op)
+}
+
+// SetOnOp installs (or clears, with nil) a hook invoked before every
+// counted mutating operation, OUTSIDE the internal mutex — so the hook may
+// block without stalling FaultFS bookkeeping on other goroutines. Tests
+// use it as a deterministic latency injector: gating OpSync on a channel
+// holds an fsync in flight for as long as the test needs, which is how the
+// group-commit concurrency tests widen their race windows without sleeps.
+func (f *FaultFS) SetOnOp(fn func(Op)) {
+	f.mu.Lock()
+	f.onOp = fn
+	f.mu.Unlock()
+}
+
+// CrashNow crashes the filesystem at the current instant, independent of
+// FailAt: every subsequent operation (including one whose OnOp hook is
+// blocked right now) fails with ErrInjected, exactly as if the process had
+// died. Tests combine it with SetOnOp to crash at a chosen operation whose
+// global index is not deterministic — e.g. "the group fsync that covers
+// these four concurrent inserts".
+func (f *FaultFS) CrashNow() {
+	f.mu.Lock()
+	f.crashed = true
+	f.mu.Unlock()
+}
+
+func (f *FaultFS) hook(op Op) {
+	f.mu.Lock()
+	fn := f.onOp
+	f.mu.Unlock()
+	if fn != nil {
+		fn(op)
+	}
 }
 
 // Ops returns the number of mutating operations observed (in crash mode,
@@ -121,6 +155,7 @@ func (f *FaultFS) step(op Op) verdict {
 }
 
 func (f *FaultFS) Create(path string) (File, error) {
+	f.hook(OpCreate)
 	if f.step(OpCreate) != vProceed {
 		return nil, ErrInjected
 	}
@@ -132,6 +167,7 @@ func (f *FaultFS) Create(path string) (File, error) {
 }
 
 func (f *FaultFS) OpenAppend(path string) (File, error) {
+	f.hook(OpOpenAppend)
 	if f.step(OpOpenAppend) != vProceed {
 		return nil, ErrInjected
 	}
@@ -145,6 +181,7 @@ func (f *FaultFS) OpenAppend(path string) (File, error) {
 func (f *FaultFS) ReadFile(path string) ([]byte, error) { return OS.ReadFile(path) }
 
 func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.hook(OpRename)
 	if f.step(OpRename) != vProceed {
 		return ErrInjected
 	}
@@ -152,6 +189,7 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 }
 
 func (f *FaultFS) Remove(path string) error {
+	f.hook(OpRemove)
 	if f.step(OpRemove) != vProceed {
 		return ErrInjected
 	}
@@ -159,6 +197,7 @@ func (f *FaultFS) Remove(path string) error {
 }
 
 func (f *FaultFS) SyncDir(dir string) error {
+	f.hook(OpSyncDir)
 	if f.step(OpSyncDir) != vProceed {
 		return ErrInjected
 	}
@@ -176,6 +215,7 @@ type faultFile struct {
 }
 
 func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.hook(OpWrite)
 	switch ff.fs.step(OpWrite) {
 	case vFail:
 		return 0, ErrInjected
@@ -190,6 +230,7 @@ func (ff *faultFile) Write(p []byte) (int, error) {
 }
 
 func (ff *faultFile) Sync() error {
+	ff.fs.hook(OpSync)
 	if ff.fs.step(OpSync) != vProceed {
 		return ErrInjected
 	}
@@ -197,6 +238,7 @@ func (ff *faultFile) Sync() error {
 }
 
 func (ff *faultFile) Truncate(size int64) error {
+	ff.fs.hook(OpTruncate)
 	if ff.fs.step(OpTruncate) != vProceed {
 		return ErrInjected
 	}

@@ -28,12 +28,17 @@
 //
 // # Sync policy
 //
-// SyncAlways fsyncs after every record: an acknowledged update survives
-// any crash. SyncNever keeps acknowledged records in memory and writes
-// them out batched at Close (a Save discards them instead — the persisted
-// delta covers them): updates are durable after a clean shutdown, and a
-// crash recovers the last Save — the contract promips.FsyncNever
-// documents.
+// SyncAlways makes every record durable before it is acknowledged: Append
+// writes the record and returns its LSN, and WaitDurable(lsn) blocks until
+// an fsync covering that LSN has completed. The fsyncs are group-committed:
+// whichever waiter finds no fsync in flight becomes the leader and issues
+// one fsync covering every record written so far, then wakes all waiters
+// whose LSN it covered — so N updates racing through the ack path pay ~2
+// fsyncs between them, not N. SyncNever keeps acknowledged records in
+// memory and writes them out batched at Close (a Save discards them
+// instead — the persisted delta covers them): updates are durable after a
+// clean shutdown, and a crash recovers the last Save — the contract
+// promips.FsyncNever documents.
 package wal
 
 import (
@@ -44,6 +49,8 @@ import (
 	"io/fs"
 	"math"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"promips/internal/errs"
@@ -95,12 +102,14 @@ const (
 
 // Journal is an open update journal positioned for appending.
 //
-// Synchronization contract: the mutating methods — Append, Reset, Close —
-// require external serialization; core.Index already orders them under its
-// index lock (appends hold it exclusive, Reset runs inside Save, and the
-// public lifecycle lock serializes Saves), and adding a journal mutex
-// would tax every insert acknowledgement for ordering the caller has
-// already paid for. Len alone is safe concurrently with anything.
+// Synchronization contract: the file-mutating methods — Append, Reset,
+// Close — require external serialization; core.Index already orders them
+// under its index lock (appends hold it exclusive, Reset runs inside Save,
+// and the public lifecycle lock serializes Saves), and adding a journal
+// mutex would tax every insert acknowledgement for ordering the caller has
+// already paid for. WaitDurable, SealDurable, Poison and Len are safe
+// concurrently with anything — WaitDurable in particular is DESIGNED to
+// run outside the caller's lock, so the group fsync never blocks readers.
 //
 // In SyncNever mode Append neither encodes nor writes: it retains the
 // Record (the caller guarantees Vec is immutable — core hands the journal
@@ -122,7 +131,24 @@ type Journal struct {
 
 	pending []Record // SyncNever: acknowledged records awaiting encode+write
 	enc     []byte   // reusable encode scratch
-	bad     error    // first unhealed append/flush failure; poisons the journal
+
+	// Group-commit sequencer state, guarded by gmu. LSNs are 1-based record
+	// sequence numbers, monotone over the journal's whole life — Reset
+	// truncates the FILE but never rewinds the sequence, so a stale LSN can
+	// never be confused with a fresh record's (no ABA across Save cycles).
+	gmu     sync.Mutex
+	gcond   sync.Cond // signaled whenever durable/bad advance
+	written int64     // LSN of the last record fully written to the file
+	durable int64     // highest LSN known durable (fsynced, or sealed by covering metadata)
+	syncing bool      // a leader's fsync is in flight
+	bad     error     // first unhealed failure; poisons the journal until Reset
+}
+
+// newJournal wires the sequencer's condition variable.
+func newJournal(fsys fsutil.FS, path string, mode SyncMode, f fsutil.File, size int64) *Journal {
+	j := &Journal{fsys: fsys, path: path, mode: mode, f: f, size: size}
+	j.gcond.L = &j.gmu
+	return j
 }
 
 // Create starts a fresh, empty journal at path, truncating any previous
@@ -148,7 +174,7 @@ func Create(fsys fsutil.FS, path string, mode SyncMode) (*Journal, error) {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
 	}
-	return &Journal{fsys: fsys, path: path, mode: mode, f: f, size: headerLen}, nil
+	return newJournal(fsys, path, mode, f, headerLen), nil
 }
 
 // Open loads the journal at path, decodes its records, clean-truncates any
@@ -193,8 +219,10 @@ func Open(fsys fsutil.FS, path string, mode SyncMode) (*Journal, []Record, int64
 			}
 		}
 	}
-	j := &Journal{fsys: fsys, path: path, mode: mode, f: f, size: validLen}
+	j := newJournal(fsys, path, mode, f, validLen)
 	j.count.Store(int64(len(recs)))
+	// Replayed records are on disk and (post-truncate) synced: durable.
+	j.written, j.durable = int64(len(recs)), int64(len(recs))
 	return j, recs, torn, nil
 }
 
@@ -291,41 +319,118 @@ func appendRecord(dst []byte, r Record) []byte {
 	return dst
 }
 
-// Append logs one record under the journal's sync policy and returns once
-// the record is acknowledged per that policy: written-and-fsynced under
-// SyncAlways, retained for the next batched flush under SyncNever (r.Vec
-// must stay immutable until then — see the type comment). On a write or
-// sync failure the journal heals itself by truncating back to the last
-// good size; if even that fails, the journal is poisoned — every later
-// Append returns the original error — until a Reset succeeds, so a
-// half-written record can never be followed by a record that would replay
-// wrongly.
-func (j *Journal) Append(r Record) error {
+// Append sequences one record into the log and returns its LSN. Under
+// SyncAlways the record is WRITTEN but not yet durable: the caller must
+// acknowledge the update only after WaitDurable(lsn) returns nil — the
+// split is what lets core release its index lock between the write and the
+// fsync. Under SyncNever the record is retained for the next batched flush
+// (r.Vec must stay immutable until then — see the type comment) and the
+// returned LSN is 0: WaitDurable(0) is a no-op, matching the policy's
+// no-crash-durability contract. On a write failure the journal heals
+// itself by truncating back to the last good size — the caller's memory
+// state is untouched and the failed bytes can never precede a later
+// record; if even the heal fails, the journal is poisoned (every later
+// Append returns ErrJournalPoisoned wrapping the original failure) until a
+// Reset succeeds.
+func (j *Journal) Append(r Record) (int64, error) {
+	j.gmu.Lock()
 	if j.bad != nil {
-		return fmt.Errorf("wal: journal poisoned by earlier failure: %w", j.bad)
+		err := j.poisonedErrLocked()
+		j.gmu.Unlock()
+		return 0, err
 	}
+	j.gmu.Unlock()
 	if j.mode == SyncNever {
 		j.pending = append(j.pending, r)
 		j.count.Add(1)
-		return nil
+		return 0, nil
 	}
 	j.enc = appendRecord(j.enc[:0], r)
 	if err := j.write(j.enc, "append"); err != nil {
-		return err
+		return 0, err
 	}
 	j.count.Add(1)
-	return nil
+	j.gmu.Lock()
+	j.written++
+	lsn := j.written
+	j.gmu.Unlock()
+	return lsn, nil
 }
 
-// write puts enc at the end of the log (fsyncing under SyncAlways),
-// healing or poisoning on failure; on success j.size advances.
+// WaitDurable blocks until every record up to lsn is durable and returns
+// nil, or returns the error that makes durability impossible (the journal
+// was poisoned, or this group's fsync failed). It runs the group-commit
+// protocol: the first waiter that finds no fsync in flight becomes the
+// leader and fsyncs once for ALL records written so far; waiters that
+// arrive while that fsync is in flight sleep, and whichever of them the
+// completed fsync did not cover elects the next leader — so any burst of
+// concurrent appenders is drained by at most two fsyncs. Safe for
+// concurrent use and intended to be called WITHOUT the caller's index
+// lock. WaitDurable(0) and SyncNever-mode calls return nil immediately.
+func (j *Journal) WaitDurable(lsn int64) error {
+	if lsn <= 0 || j.mode == SyncNever {
+		return nil
+	}
+	j.gmu.Lock()
+	defer j.gmu.Unlock()
+	for {
+		// Durability is checked before poison: a record covered by an
+		// earlier fsync (or sealed by covering metadata) stays acknowledged
+		// even if the journal failed afterwards.
+		if lsn <= j.durable {
+			return nil
+		}
+		if j.bad != nil {
+			return j.poisonedErrLocked()
+		}
+		if !j.syncing {
+			j.syncing = true
+			j.gmu.Unlock()
+			// Group-commit gather: yield once before capturing the fsync's
+			// target so updaters already acknowledged by the previous round
+			// (or past their index lock) can land their records and join
+			// this fsync instead of electing another. This matters most at
+			// GOMAXPROCS=1, where the fsync syscall below pins the only P —
+			// without the yield, waiters pile onto the NEXT round and a
+			// saturated ack path degrades toward one fsync per record.
+			runtime.Gosched()
+			j.gmu.Lock()
+			target := j.written
+			j.gmu.Unlock()
+			err := j.f.Sync()
+			j.gmu.Lock()
+			j.syncing = false
+			if err != nil {
+				// A failed group fsync cannot be healed by truncation: the
+				// covered records are already applied in their callers'
+				// memory (and possibly on disk). Poison — no further update
+				// is acknowledged until a Save re-establishes durability
+				// through the metadata path and Resets the journal.
+				if j.bad == nil {
+					j.bad = fmt.Errorf("wal: group fsync: %w", err)
+				}
+			} else if target > j.durable {
+				j.durable = target
+			}
+			j.gcond.Broadcast()
+			continue
+		}
+		j.gcond.Wait()
+	}
+}
+
+// poisonedErrLocked wraps the poisoning failure in the retryable sentinel.
+// Caller holds gmu.
+func (j *Journal) poisonedErrLocked() error {
+	return fmt.Errorf("wal: %w by earlier failure: %w", errs.ErrJournalPoisoned, j.bad)
+}
+
+// write puts enc at the end of the log, healing or poisoning on failure;
+// on success j.size advances. Durability is WaitDurable's business.
 func (j *Journal) write(enc []byte, what string) error {
 	n, err := j.f.Write(enc)
 	if err == nil && n < len(enc) {
 		err = fmt.Errorf("wal: short write (%d of %d bytes)", n, len(enc))
-	}
-	if err == nil && j.mode == SyncAlways {
-		err = j.f.Sync()
 	}
 	if err == nil {
 		j.size += int64(len(enc))
@@ -334,7 +439,12 @@ func (j *Journal) write(enc []byte, what string) error {
 	// Heal: cut back to the last record boundary. The failed bytes may or
 	// may not be on disk; either way nothing after j.size is acknowledged.
 	if terr := j.f.Truncate(j.size); terr != nil {
-		j.bad = err
+		j.gmu.Lock()
+		if j.bad == nil {
+			j.bad = err
+		}
+		j.gcond.Broadcast()
+		j.gmu.Unlock()
 	}
 	return fmt.Errorf("wal: %s: %w", what, err)
 }
@@ -351,9 +461,7 @@ func (j *Journal) flush() error {
 		j.enc = appendRecord(j.enc, r)
 	}
 	if err := j.write(j.enc, "flush"); err != nil {
-		if j.bad == nil {
-			j.bad = err
-		}
+		j.Poison(err)
 		return err
 	}
 	j.pending = j.pending[:0]
@@ -365,44 +473,72 @@ func (j *Journal) flush() error {
 // is safe to call concurrently with any other method.
 func (j *Journal) Len() int { return int(j.count.Load()) }
 
-// Poison puts the journal in the failed state: every Append returns err
-// until a Reset succeeds. Callers use it when the journal's backing
-// guarantee has been lost out-of-band — e.g. the generation pointer that
-// makes this journal the recovered one could not be fsynced — so that no
-// update can be acknowledged against a durability promise that cannot be
-// kept.
+// Poison puts the journal in the failed state: every Append (and every
+// WaitDurable for a not-yet-durable LSN) returns ErrJournalPoisoned
+// wrapping err until a Reset succeeds. Callers use it when the journal's
+// backing guarantee has been lost out-of-band — e.g. the generation
+// pointer that makes this journal the recovered one could not be fsynced —
+// so that no update can be acknowledged against a durability promise that
+// cannot be kept. Safe for concurrent use; waiters are woken.
 func (j *Journal) Poison(err error) {
+	j.gmu.Lock()
 	if j.bad == nil {
 		j.bad = err
 	}
+	j.gcond.Broadcast()
+	j.gmu.Unlock()
+}
+
+// SealDurable marks every record written so far as durable OUT-OF-BAND:
+// the caller established durability through another channel — the records
+// were folded into a new generation whose metadata and generation pointer
+// are fsynced — so waiters are acknowledged without another fsync of this
+// (retired) file. Compact uses it on the old generation's journal right
+// before closing it; without the seal, an in-flight WaitDurable would race
+// the Close and fail a group fsync whose records are in fact durable.
+// Safe for concurrent use.
+func (j *Journal) SealDurable() {
+	j.gmu.Lock()
+	if j.written > j.durable {
+		j.durable = j.written
+	}
+	j.gcond.Broadcast()
+	j.gmu.Unlock()
 }
 
 // Reset empties the journal — called once the updates it logs are durable
-// in the persisted metadata. A successful Reset also clears a poisoned
-// state: whatever half-written bytes poisoned it are gone with the
-// truncate, and pending records are covered by the meta that prompted the
-// Reset. A crash between the metadata fsync and Reset is safe: replay is
-// idempotent against the persisted delta (ids below the watermark are
+// in the persisted metadata. That precondition means every written record
+// is durable REGARDLESS of how the truncation below fares, so Reset first
+// seals the sequencer (releasing any in-flight WaitDurable with success —
+// their records are covered by the meta that prompted the Reset) and
+// clears the poisoned state. A successful Reset clears poisoning for
+// appends too: whatever half-written bytes poisoned it are gone with the
+// truncate. A crash between the metadata fsync and Reset is safe: replay
+// is idempotent against the persisted delta (ids below the watermark are
 // skipped, deletes re-apply).
 func (j *Journal) Reset() error {
+	j.gmu.Lock()
+	if j.written > j.durable {
+		j.durable = j.written
+	}
+	j.gcond.Broadcast()
+	j.gmu.Unlock()
 	j.pending = j.pending[:0]
 	if err := j.f.Truncate(headerLen); err != nil {
-		if j.bad == nil {
-			j.bad = err
-		}
+		j.Poison(err)
 		return fmt.Errorf("wal: reset: %w", err)
 	}
 	if j.mode == SyncAlways {
 		if err := j.f.Sync(); err != nil {
-			if j.bad == nil {
-				j.bad = err
-			}
+			j.Poison(err)
 			return fmt.Errorf("wal: reset sync: %w", err)
 		}
 	}
 	j.size = headerLen
 	j.count.Store(0)
+	j.gmu.Lock()
 	j.bad = nil
+	j.gmu.Unlock()
 	return nil
 }
 

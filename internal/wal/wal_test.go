@@ -4,11 +4,24 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"promips/internal/errs"
 	"promips/internal/fsutil"
 )
+
+// logRecord appends r and waits for its durability — the full acknowledge
+// cycle a single-threaded caller runs (core splits the two halves around
+// its index lock; see Append/WaitDurable).
+func logRecord(j *Journal, r Record) error {
+	lsn, err := j.Append(r)
+	if err != nil {
+		return err
+	}
+	return j.WaitDurable(lsn)
+}
 
 func mkRecords() []Record {
 	return []Record{
@@ -48,7 +61,7 @@ func TestRoundTrip(t *testing.T) {
 		}
 		want := mkRecords()
 		for _, r := range want {
-			if err := j.Append(r); err != nil {
+			if err := logRecord(j, r); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -100,7 +113,7 @@ func TestTornTailTruncated(t *testing.T) {
 	want := mkRecords()
 	var sizes []int64 // file size after each record
 	for _, r := range want {
-		if err := j.Append(r); err != nil {
+		if err := logRecord(j, r); err != nil {
 			t.Fatal(err)
 		}
 		st, _ := os.Stat(path)
@@ -141,7 +154,7 @@ func TestTornTailTruncated(t *testing.T) {
 			t.Fatalf("cut=%d: file size %d after reopen, want %d", cut, st.Size(), sizes[wantN-1])
 		}
 		// And the journal must accept appends cleanly after truncation.
-		if err := j2.Append(Record{Type: TypeDelete, ID: 9}); err != nil {
+		if err := logRecord(j2, Record{Type: TypeDelete, ID: 9}); err != nil {
 			t.Fatalf("cut=%d: append after truncation: %v", cut, err)
 		}
 		j2.Close()
@@ -191,7 +204,7 @@ func TestReset(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, r := range mkRecords() {
-		if err := j.Append(r); err != nil {
+		if err := logRecord(j, r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -201,7 +214,7 @@ func TestReset(t *testing.T) {
 	if j.Len() != 0 {
 		t.Fatalf("Len after reset = %d", j.Len())
 	}
-	if err := j.Append(Record{Type: TypeDelete, ID: 3}); err != nil {
+	if err := logRecord(j, Record{Type: TypeDelete, ID: 3}); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -215,8 +228,9 @@ func TestReset(t *testing.T) {
 }
 
 // TestSyncPolicy pins the policy's observable contract through the fault
-// injector's op counters: SyncAlways issues one fsync per acknowledged
-// record, SyncNever issues none (and no write either, while buffered).
+// injector's op counters: a SEQUENTIAL SyncAlways caller pays one fsync
+// per acknowledged record (group commit only amortizes overlapping
+// waiters), SyncNever issues none (and no write either, while buffered).
 func TestSyncPolicy(t *testing.T) {
 	dir := t.TempDir()
 	ffs := &fsutil.FaultFS{}
@@ -226,7 +240,7 @@ func TestSyncPolicy(t *testing.T) {
 	}
 	base := ffs.Count(fsutil.OpSync)
 	for i := 0; i < 3; i++ {
-		if err := j.Append(Record{Type: TypeDelete, ID: uint32(i)}); err != nil {
+		if err := logRecord(j, Record{Type: TypeDelete, ID: uint32(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -242,7 +256,7 @@ func TestSyncPolicy(t *testing.T) {
 	}
 	w0, s0 := ffs2.Count(fsutil.OpWrite), ffs2.Count(fsutil.OpSync)
 	for i := 0; i < 3; i++ {
-		if err := j2.Append(Record{Type: TypeDelete, ID: uint32(i)}); err != nil {
+		if err := logRecord(j2, Record{Type: TypeDelete, ID: uint32(i)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -270,19 +284,19 @@ func TestSyncPolicy(t *testing.T) {
 // land after garbage.
 func TestAppendFailureHealsOrPoisons(t *testing.T) {
 	dir := t.TempDir()
-	// Create = create+write+sync+syncdir (ops 1-4). Append = write+sync.
-	// Fail the first append's write (op 5), crash mode off so the healing
-	// truncate (op 6) succeeds.
+	// Create = create+write+sync+syncdir (ops 1-4). Append = write; the
+	// group fsync lives in WaitDurable. Fail the first append's write
+	// (op 5), crash mode off so the healing truncate (op 6) succeeds.
 	ffs := &fsutil.FaultFS{FailAt: 5}
 	j, err := Create(ffs, filepath.Join(dir, "wal.log"), SyncAlways)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Append(Record{Type: TypeInsert, ID: 0, Vec: []float32{1, 2}}); !errors.Is(err, fsutil.ErrInjected) {
+	if err := logRecord(j, Record{Type: TypeInsert, ID: 0, Vec: []float32{1, 2}}); !errors.Is(err, fsutil.ErrInjected) {
 		t.Fatalf("append err = %v", err)
 	}
 	// Healed: the next append must succeed and the log must hold exactly it.
-	if err := j.Append(Record{Type: TypeDelete, ID: 5}); err != nil {
+	if err := logRecord(j, Record{Type: TypeDelete, ID: 5}); err != nil {
 		t.Fatalf("append after heal: %v", err)
 	}
 	j.Close()
@@ -300,11 +314,142 @@ func TestAppendFailureHealsOrPoisons(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j2.Append(Record{Type: TypeDelete, ID: 1}); err == nil {
+	if err := logRecord(j2, Record{Type: TypeDelete, ID: 1}); err == nil {
 		t.Fatal("append should fail")
 	}
-	if err := j2.Append(Record{Type: TypeDelete, ID: 2}); err == nil {
+	if err := logRecord(j2, Record{Type: TypeDelete, ID: 2}); err == nil {
 		t.Fatal("poisoned journal accepted a record")
+	} else if !errors.Is(err, errs.ErrJournalPoisoned) {
+		t.Fatalf("poisoned append err = %v, want ErrJournalPoisoned", err)
+	}
+}
+
+// TestGroupCommitCoalesces drives the sequencer with concurrent waiters:
+// while one fsync is gated, every other appender queues behind it, and
+// releasing the gate must drain them all with at most one more fsync —
+// N overlapping acknowledgements, ≤2 fsyncs.
+func TestGroupCommitCoalesces(t *testing.T) {
+	const n = 8
+	ffs := &fsutil.FaultFS{}
+	j, err := Create(ffs, filepath.Join(t.TempDir(), "wal.log"), SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	ffs.SetOnOp(func(op fsutil.Op) {
+		if op == fsutil.OpSync {
+			select {
+			case entered <- struct{}{}:
+			default:
+			}
+			<-hold
+		}
+	})
+
+	// Appends require external serialization (core holds its index lock);
+	// emulate that with a mutex, then wait concurrently — the real shape of
+	// the core ack path.
+	var appendMu sync.Mutex
+	base := ffs.Count(fsutil.OpSync)
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(id uint32) {
+			appendMu.Lock()
+			lsn, err := j.Append(Record{Type: TypeDelete, ID: id})
+			appendMu.Unlock()
+			if err != nil {
+				errc <- err
+				return
+			}
+			errc <- j.WaitDurable(lsn)
+		}(uint32(i))
+	}
+	<-entered // a leader fsync is in flight
+	// Wait until every record is written (writes are not gated), so the
+	// remaining waiters are all queued behind the in-flight fsync.
+	for j.Len() < n {
+		time.Sleep(time.Millisecond)
+	}
+	close(hold)
+	for i := 0; i < n; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := ffs.Count(fsutil.OpSync) - base; got > 2 {
+		t.Fatalf("%d overlapping acks cost %d fsyncs, want ≤2", n, got)
+	}
+}
+
+// TestSealDurable: sealing marks written records durable out-of-band — a
+// later WaitDurable returns without fsyncing, and a follower queued behind
+// a stuck leader fsync is released by the seal alone. This is the Compact
+// handover path, where durability comes from the new generation's
+// persisted metadata rather than this journal's file.
+func TestSealDurable(t *testing.T) {
+	ffs := &fsutil.FaultFS{}
+	j, err := Create(ffs, filepath.Join(t.TempDir(), "wal.log"), SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	// Sealed-before-wait: no fsync at all.
+	lsn, err := j.Append(Record{Type: TypeDelete, ID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ffs.Count(fsutil.OpSync)
+	j.SealDurable()
+	if err := j.WaitDurable(lsn); err != nil {
+		t.Fatalf("WaitDurable after seal = %v", err)
+	}
+	if got := ffs.Count(fsutil.OpSync) - base; got != 0 {
+		t.Fatalf("sealed WaitDurable issued %d fsyncs, want 0", got)
+	}
+
+	// Sealed mid-flight: gate the leader's fsync, queue a follower behind
+	// it, and check the seal releases the follower while the leader is
+	// still stuck on the gate.
+	hold := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	ffs.SetOnOp(func(op fsutil.Op) {
+		if op == fsutil.OpSync {
+			select {
+			case entered <- struct{}{}:
+			default:
+			}
+			<-hold
+		}
+	})
+	lsn1, err := j.Append(Record{Type: TypeDelete, ID: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lead := make(chan error, 1)
+	go func() { lead <- j.WaitDurable(lsn1) }()
+	<-entered // leader fsync in flight, gated
+	lsn2, err := j.Append(Record{Type: TypeDelete, ID: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	follow := make(chan error, 1)
+	go func() { follow <- j.WaitDurable(lsn2) }()
+	j.SealDurable()
+	select {
+	case err := <-follow:
+		if err != nil {
+			t.Fatalf("follower after seal = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("seal did not release the queued follower")
+	}
+	close(hold)
+	if err := <-lead; err != nil {
+		t.Fatalf("leader after gate release = %v", err)
 	}
 }
 
