@@ -156,6 +156,12 @@ type PerfReport struct {
 	BatchModel *BatchModel  `json:"batch_model,omitempty"`
 	BatchWarm  []BatchPoint `json:"batch_qps_warm,omitempty"`
 
+	// Shards is the scale-out curve: disk-model SearchBatch QPS of the
+	// same workload at growing shard counts under the node-per-shard
+	// model — each shard owns a standard disk-model pool and miss
+	// channel (see MeasureShardScaling).
+	Shards []ShardPoint `json:"shard_scaling,omitempty"`
+
 	Prefilter *PrefilterEffect `json:"pq_prefilter,omitempty"`
 	Gate      *GatePoint       `json:"gate,omitempty"`
 
@@ -288,6 +294,13 @@ func RunPerf(ctx context.Context, cfg PerfConfig) (*PerfReport, error) {
 		return nil, err
 	}
 	rep.Batch, err = measureBatchCurve(ctx, env, ixDisk, cfg.K, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scale-out curve: the disk model at 8 workers across shard counts,
+	// one standard pool + miss channel per shard (node-per-shard model).
+	rep.Shards, err = MeasureShardScaling(ctx, env, []int{1, 2, 4, 8}, cfg.K, 8, 3)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"promips"
+	"promips/shard"
+)
+
+// ShardPoint is one shard count's disk-model SearchBatch measurement: the
+// whole query workload pushed through shard.Index.SearchBatch at a fixed
+// worker count. SpeedupVs1 is QPS relative to the 1-shard point of the
+// same sweep — the scale-out headline: a K-shard search fans one query
+// into K parallel sub-searches, each against its own shard's buffer pool
+// and disk channel, so misses that serialize inside a single-shard query
+// overlap across shards and the aggregate cache grows with K.
+type ShardPoint struct {
+	Shards        int     `json:"shards"`
+	Workers       int     `json:"workers"`
+	QPS           float64 `json:"qps"`
+	SpeedupVs1    float64 `json:"speedup_vs_1_shard"`
+	PagesPerQuery float64 `json:"pages_per_query"`
+	HitRatio      float64 `json:"hit_ratio"`
+}
+
+// shardPoolPages is each shard's buffer-pool budget: the full disk-model
+// pool, because the scale-out model is one node per shard — each shard
+// owns its own buffer pool and disk channel, so aggregate cache and I/O
+// parallelism grow with K (that is what sharding buys), while the
+// per-node resources stay fixed.
+func shardPoolPages(k int) int { return DiskModelPoolPages }
+
+// MeasureShardScaling measures the disk-model batch throughput of the
+// same workload at each shard count under the node-per-shard model (see
+// shardPoolPages): every index is built from the same data with the same
+// per-point parameters, and each shard gets the standard disk-model pool
+// and miss latency of its own. The rounds multiply the workload for
+// measurement stability.
+func MeasureShardScaling(ctx context.Context, e *Env, shardCounts []int, k, workers, rounds int) ([]ShardPoint, error) {
+	if rounds <= 0 {
+		rounds = 1
+	}
+	workload := make([][]float32, 0, len(e.Queries)*rounds)
+	for r := 0; r < rounds; r++ {
+		workload = append(workload, e.Queries...)
+	}
+	var out []ShardPoint
+	var base float64
+	for _, sc := range shardCounts {
+		ix, err := shard.Build(e.Data, shard.Options{
+			Shards: sc,
+			Dir:    filepath.Join(e.dir, fmt.Sprintf("shards-%d", sc)),
+			Index: promips.Options{
+				C: e.Cfg.C, P: e.Cfg.P, M: e.Cfg.Spec.M,
+				PageSize: e.Cfg.Spec.PageSize, Seed: e.Cfg.Seed,
+				PoolSize:    shardPoolPages(sc),
+				MissLatency: DiskModelMissLatency,
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("build %d-shard index: %w", sc, err)
+		}
+		// Untimed settling pass so no point pays the fully cold pool alone.
+		if _, _, err := ix.SearchBatch(ctx, e.Queries, k, promips.WithWorkers(workers)); err != nil {
+			ix.Close()
+			return nil, err
+		}
+		before := ix.CacheStats()
+		start := time.Now()
+		_, stats, err := ix.SearchBatch(ctx, workload, k, promips.WithWorkers(workers))
+		if err != nil {
+			ix.Close()
+			return nil, err
+		}
+		elapsed := time.Since(start).Seconds()
+		interval := ix.CacheStats().Sub(before)
+		ix.Close()
+		var pages float64
+		for _, st := range stats {
+			pages += float64(st.PageAccesses)
+		}
+		nq := float64(len(workload))
+		qps := nq / elapsed
+		if base == 0 {
+			base = qps
+		}
+		out = append(out, ShardPoint{
+			Shards:        sc,
+			Workers:       workers,
+			QPS:           qps,
+			SpeedupVs1:    qps / base,
+			PagesPerQuery: pages / nq,
+			HitRatio:      interval.HitRatio(),
+		})
+	}
+	return out, nil
+}
+
+// ShardScaling renders MeasureShardScaling as a benchrunner table
+// (-fig shards): QPS across shard counts on the node-per-shard disk
+// model.
+func ShardScaling(ctx context.Context, e *Env, shardCounts []int, k, workers, rounds int) (Table, error) {
+	t := Table{
+		Title: fmt.Sprintf("Shard scaling: SearchBatch QPS vs shard count — %s (k=%d, %d workers, disk model: %d pool pages and %v/miss per shard)",
+			e.Cfg.Spec.Name, k, workers, DiskModelPoolPages, DiskModelMissLatency),
+		Header: []string{"shards", "QPS", "speedup", "pages/query", "hit%"},
+	}
+	points, err := MeasureShardScaling(ctx, e, shardCounts, k, workers, rounds)
+	if err != nil {
+		return t, err
+	}
+	for _, p := range points {
+		t.AddRow(fmt.Sprint(p.Shards), f1(p.QPS), fmt.Sprintf("%.2fx", p.SpeedupVs1),
+			f1(p.PagesPerQuery), f1(p.HitRatio*100))
+	}
+	return t, nil
+}

@@ -6,7 +6,11 @@
 //
 // The environment (Netflix-analogue dataset, all four method indexes) is
 // built once and shared across benchmarks.
-package promips
+//
+// This is an external test package (promips_test): bench imports the root
+// package via bench/shards.go, so an in-package test file would close an
+// import cycle through the test binary.
+package promips_test
 
 import (
 	"context"
@@ -17,6 +21,7 @@ import (
 	"sync"
 	"testing"
 
+	"promips"
 	"promips/bench"
 	"promips/internal/core"
 	"promips/internal/dataset"
@@ -146,14 +151,14 @@ func BenchmarkInsertAck(b *testing.B) {
 	}
 	for _, tc := range []struct {
 		name  string
-		fsync FsyncPolicy
+		fsync promips.FsyncPolicy
 	}{
-		{"journal-off", FsyncDisabled},
-		{"fsync-never", FsyncNever},
-		{"fsync-always", FsyncAlways},
+		{"journal-off", promips.FsyncDisabled},
+		{"fsync-never", promips.FsyncNever},
+		{"fsync-always", promips.FsyncAlways},
 	} {
 		b.Run(tc.name, func(b *testing.B) {
-			ix, err := Build(data, Options{Dir: b.TempDir(), Seed: 18, M: 5, Fsync: tc.fsync})
+			ix, err := promips.Build(data, promips.Options{Dir: b.TempDir(), Seed: 18, M: 5, Fsync: tc.fsync})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -192,7 +197,7 @@ func BenchmarkInsertAckParallel(b *testing.B) {
 	}
 	for _, updaters := range []int{2, 8} {
 		b.Run("updaters="+strconv.Itoa(updaters), func(b *testing.B) {
-			ix, err := Build(data, Options{Dir: b.TempDir(), Seed: 18, M: 5, Fsync: FsyncAlways})
+			ix, err := promips.Build(data, promips.Options{Dir: b.TempDir(), Seed: 18, M: 5, Fsync: promips.FsyncAlways})
 			if err != nil {
 				b.Fatal(err)
 			}

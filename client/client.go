@@ -82,15 +82,43 @@ type DeleteResponse struct {
 	Deleted bool `json:"deleted"`
 }
 
-// StatsResponse is a point-in-time snapshot of the served index.
+// StatsResponse is a point-in-time snapshot of the served index. For a
+// sharded index (promipsd -shards / a SHARDS directory) the scalar fields
+// aggregate over the shards — counters sum, Cache is the component-wise
+// total — and the Shards fields break the journal down per shard. For a
+// follower replica ReadOnly is true and Replication reports convergence.
 type StatsResponse struct {
-	Points     int                 `json:"points"`      // base-index points (compaction folds the delta in)
-	Live       int                 `json:"live"`        // live points: base + delta - tombstones
-	Dim        int                 `json:"dim"`         // vector dimensionality
-	M          int                 `json:"m"`           // projected dimensionality
-	JournalLen int                 `json:"journal_len"` // acknowledged updates a crash-recovery would replay
-	Cache      promips.CacheStats  `json:"cache"`       // whole-run buffer-pool counters
-	Recovery   promips.RecoveryStats `json:"recovery"`  // what the journal replay at startup recovered
+	Points     int                   `json:"points"`      // base-index points (compaction folds the delta in)
+	Live       int                   `json:"live"`        // live points: base + delta - tombstones
+	Dim        int                   `json:"dim"`         // vector dimensionality
+	M          int                   `json:"m"`           // projected dimensionality
+	JournalLen int                   `json:"journal_len"` // acknowledged updates a crash-recovery would replay (summed over shards)
+	Cache      promips.CacheStats    `json:"cache"`       // whole-run buffer-pool counters (summed over shards)
+	Recovery   promips.RecoveryStats `json:"recovery"`    // what the journal replay at startup recovered (summed over shards)
+
+	// Shards is the shard count K of a sharded index; 0 for an unsharded
+	// one. ShardJournalLens is each shard's pending journal length in
+	// shard order (present only when Shards > 0).
+	Shards          int   `json:"shards,omitempty"`
+	ShardJournalLens []int `json:"shard_journal_lens,omitempty"`
+
+	// ReadOnly marks a follower replica: updates are rejected with
+	// CodeReadOnly, and Replication reports how converged it is.
+	ReadOnly    bool               `json:"read_only,omitempty"`
+	Replication *ReplicationStats  `json:"replication,omitempty"`
+}
+
+// ReplicationStats reports a follower replica's convergence.
+type ReplicationStats struct {
+	// Watermarks is the per-shard LSN watermark: how many records of the
+	// primary shard's current journal epoch the replica's state covers.
+	Watermarks []int64 `json:"watermarks"`
+	// Lag is the primary's acknowledged records not yet applied here,
+	// summed over shards, as of the stats call; 0 means converged.
+	Lag int64 `json:"lag"`
+	// Refreshes counts full shard re-snapshots (primary Save/Compact
+	// epochs crossed).
+	Refreshes int64 `json:"refreshes"`
 }
 
 // ErrorBody is the JSON body of every non-2xx response.
@@ -108,6 +136,7 @@ const (
 	CodeEmptyIndex      = "empty_index"      // 422: the index has no live points
 	CodeQueueFull       = "queue_full"       // 429: admission queue overflow; retry after backoff
 	CodeClosed          = "closed"           // 503: the index is shutting down
+	CodeReadOnly        = "read_only"        // 403: follower replica; address updates to the primary
 	CodeJournalPoisoned = "journal_poisoned" // 503: updates refused until a Save heals the journal; retryable
 	CodeDeadline        = "deadline"         // 504: the per-request deadline expired
 	CodeInternal        = "internal"         // 500: everything else
@@ -138,6 +167,8 @@ func (e *APIError) Is(target error) bool {
 		return target == promips.ErrClosed
 	case CodeJournalPoisoned:
 		return target == promips.ErrJournalPoisoned
+	case CodeReadOnly:
+		return target == promips.ErrReadOnlyReplica
 	case CodeDeadline:
 		return target == context.DeadlineExceeded
 	}

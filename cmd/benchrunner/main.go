@@ -12,7 +12,8 @@
 // 7 (page access), 8 (CPU time), 9 (total time), 10 (impact of c),
 // 11 (impact of p), table2 (complexity scaling), ablations (Quick-Probe,
 // partition pattern, projected dimension), concurrency (QPS of one shared
-// index under 1/2/4/8 workers).
+// index under 1/2/4/8 workers), shards (disk-model QPS across 1/2/4/8
+// shards at a fixed worker count, one disk-model pool per shard).
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all,4,5,6,7,8,9,10,11,table2,ablations,concurrency")
+	fig := flag.String("fig", "all", "figure to regenerate: all,4,5,6,7,8,9,10,11,table2,ablations,concurrency,shards")
 	ds := flag.String("dataset", "all", "dataset: all, Netflix, Yahoo, P53, Sift")
 	n := flag.Int("n", 0, "points per dataset (0 = laptop-scale default)")
 	queries := flag.Int("queries", 0, "queries per dataset (0 = 100, the paper's workload)")
@@ -137,6 +138,10 @@ func runPerf(ctx context.Context, out, label, baselinePath string, n, queries in
 	for _, bp := range rep.BatchWarm {
 		fmt.Printf("perf[%s]: batch-warm workers=%d %.0f qps (%.2fx)\n", rep.Label, bp.Workers, bp.QPS, bp.Speedup)
 	}
+	for _, sp := range rep.Shards {
+		fmt.Printf("perf[%s]: shards=%d workers=%d %.0f qps (%.2fx vs 1 shard, %.1f pages/q, hit %.1f%%)\n",
+			rep.Label, sp.Shards, sp.Workers, sp.QPS, sp.SpeedupVs1, sp.PagesPerQuery, sp.HitRatio*100)
+	}
 	if g := rep.Gate; g != nil {
 		fmt.Printf("perf[%s]: gate n=%d queries=%d: %.2f pages/query\n", rep.Label, g.N, g.NumQueries, g.PagesPerQuery)
 	}
@@ -236,6 +241,14 @@ func runDataset(ctx context.Context, spec dataset.Spec, fig string, n, queries i
 		}
 		fmt.Println()
 		t2.Fprint(os.Stdout)
+	}
+	if fig == "all" || fig == "shards" {
+		t, err := bench.ShardScaling(ctx, env, []int{1, 2, 4, 8}, 10, 8, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t.Fprint(os.Stdout)
 	}
 	if fig == "all" || fig == "ablations" {
 		t, err := bench.AblationQuickProbe(env, []int{10, 50, 100})

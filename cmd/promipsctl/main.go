@@ -21,7 +21,35 @@ import (
 
 	"promips"
 	"promips/dataset"
+	"promips/shard"
 )
+
+// ctlIndex is the surface the read-side subcommands need; satisfied by
+// both *promips.Index and *shard.Index, so every subcommand works on
+// either layout.
+type ctlIndex interface {
+	Search(ctx context.Context, q []float32, k int, opts ...promips.SearchOption) ([]promips.Result, promips.SearchStats, error)
+	Len() int
+	LiveCount() int
+	Dim() int
+	M() int
+	JournalLen() int
+	Options() promips.Options
+	Recovery() promips.RecoveryStats
+	CacheStats() promips.CacheStats
+	Sizes() promips.SizeBreakdown
+	Save() error
+	Close() error
+}
+
+// openAny opens dir as whichever index layout it holds: the SHARDS
+// manifest selects the sharded opener, anything else the single-index one.
+func openAny(dir string) (ctlIndex, error) {
+	if shard.IsSharded(dir) {
+		return shard.Open(dir)
+	}
+	return promips.Open(dir)
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -52,7 +80,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  promipsctl build   -data vectors.pds -dir ./idx [-c 0.9 -p 0.5 -m 0 -page 4096 -seed 1]
+  promipsctl build   -data vectors.pds -dir ./idx [-shards 1 -c 0.9 -p 0.5 -m 0 -page 4096 -seed 1]
   promipsctl query   -dir ./idx -data vectors.pds [-k 10 -queries 5 -seed 1 -c 0 -p 0 -timeout 0]
   promipsctl compact -dir ./idx [-timeout 0]
   promipsctl stats   -dir ./idx [-timeout 0]
@@ -83,6 +111,7 @@ func runBuild(args []string) error {
 	m := fs.Int("m", 0, "projected dimension (0 = optimized)")
 	page := fs.Int("page", 4096, "disk page size in bytes")
 	seed := fs.Int64("seed", 1, "random seed")
+	shards := fs.Int("shards", 1, "shard count K (K>1 builds a sharded index: parallel fan-out search, per-shard journals)")
 	fs.Parse(args)
 	if *dataPath == "" || *dir == "" {
 		return fmt.Errorf("build requires -data and -dir")
@@ -95,11 +124,21 @@ func runBuild(args []string) error {
 		return err
 	}
 	start := time.Now()
-	ix, err := promips.Build(data, promips.Options{
-		Dir: *dir, C: *c, P: *p, M: *m, PageSize: *page, Seed: *seed,
-	})
-	if err != nil {
-		return err
+	indexOpts := promips.Options{C: *c, P: *p, M: *m, PageSize: *page, Seed: *seed}
+	var ix ctlIndex
+	if *shards > 1 {
+		six, err := shard.Build(data, shard.Options{Shards: *shards, Dir: *dir, Index: indexOpts})
+		if err != nil {
+			return err
+		}
+		ix = six
+	} else {
+		indexOpts.Dir = *dir
+		uix, err := promips.Build(data, indexOpts)
+		if err != nil {
+			return err
+		}
+		ix = uix
 	}
 	defer ix.Close()
 	if err := ix.Save(); err != nil {
@@ -107,6 +146,9 @@ func runBuild(args []string) error {
 	}
 	sz := ix.Sizes()
 	fmt.Printf("built index over n=%d d=%d points in %v\n", ix.Len(), ix.Dim(), time.Since(start).Round(time.Millisecond))
+	if *shards > 1 {
+		fmt.Printf("shards: %d\n", *shards)
+	}
 	fmt.Printf("projected dimension m=%d\n", ix.M())
 	fmt.Printf("index size: %.2f MB (btree %.2f, projected %.2f, quick-probe %.2f, norms %.2f)\n",
 		float64(sz.Total())/(1<<20), float64(sz.BTree)/(1<<20), float64(sz.Projected)/(1<<20),
@@ -128,7 +170,7 @@ func runQuery(args []string) error {
 	if *dir == "" || *dataPath == "" {
 		return fmt.Errorf("query requires -dir and -data")
 	}
-	ix, err := promips.Open(*dir)
+	ix, err := openAny(*dir)
 	if err != nil {
 		return err
 	}
@@ -171,13 +213,30 @@ func runCompact(args []string) error {
 	if *dir == "" {
 		return fmt.Errorf("compact requires -dir")
 	}
+	ctx, cancel := opCtx(*timeout)
+	defer cancel()
+	if shard.IsSharded(*dir) {
+		ix, err := shard.Open(*dir)
+		if err != nil {
+			return err
+		}
+		defer ix.Close()
+		before := ix.Len()
+		start := time.Now()
+		remap, err := ix.Compact(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("compacted %d -> %d points across %d shards in %v (ids remapped per shard)\n",
+			before, len(remap), ix.Shards(), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("index size now %.2f MB\n", float64(ix.Sizes().Total())/(1<<20))
+		return nil
+	}
 	ix, err := promips.Open(*dir)
 	if err != nil {
 		return err
 	}
 	defer ix.Close()
-	ctx, cancel := opCtx(*timeout)
-	defer cancel()
 	before := ix.Len()
 	start := time.Now()
 	remap, err := ix.Compact(ctx)
@@ -201,7 +260,7 @@ func runStats(args []string) error {
 	if *dir == "" {
 		return fmt.Errorf("stats requires -dir")
 	}
-	ix, err := promips.Open(*dir)
+	ix, err := openAny(*dir)
 	if err != nil {
 		return err
 	}
@@ -209,6 +268,9 @@ func runStats(args []string) error {
 	o := ix.Options()
 	sz := ix.Sizes()
 	fmt.Printf("points: %d (live %d)  dim: %d  projected m: %d\n", ix.Len(), ix.LiveCount(), ix.Dim(), ix.M())
+	if six, ok := ix.(*shard.Index); ok {
+		fmt.Printf("shards: %d  per-shard journal: %v\n", six.Shards(), six.JournalLens())
+	}
 	fmt.Printf("c: %.2f  p: %.2f  page size: %d\n", o.C, o.P, o.PageSize)
 	fmt.Printf("index size: %.2f MB\n", float64(sz.Total())/(1<<20))
 	fmt.Printf("  btree:       %10d bytes\n", sz.BTree)
@@ -243,9 +305,9 @@ func runStats(args []string) error {
 }
 
 // printJournal reports the write-ahead journal's state: how many
-// acknowledged updates are not yet folded into a Save, and what this
-// Open's replay recovered.
-func printJournal(ix *promips.Index) {
+// acknowledged updates are not yet folded into a Save (summed over
+// shards for a sharded index), and what this Open's replay recovered.
+func printJournal(ix ctlIndex) {
 	if ix.Options().Fsync == promips.FsyncDisabled {
 		fmt.Println("journal: disabled (FsyncDisabled)")
 		return
@@ -271,7 +333,7 @@ func runRecover(args []string) error {
 		return fmt.Errorf("recover requires -dir")
 	}
 	start := time.Now()
-	ix, err := promips.Open(*dir)
+	ix, err := openAny(*dir)
 	if err != nil {
 		return fmt.Errorf("recovery failed: %w", err)
 	}
@@ -279,6 +341,9 @@ func runRecover(args []string) error {
 	rec := ix.Recovery()
 	fmt.Printf("opened in %v: %d points (%d live), journal policy %v\n",
 		time.Since(start).Round(time.Millisecond), ix.Len(), ix.LiveCount(), ix.Options().Fsync)
+	if six, ok := ix.(*shard.Index); ok {
+		fmt.Printf("shards: %d (journal replay is per shard; counts below are summed)\n", six.Shards())
+	}
 	fmt.Printf("recovery: %d update(s) replayed on top of the last save\n", rec.Replayed)
 	fmt.Printf("          %d record(s) already covered by the saved metadata\n", rec.Skipped)
 	fmt.Printf("          %d torn byte(s) cleanly truncated from the journal tail\n", rec.TruncatedBytes)

@@ -7,15 +7,31 @@
 //	POST /v1/insert       add a vector (acknowledged = durable)
 //	POST /v1/delete       tombstone an id
 //	POST /v1/save         persist + truncate the journal (heals a poisoned one)
-//	GET  /v1/stats        index snapshot
+//	GET  /v1/stats        index snapshot (per-shard and replication detail included)
 //	GET  /healthz         liveness
+//
+// The directory's layout is auto-detected: a SHARDS manifest serves as a
+// sharded index (parallel fan-out search, updates routed by id), anything
+// else as a single index. -shards K asserts the expected shard count — a
+// deployment guard, not a conversion; shard counts are fixed at build
+// time (promipsctl build -shards K).
+//
+// With -follow PRIMARY_DIR the server runs as a read-only replica: -dir
+// is bootstrapped from a snapshot of the primary's directory (when it
+// does not already hold one) and then converges by tailing the primary's
+// write-ahead journals every -poll, re-snapshotting across Save/Compact
+// epochs. Search endpoints serve the replicated state; updates get 403
+// with code "read_only". GET /v1/stats reports the replication watermarks
+// and lag.
 //
 // Admission is bounded: at most -searchq searches and -updateq updates run
 // at once; excess requests get 429 + Retry-After instead of queuing without
 // limit. Every request runs under a deadline (-timeout, shortened by the
 // request's timeout_ms). On SIGINT/SIGTERM the listener drains in-flight
 // requests (up to -drain), then the index is Saved — folding the journal
-// into the metadata so the next open replays nothing — and closed.
+// into the metadata so the next open replays nothing — and closed. A
+// follower skips the Save (its directory is a cache of the primary's
+// state) and simply closes.
 package main
 
 import (
@@ -31,6 +47,7 @@ import (
 	"time"
 
 	"promips"
+	"promips/shard"
 )
 
 func main() {
@@ -41,6 +58,9 @@ func main() {
 		searchq = flag.Int("searchq", 64, "max concurrent search requests before 429")
 		updateq = flag.Int("updateq", 64, "max concurrent update requests before 429")
 		drain   = flag.Duration("drain", 10*time.Second, "shutdown grace for in-flight requests")
+		shards  = flag.Int("shards", 0, "assert the index has exactly this shard count (0 = no assertion)")
+		follow  = flag.String("follow", "", "run as a read-only replica of this primary index directory")
+		poll    = flag.Duration("poll", 500*time.Millisecond, "replication poll interval (with -follow)")
 	)
 	flag.Parse()
 	if *dir == "" {
@@ -48,18 +68,92 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dir, *addr, *timeout, *searchq, *updateq, *drain); err != nil {
+	if err := run(*dir, *addr, *timeout, *searchq, *updateq, *drain, *shards, *follow, *poll); err != nil {
 		log.Fatalf("promipsd: %v", err)
 	}
 }
 
-func run(dir, addr string, timeout time.Duration, searchq, updateq int, drain time.Duration) error {
-	ix, err := promips.Open(dir)
+// openIndex resolves -dir (and -follow / -shards) into the serving index
+// and reports whether shutdown should Save it.
+func openIndex(dir string, shards int, follow string, poll time.Duration, ctx context.Context) (ix index, saveOnExit bool, err error) {
+	if follow != "" {
+		f, err := openFollower(dir, follow, poll, ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if shards > 0 && f.Shards() != shards {
+			f.Close()
+			return nil, false, fmt.Errorf("-shards %d asserted but replica has %d", shards, f.Shards())
+		}
+		return f, false, nil
+	}
+	if shard.IsSharded(dir) {
+		six, err := shard.Open(dir)
+		if err != nil {
+			return nil, false, fmt.Errorf("open sharded %s: %w", dir, err)
+		}
+		if shards > 0 && six.Shards() != shards {
+			six.Close()
+			return nil, false, fmt.Errorf("-shards %d asserted but %s has %d", shards, dir, six.Shards())
+		}
+		log.Printf("opened %s: %d shards", dir, six.Shards())
+		return six, true, nil
+	}
+	if shards > 1 {
+		return nil, false, fmt.Errorf("-shards %d asserted but %s is not a sharded index (build one with promipsctl build -shards)", shards, dir)
+	}
+	uix, err := promips.Open(dir)
 	if err != nil {
-		return fmt.Errorf("open %s: %w", dir, err)
+		return nil, false, fmt.Errorf("open %s: %w", dir, err)
+	}
+	return uix, true, nil
+}
+
+// openFollower bootstraps (if needed) and opens the replica, converges it
+// once, and starts the poll loop, which stops when ctx is cancelled.
+func openFollower(dir, primary string, poll time.Duration, ctx context.Context) (*shard.Follower, error) {
+	if !shard.IsSharded(dir) {
+		log.Printf("replica %s is empty: snapshotting %s", dir, primary)
+		if err := shard.Snapshot(primary, dir); err != nil {
+			return nil, err
+		}
+	}
+	f, err := shard.OpenFollower(dir, primary)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Poll(); err != nil {
+		log.Printf("initial poll: %v (will retry)", err)
+	}
+	lag, _ := f.Lag()
+	log.Printf("following %s: %d shards, %d live points, lag %d", primary, f.Shards(), f.LiveCount(), lag)
+	go func() {
+		t := time.NewTicker(poll)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if _, err := f.Poll(); err != nil {
+					log.Printf("replication poll: %v", err)
+				}
+			}
+		}
+	}()
+	return f, nil
+}
+
+func run(dir, addr string, timeout time.Duration, searchq, updateq int, drain time.Duration, shards int, follow string, poll time.Duration) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	ix, saveOnExit, err := openIndex(dir, shards, follow, poll, ctx)
+	if err != nil {
+		return err
 	}
 	rec := ix.Recovery()
-	log.Printf("opened %s: %d live points, dim %d (journal replayed %d)", dir, ix.LiveCount(), ix.Dim(), rec.Replayed)
+	log.Printf("serving %s: %d live points, dim %d (journal replayed %d)", dir, ix.LiveCount(), ix.Dim(), rec.Replayed)
 
 	srv := &http.Server{
 		Addr: addr,
@@ -70,9 +164,6 @@ func run(dir, addr string, timeout time.Duration, searchq, updateq int, drain ti
 		}),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	serveErr := make(chan error, 1)
 	go func() {
@@ -89,15 +180,19 @@ func run(dir, addr string, timeout time.Duration, searchq, updateq int, drain ti
 
 	// Graceful drain: stop accepting, let in-flight requests finish, then
 	// fold the journal into durable metadata so the next open is replay-free.
+	// A follower has nothing of its own to save — its tree mirrors the
+	// primary — so it only closes.
 	log.Printf("shutting down: draining for up to %s", drain)
 	dctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Printf("drain incomplete: %v", err)
 	}
-	if err := ix.Save(); err != nil {
-		ix.Close()
-		return fmt.Errorf("save on shutdown: %w", err)
+	if saveOnExit {
+		if err := ix.Save(); err != nil {
+			ix.Close()
+			return fmt.Errorf("save on shutdown: %w", err)
+		}
 	}
 	if err := ix.Close(); err != nil {
 		return fmt.Errorf("close on shutdown: %w", err)
@@ -106,6 +201,10 @@ func run(dir, addr string, timeout time.Duration, searchq, updateq int, drain ti
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("clean shutdown: index saved")
+	if saveOnExit {
+		log.Printf("clean shutdown: index saved")
+	} else {
+		log.Printf("clean shutdown: replica closed")
+	}
 	return nil
 }

@@ -12,7 +12,30 @@ import (
 
 	"promips"
 	"promips/client"
+	"promips/shard"
 )
+
+// index is the serving surface promipsd needs, satisfied by the embedded
+// *promips.Index, the sharded *shard.Index, and the read-only
+// *shard.Follower (whose mutators return ErrReadOnlyReplica — surfaced
+// as 403/CodeReadOnly). The handlers are layout-agnostic; only
+// handleStats looks through the interface for shard- and
+// replication-specific extras.
+type index interface {
+	Search(ctx context.Context, q []float32, k int, opts ...promips.SearchOption) ([]promips.Result, promips.SearchStats, error)
+	SearchBatch(ctx context.Context, queries [][]float32, k int, opts ...promips.SearchOption) ([][]promips.Result, []promips.SearchStats, error)
+	Insert(v []float32) (uint32, error)
+	DeleteChecked(id uint32) (bool, error)
+	Save() error
+	Close() error
+	Len() int
+	LiveCount() int
+	Dim() int
+	M() int
+	JournalLen() int
+	CacheStats() promips.CacheStats
+	Recovery() promips.RecoveryStats
+}
 
 // serverConfig sizes the server's admission control and deadlines.
 type serverConfig struct {
@@ -27,9 +50,9 @@ type serverConfig struct {
 	searchSlots, updateSlots int
 }
 
-// server wires a promips.Index behind promipsd's HTTP/JSON endpoints.
+// server wires an index behind promipsd's HTTP/JSON endpoints.
 type server struct {
-	ix  *promips.Index
+	ix  index
 	cfg serverConfig
 	mux *http.ServeMux
 
@@ -52,7 +75,7 @@ func (g gate) TryEnter() bool {
 
 func (g gate) Leave() { <-g }
 
-func newServer(ix *promips.Index, cfg serverConfig) *server {
+func newServer(ix index, cfg serverConfig) *server {
 	if cfg.requestTimeout <= 0 {
 		cfg.requestTimeout = 5 * time.Second
 	}
@@ -104,6 +127,8 @@ func statusFor(err error) (status int, code string, retryable bool) {
 		return http.StatusUnprocessableEntity, client.CodeEmptyIndex, false
 	case errors.Is(err, promips.ErrClosed):
 		return http.StatusServiceUnavailable, client.CodeClosed, false
+	case errors.Is(err, promips.ErrReadOnlyReplica):
+		return http.StatusForbidden, client.CodeReadOnly, false
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout, client.CodeDeadline, true
 	default:
@@ -259,7 +284,7 @@ func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, client.StatsResponse{
+	resp := client.StatsResponse{
 		Points:     s.ix.Len(),
 		Live:       s.ix.LiveCount(),
 		Dim:        s.ix.Dim(),
@@ -267,5 +292,25 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		JournalLen: s.ix.JournalLen(),
 		Cache:      s.ix.CacheStats(),
 		Recovery:   s.ix.Recovery(),
-	})
+	}
+	switch ix := s.ix.(type) {
+	case *shard.Index:
+		resp.Shards = ix.Shards()
+		resp.ShardJournalLens = ix.JournalLens()
+	case *shard.Follower:
+		resp.Shards = ix.Shards()
+		resp.ShardJournalLens = ix.JournalLens()
+		resp.ReadOnly = true
+		rep := &client.ReplicationStats{
+			Watermarks: ix.Watermarks(),
+			Refreshes:  ix.Refreshes(),
+		}
+		if lag, err := ix.Lag(); err == nil {
+			rep.Lag = lag
+		} else {
+			rep.Lag = -1 // primary unreadable right now
+		}
+		resp.Replication = rep
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"path/filepath"
+	"reflect"
+
 	"context"
 	"errors"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"promips/shard"
 	"testing"
 
 	"promips"
@@ -195,5 +199,105 @@ func TestRequestTimeout(t *testing.T) {
 	var ae *client.APIError
 	if !errors.As(err, &ae) || ae.Status != http.StatusGatewayTimeout || !ae.Retryable {
 		t.Fatalf("wire error = %+v, want 504 retryable", ae)
+	}
+}
+
+// TestShardedServing serves a sharded index and a follower replica through
+// the real handler stack: stats must carry the shard and replication
+// extras, follower updates must come back 403/read_only mapping to
+// ErrReadOnlyReplica, and after a poll the follower answers searches
+// byte-identically to the primary.
+func TestShardedServing(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	data := testVecs(r, 120, 8)
+	primaryDir := filepath.Join(t.TempDir(), "primary")
+	primary, err := shard.Build(data, shard.Options{
+		Shards: 4, Dir: primaryDir, Index: promips.Options{Seed: 18, M: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { primary.Close() })
+	if err := primary.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := serverConfig{searchSlots: 4, updateSlots: 4}
+	phs := httptest.NewServer(newServer(primary, cfg))
+	t.Cleanup(phs.Close)
+	pc := client.New(phs.URL, client.WithHTTPClient(phs.Client()))
+	ctx := context.Background()
+
+	vec := testVecs(r, 1, 8)[0]
+	id, err := pc.Insert(ctx, vec)
+	if err != nil {
+		t.Fatalf("primary insert: %v", err)
+	}
+	if want := uint32(len(data)); id != want {
+		t.Fatalf("sharded insert id %d, want dense next id %d", id, want)
+	}
+	st, err := pc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shards != 4 || len(st.ShardJournalLens) != 4 || st.ReadOnly {
+		t.Fatalf("primary stats extras wrong: %+v", st)
+	}
+	if st.JournalLen != 1 {
+		t.Fatalf("primary journal_len %d after one insert, want 1", st.JournalLen)
+	}
+
+	replicaDir := filepath.Join(t.TempDir(), "replica")
+	if err := shard.Snapshot(primaryDir, replicaDir); err != nil {
+		t.Fatal(err)
+	}
+	f, err := shard.OpenFollower(replicaDir, primaryDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	if _, err := f.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	fhs := httptest.NewServer(newServer(f, cfg))
+	t.Cleanup(fhs.Close)
+	fc := client.New(fhs.URL, client.WithHTTPClient(fhs.Client()))
+
+	fst, err := fc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fst.ReadOnly || fst.Replication == nil {
+		t.Fatalf("follower stats missing replication extras: %+v", fst)
+	}
+	if fst.Replication.Lag != 0 {
+		t.Fatalf("follower lag %d after poll, want 0", fst.Replication.Lag)
+	}
+	if fst.Live != st.Live {
+		t.Fatalf("follower live %d, primary live %d", fst.Live, st.Live)
+	}
+
+	_, err = fc.Insert(ctx, vec)
+	if !errors.Is(err, promips.ErrReadOnlyReplica) {
+		t.Fatalf("follower insert = %v, want errors.Is ErrReadOnlyReplica", err)
+	}
+	var ae *client.APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusForbidden || ae.Code != client.CodeReadOnly {
+		t.Fatalf("follower insert wire error = %+v, want 403/%s", ae, client.CodeReadOnly)
+	}
+	if err := fc.Save(ctx); !errors.Is(err, promips.ErrReadOnlyReplica) {
+		t.Fatalf("follower save = %v, want ErrReadOnlyReplica", err)
+	}
+
+	pres, err := pc.Search(ctx, client.SearchRequest{Vector: vec, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := fc.Search(ctx, client.SearchRequest{Vector: vec, K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fres.Results, pres.Results) {
+		t.Fatalf("follower search diverges from primary:\n got %v\nwant %v", fres.Results, pres.Results)
 	}
 }

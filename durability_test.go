@@ -104,8 +104,8 @@ func TestWALReplayEquivalence(t *testing.T) {
 			if !reflect.DeepEqual(statsA, statsB) {
 				t.Fatalf("trial %d q%d: replayed SearchStats diverged:\n%+v\n%+v", trial, qi, statsA, statsB)
 			}
-			exA, errA := reA.Exact(q, 10)
-			exB, errB := reB.Exact(q, 10)
+			exA, errA := reA.Exact(context.Background(), q, 10)
+			exB, errB := reB.Exact(context.Background(), q, 10)
 			if errA != nil || errB != nil || !reflect.DeepEqual(exA, exB) {
 				t.Fatalf("trial %d q%d: replayed Exact diverged (%v/%v):\n%v\n%v", trial, qi, errA, errB, exA, exB)
 			}

@@ -34,4 +34,11 @@ var (
 	// flow again. promipsd surfaces it as 503 with a retryable error code
 	// so clients can back off instead of treating it as a hard failure.
 	ErrJournalPoisoned = errs.ErrJournalPoisoned
+
+	// ErrReadOnlyReplica is returned by Insert, Delete and Save on a
+	// follower replica (shard.Follower): replicas converge by replaying
+	// the primary's write-ahead journal, and a direct write would fork the
+	// id space. promipsd surfaces it as 403 so clients re-address the
+	// update to the primary.
+	ErrReadOnlyReplica = errs.ErrReadOnlyReplica
 )

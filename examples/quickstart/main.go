@@ -54,7 +54,7 @@ func main() {
 	}
 
 	// Compare with the exact answer to see the approximation quality.
-	exact, err := index.Exact(q, 10)
+	exact, err := index.Exact(context.Background(), q, 10)
 	if err != nil {
 		log.Fatal(err)
 	}

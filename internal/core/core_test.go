@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -278,7 +279,7 @@ func TestExactMatchesBruteForce(t *testing.T) {
 	ix := buildIndex(t, data, Options{Seed: 22, M: 4})
 	for trial := 0; trial < 5; trial++ {
 		q := randData(r, 1, 10)[0]
-		got, err := ix.Exact(q, 10)
+		got, err := ix.Exact(context.Background(), q, 10)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -266,49 +266,93 @@ func OpenFS(dir string, fsys fsutil.FS) (*Index, error) {
 }
 
 // replayJournal applies the journal's records on top of the state the
-// metadata restored. Records the meta already covers are skipped — insert
-// ids are assigned densely and logged in order, so a record inserting an
-// id below the next free one is a duplicate from a crash between the meta
-// fsync and the journal truncation, and tombstoning is naturally
-// idempotent. Records no crash could produce (an id gap, a wrong-dimension
-// vector, a tombstone outside the live range) are ErrCorruptIndex.
+// metadata restored, accounting the outcome in ix.recovery.
 func (ix *Index) replayJournal(recs []wal.Record) error {
+	applied, skipped, err := ix.applyRecords(recs)
+	ix.recovery.Replayed += applied
+	ix.recovery.Skipped += skipped
+	return err
+}
+
+// applyRecords applies journal records to the in-memory update state —
+// without journaling them again (the caller's journal, or the primary's,
+// already holds them). Records the current state already covers are
+// skipped — insert ids are assigned densely and logged in order, so a
+// record inserting an id below the next free one is a duplicate from a
+// crash between the meta fsync and the journal truncation (or an earlier
+// replica apply), and tombstoning is naturally idempotent. Records no
+// crash could produce (an id gap, a wrong-dimension vector, a tombstone
+// outside the live range) are ErrCorruptIndex. The skip-ahead check makes
+// the idempotency safe to exploit: re-feeding a whole journal is a no-op,
+// while a journal missing records the state never saw fails loudly instead
+// of silently diverging. Caller holds ix.mu exclusive (or owns ix).
+func (ix *Index) applyRecords(recs []wal.Record) (applied, skipped int, err error) {
 	for _, r := range recs {
 		switch r.Type {
 		case wal.TypeInsert:
 			next := uint32(ix.n + len(ix.delta))
 			if r.ID < next {
-				ix.recovery.Skipped++
+				skipped++
 				continue
 			}
 			if r.ID > next {
-				return fmt.Errorf("core: journal: insert id %d skips ahead of %d: %w", r.ID, next, errs.ErrCorruptIndex)
+				return applied, skipped, fmt.Errorf("core: journal: insert id %d skips ahead of %d: %w", r.ID, next, errs.ErrCorruptIndex)
 			}
 			if len(r.Vec) != ix.d {
-				return fmt.Errorf("core: journal: insert id %d has dim %d, want %d: %w", r.ID, len(r.Vec), ix.d, errs.ErrCorruptIndex)
+				return applied, skipped, fmt.Errorf("core: journal: insert id %d has dim %d, want %d: %w", r.ID, len(r.Vec), ix.d, errs.ErrCorruptIndex)
 			}
 			n2 := vec.Norm2Sq(r.Vec)
 			ix.delta = append(ix.delta, deltaEntry{id: r.ID, v: r.Vec, ip2: n2})
 			if n2 > ix.maxNorm2Sq {
 				ix.maxNorm2Sq = n2
 			}
-			ix.recovery.Replayed++
+			applied++
 		case wal.TypeDelete:
 			if int(r.ID) >= ix.n+len(ix.delta) {
-				return fmt.Errorf("core: journal: tombstone %d outside id range %d: %w", r.ID, ix.n+len(ix.delta), errs.ErrCorruptIndex)
+				return applied, skipped, fmt.Errorf("core: journal: tombstone %d outside id range %d: %w", r.ID, ix.n+len(ix.delta), errs.ErrCorruptIndex)
 			}
 			if ix.deleted[r.ID] {
-				ix.recovery.Skipped++
+				skipped++
 				continue
 			}
 			if ix.deleted == nil {
 				ix.deleted = make(map[uint32]bool)
 			}
 			ix.deleted[r.ID] = true
-			ix.recovery.Replayed++
+			applied++
 		default:
-			return fmt.Errorf("core: journal: record type %d: %w", r.Type, errs.ErrCorruptIndex)
+			return applied, skipped, fmt.Errorf("core: journal: record type %d: %w", r.Type, errs.ErrCorruptIndex)
 		}
 	}
-	return nil
+	return applied, skipped, nil
+}
+
+// ApplyWALBytes replays a shipped copy of another index's write-ahead
+// journal on top of this one — the tail-read hook WAL-based replication
+// (promips/shard.Follower) is built on. b is the raw bytes of the
+// primary's wal.log, read while the primary may still be appending: a torn
+// trailing record is cleanly ignored exactly as wal.Open would truncate it
+// (wal.Decode's contract), and fully-written records are applied through
+// the same idempotent path Open's recovery uses, WITHOUT journaling them
+// locally — the replica's own journal stays the snapshot's, and the
+// primary's log remains the single source of truth. Feeding the same bytes
+// again is a no-op (applied=0, everything skipped), so a poller can ship
+// the whole file every round. records is the total decoded — the replica's
+// LSN watermark into the primary's log (wal LSNs restart at the file's
+// record count on open, so the count IS the durable LSN). A decode error
+// means the bytes are not a crash-or-mid-write state of a journal
+// (ErrCorruptIndex); an apply error means the log skips ahead of this
+// replica's state — it missed an epoch and must re-snapshot.
+func (ix *Index) ApplyWALBytes(b []byte) (applied, skipped, records int, err error) {
+	recs, _, err := wal.Decode(b)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("core: replicated journal: %w", err)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ix.closed {
+		return 0, 0, len(recs), errs.ErrClosed
+	}
+	applied, skipped, err = ix.applyRecords(recs)
+	return applied, skipped, len(recs), err
 }

@@ -28,7 +28,7 @@ func TestRecallParityWithPrerank(t *testing.T) {
 		total := 0
 		for qi := 0; qi < 40; qi++ {
 			q := data[qi*37%len(data)]
-			exact, err := ix.Exact(q, k)
+			exact, err := ix.Exact(context.Background(), q, k)
 			if err != nil {
 				t.Fatal(err)
 			}

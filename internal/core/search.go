@@ -539,8 +539,11 @@ func (ix *Index) SearchIncrementalContext(ctx context.Context, q []float32, k in
 // Exact scans the whole dataset through the store and returns the true
 // top-k MIP points. It is the ground truth used by the overall-ratio and
 // recall metrics and by tests of the probability guarantee. Safe for
-// concurrent use.
-func (ix *Index) Exact(q []float32, k int) ([]Result, error) {
+// concurrent use. Cancelling ctx stops the scan between store pages and
+// returns ctx.Err() — the scan is linear in the dataset, so a fanned-out
+// exact merge (promips/shard) needs the same cancellation point the
+// approximate paths have.
+func (ix *Index) Exact(ctx context.Context, q []float32, k int) ([]Result, error) {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
 	if ix.closed {
@@ -551,6 +554,9 @@ func (ix *Index) Exact(q []float32, k int) ([]Result, error) {
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if live := ix.liveCountLocked(); k > live {
 		k = live
@@ -563,6 +569,13 @@ func (ix *Index) Exact(q []float32, k int) ([]Result, error) {
 	rd := ix.orig.NewReader()
 	layout := ix.idist.Layout()
 	for pos := 0; pos < ix.n; pos++ {
+		// Checking every position would put a branch on ctx into the inner
+		// loop for nothing: 256 positions are at most a few pages of I/O.
+		if pos&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		// The reader walks layout order; recover the id from the layout.
 		id := layout[pos]
 		if !ix.live(id) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -121,7 +122,7 @@ func TestSearchIncrementalErrors(t *testing.T) {
 func TestExactDimMismatch(t *testing.T) {
 	r := rand.New(rand.NewSource(81))
 	ix := buildIndex(t, randData(r, 50, 8), Options{Seed: 82, M: 4})
-	if _, err := ix.Exact(make([]float32, 3), 1); err == nil {
+	if _, err := ix.Exact(context.Background(), make([]float32, 3), 1); err == nil {
 		t.Fatal("expected dim mismatch error")
 	}
 }

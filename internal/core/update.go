@@ -185,6 +185,16 @@ func (ix *Index) LiveCount() int {
 
 func (ix *Index) liveCountLocked() int { return ix.n + len(ix.delta) - len(ix.deleted) }
 
+// NextID returns the id the next Insert would assign (base points plus
+// delta entries; ids are dense and tombstones never free one). Routers —
+// promips/shard's least-next-id shard assignment — use it to keep a
+// composed id space dense without reaching into the update state.
+func (ix *Index) NextID() uint32 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return uint32(ix.n + len(ix.delta))
+}
+
 // DeltaCount returns the number of points awaiting compaction.
 func (ix *Index) DeltaCount() int {
 	ix.mu.RLock()

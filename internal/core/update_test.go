@@ -75,7 +75,7 @@ func TestDeleteExcludesFromResults(t *testing.T) {
 		}
 	}
 	// Exact must agree.
-	ex, err := ix.Exact(q, 5)
+	ex, err := ix.Exact(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +125,7 @@ func TestGuaranteeHoldsUnderChurn(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ex, err := ix.Exact(q, 1)
+		ex, err := ix.Exact(context.Background(), q, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -148,7 +148,7 @@ func TestCompact(t *testing.T) {
 	ix.Delete(7)
 	insID, _ := ix.Insert(vec.Scale(q, 8))
 
-	before, err := ix.Exact(q, 3)
+	before, err := ix.Exact(context.Background(), q, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestCompact(t *testing.T) {
 		t.Fatalf("delta not folded: %d entries remain", ix.DeltaCount())
 	}
 	// The dominant inserted point must survive compaction under some new id.
-	after, err := ix.Exact(q, 3)
+	after, err := ix.Exact(context.Background(), q, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,5 +256,21 @@ func TestCompactEmptyFails(t *testing.T) {
 	}
 	if _, _, err := ix.Search(randData(r, 1, 6)[0], 1); !errors.Is(err, errs.ErrEmptyIndex) {
 		t.Fatalf("searching fully-deleted index returned %v, want ErrEmptyIndex", err)
+	}
+}
+
+// TestExactCancelled: Exact honors context cancellation — a pre-cancelled
+// context returns ctx.Err() without scanning, and the index stays usable.
+func TestExactCancelled(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	data := randData(r, 100, 6)
+	ix := buildIndex(t, data, Options{Seed: 60, M: 4})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ix.Exact(ctx, data[0], 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled exact returned %v, want context.Canceled", err)
+	}
+	if res, err := ix.Exact(context.Background(), data[0], 3); err != nil || len(res) != 3 {
+		t.Fatalf("exact after cancelled call: res=%d err=%v", len(res), err)
 	}
 }

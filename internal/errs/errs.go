@@ -31,4 +31,10 @@ var (
 	// level: a successful Save persists the in-memory state through the
 	// metadata path and clears it. Servers map it to a retry-later status.
 	ErrJournalPoisoned = errors.New("update journal poisoned")
+
+	// ErrReadOnlyReplica reports a mutating operation (Insert, Delete,
+	// Save) against a read-only follower replica. Replicas converge by
+	// replaying the primary's journal; writing to one directly would fork
+	// the id space. Clients should address updates to the primary.
+	ErrReadOnlyReplica = errors.New("read-only replica")
 )

@@ -273,6 +273,53 @@ func Decode(b []byte) ([]Record, int64, error) {
 	return recs, off, nil
 }
 
+// CountRecords reports how many complete records journal bytes hold,
+// ignoring a torn tail — Decode's walk without materializing the vectors.
+// Replication uses it to read a primary's LSN watermark from shipped bytes
+// (LSNs restart at the file's record count on open, so the count is the
+// durable LSN) without paying a per-record allocation on every poll.
+func CountRecords(b []byte) (int, error) {
+	n := len(b)
+	if n < headerLen {
+		for i := range b {
+			if b[i] != magic[i] {
+				return 0, fmt.Errorf("wal: bad header: %w", errs.ErrCorruptIndex)
+			}
+		}
+		return 0, nil
+	}
+	for i := range magic {
+		if b[i] != magic[i] {
+			return 0, fmt.Errorf("wal: bad magic: %w", errs.ErrCorruptIndex)
+		}
+	}
+	count := 0
+	off := int64(headerLen)
+	for off < int64(n) {
+		if off+recHdrLen > int64(n) {
+			break
+		}
+		crc := binary.LittleEndian.Uint32(b[off:])
+		plen := int64(binary.LittleEndian.Uint32(b[off+4:]))
+		if plen < 5 || plen > maxPayload || off+recHdrLen+plen > int64(n) {
+			break
+		}
+		payload := b[off+recHdrLen : off+recHdrLen+plen]
+		if crc32.Checksum(payload, crcTable) != crc {
+			break
+		}
+		// The payload checksums clean but may still be malformed (a record
+		// Decode would reject as corrupt, not torn): count only what Decode
+		// would return.
+		if _, err := decodePayload(payload); err != nil {
+			return count, err
+		}
+		count++
+		off += recHdrLen + plen
+	}
+	return count, nil
+}
+
 // decodePayload decodes one checksum-verified payload. Anything malformed
 // here survived the CRC, so it is corruption (or a version we do not
 // speak), never a tear.

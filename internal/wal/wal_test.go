@@ -494,3 +494,46 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// TestCountRecords pins CountRecords against Decode: for a valid journal,
+// every torn-tail prefix of it, and corrupt variants, the count must equal
+// len(Decode's records) with the same error classification — the follower's
+// lag computation depends on the two walking the bytes identically.
+func TestCountRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j, err := Create(fsutil.OS, path, SyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range mkRecords() {
+		if err := logRecord(j, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut <= len(full); cut++ {
+		b := full[:cut]
+		recs, _, decErr := Decode(b)
+		n, cntErr := CountRecords(b)
+		if (decErr == nil) != (cntErr == nil) {
+			t.Fatalf("cut=%d: Decode err=%v, CountRecords err=%v", cut, decErr, cntErr)
+		}
+		if n != len(recs) {
+			t.Fatalf("cut=%d: CountRecords=%d, Decode found %d", cut, n, len(recs))
+		}
+	}
+	// Corruption classifies identically too.
+	bad := append([]byte("XXWAL"), full[5:]...)
+	if _, err := CountRecords(bad); !errors.Is(err, errs.ErrCorruptIndex) {
+		t.Fatalf("bad magic: got %v, want ErrCorruptIndex", err)
+	}
+	if n, err := CountRecords(nil); n != 0 || err != nil {
+		t.Fatalf("empty bytes: n=%d err=%v", n, err)
+	}
+}

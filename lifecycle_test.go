@@ -140,7 +140,7 @@ func TestCompactPublic(t *testing.T) {
 	}
 	ix.Delete(3)
 	ix.Delete(11)
-	before, err := ix.Exact(q, 5)
+	before, err := ix.Exact(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestCompactPublic(t *testing.T) {
 	if ix.Len() != 599 || ix.LiveCount() != 599 {
 		t.Fatalf("Len=%d LiveCount=%d after compact", ix.Len(), ix.LiveCount())
 	}
-	after, err := ix.Exact(q, 5)
+	after, err := ix.Exact(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +179,7 @@ func TestCompactPublic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	reRes, err := re.Exact(q, 5)
+	reRes, err := re.Exact(context.Background(), q, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -361,7 +361,7 @@ func TestErrClosed(t *testing.T) {
 	if _, err := ix.Compact(context.Background()); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Compact after Close returned %v, want ErrClosed", err)
 	}
-	if _, err := ix.Exact(q, 1); !errors.Is(err, ErrClosed) {
+	if _, err := ix.Exact(context.Background(), q, 1); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Exact after Close returned %v, want ErrClosed", err)
 	}
 }
@@ -413,7 +413,7 @@ func TestExactNonPositiveK(t *testing.T) {
 	defer ix.Close()
 	q := randData(r, 1, 6)[0]
 	for _, k := range []int{0, -3} {
-		if _, err := ix.Exact(q, k); err == nil {
+		if _, err := ix.Exact(context.Background(), q, k); err == nil {
 			t.Fatalf("Exact with k=%d must error", k)
 		}
 	}
@@ -497,7 +497,7 @@ func TestExactEmptyIndex(t *testing.T) {
 	for id := uint32(0); id < 10; id++ {
 		ix.Delete(id)
 	}
-	if _, err := ix.Exact(randData(r, 1, 6)[0], 3); !errors.Is(err, ErrEmptyIndex) {
+	if _, err := ix.Exact(context.Background(), randData(r, 1, 6)[0], 3); !errors.Is(err, ErrEmptyIndex) {
 		t.Fatalf("Exact on fully-deleted index returned %v, want ErrEmptyIndex", err)
 	}
 }

@@ -57,3 +57,29 @@ func WithFilter(f func(id uint32) bool) SearchOption {
 func WithWorkers(n int) SearchOption {
 	return func(cfg *searchConfig) { cfg.workers = n }
 }
+
+// ResolvedOptions is the settled view of a SearchOption slice — what the
+// opaque functional options amount to for one call. A fan-out layer
+// (promips/shard) needs it to re-derive per-child options: split the
+// guarantee probability across shards, rewrap the filter for each child's
+// local id space, and size its own worker pool. Zero values mean "index
+// default", exactly as the options themselves do.
+type ResolvedOptions struct {
+	// C and P are the per-query guarantee overrides (0 = index default).
+	C, P float64
+	// Filter is the id predicate, or nil.
+	Filter func(id uint32) bool
+	// Workers is the requested batch worker-pool size (0 = default).
+	Workers int
+}
+
+// ResolveSearchOptions applies opts to a fresh configuration and returns
+// the resulting settings. It does not touch any index.
+func ResolveSearchOptions(opts ...SearchOption) ResolvedOptions {
+	cfg := resolveOptions(opts)
+	return ResolvedOptions{
+		C: cfg.params.C, P: cfg.params.P,
+		Filter:  cfg.params.Filter,
+		Workers: cfg.workers,
+	}
+}

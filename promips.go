@@ -73,6 +73,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"promips/internal/core"
 	"promips/internal/fsutil"
@@ -106,6 +107,11 @@ type Options struct {
 	PageSize int
 	// PoolSize is the per-file buffer pool capacity in pages.
 	PoolSize int
+	// MissLatency simulates a disk read per buffer-pool miss (one sleep
+	// per readahead run). Zero — the default — disables it; benchmarks use
+	// it to model a disk-resident working set (the paper's cost regime) on
+	// machines whose page files sit in RAM.
+	MissLatency time.Duration
 
 	// Seed fixes all randomness (projections, clustering).
 	Seed int64
@@ -118,8 +124,20 @@ type Options struct {
 
 	// fs is the filesystem seam persistence writes through; nil means the
 	// real filesystem. Unexported: it exists for the deterministic
-	// crash-injection tests, which live in this package.
+	// crash-injection tests; other packages in this module set it with
+	// WithFS.
 	fs fsutil.FS
+}
+
+// WithFS returns a copy of o whose persistence writes go through fsys —
+// the deterministic crash-injection seam (internal/fsutil.FaultFS). The
+// parameter type is internal on purpose: only packages inside this module
+// (promips/shard's crash matrix) can name an fsutil.FS, so the seam stays
+// module-private while still composing across package boundaries. nil
+// restores the real filesystem.
+func (o Options) WithFS(fsys fsutil.FS) Options {
+	o.fs = fsys
+	return o
 }
 
 // FsyncPolicy selects how the update journal acknowledges Insert/Delete;
@@ -186,6 +204,19 @@ func (s CacheStats) Sub(t CacheStats) CacheStats {
 	}
 }
 
+// Add returns s + t component-wise — aggregation across page files is how
+// CacheStats itself is produced, and the sharded index and its serving
+// stats aggregate one level further, across child indexes.
+func (s CacheStats) Add(t CacheStats) CacheStats {
+	return CacheStats{
+		Accesses:  s.Accesses + t.Accesses,
+		Hits:      s.Hits + t.Hits,
+		Misses:    s.Misses + t.Misses,
+		Evictions: s.Evictions + t.Evictions,
+		Writes:    s.Writes + t.Writes,
+	}
+}
+
 // currentFile names the generation pointer inside an index directory. Its
 // content is the active generation subdirectory, or "." when the index
 // lives in the directory root (as Build lays it out).
@@ -237,7 +268,8 @@ func Build(data [][]float32, opts Options) (*Index, error) {
 	inner, err := core.Build(data, dir, core.Options{
 		C: opts.C, P: opts.P, M: opts.M,
 		Kp: opts.Kp, Nkey: opts.Nkey, Ksp: opts.Ksp, Epsilon: opts.Epsilon,
-		PageSize: opts.PageSize, PoolSize: opts.PoolSize, Seed: opts.Seed,
+		PageSize: opts.PageSize, PoolSize: opts.PoolSize, MissLatency: opts.MissLatency,
+		Seed:  opts.Seed,
 		Fsync: opts.Fsync,
 	}.WithFS(fsys))
 	if err != nil {
@@ -346,8 +378,49 @@ func (ix *Index) SearchIncremental(ctx context.Context, q []float32, k int, opts
 
 // Exact returns the true top-k MIP points by scanning the dataset. It is
 // provided for evaluation (overall ratio, recall) and small workloads.
-func (ix *Index) Exact(q []float32, k int) ([]Result, error) {
-	return ix.inner.Exact(q, k)
+// Like Search, it takes a context: the scan is linear in the dataset and
+// stops with ctx.Err() when cancelled — which is what lets a sharded
+// fan-out (promips/shard) abandon an exact merge as soon as one shard
+// fails or the caller gives up.
+func (ix *Index) Exact(ctx context.Context, q []float32, k int) ([]Result, error) {
+	return ix.inner.Exact(ctx, q, k)
+}
+
+// NextID returns the id the next Insert would assign. Ids are dense —
+// base points then delta entries, never freed by deletes — so NextID is
+// also the total number of ids ever assigned in this generation. The
+// sharded index routes each Insert to the child whose next composed id is
+// smallest, which keeps the global id space exactly as dense as a single
+// index's.
+func (ix *Index) NextID() uint32 { return ix.inner.NextID() }
+
+// WALApply reports what ApplyWAL did with a shipped journal.
+type WALApply struct {
+	// Applied is the number of records that changed this index's state.
+	Applied int
+	// Skipped is the number of records the state already covered —
+	// re-shipping a whole journal skips everything previously applied.
+	Skipped int
+	// Records is the total number of complete records decoded: the
+	// replica's LSN watermark into the shipped log (a torn trailing record
+	// is not counted; it was never acknowledged by the primary).
+	Records int
+}
+
+// ApplyWAL replays a shipped copy of another index's write-ahead journal
+// (the raw bytes of its wal.log) on top of this one — the replication hook
+// shard.Follower tails a primary with. The bytes may be read mid-append: a
+// torn trailing record is ignored under the journal's clean-truncation
+// rule, complete records are applied through the same idempotent path
+// crash recovery uses, and nothing is re-journaled locally. Feeding the
+// same bytes again is a no-op, so a poller ships the whole file every
+// round. An error wrapping ErrCorruptIndex means the bytes cannot be a
+// journal state (or the log skips ahead of this replica — it missed an
+// epoch and must re-snapshot); the successfully applied prefix stays
+// applied.
+func (ix *Index) ApplyWAL(b []byte) (WALApply, error) {
+	applied, skipped, records, err := ix.inner.ApplyWALBytes(b)
+	return WALApply{Applied: applied, Skipped: skipped, Records: records}, err
 }
 
 // Insert adds a point to the index and returns its id. Inserted points
@@ -559,7 +632,8 @@ func (ix *Index) Options() Options {
 		Dir: ix.dir,
 		C:   o.C, P: o.P, M: o.M,
 		Kp: o.Kp, Nkey: o.Nkey, Ksp: o.Ksp, Epsilon: o.Epsilon,
-		PageSize: o.PageSize, PoolSize: o.PoolSize, Seed: o.Seed,
+		PageSize: o.PageSize, PoolSize: o.PoolSize, MissLatency: o.MissLatency,
+		Seed:  o.Seed,
 		Fsync: o.Fsync,
 	}
 }

@@ -38,7 +38,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	if len(res) != 10 || st.Candidates == 0 {
 		t.Fatalf("results=%d candidates=%d", len(res), st.Candidates)
 	}
-	exact, err := ix.Exact(q, 10)
+	exact, err := ix.Exact(context.Background(), q, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestAccuracyAgainstExact(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		exact, _ := ix.Exact(q, 10)
+		exact, _ := ix.Exact(context.Background(), q, 10)
 		for i := range res {
 			if exact[i].IP > 0 {
 				ratioSum += res[i].IP / exact[i].IP

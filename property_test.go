@@ -67,7 +67,7 @@ func TestGuaranteeProperty(t *testing.T) {
 				// exact top-1 inner product is strictly positive and the
 				// c-approximation inequality is meaningful.
 				q := data[r.Intn(len(data))]
-				exact, err := ix.Exact(q, 1)
+				exact, err := ix.Exact(context.Background(), q, 1)
 				if err != nil {
 					t.Fatal(err)
 				}

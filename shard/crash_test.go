@@ -1,16 +1,18 @@
-package promips
+package shard
 
-// The crash matrix: run one canonical lifecycle workload —
-// Build → Save → Insert/Delete → Save → Compact → update → Save — through
-// the fault-injecting filesystem, once per mutating filesystem operation
-// the workload performs, crashing at exactly that operation. After every
-// simulated crash the directory is reopened with the real filesystem and
-// must hold either the pre- or the post-state of the operation in flight —
-// every update acknowledged under FsyncAlways before the crash included —
-// and must never surface as corrupt. A second, transient pass injects a
-// plain error (no crash) at every op and asserts the live process stays
-// exactly consistent: whatever the error swallowed is absent, everything
-// acknowledged is present, and a final Save round-trips byte-identically.
+// The sharded crash matrix: the same discipline as the root package's
+// TestCrashMatrix, against the composed index. One canonical lifecycle
+// workload — Build → Save → Insert/Delete → Save → Compact → update →
+// Save — runs through the fault-injecting filesystem (shared by every
+// child index AND the manifest writes), once per mutating operation,
+// crashing at exactly that operation. Reopening with the real filesystem
+// must always yield the pre- or post-state of the step in flight: a crash
+// must never leave the shards at a combination of acked states no
+// single-operation boundary could produce, and never surface as corrupt.
+// This works because every step is one acknowledged operation against ONE
+// shard (updates route), or a no-op on the logical state (Save, Compact —
+// the signature deliberately excludes ids), so per-shard atomicity
+// composes.
 
 import (
 	"context"
@@ -22,19 +24,10 @@ import (
 	"reflect"
 	"testing"
 
+	"promips"
 	"promips/internal/fsutil"
 )
 
-// crashSig is the logical state fingerprint used by the matrix: the live
-// count, the bit patterns of the top-k inner products for a fixed probe
-// set (the approximate path must work on every recovered state), and —
-// the discriminating part — the bit patterns of EVERY live point's exact
-// inner product with the first probe. The exact scan fingerprints the
-// whole live set, so losing or resurrecting any single update changes the
-// signature (a weaker top-k-only signature was measured to miss exactly
-// the ordering bug the matrix exists to catch). Ids are deliberately
-// excluded — Compact remaps them, and the matrix compares states across
-// that boundary.
 type crashSig struct {
 	Live  int
 	IPs   [][]uint64
@@ -65,9 +58,6 @@ func signatureOf(t *testing.T, ix *Index, probes [][]float32) crashSig {
 	return sig
 }
 
-// crashStep is one acknowledged operation of the workload. Steps are
-// single operations on purpose: "pre- or post-state" is only a meaningful
-// assertion at single-operation granularity.
 type crashStep struct {
 	name string
 	run  func(ix *Index) error
@@ -76,12 +66,12 @@ type crashStep struct {
 func crashWorkloadSteps(points [][]float32) []crashStep {
 	return []crashStep{
 		{"save-initial", func(ix *Index) error { return ix.Save() }},
-		{"insert-60", func(ix *Index) error { _, err := ix.Insert(points[0]); return err }},
-		{"insert-61", func(ix *Index) error { _, err := ix.Insert(points[1]); return err }},
+		{"insert-40", func(ix *Index) error { _, err := ix.Insert(points[0]); return err }},
+		{"insert-41", func(ix *Index) error { _, err := ix.Insert(points[1]); return err }},
 		{"delete-base-5", func(ix *Index) error { _, err := ix.DeleteChecked(5); return err }},
-		{"delete-delta-61", func(ix *Index) error { _, err := ix.DeleteChecked(61); return err }},
+		{"delete-delta-41", func(ix *Index) error { _, err := ix.DeleteChecked(41); return err }},
 		{"save-with-delta", func(ix *Index) error { return ix.Save() }},
-		{"insert-62", func(ix *Index) error { _, err := ix.Insert(points[2]); return err }},
+		{"insert-42", func(ix *Index) error { _, err := ix.Insert(points[2]); return err }},
 		{"compact", func(ix *Index) error { _, err := ix.Compact(context.Background()); return err }},
 		{"insert-post-compact", func(ix *Index) error { _, err := ix.Insert(points[3]); return err }},
 		{"delete-post-compact-7", func(ix *Index) error { _, err := ix.DeleteChecked(7); return err }},
@@ -89,16 +79,9 @@ func crashWorkloadSteps(points [][]float32) []crashStep {
 	}
 }
 
-// runCrashWorkload drives the workload against dir through fsys. It
-// returns the number of completed steps: -1 if Build itself failed, 0..n
-// otherwise, stopping at the first step error when stopOnError is set
-// (crash semantics — the process is dead) and running every remaining
-// step otherwise (transient semantics — the process saw an error and
-// keeps serving). record, when non-nil, is called after Build and after
-// every completed step.
 func runCrashWorkload(fsys fsutil.FS, dir string, data, points [][]float32,
 	stopOnError bool, record func(*Index)) (completed int, ix *Index, firstErr error) {
-	ix, err := Build(data, Options{Dir: dir, Seed: 42, M: 4, fs: fsys})
+	ix, err := Build(data, Options{Shards: 2, Dir: dir, Index: promips.Options{Seed: 42, M: 4}}.WithFS(fsys))
 	if err != nil {
 		return -1, nil, err
 	}
@@ -125,18 +108,17 @@ func runCrashWorkload(fsys fsutil.FS, dir string, data, points [][]float32,
 
 func crashMatrixInputs() (data, points, probes [][]float32) {
 	r := rand.New(rand.NewSource(4242))
-	data = randData(r, 60, 8)
+	data = randData(r, 40, 8)
 	points = randData(r, 4, 8)
 	probes = randData(r, 3, 8)
 	return
 }
 
-// TestCrashMatrix is the crash pass: every fault point, crash, reopen.
-func TestCrashMatrix(t *testing.T) {
+// TestShardedCrashMatrix is the crash pass: every fault point, crash,
+// reopen through shard.Open with the real filesystem.
+func TestShardedCrashMatrix(t *testing.T) {
 	data, points, probes := crashMatrixInputs()
 
-	// Pass 0: no fault. Records the op count and the state signature after
-	// every step; determinism makes these valid for every later run.
 	counter := &fsutil.FaultFS{}
 	var sigs []crashSig
 	completed, ix, err := runCrashWorkload(counter, t.TempDir(), data, points, true,
@@ -160,7 +142,7 @@ func TestCrashMatrix(t *testing.T) {
 		dir := t.TempDir()
 		completed, ix, runErr := runCrashWorkload(ffs, dir, data, points, true, nil)
 		if ix != nil {
-			ix.Close() // a dead process's fds; errors are expected and irrelevant
+			ix.Close()
 		}
 		if runErr == nil {
 			t.Fatalf("fail=%d: crash was not observed by any step", fail)
@@ -171,12 +153,12 @@ func TestCrashMatrix(t *testing.T) {
 
 		re, err := Open(dir)
 		if err != nil {
-			if errors.Is(err, ErrCorruptIndex) {
+			if errors.Is(err, promips.ErrCorruptIndex) {
 				t.Fatalf("fail=%d (crash at %v): reopen says corrupt: %v", fail, runErr, err)
 			}
 			if completed >= 1 {
-				// The first Save completed, so from then on every crash
-				// state must be openable.
+				// The first Save wrote the manifest last, so from then on
+				// every crash state must be openable as a sharded index.
 				t.Fatalf("fail=%d: %d steps completed but reopen failed: %v", fail, completed, err)
 			}
 			if !errors.Is(err, fs.ErrNotExist) {
@@ -191,8 +173,6 @@ func TestCrashMatrix(t *testing.T) {
 		if completed < 0 {
 			t.Fatalf("fail=%d: Build crashed (%v) yet the directory opens", fail, runErr)
 		}
-		// sigs[i] is the state after i completed steps. The crashed step
-		// may or may not have reached the disk.
 		ok := reflect.DeepEqual(sig, sigs[completed])
 		if !ok && completed+1 < len(sigs) {
 			ok = reflect.DeepEqual(sig, sigs[completed+1])
@@ -204,10 +184,10 @@ func TestCrashMatrix(t *testing.T) {
 	}
 }
 
-// TestCrashMatrixTransient is the transient pass: every fault point
-// returns an error once, the process keeps running, and the final state —
-// exactly the acknowledged updates — must round-trip through Save+Open.
-func TestCrashMatrixTransient(t *testing.T) {
+// TestShardedCrashMatrixTransient is the transient pass: a one-shot error
+// at every fault point, the process keeps serving, and the final state —
+// exactly the acknowledged updates — round-trips through Save+Open.
+func TestShardedCrashMatrixTransient(t *testing.T) {
 	data, points, probes := crashMatrixInputs()
 
 	counter := &fsutil.FaultFS{}
@@ -223,17 +203,11 @@ func TestCrashMatrixTransient(t *testing.T) {
 		dir := t.TempDir()
 		_, ix, runErr := runCrashWorkload(ffs, dir, data, points, false, nil)
 		if ix == nil {
-			// Build itself absorbed the fault; nothing was ever saved.
-			if _, err := Open(dir); err == nil || errors.Is(err, ErrCorruptIndex) {
+			if _, err := Open(dir); err == nil || errors.Is(err, promips.ErrCorruptIndex) {
 				t.Fatalf("fail=%d: build-failed dir opened (or corrupt): %v", fail, err)
 			}
 			continue
 		}
-		// The process lives on: whatever the fault cost, a Save now must
-		// succeed (the workload's own final Save may have been the faulted
-		// step, hence the retry here) and the reopened index must answer
-		// exactly like the live one — no lost acks, no resurrected
-		// failures.
 		if err := ix.Save(); err != nil {
 			t.Fatalf("fail=%d (fault was %v): Save after transient fault: %v", fail, runErr, err)
 		}

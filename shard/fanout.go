@@ -1,0 +1,358 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"promips"
+)
+
+// Fan-out query execution over K child indexes, shared by the primary
+// Index and the read-only Follower.
+//
+// Id remapping: child s owns every global id ≡ s (mod K), stored locally
+// as global/K, so results come back with local ids and are remapped to
+// localID·K + s before the merge; a caller's WithFilter predicate is
+// rewrapped per child with the inverse map.
+//
+// Probability composition: a fanned-out query must hold the caller's
+// (c, p) guarantee over the MERGED top-k, but each child only guarantees
+// its own shard. Running every child at p_shard = 1 − (1−p)/K makes the
+// per-child failure probability (1−p)/K, so by the union bound all K
+// child guarantees hold simultaneously with probability ≥ p. When they
+// do, the merged result is c-approximate against the global exact top-k:
+// the global i-th exact points distribute over the shards as some k_s per
+// shard with Σk_s = i, and shard s's first k_s returned points each reach
+// c times s's k_s-th exact inner product, which is at least the global
+// i-th exact value t_i — so the merged i-th result (the best i points
+// across all shards) reaches c·t_i. See DESIGN.md, "Sharding &
+// replication", for the full argument.
+//
+// Tie-breaking: the merge orders by inner product descending and breaks
+// exact float ties by ascending global id — deterministic regardless of
+// goroutine completion order. (A single index breaks ties by scan order
+// instead; the two only differ when distinct points have bit-identical
+// inner products.)
+
+// fanSearch runs one query against every child in parallel and merges.
+func fanSearch(ctx context.Context, children []*promips.Index, q []float32, k int, opts []promips.SearchOption) ([]promips.Result, promips.SearchStats, error) {
+	if len(children) == 1 {
+		// One shard IS the index: local ids are global ids and the full
+		// probability budget stays with the only child, so the options pass
+		// through untouched and the answer — stats included — is
+		// byte-identical to the unsharded index's.
+		return children[0].Search(ctx, q, k, opts...)
+	}
+	childOpts, err := splitOptions(children, opts)
+	if err != nil {
+		return nil, promips.SearchStats{}, err
+	}
+	type shardOut struct {
+		res   []promips.Result
+		st    promips.SearchStats
+		empty bool
+		err   error
+	}
+	outs := make([]shardOut, len(children))
+	var wg sync.WaitGroup
+	for s, child := range children {
+		wg.Add(1)
+		go func(s int, child *promips.Index) {
+			defer wg.Done()
+			res, st, err := child.Search(ctx, q, k, childOpts(s)...)
+			if errors.Is(err, promips.ErrEmptyIndex) {
+				// A shard whose points are all deleted contributes nothing;
+				// the composed index is only empty if every shard is.
+				outs[s] = shardOut{empty: true}
+				return
+			}
+			outs[s] = shardOut{res: remapResults(res, len(children), s), st: st, err: err}
+		}(s, child)
+	}
+	wg.Wait()
+	return mergeOuts(k, outs, func(o shardOut) ([]promips.Result, promips.SearchStats, bool, error) {
+		return o.res, o.st, o.empty, o.err
+	})
+}
+
+// fanExact runs the ground-truth scan against every child in parallel and
+// merges — the exact global top-k. Because the id layout keeps global ids
+// identical to a single index built over the same data (see Insert), the
+// merged answer is byte-identical to the unsharded Exact whenever no two
+// points tie bit-for-bit on the inner product.
+func fanExact(ctx context.Context, children []*promips.Index, q []float32, k int) ([]promips.Result, error) {
+	type shardOut struct {
+		res   []promips.Result
+		empty bool
+		err   error
+	}
+	outs := make([]shardOut, len(children))
+	var wg sync.WaitGroup
+	for s, child := range children {
+		wg.Add(1)
+		go func(s int, child *promips.Index) {
+			defer wg.Done()
+			res, err := child.Exact(ctx, q, k)
+			if errors.Is(err, promips.ErrEmptyIndex) {
+				outs[s] = shardOut{empty: true}
+				return
+			}
+			outs[s] = shardOut{res: remapResults(res, len(children), s), err: err}
+		}(s, child)
+	}
+	wg.Wait()
+	res, _, err := mergeOuts(k, outs, func(o shardOut) ([]promips.Result, promips.SearchStats, bool, error) {
+		return o.res, promips.SearchStats{}, o.empty, o.err
+	})
+	return res, err
+}
+
+// fanBatch answers many queries with a bounded worker pool; each claimed
+// query fans out across all children, so the in-flight I/O concurrency is
+// workers × K — the overlap that buys sharded batch throughput on
+// disk-bound workloads. Per-query answers are identical to sequential
+// fanSearch calls; the first error cancels the remaining work.
+func fanBatch(ctx context.Context, children []*promips.Index, queries [][]float32, k int, opts []promips.SearchOption) ([][]promips.Result, []promips.SearchStats, error) {
+	n := len(queries)
+	if n == 0 {
+		return nil, nil, nil
+	}
+	workers := promips.ResolveSearchOptions(opts...).Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([][]promips.Result, n)
+	stats := make([]promips.SearchStats, n)
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		errOnce  sync.Once
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				if err := ctx.Err(); err != nil {
+					failed.Store(true)
+					errOnce.Do(func() { firstErr = err })
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				res, st, err := fanSearch(ctx, children, queries[i], k, opts)
+				if err != nil {
+					failed.Store(true)
+					errOnce.Do(func() { firstErr = fmt.Errorf("shard: batch query %d: %w", i, err) })
+					return
+				}
+				results[i], stats[i] = res, st
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+	return results, stats, nil
+}
+
+// splitOptions derives the per-child option factory for a K>1 fan-out:
+// the probability budget is split via the union bound, the filter is
+// rewrapped into each child's local id space, and C passes through.
+func splitOptions(children []*promips.Index, opts []promips.SearchOption) (func(s int) []promips.SearchOption, error) {
+	k := len(children)
+	resolved := promips.ResolveSearchOptions(opts...)
+	p := resolved.P
+	if p == 0 {
+		p = children[0].Options().P
+	}
+	// Validate before transforming: the children would otherwise reject a
+	// derived value the caller never passed.
+	if !(p > 0 && p < 1) {
+		return nil, fmt.Errorf("shard: probability p must be in (0,1), got %v", p)
+	}
+	pShard := 1 - (1-p)/float64(k)
+	return func(s int) []promips.SearchOption {
+		o := []promips.SearchOption{promips.WithP(pShard)}
+		if resolved.C != 0 {
+			o = append(o, promips.WithC(resolved.C))
+		}
+		if f := resolved.Filter; f != nil {
+			ss := uint32(s)
+			kk := uint32(k)
+			o = append(o, promips.WithFilter(func(local uint32) bool {
+				return f(local*kk + ss)
+			}))
+		}
+		return o
+	}, nil
+}
+
+// remapResults rewrites child-local result ids into the global id space.
+func remapResults(res []promips.Result, k, s int) []promips.Result {
+	for i := range res {
+		res[i].ID = res[i].ID*uint32(k) + uint32(s)
+	}
+	return res
+}
+
+// mergeOuts folds per-shard outputs into one answer: first error (in
+// shard order — deterministic) wins, all-empty surfaces ErrEmptyIndex,
+// otherwise the top-k merge with aggregated stats.
+func mergeOuts[T any](k int, outs []T, view func(T) ([]promips.Result, promips.SearchStats, bool, error)) ([]promips.Result, promips.SearchStats, error) {
+	var (
+		lists    [][]promips.Result
+		sts      []promips.SearchStats
+		allEmpty = true
+	)
+	for _, o := range outs {
+		res, st, empty, err := view(o)
+		if err != nil {
+			return nil, promips.SearchStats{}, err
+		}
+		if empty {
+			continue
+		}
+		allEmpty = false
+		lists = append(lists, res)
+		sts = append(sts, st)
+	}
+	if allEmpty {
+		return nil, promips.SearchStats{}, fmt.Errorf("shard: %w: no shard has live points", promips.ErrEmptyIndex)
+	}
+	return mergeTopK(k, lists), mergeStats(sts), nil
+}
+
+// mergeTopK merges per-shard top-k lists (each already sorted best-first)
+// into the global top-k with the deterministic (value, id) order.
+func mergeTopK(k int, lists [][]promips.Result) []promips.Result {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	merged := make([]promips.Result, 0, total)
+	for _, l := range lists {
+		merged = append(merged, l...)
+	}
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].IP != merged[j].IP {
+			return merged[i].IP > merged[j].IP
+		}
+		return merged[i].ID < merged[j].ID
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// mergeStats aggregates per-shard work counters into one whole-query
+// view: additive counters sum (the paper's Page Access metric counts
+// every page the fanned-out query touched), the radii report the widest
+// shard's search range, and TerminatedBy joins the distinct per-shard
+// reasons in shard order ("A+B" means some shards stopped on Condition A,
+// others on B).
+func mergeStats(sts []promips.SearchStats) promips.SearchStats {
+	var m promips.SearchStats
+	var reasons []string
+	seen := map[string]bool{}
+	for _, st := range sts {
+		m.Candidates += st.Candidates
+		m.PageAccesses += st.PageAccesses
+		m.Preranked += st.Preranked
+		m.NormPruned += st.NormPruned
+		m.GroupsProbed += st.GroupsProbed
+		if st.Radius > m.Radius {
+			m.Radius = st.Radius
+		}
+		if st.ExtendedRadius > m.ExtendedRadius {
+			m.ExtendedRadius = st.ExtendedRadius
+		}
+		if st.TerminatedBy != "" && !seen[st.TerminatedBy] {
+			seen[st.TerminatedBy] = true
+			reasons = append(reasons, st.TerminatedBy)
+		}
+	}
+	m.TerminatedBy = strings.Join(reasons, "+")
+	return m
+}
+
+// Aggregations over child indexes, shared by Index and Follower.
+
+func sumLen(children []*promips.Index) int {
+	n := 0
+	for _, c := range children {
+		n += c.Len()
+	}
+	return n
+}
+
+func sumLive(children []*promips.Index) int {
+	n := 0
+	for _, c := range children {
+		n += c.LiveCount()
+	}
+	return n
+}
+
+func sumJournal(children []*promips.Index) int {
+	n := 0
+	for _, c := range children {
+		n += c.JournalLen()
+	}
+	return n
+}
+
+func journalLens(children []*promips.Index) []int {
+	ls := make([]int, len(children))
+	for s, c := range children {
+		ls[s] = c.JournalLen()
+	}
+	return ls
+}
+
+func sumCache(children []*promips.Index) promips.CacheStats {
+	var cs promips.CacheStats
+	for _, c := range children {
+		cs = cs.Add(c.CacheStats())
+	}
+	return cs
+}
+
+func sumRecovery(children []*promips.Index) promips.RecoveryStats {
+	var rs promips.RecoveryStats
+	for _, c := range children {
+		r := c.Recovery()
+		rs.Replayed += r.Replayed
+		rs.Skipped += r.Skipped
+		rs.TruncatedBytes += r.TruncatedBytes
+	}
+	return rs
+}
+
+func sumSizes(children []*promips.Index) promips.SizeBreakdown {
+	var sz promips.SizeBreakdown
+	for _, c := range children {
+		s := c.Sizes()
+		sz.BTree += s.BTree
+		sz.Projected += s.Projected
+		sz.QuickProbe += s.QuickProbe
+		sz.Norms += s.Norms
+		sz.Sketch += s.Sketch
+	}
+	return sz
+}

@@ -1,0 +1,480 @@
+package shard
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"promips"
+	"promips/internal/fsutil"
+	"promips/internal/wal"
+)
+
+// Follower is a read-only replica of a sharded primary, kept on a
+// separate directory tree and converged by two mechanisms:
+//
+//   - Journal tailing (the fast path): every Poll reads each primary
+//     shard's live write-ahead journal bytes and replays them through the
+//     same idempotent path crash recovery uses (promips.Index.ApplyWAL).
+//     The journal's clean-truncation rule makes mid-append reads safe — a
+//     torn trailing record is ignored and picked up whole next round —
+//     and re-shipping the entire file every round is a no-op for records
+//     already applied. Nothing is re-journaled locally.
+//
+//   - Snapshot refresh (the slow path): a primary Save or Compact starts
+//     a new journal epoch (Save empties the journal into the metadata;
+//     Compact also rewrites ids), which journal replay alone cannot
+//     cross. Poll detects an epoch change — the shard's CURRENT pointer
+//     or persisted metadata differs from what this replica's state was
+//     built on, or the journal skips ahead of the replica — and re-copies
+//     that shard's directory from the primary wholesale, then resumes
+//     tailing. Refreshes counts these.
+//
+// The replica answers Search/SearchBatch/Exact with the same fan-out
+// merge as the primary. Mutating operations return ErrReadOnlyReplica.
+//
+// Consistency model: eventual, with a per-shard LSN watermark
+// (Watermarks/Lag) measuring convergence — watermark W on shard s means
+// this replica's state covers exactly the first W records of s's current
+// journal epoch. Between polls the replica serves a stale but
+// crash-consistent state: every applied record was acknowledged-durable
+// on the primary, and records apply in primary acknowledgement order, so
+// the replica only ever shows states the primary actually passed
+// through (per shard). Cross-shard, a poll walks shards in order, so the
+// replica can briefly show shard 0 ahead of shard 1 — the same skew a
+// crash of the primary itself can expose (see DESIGN.md).
+//
+// The Follower assumes the primary process is live and saving/compacting
+// occasionally; it never writes to the primary's tree. One poller at a
+// time: Poll is serialized internally; reads run concurrently with it
+// except during a shard swap.
+type Follower struct {
+	dir        string // replica root (this follower owns it)
+	primaryDir string // primary root (read-only)
+
+	mu       sync.RWMutex // guards children swaps (refresh) vs reads
+	children []*promips.Index
+	marks    []followMark
+
+	pollMu    sync.Mutex // serializes Poll
+	refreshes atomic.Int64
+}
+
+// followMark pins the primary-side state a replica shard was built from:
+// the shard's CURRENT content and metadata fingerprint identify the
+// journal epoch, records is the LSN watermark into that epoch's journal.
+type followMark struct {
+	current string
+	metaSum [sha256.Size]byte
+	records int
+}
+
+// Snapshot copies a sharded primary's directory tree into replicaDir —
+// the bootstrap a follower starts from. The primary should be quiescent
+// or recently saved; a copy torn by a concurrent Save/Compact is caught
+// at OpenFollower (or by the first Poll's refresh) rather than silently
+// served. replicaDir must not exist or be empty.
+func Snapshot(primaryDir, replicaDir string) error {
+	if _, err := readManifest(fsutil.OS, primaryDir); err != nil {
+		return fmt.Errorf("shard: snapshot source: %w", err)
+	}
+	if err := copyTree(primaryDir, replicaDir); err != nil {
+		return fmt.Errorf("shard: snapshot: %w", err)
+	}
+	return nil
+}
+
+// OpenFollower opens replicaDir — a Snapshot of (or a previous follower
+// state for) the primary at primaryDir — as a read-only replica. Each
+// shard reopens through the normal recovery path, so the snapshot's own
+// journal records are folded in; convergence marks are initialized from
+// the replica's files, which makes a follower restart safe: whatever the
+// previous process had applied beyond its snapshot is simply re-applied
+// from the primary's journal on the first Poll (replay is idempotent).
+func OpenFollower(replicaDir, primaryDir string) (*Follower, error) {
+	k, err := readManifest(fsutil.OS, replicaDir)
+	if err != nil {
+		return nil, fmt.Errorf("shard: open follower: %w", err)
+	}
+	if pk, err := readManifest(fsutil.OS, primaryDir); err == nil && pk != k {
+		return nil, fmt.Errorf("shard: open follower: replica has %d shards, primary %s has %d: %w",
+			k, primaryDir, pk, promips.ErrCorruptIndex)
+	}
+	f := &Follower{
+		dir:        replicaDir,
+		primaryDir: primaryDir,
+		children:   make([]*promips.Index, 0, k),
+		marks:      make([]followMark, k),
+	}
+	for s := 0; s < k; s++ {
+		childDir := filepath.Join(replicaDir, shardDirName(s))
+		child, err := promips.Open(childDir)
+		if err != nil {
+			f.closeChildren()
+			return nil, fmt.Errorf("shard: open follower shard %d: %w", s, err)
+		}
+		f.children = append(f.children, child)
+		mark, err := markOf(childDir)
+		if err != nil {
+			f.closeChildren()
+			return nil, fmt.Errorf("shard: follower shard %d mark: %w", s, err)
+		}
+		f.marks[s] = mark
+	}
+	return f, nil
+}
+
+// Poll converges the replica one round: for every shard, refresh from a
+// primary snapshot if the shard's journal epoch changed (Save/Compact on
+// the primary), otherwise ship and replay the primary's current journal
+// bytes. Returns the number of new records applied this round. An error
+// leaves already-converged shards converged; the next Poll retries the
+// rest. Poll calls are serialized; reads stay concurrent except during a
+// shard swap.
+func (f *Follower) Poll() (applied int, err error) {
+	f.pollMu.Lock()
+	defer f.pollMu.Unlock()
+	for s := range f.children {
+		n, err := f.pollShard(s)
+		applied += n
+		if err != nil {
+			return applied, fmt.Errorf("shard: poll shard %d: %w", s, err)
+		}
+	}
+	return applied, nil
+}
+
+// pollShard converges one shard. Caller holds pollMu.
+func (f *Follower) pollShard(s int) (int, error) {
+	primDir := filepath.Join(f.primaryDir, shardDirName(s))
+	cur, gen, metaSum, err := epochOf(primDir)
+	if err != nil {
+		return 0, err
+	}
+	f.mu.RLock()
+	mark := f.marks[s]
+	child := f.children[s]
+	f.mu.RUnlock()
+	if cur != mark.current || metaSum != mark.metaSum {
+		// New journal epoch: the primary saved (journal folded into meta —
+		// meta fingerprint moves even when CURRENT does not, e.g. a
+		// delete-only epoch) or compacted (CURRENT names a new
+		// generation). Journal replay cannot cross an epoch; re-snapshot.
+		return 0, f.refreshShard(s)
+	}
+	walB, err := os.ReadFile(filepath.Join(primDir, filepath.FromSlash(gen), "wal.log"))
+	if err != nil && !os.IsNotExist(err) {
+		return 0, err
+	}
+	res, err := child.ApplyWAL(walB)
+	if err != nil {
+		// The journal skips ahead of this replica (it missed an epoch
+		// boundary between our two reads) or cannot be decoded against
+		// this state: fall back to a snapshot refresh.
+		return 0, f.refreshShard(s)
+	}
+	f.mu.Lock()
+	f.marks[s].records = res.Records
+	f.mu.Unlock()
+	return res.Applied, nil
+}
+
+// refreshShard replaces replica shard s with a fresh copy of the
+// primary's. The new copy is opened BEFORE the old child is swapped out,
+// so a torn copy (primary saving mid-walk) leaves the old shard serving
+// and the next Poll retries.
+func (f *Follower) refreshShard(s int) error {
+	final := filepath.Join(f.dir, shardDirName(s))
+	tmp := final + ".refresh"
+	os.RemoveAll(tmp)
+	primDir := filepath.Join(f.primaryDir, shardDirName(s))
+	if err := copyTree(primDir, tmp); err != nil {
+		os.RemoveAll(tmp)
+		return fmt.Errorf("refresh copy: %w", err)
+	}
+	child, err := promips.Open(tmp)
+	if err != nil {
+		os.RemoveAll(tmp)
+		return fmt.Errorf("refresh open: %w", err)
+	}
+	mark, err := markOf(tmp)
+	if err != nil {
+		child.Close()
+		os.RemoveAll(tmp)
+		return fmt.Errorf("refresh mark: %w", err)
+	}
+	f.mu.Lock()
+	old := f.children[s]
+	f.children[s] = child
+	f.marks[s] = mark
+	f.mu.Unlock()
+	old.Close()
+	// Install the copy under its final name. The open child's descriptors
+	// survive the rename (and even an unlink by a later refresh) — the
+	// follower never writes through paths. Best-effort: a failure leaves
+	// the copy serving from the .refresh name until the next refresh.
+	os.RemoveAll(final)
+	os.Rename(tmp, final)
+	f.refreshes.Add(1)
+	return nil
+}
+
+// Watermarks returns each shard's replication LSN watermark: how many
+// records of the primary shard's current journal epoch this replica's
+// state covers, in shard order.
+func (f *Follower) Watermarks() []int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	ws := make([]int64, len(f.marks))
+	for s, m := range f.marks {
+		ws[s] = int64(m.records)
+	}
+	return ws
+}
+
+// Lag measures how far this replica trails the primary, in acknowledged
+// journal records summed over shards: primary records present on disk now
+// minus this replica's watermarks. 0 means converged as of the read; a
+// negative component is clamped (the primary started a new epoch the
+// replica has not polled yet — the true lag is unknown until it does).
+func (f *Follower) Lag() (int64, error) {
+	f.mu.RLock()
+	marks := make([]followMark, len(f.marks))
+	copy(marks, f.marks)
+	f.mu.RUnlock()
+	var lag int64
+	for s, m := range marks {
+		primDir := filepath.Join(f.primaryDir, shardDirName(s))
+		_, gen, _, err := epochOf(primDir)
+		if err != nil {
+			return 0, fmt.Errorf("shard: lag shard %d: %w", s, err)
+		}
+		walB, err := os.ReadFile(filepath.Join(primDir, filepath.FromSlash(gen), "wal.log"))
+		if err != nil && !os.IsNotExist(err) {
+			return 0, fmt.Errorf("shard: lag shard %d: %w", s, err)
+		}
+		n, err := wal.CountRecords(walB)
+		if err != nil {
+			return 0, fmt.Errorf("shard: lag shard %d: %w", s, err)
+		}
+		if d := int64(n) - int64(m.records); d > 0 {
+			lag += d
+		}
+	}
+	return lag, nil
+}
+
+// Refreshes returns how many snapshot refreshes this follower has
+// performed (epoch crossings: primary Saves/Compacts caught up with).
+func (f *Follower) Refreshes() int64 { return f.refreshes.Load() }
+
+// Search answers against the replica's current state with the same
+// fan-out merge — and the same (c, p) composition — as the primary.
+func (f *Follower) Search(ctx context.Context, q []float32, k int, opts ...promips.SearchOption) ([]promips.Result, promips.SearchStats, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return fanSearch(ctx, f.children, q, k, opts)
+}
+
+// SearchBatch answers many queries against the replica's current state.
+func (f *Follower) SearchBatch(ctx context.Context, queries [][]float32, k int, opts ...promips.SearchOption) ([][]promips.Result, []promips.SearchStats, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return fanBatch(ctx, f.children, queries, k, opts)
+}
+
+// Exact returns the exact top-k over the replica's current state.
+func (f *Follower) Exact(ctx context.Context, q []float32, k int) ([]promips.Result, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return fanExact(ctx, f.children, q, k)
+}
+
+// Insert always fails: replicas converge by replaying the primary's
+// journal, and a direct write would fork the id space.
+func (f *Follower) Insert(v []float32) (uint32, error) {
+	return 0, fmt.Errorf("shard: insert: %w", promips.ErrReadOnlyReplica)
+}
+
+// Delete always fails; see Insert.
+func (f *Follower) Delete(id uint32) bool { return false }
+
+// DeleteChecked always fails; see Insert.
+func (f *Follower) DeleteChecked(id uint32) (bool, error) {
+	return false, fmt.Errorf("shard: delete: %w", promips.ErrReadOnlyReplica)
+}
+
+// Save always fails: the replica's directory is a cache of the primary's
+// state, not an independent lineage.
+func (f *Follower) Save() error {
+	return fmt.Errorf("shard: save: %w", promips.ErrReadOnlyReplica)
+}
+
+// Close releases every replica shard. The replica directory is kept: a
+// restarted follower reopens it and catches up from the primary's
+// journals instead of re-copying everything.
+func (f *Follower) Close() error {
+	f.pollMu.Lock()
+	defer f.pollMu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closeChildrenLocked()
+}
+
+func (f *Follower) closeChildren() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.closeChildrenLocked()
+}
+
+func (f *Follower) closeChildrenLocked() error {
+	var first error
+	for _, c := range f.children {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Shards returns the shard count K.
+func (f *Follower) Shards() int { return len(f.children) }
+
+// Dir returns the replica's directory.
+func (f *Follower) Dir() string { return f.dir }
+
+// PrimaryDir returns the primary directory this follower tails.
+func (f *Follower) PrimaryDir() string { return f.primaryDir }
+
+// Len returns the total disk-resident points in the replica's state.
+func (f *Follower) Len() int { f.mu.RLock(); defer f.mu.RUnlock(); return sumLen(f.children) }
+
+// LiveCount returns the total live points in the replica's state.
+func (f *Follower) LiveCount() int { f.mu.RLock(); defer f.mu.RUnlock(); return sumLive(f.children) }
+
+// Dim returns the dataset dimensionality.
+func (f *Follower) Dim() int { f.mu.RLock(); defer f.mu.RUnlock(); return f.children[0].Dim() }
+
+// M returns the projected dimensionality in use.
+func (f *Follower) M() int { f.mu.RLock(); defer f.mu.RUnlock(); return f.children[0].M() }
+
+// JournalLen returns the replicated-but-unsaved record count across
+// shards (the replica's own journals only grow by snapshot copy).
+func (f *Follower) JournalLen() int { f.mu.RLock(); defer f.mu.RUnlock(); return sumJournal(f.children) }
+
+// JournalLens returns each replica shard's journal length in shard order.
+func (f *Follower) JournalLens() []int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return journalLens(f.children)
+}
+
+// Recovery sums what every replica shard's journal replay recovered.
+func (f *Follower) Recovery() promips.RecoveryStats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return sumRecovery(f.children)
+}
+
+// CacheStats sums the replica's buffer-pool counters.
+func (f *Follower) CacheStats() promips.CacheStats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return sumCache(f.children)
+}
+
+// epochOf fingerprints a primary shard's current journal epoch: the raw
+// CURRENT content, the generation it names, and a digest of that
+// generation's persisted metadata.
+func epochOf(shardDir string) (current, gen string, metaSum [sha256.Size]byte, err error) {
+	curB, err := os.ReadFile(filepath.Join(shardDir, "CURRENT"))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			return "", "", metaSum, err
+		}
+		curB = nil // root layout: never compacted
+	}
+	current = string(curB)
+	gen = strings.TrimSpace(current)
+	if gen == "." {
+		gen = ""
+	}
+	if strings.ContainsAny(gen, "/\\") {
+		return "", "", metaSum, fmt.Errorf("invalid CURRENT %q: %w", gen, promips.ErrCorruptIndex)
+	}
+	metaB, err := os.ReadFile(filepath.Join(shardDir, gen, "promips.meta"))
+	if err != nil && !os.IsNotExist(err) {
+		return "", "", metaSum, err
+	}
+	return current, gen, sha256.Sum256(metaB), nil
+}
+
+// markOf builds the convergence mark for a replica shard directory: its
+// own epoch fingerprint plus its journal's record count. Immediately
+// after a snapshot these equal the primary's at copy time; on a follower
+// restart they pin whatever state the replica durably holds, so the next
+// Poll resumes (or refreshes) from the right place.
+func markOf(shardDir string) (followMark, error) {
+	current, gen, metaSum, err := epochOf(shardDir)
+	if err != nil {
+		return followMark{}, err
+	}
+	walB, err := os.ReadFile(filepath.Join(shardDir, gen, "wal.log"))
+	if err != nil && !os.IsNotExist(err) {
+		return followMark{}, err
+	}
+	n, err := wal.CountRecords(walB)
+	if err != nil {
+		return followMark{}, err
+	}
+	return followMark{current: current, metaSum: metaSum, records: n}, nil
+}
+
+// copyTree copies the regular files of a directory tree. Symlinks and
+// other specials are rejected — index directories contain none.
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		switch {
+		case info.IsDir():
+			return os.MkdirAll(target, 0o755)
+		case info.Mode().IsRegular():
+			return copyFile(path, target)
+		default:
+			return fmt.Errorf("copy %s: unsupported file type %v", path, info.Mode().Type())
+		}
+	})
+}
+
+func copyFile(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}

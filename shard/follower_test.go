@@ -1,0 +1,351 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"promips"
+)
+
+// liveFingerprint is the byte-level live-set fingerprint convergence is
+// asserted on: every live point's exact inner product with a probe, bit
+// patterns and ids both — if the replica misses, resurrects or misplaces
+// one update, the fingerprint moves.
+func liveFingerprint(t *testing.T, ex interface {
+	Exact(ctx context.Context, q []float32, k int) ([]promips.Result, error)
+	LiveCount() int
+}, probe []float32) [][2]uint64 {
+	t.Helper()
+	all, err := ex.Exact(context.Background(), probe, ex.LiveCount()+1)
+	if err != nil {
+		t.Fatalf("fingerprint exact: %v", err)
+	}
+	return ipBits(all)
+}
+
+func assertConverged(t *testing.T, primary *Index, f *Follower, probes [][]float32) {
+	t.Helper()
+	lag, err := f.Lag()
+	if err != nil {
+		t.Fatalf("lag: %v", err)
+	}
+	if lag != 0 {
+		t.Fatalf("follower lag %d after poll, want 0", lag)
+	}
+	if got, want := f.LiveCount(), primary.LiveCount(); got != want {
+		t.Fatalf("follower live count %d, primary %d", got, want)
+	}
+	if got, want := liveFingerprint(t, f, probes[0]), liveFingerprint(t, primary, probes[0]); !reflect.DeepEqual(got, want) {
+		t.Fatalf("follower live-set fingerprint diverges from primary:\n got %v\nwant %v", got, want)
+	}
+	for qi, q := range probes {
+		want, _, err := primary.Search(context.Background(), q, 5)
+		if err != nil {
+			t.Fatalf("primary search: %v", err)
+		}
+		got, _, err := f.Search(context.Background(), q, 5)
+		if err != nil {
+			t.Fatalf("follower search: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("probe %d: follower search diverges:\n got %v\nwant %v", qi, got, want)
+		}
+	}
+}
+
+func buildPrimary(t *testing.T, data [][]float32, k int) *Index {
+	t.Helper()
+	primary, err := Build(data, Options{
+		Shards: k,
+		Dir:    filepath.Join(t.TempDir(), "primary"),
+		Index:  promips.Options{Seed: 7, M: 4},
+	})
+	if err != nil {
+		t.Fatalf("build primary: %v", err)
+	}
+	t.Cleanup(func() { primary.Close() })
+	if err := primary.Save(); err != nil {
+		t.Fatalf("save primary: %v", err)
+	}
+	return primary
+}
+
+func startFollower(t *testing.T, primary *Index) *Follower {
+	t.Helper()
+	replicaDir := filepath.Join(t.TempDir(), "replica")
+	if err := Snapshot(primary.Dir(), replicaDir); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	f, err := OpenFollower(replicaDir, primary.Dir())
+	if err != nil {
+		t.Fatalf("open follower: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestFollowerConvergesByTailing: live updates on the primary reach the
+// follower through journal shipping alone — no refresh — and the replica
+// converges to the primary's exact live-set fingerprint, with the LSN
+// watermark accounting for every shipped record.
+func TestFollowerConvergesByTailing(t *testing.T) {
+	r := rand.New(rand.NewSource(111))
+	data := randData(r, 60, 8)
+	extra := randData(r, 10, 8)
+	probes := randData(r, 3, 8)
+	primary := buildPrimary(t, data, 4)
+	f := startFollower(t, primary)
+	assertConverged(t, primary, f, probes)
+
+	for _, v := range extra {
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !primary.Delete(5) || !primary.Delete(62) {
+		t.Fatal("primary deletes failed")
+	}
+	lag, err := f.Lag()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lag != 12 {
+		t.Fatalf("pre-poll lag %d, want 12 (10 inserts + 2 deletes)", lag)
+	}
+	applied, err := f.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 12 {
+		t.Fatalf("poll applied %d records, want 12", applied)
+	}
+	if f.Refreshes() != 0 {
+		t.Fatalf("tailing poll refreshed %d times, want 0", f.Refreshes())
+	}
+	var wsum int64
+	for _, w := range f.Watermarks() {
+		wsum += w
+	}
+	if wsum != 12 {
+		t.Fatalf("watermark sum %d, want 12", wsum)
+	}
+	assertConverged(t, primary, f, probes)
+
+	// Re-polling an unchanged primary is a no-op.
+	applied, err = f.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 0 {
+		t.Fatalf("idle poll applied %d records", applied)
+	}
+	assertConverged(t, primary, f, probes)
+}
+
+// TestFollowerRefreshesAcrossSave: a primary Save starts a new journal
+// epoch (records folded into metadata, journal emptied) that tailing
+// cannot cross — Poll must detect it and re-snapshot the shards.
+func TestFollowerRefreshesAcrossSave(t *testing.T) {
+	r := rand.New(rand.NewSource(121))
+	data := randData(r, 60, 8)
+	extra := randData(r, 4, 8)
+	probes := randData(r, 3, 8)
+	primary := buildPrimary(t, data, 2)
+	f := startFollower(t, primary)
+
+	for _, v := range extra {
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := primary.Save(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-save updates land in the fresh epoch's journal.
+	if _, err := primary.Insert(extra[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Refreshes() == 0 {
+		t.Fatal("poll crossed a Save without refreshing")
+	}
+	assertConverged(t, primary, f, probes)
+}
+
+// TestFollowerRefreshesOnDeleteOnlyEpoch: a delete-only Save leaves the
+// CURRENT pointer unchanged and shrinks the journal — the metadata
+// fingerprint is what must catch the epoch change.
+func TestFollowerRefreshesOnDeleteOnlyEpoch(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	data := randData(r, 60, 8)
+	probes := randData(r, 3, 8)
+	primary := buildPrimary(t, data, 2)
+	f := startFollower(t, primary)
+
+	if !primary.Delete(9) {
+		t.Fatal("primary delete failed")
+	}
+	if err := primary.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Refreshes() == 0 {
+		t.Fatal("delete-only Save epoch went undetected")
+	}
+	assertConverged(t, primary, f, probes)
+	if f.LiveCount() != len(data)-1 {
+		t.Fatalf("follower live count %d, want %d", f.LiveCount(), len(data)-1)
+	}
+}
+
+// TestFollowerRefreshesAcrossCompact: Compact rewrites ids and flips the
+// CURRENT pointer to a new generation; the follower must re-snapshot and
+// keep answering identically.
+func TestFollowerRefreshesAcrossCompact(t *testing.T) {
+	r := rand.New(rand.NewSource(141))
+	data := randData(r, 60, 8)
+	extra := randData(r, 3, 8)
+	probes := randData(r, 3, 8)
+	primary := buildPrimary(t, data, 2)
+	f := startFollower(t, primary)
+
+	for _, v := range extra {
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primary.Delete(4)
+	if _, err := primary.Compact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Save(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Refreshes() == 0 {
+		t.Fatal("poll crossed a Compact without refreshing")
+	}
+	assertConverged(t, primary, f, probes)
+}
+
+// TestFollowerRestart: closing a follower and reopening its replica
+// directory resumes replication — convergence marks rebuild from the
+// replica's own files, and the first Poll re-ships whatever in-memory
+// state the old process lost (replay is idempotent).
+func TestFollowerRestart(t *testing.T) {
+	r := rand.New(rand.NewSource(151))
+	data := randData(r, 60, 8)
+	extra := randData(r, 6, 8)
+	probes := randData(r, 3, 8)
+	primary := buildPrimary(t, data, 2)
+
+	replicaDir := filepath.Join(t.TempDir(), "replica")
+	if err := Snapshot(primary.Dir(), replicaDir); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenFollower(replicaDir, primary.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range extra {
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, primary, f, probes)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The applied-but-unjournaled records died with the process; the
+	// reopened replica re-ships them from the primary's journal.
+	re, err := OpenFollower(replicaDir, primary.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if _, err := re.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	assertConverged(t, primary, re, probes)
+}
+
+// TestFollowerReadOnly: every mutating operation on a replica fails with
+// ErrReadOnlyReplica; reads keep working.
+func TestFollowerReadOnly(t *testing.T) {
+	r := rand.New(rand.NewSource(161))
+	data := randData(r, 40, 8)
+	primary := buildPrimary(t, data, 2)
+	f := startFollower(t, primary)
+
+	if _, err := f.Insert(data[0]); !errors.Is(err, promips.ErrReadOnlyReplica) {
+		t.Fatalf("insert: got %v, want ErrReadOnlyReplica", err)
+	}
+	if _, err := f.DeleteChecked(1); !errors.Is(err, promips.ErrReadOnlyReplica) {
+		t.Fatalf("delete: got %v, want ErrReadOnlyReplica", err)
+	}
+	if ok := f.Delete(1); ok {
+		t.Fatal("replica Delete reported success")
+	}
+	if err := f.Save(); !errors.Is(err, promips.ErrReadOnlyReplica) {
+		t.Fatalf("save: got %v, want ErrReadOnlyReplica", err)
+	}
+	if _, _, err := f.Search(context.Background(), data[0], 3); err != nil {
+		t.Fatalf("replica search: %v", err)
+	}
+	batch, _, err := f.SearchBatch(context.Background(), data[:4], 3)
+	if err != nil {
+		t.Fatalf("replica batch: %v", err)
+	}
+	if len(batch) != 4 {
+		t.Fatalf("replica batch answered %d queries, want 4", len(batch))
+	}
+}
+
+// TestFollowerWatermarkBits sanity-checks the exported accessors against
+// a known update distribution: with K=2, global ids route deterministically,
+// so per-shard watermarks are predictable.
+func TestFollowerWatermarkBits(t *testing.T) {
+	r := rand.New(rand.NewSource(171))
+	data := randData(r, 40, 8)
+	primary := buildPrimary(t, data, 2)
+	f := startFollower(t, primary)
+
+	// Ids 40 and 41 route to shards 0 and 1; delete of 6 routes to shard 0.
+	for _, v := range randData(r, 2, 8) {
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primary.Delete(6)
+	if _, err := f.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	ws := f.Watermarks()
+	if len(ws) != 2 || ws[0] != 2 || ws[1] != 1 {
+		t.Fatalf("watermarks %v, want [2 1]", ws)
+	}
+	if f.Shards() != 2 {
+		t.Fatalf("follower shards %d, want 2", f.Shards())
+	}
+	if f.Dim() != 8 || f.M() != primary.M() {
+		t.Fatalf("follower dim/m mismatch: %d/%d", f.Dim(), f.M())
+	}
+	if math.Abs(float64(f.Len()-primary.Len())) > 0 {
+		t.Fatalf("follower len %d, primary %d", f.Len(), primary.Len())
+	}
+}

@@ -1,0 +1,97 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"path/filepath"
+	"strings"
+
+	"promips"
+	"promips/internal/fsutil"
+)
+
+// The SHARDS manifest is the root of a sharded index directory: a tiny
+// text file recording the shard count, written atomically (temp + fsync +
+// rename + directory fsync) by Save. Its presence is what distinguishes a
+// sharded directory from a single-index one — promipsd and promipsctl
+// auto-detect it — and its K is load-bearing: the id-space layout
+// (globalID = localID·K + shard) is a pure function of K, so opening with
+// the wrong K would silently mis-route every id. K is therefore fixed at
+// Build and validated on every Open.
+//
+// Format, one token pair per line:
+//
+//	PROMIPS-SHARDS v1
+//	shards <K>
+const (
+	manifestFile  = "SHARDS"
+	manifestMagic = "PROMIPS-SHARDS v1"
+	// maxShards bounds K to keep the fan-out sane and the parser total: a
+	// manifest asking for more shards than any deployment would configure
+	// is corruption, not configuration.
+	maxShards = 1024
+)
+
+// shardDirName names shard s's child directory under the index root.
+func shardDirName(s int) string { return fmt.Sprintf("shard-%03d", s) }
+
+// writeManifest durably records K in dir.
+func writeManifest(fsys fsutil.FS, dir string, k int) error {
+	content := fmt.Sprintf("%s\nshards %d\n", manifestMagic, k)
+	err := fsutil.WriteAtomic(fsys, filepath.Join(dir, manifestFile), func(f fsutil.File) error {
+		_, err := f.Write([]byte(content))
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("shard: write manifest: %w", err)
+	}
+	if err := fsutil.SyncDir(fsys, dir); err != nil {
+		return fmt.Errorf("shard: %w", err)
+	}
+	return nil
+}
+
+// readManifest parses dir's SHARDS manifest. A missing file returns the
+// underlying fs.ErrNotExist ("this is not a sharded index"); content that
+// cannot be a manifest is ErrCorruptIndex — the same trust boundary
+// CURRENT's parser draws (pinned by FuzzParseManifest).
+func readManifest(fsys fsutil.FS, dir string) (int, error) {
+	b, err := fsys.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return 0, err
+	}
+	k, err := parseManifest(b)
+	if err != nil {
+		return 0, fmt.Errorf("shard: %s: %w", manifestFile, err)
+	}
+	return k, nil
+}
+
+// parseManifest validates manifest bytes and extracts K.
+func parseManifest(b []byte) (int, error) {
+	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+	if len(lines) != 2 || lines[0] != manifestMagic {
+		return 0, fmt.Errorf("bad magic: %w", promips.ErrCorruptIndex)
+	}
+	var k int
+	if _, err := fmt.Sscanf(lines[1], "shards %d", &k); err != nil {
+		return 0, fmt.Errorf("bad shard count line %q: %w", lines[1], promips.ErrCorruptIndex)
+	}
+	if k < 1 || k > maxShards {
+		return 0, fmt.Errorf("implausible shard count %d: %w", k, promips.ErrCorruptIndex)
+	}
+	return k, nil
+}
+
+// IsSharded reports whether dir holds a sharded index — a valid SHARDS
+// manifest. Serving and tooling use it to pick Open vs promips.Open. An
+// unreadable or invalid manifest reports false; Open will surface the
+// real error.
+func IsSharded(dir string) bool {
+	k, err := readManifest(fsutil.OS, dir)
+	return err == nil && k >= 1
+}
+
+// notExist reports whether err means the manifest simply is not there.
+func notExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
