@@ -162,6 +162,11 @@ type PerfReport struct {
 	// channel (see MeasureShardScaling).
 	Shards []ShardPoint `json:"shard_scaling,omitempty"`
 
+	// DegradedSearch is the failure-isolation tail-latency measurement:
+	// one slow shard, with and without per-shard deadlines (see
+	// MeasureDegradedSearch).
+	DegradedSearch []DegradedPoint `json:"degraded_search,omitempty"`
+
 	Prefilter *PrefilterEffect `json:"pq_prefilter,omitempty"`
 	Gate      *GatePoint       `json:"gate,omitempty"`
 
@@ -301,6 +306,13 @@ func RunPerf(ctx context.Context, cfg PerfConfig) (*PerfReport, error) {
 	// Scale-out curve: the disk model at 8 workers across shard counts,
 	// one standard pool + miss channel per shard (node-per-shard model).
 	rep.Shards, err = MeasureShardScaling(ctx, env, []int{1, 2, 4, 8}, cfg.K, 8, 3)
+	if err != nil {
+		return nil, err
+	}
+
+	// Failure-isolation tail latency: one slow shard with and without
+	// per-shard deadlines, on a 4-shard build of the same workload.
+	rep.DegradedSearch, err = MeasureDegradedSearch(ctx, env, 4, cfg.K)
 	if err != nil {
 		return nil, err
 	}

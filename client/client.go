@@ -8,10 +8,15 @@ package client
 import (
 	"bytes"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -98,9 +103,11 @@ type StatsResponse struct {
 
 	// Shards is the shard count K of a sharded index; 0 for an unsharded
 	// one. ShardJournalLens is each shard's pending journal length in
-	// shard order (present only when Shards > 0).
+	// shard order (present only when Shards > 0). Epoch is the failover
+	// epoch fence a sharded primary serves under (bumped by promotion).
 	Shards          int   `json:"shards,omitempty"`
 	ShardJournalLens []int `json:"shard_journal_lens,omitempty"`
+	Epoch            int64 `json:"epoch,omitempty"`
 
 	// ReadOnly marks a follower replica: updates are rejected with
 	// CodeReadOnly, and Replication reports how converged it is.
@@ -139,6 +146,8 @@ const (
 	CodeReadOnly        = "read_only"        // 403: follower replica; address updates to the primary
 	CodeJournalPoisoned = "journal_poisoned" // 503: updates refused until a Save heals the journal; retryable
 	CodeDeadline        = "deadline"         // 504: the per-request deadline expired
+	CodeNotFollower     = "not_follower"     // 409: promote asked of a server not running a follower
+	CodeNotReady        = "not_ready"        // 503 from /v1/readyz: follower not yet converged
 	CodeInternal        = "internal"         // 500: everything else
 )
 
@@ -150,6 +159,9 @@ type APIError struct {
 	Code      string // one of the Code constants
 	Message   string // human-readable detail from the server
 	Retryable bool   // the server expects a later retry to succeed
+	// RetryAfter is the server's Retry-After hint (0 = none). The retry
+	// loop honors it over its own exponential backoff.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -177,8 +189,11 @@ func (e *APIError) Is(target error) bool {
 
 // Client talks to one promipsd instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base    string
+	hc      *http.Client
+	retries int
+	boBase  time.Duration
+	boMax   time.Duration
 }
 
 // Option customizes a Client.
@@ -190,13 +205,44 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithRetries makes every call retry up to n additional attempts on
+// RETRYABLE failures only: transport errors (the request may never have
+// reached the server) and responses whose error body is marked retryable —
+// queue_full backpressure, journal_poisoned awaiting a Save, a draining
+// server. Non-retryable errors (bad request, dim mismatch, read-only
+// replica, …) and the caller's own context expiry are returned
+// immediately; when the budget runs out, the last error is returned
+// unchanged. Inserts and deletes are safe to retry because every logical
+// call carries one Idempotency-Key across all its attempts — the server
+// deduplicates, so an ack lost in transit cannot double-apply. The default
+// is 0 (single attempt).
+func WithRetries(n int) Option {
+	return func(c *Client) { c.retries = n }
+}
+
+// WithBackoff sets the retry delay's exponential range: attempt i waits a
+// jittered base·2^i, capped at max — unless the server sent Retry-After,
+// which is honored verbatim. Defaults: 100ms base, 2s cap.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) {
+		if base > 0 {
+			c.boBase = base
+		}
+		if max > 0 {
+			c.boMax = max
+		}
+	}
+}
+
 // New returns a client for the promipsd at baseURL, e.g.
 // "http://127.0.0.1:7845". The default transport has a 30s overall
 // timeout; per-request deadlines ride in the request bodies.
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
-		base: strings.TrimRight(baseURL, "/"),
-		hc:   &http.Client{Timeout: 30 * time.Second},
+		base:   strings.TrimRight(baseURL, "/"),
+		hc:     &http.Client{Timeout: 30 * time.Second},
+		boBase: 100 * time.Millisecond,
+		boMax:  2 * time.Second,
 	}
 	for _, o := range opts {
 		o(c)
@@ -220,17 +266,29 @@ func (c *Client) SearchBatch(ctx context.Context, req BatchRequest) (BatchRespon
 
 // Insert adds a vector; the returned id is assigned by the server and the
 // update is durable under the index's fsync policy when this returns nil.
+// All attempts of one Insert share an Idempotency-Key, so retrying after a
+// lost ack returns the already-assigned id instead of inserting twice.
 func (c *Client) Insert(ctx context.Context, vec []float32) (uint32, error) {
 	var out InsertResponse
-	err := c.post(ctx, "/v1/insert", InsertRequest{Vector: vec}, &out)
+	err := c.postIdem(ctx, "/v1/insert", InsertRequest{Vector: vec}, &out)
 	return out.ID, err
 }
 
-// Delete tombstones an id, reporting whether it was live.
+// Delete tombstones an id, reporting whether it was live. Idempotent and
+// keyed like Insert: a retried delete reports the first attempt's answer.
 func (c *Client) Delete(ctx context.Context, id uint32) (bool, error) {
 	var out DeleteResponse
-	err := c.post(ctx, "/v1/delete", DeleteRequest{ID: id}, &out)
+	err := c.postIdem(ctx, "/v1/delete", DeleteRequest{ID: id}, &out)
 	return out.Deleted, err
+}
+
+// Promote asks a promipsd running a follower replica (-follow) to promote
+// it to a writable primary (see shard.Promote): the server stops its poll
+// loop, drains the dead primary's journal tails, fences the epoch, and
+// starts accepting writes. A server not running a follower answers 409
+// CodeNotFollower.
+func (c *Client) Promote(ctx context.Context) error {
+	return c.post(ctx, "/v1/promote", struct{}{}, &struct{}{})
 }
 
 // Stats snapshots the served index.
@@ -247,27 +305,72 @@ func (c *Client) Save(ctx context.Context) error {
 }
 
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	return c.postKeyed(ctx, path, in, out, "")
+}
+
+// postIdem posts with a fresh Idempotency-Key shared by every retry of
+// this one logical call.
+func (c *Client) postIdem(ctx context.Context, path string, in, out any) error {
+	return c.postKeyed(ctx, path, in, out, newIdempotencyKey())
+}
+
+func (c *Client) postKeyed(ctx context.Context, path string, in, out any, idemKey string) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("client: encode %s request: %w", path, err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
+	return c.do(ctx, http.MethodPost, path, body, idemKey, out)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, out)
+	return c.do(ctx, http.MethodGet, path, nil, "", out)
 }
 
-func (c *Client) do(req *http.Request, out any) error {
+// do issues the request, retrying retryable failures up to the configured
+// budget with jittered exponential backoff (Retry-After, when the server
+// sent one, overrides the computed delay). The request is rebuilt from the
+// retained body bytes on every attempt. The last error is returned
+// unchanged when the budget is exhausted.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, idemKey string, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := c.newRequest(ctx, method, path, body, idemKey)
+		if err != nil {
+			return err
+		}
+		lastErr = c.once(req, out)
+		if lastErr == nil {
+			return nil
+		}
+		if attempt >= c.retries || !retryable(lastErr) || ctx.Err() != nil {
+			return lastErr
+		}
+		if err := sleepCtx(ctx, c.delay(attempt, lastErr)); err != nil {
+			return lastErr
+		}
+	}
+}
+
+func (c *Client) newRequest(ctx context.Context, method, path string, body []byte, idemKey string) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if idemKey != "" {
+		req.Header.Set("Idempotency-Key", idemKey)
+	}
+	return req, nil
+}
+
+// once runs a single attempt.
+func (c *Client) once(req *http.Request, out any) error {
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -282,10 +385,81 @@ func (c *Client) do(req *http.Request, out any) error {
 				eb.Error = resp.Status
 			}
 		}
-		return &APIError{Status: resp.StatusCode, Code: eb.Code, Message: eb.Error, Retryable: eb.Retryable}
+		return &APIError{
+			Status: resp.StatusCode, Code: eb.Code, Message: eb.Error,
+			Retryable:  eb.Retryable,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("client: decode %s response: %w", req.URL.Path, err)
 	}
 	return nil
+}
+
+// retryable classifies an attempt's failure. Server responses carry their
+// own verdict in the error body; transport errors are retryable (the
+// request may never have arrived — idempotency keys make that safe for
+// updates) unless they are the caller's own context expiring.
+func retryable(err error) bool {
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Retryable
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// delay picks attempt i's wait: the server's Retry-After if it sent one,
+// otherwise base·2^i capped at max, jittered over [d/2, d] so a thundering
+// herd of clients desynchronizes.
+func (c *Client) delay(attempt int, err error) time.Duration {
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > 0 {
+		return ae.RetryAfter
+	}
+	d := c.boBase
+	for i := 0; i < attempt && d < c.boMax; i++ {
+		d *= 2
+	}
+	if d > c.boMax {
+		d = c.boMax
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+func parseRetryAfter(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// newIdempotencyKey draws a random 128-bit key. One key identifies one
+// logical update across all its retry attempts.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back to
+		// a time-derived key rather than panicking in a client library.
+		return strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
+	return hex.EncodeToString(b[:])
 }

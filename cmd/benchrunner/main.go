@@ -13,7 +13,9 @@
 // 11 (impact of p), table2 (complexity scaling), ablations (Quick-Probe,
 // partition pattern, projected dimension), concurrency (QPS of one shared
 // index under 1/2/4/8 workers), shards (disk-model QPS across 1/2/4/8
-// shards at a fixed worker count, one disk-model pool per shard).
+// shards at a fixed worker count, one disk-model pool per shard),
+// degraded (fan-out tail latency with one slow shard, with and without
+// per-shard deadlines — the failure-isolation measurement).
 package main
 
 import (
@@ -29,7 +31,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all,4,5,6,7,8,9,10,11,table2,ablations,concurrency,shards")
+	fig := flag.String("fig", "all", "figure to regenerate: all,4,5,6,7,8,9,10,11,table2,ablations,concurrency,shards,degraded")
 	ds := flag.String("dataset", "all", "dataset: all, Netflix, Yahoo, P53, Sift")
 	n := flag.Int("n", 0, "points per dataset (0 = laptop-scale default)")
 	queries := flag.Int("queries", 0, "queries per dataset (0 = 100, the paper's workload)")
@@ -142,6 +144,10 @@ func runPerf(ctx context.Context, out, label, baselinePath string, n, queries in
 		fmt.Printf("perf[%s]: shards=%d workers=%d %.0f qps (%.2fx vs 1 shard, %.1f pages/q, hit %.1f%%)\n",
 			rep.Label, sp.Shards, sp.Workers, sp.QPS, sp.SpeedupVs1, sp.PagesPerQuery, sp.HitRatio*100)
 	}
+	for _, dp := range rep.DegradedSearch {
+		fmt.Printf("perf[%s]: degraded %-19s p50=%.0fus p99=%.0fus %.0f qps (%.2f shards answered, achieved p %.3f, %d degraded)\n",
+			rep.Label, dp.Config, dp.P50US, dp.P99US, dp.QPS, dp.ShardsAnsweredAvg, dp.AchievedPAvg, dp.DegradedQueries)
+	}
 	if g := rep.Gate; g != nil {
 		fmt.Printf("perf[%s]: gate n=%d queries=%d: %.2f pages/query\n", rep.Label, g.N, g.NumQueries, g.PagesPerQuery)
 	}
@@ -244,6 +250,14 @@ func runDataset(ctx context.Context, spec dataset.Spec, fig string, n, queries i
 	}
 	if fig == "all" || fig == "shards" {
 		t, err := bench.ShardScaling(ctx, env, []int{1, 2, 4, 8}, 10, 8, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t.Fprint(os.Stdout)
+	}
+	if fig == "all" || fig == "degraded" {
+		t, err := bench.DegradedSearch(ctx, env, 4, 10)
 		if err != nil {
 			return err
 		}

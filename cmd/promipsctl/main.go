@@ -8,6 +8,14 @@
 //	promipsctl compact -dir ./idx
 //	promipsctl stats   -dir ./idx
 //	promipsctl recover -dir ./idx [-commit]
+//	promipsctl promote -addr http://host:port | -dir ./replica -primary ./idx
+//
+// promote fails a replica over to writable primary after its primary
+// dies: online against a running promipsd follower (-addr, via POST
+// /v1/promote), or offline against a replica directory (-dir/-primary):
+// the remaining journal tails are drained from the dead primary's
+// directory and the manifest epoch is fenced so a resurrected old
+// primary is refused.
 //
 // Vector files use the datagen format (see cmd/datagen).
 package main
@@ -20,6 +28,7 @@ import (
 	"time"
 
 	"promips"
+	"promips/client"
 	"promips/dataset"
 	"promips/shard"
 )
@@ -68,6 +77,8 @@ func main() {
 		err = runStats(os.Args[2:])
 	case "recover":
 		err = runRecover(os.Args[2:])
+	case "promote":
+		err = runPromote(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -84,7 +95,8 @@ func usage() {
   promipsctl query   -dir ./idx -data vectors.pds [-k 10 -queries 5 -seed 1 -c 0 -p 0 -timeout 0]
   promipsctl compact -dir ./idx [-timeout 0]
   promipsctl stats   -dir ./idx [-timeout 0]
-  promipsctl recover -dir ./idx [-commit]`)
+  promipsctl recover -dir ./idx [-commit]
+  promipsctl promote -addr http://host:port | -dir ./replica -primary ./idx [-timeout 0]`)
 }
 
 // timeoutFlag registers the shared -timeout flag: a bound on all the
@@ -316,6 +328,52 @@ func printJournal(ix ctlIndex) {
 	if rec := ix.Recovery(); rec.Replayed > 0 || rec.Skipped > 0 || rec.TruncatedBytes > 0 {
 		fmt.Printf("recovery at open: %d update(s) replayed, %d already persisted, %d torn byte(s) truncated\n",
 			rec.Replayed, rec.Skipped, rec.TruncatedBytes)
+	}
+}
+
+// runPromote fails a replica over to writable primary. Online (-addr) it
+// asks a running promipsd follower to promote itself in place; offline
+// (-dir/-primary) it opens the replica directory, drains the dead
+// primary's remaining journal tails, fences the epoch and leaves the
+// directory ready to serve as a primary.
+func runPromote(args []string) error {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	addr := fs.String("addr", "", "running promipsd follower to promote in place (base URL)")
+	dir := fs.String("dir", "", "offline: replica directory to promote")
+	primary := fs.String("primary", "", "offline: the dead primary's index directory")
+	retries := fs.Int("retries", 2, "client retry budget for the online promote")
+	timeout := timeoutFlag(fs)
+	fs.Parse(args)
+	ctx, cancel := opCtx(*timeout)
+	defer cancel()
+	switch {
+	case *addr != "" && *dir == "" && *primary == "":
+		c := client.New(*addr, client.WithRetries(*retries))
+		if err := c.Promote(ctx); err != nil {
+			return err
+		}
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return fmt.Errorf("promoted, but stats unavailable: %w", err)
+		}
+		fmt.Printf("promoted %s: serving as primary at epoch %d (%d live points)\n", *addr, st.Epoch, st.Live)
+		return nil
+	case *addr == "" && *dir != "" && *primary != "":
+		f, err := shard.OpenFollower(*dir, *primary)
+		if err != nil {
+			return err
+		}
+		ix, err := shard.Promote(f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		defer ix.Close()
+		fmt.Printf("promoted %s: primary at epoch %d, %d live points across %d shards\n",
+			*dir, ix.Epoch(), ix.LiveCount(), ix.Shards())
+		return nil
+	default:
+		return fmt.Errorf("promote requires -addr alone (online) or -dir with -primary (offline)")
 	}
 }
 

@@ -1,0 +1,336 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"promips"
+	"promips/client"
+	"promips/shard"
+)
+
+// Deterministic chaos harness for the serving stack. One scenario runs the
+// canonical failover workload — search → insert → converge replica → kill
+// primary → promote → search → insert — through the real HTTP handlers and
+// the retry-enabled client, with exactly one fault injected at a chosen
+// point. The matrix sweeps that fault point over every round trip of the
+// workload in both failure modes a network gives you:
+//
+//	send: the request never reaches the server (connection refused-like);
+//	      nothing executed, the retry is a plain re-send.
+//	recv: the server executed the request but the response was lost; the
+//	      retry must be deduplicated by the Idempotency-Key or the ack
+//	      would be paid for twice (a duplicate insert).
+//
+// Invariants checked after every scenario, whatever was injected:
+//
+//   - every acknowledged insert is present in the final state, exactly once
+//     (live count is EXACT: initial + number of acked logical inserts);
+//   - the follower promoted cleanly and serves both old and new writes;
+//   - the directory reopens with no corruption and the same exact state.
+
+const (
+	chaosSend = "send"
+	chaosRecv = "recv"
+)
+
+// flakyRT counts round trips and fails exactly the Nth one (1-based) in
+// the configured mode. failAt = 0 never fires — used for the dry run that
+// measures how many round trips the fault-free workload makes.
+type flakyRT struct {
+	inner  http.RoundTripper
+	mode   string
+	failAt int
+
+	mu    sync.Mutex
+	trips int
+	fired bool
+}
+
+var errChaos = errors.New("chaos: injected network fault")
+
+func (rt *flakyRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	rt.trips++
+	fire := rt.failAt > 0 && rt.trips == rt.failAt
+	if fire {
+		rt.fired = true
+	}
+	rt.mu.Unlock()
+	if fire && rt.mode == chaosSend {
+		return nil, errChaos
+	}
+	resp, err := rt.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if fire && rt.mode == chaosRecv {
+		resp.Body.Close() // delivered and executed; the ack is what's lost
+		return nil, errChaos
+	}
+	return resp, nil
+}
+
+func (rt *flakyRT) tripCount() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.trips
+}
+
+// chaosWorld is one fresh primary+follower serving stack wired through a
+// single flaky transport, so the round-trip counter spans the whole
+// workload no matter which server a call targets.
+type chaosWorld struct {
+	data     [][]float32
+	primary  *shard.Index
+	follower *shard.Follower
+	ph, fh   *server
+	ps, fs   *httptest.Server
+	rt       *flakyRT
+	pc, fc   *client.Client
+}
+
+func newChaosWorld(t *testing.T, mode string, failAt int) *chaosWorld {
+	t.Helper()
+	r := rand.New(rand.NewSource(41))
+	w := &chaosWorld{data: testVecs(r, 200, 8)}
+
+	pdir := filepath.Join(t.TempDir(), "primary")
+	primary, err := shard.Build(w.data, shard.Options{
+		Shards: 2, Dir: pdir, Index: promips.Options{Seed: 42, M: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.primary = primary
+	t.Cleanup(func() { primary.Close() })
+	if err := primary.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	fdir := filepath.Join(t.TempDir(), "replica")
+	if err := shard.Snapshot(pdir, fdir); err != nil {
+		t.Fatal(err)
+	}
+	f, err := shard.OpenFollower(fdir, pdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.follower = f
+	t.Cleanup(func() { f.Close() }) // no-op once promoted
+
+	cfg := serverConfig{searchSlots: 4, updateSlots: 4}
+	w.ph = newServer(primary, cfg)
+	w.fh = newServer(f, cfg)
+	w.ps = httptest.NewServer(w.ph)
+	w.fs = httptest.NewServer(w.fh)
+	t.Cleanup(w.ps.Close)
+	t.Cleanup(w.fs.Close)
+
+	w.rt = &flakyRT{inner: http.DefaultTransport, mode: mode, failAt: failAt}
+	hc := &http.Client{Transport: w.rt}
+	retry := []client.Option{
+		client.WithHTTPClient(hc),
+		client.WithRetries(4),
+		client.WithBackoff(time.Millisecond, 4*time.Millisecond),
+	}
+	w.pc = client.New(w.ps.URL, retry...)
+	w.fc = client.New(w.fs.URL, retry...)
+	return w
+}
+
+// run drives the workload and returns the ids of the acknowledged inserts.
+// Every client call must succeed: the retry budget (4) strictly exceeds
+// the single injected fault, so a failure here is a real bug, not chaos.
+func (w *chaosWorld) run(t *testing.T) []uint32 {
+	t.Helper()
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(43))
+	v1, v2 := testVecs(r, 2, 8)[0], testVecs(r, 2, 8)[1]
+
+	// Steady state: a search against the primary answers.
+	if _, err := w.pc.Search(ctx, client.SearchRequest{Vector: v1, K: 5}); err != nil {
+		t.Fatalf("pre-failover search: %v", err)
+	}
+
+	// Acknowledged write on the primary.
+	id1, err := w.pc.Insert(ctx, v1)
+	if err != nil {
+		t.Fatalf("pre-failover insert: %v", err)
+	}
+
+	// Replica converges (direct poll — replication is not under test here),
+	// then the primary dies without warning: listener gone, no Save.
+	if _, err := w.follower.Poll(); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	if lag, err := w.follower.Lag(); err != nil || lag != 0 {
+		t.Fatalf("replica lag %d (err %v) before failover, want 0", lag, err)
+	}
+	w.ps.Close()
+
+	// Failover: promote the follower over HTTP (this call rides the same
+	// flaky transport, so the sweep covers a lost promote ack too).
+	if err := w.fc.Promote(ctx); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+
+	// Readiness and the old write survive on the new primary.
+	readyz, err := w.fs.Client().Get(w.fs.URL + "/v1/readyz")
+	if err != nil || readyz.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after promote: %v (status %v)", err, readyz)
+	}
+	readyz.Body.Close()
+	res, err := w.fc.Search(ctx, client.SearchRequest{Vector: v1, K: 5})
+	if err != nil {
+		t.Fatalf("post-failover search: %v", err)
+	}
+	if !hasID(res.Results, id1) {
+		t.Fatalf("acknowledged pre-failover insert %d missing from post-failover top-5", id1)
+	}
+
+	// Writes resume on the new primary.
+	id2, err := w.fc.Insert(ctx, v2)
+	if err != nil {
+		t.Fatalf("post-failover insert: %v", err)
+	}
+	return []uint32{id1, id2}
+}
+
+// verify asserts the exact final state, online and after a clean reopen.
+func (w *chaosWorld) verify(t *testing.T, acked []uint32) {
+	t.Helper()
+	ctx := context.Background()
+	want := len(w.data) + len(acked)
+
+	st, err := w.fc.Stats(ctx)
+	if err != nil {
+		t.Fatalf("final stats: %v", err)
+	}
+	if st.Live != want {
+		t.Fatalf("live = %d, want exactly %d (initial %d + %d acked inserts; more = duplicated retry, fewer = lost ack)",
+			st.Live, want, len(w.data), len(acked))
+	}
+	if st.ReadOnly || st.Epoch == 0 {
+		t.Fatalf("promoted server still read_only=%v epoch=%d", st.ReadOnly, st.Epoch)
+	}
+
+	// Crash-consistency: shut the promoted server down the polite way and
+	// reopen its directory cold.
+	promoted, ok := w.fh.cur().(*shard.Index)
+	if !ok {
+		t.Fatalf("served index after promote is %T, want *shard.Index", w.fh.cur())
+	}
+	dir := promoted.Dir()
+	w.fs.Close()
+	if err := promoted.Save(); err != nil {
+		t.Fatalf("save promoted: %v", err)
+	}
+	if err := promoted.Close(); err != nil {
+		t.Fatalf("close promoted: %v", err)
+	}
+	reopened, err := shard.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after chaos: %v", err)
+	}
+	defer reopened.Close()
+	if got := reopened.LiveCount(); got != want {
+		t.Fatalf("reopened live = %d, want %d", got, want)
+	}
+	if reopened.Epoch() == 0 {
+		t.Fatal("reopened index lost its failover epoch fence")
+	}
+	// Exact full enumeration: every live point once. This is the strongest
+	// form of the no-duplicate / no-loss check — the id set must be exactly
+	// the initial ids plus the acked ones, each appearing a single time.
+	res, err := reopened.Exact(ctx, w.data[0], want)
+	if err != nil {
+		t.Fatalf("exact enumeration after reopen: %v", err)
+	}
+	if len(res) != want {
+		t.Fatalf("exact enumeration returned %d ids, want %d", len(res), want)
+	}
+	seen := make(map[uint32]bool, len(res))
+	for _, r := range res {
+		if seen[r.ID] {
+			t.Fatalf("id %d appears twice in the exact enumeration", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	for _, id := range acked {
+		if !seen[id] {
+			t.Fatalf("acked id %d lost after reopen", id)
+		}
+	}
+}
+
+func hasID(res []promips.Result, id uint32) bool {
+	for _, r := range res {
+		if r.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChaosMatrix sweeps one injected network fault over every round trip
+// of the failover workload, in both send-lost and ack-lost modes.
+func TestChaosMatrix(t *testing.T) {
+	// Dry run: no fault; measures the workload's round-trip count (before
+	// verification's own calls) and checks the harness itself is sound.
+	dry := newChaosWorld(t, chaosSend, 0)
+	acked := dry.run(t)
+	total := dry.rt.tripCount()
+	dry.verify(t, acked)
+	if total < 5 {
+		t.Fatalf("dry run made only %d round trips; harness is not exercising the stack", total)
+	}
+
+	for _, mode := range []string{chaosSend, chaosRecv} {
+		for n := 1; n <= total; n++ {
+			t.Run(fmt.Sprintf("%s/trip%02d", mode, n), func(t *testing.T) {
+				w := newChaosWorld(t, mode, n)
+				acked := w.run(t)
+				if !w.rt.fired {
+					t.Fatalf("fault at trip %d never fired (workload made %d trips)", n, w.rt.tripCount())
+				}
+				w.verify(t, acked)
+			})
+		}
+	}
+}
+
+// TestChaosShardFault injects a one-shot per-shard fault (shard.Faults —
+// the same injector the shard-layer degraded tests use) into the served
+// index while the workload runs: the hit search degrades instead of
+// failing, and the write-path invariants are untouched.
+func TestChaosShardFault(t *testing.T) {
+	for shardIdx := 0; shardIdx < 2; shardIdx++ {
+		t.Run(fmt.Sprintf("shard%d", shardIdx), func(t *testing.T) {
+			w := newChaosWorld(t, chaosSend, 0)
+			w.primary.SetFaults(&shard.Faults{Shard: shardIdx, FailAt: 1})
+
+			// The very first fanned-out search hits the fault and must come
+			// back 200 + degraded, not 5xx.
+			res, err := w.pc.Search(context.Background(), client.SearchRequest{Vector: w.data[0], K: 5})
+			if err != nil {
+				t.Fatalf("search with shard fault: %v", err)
+			}
+			d := res.Stats.Degraded
+			if d == nil || d.ShardsAnswered != 1 || len(d.FailedShards) != 1 || d.FailedShards[0] != shardIdx {
+				t.Fatalf("degraded stats = %+v, want 1/2 shards answered with shard %d failed", d, shardIdx)
+			}
+
+			// Fault spent; the full workload then runs clean on the same world.
+			w.verify(t, w.run(t))
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"sync"
+)
+
+// Idempotency-keyed update dedup. The client stamps every logical
+// insert/delete with one Idempotency-Key shared across all its retry
+// attempts; the server guarantees that key executes at most once
+// successfully. That is what makes "retry on transport error" safe for
+// updates: an ack lost on the wire is replayed from this cache instead of
+// re-running the insert and assigning a second id.
+//
+// Semantics:
+//
+//   - The first attempt for a key is the LEADER and executes the handler;
+//     attempts arriving while the leader runs wait and then replay the
+//     leader's response byte-for-byte (whatever it was — they are the same
+//     logical request, so they get the same answer).
+//   - A 2xx outcome stays cached (bounded, FIFO-evicted) and is replayed
+//     to later retries of the same key.
+//   - A non-2xx outcome is forgotten once delivered: a failure is not an
+//     acknowledgement, and the client's next retry with the same key must
+//     re-execute, not replay the failure.
+
+type idemEntry struct {
+	done   chan struct{} // closed when the leader's outcome is recorded
+	status int
+	body   []byte
+}
+
+type idemCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*idemEntry
+	order   []string // completed 2xx keys in completion order, for eviction
+}
+
+func newIdemCache(max int) *idemCache {
+	return &idemCache{max: max, entries: make(map[string]*idemEntry)}
+}
+
+// begin claims key. The leader (second return true) must call finish
+// exactly once; a non-leader waits on the entry's done channel and replays
+// its status/body.
+func (c *idemCache) begin(key string) (*idemEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e, false
+	}
+	e := &idemEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	return e, true
+}
+
+// finish records the leader's outcome and releases the waiters.
+func (c *idemCache) finish(key string, e *idemEntry, status int, body []byte) {
+	c.mu.Lock()
+	e.status, e.body = status, body
+	if status/100 == 2 {
+		c.order = append(c.order, key)
+		for len(c.order) > c.max {
+			delete(c.entries, c.order[0])
+			c.order = c.order[1:]
+		}
+	} else {
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+	close(e.done)
+}
+
+// captureWriter tees a handler's response so the idempotency cache can
+// replay it. Only status and body are retained — enough to reproduce the
+// JSON responses the update handlers write.
+type captureWriter struct {
+	http.ResponseWriter
+	status int
+	buf    bytes.Buffer
+}
+
+func (cw *captureWriter) WriteHeader(code int) {
+	if cw.status == 0 {
+		cw.status = code
+	}
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *captureWriter) Write(p []byte) (int, error) {
+	if cw.status == 0 {
+		cw.status = http.StatusOK
+	}
+	cw.buf.Write(p)
+	return cw.ResponseWriter.Write(p)
+}
+
+func replayJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	if status == 0 {
+		status = http.StatusOK
+	}
+	w.WriteHeader(status)
+	w.Write(body)
+}

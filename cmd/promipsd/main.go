@@ -7,7 +7,9 @@
 //	POST /v1/insert       add a vector (acknowledged = durable)
 //	POST /v1/delete       tombstone an id
 //	POST /v1/save         persist + truncate the journal (heals a poisoned one)
+//	POST /v1/promote      failover: promote a served follower to writable primary
 //	GET  /v1/stats        index snapshot (per-shard and replication detail included)
+//	GET  /v1/readyz       readiness (a follower is ready only when converged)
 //	GET  /healthz         liveness
 //
 // The directory's layout is auto-detected: a SHARDS manifest serves as a
@@ -22,7 +24,10 @@
 // write-ahead journals every -poll, re-snapshotting across Save/Compact
 // epochs. Search endpoints serve the replicated state; updates get 403
 // with code "read_only". GET /v1/stats reports the replication watermarks
-// and lag.
+// and lag. When the primary dies, POST /v1/promote fails the replica over
+// in place: the poll loop stops, the remaining journal tails are drained,
+// the manifest epoch is fenced against the old primary's resurrection,
+// and the same process starts accepting writes as the new primary.
 //
 // Admission is bounded: at most -searchq searches and -updateq updates run
 // at once; excess requests get 429 + Retry-After instead of queuing without
@@ -148,20 +153,27 @@ func run(dir, addr string, timeout time.Duration, searchq, updateq int, drain ti
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	ix, saveOnExit, err := openIndex(dir, shards, follow, poll, ctx)
+	// The poll loop gets its own cancel under the signal context, so
+	// /v1/promote can stop replication without tearing the server down.
+	pollCtx, stopPoll := context.WithCancel(ctx)
+	defer stopPoll()
+
+	ix, saveOnExit, err := openIndex(dir, shards, follow, poll, pollCtx)
 	if err != nil {
 		return err
 	}
 	rec := ix.Recovery()
 	log.Printf("serving %s: %d live points, dim %d (journal replayed %d)", dir, ix.LiveCount(), ix.Dim(), rec.Replayed)
 
+	h := newServer(ix, serverConfig{
+		requestTimeout: timeout,
+		searchSlots:    searchq,
+		updateSlots:    updateq,
+	})
+	h.stopPoll = stopPoll
 	srv := &http.Server{
-		Addr: addr,
-		Handler: newServer(ix, serverConfig{
-			requestTimeout: timeout,
-			searchSlots:    searchq,
-			updateSlots:    updateq,
-		}),
+		Addr:              addr,
+		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -173,7 +185,7 @@ func run(dir, addr string, timeout time.Duration, searchq, updateq int, drain ti
 
 	select {
 	case err := <-serveErr:
-		ix.Close()
+		h.cur().Close()
 		return err
 	case <-ctx.Done():
 	}
@@ -181,27 +193,30 @@ func run(dir, addr string, timeout time.Duration, searchq, updateq int, drain ti
 	// Graceful drain: stop accepting, let in-flight requests finish, then
 	// fold the journal into durable metadata so the next open is replay-free.
 	// A follower has nothing of its own to save — its tree mirrors the
-	// primary — so it only closes.
+	// primary — so it only closes; unless it was promoted mid-run, in which
+	// case the served index IS a primary now and saves like one.
 	log.Printf("shutting down: draining for up to %s", drain)
 	dctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Printf("drain incomplete: %v", err)
 	}
-	if saveOnExit {
-		if err := ix.Save(); err != nil {
-			ix.Close()
+	cur := h.cur() // promote may have swapped the served index
+	save := saveOnExit || h.promoted.Load()
+	if save {
+		if err := cur.Save(); err != nil {
+			cur.Close()
 			return fmt.Errorf("save on shutdown: %w", err)
 		}
 	}
-	if err := ix.Close(); err != nil {
+	if err := cur.Close(); err != nil {
 		return fmt.Errorf("close on shutdown: %w", err)
 	}
 	// ListenAndServe has returned ErrServerClosed by now; anything else is real.
 	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	if saveOnExit {
+	if save {
 		log.Printf("clean shutdown: index saved")
 	} else {
 		log.Printf("clean shutdown: replica closed")

@@ -8,6 +8,8 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"promips"
@@ -50,14 +52,40 @@ type serverConfig struct {
 	searchSlots, updateSlots int
 }
 
-// server wires an index behind promipsd's HTTP/JSON endpoints.
+// server wires an index behind promipsd's HTTP/JSON endpoints. The served
+// index is swappable: /v1/promote replaces a follower with the promoted
+// primary in place, without restarting the listener.
 type server struct {
-	ix  index
+	ixMu sync.RWMutex
+	ix   index
+
 	cfg serverConfig
 	mux *http.ServeMux
 
 	searchGate gate
 	updateGate gate
+	idem       *idemCache
+
+	// stopPoll (set by main in -follow mode) cancels the replication poll
+	// loop; promote calls it before consuming the follower. promoted tells
+	// main's shutdown path that the served index is now a primary and must
+	// be Saved on exit like any other.
+	stopPoll  func()
+	promoteMu sync.Mutex
+	promoted  atomic.Bool
+}
+
+// cur returns the currently served index.
+func (s *server) cur() index {
+	s.ixMu.RLock()
+	defer s.ixMu.RUnlock()
+	return s.ix
+}
+
+func (s *server) setCur(ix index) {
+	s.ixMu.Lock()
+	s.ix = ix
+	s.ixMu.Unlock()
 }
 
 // gate is a counting semaphore used as bounded admission control:
@@ -85,13 +113,16 @@ func newServer(ix index, cfg serverConfig) *server {
 		mux:        http.NewServeMux(),
 		searchGate: make(gate, cfg.searchSlots),
 		updateGate: make(gate, cfg.updateSlots),
+		idem:       newIdemCache(4096),
 	}
 	s.mux.HandleFunc("POST /v1/search", s.handleSearch)
 	s.mux.HandleFunc("POST /v1/searchbatch", s.handleSearchBatch)
 	s.mux.HandleFunc("POST /v1/insert", s.handleInsert)
 	s.mux.HandleFunc("POST /v1/delete", s.handleDelete)
 	s.mux.HandleFunc("POST /v1/save", s.handleSave)
+	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		io.WriteString(w, "ok\n")
@@ -147,6 +178,12 @@ func writeErr(w http.ResponseWriter, err error) {
 	if status >= 500 {
 		log.Printf("promipsd: %s: %v", code, err)
 	}
+	// A retryable 503 (journal_poisoned waiting on a Save, a closing
+	// server) carries the same back-off hint the 429 path sends, so
+	// clients pace their retries instead of hammering.
+	if status == http.StatusServiceUnavailable && retryable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, client.ErrorBody{Error: err.Error(), Code: code, Retryable: retryable})
 }
 
@@ -199,7 +236,7 @@ func (s *server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer s.searchGate.Leave()
 	ctx, cancel := s.reqCtx(r, req.TimeoutMs)
 	defer cancel()
-	res, stats, err := s.ix.Search(ctx, req.Vector, req.K, searchOpts(req.C, req.P, 0)...)
+	res, stats, err := s.cur().Search(ctx, req.Vector, req.K, searchOpts(req.C, req.P, 0)...)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -220,12 +257,32 @@ func (s *server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.searchGate.Leave()
 	ctx, cancel := s.reqCtx(r, req.TimeoutMs)
 	defer cancel()
-	res, stats, err := s.ix.SearchBatch(ctx, req.Vectors, req.K, searchOpts(req.C, req.P, req.Workers)...)
+	res, stats, err := s.cur().SearchBatch(ctx, req.Vectors, req.K, searchOpts(req.C, req.P, req.Workers)...)
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, client.BatchResponse{Results: res, Stats: stats})
+}
+
+// withIdempotency runs fn once per Idempotency-Key: duplicate attempts
+// (lost acks, concurrent retries) replay the first successful response
+// instead of re-executing the update. Requests without a key run directly.
+func (s *server) withIdempotency(w http.ResponseWriter, r *http.Request, fn func(w http.ResponseWriter)) {
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		fn(w)
+		return
+	}
+	e, leader := s.idem.begin(key)
+	if !leader {
+		<-e.done
+		replayJSON(w, e.status, e.body)
+		return
+	}
+	cw := &captureWriter{ResponseWriter: w}
+	defer func() { s.idem.finish(key, e, cw.status, cw.buf.Bytes()) }()
+	fn(cw)
 }
 
 func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
@@ -234,21 +291,23 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, err)
 		return
 	}
-	if !s.updateGate.TryEnter() {
-		writeQueueFull(w, "update")
-		return
-	}
-	defer s.updateGate.Leave()
-	// Insert has no ctx parameter: durability is bounded by the journal's
-	// group commit, not by a scan. The request deadline still applies to
-	// admission (the gate) — an insert that entered is run to completion,
-	// because a half-acknowledged update helps nobody.
-	id, err := s.ix.Insert(req.Vector)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, client.InsertResponse{ID: id})
+	s.withIdempotency(w, r, func(w http.ResponseWriter) {
+		if !s.updateGate.TryEnter() {
+			writeQueueFull(w, "update")
+			return
+		}
+		defer s.updateGate.Leave()
+		// Insert has no ctx parameter: durability is bounded by the journal's
+		// group commit, not by a scan. The request deadline still applies to
+		// admission (the gate) — an insert that entered is run to completion,
+		// because a half-acknowledged update helps nobody.
+		id, err := s.cur().Insert(req.Vector)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, client.InsertResponse{ID: id})
+	})
 }
 
 func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -257,17 +316,19 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeBadRequest(w, err)
 		return
 	}
-	if !s.updateGate.TryEnter() {
-		writeQueueFull(w, "update")
-		return
-	}
-	defer s.updateGate.Leave()
-	deleted, err := s.ix.DeleteChecked(req.ID)
-	if err != nil {
-		writeErr(w, err)
-		return
-	}
-	writeJSON(w, http.StatusOK, client.DeleteResponse{Deleted: deleted})
+	s.withIdempotency(w, r, func(w http.ResponseWriter) {
+		if !s.updateGate.TryEnter() {
+			writeQueueFull(w, "update")
+			return
+		}
+		defer s.updateGate.Leave()
+		deleted, err := s.cur().DeleteChecked(req.ID)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, client.DeleteResponse{Deleted: deleted})
+	})
 }
 
 func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
@@ -276,30 +337,94 @@ func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.updateGate.Leave()
-	if err := s.ix.Save(); err != nil {
+	if err := s.cur().Save(); err != nil {
 		writeErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
 }
 
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := client.StatsResponse{
-		Points:     s.ix.Len(),
-		Live:       s.ix.LiveCount(),
-		Dim:        s.ix.Dim(),
-		M:          s.ix.M(),
-		JournalLen: s.ix.JournalLen(),
-		Cache:      s.ix.CacheStats(),
-		Recovery:   s.ix.Recovery(),
+// handlePromote turns a served follower into the writable primary (see
+// shard.Promote): stop the poll loop, drain what remains of the dead
+// primary's journals, fence the epoch, swap the served index in place.
+// Idempotent at the HTTP layer: once this process has promoted, a retry
+// of the promote (its ack may have been lost in flight) re-acknowledges
+// success; promoting a server that was never a follower answers
+// 409/not_follower.
+func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	s.promoteMu.Lock()
+	defer s.promoteMu.Unlock()
+	f, ok := s.cur().(*shard.Follower)
+	if !ok {
+		if s.promoted.Load() {
+			writeJSON(w, http.StatusOK, struct{}{})
+			return
+		}
+		writeJSON(w, http.StatusConflict, client.ErrorBody{
+			Error: "this server is not running a follower replica",
+			Code:  client.CodeNotFollower,
+		})
+		return
 	}
-	switch ix := s.ix.(type) {
+	if s.stopPoll != nil {
+		s.stopPoll() // no new polls; an in-flight one serializes with Promote
+	}
+	promoted, err := shard.Promote(f)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	s.setCur(promoted)
+	s.promoted.Store(true)
+	log.Printf("promoted: serving as primary at epoch %d (%d live points)", promoted.Epoch(), promoted.LiveCount())
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// handleReadyz is the readiness probe — distinct from /healthz liveness: a
+// follower that is alive but not yet converged (lag > 0, or its primary
+// unreadable) is NOT ready to serve reads that expect the primary's
+// acknowledged state. A primary (including a freshly promoted one) is
+// ready whenever it is serving.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if f, ok := s.cur().(*shard.Follower); ok {
+		lag, err := f.Lag()
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, client.ErrorBody{
+				Error: fmt.Sprintf("not ready: primary unreadable: %v", err), Code: client.CodeNotReady, Retryable: true,
+			})
+			return
+		}
+		if lag != 0 {
+			writeJSON(w, http.StatusServiceUnavailable, client.ErrorBody{
+				Error: fmt.Sprintf("not ready: replica lag %d", lag), Code: client.CodeNotReady, Retryable: true,
+			})
+			return
+		}
+	}
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, "ready\n")
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cur := s.cur()
+	resp := client.StatsResponse{
+		Points:     cur.Len(),
+		Live:       cur.LiveCount(),
+		Dim:        cur.Dim(),
+		M:          cur.M(),
+		JournalLen: cur.JournalLen(),
+		Cache:      cur.CacheStats(),
+		Recovery:   cur.Recovery(),
+	}
+	switch ix := cur.(type) {
 	case *shard.Index:
 		resp.Shards = ix.Shards()
 		resp.ShardJournalLens = ix.JournalLens()
+		resp.Epoch = ix.Epoch()
 	case *shard.Follower:
 		resp.Shards = ix.Shards()
 		resp.ShardJournalLens = ix.JournalLens()
+		resp.Epoch = ix.Epoch()
 		resp.ReadOnly = true
 		rep := &client.ReplicationStats{
 			Watermarks: ix.Watermarks(),

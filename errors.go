@@ -41,4 +41,13 @@ var (
 	// id space. promipsd surfaces it as 403 so clients re-address the
 	// update to the primary.
 	ErrReadOnlyReplica = errs.ErrReadOnlyReplica
+
+	// ErrStalePrimary is returned by a follower (shard.OpenFollower,
+	// shard.Follower.Poll) asked to tail a primary whose manifest epoch is
+	// older than the replica's own — a resurrected pre-failover primary.
+	// Promotion (shard.Promote) bumps the epoch fence precisely so such a
+	// primary's journals are refused instead of silently forking the
+	// acknowledged history; the stale primary must be re-seeded from the
+	// promoted lineage.
+	ErrStalePrimary = errs.ErrStalePrimary
 )

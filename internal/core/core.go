@@ -194,6 +194,34 @@ type SearchStats struct {
 	// TerminatedBy records which condition ended the search:
 	// "A", "B", or "exhausted".
 	TerminatedBy string
+	// Degraded is non-nil when a fanned-out sharded search lost shards —
+	// per-shard timeouts or errors isolated instead of failing the query —
+	// and reports what the merged answer still covers. A single index never
+	// sets it, and a fan-out that heard from every shard leaves it nil, so
+	// the field is also the "was this answer complete?" predicate.
+	Degraded *DegradedStats
+}
+
+// DegradedStats reports a degraded fan-out: which shards answered a
+// sharded search and what guarantee the merged result still carries. The
+// (c, p) accounting is in DESIGN.md, "Failure domains & degradation": the
+// answer is c-approximate against the live points of the answered shards
+// with probability at least AchievedP; points owned by the failed shards
+// are simply not covered — the guarantee degrades in coverage, not in
+// confidence.
+type DegradedStats struct {
+	// ShardsTotal is the fan-out width K.
+	ShardsTotal int `json:"shards_total"`
+	// ShardsAnswered is how many shards contributed to the merge (empty
+	// shards count: they answered "no live points").
+	ShardsAnswered int `json:"shards_answered"`
+	// FailedShards lists the shards that timed out or errored, ascending.
+	FailedShards []int `json:"failed_shards"`
+	// AchievedP is the union-bound guarantee probability over the answered
+	// shards' points: every shard ran at p' = 1−(1−p)/K, so A answered
+	// shards jointly fail with probability at most A·(1−p)/K and
+	// AchievedP = 1 − A·(1−p)/K ≥ p.
+	AchievedP float64 `json:"achieved_p"`
 }
 
 // Index is a built ProMIPS index. It is safe for concurrent use: searches

@@ -37,4 +37,12 @@ var (
 	// replaying the primary's journal; writing to one directly would fork
 	// the id space. Clients should address updates to the primary.
 	ErrReadOnlyReplica = errors.New("read-only replica")
+
+	// ErrStalePrimary reports a replica refusing to follow a primary whose
+	// manifest epoch is older than the replica's own: the replica (or a
+	// peer it descends from) was promoted past that primary, so the
+	// primary's journals belong to a superseded lineage and applying them
+	// would fork acknowledged history. The resurrected primary must be
+	// rebuilt from the promoted one, not followed.
+	ErrStalePrimary = errors.New("stale primary epoch")
 )

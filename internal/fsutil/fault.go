@@ -23,10 +23,14 @@ const (
 	OpRename
 	OpRemove
 	OpSyncDir
+	// OpRead is counted ONLY when FailReads is set (appended last so the
+	// numbering — and therefore every existing crash matrix's FailAt
+	// landing points — is unchanged when it is off).
+	OpRead
 	opCount
 )
 
-var opNames = [opCount]string{"create", "openappend", "write", "sync", "truncate", "rename", "remove", "syncdir"}
+var opNames = [opCount]string{"create", "openappend", "write", "sync", "truncate", "rename", "remove", "syncdir", "read"}
 
 func (o Op) String() string {
 	if int(o) < len(opNames) {
@@ -63,6 +67,13 @@ type FaultFS struct {
 	FailAt int
 	// Crash selects crash mode (see above).
 	Crash bool
+	// FailReads makes ReadFile a counted, faultable operation (OpRead).
+	// Off by default: a crash cannot corrupt a read, so the crash matrices
+	// never count reads — but replication tails a live primary through
+	// ReadFile, and its transient-read-failure tests need the Nth read to
+	// fail exactly once. Transient mode only; in crash mode reads after
+	// the crash fail regardless, like every other op.
+	FailReads bool
 
 	mu      sync.Mutex
 	ops     int
@@ -178,7 +189,15 @@ func (f *FaultFS) OpenAppend(path string) (File, error) {
 	return &faultFile{fs: f, f: real}, nil
 }
 
-func (f *FaultFS) ReadFile(path string) ([]byte, error) { return OS.ReadFile(path) }
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	if f.FailReads {
+		f.hook(OpRead)
+		if f.step(OpRead) != vProceed {
+			return nil, ErrInjected
+		}
+	}
+	return OS.ReadFile(path)
+}
 
 func (f *FaultFS) Rename(oldpath, newpath string) error {
 	f.hook(OpRename)

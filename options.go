@@ -1,6 +1,10 @@
 package promips
 
-import "promips/internal/core"
+import (
+	"time"
+
+	"promips/internal/core"
+)
 
 // A SearchOption adjusts one query (or one batch) without touching the
 // index: the guarantee knobs are recomputed query-locally from Quick-Probe's
@@ -10,8 +14,10 @@ type SearchOption func(*searchConfig)
 
 // searchConfig is the resolved option set for one Search/SearchBatch call.
 type searchConfig struct {
-	params  core.SearchParams
-	workers int
+	params       core.SearchParams
+	workers      int
+	shardTimeout time.Duration
+	requireAll   bool
 }
 
 func resolveOptions(opts []SearchOption) searchConfig {
@@ -58,6 +64,27 @@ func WithWorkers(n int) SearchOption {
 	return func(cfg *searchConfig) { cfg.workers = n }
 }
 
+// WithShardTimeout bounds each shard's portion of a fanned-out search
+// (promips/shard): a shard that has not answered within d is treated as
+// failed — isolated and reported through SearchStats.Degraded in the
+// default degraded mode, or failing the query under WithRequireAllShards.
+// Zero (the default) means no per-shard deadline beyond the caller's
+// context. A single, unsharded index ignores the option.
+func WithShardTimeout(d time.Duration) SearchOption {
+	return func(cfg *searchConfig) { cfg.shardTimeout = d }
+}
+
+// WithRequireAllShards makes a fanned-out search all-or-nothing: any shard
+// error or per-shard timeout fails the whole query, as it did before
+// degraded fan-out existed. Without it, a sharded search isolates failed
+// shards and returns the merged results of the healthy ones with a
+// SearchStats.Degraded report (provided at least one shard answered and
+// the caller's own context is still live). A single index ignores the
+// option.
+func WithRequireAllShards() SearchOption {
+	return func(cfg *searchConfig) { cfg.requireAll = true }
+}
+
 // ResolvedOptions is the settled view of a SearchOption slice — what the
 // opaque functional options amount to for one call. A fan-out layer
 // (promips/shard) needs it to re-derive per-child options: split the
@@ -71,6 +98,12 @@ type ResolvedOptions struct {
 	Filter func(id uint32) bool
 	// Workers is the requested batch worker-pool size (0 = default).
 	Workers int
+	// ShardTimeout is the per-shard deadline of a fanned-out search
+	// (0 = none).
+	ShardTimeout time.Duration
+	// RequireAllShards makes the fan-out all-or-nothing instead of
+	// degrading around failed shards.
+	RequireAllShards bool
 }
 
 // ResolveSearchOptions applies opts to a fresh configuration and returns
@@ -79,7 +112,9 @@ func ResolveSearchOptions(opts ...SearchOption) ResolvedOptions {
 	cfg := resolveOptions(opts)
 	return ResolvedOptions{
 		C: cfg.params.C, P: cfg.params.P,
-		Filter:  cfg.params.Filter,
-		Workers: cfg.workers,
+		Filter:           cfg.params.Filter,
+		Workers:          cfg.workers,
+		ShardTimeout:     cfg.shardTimeout,
+		RequireAllShards: cfg.requireAll,
 	}
 }

@@ -165,6 +165,12 @@ type Result = core.Result
 // SearchStats describes the work a query performed; see core.SearchStats.
 type SearchStats = core.SearchStats
 
+// DegradedStats reports a degraded sharded fan-out — which shards answered
+// and the union-bound guarantee the merged result still carries; see
+// core.DegradedStats and DESIGN.md, "Failure domains & degradation". It is
+// carried by SearchStats.Degraded and is always nil for a single index.
+type DegradedStats = core.DegradedStats
+
 // SizeBreakdown itemizes index storage.
 type SizeBreakdown = core.SizeBreakdown
 

@@ -34,6 +34,20 @@ import (
 // across all shards) reaches c·t_i. See DESIGN.md, "Sharding &
 // replication", for the full argument.
 //
+// Degradation: by default a K>1 Search isolates shards that fail or miss
+// their per-shard deadline (WithShardTimeout) instead of failing the whole
+// query. The merged answer over the A answering shards still carries a
+// quantified guarantee — it is c-approximate against the exact top-k OVER
+// THOSE SHARDS' POINTS with probability ≥ 1 − A·(1−p)/K (the same union
+// bound, now over fewer events), reported as SearchStats.Degraded. Three
+// rules bound the behavior: the caller's own context error is never masked
+// by degradation; if no shard answered, the first shard's error (shard
+// order — deterministic) surfaces; and WithRequireAllShards restores
+// all-or-nothing semantics. Exact never degrades — it is the ground truth
+// correctness is measured against, and a silently partial ground truth
+// would poison every comparison. See DESIGN.md, "Failure domains &
+// degradation".
+//
 // Tie-breaking: the merge orders by inner product descending and breaks
 // exact float ties by ascending global id — deterministic regardless of
 // goroutine completion order. (A single index breaks ties by scan order
@@ -41,7 +55,9 @@ import (
 // inner products.)
 
 // fanSearch runs one query against every child in parallel and merges.
-func fanSearch(ctx context.Context, children []*promips.Index, q []float32, k int, opts []promips.SearchOption) ([]promips.Result, promips.SearchStats, error) {
+// flt is the optional deterministic fault injector (see Faults); it is
+// consulted once per shard per query.
+func fanSearch(ctx context.Context, children []*promips.Index, flt *Faults, q []float32, k int, opts []promips.SearchOption) ([]promips.Result, promips.SearchStats, error) {
 	if len(children) == 1 {
 		// One shard IS the index: local ids are global ids and the full
 		// probability budget stays with the only child, so the options pass
@@ -49,7 +65,7 @@ func fanSearch(ctx context.Context, children []*promips.Index, q []float32, k in
 		// byte-identical to the unsharded index's.
 		return children[0].Search(ctx, q, k, opts...)
 	}
-	childOpts, err := splitOptions(children, opts)
+	childOpts, resolved, p, err := splitOptions(children, opts)
 	if err != nil {
 		return nil, promips.SearchStats{}, err
 	}
@@ -65,18 +81,33 @@ func fanSearch(ctx context.Context, children []*promips.Index, q []float32, k in
 		wg.Add(1)
 		go func(s int, child *promips.Index) {
 			defer wg.Done()
-			res, st, err := child.Search(ctx, q, k, childOpts(s)...)
+			cctx := ctx
+			if resolved.ShardTimeout > 0 {
+				var cancel context.CancelFunc
+				cctx, cancel = context.WithTimeout(ctx, resolved.ShardTimeout)
+				defer cancel()
+			}
+			if flt != nil {
+				if err := flt.enter(cctx, s); err != nil {
+					outs[s] = shardOut{err: fmt.Errorf("shard %d: %w", s, err)}
+					return
+				}
+			}
+			res, st, err := child.Search(cctx, q, k, childOpts(s)...)
 			if errors.Is(err, promips.ErrEmptyIndex) {
 				// A shard whose points are all deleted contributes nothing;
 				// the composed index is only empty if every shard is.
 				outs[s] = shardOut{empty: true}
 				return
 			}
+			if err != nil {
+				err = fmt.Errorf("shard %d: %w", s, err)
+			}
 			outs[s] = shardOut{res: remapResults(res, len(children), s), st: st, err: err}
 		}(s, child)
 	}
 	wg.Wait()
-	return mergeOuts(k, outs, func(o shardOut) ([]promips.Result, promips.SearchStats, bool, error) {
+	return mergeOuts(ctx, k, p, resolved.RequireAllShards, outs, func(o shardOut) ([]promips.Result, promips.SearchStats, bool, error) {
 		return o.res, o.st, o.empty, o.err
 	})
 }
@@ -85,7 +116,8 @@ func fanSearch(ctx context.Context, children []*promips.Index, q []float32, k in
 // merges — the exact global top-k. Because the id layout keeps global ids
 // identical to a single index built over the same data (see Insert), the
 // merged answer is byte-identical to the unsharded Exact whenever no two
-// points tie bit-for-bit on the inner product.
+// points tie bit-for-bit on the inner product. Exact is always
+// all-or-nothing: a partial ground truth is worse than none.
 func fanExact(ctx context.Context, children []*promips.Index, q []float32, k int) ([]promips.Result, error) {
 	type shardOut struct {
 		res   []promips.Result
@@ -107,7 +139,7 @@ func fanExact(ctx context.Context, children []*promips.Index, q []float32, k int
 		}(s, child)
 	}
 	wg.Wait()
-	res, _, err := mergeOuts(k, outs, func(o shardOut) ([]promips.Result, promips.SearchStats, bool, error) {
+	res, _, err := mergeOuts(ctx, k, 0, true, outs, func(o shardOut) ([]promips.Result, promips.SearchStats, bool, error) {
 		return o.res, promips.SearchStats{}, o.empty, o.err
 	})
 	return res, err
@@ -117,8 +149,10 @@ func fanExact(ctx context.Context, children []*promips.Index, q []float32, k int
 // query fans out across all children, so the in-flight I/O concurrency is
 // workers × K — the overlap that buys sharded batch throughput on
 // disk-bound workloads. Per-query answers are identical to sequential
-// fanSearch calls; the first error cancels the remaining work.
-func fanBatch(ctx context.Context, children []*promips.Index, queries [][]float32, k int, opts []promips.SearchOption) ([][]promips.Result, []promips.SearchStats, error) {
+// fanSearch calls — including per-query degradation, each query's
+// SearchStats.Degraded reporting its own shard losses; the first
+// query-fatal error cancels the remaining work.
+func fanBatch(ctx context.Context, children []*promips.Index, flt *Faults, queries [][]float32, k int, opts []promips.SearchOption) ([][]promips.Result, []promips.SearchStats, error) {
 	n := len(queries)
 	if n == 0 {
 		return nil, nil, nil
@@ -153,7 +187,7 @@ func fanBatch(ctx context.Context, children []*promips.Index, queries [][]float3
 				if i >= n {
 					return
 				}
-				res, st, err := fanSearch(ctx, children, queries[i], k, opts)
+				res, st, err := fanSearch(ctx, children, flt, queries[i], k, opts)
 				if err != nil {
 					failed.Store(true)
 					errOnce.Do(func() { firstErr = fmt.Errorf("shard: batch query %d: %w", i, err) })
@@ -172,8 +206,11 @@ func fanBatch(ctx context.Context, children []*promips.Index, queries [][]float3
 
 // splitOptions derives the per-child option factory for a K>1 fan-out:
 // the probability budget is split via the union bound, the filter is
-// rewrapped into each child's local id space, and C passes through.
-func splitOptions(children []*promips.Index, opts []promips.SearchOption) (func(s int) []promips.SearchOption, error) {
+// rewrapped into each child's local id space, and C passes through. It
+// also returns the resolved options and the effective global p (the
+// caller's override or the index default) — the inputs the degraded merge
+// needs for its achieved-guarantee accounting.
+func splitOptions(children []*promips.Index, opts []promips.SearchOption) (func(s int) []promips.SearchOption, promips.ResolvedOptions, float64, error) {
 	k := len(children)
 	resolved := promips.ResolveSearchOptions(opts...)
 	p := resolved.P
@@ -183,7 +220,7 @@ func splitOptions(children []*promips.Index, opts []promips.SearchOption) (func(
 	// Validate before transforming: the children would otherwise reject a
 	// derived value the caller never passed.
 	if !(p > 0 && p < 1) {
-		return nil, fmt.Errorf("shard: probability p must be in (0,1), got %v", p)
+		return nil, resolved, 0, fmt.Errorf("shard: probability p must be in (0,1), got %v", p)
 	}
 	pShard := 1 - (1-p)/float64(k)
 	return func(s int) []promips.SearchOption {
@@ -199,7 +236,7 @@ func splitOptions(children []*promips.Index, opts []promips.SearchOption) (func(
 			}))
 		}
 		return o
-	}, nil
+	}, resolved, p, nil
 }
 
 // remapResults rewrites child-local result ids into the global id space.
@@ -210,19 +247,38 @@ func remapResults(res []promips.Result, k, s int) []promips.Result {
 	return res
 }
 
-// mergeOuts folds per-shard outputs into one answer: first error (in
-// shard order — deterministic) wins, all-empty surfaces ErrEmptyIndex,
-// otherwise the top-k merge with aggregated stats.
-func mergeOuts[T any](k int, outs []T, view func(T) ([]promips.Result, promips.SearchStats, bool, error)) ([]promips.Result, promips.SearchStats, error) {
+// mergeOuts folds per-shard outputs into one answer.
+//
+// Strict mode (RequireAllShards, and always for Exact): the first error in
+// shard order — deterministic — fails the query, exactly the pre-degraded
+// behavior. Otherwise failed shards are isolated and the healthy shards'
+// merge is returned with a SearchStats.Degraded report, under three
+// overriding rules: the caller's own context error always surfaces (a
+// cancelled caller asked for nothing, not for a partial answer); if every
+// shard failed the first error surfaces (there is no partial answer to
+// give); and all shards empty with none failed is ErrEmptyIndex, as ever.
+// p is the effective global guarantee probability the fan-out was asked
+// for; the degraded report's AchievedP = 1 − A·(1−p)/K is the union bound
+// re-taken over only the A shards that answered.
+func mergeOuts[T any](ctx context.Context, k int, p float64, strict bool, outs []T, view func(T) ([]promips.Result, promips.SearchStats, bool, error)) ([]promips.Result, promips.SearchStats, error) {
 	var (
 		lists    [][]promips.Result
 		sts      []promips.SearchStats
+		failed   []int
+		firstErr error
 		allEmpty = true
 	)
-	for _, o := range outs {
+	for s, o := range outs {
 		res, st, empty, err := view(o)
 		if err != nil {
-			return nil, promips.SearchStats{}, err
+			if strict {
+				return nil, promips.SearchStats{}, err
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			failed = append(failed, s)
+			continue
 		}
 		if empty {
 			continue
@@ -231,10 +287,28 @@ func mergeOuts[T any](k int, outs []T, view func(T) ([]promips.Result, promips.S
 		lists = append(lists, res)
 		sts = append(sts, st)
 	}
-	if allEmpty {
+	if len(failed) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, promips.SearchStats{}, err
+		}
+		if len(failed) == len(outs) {
+			return nil, promips.SearchStats{}, firstErr
+		}
+	}
+	if allEmpty && len(failed) == 0 {
 		return nil, promips.SearchStats{}, fmt.Errorf("shard: %w: no shard has live points", promips.ErrEmptyIndex)
 	}
-	return mergeTopK(k, lists), mergeStats(sts), nil
+	st := mergeStats(sts)
+	if len(failed) > 0 {
+		answered := len(outs) - len(failed)
+		st.Degraded = &promips.DegradedStats{
+			ShardsTotal:    len(outs),
+			ShardsAnswered: answered,
+			FailedShards:   failed,
+			AchievedP:      1 - float64(answered)*(1-p)/float64(len(outs)),
+		}
+	}
+	return mergeTopK(k, lists), st, nil
 }
 
 // mergeTopK merges per-shard top-k lists (each already sorted best-first)

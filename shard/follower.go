@@ -55,15 +55,21 @@ import (
 // time: Poll is serialized internally; reads run concurrently with it
 // except during a shard swap.
 type Follower struct {
-	dir        string // replica root (this follower owns it)
-	primaryDir string // primary root (read-only)
+	dir        string    // replica root (this follower owns it)
+	primaryDir string    // primary root (read-only)
+	fs         fsutil.FS // seam for primary-side reads (fault injection)
+	epoch      int64     // lineage epoch fence (see ErrStalePrimary)
 
 	mu       sync.RWMutex // guards children swaps (refresh) vs reads
 	children []*promips.Index
 	marks    []followMark
 
-	pollMu    sync.Mutex // serializes Poll
+	pollMu    sync.Mutex // serializes Poll; guards promoted
+	promoted  bool       // set by Promote: this follower is consumed
 	refreshes atomic.Int64
+
+	faultsMu sync.Mutex // guards faults
+	faults   *Faults
 }
 
 // followMark pins the primary-side state a replica shard was built from:
@@ -81,7 +87,7 @@ type followMark struct {
 // at OpenFollower (or by the first Poll's refresh) rather than silently
 // served. replicaDir must not exist or be empty.
 func Snapshot(primaryDir, replicaDir string) error {
-	if _, err := readManifest(fsutil.OS, primaryDir); err != nil {
+	if _, _, err := readManifest(fsutil.OS, primaryDir); err != nil {
 		return fmt.Errorf("shard: snapshot source: %w", err)
 	}
 	if err := copyTree(primaryDir, replicaDir); err != nil {
@@ -98,17 +104,33 @@ func Snapshot(primaryDir, replicaDir string) error {
 // previous process had applied beyond its snapshot is simply re-applied
 // from the primary's journal on the first Poll (replay is idempotent).
 func OpenFollower(replicaDir, primaryDir string) (*Follower, error) {
-	k, err := readManifest(fsutil.OS, replicaDir)
+	k, epoch, err := readManifest(fsutil.OS, replicaDir)
 	if err != nil {
 		return nil, fmt.Errorf("shard: open follower: %w", err)
 	}
-	if pk, err := readManifest(fsutil.OS, primaryDir); err == nil && pk != k {
-		return nil, fmt.Errorf("shard: open follower: replica has %d shards, primary %s has %d: %w",
-			k, primaryDir, pk, promips.ErrCorruptIndex)
+	if pk, pepoch, err := readManifest(fsutil.OS, primaryDir); err == nil {
+		if pk != k {
+			return nil, fmt.Errorf("shard: open follower: replica has %d shards, primary %s has %d: %w",
+				k, primaryDir, pk, promips.ErrCorruptIndex)
+		}
+		// Epoch fence: a primary below this replica's lineage epoch is a
+		// resurrected pre-failover primary — refusing it here is what makes
+		// the epoch bump in Promote an actual fence.
+		if pepoch < epoch {
+			return nil, fmt.Errorf("shard: open follower: primary %s at epoch %d, replica at %d: %w",
+				primaryDir, pepoch, epoch, promips.ErrStalePrimary)
+		}
+		if pepoch > epoch {
+			// The primary is a promoted lineage ahead of this snapshot;
+			// adopt its epoch — the first Poll's refreshes converge state.
+			epoch = pepoch
+		}
 	}
 	f := &Follower{
 		dir:        replicaDir,
 		primaryDir: primaryDir,
+		fs:         fsutil.OS,
+		epoch:      epoch,
 		children:   make([]*promips.Index, 0, k),
 		marks:      make([]followMark, k),
 	}
@@ -133,27 +155,60 @@ func OpenFollower(replicaDir, primaryDir string) (*Follower, error) {
 // Poll converges the replica one round: for every shard, refresh from a
 // primary snapshot if the shard's journal epoch changed (Save/Compact on
 // the primary), otherwise ship and replay the primary's current journal
-// bytes. Returns the number of new records applied this round. An error
-// leaves already-converged shards converged; the next Poll retries the
-// rest. Poll calls are serialized; reads stay concurrent except during a
-// shard swap.
+// bytes. Returns the number of new records applied this round.
+//
+// Per-shard errors are isolated, not fatal to the round: a shard whose
+// primary-side read fails transiently is skipped — its watermark and
+// served state untouched — while the remaining shards still converge; the
+// first error is returned after the full walk so callers can log it, and
+// the next Poll retries the skipped shard from the same watermark. Two
+// errors do abort the round up front: ErrStalePrimary (the primary's
+// manifest epoch fell below this replica's lineage — a resurrected
+// pre-failover primary whose journals must not be applied) and ErrClosed
+// after Promote consumed this follower. Poll calls are serialized; reads
+// stay concurrent except during a shard swap.
 func (f *Follower) Poll() (applied int, err error) {
 	f.pollMu.Lock()
 	defer f.pollMu.Unlock()
+	if f.promoted {
+		return 0, fmt.Errorf("shard: poll: follower was promoted: %w", promips.ErrClosed)
+	}
+	if err := f.fenceEpoch(); err != nil {
+		return 0, err
+	}
+	var firstErr error
 	for s := range f.children {
 		n, err := f.pollShard(s)
 		applied += n
-		if err != nil {
-			return applied, fmt.Errorf("shard: poll shard %d: %w", s, err)
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("shard: poll shard %d: %w", s, err)
 		}
 	}
-	return applied, nil
+	return applied, firstErr
+}
+
+// fenceEpoch re-reads the primary's manifest epoch and enforces the
+// lineage fence. A missing or unreadable primary manifest is not an error
+// here (the per-shard reads will surface real problems); an epoch below
+// ours is ErrStalePrimary, an epoch above ours is adopted. Caller holds
+// pollMu.
+func (f *Follower) fenceEpoch() error {
+	_, pepoch, err := readManifest(f.fs, f.primaryDir)
+	if err != nil {
+		return nil
+	}
+	if pepoch < f.epoch {
+		return fmt.Errorf("shard: poll: primary at epoch %d, replica at %d: %w",
+			pepoch, f.epoch, promips.ErrStalePrimary)
+	}
+	f.epoch = pepoch
+	return nil
 }
 
 // pollShard converges one shard. Caller holds pollMu.
 func (f *Follower) pollShard(s int) (int, error) {
 	primDir := filepath.Join(f.primaryDir, shardDirName(s))
-	cur, gen, metaSum, err := epochOf(primDir)
+	cur, gen, metaSum, err := epochOf(f.fs, primDir)
 	if err != nil {
 		return 0, err
 	}
@@ -168,7 +223,7 @@ func (f *Follower) pollShard(s int) (int, error) {
 		// generation). Journal replay cannot cross an epoch; re-snapshot.
 		return 0, f.refreshShard(s)
 	}
-	walB, err := os.ReadFile(filepath.Join(primDir, filepath.FromSlash(gen), "wal.log"))
+	walB, err := f.fs.ReadFile(filepath.Join(primDir, filepath.FromSlash(gen), "wal.log"))
 	if err != nil && !os.IsNotExist(err) {
 		return 0, err
 	}
@@ -251,11 +306,11 @@ func (f *Follower) Lag() (int64, error) {
 	var lag int64
 	for s, m := range marks {
 		primDir := filepath.Join(f.primaryDir, shardDirName(s))
-		_, gen, _, err := epochOf(primDir)
+		_, gen, _, err := epochOf(f.fs, primDir)
 		if err != nil {
 			return 0, fmt.Errorf("shard: lag shard %d: %w", s, err)
 		}
-		walB, err := os.ReadFile(filepath.Join(primDir, filepath.FromSlash(gen), "wal.log"))
+		walB, err := f.fs.ReadFile(filepath.Join(primDir, filepath.FromSlash(gen), "wal.log"))
 		if err != nil && !os.IsNotExist(err) {
 			return 0, fmt.Errorf("shard: lag shard %d: %w", s, err)
 		}
@@ -279,14 +334,14 @@ func (f *Follower) Refreshes() int64 { return f.refreshes.Load() }
 func (f *Follower) Search(ctx context.Context, q []float32, k int, opts ...promips.SearchOption) ([]promips.Result, promips.SearchStats, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return fanSearch(ctx, f.children, q, k, opts)
+	return fanSearch(ctx, f.children, f.getFaults(), q, k, opts)
 }
 
 // SearchBatch answers many queries against the replica's current state.
 func (f *Follower) SearchBatch(ctx context.Context, queries [][]float32, k int, opts ...promips.SearchOption) ([][]promips.Result, []promips.SearchStats, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return fanBatch(ctx, f.children, queries, k, opts)
+	return fanBatch(ctx, f.children, f.getFaults(), queries, k, opts)
 }
 
 // Exact returns the exact top-k over the replica's current state.
@@ -318,10 +373,15 @@ func (f *Follower) Save() error {
 
 // Close releases every replica shard. The replica directory is kept: a
 // restarted follower reopens it and catches up from the primary's
-// journals instead of re-copying everything.
+// journals instead of re-copying everything. After Promote, Close is a
+// no-op: the children now belong to the promoted Index, whose own Close
+// releases them.
 func (f *Follower) Close() error {
 	f.pollMu.Lock()
 	defer f.pollMu.Unlock()
+	if f.promoted {
+		return nil
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.closeChildrenLocked()
@@ -348,6 +408,14 @@ func (f *Follower) closeChildrenLocked() error {
 
 // Shards returns the shard count K.
 func (f *Follower) Shards() int { return len(f.children) }
+
+// Epoch returns the lineage epoch this replica follows under — the fence
+// a resurrected pre-failover primary is measured against.
+func (f *Follower) Epoch() int64 {
+	f.pollMu.Lock()
+	defer f.pollMu.Unlock()
+	return f.epoch
+}
 
 // Dir returns the replica's directory.
 func (f *Follower) Dir() string { return f.dir }
@@ -394,9 +462,10 @@ func (f *Follower) CacheStats() promips.CacheStats {
 
 // epochOf fingerprints a primary shard's current journal epoch: the raw
 // CURRENT content, the generation it names, and a digest of that
-// generation's persisted metadata.
-func epochOf(shardDir string) (current, gen string, metaSum [sha256.Size]byte, err error) {
-	curB, err := os.ReadFile(filepath.Join(shardDir, "CURRENT"))
+// generation's persisted metadata. Reads go through fsys so the fault
+// harness can inject transient primary-side read failures.
+func epochOf(fsys fsutil.FS, shardDir string) (current, gen string, metaSum [sha256.Size]byte, err error) {
+	curB, err := fsys.ReadFile(filepath.Join(shardDir, "CURRENT"))
 	if err != nil {
 		if !os.IsNotExist(err) {
 			return "", "", metaSum, err
@@ -411,7 +480,7 @@ func epochOf(shardDir string) (current, gen string, metaSum [sha256.Size]byte, e
 	if strings.ContainsAny(gen, "/\\") {
 		return "", "", metaSum, fmt.Errorf("invalid CURRENT %q: %w", gen, promips.ErrCorruptIndex)
 	}
-	metaB, err := os.ReadFile(filepath.Join(shardDir, gen, "promips.meta"))
+	metaB, err := fsys.ReadFile(filepath.Join(shardDir, gen, "promips.meta"))
 	if err != nil && !os.IsNotExist(err) {
 		return "", "", metaSum, err
 	}
@@ -424,7 +493,7 @@ func epochOf(shardDir string) (current, gen string, metaSum [sha256.Size]byte, e
 // restart they pin whatever state the replica durably holds, so the next
 // Poll resumes (or refreshes) from the right place.
 func markOf(shardDir string) (followMark, error) {
-	current, gen, metaSum, err := epochOf(shardDir)
+	current, gen, metaSum, err := epochOf(fsutil.OS, shardDir)
 	if err != nil {
 		return followMark{}, err
 	}

@@ -20,10 +20,19 @@ import (
 // the wrong K would silently mis-route every id. K is therefore fixed at
 // Build and validated on every Open.
 //
-// Format, one token pair per line:
+// The manifest also carries the directory's failover epoch — a monotonic
+// fence bumped by Promote. A follower refuses to tail a primary whose
+// epoch is below its own (ErrStalePrimary): that primary's lineage was
+// superseded by a promotion, and replaying its journals would fork
+// acknowledged history. Manifests written before epochs existed have no
+// epoch line and parse as epoch 0.
+//
+// Format, one token pair per line (the epoch line optional on read,
+// always written):
 //
 //	PROMIPS-SHARDS v1
 //	shards <K>
+//	epoch <E>
 const (
 	manifestFile  = "SHARDS"
 	manifestMagic = "PROMIPS-SHARDS v1"
@@ -36,9 +45,9 @@ const (
 // shardDirName names shard s's child directory under the index root.
 func shardDirName(s int) string { return fmt.Sprintf("shard-%03d", s) }
 
-// writeManifest durably records K in dir.
-func writeManifest(fsys fsutil.FS, dir string, k int) error {
-	content := fmt.Sprintf("%s\nshards %d\n", manifestMagic, k)
+// writeManifest durably records K and the failover epoch in dir.
+func writeManifest(fsys fsutil.FS, dir string, k int, epoch int64) error {
+	content := fmt.Sprintf("%s\nshards %d\nepoch %d\n", manifestMagic, k, epoch)
 	err := fsutil.WriteAtomic(fsys, filepath.Join(dir, manifestFile), func(f fsutil.File) error {
 		_, err := f.Write([]byte(content))
 		return err
@@ -56,32 +65,42 @@ func writeManifest(fsys fsutil.FS, dir string, k int) error {
 // underlying fs.ErrNotExist ("this is not a sharded index"); content that
 // cannot be a manifest is ErrCorruptIndex — the same trust boundary
 // CURRENT's parser draws (pinned by FuzzParseManifest).
-func readManifest(fsys fsutil.FS, dir string) (int, error) {
+func readManifest(fsys fsutil.FS, dir string) (int, int64, error) {
 	b, err := fsys.ReadFile(filepath.Join(dir, manifestFile))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	k, err := parseManifest(b)
+	k, epoch, err := parseManifest(b)
 	if err != nil {
-		return 0, fmt.Errorf("shard: %s: %w", manifestFile, err)
+		return 0, 0, fmt.Errorf("shard: %s: %w", manifestFile, err)
 	}
-	return k, nil
+	return k, epoch, nil
 }
 
-// parseManifest validates manifest bytes and extracts K.
-func parseManifest(b []byte) (int, error) {
+// parseManifest validates manifest bytes and extracts K and the failover
+// epoch (0 when the line is absent — pre-epoch manifests).
+func parseManifest(b []byte) (int, int64, error) {
 	lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
-	if len(lines) != 2 || lines[0] != manifestMagic {
-		return 0, fmt.Errorf("bad magic: %w", promips.ErrCorruptIndex)
+	if (len(lines) != 2 && len(lines) != 3) || lines[0] != manifestMagic {
+		return 0, 0, fmt.Errorf("bad magic: %w", promips.ErrCorruptIndex)
 	}
 	var k int
 	if _, err := fmt.Sscanf(lines[1], "shards %d", &k); err != nil {
-		return 0, fmt.Errorf("bad shard count line %q: %w", lines[1], promips.ErrCorruptIndex)
+		return 0, 0, fmt.Errorf("bad shard count line %q: %w", lines[1], promips.ErrCorruptIndex)
 	}
 	if k < 1 || k > maxShards {
-		return 0, fmt.Errorf("implausible shard count %d: %w", k, promips.ErrCorruptIndex)
+		return 0, 0, fmt.Errorf("implausible shard count %d: %w", k, promips.ErrCorruptIndex)
 	}
-	return k, nil
+	var epoch int64
+	if len(lines) == 3 {
+		if _, err := fmt.Sscanf(lines[2], "epoch %d", &epoch); err != nil {
+			return 0, 0, fmt.Errorf("bad epoch line %q: %w", lines[2], promips.ErrCorruptIndex)
+		}
+		if epoch < 0 {
+			return 0, 0, fmt.Errorf("negative epoch %d: %w", epoch, promips.ErrCorruptIndex)
+		}
+	}
+	return k, epoch, nil
 }
 
 // IsSharded reports whether dir holds a sharded index — a valid SHARDS
@@ -89,7 +108,7 @@ func parseManifest(b []byte) (int, error) {
 // unreadable or invalid manifest reports false; Open will surface the
 // real error.
 func IsSharded(dir string) bool {
-	k, err := readManifest(fsutil.OS, dir)
+	k, _, err := readManifest(fsutil.OS, dir)
 	return err == nil && k >= 1
 }
 

@@ -1,0 +1,196 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"promips"
+	"promips/internal/fsutil"
+)
+
+// Failover: follower promotion, the manifest epoch fence against
+// resurrected primaries, and poll isolation of transient read faults.
+
+// TestPromoteTakesOver: a converged follower promotes into a writable
+// primary that (a) holds every write the old primary acknowledged,
+// (b) accepts new writes continuing the same id sequence, (c) survives a
+// reopen — replicated state was made durable by the promotion fold — and
+// (d) carries a bumped epoch. The consumed follower refuses further Polls.
+func TestPromoteTakesOver(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	data := randData(r, 200, 8)
+	primary := buildPrimary(t, data, 2)
+	f := startFollower(t, primary)
+
+	// Acknowledged writes on the old primary, partially polled: the last
+	// two land between the final Poll and the promotion, exercising the
+	// final drain.
+	for _, v := range randData(r, 4, 8) {
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatalf("primary insert: %v", err)
+		}
+	}
+	if _, err := f.Poll(); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	for _, v := range randData(r, 2, 8) {
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatalf("primary insert: %v", err)
+		}
+	}
+
+	probe := randData(r, 1, 8)[0]
+	wantFP := liveFingerprint(t, primary, probe)
+	promoted, err := Promote(f)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer promoted.Close()
+
+	if got := promoted.Epoch(); got != 1 {
+		t.Fatalf("promoted epoch = %d, want 1", got)
+	}
+	if got := liveFingerprint(t, promoted, probe); !reflect.DeepEqual(got, wantFP) {
+		t.Fatalf("promoted primary lost acknowledged writes:\n got %v\nwant %v", got, wantFP)
+	}
+	// Writes resume, continuing the emulated single-index id sequence.
+	id, err := promoted.Insert(randData(r, 1, 8)[0])
+	if err != nil {
+		t.Fatalf("insert on promoted primary: %v", err)
+	}
+	if want := uint32(206); id != want {
+		t.Fatalf("first post-promotion id = %d, want %d", id, want)
+	}
+	if _, _, err := promoted.Search(context.Background(), probe, 5); err != nil {
+		t.Fatalf("search on promoted primary: %v", err)
+	}
+
+	// The consumed follower: Poll refuses, Close is a no-op (the children
+	// belong to the promoted index now).
+	if _, err := f.Poll(); !errors.Is(err, promips.ErrClosed) {
+		t.Fatalf("poll after promote: got %v, want ErrClosed", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("follower close after promote: %v", err)
+	}
+	if _, _, err := promoted.Search(context.Background(), probe, 5); err != nil {
+		t.Fatalf("promoted search after follower close: %v", err)
+	}
+
+	// Durability: the promotion fold (drain + save + manifest) stands on
+	// its own disk — a fresh Open of the directory sees everything,
+	// including the post-promotion insert after a Save.
+	if err := promoted.Save(); err != nil {
+		t.Fatalf("save promoted: %v", err)
+	}
+	wantFP = liveFingerprint(t, promoted, probe)
+	dir := promoted.Dir()
+	if err := promoted.Close(); err != nil {
+		t.Fatalf("close promoted: %v", err)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen promoted dir: %v", err)
+	}
+	defer reopened.Close()
+	if got := reopened.Epoch(); got != 1 {
+		t.Fatalf("reopened epoch = %d, want 1", got)
+	}
+	if got := liveFingerprint(t, reopened, probe); !reflect.DeepEqual(got, wantFP) {
+		t.Fatalf("reopened promoted primary diverges:\n got %v\nwant %v", got, wantFP)
+	}
+}
+
+// TestStalePrimaryFenced: after a promotion, a replica of the promoted
+// lineage refuses the resurrected old primary — at OpenFollower and at
+// Poll — with ErrStalePrimary.
+func TestStalePrimaryFenced(t *testing.T) {
+	r := rand.New(rand.NewSource(92))
+	data := randData(r, 200, 8)
+	oldPrimary := buildPrimary(t, data, 2)
+	f := startFollower(t, oldPrimary)
+	if _, err := f.Poll(); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	promoted, err := Promote(f)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	defer promoted.Close()
+
+	// A replica snapshotted from the promoted lineage (epoch 1), pointed
+	// at the resurrected old primary (epoch 0): refused at open.
+	replica2 := t.TempDir() + "/replica2"
+	if err := Snapshot(promoted.Dir(), replica2); err != nil {
+		t.Fatalf("snapshot promoted: %v", err)
+	}
+	if _, err := OpenFollower(replica2, oldPrimary.Dir()); !errors.Is(err, promips.ErrStalePrimary) {
+		t.Fatalf("open follower against stale primary: got %v, want ErrStalePrimary", err)
+	}
+
+	// Same replica against the promoted primary is fine — until the
+	// primary directory's manifest regresses to a pre-failover epoch
+	// (an old lineage resurrected at the same path): fenced at Poll.
+	f2, err := OpenFollower(replica2, promoted.Dir())
+	if err != nil {
+		t.Fatalf("open follower against promoted: %v", err)
+	}
+	defer f2.Close()
+	if got := f2.Epoch(); got != 1 {
+		t.Fatalf("follower epoch = %d, want 1", got)
+	}
+	if _, err := f2.Poll(); err != nil {
+		t.Fatalf("poll promoted: %v", err)
+	}
+	if err := writeManifest(fsutil.OS, promoted.Dir(), promoted.Shards(), 0); err != nil {
+		t.Fatalf("regress manifest: %v", err)
+	}
+	if _, err := f2.Poll(); !errors.Is(err, promips.ErrStalePrimary) {
+		t.Fatalf("poll against regressed epoch: got %v, want ErrStalePrimary", err)
+	}
+}
+
+// TestPollIsolatesTransientReadFault: a one-shot primary-side read failure
+// skips only the affected shard — its watermark intact — while the rest of
+// the round converges; the next Poll heals and Lag returns to 0.
+func TestPollIsolatesTransientReadFault(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	data := randData(r, 200, 8)
+	primary := buildPrimary(t, data, 2)
+	f := startFollower(t, primary)
+
+	for _, v := range randData(r, 6, 8) {
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatalf("primary insert: %v", err)
+		}
+	}
+	// Poll's read order: 1 = primary manifest (fence — a failure there is
+	// tolerated), 2 = shard 0's CURRENT. Failing read 2 transiently makes
+	// shard 0's round fail while shard 1 still converges.
+	f.fs = &fsutil.FaultFS{FailAt: 2, FailReads: true}
+	applied, err := f.Poll()
+	if !errors.Is(err, fsutil.ErrInjected) {
+		t.Fatalf("poll with injected read fault: got %v, want ErrInjected", err)
+	}
+	if applied == 0 {
+		t.Fatal("poll applied nothing: the healthy shard should still converge")
+	}
+	if marks := f.Watermarks(); marks[0] != 0 {
+		t.Fatalf("faulted shard's watermark moved to %d, want 0 (kept for retry)", marks[0])
+	}
+	// The fault was one-shot; the next round heals the skipped shard.
+	if _, err := f.Poll(); err != nil {
+		t.Fatalf("poll after fault cleared: %v", err)
+	}
+	lag, err := f.Lag()
+	if err != nil {
+		t.Fatalf("lag: %v", err)
+	}
+	if lag != 0 {
+		t.Fatalf("lag = %d after recovery poll, want 0", lag)
+	}
+	assertConverged(t, primary, f, randData(r, 3, 8))
+}

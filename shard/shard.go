@@ -75,11 +75,15 @@ type Index struct {
 	dir      string
 	fs       fsutil.FS
 	children []*promips.Index
+	epoch    int64 // failover epoch fence (manifest); bumped by Promote
 
 	mu      sync.Mutex // lifecycle: Save, Compact, Close
 	ownsDir bool
 	saved   bool
 	closed  bool
+
+	faultsMu sync.Mutex // guards faults
+	faults   *Faults
 }
 
 // Build constructs a sharded index over data, assigning point i to shard
@@ -158,14 +162,14 @@ func (ix *Index) abortBuild() {
 // directories; IsSharded tells them apart); a manifest naming shards
 // whose directories cannot be loaded surfaces that child's error.
 func Open(dir string) (*Index, error) {
-	k, err := readManifest(fsutil.OS, dir)
+	k, epoch, err := readManifest(fsutil.OS, dir)
 	if err != nil {
 		if notExist(err) {
 			return nil, fmt.Errorf("shard: open %s: %w (no %s manifest — not a sharded index)", dir, err, manifestFile)
 		}
 		return nil, err
 	}
-	ix := &Index{dir: dir, fs: fsutil.OS, children: make([]*promips.Index, 0, k), saved: true}
+	ix := &Index{dir: dir, fs: fsutil.OS, children: make([]*promips.Index, 0, k), epoch: epoch, saved: true}
 	for s := 0; s < k; s++ {
 		child, err := promips.Open(filepath.Join(dir, shardDirName(s)))
 		if err != nil {
@@ -187,7 +191,7 @@ func Open(dir string) (*Index, error) {
 // probability ≥ p, and the per-shard c-approximations compose (fanout.go).
 // WithC/WithP/WithFilter apply globally; the filter sees global ids.
 func (ix *Index) Search(ctx context.Context, q []float32, k int, opts ...promips.SearchOption) ([]promips.Result, promips.SearchStats, error) {
-	return fanSearch(ctx, ix.children, q, k, opts)
+	return fanSearch(ctx, ix.children, ix.getFaults(), q, k, opts)
 }
 
 // SearchBatch answers many queries with a bounded worker pool (WithWorkers
@@ -195,7 +199,7 @@ func (ix *Index) Search(ctx context.Context, q []float32, k int, opts ...promips
 // I/O overlaps workers×K ways. Answers are identical to sequential Search
 // calls.
 func (ix *Index) SearchBatch(ctx context.Context, queries [][]float32, k int, opts ...promips.SearchOption) ([][]promips.Result, []promips.SearchStats, error) {
-	return fanBatch(ctx, ix.children, queries, k, opts)
+	return fanBatch(ctx, ix.children, ix.getFaults(), queries, k, opts)
 }
 
 // Exact returns the exact global top-k by scanning every shard in
@@ -270,7 +274,7 @@ func (ix *Index) Save() error {
 			return fmt.Errorf("shard: save shard %d: %w", s, err)
 		}
 	}
-	if err := writeManifest(ix.fs, ix.dir, len(ix.children)); err != nil {
+	if err := writeManifest(ix.fs, ix.dir, len(ix.children), ix.epoch); err != nil {
 		return err
 	}
 	ix.saved = true
@@ -335,6 +339,11 @@ func (ix *Index) Close() error {
 
 // Shards returns the shard count K.
 func (ix *Index) Shards() int { return len(ix.children) }
+
+// Epoch returns the failover epoch fence this primary serves under: 0 for
+// an original Build lineage, and one past the superseded primary's epoch
+// after every Promote. Followers refuse primaries below their own epoch.
+func (ix *Index) Epoch() int64 { return ix.epoch }
 
 // Dir returns the root directory (SHARDS manifest + shard
 // subdirectories).

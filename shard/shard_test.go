@@ -423,15 +423,18 @@ func TestOpenErrors(t *testing.T) {
 }
 
 // FuzzParseManifest pins the manifest parser's trust boundary: arbitrary
-// bytes must yield a valid K or ErrCorruptIndex — never a panic, never an
-// out-of-range shard count.
+// bytes must yield a valid (K, epoch) or ErrCorruptIndex — never a panic,
+// never an out-of-range shard count, never a negative epoch.
 func FuzzParseManifest(f *testing.F) {
 	f.Add([]byte("PROMIPS-SHARDS v1\nshards 4\n"))
 	f.Add([]byte("PROMIPS-SHARDS v1\nshards -1\n"))
 	f.Add([]byte(""))
 	f.Add([]byte("PROMIPS-SHARDS v1\nshards 99999999999999999999\n"))
+	f.Add([]byte("PROMIPS-SHARDS v1\nshards 4\nepoch 3\n"))
+	f.Add([]byte("PROMIPS-SHARDS v1\nshards 4\nepoch -3\n"))
+	f.Add([]byte("PROMIPS-SHARDS v1\nshards 4\nepoch x\n"))
 	f.Fuzz(func(t *testing.T, b []byte) {
-		k, err := parseManifest(b)
+		k, epoch, err := parseManifest(b)
 		if err != nil {
 			if !errors.Is(err, promips.ErrCorruptIndex) {
 				t.Fatalf("non-taxonomy error: %v", err)
@@ -440,6 +443,9 @@ func FuzzParseManifest(f *testing.F) {
 		}
 		if k < 1 || k > maxShards {
 			t.Fatalf("accepted out-of-range shard count %d", k)
+		}
+		if epoch < 0 {
+			t.Fatalf("accepted negative epoch %d", epoch)
 		}
 	})
 }
