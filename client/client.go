@@ -126,6 +126,15 @@ type ReplicationStats struct {
 	// Refreshes counts full shard re-snapshots (primary Save/Compact
 	// epochs crossed).
 	Refreshes int64 `json:"refreshes"`
+	// ConsecutiveFailures counts poll rounds that have failed in a row as
+	// of the stats call; 0 means the last round succeeded. The follower's
+	// poll loop backs off exponentially while this climbs, and its
+	// supervisor (when -auto-promote is set) treats a sustained run of
+	// failures as primary-death suspicion.
+	ConsecutiveFailures int64 `json:"consecutive_failures,omitempty"`
+	// Source names the replication transport ("dir:/path" or the primary's
+	// base URL).
+	Source string `json:"source,omitempty"`
 }
 
 // ErrorBody is the JSON body of every non-2xx response.
@@ -148,6 +157,8 @@ const (
 	CodeDeadline        = "deadline"         // 504: the per-request deadline expired
 	CodeNotFollower     = "not_follower"     // 409: promote asked of a server not running a follower
 	CodeNotReady        = "not_ready"        // 503 from /v1/readyz: follower not yet converged
+	CodeStalePrimary    = "stale_primary"    // 409: this server was deposed by a newer failover epoch
+	CodeLeaseExpired    = "lease_expired"    // 503: primary's replication lease lapsed; writes fenced until a follower pulls again
 	CodeInternal        = "internal"         // 500: everything else
 )
 
@@ -183,6 +194,8 @@ func (e *APIError) Is(target error) bool {
 		return target == promips.ErrReadOnlyReplica
 	case CodeDeadline:
 		return target == context.DeadlineExceeded
+	case CodeStalePrimary:
+		return target == promips.ErrStalePrimary
 	}
 	return false
 }
@@ -430,15 +443,26 @@ func (c *Client) delay(attempt int, err error) time.Duration {
 	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
+// parseRetryAfter accepts both RFC 9110 forms of the header: delta-seconds
+// ("120") and an HTTP-date ("Fri, 08 Aug 2026 09:00:00 GMT"), the latter
+// clamped at zero when the date is already past.
 func parseRetryAfter(s string) time.Duration {
+	s = strings.TrimSpace(s)
 	if s == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(strings.TrimSpace(s))
-	if err != nil || secs < 0 {
-		return 0
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
 	}
-	return time.Duration(secs) * time.Second
+	if when, err := http.ParseTime(s); err == nil {
+		if d := time.Until(when); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {

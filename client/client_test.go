@@ -197,8 +197,9 @@ func TestCallerContextStopsRetries(t *testing.T) {
 	}
 }
 
-// TestRetryAfterParse pins the header parser: integer seconds only,
-// garbage and negatives ignored.
+// TestRetryAfterParse pins the header parser across both RFC 9110 forms:
+// delta-seconds and HTTP-date (garbage and negatives ignored, past dates
+// clamped to zero).
 func TestRetryAfterParse(t *testing.T) {
 	for in, want := range map[string]time.Duration{
 		"":     0,
@@ -206,9 +207,21 @@ func TestRetryAfterParse(t *testing.T) {
 		" 3 ":  3 * time.Second,
 		"-1":   0,
 		"soon": 0,
+		// An HTTP-date in the past (or malformed) yields no delay.
+		"Mon, 02 Jan 2006 15:04:05 GMT": 0,
+		"Mon, 02 Jan 2006":              0,
 	} {
 		if got := parseRetryAfter(in); got != want {
 			t.Errorf("parseRetryAfter(%q) = %v, want %v", in, got, want)
+		}
+	}
+	// A future HTTP-date yields roughly the remaining interval. All three
+	// RFC 9110 date formats must parse.
+	for _, layout := range []string{http.TimeFormat, time.RFC850, time.ANSIC} {
+		in := time.Now().Add(90 * time.Second).UTC().Format(layout)
+		got := parseRetryAfter(in)
+		if got < 80*time.Second || got > 91*time.Second {
+			t.Errorf("parseRetryAfter(%q) = %v, want ~90s", in, got)
 		}
 	}
 }

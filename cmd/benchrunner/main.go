@@ -15,7 +15,9 @@
 // index under 1/2/4/8 workers), shards (disk-model QPS across 1/2/4/8
 // shards at a fixed worker count, one disk-model pool per shard),
 // degraded (fan-out tail latency with one slow shard, with and without
-// per-shard deadlines — the failure-isolation measurement).
+// per-shard deadlines — the failure-isolation measurement), repl
+// (replication convergence over the shared-filesystem source vs the
+// /v1/repl/* HTTP wire).
 package main
 
 import (
@@ -31,7 +33,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all,4,5,6,7,8,9,10,11,table2,ablations,concurrency,shards,degraded")
+	fig := flag.String("fig", "all", "figure to regenerate: all,4,5,6,7,8,9,10,11,table2,ablations,concurrency,shards,degraded,repl")
 	ds := flag.String("dataset", "all", "dataset: all, Netflix, Yahoo, P53, Sift")
 	n := flag.Int("n", 0, "points per dataset (0 = laptop-scale default)")
 	queries := flag.Int("queries", 0, "queries per dataset (0 = 100, the paper's workload)")
@@ -258,6 +260,14 @@ func runDataset(ctx context.Context, spec dataset.Spec, fig string, n, queries i
 	}
 	if fig == "all" || fig == "degraded" {
 		t, err := bench.DegradedSearch(ctx, env, 4, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t.Fprint(os.Stdout)
+	}
+	if fig == "all" || fig == "repl" {
+		t, err := bench.ReplTransport(ctx, env, 2, 5, 50)
 		if err != nil {
 			return err
 		}

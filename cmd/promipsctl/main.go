@@ -8,14 +8,22 @@
 //	promipsctl compact -dir ./idx
 //	promipsctl stats   -dir ./idx
 //	promipsctl recover -dir ./idx [-commit]
-//	promipsctl promote -addr http://host:port | -dir ./replica -primary ./idx
+//	promipsctl snapshot -from ./idx|http://host:port -dir ./replica
+//	promipsctl promote -addr http://host:port | -dir ./replica -primary ./idx|http://host:port
+//
+// snapshot bootstraps a replica directory as a copy of a primary —
+// either an index directory on a shared filesystem or a running
+// promipsd's base URL, in which case the shards ship over its
+// /v1/repl/* endpoints (CRC-checked; a torn transfer leaves no
+// manifest and is safely re-runnable).
 //
 // promote fails a replica over to writable primary after its primary
 // dies: online against a running promipsd follower (-addr, via POST
 // /v1/promote), or offline against a replica directory (-dir/-primary):
-// the remaining journal tails are drained from the dead primary's
-// directory and the manifest epoch is fenced so a resurrected old
-// primary is refused.
+// the remaining journal tails are drained from the dead primary —
+// -primary takes a directory or a base URL, and a dead primary that
+// serves nothing simply has nothing left to drain — and the manifest
+// epoch is fenced so a resurrected old primary is refused.
 //
 // Vector files use the datagen format (see cmd/datagen).
 package main
@@ -25,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"promips"
@@ -77,6 +86,8 @@ func main() {
 		err = runStats(os.Args[2:])
 	case "recover":
 		err = runRecover(os.Args[2:])
+	case "snapshot":
+		err = runSnapshot(os.Args[2:])
 	case "promote":
 		err = runPromote(os.Args[2:])
 	default:
@@ -96,7 +107,8 @@ func usage() {
   promipsctl compact -dir ./idx [-timeout 0]
   promipsctl stats   -dir ./idx [-timeout 0]
   promipsctl recover -dir ./idx [-commit]
-  promipsctl promote -addr http://host:port | -dir ./replica -primary ./idx [-timeout 0]`)
+  promipsctl snapshot -from ./idx|http://host:port -dir ./replica
+  promipsctl promote -addr http://host:port | -dir ./replica -primary ./idx|http://host:port [-timeout 0]`)
 }
 
 // timeoutFlag registers the shared -timeout flag: a bound on all the
@@ -359,7 +371,7 @@ func runPromote(args []string) error {
 		fmt.Printf("promoted %s: serving as primary at epoch %d (%d live points)\n", *addr, st.Epoch, st.Live)
 		return nil
 	case *addr == "" && *dir != "" && *primary != "":
-		f, err := shard.OpenFollower(*dir, *primary)
+		f, err := shard.OpenFollowerFrom(*dir, ctlReplSource(*primary))
 		if err != nil {
 			return err
 		}
@@ -375,6 +387,48 @@ func runPromote(args []string) error {
 	default:
 		return fmt.Errorf("promote requires -addr alone (online) or -dir with -primary (offline)")
 	}
+}
+
+// ctlReplSource resolves a primary operand (-primary, -from): a base URL
+// selects the HTTP replication source (promipsd's /v1/repl/* endpoints),
+// anything else the shared-filesystem source.
+func ctlReplSource(primary string) shard.ReplSource {
+	if strings.HasPrefix(primary, "http://") || strings.HasPrefix(primary, "https://") {
+		return shard.NewHTTPSource(strings.TrimRight(primary, "/"))
+	}
+	return shard.NewDirSource(primary)
+}
+
+// runSnapshot bootstraps a replica directory from a primary, over
+// whichever transport -from names. The manifest is written last, so a
+// transfer torn partway leaves a directory promipsd (and a re-run of
+// this command, after removing it) treats as empty, never a manifest
+// over missing shards.
+func runSnapshot(args []string) error {
+	fs := flag.NewFlagSet("snapshot", flag.ExitOnError)
+	from := fs.String("from", "", "primary to copy (index directory or promipsd base URL)")
+	dir := fs.String("dir", "", "replica directory to create")
+	fs.Parse(args)
+	if *from == "" || *dir == "" {
+		return fmt.Errorf("snapshot requires -from and -dir")
+	}
+	if shard.IsSharded(*dir) {
+		return fmt.Errorf("%s already holds a sharded index; snapshot refuses to overwrite it", *dir)
+	}
+	src := ctlReplSource(*from)
+	defer src.Close()
+	start := time.Now()
+	if err := shard.SnapshotFrom(src, *dir); err != nil {
+		return err
+	}
+	ix, err := shard.Open(*dir)
+	if err != nil {
+		return fmt.Errorf("snapshot completed but replica does not open: %w", err)
+	}
+	defer ix.Close()
+	fmt.Printf("snapshotted %s -> %s: %d shards, %d live points, epoch %d in %v\n",
+		*from, *dir, ix.Shards(), ix.LiveCount(), ix.Epoch(), time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // runRecover opens the index — which IS the recovery procedure: the

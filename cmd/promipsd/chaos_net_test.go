@@ -1,0 +1,479 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"promips"
+	"promips/client"
+	"promips/shard"
+)
+
+// Network replication chaos. The PR 8 matrix (chaos_test.go) faults the
+// CLIENT's round trips; this matrix faults the REPLICATION transport — the
+// /v1/repl/* pulls a URL-followed replica lives on — across the supervised
+// auto-failover workload: insert → converge over the wire → kill the
+// primary (listener gone, no Save) → quarantine-then-promote → insert on
+// the new primary. One fault is injected per scenario, at a chosen pull,
+// in each of the four failure shapes a replication stream can take:
+//
+//	send:  the pull never reaches the primary; no lease renewed, nothing
+//	       served — the next poll re-pulls from the same offset.
+//	recv:  the primary served the pull (and renewed the write lease!) but
+//	       the response was lost; the follower's watermark must not move.
+//	torn:  the response body is cut mid-stream with intact HTTP framing —
+//	       only the CRC (wal chunks, snapshot trailer) or the JSON decoder
+//	       can catch it; a torn chunk must not advance the offset.
+//	stall: the pull hangs until the follower's per-request deadline; the
+//	       poll round fails late instead of fast.
+//
+// Invariants, whatever was injected: the follower converges (resumable
+// offsets — a fault costs a retry, never a refresh of healthy state),
+// auto-promotion completes, the final live set is EXACTLY initial + acked
+// inserts, the resurrected old primary is already fenced when it comes
+// back (lease expired, then deposed by epoch — never two writable
+// primaries), and both directories reopen clean.
+
+const (
+	netChaosSend  = "send"
+	netChaosRecv  = "recv"
+	netChaosTorn  = "torn"
+	netChaosStall = "stall"
+)
+
+const (
+	netLease      = 100 * time.Millisecond
+	netPoll       = 5 * time.Millisecond
+	netReqTimeout = 150 * time.Millisecond
+)
+
+// replFaultRT injects exactly one transport fault into the Nth (1-based)
+// replication round trip. failAt = 0 never fires (dry run).
+type replFaultRT struct {
+	inner  http.RoundTripper
+	mode   string
+	failAt int
+
+	mu    sync.Mutex
+	trips int
+	fired bool
+}
+
+func (rt *replFaultRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	rt.trips++
+	fire := rt.failAt > 0 && rt.trips == rt.failAt
+	if fire {
+		rt.fired = true
+	}
+	rt.mu.Unlock()
+	if fire {
+		switch rt.mode {
+		case netChaosSend:
+			return nil, errChaos
+		case netChaosStall:
+			<-req.Context().Done()
+			return nil, req.Context().Err()
+		}
+	}
+	resp, err := rt.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if fire {
+		switch rt.mode {
+		case netChaosRecv:
+			resp.Body.Close() // primary executed the pull; the bytes are lost
+			return nil, errChaos
+		case netChaosTorn:
+			return tearResponse(resp)
+		}
+	}
+	return resp, nil
+}
+
+// tearResponse truncates the body to its first half with consistent HTTP
+// framing — the cut is invisible to the transport layer, so only content
+// checks (CRC, snapshot trailer, JSON completeness) can reject it.
+func tearResponse(resp *http.Response) (*http.Response, error) {
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		b = nil
+	}
+	half := b[:len(b)/2]
+	resp.Body = io.NopCloser(bytes.NewReader(half))
+	resp.ContentLength = int64(len(half))
+	resp.TransferEncoding = nil
+	resp.Header = resp.Header.Clone()
+	resp.Header.Set("Content-Length", strconv.Itoa(len(half)))
+	resp.Trailer = nil // a cut stream never delivers its trailer
+	return resp, nil
+}
+
+func (rt *replFaultRT) tripCount() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.trips
+}
+
+// netChaosWorld is a primary and a URL-following replica with NO shared
+// filesystem: every byte the replica holds arrived over /v1/repl/*,
+// through the flaky transport.
+type netChaosWorld struct {
+	data      [][]float32
+	pdir      string
+	primary   *shard.Index
+	f         *shard.Follower
+	ph, fh    *server
+	ps, fs    *httptest.Server
+	rt        *replFaultRT
+	pc, fc    *client.Client
+	baseEpoch int64
+}
+
+func newNetChaosWorld(t *testing.T, mode string, failAt int) *netChaosWorld {
+	t.Helper()
+	r := rand.New(rand.NewSource(61))
+	w := &netChaosWorld{data: testVecs(r, 200, 8)}
+
+	w.pdir = filepath.Join(t.TempDir(), "primary")
+	primary, err := shard.Build(w.data, shard.Options{
+		Shards: 2, Dir: w.pdir, Index: promips.Options{Seed: 42, M: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.primary = primary
+	t.Cleanup(func() { primary.Close() })
+	if err := primary.Save(); err != nil {
+		t.Fatal(err)
+	}
+	w.baseEpoch = primary.Epoch()
+
+	cfg := serverConfig{searchSlots: 8, updateSlots: 8, leaseDur: netLease}
+	w.ph = newServer(primary, cfg)
+	w.ph.enableRepl(w.pdir)
+	w.ps = httptest.NewServer(w.ph)
+	t.Cleanup(w.ps.Close)
+
+	// All replication pulls — bootstrap snapshot included — ride the flaky
+	// transport. The faults under test live here, not on the client path.
+	w.rt = &replFaultRT{inner: http.DefaultTransport, mode: mode, failAt: failAt}
+	src := shard.NewHTTPSource(w.ps.URL,
+		shard.WithHTTPClient(&http.Client{Transport: w.rt}),
+		shard.WithRequestTimeout(netReqTimeout),
+		shard.WithSnapshotTimeout(500*time.Millisecond))
+
+	fdir := filepath.Join(t.TempDir(), "replica")
+	if err := shard.SnapshotFrom(src, fdir); err != nil {
+		// A faulted bootstrap must be detectable (no manifest — IsSharded
+		// false) and recoverable by removing the partial tree and retrying.
+		if shard.IsSharded(fdir) {
+			t.Fatalf("torn bootstrap left a live manifest: %v", err)
+		}
+		if err := os.RemoveAll(fdir); err != nil {
+			t.Fatal(err)
+		}
+		if err := shard.SnapshotFrom(src, fdir); err != nil {
+			t.Fatalf("re-bootstrap after faulted snapshot: %v", err)
+		}
+	}
+	f, err := shard.OpenFollowerFrom(fdir, src)
+	if err != nil {
+		// The open's manifest read ate the one-shot fault; a retry is clean.
+		if f, err = shard.OpenFollowerFrom(fdir, src); err != nil {
+			t.Fatalf("reopen follower after faulted manifest read: %v", err)
+		}
+	}
+	w.f = f
+	t.Cleanup(func() { f.Close() }) // no-op once promoted
+
+	w.fh = newServer(f, cfg)
+	w.fs = httptest.NewServer(w.fh)
+	t.Cleanup(w.fs.Close)
+
+	w.pc = client.New(w.ps.URL)
+	w.fc = client.New(w.fs.URL)
+	return w
+}
+
+// insertPrimary writes one vector to the primary, tolerating a fenced
+// write path: a setup-phase fault (a stalled snapshot pull, say) can hold
+// the replication stream past the lease, and the primary then CORRECTLY
+// refuses writes. The documented recovery is a follower pull — it renews
+// the lease and writes resume — so that is exactly what the helper does.
+func (w *netChaosWorld) insertPrimary(t *testing.T, v []float32) uint32 {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		id, err := w.pc.Insert(context.Background(), v)
+		if err == nil {
+			return id
+		}
+		var ae *client.APIError
+		if !errors.As(err, &ae) || ae.Code != client.CodeLeaseExpired {
+			t.Fatalf("insert on primary: %v", err)
+		}
+		w.f.Poll() // renew the lease (may itself eat the injected fault)
+		if time.Now().After(deadline) {
+			t.Fatal("primary never resumed writes after lease-renewal pulls")
+		}
+	}
+}
+
+// converge polls until the replica has every acknowledged record. Pull
+// errors are exactly the faults under test: the loop retries, and the
+// invariant is that the one-shot fault costs at most a retry from the
+// same resumable offset.
+func (w *netChaosWorld) converge(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	var lastErr error
+	for {
+		if _, err := w.f.Poll(); err == nil {
+			if lag, lerr := w.f.Lag(); lerr == nil && lag == 0 {
+				return
+			} else if lerr != nil {
+				lastErr = lerr
+			}
+		} else {
+			lastErr = err
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("follower never converged (last error: %v)", lastErr)
+		}
+	}
+}
+
+// run drives the auto-failover workload and returns the acked insert ids.
+func (w *netChaosWorld) run(t *testing.T) []uint32 {
+	t.Helper()
+	ctx := context.Background()
+	r := rand.New(rand.NewSource(62))
+	vs := testVecs(r, 2, 8)
+
+	// Acknowledged write on the primary, replicated over the wire.
+	id1 := w.insertPrimary(t, vs[0])
+	w.converge(t)
+
+	// The primary dies without warning: listener gone, journal never folded.
+	// (The process state lives on in w.ph/w.primary — it resurfaces later
+	// as the partitioned old primary, which must find itself fenced.)
+	w.ps.Close()
+
+	// Supervised failover: suspect after 1 failed poll + failed liveness
+	// probe, quarantine for τ+lease+margin, then promote. Timings are the
+	// test's, the machinery is production's.
+	sup := newSupervisor(w.f, w.fh, netPoll, w.ps.URL, true, netLease, 1)
+	sup.reqTimeout = 25 * time.Millisecond
+	supCtx, cancelSup := context.WithCancel(context.Background())
+	t.Cleanup(cancelSup)
+	w.fh.stopPoll = cancelSup
+	go sup.run(supCtx)
+
+	promoteDeadline := time.Now().Add(30 * time.Second)
+	for !w.fh.promoted.Load() {
+		if time.Now().After(promoteDeadline) {
+			t.Fatal("supervisor never auto-promoted the follower")
+		}
+		time.Sleep(netPoll)
+	}
+
+	// The new primary is ready, writable, and on a fenced-forward epoch.
+	readyz, err := http.Get(w.fs.URL + "/v1/readyz")
+	if err != nil || readyz.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after auto-promote: %v (resp %v)", err, readyz)
+	}
+	readyz.Body.Close()
+	st, err := w.fc.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats after auto-promote: %v", err)
+	}
+	if st.ReadOnly || st.Epoch <= w.baseEpoch {
+		t.Fatalf("promoted server read_only=%v epoch=%d (base %d): epoch fence did not advance", st.ReadOnly, st.Epoch, w.baseEpoch)
+	}
+
+	id2, err := w.fc.Insert(ctx, vs[1])
+	if err != nil {
+		t.Fatalf("insert on new primary: %v", err)
+	}
+	w.verifyOldPrimaryFenced(t, st.Epoch)
+	return []uint32{id1, id2}
+}
+
+// verifyOldPrimaryFenced resurrects the partitioned old primary's process
+// on a fresh listener and proves the no-dual-primary ordering: its write
+// lease lapsed during the follower's quarantine — so it was refusing
+// writes BEFORE the new primary accepted any — and the first replication
+// pull stamped with the new lineage deposes it outright.
+func (w *netChaosWorld) verifyOldPrimaryFenced(t *testing.T, newEpoch int64) {
+	t.Helper()
+	res := httptest.NewServer(w.ph)
+	defer res.Close()
+	body := `{"vector":[1,0,0,0,0,0,0,0]}`
+
+	assertWriteRefused := func(wantStatus int, wantCode string) {
+		t.Helper()
+		resp, err := http.Post(res.URL+"/v1/insert", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("insert on resurrected old primary: %v", err)
+		}
+		defer resp.Body.Close()
+		var eb client.ErrorBody
+		if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil {
+			t.Fatalf("decode refusal body: %v", err)
+		}
+		if resp.StatusCode != wantStatus || eb.Code != wantCode {
+			t.Fatalf("old primary write: status %d code %q, want %d %q (a write here would be a dual-primary)",
+				resp.StatusCode, eb.Code, wantStatus, wantCode)
+		}
+	}
+
+	// Lease fence: expired strictly before promotion completed.
+	assertWriteRefused(http.StatusServiceUnavailable, client.CodeLeaseExpired)
+
+	// Epoch fence: a pull from the new lineage deposes the old primary...
+	req, err := http.NewRequest(http.MethodGet, res.URL+shard.ReplPathManifest, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(shard.ReplHeaderPeerEpoch, strconv.FormatInt(newEpoch, 10))
+	pull, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("stamped pull on old primary: %v", err)
+	}
+	pull.Body.Close()
+	if pull.StatusCode != http.StatusConflict {
+		t.Fatalf("pull stamped epoch %d got %d, want 409 (stale primary refused mid-stream)", newEpoch, pull.StatusCode)
+	}
+
+	// ...permanently: writes now refuse as deposed, not merely lease-lapsed.
+	assertWriteRefused(http.StatusConflict, client.CodeStalePrimary)
+}
+
+// verify asserts the exact final live set on the new primary and that BOTH
+// directories reopen clean: the old primary replays its journal (every
+// write it acked survives its crash), the new primary holds exactly
+// initial + acked, each id once.
+func (w *netChaosWorld) verify(t *testing.T, acked []uint32) {
+	t.Helper()
+	ctx := context.Background()
+	want := len(w.data) + len(acked)
+
+	st, err := w.fc.Stats(ctx)
+	if err != nil {
+		t.Fatalf("final stats: %v", err)
+	}
+	if st.Live != want {
+		t.Fatalf("live = %d, want exactly %d (initial %d + %d acked; more = duplicated pull, fewer = lost acked write)",
+			st.Live, want, len(w.data), len(acked))
+	}
+
+	// Old primary: crashed with id1 only in its journal; reopen replays it.
+	if err := w.primary.Close(); err != nil {
+		t.Fatalf("close old primary: %v", err)
+	}
+	oldIx, err := shard.Open(w.pdir)
+	if err != nil {
+		t.Fatalf("reopen old primary after crash: %v", err)
+	}
+	if got := oldIx.LiveCount(); got != len(w.data)+1 {
+		oldIx.Close()
+		t.Fatalf("old primary reopened with %d live, want %d (acked pre-failover insert must survive its crash)",
+			got, len(w.data)+1)
+	}
+	oldIx.Close()
+
+	// New primary: save, close, reopen cold, enumerate exactly.
+	promoted, ok := w.fh.cur().(*shard.Index)
+	if !ok {
+		t.Fatalf("served index after auto-promote is %T, want *shard.Index", w.fh.cur())
+	}
+	dir := promoted.Dir()
+	w.fs.Close()
+	if err := promoted.Save(); err != nil {
+		t.Fatalf("save new primary: %v", err)
+	}
+	if err := promoted.Close(); err != nil {
+		t.Fatalf("close new primary: %v", err)
+	}
+	reopened, err := shard.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen new primary: %v", err)
+	}
+	defer reopened.Close()
+	if reopened.Epoch() <= w.baseEpoch {
+		t.Fatalf("reopened new primary epoch %d did not advance past %d", reopened.Epoch(), w.baseEpoch)
+	}
+	res, err := reopened.Exact(ctx, w.data[0], want)
+	if err != nil {
+		t.Fatalf("exact enumeration: %v", err)
+	}
+	if len(res) != want {
+		t.Fatalf("exact enumeration returned %d ids, want %d", len(res), want)
+	}
+	seen := make(map[uint32]bool, len(res))
+	for _, r := range res {
+		if seen[r.ID] {
+			t.Fatalf("id %d appears twice after reopen", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	for _, id := range acked {
+		if !seen[id] {
+			t.Fatalf("acked id %d lost after reopen", id)
+		}
+	}
+}
+
+// TestNetworkChaosMatrix sweeps one injected replication-transport fault
+// over every pull of the auto-failover workload, in all four modes. The
+// dry run measures how many pulls the fault-free workload makes up to the
+// primary's death; pulls after the death all fail identically (the
+// listener is gone), so faulting them adds nothing.
+func TestNetworkChaosMatrix(t *testing.T) {
+	dry := newNetChaosWorld(t, netChaosSend, 0)
+	dry.insertPrimary(t, testVecs(rand.New(rand.NewSource(62)), 2, 8)[0])
+	dry.converge(t)
+	total := dry.rt.tripCount()
+	if total < 6 {
+		t.Fatalf("dry run made only %d replication pulls; harness is not exercising the wire", total)
+	}
+
+	for _, mode := range []string{netChaosSend, netChaosRecv, netChaosTorn, netChaosStall} {
+		for n := 1; n <= total; n++ {
+			t.Run(fmt.Sprintf("%s/pull%02d", mode, n), func(t *testing.T) {
+				t.Parallel()
+				w := newNetChaosWorld(t, mode, n)
+				acked := w.run(t)
+				if !w.rt.fired {
+					t.Fatalf("fault at pull %d never fired (%d pulls made)", n, w.rt.tripCount())
+				}
+				w.verify(t, acked)
+			})
+		}
+	}
+}
+
+// TestNetworkChaosFullWorkloadClean pins the fault-free auto-failover
+// workload end to end (the dry world above stops at convergence so its
+// pull count excludes post-death noise; this runs the whole thing).
+func TestNetworkChaosFullWorkloadClean(t *testing.T) {
+	w := newNetChaosWorld(t, netChaosSend, 0)
+	w.verify(t, w.run(t))
+}

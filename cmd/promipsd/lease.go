@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"promips"
+	"promips/internal/fsutil"
+	"promips/shard"
+)
+
+// errLeaseExpired fences the write path of a primary whose replication
+// lease lapsed: no follower has pulled for longer than the lease, so a
+// supervised follower may be promoting right now, and accepting a write
+// here could put it on a forked history. Writes resume the moment a
+// follower pulls again (re-arming the lease) — or never, if the cluster
+// really did fail over. Mapped to 503/lease_expired with Retry-After.
+var errLeaseExpired = errors.New("promipsd: replication lease expired; writes fenced until a follower pulls again")
+
+// leaseName is the fencing deadline's file, kept beside the SHARDS
+// manifest in the primary's directory.
+const leaseName = "LEASE"
+
+// leaseGuard implements the primary half of lease-fenced failover.
+//
+// The lease is granted implicitly by serving replication pulls: every
+// pull a follower makes extends the fencing deadline to now+d. The
+// supervised follower, symmetrically, waits out one full request timeout
+// plus one full lease (plus margin) of refusing-to-pull before it
+// promotes — so by the time a new primary can accept its first write,
+// this guard has already been refusing writes for the margin at least
+// (see DESIGN.md for the two-clock argument). That ordering — old
+// primary fenced strictly before new primary writable — is what makes a
+// network partition produce one primary, not two.
+//
+// The deadline survives restarts: it is persisted (atomically, fsynced)
+// whenever it advances by at least d/4, so a primary that crashes and
+// reopens inside a partition does not forget that a follower holds a
+// lease on its history. A primary that has never served a pull
+// (bootstrap, benchmarks, no replica configured) is unfenced.
+//
+// Deposition is sharper than expiry and also tracked here: a pull
+// stamped with a lineage epoch ABOVE the primary's own means a follower
+// has already promoted — this primary's history has been succeeded — so
+// it permanently refuses both pulls and writes (409/stale_primary)
+// until an operator rebuilds it as a follower of the new lineage.
+type leaseGuard struct {
+	dir string
+	d   time.Duration // 0: no expiry, deposition tracking only
+
+	mu        sync.Mutex
+	attached  bool      // some follower has pulled (now or in a past run)
+	deadline  time.Time // fence instant: writes refused once passed
+	persisted time.Time // deadline as last written to LEASE
+	deposed   bool
+	peerEpoch int64 // highest follower lineage epoch seen
+}
+
+// newLeaseGuard builds the guard for the primary at dir, resuming a
+// persisted deadline if one exists. d <= 0 disables expiry (deposition
+// is still enforced).
+func newLeaseGuard(dir string, d time.Duration) *leaseGuard {
+	g := &leaseGuard{dir: dir, d: d, peerEpoch: shard.UnstampedEpoch}
+	if d <= 0 {
+		return g
+	}
+	if b, err := os.ReadFile(filepath.Join(dir, leaseName)); err == nil && len(b) == 8 {
+		nanos := int64(binary.LittleEndian.Uint64(b))
+		g.attached = true
+		g.deadline = time.Unix(0, nanos)
+		g.persisted = g.deadline
+	}
+	return g
+}
+
+// served records one replication pull from a follower at lineage epoch
+// peer (shard.UnstampedEpoch if the request carried none), against this
+// primary's own epoch. It renews the lease or — when the peer's epoch
+// proves a completed failover — deposes this primary.
+func (g *leaseGuard) served(peer, own int64) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.deposed {
+		return fmt.Errorf("promipsd: deposed by failover epoch %d (serving %d): %w",
+			g.peerEpoch, own, promips.ErrStalePrimary)
+	}
+	if peer != shard.UnstampedEpoch && peer > own {
+		g.deposed = true
+		g.peerEpoch = peer
+		return fmt.Errorf("promipsd: follower at epoch %d outranks this primary at %d: %w",
+			peer, own, promips.ErrStalePrimary)
+	}
+	if peer > g.peerEpoch {
+		g.peerEpoch = peer
+	}
+	if g.d <= 0 {
+		return nil
+	}
+	g.attached = true
+	g.deadline = time.Now().Add(g.d)
+	// Persist when the durable deadline has fallen d/4 behind, bounding
+	// fsync traffic at poll cadence while keeping the on-disk fence within
+	// d/4 of the in-memory one (the follower's promotion wait absorbs the
+	// difference; see DESIGN.md).
+	if g.deadline.Sub(g.persisted) >= g.d/4 {
+		if err := g.persistLocked(); err != nil {
+			// Failing to persist must not fail the pull: the in-memory
+			// fence still holds for this process; only a crash-restart
+			// could see a deadline up to d/4 stale.
+			return nil
+		}
+	}
+	return nil
+}
+
+// persistLocked writes the wall-clock deadline to LEASE atomically.
+func (g *leaseGuard) persistLocked() error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(g.deadline.UnixNano()))
+	err := fsutil.WriteAtomic(fsutil.OS, filepath.Join(g.dir, leaseName), func(f fsutil.File) error {
+		_, werr := f.Write(b[:])
+		return werr
+	})
+	if err != nil {
+		return err
+	}
+	g.persisted = g.deadline
+	return nil
+}
+
+// checkWrite gates one update (insert/delete/save-by-client): nil means
+// the write may be acknowledged.
+func (g *leaseGuard) checkWrite() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.deposed {
+		return fmt.Errorf("promipsd: write refused, deposed by failover epoch %d: %w",
+			g.peerEpoch, promips.ErrStalePrimary)
+	}
+	if g.d > 0 && g.attached && time.Now().After(g.deadline) {
+		return errLeaseExpired
+	}
+	return nil
+}
+
+// expired reports whether the guard is currently fencing writes (stats).
+func (g *leaseGuard) expired() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.deposed || (g.d > 0 && g.attached && time.Now().After(g.deadline))
+}

@@ -18,16 +18,34 @@
 // deployment guard, not a conversion; shard counts are fixed at build
 // time (promipsctl build -shards K).
 //
-// With -follow PRIMARY_DIR the server runs as a read-only replica: -dir
-// is bootstrapped from a snapshot of the primary's directory (when it
-// does not already hold one) and then converges by tailing the primary's
-// write-ahead journals every -poll, re-snapshotting across Save/Compact
-// epochs. Search endpoints serve the replicated state; updates get 403
-// with code "read_only". GET /v1/stats reports the replication watermarks
-// and lag. When the primary dies, POST /v1/promote fails the replica over
-// in place: the poll loop stops, the remaining journal tails are drained,
-// the manifest epoch is fenced against the old primary's resurrection,
-// and the same process starts accepting writes as the new primary.
+// With -follow PRIMARY the server runs as a read-only replica. PRIMARY is
+// either a directory on a shared filesystem or another promipsd's base URL
+// (http://host:port) — with a URL the replica needs no filesystem in
+// common with its primary: bootstrap snapshots, journal tails and epoch
+// refreshes all ship over the primary's /v1/repl/* endpoints, CRC-checked
+// and stamped with the failover epoch. -dir is bootstrapped from a
+// primary snapshot (when it does not already hold one) and then converges
+// by tailing the primary's write-ahead journals every -poll (backing off
+// exponentially while the primary is unreachable), re-snapshotting across
+// Save/Compact epochs. Search endpoints serve the replicated state;
+// updates get 403 with code "read_only". GET /v1/stats reports the
+// replication watermarks, lag and consecutive poll failures.
+//
+// Failover is manual by default: when the primary dies, POST /v1/promote
+// fails the replica over in place — the poll loop stops, the remaining
+// journal tails are drained, the manifest epoch is fenced against the old
+// primary's resurrection, and the same process starts accepting writes as
+// the new primary (and starts serving /v1/repl/* for the next replica).
+// With -auto-promote (URL-followed primaries only) a supervisor does this
+// unattended: after -suspect consecutive poll failures AND a failed
+// liveness probe it quarantines the primary — no pulls, so no lease
+// renewals — and promotes only after a full request-timeout plus -lease
+// plus margin of continued silence. A primary started with -lease fences
+// its own write path (503/lease_expired) when no follower has pulled for
+// that long, which is what makes the unattended promotion safe: by the
+// time the new primary can acknowledge a write, the partitioned old one
+// has already been refusing them (see DESIGN.md for the argument). Both
+// sides should use the same -lease value.
 //
 // Admission is bounded: at most -searchq searches and -updateq updates run
 // at once; excess requests get 429 + Retry-After instead of queuing without
@@ -48,6 +66,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,75 +74,122 @@ import (
 	"promips/shard"
 )
 
+// replRequestTimeout bounds one replication pull over HTTP (τ in the
+// failover fencing argument: no pull the follower has given up on can
+// still reach the primary after this much quarantine).
+const replRequestTimeout = 5 * time.Second
+
+// runConfig carries main's flags into run.
+type runConfig struct {
+	dir, addr                string
+	timeout, drain           time.Duration
+	searchq, updateq, shards int
+	follow                   string // primary dir or base URL
+	poll                     time.Duration
+	autoPromote              bool
+	lease                    time.Duration
+	suspect                  int
+}
+
 func main() {
-	var (
-		dir     = flag.String("dir", "", "index directory (required; create one with promipsctl build)")
-		addr    = flag.String("addr", "127.0.0.1:7845", "listen address")
-		timeout = flag.Duration("timeout", 5*time.Second, "default and maximum per-request deadline")
-		searchq = flag.Int("searchq", 64, "max concurrent search requests before 429")
-		updateq = flag.Int("updateq", 64, "max concurrent update requests before 429")
-		drain   = flag.Duration("drain", 10*time.Second, "shutdown grace for in-flight requests")
-		shards  = flag.Int("shards", 0, "assert the index has exactly this shard count (0 = no assertion)")
-		follow  = flag.String("follow", "", "run as a read-only replica of this primary index directory")
-		poll    = flag.Duration("poll", 500*time.Millisecond, "replication poll interval (with -follow)")
-	)
+	var cfg runConfig
+	flag.StringVar(&cfg.dir, "dir", "", "index directory (required; create one with promipsctl build)")
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7845", "listen address")
+	flag.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "default and maximum per-request deadline")
+	flag.IntVar(&cfg.searchq, "searchq", 64, "max concurrent search requests before 429")
+	flag.IntVar(&cfg.updateq, "updateq", 64, "max concurrent update requests before 429")
+	flag.DurationVar(&cfg.drain, "drain", 10*time.Second, "shutdown grace for in-flight requests")
+	flag.IntVar(&cfg.shards, "shards", 0, "assert the index has exactly this shard count (0 = no assertion)")
+	flag.StringVar(&cfg.follow, "follow", "", "run as a read-only replica of this primary (index directory or promipsd base URL)")
+	flag.DurationVar(&cfg.poll, "poll", 500*time.Millisecond, "replication poll interval (with -follow)")
+	flag.BoolVar(&cfg.autoPromote, "auto-promote", false, "promote automatically when the followed primary dies (requires -follow URL)")
+	flag.DurationVar(&cfg.lease, "lease", 0, "replication write lease: a primary fences writes when no follower pulled for this long; a follower waits it out before auto-promoting (0 = disabled)")
+	flag.IntVar(&cfg.suspect, "suspect", 3, "consecutive poll failures before the primary is suspected dead (with -auto-promote)")
 	flag.Parse()
-	if *dir == "" {
+	if cfg.dir == "" {
 		fmt.Fprintln(os.Stderr, "promipsd: -dir is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*dir, *addr, *timeout, *searchq, *updateq, *drain, *shards, *follow, *poll); err != nil {
+	if cfg.autoPromote && !isURL(cfg.follow) {
+		fmt.Fprintln(os.Stderr, "promipsd: -auto-promote requires -follow with a primary base URL (the supervisor probes its /healthz)")
+		os.Exit(2)
+	}
+	if err := run(cfg); err != nil {
 		log.Fatalf("promipsd: %v", err)
 	}
 }
 
+func isURL(s string) bool {
+	return strings.HasPrefix(s, "http://") || strings.HasPrefix(s, "https://")
+}
+
+// urlOrEmpty returns primary when it is a probeable base URL, "" for a
+// directory (no liveness endpoint to probe).
+func urlOrEmpty(primary string) string {
+	if isURL(primary) {
+		return strings.TrimRight(primary, "/")
+	}
+	return ""
+}
+
 // openIndex resolves -dir (and -follow / -shards) into the serving index
 // and reports whether shutdown should Save it.
-func openIndex(dir string, shards int, follow string, poll time.Duration, ctx context.Context) (ix index, saveOnExit bool, err error) {
-	if follow != "" {
-		f, err := openFollower(dir, follow, poll, ctx)
+func openIndex(cfg runConfig) (ix index, saveOnExit bool, err error) {
+	if cfg.follow != "" {
+		f, err := openFollower(cfg.dir, cfg.follow)
 		if err != nil {
 			return nil, false, err
 		}
-		if shards > 0 && f.Shards() != shards {
+		if cfg.shards > 0 && f.Shards() != cfg.shards {
 			f.Close()
-			return nil, false, fmt.Errorf("-shards %d asserted but replica has %d", shards, f.Shards())
+			return nil, false, fmt.Errorf("-shards %d asserted but replica has %d", cfg.shards, f.Shards())
 		}
 		return f, false, nil
 	}
-	if shard.IsSharded(dir) {
-		six, err := shard.Open(dir)
+	if shard.IsSharded(cfg.dir) {
+		six, err := shard.Open(cfg.dir)
 		if err != nil {
-			return nil, false, fmt.Errorf("open sharded %s: %w", dir, err)
+			return nil, false, fmt.Errorf("open sharded %s: %w", cfg.dir, err)
 		}
-		if shards > 0 && six.Shards() != shards {
+		if cfg.shards > 0 && six.Shards() != cfg.shards {
 			six.Close()
-			return nil, false, fmt.Errorf("-shards %d asserted but %s has %d", shards, dir, six.Shards())
+			return nil, false, fmt.Errorf("-shards %d asserted but %s has %d", cfg.shards, cfg.dir, six.Shards())
 		}
-		log.Printf("opened %s: %d shards", dir, six.Shards())
+		log.Printf("opened %s: %d shards", cfg.dir, six.Shards())
 		return six, true, nil
 	}
-	if shards > 1 {
-		return nil, false, fmt.Errorf("-shards %d asserted but %s is not a sharded index (build one with promipsctl build -shards)", shards, dir)
+	if cfg.shards > 1 {
+		return nil, false, fmt.Errorf("-shards %d asserted but %s is not a sharded index (build one with promipsctl build -shards)", cfg.shards, cfg.dir)
 	}
-	uix, err := promips.Open(dir)
+	uix, err := promips.Open(cfg.dir)
 	if err != nil {
-		return nil, false, fmt.Errorf("open %s: %w", dir, err)
+		return nil, false, fmt.Errorf("open %s: %w", cfg.dir, err)
 	}
 	return uix, true, nil
 }
 
-// openFollower bootstraps (if needed) and opens the replica, converges it
-// once, and starts the poll loop, which stops when ctx is cancelled.
-func openFollower(dir, primary string, poll time.Duration, ctx context.Context) (*shard.Follower, error) {
+// replSource builds the replication transport for -follow: an HTTP source
+// against another promipsd's base URL, or the shared-filesystem source
+// for a directory.
+func replSource(primary string) shard.ReplSource {
+	if isURL(primary) {
+		return shard.NewHTTPSource(primary, shard.WithRequestTimeout(replRequestTimeout))
+	}
+	return shard.NewDirSource(primary)
+}
+
+// openFollower bootstraps (if needed) and opens the replica and converges
+// it once. The poll loop is the supervisor's, started by run.
+func openFollower(dir, primary string) (*shard.Follower, error) {
+	src := replSource(primary)
 	if !shard.IsSharded(dir) {
 		log.Printf("replica %s is empty: snapshotting %s", dir, primary)
-		if err := shard.Snapshot(primary, dir); err != nil {
+		if err := shard.SnapshotFrom(src, dir); err != nil {
 			return nil, err
 		}
 	}
-	f, err := shard.OpenFollower(dir, primary)
+	f, err := shard.OpenFollowerFrom(dir, src)
 	if err != nil {
 		return nil, err
 	}
@@ -132,24 +198,10 @@ func openFollower(dir, primary string, poll time.Duration, ctx context.Context) 
 	}
 	lag, _ := f.Lag()
 	log.Printf("following %s: %d shards, %d live points, lag %d", primary, f.Shards(), f.LiveCount(), lag)
-	go func() {
-		t := time.NewTicker(poll)
-		defer t.Stop()
-		for {
-			select {
-			case <-ctx.Done():
-				return
-			case <-t.C:
-				if _, err := f.Poll(); err != nil {
-					log.Printf("replication poll: %v", err)
-				}
-			}
-		}
-	}()
 	return f, nil
 }
 
-func run(dir, addr string, timeout time.Duration, searchq, updateq int, drain time.Duration, shards int, follow string, poll time.Duration) error {
+func run(cfg runConfig) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -158,28 +210,40 @@ func run(dir, addr string, timeout time.Duration, searchq, updateq int, drain ti
 	pollCtx, stopPoll := context.WithCancel(ctx)
 	defer stopPoll()
 
-	ix, saveOnExit, err := openIndex(dir, shards, follow, poll, pollCtx)
+	ix, saveOnExit, err := openIndex(cfg)
 	if err != nil {
 		return err
 	}
 	rec := ix.Recovery()
-	log.Printf("serving %s: %d live points, dim %d (journal replayed %d)", dir, ix.LiveCount(), ix.Dim(), rec.Replayed)
+	log.Printf("serving %s: %d live points, dim %d (journal replayed %d)", cfg.dir, ix.LiveCount(), ix.Dim(), rec.Replayed)
 
 	h := newServer(ix, serverConfig{
-		requestTimeout: timeout,
-		searchSlots:    searchq,
-		updateSlots:    updateq,
+		requestTimeout: cfg.timeout,
+		searchSlots:    cfg.searchq,
+		updateSlots:    cfg.updateq,
+		leaseDur:       cfg.lease,
 	})
 	h.stopPoll = stopPoll
+	switch f := ix.(type) {
+	case *shard.Follower:
+		// The supervisor owns polling (with failure backoff) and, when
+		// -auto-promote is set, the quarantine-then-promote failover.
+		sup := newSupervisor(f, h, cfg.poll, urlOrEmpty(cfg.follow), cfg.autoPromote, cfg.lease, cfg.suspect)
+		go sup.run(pollCtx)
+	case *shard.Index:
+		// A sharded primary serves the replication wire (and, with -lease,
+		// fences its writes on replication silence).
+		h.enableRepl(cfg.dir)
+	}
 	srv := &http.Server{
-		Addr:              addr,
+		Addr:              cfg.addr,
 		Handler:           h,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
 	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", addr)
+		log.Printf("listening on %s", cfg.addr)
 		serveErr <- srv.ListenAndServe()
 	}()
 
@@ -195,8 +259,8 @@ func run(dir, addr string, timeout time.Duration, searchq, updateq int, drain ti
 	// A follower has nothing of its own to save — its tree mirrors the
 	// primary — so it only closes; unless it was promoted mid-run, in which
 	// case the served index IS a primary now and saves like one.
-	log.Printf("shutting down: draining for up to %s", drain)
-	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	log.Printf("shutting down: draining for up to %s", cfg.drain)
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Printf("drain incomplete: %v", err)

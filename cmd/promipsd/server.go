@@ -35,6 +35,7 @@ type index interface {
 	Dim() int
 	M() int
 	JournalLen() int
+	JournalPoisoned() bool
 	CacheStats() promips.CacheStats
 	Recovery() promips.RecoveryStats
 }
@@ -50,6 +51,12 @@ type serverConfig struct {
 	// without limit, so a burst degrades loudly instead of accumulating
 	// latency. Zero slots reject everything (useful in tests).
 	searchSlots, updateSlots int
+	// leaseDur enables lease-fenced writes when a primary serves
+	// replication: every follower pull re-arms a leaseDur fence, and a
+	// primary whose fence lapses refuses writes (503/lease_expired) until
+	// a follower pulls again. 0 disables expiry; deposition by a higher
+	// failover epoch is enforced regardless.
+	leaseDur time.Duration
 }
 
 // server wires an index behind promipsd's HTTP/JSON endpoints. The served
@@ -73,6 +80,14 @@ type server struct {
 	stopPoll  func()
 	promoteMu sync.Mutex
 	promoted  atomic.Bool
+
+	// lease fences the write path of a replicated primary (nil until
+	// enableRepl). pollFails mirrors the supervisor's consecutive poll
+	// failure count into /v1/stats. replOn guards the one-shot /v1/repl/
+	// mux registration (a promoted follower mounts it mid-run).
+	lease     atomic.Pointer[leaseGuard]
+	pollFails atomic.Int64
+	replOn    atomic.Bool
 }
 
 // cur returns the currently served index.
@@ -132,6 +147,43 @@ func newServer(ix index, cfg serverConfig) *server {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// enableRepl mounts the replication wire for the primary tree at dir and
+// arms its lease guard. Called at startup for a primary, and again (for
+// the replica's own directory) when a follower promotes — at most once
+// per process; later calls are ignored.
+func (s *server) enableRepl(dir string) {
+	if !s.replOn.CompareAndSwap(false, true) {
+		return
+	}
+	s.lease.Store(newLeaseGuard(dir, s.cfg.leaseDur))
+	s.mux.Handle("GET /v1/repl/", shard.NewReplHandler(dir, s.replPull))
+}
+
+// replPull vets one replication pull: only a writable sharded primary
+// serves history, and every served pull renews the write lease — or
+// deposes this primary, if the peer's lineage epoch proves a completed
+// failover elsewhere.
+func (s *server) replPull(peer int64) error {
+	ix, ok := s.cur().(*shard.Index)
+	if !ok {
+		return errors.New("not serving a writable sharded primary")
+	}
+	if g := s.lease.Load(); g != nil {
+		return g.served(peer, ix.Epoch())
+	}
+	return nil
+}
+
+// writeAllowed gates the update path behind the lease fence (no-op for
+// unreplicated primaries and for followers, whose mutators refuse on
+// their own).
+func (s *server) writeAllowed() error {
+	if g := s.lease.Load(); g != nil {
+		return g.checkWrite()
+	}
+	return nil
+}
+
 // reqCtx derives the request's working context: the server's configured
 // timeout, shortened (never extended) by the request's timeout_ms.
 func (s *server) reqCtx(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
@@ -160,6 +212,10 @@ func statusFor(err error) (status int, code string, retryable bool) {
 		return http.StatusServiceUnavailable, client.CodeClosed, false
 	case errors.Is(err, promips.ErrReadOnlyReplica):
 		return http.StatusForbidden, client.CodeReadOnly, false
+	case errors.Is(err, promips.ErrStalePrimary):
+		return http.StatusConflict, client.CodeStalePrimary, false
+	case errors.Is(err, errLeaseExpired):
+		return http.StatusServiceUnavailable, client.CodeLeaseExpired, true
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout, client.CodeDeadline, true
 	default:
@@ -297,6 +353,10 @@ func (s *server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer s.updateGate.Leave()
+		if err := s.writeAllowed(); err != nil {
+			writeErr(w, err)
+			return
+		}
 		// Insert has no ctx parameter: durability is bounded by the journal's
 		// group commit, not by a scan. The request deadline still applies to
 		// admission (the gate) — an insert that entered is run to completion,
@@ -322,6 +382,10 @@ func (s *server) handleDelete(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer s.updateGate.Leave()
+		if err := s.writeAllowed(); err != nil {
+			writeErr(w, err)
+			return
+		}
 		deleted, err := s.cur().DeleteChecked(req.ID)
 		if err != nil {
 			writeErr(w, err)
@@ -337,6 +401,18 @@ func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.updateGate.Leave()
+	// Save is deliberately NOT lease-fenced: it persists already-acknowledged
+	// state without adding records, and it is the recovery action for a
+	// poisoned journal — fencing it would wedge a partitioned primary.
+	// Deposition still blocks it (a deposed primary must stop moving its
+	// journal epochs, or its followers-of-record would refresh onto a
+	// fenced lineage).
+	if g := s.lease.Load(); g != nil {
+		if err := g.checkWrite(); errors.Is(err, promips.ErrStalePrimary) {
+			writeErr(w, err)
+			return
+		}
+	}
 	if err := s.cur().Save(); err != nil {
 		writeErr(w, err)
 		return
@@ -352,32 +428,53 @@ func (s *server) handleSave(w http.ResponseWriter, r *http.Request) {
 // success; promoting a server that was never a follower answers
 // 409/not_follower.
 func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	err := s.promoteNow("manual /v1/promote")
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, struct{}{})
+	case errors.Is(err, errNotFollower):
+		writeJSON(w, http.StatusConflict, client.ErrorBody{
+			Error: "this server is not running a follower replica",
+			Code:  client.CodeNotFollower,
+		})
+	default:
+		writeErr(w, err)
+	}
+}
+
+// errNotFollower: promotion asked of a server that never ran a follower.
+var errNotFollower = errors.New("not a follower")
+
+// promoteNow is the promotion core, shared by the /v1/promote handler and
+// the auto-failover supervisor: stop the poll loop, drain what remains of
+// the dead primary's journals, fence the epoch, swap the served index in
+// place, and start serving replication (with a fresh lease guard) for the
+// new lineage so surviving replicas can re-point here. Idempotent: once
+// this process has promoted, later calls succeed as no-ops (a retried
+// promote's ack may have been lost in flight).
+func (s *server) promoteNow(why string) error {
 	s.promoteMu.Lock()
 	defer s.promoteMu.Unlock()
 	f, ok := s.cur().(*shard.Follower)
 	if !ok {
 		if s.promoted.Load() {
-			writeJSON(w, http.StatusOK, struct{}{})
-			return
+			return nil
 		}
-		writeJSON(w, http.StatusConflict, client.ErrorBody{
-			Error: "this server is not running a follower replica",
-			Code:  client.CodeNotFollower,
-		})
-		return
+		return errNotFollower
 	}
 	if s.stopPoll != nil {
 		s.stopPoll() // no new polls; an in-flight one serializes with Promote
 	}
 	promoted, err := shard.Promote(f)
 	if err != nil {
-		writeErr(w, err)
-		return
+		return err
 	}
 	s.setCur(promoted)
 	s.promoted.Store(true)
-	log.Printf("promoted: serving as primary at epoch %d (%d live points)", promoted.Epoch(), promoted.LiveCount())
-	writeJSON(w, http.StatusOK, struct{}{})
+	s.pollFails.Store(0)
+	s.enableRepl(promoted.Dir())
+	log.Printf("promoted (%s): serving as primary at epoch %d (%d live points)", why, promoted.Epoch(), promoted.LiveCount())
+	return nil
 }
 
 // handleReadyz is the readiness probe — distinct from /healthz liveness: a
@@ -386,7 +483,21 @@ func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
 // acknowledged state. A primary (including a freshly promoted one) is
 // ready whenever it is serving.
 func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	if f, ok := s.cur().(*shard.Follower); ok {
+	cur := s.cur()
+	// A primary whose journal writer is poisoned acknowledges nothing: it
+	// is alive (healthz) and can serve reads, but a load balancer routing
+	// writes here gets only 503s until a Save heals the journal. Surface
+	// that at readiness, with the same pacing hint the write path sends.
+	if _, isFollower := cur.(*shard.Follower); !isFollower && cur.JournalPoisoned() {
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, client.ErrorBody{
+			Error:     "not ready: journal poisoned; updates refused until a save heals it",
+			Code:      client.CodeJournalPoisoned,
+			Retryable: true,
+		})
+		return
+	}
+	if f, ok := cur.(*shard.Follower); ok {
 		lag, err := f.Lag()
 		if err != nil {
 			writeJSON(w, http.StatusServiceUnavailable, client.ErrorBody{
@@ -427,8 +538,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Epoch = ix.Epoch()
 		resp.ReadOnly = true
 		rep := &client.ReplicationStats{
-			Watermarks: ix.Watermarks(),
-			Refreshes:  ix.Refreshes(),
+			Watermarks:          ix.Watermarks(),
+			Refreshes:           ix.Refreshes(),
+			ConsecutiveFailures: s.pollFails.Load(),
+			Source:              ix.Source(),
 		}
 		if lag, err := ix.Lag(); err == nil {
 			rep.Lag = lag

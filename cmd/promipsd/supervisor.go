@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"log"
+	"math/rand"
+	"net/http"
+	"time"
+
+	"promips"
+	"promips/shard"
+)
+
+// supervisor owns a follower's replication poll loop — and, with
+// -auto-promote, the failure detector that turns the follower into the
+// new primary when the old one dies.
+//
+// Polling backs off on failure: consecutive failed rounds double the
+// interval (with jitter, capped) instead of hammering a dead or choking
+// primary at tick cadence, and one success snaps back to the configured
+// -poll. The consecutive-failure count is surfaced in /v1/stats.
+//
+// Automatic failover is deliberately slower than detection. A primary is
+// SUSPECT after -suspect consecutive poll failures AND a failed liveness
+// probe (GET /healthz on the primary's base URL — only URL-followed
+// primaries can auto-promote). A suspect primary is not promoted over
+// immediately: the supervisor first QUARANTINES it — stops pulling, which
+// stops granting lease renewals — and keeps probing for τ+D+margin (τ =
+// the replication source's per-request timeout, D = -lease). If the
+// primary answers during quarantine, it was a partition or a stall, not a
+// death: the supervisor stands down and resumes pulling. Only when the
+// primary stays dark through the full window does it drain the remaining
+// journal tails and run shard.Promote. The window is what makes the
+// promotion safe: any write lease the old primary could still hold was
+// granted by a pull that started before quarantine began, so it expires
+// at least margin before the promotion commits (the dual-primary argument
+// in DESIGN.md).
+type supervisor struct {
+	f    *shard.Follower
+	srv  *server
+	poll time.Duration
+
+	primaryURL string        // liveness probe target; "" when following a directory
+	auto       bool          // -auto-promote
+	lease      time.Duration // D: must be ≥ the primary's -lease
+	suspectN   int64         // consecutive failures before suspicion
+	reqTimeout time.Duration // τ: bounds one in-flight pull
+	hc         *http.Client
+}
+
+func newSupervisor(f *shard.Follower, srv *server, poll time.Duration, primaryURL string, auto bool, lease time.Duration, suspectN int) *supervisor {
+	if suspectN < 1 {
+		suspectN = 1
+	}
+	return &supervisor{
+		f:          f,
+		srv:        srv,
+		poll:       poll,
+		primaryURL: primaryURL,
+		auto:       auto,
+		lease:      lease,
+		suspectN:   int64(suspectN),
+		reqTimeout: replRequestTimeout,
+		hc:         &http.Client{},
+	}
+}
+
+// backoffFor returns the jittered, capped exponential delay after n
+// consecutive failures: poll·2^(n-1) capped at 32·poll (never above 10s),
+// uniformly jittered into [d/2, d] so restarted replicas do not probe a
+// recovering primary in lockstep.
+func (s *supervisor) backoffFor(n int64) time.Duration {
+	d := s.poll
+	for i := int64(1); i < n && d < 32*s.poll && d < 10*time.Second; i++ {
+		d *= 2
+	}
+	if m := 32 * s.poll; d > m {
+		d = m
+	}
+	if d > 10*time.Second {
+		d = 10 * time.Second
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// primaryAlive probes the primary's liveness endpoint. Only meaningful
+// for URL-followed primaries.
+func (s *supervisor) primaryAlive() bool {
+	if s.primaryURL == "" {
+		return false
+	}
+	probeTimeout := s.reqTimeout
+	if probeTimeout > 2*time.Second {
+		probeTimeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.primaryURL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// run drives the poll loop until ctx is cancelled (shutdown, or a manual
+// /v1/promote) or an auto-promotion completes.
+func (s *supervisor) run(ctx context.Context) {
+	delay := s.poll
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(delay):
+		}
+		_, err := s.f.Poll()
+		if err == nil {
+			s.srv.pollFails.Store(0)
+			delay = s.poll
+			continue
+		}
+		if errors.Is(err, promips.ErrClosed) {
+			return // promoted out from under us via /v1/promote
+		}
+		n := s.srv.pollFails.Add(1)
+		delay = s.backoffFor(n)
+		log.Printf("replication poll: %v (consecutive failures: %d, next attempt in %s)", err, n, delay.Round(time.Millisecond))
+		if s.auto && n >= s.suspectN && !s.primaryAlive() {
+			if s.failover(ctx) {
+				return
+			}
+			// The primary resurfaced during quarantine: stand down.
+			s.srv.pollFails.Store(0)
+			delay = s.poll
+		}
+	}
+}
+
+// failover quarantines the suspect primary and, if it stays dark for the
+// full fencing window, promotes this follower. Returns true when the
+// supervisor should exit (promotion happened or shutdown began), false
+// to resume following.
+func (s *supervisor) failover(ctx context.Context) bool {
+	margin := s.poll
+	if margin < 250*time.Millisecond {
+		margin = 250 * time.Millisecond
+	}
+	wait := s.reqTimeout + s.lease + margin
+	log.Printf("failover: primary %s suspect; quarantining for %s (τ=%s + lease=%s + margin=%s) before promotion",
+		s.primaryURL, wait.Round(time.Millisecond), s.reqTimeout, s.lease, margin.Round(time.Millisecond))
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	probeEvery := margin
+	for {
+		select {
+		case <-ctx.Done():
+			return true
+		case <-deadline.C:
+			if err := s.srv.promoteNow("auto-failover"); err != nil {
+				log.Printf("failover: promotion failed: %v", err)
+				return false
+			}
+			return true
+		case <-time.After(probeEvery):
+			// No pulls in quarantine — pulling would re-grant the lease we
+			// are waiting out. Liveness probes only.
+			if s.primaryAlive() {
+				log.Printf("failover: primary %s answered during quarantine; standing down", s.primaryURL)
+				return false
+			}
+		}
+	}
+}

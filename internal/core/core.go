@@ -467,6 +467,15 @@ func (ix *Index) JournalLen() int {
 	return n
 }
 
+// JournalPoisoned reports whether the update journal is refusing
+// acknowledgements (ErrJournalPoisoned) until a Save heals it. False when
+// the journal is disabled.
+func (ix *Index) JournalPoisoned() bool {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.journal != nil && ix.journal.Poisoned()
+}
+
 // Recovery reports what the journal replay at Open recovered. Zero for a
 // freshly built index.
 func (ix *Index) Recovery() RecoveryStats { return ix.recovery }

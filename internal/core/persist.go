@@ -344,15 +344,42 @@ func (ix *Index) applyRecords(recs []wal.Record) (applied, skipped int, err erro
 // (ErrCorruptIndex); an apply error means the log skips ahead of this
 // replica's state — it missed an epoch and must re-snapshot.
 func (ix *Index) ApplyWALBytes(b []byte) (applied, skipped, records int, err error) {
-	recs, _, err := wal.Decode(b)
+	applied, skipped, records, _, err = ix.ApplyWALChunk(b, false)
+	return applied, skipped, records, err
+}
+
+// ApplyWALChunk replays a chunk of another index's journal read from an
+// arbitrary byte offset — the resumable-offset form of ApplyWALBytes that
+// network WAL shipping pulls through. cont=false means the chunk starts at
+// the top of the file (magic header included, byte offset 0); cont=true
+// means it is a headerless record suffix resuming from a record boundary.
+// bytes is the length of the valid prefix consumed from b — the caller
+// advances its replication offset by exactly that much and re-requests
+// from there, so a chunk torn in flight (truncated mid-record) costs
+// nothing but a re-fetch of the torn tail. records counts the complete
+// records decoded from this chunk (not the whole file).
+func (ix *Index) ApplyWALChunk(b []byte, cont bool) (applied, skipped, records int, bytes int64, err error) {
+	var recs []wal.Record
+	if cont {
+		recs, bytes, err = wal.DecodeRecords(b)
+	} else {
+		recs, bytes, err = wal.Decode(b)
+	}
 	if err != nil {
-		return 0, 0, 0, fmt.Errorf("core: replicated journal: %w", err)
+		return 0, 0, 0, 0, fmt.Errorf("core: replicated journal: %w", err)
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
 	if ix.closed {
-		return 0, 0, len(recs), errs.ErrClosed
+		return 0, 0, len(recs), 0, errs.ErrClosed
 	}
 	applied, skipped, err = ix.applyRecords(recs)
-	return applied, skipped, len(recs), err
+	if err != nil {
+		// A partial apply leaves the offset unusable (some of the chunk's
+		// records landed, the rest did not decode into this state): report
+		// zero consumed so the caller treats the shard as needing a refresh
+		// rather than resuming mid-chunk.
+		return applied, skipped, len(recs), 0, err
+	}
+	return applied, skipped, len(recs), bytes, nil
 }

@@ -248,15 +248,30 @@ func Decode(b []byte) ([]Record, int64, error) {
 			return nil, 0, fmt.Errorf("wal: bad magic: %w", errs.ErrCorruptIndex)
 		}
 	}
+	recs, validLen, err := DecodeRecords(b[headerLen:])
+	return recs, headerLen + validLen, err
+}
+
+// DecodeRecords parses a headerless record sequence — journal bytes
+// starting at any record boundary past the file header. This is the wire
+// format network WAL shipping resumes from: a replica that has applied the
+// first N bytes of a primary's journal requests the suffix from byte
+// offset N, and the chunk it gets back is exactly such a sequence. The
+// torn-tail taxonomy is Decode's, unchanged: a chunk truncated mid-record
+// (the network analogue of a crash tear) keeps its valid prefix and
+// validLen tells the caller where to resume, while checksum-valid garbage
+// is errs.ErrCorruptIndex. validLen is relative to the start of b.
+func DecodeRecords(b []byte) ([]Record, int64, error) {
+	n := int64(len(b))
 	var recs []Record
-	off := int64(headerLen)
-	for off < int64(n) {
-		if off+recHdrLen > int64(n) {
+	var off int64
+	for off < n {
+		if off+recHdrLen > n {
 			break // torn record header
 		}
 		crc := binary.LittleEndian.Uint32(b[off:])
 		plen := int64(binary.LittleEndian.Uint32(b[off+4:]))
-		if plen < 5 || plen > maxPayload || off+recHdrLen+plen > int64(n) {
+		if plen < 5 || plen > maxPayload || off+recHdrLen+plen > n {
 			break // torn length field or torn payload
 		}
 		payload := b[off+recHdrLen : off+recHdrLen+plen]
@@ -519,6 +534,17 @@ func (j *Journal) flush() error {
 // Open plus appended since, minus Resets; pending records included). Len
 // is safe to call concurrently with any other method.
 func (j *Journal) Len() int { return int(j.count.Load()) }
+
+// Poisoned reports whether the journal is refusing acknowledgements
+// (see Poison) — the readiness signal promipsd's /v1/readyz surfaces for a
+// primary: a poisoned journal means writes bounce with ErrJournalPoisoned
+// until a Save heals it, so the node is alive but not ready for update
+// traffic. Safe to call concurrently with any other method.
+func (j *Journal) Poisoned() bool {
+	j.gmu.Lock()
+	defer j.gmu.Unlock()
+	return j.bad != nil
+}
 
 // Poison puts the journal in the failed state: every Append (and every
 // WaitDurable for a not-yet-durable LSN) returns ErrJournalPoisoned

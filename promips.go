@@ -411,6 +411,12 @@ type WALApply struct {
 	// replica's LSN watermark into the shipped log (a torn trailing record
 	// is not counted; it was never acknowledged by the primary).
 	Records int
+	// Bytes is the length of the valid prefix consumed from the passed
+	// chunk — the replication byte offset advances by exactly this much,
+	// so a chunk torn in flight costs only a re-fetch of its tail. Zero
+	// when the apply failed partway (the offset is no longer resumable and
+	// the shard must re-snapshot).
+	Bytes int64
 }
 
 // ApplyWAL replays a shipped copy of another index's write-ahead journal
@@ -425,8 +431,19 @@ type WALApply struct {
 // epoch and must re-snapshot); the successfully applied prefix stays
 // applied.
 func (ix *Index) ApplyWAL(b []byte) (WALApply, error) {
-	applied, skipped, records, err := ix.inner.ApplyWALBytes(b)
-	return WALApply{Applied: applied, Skipped: skipped, Records: records}, err
+	return ix.ApplyWALChunk(b, false)
+}
+
+// ApplyWALChunk is ApplyWAL for a journal read from an arbitrary byte
+// offset — the resumable form network WAL shipping uses. cont=false means
+// b starts at the top of the journal file (header included); cont=true
+// means b is a headerless record suffix resuming from a record boundary
+// (what a primary serves for a tail request at offset N > 0). The torn-tail
+// taxonomy is unchanged: a chunk truncated in flight keeps its valid
+// prefix, and WALApply.Bytes tells the caller where to resume.
+func (ix *Index) ApplyWALChunk(b []byte, cont bool) (WALApply, error) {
+	applied, skipped, records, bytes, err := ix.inner.ApplyWALChunk(b, cont)
+	return WALApply{Applied: applied, Skipped: skipped, Records: records, Bytes: bytes}, err
 }
 
 // Insert adds a point to the index and returns its id. Inserted points
@@ -462,6 +479,12 @@ func (ix *Index) DeleteChecked(id uint32) (bool, error) { return ix.inner.Delete
 // Compact fold them into the persisted metadata and empty the journal; 0
 // also when the journal is disabled (FsyncDisabled).
 func (ix *Index) JournalLen() int { return ix.inner.JournalLen() }
+
+// JournalPoisoned reports whether the write-ahead journal is refusing
+// acknowledgements: updates bounce with ErrJournalPoisoned until a
+// successful Save heals the journal through the metadata path. promipsd's
+// /v1/readyz uses it to mark a primary alive-but-not-ready for writes.
+func (ix *Index) JournalPoisoned() bool { return ix.inner.JournalPoisoned() }
 
 // RecoveryStats reports what the journal replay at Open recovered; see
 // core.RecoveryStats.

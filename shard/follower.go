@@ -3,8 +3,8 @@ package shard
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -16,25 +16,27 @@ import (
 	"promips/internal/wal"
 )
 
-// Follower is a read-only replica of a sharded primary, kept on a
-// separate directory tree and converged by two mechanisms:
+// Follower is a read-only replica of a sharded primary, converged through
+// a ReplSource — a shared filesystem (NewDirSource) or a primary
+// promipsd's /v1/repl/* endpoints (NewHTTPSource) — by two mechanisms:
 //
 //   - Journal tailing (the fast path): every Poll reads each primary
-//     shard's live write-ahead journal bytes and replays them through the
-//     same idempotent path crash recovery uses (promips.Index.ApplyWAL).
-//     The journal's clean-truncation rule makes mid-append reads safe — a
-//     torn trailing record is ignored and picked up whole next round —
-//     and re-shipping the entire file every round is a no-op for records
-//     already applied. Nothing is re-journaled locally.
+//     shard's live write-ahead journal bytes from the replica's resumable
+//     byte offset and replays them through the same idempotent path crash
+//     recovery uses (promips.Index.ApplyWALChunk). The journal's
+//     clean-truncation rule makes mid-append (and mid-transfer) reads
+//     safe — a torn trailing record is ignored and picked up whole next
+//     round — and replaying an already-applied record is a no-op. Nothing
+//     is re-journaled locally.
 //
 //   - Snapshot refresh (the slow path): a primary Save or Compact starts
 //     a new journal epoch (Save empties the journal into the metadata;
 //     Compact also rewrites ids), which journal replay alone cannot
 //     cross. Poll detects an epoch change — the shard's CURRENT pointer
 //     or persisted metadata differs from what this replica's state was
-//     built on, or the journal skips ahead of the replica — and re-copies
-//     that shard's directory from the primary wholesale, then resumes
-//     tailing. Refreshes counts these.
+//     built on, or the journal skips ahead of (or shrinks under) the
+//     replica — and re-copies that shard's tree from the source
+//     wholesale, then resumes tailing. Refreshes counts these.
 //
 // The replica answers Search/SearchBatch/Exact with the same fan-out
 // merge as the primary. Mutating operations return ErrReadOnlyReplica.
@@ -55,10 +57,9 @@ import (
 // time: Poll is serialized internally; reads run concurrently with it
 // except during a shard swap.
 type Follower struct {
-	dir        string    // replica root (this follower owns it)
-	primaryDir string    // primary root (read-only)
-	fs         fsutil.FS // seam for primary-side reads (fault injection)
-	epoch      int64     // lineage epoch fence (see ErrStalePrimary)
+	dir   string     // replica root (this follower owns it)
+	src   ReplSource // replication transport to the primary
+	epoch int64      // lineage epoch fence (see ErrStalePrimary)
 
 	mu       sync.RWMutex // guards children swaps (refresh) vs reads
 	children []*promips.Index
@@ -74,11 +75,14 @@ type Follower struct {
 
 // followMark pins the primary-side state a replica shard was built from:
 // the shard's CURRENT content and metadata fingerprint identify the
-// journal epoch, records is the LSN watermark into that epoch's journal.
+// journal epoch, records is the LSN watermark into that epoch's journal
+// and walOff the byte offset the next TailWAL resumes from (the two
+// always describe the same decode boundary).
 type followMark struct {
 	current string
 	metaSum [sha256.Size]byte
 	records int
+	walOff  int64
 }
 
 // Snapshot copies a sharded primary's directory tree into replicaDir —
@@ -87,38 +91,39 @@ type followMark struct {
 // at OpenFollower (or by the first Poll's refresh) rather than silently
 // served. replicaDir must not exist or be empty.
 func Snapshot(primaryDir, replicaDir string) error {
-	if _, _, err := readManifest(fsutil.OS, primaryDir); err != nil {
-		return fmt.Errorf("shard: snapshot source: %w", err)
-	}
-	if err := copyTree(primaryDir, replicaDir); err != nil {
-		return fmt.Errorf("shard: snapshot: %w", err)
-	}
-	return nil
+	return SnapshotFrom(NewDirSource(primaryDir), replicaDir)
 }
 
 // OpenFollower opens replicaDir — a Snapshot of (or a previous follower
-// state for) the primary at primaryDir — as a read-only replica. Each
-// shard reopens through the normal recovery path, so the snapshot's own
-// journal records are folded in; convergence marks are initialized from
-// the replica's files, which makes a follower restart safe: whatever the
-// previous process had applied beyond its snapshot is simply re-applied
-// from the primary's journal on the first Poll (replay is idempotent).
+// state for) the primary at primaryDir — as a read-only replica tailing
+// the primary over the shared filesystem.
 func OpenFollower(replicaDir, primaryDir string) (*Follower, error) {
+	return OpenFollowerFrom(replicaDir, NewDirSource(primaryDir))
+}
+
+// OpenFollowerFrom opens replicaDir as a read-only replica converging
+// from src. Each shard reopens through the normal recovery path, so the
+// snapshot's own journal records are folded in; convergence marks are
+// initialized from the replica's files, which makes a follower restart
+// safe: whatever the previous process had applied beyond its snapshot is
+// simply re-applied from the primary's journal on the first Poll (replay
+// is idempotent). The follower owns src and closes it on Close.
+func OpenFollowerFrom(replicaDir string, src ReplSource) (*Follower, error) {
 	k, epoch, err := readManifest(fsutil.OS, replicaDir)
 	if err != nil {
 		return nil, fmt.Errorf("shard: open follower: %w", err)
 	}
-	if pk, pepoch, err := readManifest(fsutil.OS, primaryDir); err == nil {
+	if pk, pepoch, err := src.Manifest(); err == nil {
 		if pk != k {
 			return nil, fmt.Errorf("shard: open follower: replica has %d shards, primary %s has %d: %w",
-				k, primaryDir, pk, promips.ErrCorruptIndex)
+				k, src, pk, promips.ErrCorruptIndex)
 		}
 		// Epoch fence: a primary below this replica's lineage epoch is a
 		// resurrected pre-failover primary — refusing it here is what makes
 		// the epoch bump in Promote an actual fence.
 		if pepoch < epoch {
 			return nil, fmt.Errorf("shard: open follower: primary %s at epoch %d, replica at %d: %w",
-				primaryDir, pepoch, epoch, promips.ErrStalePrimary)
+				src, pepoch, epoch, promips.ErrStalePrimary)
 		}
 		if pepoch > epoch {
 			// The primary is a promoted lineage ahead of this snapshot;
@@ -127,13 +132,13 @@ func OpenFollower(replicaDir, primaryDir string) (*Follower, error) {
 		}
 	}
 	f := &Follower{
-		dir:        replicaDir,
-		primaryDir: primaryDir,
-		fs:         fsutil.OS,
-		epoch:      epoch,
-		children:   make([]*promips.Index, 0, k),
-		marks:      make([]followMark, k),
+		dir:      replicaDir,
+		src:      src,
+		epoch:    epoch,
+		children: make([]*promips.Index, 0, k),
+		marks:    make([]followMark, k),
 	}
+	f.stampSource()
 	for s := 0; s < k; s++ {
 		childDir := filepath.Join(replicaDir, shardDirName(s))
 		child, err := promips.Open(childDir)
@@ -152,10 +157,25 @@ func OpenFollower(replicaDir, primaryDir string) (*Follower, error) {
 	return f, nil
 }
 
+// peerEpochSetter is implemented by sources that attach the follower's
+// lineage epoch to every request (the HTTP source), so a primary that has
+// been overtaken by a promotion learns it from the next pull and
+// self-fences instead of keeping its write path open.
+type peerEpochSetter interface{ SetPeerEpoch(epoch int64) }
+
+// stampSource tells an epoch-aware source the lineage epoch this replica
+// currently follows under. Caller holds pollMu (or is still constructing).
+func (f *Follower) stampSource() {
+	if ps, ok := f.src.(peerEpochSetter); ok {
+		ps.SetPeerEpoch(f.epoch)
+	}
+}
+
 // Poll converges the replica one round: for every shard, refresh from a
 // primary snapshot if the shard's journal epoch changed (Save/Compact on
-// the primary), otherwise ship and replay the primary's current journal
-// bytes. Returns the number of new records applied this round.
+// the primary), otherwise ship and replay the primary's journal bytes
+// from the shard's resumable offset. Returns the number of new records
+// applied this round.
 //
 // Per-shard errors are isolated, not fatal to the round: a shard whose
 // primary-side read fails transiently is skipped — its watermark and
@@ -164,9 +184,10 @@ func OpenFollower(replicaDir, primaryDir string) (*Follower, error) {
 // the next Poll retries the skipped shard from the same watermark. Two
 // errors do abort the round up front: ErrStalePrimary (the primary's
 // manifest epoch fell below this replica's lineage — a resurrected
-// pre-failover primary whose journals must not be applied) and ErrClosed
-// after Promote consumed this follower. Poll calls are serialized; reads
-// stay concurrent except during a shard swap.
+// pre-failover primary whose journals must not be applied; per-shard
+// reads also refuse responses stamped with a stale epoch mid-stream) and
+// ErrClosed after Promote consumed this follower. Poll calls are
+// serialized; reads stay concurrent except during a shard swap.
 func (f *Follower) Poll() (applied int, err error) {
 	f.pollMu.Lock()
 	defer f.pollMu.Unlock()
@@ -188,46 +209,63 @@ func (f *Follower) Poll() (applied int, err error) {
 }
 
 // fenceEpoch re-reads the primary's manifest epoch and enforces the
-// lineage fence. A missing or unreadable primary manifest is not an error
-// here (the per-shard reads will surface real problems); an epoch below
-// ours is ErrStalePrimary, an epoch above ours is adopted. Caller holds
-// pollMu.
+// lineage fence. A transiently unreadable primary manifest is not an
+// error here (the per-shard reads will surface real problems) — unless
+// the source itself reports ErrStalePrimary, which IS the fence firing.
+// An epoch below ours is ErrStalePrimary, an epoch above ours is adopted.
+// Caller holds pollMu.
 func (f *Follower) fenceEpoch() error {
-	_, pepoch, err := readManifest(f.fs, f.primaryDir)
+	_, pepoch, err := f.src.Manifest()
 	if err != nil {
+		if errors.Is(err, promips.ErrStalePrimary) {
+			return fmt.Errorf("shard: poll: %w", err)
+		}
 		return nil
 	}
 	if pepoch < f.epoch {
 		return fmt.Errorf("shard: poll: primary at epoch %d, replica at %d: %w",
 			pepoch, f.epoch, promips.ErrStalePrimary)
 	}
-	f.epoch = pepoch
+	if pepoch > f.epoch {
+		f.epoch = pepoch
+		f.stampSource()
+	}
 	return nil
 }
 
 // pollShard converges one shard. Caller holds pollMu.
 func (f *Follower) pollShard(s int) (int, error) {
-	primDir := filepath.Join(f.primaryDir, shardDirName(s))
-	cur, gen, metaSum, err := epochOf(f.fs, primDir)
+	st, err := f.src.ShardState(s)
 	if err != nil {
 		return 0, err
+	}
+	if staleStamp(st.Epoch, f.epoch) {
+		return 0, errStaleStamp("shard state", st.Epoch, f.epoch)
 	}
 	f.mu.RLock()
 	mark := f.marks[s]
 	child := f.children[s]
 	f.mu.RUnlock()
-	if cur != mark.current || metaSum != mark.metaSum {
+	if st.Current != mark.current || st.MetaSum != mark.metaSum {
 		// New journal epoch: the primary saved (journal folded into meta —
 		// meta fingerprint moves even when CURRENT does not, e.g. a
 		// delete-only epoch) or compacted (CURRENT names a new
 		// generation). Journal replay cannot cross an epoch; re-snapshot.
 		return 0, f.refreshShard(s)
 	}
-	walB, err := f.fs.ReadFile(filepath.Join(primDir, filepath.FromSlash(gen), "wal.log"))
-	if err != nil && !os.IsNotExist(err) {
+	chunk, err := f.src.TailWAL(s, mark.walOff)
+	if err != nil {
 		return 0, err
 	}
-	res, err := child.ApplyWAL(walB)
+	if staleStamp(chunk.Epoch, f.epoch) {
+		return 0, errStaleStamp("wal chunk", chunk.Epoch, f.epoch)
+	}
+	if chunk.Size < mark.walOff {
+		// The journal shrank under us: a Save/Compact truncated it between
+		// the fingerprint read and the tail read. Re-snapshot.
+		return 0, f.refreshShard(s)
+	}
+	res, err := child.ApplyWALChunk(chunk.Data, mark.walOff > 0)
 	if err != nil {
 		// The journal skips ahead of this replica (it missed an epoch
 		// boundary between our two reads) or cannot be decoded against
@@ -235,21 +273,21 @@ func (f *Follower) pollShard(s int) (int, error) {
 		return 0, f.refreshShard(s)
 	}
 	f.mu.Lock()
-	f.marks[s].records = res.Records
+	f.marks[s].records += res.Records
+	f.marks[s].walOff += res.Bytes
 	f.mu.Unlock()
 	return res.Applied, nil
 }
 
 // refreshShard replaces replica shard s with a fresh copy of the
 // primary's. The new copy is opened BEFORE the old child is swapped out,
-// so a torn copy (primary saving mid-walk) leaves the old shard serving
-// and the next Poll retries.
+// so a torn copy (primary saving mid-walk, transport cut mid-stream)
+// leaves the old shard serving and the next Poll retries.
 func (f *Follower) refreshShard(s int) error {
 	final := filepath.Join(f.dir, shardDirName(s))
 	tmp := final + ".refresh"
 	os.RemoveAll(tmp)
-	primDir := filepath.Join(f.primaryDir, shardDirName(s))
-	if err := copyTree(primDir, tmp); err != nil {
+	if err := f.src.SnapshotShard(s, tmp); err != nil {
 		os.RemoveAll(tmp)
 		return fmt.Errorf("refresh copy: %w", err)
 	}
@@ -294,8 +332,8 @@ func (f *Follower) Watermarks() []int64 {
 }
 
 // Lag measures how far this replica trails the primary, in acknowledged
-// journal records summed over shards: primary records present on disk now
-// minus this replica's watermarks. 0 means converged as of the read; a
+// journal records summed over shards: primary records present now minus
+// this replica's watermarks. 0 means converged as of the read; a
 // negative component is clamped (the primary started a new epoch the
 // replica has not polled yet — the true lag is unknown until it does).
 func (f *Follower) Lag() (int64, error) {
@@ -305,20 +343,11 @@ func (f *Follower) Lag() (int64, error) {
 	f.mu.RUnlock()
 	var lag int64
 	for s, m := range marks {
-		primDir := filepath.Join(f.primaryDir, shardDirName(s))
-		_, gen, _, err := epochOf(f.fs, primDir)
+		st, err := f.src.ShardState(s)
 		if err != nil {
 			return 0, fmt.Errorf("shard: lag shard %d: %w", s, err)
 		}
-		walB, err := f.fs.ReadFile(filepath.Join(primDir, filepath.FromSlash(gen), "wal.log"))
-		if err != nil && !os.IsNotExist(err) {
-			return 0, fmt.Errorf("shard: lag shard %d: %w", s, err)
-		}
-		n, err := wal.CountRecords(walB)
-		if err != nil {
-			return 0, fmt.Errorf("shard: lag shard %d: %w", s, err)
-		}
-		if d := int64(n) - int64(m.records); d > 0 {
+		if d := st.WALRecords - int64(m.records); d > 0 {
 			lag += d
 		}
 	}
@@ -371,17 +400,18 @@ func (f *Follower) Save() error {
 	return fmt.Errorf("shard: save: %w", promips.ErrReadOnlyReplica)
 }
 
-// Close releases every replica shard. The replica directory is kept: a
-// restarted follower reopens it and catches up from the primary's
-// journals instead of re-copying everything. After Promote, Close is a
-// no-op: the children now belong to the promoted Index, whose own Close
-// releases them.
+// Close releases every replica shard and the replication source. The
+// replica directory is kept: a restarted follower reopens it and catches
+// up from the primary's journals instead of re-copying everything. After
+// Promote, Close is a no-op: the children now belong to the promoted
+// Index, whose own Close releases them.
 func (f *Follower) Close() error {
 	f.pollMu.Lock()
 	defer f.pollMu.Unlock()
 	if f.promoted {
 		return nil
 	}
+	f.src.Close()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.closeChildrenLocked()
@@ -420,8 +450,8 @@ func (f *Follower) Epoch() int64 {
 // Dir returns the replica's directory.
 func (f *Follower) Dir() string { return f.dir }
 
-// PrimaryDir returns the primary directory this follower tails.
-func (f *Follower) PrimaryDir() string { return f.primaryDir }
+// Source names the replication source this follower converges from.
+func (f *Follower) Source() string { return f.src.String() }
 
 // Len returns the total disk-resident points in the replica's state.
 func (f *Follower) Len() int { f.mu.RLock(); defer f.mu.RUnlock(); return sumLen(f.children) }
@@ -444,6 +474,21 @@ func (f *Follower) JournalLens() []int {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	return journalLens(f.children)
+}
+
+// JournalPoisoned reports whether any replica shard's journal writer is
+// poisoned. Replica journals only grow by snapshot copy, so this is
+// normally always false; it exists so promipsd can serve one readiness
+// surface for both roles.
+func (f *Follower) JournalPoisoned() bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, c := range f.children {
+		if c.JournalPoisoned() {
+			return true
+		}
+	}
+	return false
 }
 
 // Recovery sums what every replica shard's journal replay recovered.
@@ -488,62 +533,25 @@ func epochOf(fsys fsutil.FS, shardDir string) (current, gen string, metaSum [sha
 }
 
 // markOf builds the convergence mark for a replica shard directory: its
-// own epoch fingerprint plus its journal's record count. Immediately
-// after a snapshot these equal the primary's at copy time; on a follower
-// restart they pin whatever state the replica durably holds, so the next
-// Poll resumes (or refreshes) from the right place.
+// own epoch fingerprint plus its journal's record count and valid byte
+// length (the resumable tail offset — the replica's journal is a
+// byte-for-byte prefix of the primary's for the same epoch, so its valid
+// length IS the primary-side offset to resume from). Immediately after a
+// snapshot these equal the primary's at copy time; on a follower restart
+// they pin whatever state the replica durably holds, so the next Poll
+// resumes (or refreshes) from the right place.
 func markOf(shardDir string) (followMark, error) {
 	current, gen, metaSum, err := epochOf(fsutil.OS, shardDir)
 	if err != nil {
 		return followMark{}, err
 	}
-	walB, err := os.ReadFile(filepath.Join(shardDir, gen, "wal.log"))
+	walB, err := os.ReadFile(filepath.Join(shardDir, filepath.FromSlash(gen), "wal.log"))
 	if err != nil && !os.IsNotExist(err) {
 		return followMark{}, err
 	}
-	n, err := wal.CountRecords(walB)
+	recs, validLen, err := wal.Decode(walB)
 	if err != nil {
 		return followMark{}, err
 	}
-	return followMark{current: current, metaSum: metaSum, records: n}, nil
-}
-
-// copyTree copies the regular files of a directory tree. Symlinks and
-// other specials are rejected — index directories contain none.
-func copyTree(src, dst string) error {
-	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
-		if err != nil {
-			return err
-		}
-		rel, err := filepath.Rel(src, path)
-		if err != nil {
-			return err
-		}
-		target := filepath.Join(dst, rel)
-		switch {
-		case info.IsDir():
-			return os.MkdirAll(target, 0o755)
-		case info.Mode().IsRegular():
-			return copyFile(path, target)
-		default:
-			return fmt.Errorf("copy %s: unsupported file type %v", path, info.Mode().Type())
-		}
-	})
-}
-
-func copyFile(src, dst string) error {
-	in, err := os.Open(src)
-	if err != nil {
-		return err
-	}
-	defer in.Close()
-	out, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return err
-	}
-	if _, err := io.Copy(out, in); err != nil {
-		out.Close()
-		return err
-	}
-	return out.Close()
+	return followMark{current: current, metaSum: metaSum, records: len(recs), walOff: validLen}, nil
 }

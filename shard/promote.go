@@ -45,7 +45,7 @@ func Promote(f *Follower) (*Index, error) {
 		_, _ = f.pollShard(s)
 	}
 	newEpoch := f.epoch + 1
-	if _, pepoch, err := readManifest(f.fs, f.primaryDir); err == nil && pepoch+1 > newEpoch {
+	if _, pepoch, err := f.src.Manifest(); err == nil && pepoch+1 > newEpoch {
 		newEpoch = pepoch + 1
 	}
 	f.mu.Lock()
@@ -60,6 +60,7 @@ func Promote(f *Follower) (*Index, error) {
 	}
 	f.promoted = true
 	f.epoch = newEpoch
+	f.src.Close() // the dead primary's transport is no longer needed
 	return &Index{
 		dir:      f.dir,
 		fs:       fsutil.OS,

@@ -170,7 +170,7 @@ func TestPollIsolatesTransientReadFault(t *testing.T) {
 	// Poll's read order: 1 = primary manifest (fence — a failure there is
 	// tolerated), 2 = shard 0's CURRENT. Failing read 2 transiently makes
 	// shard 0's round fail while shard 1 still converges.
-	f.fs = &fsutil.FaultFS{FailAt: 2, FailReads: true}
+	f.src.(*dirSource).fs = &fsutil.FaultFS{FailAt: 2, FailReads: true}
 	applied, err := f.Poll()
 	if !errors.Is(err, fsutil.ErrInjected) {
 		t.Fatalf("poll with injected read fault: got %v, want ErrInjected", err)

@@ -1,0 +1,538 @@
+package shard
+
+import (
+	"archive/tar"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"promips"
+	"promips/internal/fsutil"
+)
+
+// The network replication wire. A primary promipsd mounts NewReplHandler
+// under /v1/repl/ and a follower pulls through NewHTTPSource — the same
+// four reads the shared-filesystem dirSource performs, as four GETs:
+//
+//	GET /v1/repl/manifest          → {"shards":K,"epoch":E}
+//	GET /v1/repl/manifest?shard=S  → one shard's ShardState (JSON)
+//	GET /v1/repl/wal?shard=S&off=N → raw journal bytes from offset N
+//	GET /v1/repl/snapshot?shard=S  → tar stream of the shard's tree
+//
+// The wal body is the journal's own on-disk format (the file header for
+// off=0, a bare record sequence past it), so wal.Decode's torn-tail
+// taxonomy applies to the wire unchanged. Every response is stamped with
+// the primary's failover epoch (X-Promips-Epoch) and integrity-checked:
+// wal chunks carry a CRC-32C header, snapshots a CRC-32C HTTP trailer
+// computed over the tar stream. Requests carry the follower's lineage
+// epoch (X-Promips-Peer-Epoch) so a deposed primary learns of its own
+// succession from the next pull and fences itself; a fenced primary
+// answers 409, which the source surfaces as ErrStalePrimary.
+const (
+	ReplPathManifest = "/v1/repl/manifest"
+	ReplPathWAL      = "/v1/repl/wal"
+	ReplPathSnapshot = "/v1/repl/snapshot"
+
+	// ReplHeaderEpoch stamps every response with the primary's failover
+	// epoch at serve time.
+	ReplHeaderEpoch = "X-Promips-Epoch"
+	// ReplHeaderPeerEpoch carries the follower's lineage epoch on requests.
+	ReplHeaderPeerEpoch = "X-Promips-Peer-Epoch"
+	// ReplHeaderWALSize reports the journal's total byte size on wal reads.
+	ReplHeaderWALSize = "X-Promips-Wal-Size"
+	// ReplHeaderCrc carries the CRC-32C (Castagnoli, hex) of the response
+	// body — a header on wal chunks, an HTTP trailer on snapshot streams.
+	ReplHeaderCrc = "X-Promips-Crc32c"
+)
+
+var replCrcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// replManifest is the manifest endpoint's JSON body.
+type replManifest struct {
+	Shards int   `json:"shards"`
+	Epoch  int64 `json:"epoch"`
+}
+
+// replState is the per-shard state endpoint's JSON body.
+type replState struct {
+	Current    string `json:"current"`
+	Gen        string `json:"gen"`
+	MetaSum    string `json:"meta_sum"` // hex sha256
+	WALRecords int64  `json:"wal_records"`
+	WALSize    int64  `json:"wal_size"`
+	Epoch      int64  `json:"epoch"`
+}
+
+// ReplGuard vets one replication pull before any bytes are served.
+// peerEpoch is the follower's lineage epoch from the request
+// (UnstampedEpoch when the request carries none). Returning an error
+// wrapping promips.ErrStalePrimary refuses the pull with 409 — the
+// deposed-primary fence; any other error refuses it with 503. promipsd
+// threads its lease renewal and self-deposition through this hook.
+type ReplGuard func(peerEpoch int64) error
+
+// NewReplHandler serves the replication wire for the primary index tree
+// at dir. guard (optional) runs before every response; see ReplGuard.
+// Mount the returned handler under /v1/repl/ — it matches the Repl* paths
+// exactly and answers GET only.
+func NewReplHandler(dir string, guard ReplGuard) http.Handler {
+	h := &replHandler{src: &dirSource{dir: dir, fs: fsutil.OS}, guard: guard}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+ReplPathManifest, h.manifest)
+	mux.HandleFunc("GET "+ReplPathWAL, h.wal)
+	mux.HandleFunc("GET "+ReplPathSnapshot, h.snapshot)
+	h.mux = mux
+	return h
+}
+
+type replHandler struct {
+	src   *dirSource
+	guard ReplGuard
+	mux   *http.ServeMux
+}
+
+func (h *replHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.guard != nil {
+		peer := UnstampedEpoch
+		if v := r.Header.Get(ReplHeaderPeerEpoch); v != "" {
+			e, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				http.Error(w, "bad "+ReplHeaderPeerEpoch, http.StatusBadRequest)
+				return
+			}
+			peer = e
+		}
+		if err := h.guard(peer); err != nil {
+			code := http.StatusServiceUnavailable
+			if errors.Is(err, promips.ErrStalePrimary) {
+				code = http.StatusConflict
+			}
+			http.Error(w, err.Error(), code)
+			return
+		}
+	}
+	h.mux.ServeHTTP(w, r)
+}
+
+// shardParam parses the required ?shard=S and bounds-checks it.
+func (h *replHandler) shardParam(w http.ResponseWriter, r *http.Request) (int, int64, bool) {
+	k, epoch, err := h.src.Manifest()
+	if err != nil {
+		http.Error(w, "manifest: "+err.Error(), http.StatusServiceUnavailable)
+		return 0, 0, false
+	}
+	s, err := strconv.Atoi(r.URL.Query().Get("shard"))
+	if err != nil || s < 0 || s >= k {
+		http.Error(w, "bad shard parameter", http.StatusBadRequest)
+		return 0, 0, false
+	}
+	return s, epoch, true
+}
+
+func (h *replHandler) manifest(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Has("shard") {
+		h.state(w, r)
+		return
+	}
+	k, epoch, err := h.src.Manifest()
+	if err != nil {
+		http.Error(w, "manifest: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set(ReplHeaderEpoch, strconv.FormatInt(epoch, 10))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(replManifest{Shards: k, Epoch: epoch})
+}
+
+func (h *replHandler) state(w http.ResponseWriter, r *http.Request) {
+	s, epoch, ok := h.shardParam(w, r)
+	if !ok {
+		return
+	}
+	st, err := h.src.ShardState(s)
+	if err != nil {
+		http.Error(w, "shard state: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set(ReplHeaderEpoch, strconv.FormatInt(epoch, 10))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(replState{
+		Current:    st.Current,
+		Gen:        st.Gen,
+		MetaSum:    hex.EncodeToString(st.MetaSum[:]),
+		WALRecords: st.WALRecords,
+		WALSize:    st.WALSize,
+		Epoch:      epoch,
+	})
+}
+
+func (h *replHandler) wal(w http.ResponseWriter, r *http.Request) {
+	s, epoch, ok := h.shardParam(w, r)
+	if !ok {
+		return
+	}
+	off, err := strconv.ParseInt(r.URL.Query().Get("off"), 10, 64)
+	if err != nil || off < 0 {
+		http.Error(w, "bad off parameter", http.StatusBadRequest)
+		return
+	}
+	chunk, err := h.src.TailWAL(s, off)
+	if err != nil {
+		http.Error(w, "wal tail: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set(ReplHeaderEpoch, strconv.FormatInt(epoch, 10))
+	w.Header().Set(ReplHeaderWALSize, strconv.FormatInt(chunk.Size, 10))
+	w.Header().Set(ReplHeaderCrc, strconv.FormatUint(uint64(crc32.Checksum(chunk.Data, replCrcTable)), 16))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(chunk.Data)
+}
+
+func (h *replHandler) snapshot(w http.ResponseWriter, r *http.Request) {
+	s, epoch, ok := h.shardParam(w, r)
+	if !ok {
+		return
+	}
+	shardDir := filepath.Join(h.src.dir, shardDirName(s))
+	w.Header().Set(ReplHeaderEpoch, strconv.FormatInt(epoch, 10))
+	w.Header().Set("Content-Type", "application/x-tar")
+	w.Header().Set("Trailer", ReplHeaderCrc)
+	crc := crc32.New(replCrcTable)
+	tw := tar.NewWriter(io.MultiWriter(w, crc))
+	err := filepath.Walk(shardDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(shardDir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			return nil
+		}
+		rel = filepath.ToSlash(rel)
+		switch {
+		case info.IsDir():
+			return tw.WriteHeader(&tar.Header{Name: rel + "/", Typeflag: tar.TypeDir, Mode: 0o755})
+		case info.Mode().IsRegular():
+			if err := tw.WriteHeader(&tar.Header{Name: rel, Typeflag: tar.TypeReg, Mode: 0o644, Size: info.Size()}); err != nil {
+				return err
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			// CopyN pins the copy to the header's size: a file appended to
+			// mid-walk (the live journal) ships a clean prefix instead of
+			// corrupting the stream; a file truncated mid-walk errors and
+			// the torn stream fails the client's open-before-swap.
+			_, err = io.CopyN(tw, f, info.Size())
+			return err
+		default:
+			return fmt.Errorf("snapshot %s: unsupported file type %v", rel, info.Mode().Type())
+		}
+	})
+	if err != nil {
+		// Headers are gone; tearing the stream is the only signal left.
+		// The client's tar read or CRC check fails and the refresh retries.
+		return
+	}
+	if err := tw.Close(); err != nil {
+		return
+	}
+	w.Header().Set(ReplHeaderCrc, strconv.FormatUint(uint64(crc.Sum32()), 16))
+}
+
+// HTTPSource is the network ReplSource: it performs dirSource's reads as
+// GETs against a primary promipsd's /v1/repl/ endpoints, so the follower
+// needs no filesystem in common with its primary. Every request carries a
+// deadline; wal chunks and snapshot streams are CRC-verified end to end
+// (a torn transfer is detected and retried from the same offset, never
+// applied); responses stamped with an epoch below the follower's lineage
+// are refused as ErrStalePrimary. Safe for one poller plus concurrent
+// Lag() readers, like the Follower that owns it.
+type HTTPSource struct {
+	base        string
+	hc          *http.Client
+	reqTimeout  time.Duration // manifest/state/wal reads
+	snapTimeout time.Duration // whole-shard snapshot streams
+	peerEpoch   atomic.Int64  // follower lineage, sent with every request
+}
+
+// HTTPSourceOption configures NewHTTPSource.
+type HTTPSourceOption func(*HTTPSource)
+
+// WithHTTPClient substitutes the underlying client (chaos harnesses
+// inject faulty transports here).
+func WithHTTPClient(hc *http.Client) HTTPSourceOption {
+	return func(s *HTTPSource) { s.hc = hc }
+}
+
+// WithRequestTimeout bounds each metadata/wal request (default 10s).
+func WithRequestTimeout(d time.Duration) HTTPSourceOption {
+	return func(s *HTTPSource) { s.reqTimeout = d }
+}
+
+// WithSnapshotTimeout bounds each whole-shard snapshot stream (default 2m).
+func WithSnapshotTimeout(d time.Duration) HTTPSourceOption {
+	return func(s *HTTPSource) { s.snapTimeout = d }
+}
+
+// NewHTTPSource returns a ReplSource pulling from the primary promipsd at
+// baseURL (e.g. "http://db1:7600").
+func NewHTTPSource(baseURL string, opts ...HTTPSourceOption) *HTTPSource {
+	s := &HTTPSource{
+		base:        strings.TrimRight(baseURL, "/"),
+		hc:          &http.Client{},
+		reqTimeout:  10 * time.Second,
+		snapTimeout: 2 * time.Minute,
+	}
+	s.peerEpoch.Store(UnstampedEpoch)
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// SetPeerEpoch records the follower's lineage epoch; subsequent requests
+// carry it so the primary can fence itself when overtaken. The Follower
+// calls this on open and whenever it adopts a higher epoch.
+func (s *HTTPSource) SetPeerEpoch(epoch int64) { s.peerEpoch.Store(epoch) }
+
+// get issues one GET with a deadline and classifies the status: 200
+// returns the response (caller closes the body), 409 is the deposed- or
+// stale-primary fence (ErrStalePrimary), anything else is a transient
+// transport error the poll loop retries.
+func (s *HTTPSource) get(path string, q url.Values, timeout time.Duration) (*http.Response, context.CancelFunc, error) {
+	u := s.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if e := s.peerEpoch.Load(); e != UnstampedEpoch {
+		req.Header.Set(ReplHeaderPeerEpoch, strconv.FormatInt(e, 10))
+	}
+	resp, err := s.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return resp, cancel, nil
+	case http.StatusConflict:
+		msg := readBodyLine(resp.Body)
+		resp.Body.Close()
+		cancel()
+		return nil, nil, fmt.Errorf("shard: %s: primary refused pull (%s): %w", path, msg, promips.ErrStalePrimary)
+	default:
+		msg := readBodyLine(resp.Body)
+		resp.Body.Close()
+		cancel()
+		return nil, nil, fmt.Errorf("shard: %s: %s (%s)", path, resp.Status, msg)
+	}
+}
+
+// readBodyLine drains at most the first line of an error body for logs.
+func readBodyLine(r io.Reader) string {
+	b, _ := io.ReadAll(io.LimitReader(r, 256))
+	line, _, _ := strings.Cut(strings.TrimSpace(string(b)), "\n")
+	return line
+}
+
+// respEpoch parses the response's epoch stamp; a missing stamp is
+// UnstampedEpoch (an old or foreign server — the manifest fence still
+// applies).
+func respEpoch(resp *http.Response) int64 {
+	v := resp.Header.Get(ReplHeaderEpoch)
+	if v == "" {
+		return UnstampedEpoch
+	}
+	e, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return UnstampedEpoch
+	}
+	return e
+}
+
+func (s *HTTPSource) Manifest() (int, int64, error) {
+	resp, cancel, err := s.get(ReplPathManifest, nil, s.reqTimeout)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	var m replManifest
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&m); err != nil {
+		return 0, 0, fmt.Errorf("shard: repl manifest decode: %w", err)
+	}
+	if m.Shards <= 0 || m.Shards > maxShards {
+		return 0, 0, fmt.Errorf("shard: repl manifest: shard count %d out of range: %w", m.Shards, promips.ErrCorruptIndex)
+	}
+	return m.Shards, m.Epoch, nil
+}
+
+func (s *HTTPSource) ShardState(shardN int) (ShardState, error) {
+	q := url.Values{"shard": {strconv.Itoa(shardN)}}
+	resp, cancel, err := s.get(ReplPathManifest, q, s.reqTimeout)
+	if err != nil {
+		return ShardState{}, err
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	var st replState
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&st); err != nil {
+		return ShardState{}, fmt.Errorf("shard: repl state decode: %w", err)
+	}
+	sum, err := hex.DecodeString(st.MetaSum)
+	if err != nil || len(sum) != sha256.Size {
+		return ShardState{}, fmt.Errorf("shard: repl state: bad meta_sum %q", st.MetaSum)
+	}
+	out := ShardState{
+		Current:    st.Current,
+		Gen:        st.Gen,
+		WALRecords: st.WALRecords,
+		WALSize:    st.WALSize,
+		Epoch:      st.Epoch,
+	}
+	copy(out.MetaSum[:], sum)
+	return out, nil
+}
+
+func (s *HTTPSource) TailWAL(shardN int, off int64) (WALChunk, error) {
+	q := url.Values{"shard": {strconv.Itoa(shardN)}, "off": {strconv.FormatInt(off, 10)}}
+	resp, cancel, err := s.get(ReplPathWAL, q, s.reqTimeout)
+	if err != nil {
+		return WALChunk{}, err
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return WALChunk{}, fmt.Errorf("shard: repl wal read: %w", err)
+	}
+	if v := resp.Header.Get(ReplHeaderCrc); v != "" {
+		want, err := strconv.ParseUint(v, 16, 32)
+		if err != nil {
+			return WALChunk{}, fmt.Errorf("shard: repl wal: bad crc header %q", v)
+		}
+		if got := crc32.Checksum(data, replCrcTable); uint64(got) != want {
+			return WALChunk{}, fmt.Errorf("shard: repl wal: crc mismatch (%08x != %08x): torn chunk", got, want)
+		}
+	}
+	size, err := strconv.ParseInt(resp.Header.Get(ReplHeaderWALSize), 10, 64)
+	if err != nil {
+		return WALChunk{}, fmt.Errorf("shard: repl wal: bad %s header", ReplHeaderWALSize)
+	}
+	return WALChunk{Data: data, Size: size, Epoch: respEpoch(resp)}, nil
+}
+
+func (s *HTTPSource) SnapshotShard(shardN int, dst string) error {
+	q := url.Values{"shard": {strconv.Itoa(shardN)}}
+	resp, cancel, err := s.get(ReplPathSnapshot, q, s.snapTimeout)
+	if err != nil {
+		return err
+	}
+	defer cancel()
+	defer resp.Body.Close()
+	if err := untarTree(resp.Body, dst, resp); err != nil {
+		os.RemoveAll(dst)
+		return err
+	}
+	return nil
+}
+
+// untarTree extracts a snapshot tar stream into dst, CRC-checking the
+// stream against the server's trailer. Entry names are confined to dst
+// (a hostile or corrupted stream cannot escape it).
+func untarTree(body io.Reader, dst string, resp *http.Response) error {
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return err
+	}
+	crc := crc32.New(replCrcTable)
+	tr := tar.NewReader(io.TeeReader(body, crc))
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("shard: repl snapshot: torn tar stream: %w", err)
+		}
+		name := filepath.FromSlash(hdr.Name)
+		if !filepath.IsLocal(name) {
+			return fmt.Errorf("shard: repl snapshot: non-local entry %q: %w", hdr.Name, promips.ErrCorruptIndex)
+		}
+		target := filepath.Join(dst, name)
+		switch hdr.Typeflag {
+		case tar.TypeDir:
+			if err := os.MkdirAll(target, 0o755); err != nil {
+				return err
+			}
+		case tar.TypeReg:
+			if err := os.MkdirAll(filepath.Dir(target), 0o755); err != nil {
+				return err
+			}
+			f, err := os.OpenFile(target, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+			if err != nil {
+				return err
+			}
+			if _, err := io.Copy(f, tr); err != nil {
+				f.Close()
+				return fmt.Errorf("shard: repl snapshot: torn tar entry %q: %w", hdr.Name, err)
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("shard: repl snapshot: unsupported entry type %d for %q: %w", hdr.Typeflag, hdr.Name, promips.ErrCorruptIndex)
+		}
+	}
+	// Drain the trailing tar padding so the CRC covers the whole stream
+	// and the HTTP trailer becomes visible.
+	if _, err := io.Copy(io.Discard, io.TeeReader(body, crc)); err != nil {
+		return fmt.Errorf("shard: repl snapshot: drain: %w", err)
+	}
+	if v := resp.Trailer.Get(ReplHeaderCrc); v != "" {
+		want, err := strconv.ParseUint(v, 16, 32)
+		if err != nil {
+			return fmt.Errorf("shard: repl snapshot: bad crc trailer %q", v)
+		}
+		if got := crc.Sum32(); uint64(got) != want {
+			return fmt.Errorf("shard: repl snapshot: crc mismatch (%08x != %08x): torn stream", got, want)
+		}
+	} else {
+		// No trailer means the server tore the stream after headers (its
+		// walk failed) or a proxy dropped it; the tar reader usually
+		// catches the tear first, but an unluckily clean cut must not
+		// install silently.
+		return fmt.Errorf("shard: repl snapshot: stream ended without crc trailer")
+	}
+	return nil
+}
+
+func (s *HTTPSource) String() string { return s.base }
+
+func (s *HTTPSource) Close() error {
+	s.hc.CloseIdleConnections()
+	return nil
+}

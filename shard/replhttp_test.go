@@ -1,0 +1,279 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"promips"
+)
+
+// startHTTPFollower serves primary's tree over the replication wire and
+// bootstraps a follower from it with NO shared filesystem access: the
+// snapshot, every poll, and every lag read go through HTTP.
+func startHTTPFollower(t *testing.T, primary *Index, opts ...HTTPSourceOption) (*Follower, *HTTPSource) {
+	t.Helper()
+	ts := httptest.NewServer(NewReplHandler(primary.Dir(), nil))
+	t.Cleanup(ts.Close)
+	src := NewHTTPSource(ts.URL, opts...)
+	replicaDir := filepath.Join(t.TempDir(), "replica")
+	if err := SnapshotFrom(src, replicaDir); err != nil {
+		t.Fatalf("snapshot over http: %v", err)
+	}
+	f, err := OpenFollowerFrom(replicaDir, src)
+	if err != nil {
+		t.Fatalf("open follower over http: %v", err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f, src
+}
+
+// TestHTTPFollowerConverges: a follower with HTTP-only access to its
+// primary — no shared directory — bootstraps, tails live updates to
+// Lag()==0 with byte-identical search results, and crosses both a Save
+// epoch and a Compact epoch via snapshot refresh over the wire.
+func TestHTTPFollowerConverges(t *testing.T) {
+	r := rand.New(rand.NewSource(411))
+	data := randData(r, 120, 8)
+	probes := randData(r, 3, 8)
+	primary := buildPrimary(t, data, 3)
+	f, _ := startHTTPFollower(t, primary)
+	assertConverged(t, primary, f, probes)
+
+	// Live tailing: records ship from the resumable offset, no refresh.
+	for _, v := range randData(r, 20, 8) {
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !primary.Delete(3) || !primary.Delete(77) {
+		t.Fatal("primary delete failed")
+	}
+	if _, err := f.Poll(); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	if got := f.Refreshes(); got != 0 {
+		t.Fatalf("tailing round refreshed %d shards, want 0 (offset resume broken)", got)
+	}
+	assertConverged(t, primary, f, probes)
+
+	// Incremental tail again: the second round must resume past the bytes
+	// already applied (regression guard for the walOff bookkeeping).
+	for _, v := range randData(r, 5, 8) {
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Poll(); err != nil {
+		t.Fatalf("poll: %v", err)
+	}
+	if got := f.Refreshes(); got != 0 {
+		t.Fatalf("second tailing round refreshed %d shards, want 0", got)
+	}
+	assertConverged(t, primary, f, probes)
+
+	// Save epoch: journals fold into metadata; tailing cannot cross it, so
+	// the follower re-snapshots the changed shards over the wire.
+	if err := primary.Save(); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if _, err := f.Poll(); err != nil {
+		t.Fatalf("poll across save: %v", err)
+	}
+	if f.Refreshes() == 0 {
+		t.Fatal("save epoch crossed without a refresh")
+	}
+	assertConverged(t, primary, f, probes)
+
+	// Compact epoch: ids rewrite wholesale; again only a refresh crosses.
+	if _, err := primary.Compact(context.Background()); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	for _, v := range randData(r, 4, 8) {
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := f.Poll(); err != nil {
+		t.Fatalf("poll across compact: %v", err)
+	}
+	assertConverged(t, primary, f, probes)
+}
+
+// tamperRT rewrites responses for one path: it truncates the body to half
+// while leaving the integrity metadata intact — a torn transfer the CRC
+// check must catch.
+type tamperRT struct {
+	base http.RoundTripper
+	path string
+	mu   sync.Mutex
+	on   bool
+	hits int
+}
+
+func (rt *tamperRT) arm(on bool) { rt.mu.Lock(); rt.on = on; rt.mu.Unlock() }
+
+func (rt *tamperRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := rt.base.RoundTrip(req)
+	rt.mu.Lock()
+	on := rt.on
+	rt.mu.Unlock()
+	if err != nil || !on || req.URL.Path != rt.path {
+		return resp, err
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > 0 {
+		rt.mu.Lock()
+		rt.hits++
+		rt.mu.Unlock()
+		b = b[:len(b)/2]
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(b))
+	resp.ContentLength = int64(len(b))
+	resp.Header.Set("Content-Length", strconv.Itoa(len(b)))
+	return resp, nil
+}
+
+// TestHTTPSourceRejectsTornChunk: a wal chunk truncated in flight (CRC
+// intact in the header, body torn) is refused — the watermark does not
+// move, nothing partial is applied beyond the valid prefix contract — and
+// the next clean round converges from the same offset.
+func TestHTTPSourceRejectsTornChunk(t *testing.T) {
+	r := rand.New(rand.NewSource(412))
+	data := randData(r, 80, 8)
+	probes := randData(r, 3, 8)
+	primary := buildPrimary(t, data, 2)
+	rt := &tamperRT{base: http.DefaultTransport, path: ReplPathWAL}
+	f, _ := startHTTPFollower(t, primary, WithHTTPClient(&http.Client{Transport: rt}))
+	assertConverged(t, primary, f, probes)
+
+	for _, v := range randData(r, 12, 8) {
+		if _, err := primary.Insert(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := f.Watermarks()
+	rt.arm(true)
+	_, err := f.Poll()
+	if err == nil {
+		t.Fatal("poll with torn wal chunks succeeded, want CRC failure")
+	}
+	if rt.hits == 0 {
+		t.Fatal("tamper transport never fired")
+	}
+	// Torn rounds must not advance any shard past what it verified.
+	after := f.Watermarks()
+	for s := range before {
+		if after[s] != before[s] {
+			t.Fatalf("shard %d watermark moved %d -> %d on torn chunk", s, before[s], after[s])
+		}
+	}
+	if got := f.Refreshes(); got != 0 {
+		t.Fatalf("torn chunk forced %d refreshes, want 0 (retry from same offset)", got)
+	}
+	rt.arm(false)
+	if _, err := f.Poll(); err != nil {
+		t.Fatalf("poll after tear cleared: %v", err)
+	}
+	assertConverged(t, primary, f, probes)
+}
+
+// TestHTTPSourceSnapshotTornStream: a snapshot stream cut mid-transfer is
+// detected (tar tear or missing CRC trailer), the partial replica tree is
+// discarded rather than opened, and a clean retry bootstraps correctly.
+func TestHTTPSourceSnapshotTornStream(t *testing.T) {
+	r := rand.New(rand.NewSource(413))
+	data := randData(r, 80, 8)
+	primary := buildPrimary(t, data, 2)
+	ts := httptest.NewServer(NewReplHandler(primary.Dir(), nil))
+	t.Cleanup(ts.Close)
+	rt := &tamperRT{base: http.DefaultTransport, path: ReplPathSnapshot}
+	rt.arm(true)
+	src := NewHTTPSource(ts.URL, WithHTTPClient(&http.Client{Transport: rt}))
+	replicaDir := filepath.Join(t.TempDir(), "replica")
+	if err := SnapshotFrom(src, replicaDir); err == nil {
+		t.Fatal("snapshot over torn stream succeeded, want error")
+	}
+	// The torn bootstrap must not look like a sharded index.
+	if IsSharded(replicaDir) {
+		t.Fatal("torn bootstrap left a manifest: partial replica would be served")
+	}
+	rt.arm(false)
+	if err := SnapshotFrom(src, replicaDir); err != nil {
+		t.Fatalf("clean snapshot retry: %v", err)
+	}
+	f, err := OpenFollowerFrom(replicaDir, src)
+	if err != nil {
+		t.Fatalf("open follower after retry: %v", err)
+	}
+	defer f.Close()
+	probes := randData(r, 2, 8)
+	assertConverged(t, primary, f, probes)
+}
+
+// TestReplGuardFencesPulls: a guard refusing pulls as ErrStalePrimary
+// (the deposed-primary state) surfaces to the follower as ErrStalePrimary
+// — mid-stream, not only at open — and the guard sees the follower's
+// lineage epoch on every request.
+func TestReplGuardFencesPulls(t *testing.T) {
+	r := rand.New(rand.NewSource(414))
+	data := randData(r, 40, 8)
+	primary := buildPrimary(t, data, 2)
+
+	var mu sync.Mutex
+	var deposed bool
+	var peers []int64
+	guard := func(peer int64) error {
+		mu.Lock()
+		defer mu.Unlock()
+		peers = append(peers, peer)
+		if deposed {
+			return fmt.Errorf("deposed: %w", promips.ErrStalePrimary)
+		}
+		return nil
+	}
+	ts := httptest.NewServer(NewReplHandler(primary.Dir(), guard))
+	t.Cleanup(ts.Close)
+	src := NewHTTPSource(ts.URL)
+	replicaDir := filepath.Join(t.TempDir(), "replica")
+	if err := SnapshotFrom(src, replicaDir); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	f, err := OpenFollowerFrom(replicaDir, src)
+	if err != nil {
+		t.Fatalf("open follower: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.Poll(); err != nil {
+		t.Fatalf("poll while serving: %v", err)
+	}
+	mu.Lock()
+	if len(peers) == 0 {
+		mu.Unlock()
+		t.Fatal("guard never saw a pull")
+	}
+	for _, p := range peers {
+		if p != UnstampedEpoch && p != f.Epoch() {
+			mu.Unlock()
+			t.Fatalf("guard saw peer epoch %d, follower is at %d", p, f.Epoch())
+		}
+	}
+	deposed = true
+	mu.Unlock()
+	if _, err := f.Poll(); !errors.Is(err, promips.ErrStalePrimary) {
+		t.Fatalf("poll against deposed primary: got %v, want ErrStalePrimary", err)
+	}
+}

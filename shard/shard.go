@@ -375,6 +375,19 @@ func (ix *Index) JournalLen() int { return sumJournal(ix.children) }
 // order — the per-shard replication/recovery watermarks promipsd reports.
 func (ix *Index) JournalLens() []int { return journalLens(ix.children) }
 
+// JournalPoisoned reports whether any shard's journal writer is poisoned:
+// an append-path write/fsync failed, so new updates are being refused
+// (ErrJournalPoisoned) until the process restarts. Serving layers use it
+// to fail writes fast at readiness rather than per-request.
+func (ix *Index) JournalPoisoned() bool {
+	for _, c := range ix.children {
+		if c.JournalPoisoned() {
+			return true
+		}
+	}
+	return false
+}
+
 // Recovery sums what every shard's journal replay recovered at Open.
 func (ix *Index) Recovery() promips.RecoveryStats { return sumRecovery(ix.children) }
 

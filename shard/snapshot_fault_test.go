@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"promips/internal/fsutil"
+)
+
+// faultyDirSource builds a dir source whose primary-side reads AND
+// replica-side copy writes thread through a FaultFS.
+func faultyDirSource(primaryDir string, fault *fsutil.FaultFS) ReplSource {
+	src := NewDirSource(primaryDir).(*dirSource)
+	src.fs = fault
+	return src
+}
+
+// TestSnapshotFaultMatrix sweeps every filesystem operation a bootstrap
+// performs — primary reads, replica creates/writes — and faults each one
+// in turn, in both transient mode (the op fails, the process lives) and
+// crash mode (a write is torn mid-file, everything after dies). The
+// contract under test: a partial bootstrap is always detectable — the
+// error is surfaced, the replica dir never carries a SHARDS manifest, so
+// a supervisor re-bootstraps instead of serving a half-copied tree — and
+// a clean retry over the same directory produces a converged follower.
+func TestSnapshotFaultMatrix(t *testing.T) {
+	r := rand.New(rand.NewSource(421))
+	data := randData(r, 100, 8)
+	probes := randData(r, 2, 8)
+	primary := buildPrimary(t, data, 2)
+	root := t.TempDir()
+
+	// Dry run: count the bootstrap's total faultable operations.
+	counter := &fsutil.FaultFS{FailReads: true}
+	dry := filepath.Join(root, "dry")
+	if err := SnapshotFrom(faultyDirSource(primary.Dir(), counter), dry); err != nil {
+		t.Fatalf("dry-run snapshot: %v", err)
+	}
+	total := counter.Ops()
+	if total < 6 {
+		t.Fatalf("dry run counted only %d ops; matrix would be vacuous", total)
+	}
+
+	for _, mode := range []struct {
+		name  string
+		crash bool
+	}{{"transient", false}, {"crash", true}} {
+		for i := 1; i <= total; i++ {
+			dst := filepath.Join(root, "rep")
+			fault := &fsutil.FaultFS{FailAt: i, FailReads: true, Crash: mode.crash}
+			err := SnapshotFrom(faultyDirSource(primary.Dir(), fault), dst)
+			if err == nil {
+				t.Fatalf("%s fault at op %d: snapshot succeeded, want error", mode.name, i)
+			}
+			if !errors.Is(err, fsutil.ErrInjected) {
+				t.Fatalf("%s fault at op %d: got %v, want ErrInjected", mode.name, i, err)
+			}
+			// The torn bootstrap must not be mistakable for a replica: the
+			// manifest is written last, strictly after every shard landed.
+			if IsSharded(dst) {
+				t.Fatalf("%s fault at op %d left a SHARDS manifest over a partial tree", mode.name, i)
+			}
+			os.RemoveAll(dst)
+		}
+
+		// Re-bootstrap over the same path a faulted attempt used: the
+		// retry must produce a follower that converges byte-for-byte.
+		dst := filepath.Join(root, "rep")
+		fault := &fsutil.FaultFS{FailAt: total / 2, FailReads: true, Crash: mode.crash}
+		if err := SnapshotFrom(faultyDirSource(primary.Dir(), fault), dst); err == nil {
+			t.Fatalf("%s mid-bootstrap fault: snapshot succeeded, want error", mode.name)
+		}
+		os.RemoveAll(dst)
+		if err := SnapshotFrom(NewDirSource(primary.Dir()), dst); err != nil {
+			t.Fatalf("%s clean retry: %v", mode.name, err)
+		}
+		f, err := OpenFollower(dst, primary.Dir())
+		if err != nil {
+			t.Fatalf("%s open after retry: %v", mode.name, err)
+		}
+		assertConverged(t, primary, f, probes)
+		f.Close()
+		os.RemoveAll(dst)
+	}
+}
