@@ -135,6 +135,12 @@ type ReplicationStats struct {
 	// Source names the replication transport ("dir:/path" or the primary's
 	// base URL).
 	Source string `json:"source,omitempty"`
+	// Quarantined reports that the auto-failover supervisor has suspected
+	// the primary dead and is waiting out its write lease before
+	// promoting. While it is set, Lag is -1: the follower answers stats
+	// and readiness from local state only, issuing no reads against the
+	// suspect primary.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // ErrorBody is the JSON body of every non-2xx response.
@@ -158,7 +164,7 @@ const (
 	CodeNotFollower     = "not_follower"     // 409: promote asked of a server not running a follower
 	CodeNotReady        = "not_ready"        // 503 from /v1/readyz: follower not yet converged
 	CodeStalePrimary    = "stale_primary"    // 409: this server was deposed by a newer failover epoch
-	CodeLeaseExpired    = "lease_expired"    // 503: primary's replication lease lapsed; writes fenced until a follower pulls again
+	CodeLeaseExpired    = "lease_expired"    // 503: primary's replication lease lapsed; writes fenced until its auto-promoting follower pulls again
 	CodeInternal        = "internal"         // 500: everything else
 )
 

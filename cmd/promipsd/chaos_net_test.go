@@ -173,11 +173,14 @@ func newNetChaosWorld(t *testing.T, mode string, failAt int) *netChaosWorld {
 
 	// All replication pulls — bootstrap snapshot included — ride the flaky
 	// transport. The faults under test live here, not on the client path.
+	// The follower pulls as an auto-promoter: only the promoter's history
+	// pulls arm and renew the primary's write lease.
 	w.rt = &replFaultRT{inner: http.DefaultTransport, mode: mode, failAt: failAt}
 	src := shard.NewHTTPSource(w.ps.URL,
 		shard.WithHTTPClient(&http.Client{Transport: w.rt}),
 		shard.WithRequestTimeout(netReqTimeout),
-		shard.WithSnapshotTimeout(500*time.Millisecond))
+		shard.WithSnapshotTimeout(500*time.Millisecond),
+		shard.WithPromoter("netchaos-follower"))
 
 	fdir := filepath.Join(t.TempDir(), "replica")
 	if err := shard.SnapshotFrom(src, fdir); err != nil {

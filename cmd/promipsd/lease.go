@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -15,34 +17,65 @@ import (
 )
 
 // errLeaseExpired fences the write path of a primary whose replication
-// lease lapsed: no follower has pulled for longer than the lease, so a
-// supervised follower may be promoting right now, and accepting a write
-// here could put it on a forked history. Writes resume the moment a
-// follower pulls again (re-arming the lease) — or never, if the cluster
-// really did fail over. Mapped to 503/lease_expired with Retry-After.
-var errLeaseExpired = errors.New("promipsd: replication lease expired; writes fenced until a follower pulls again")
+// lease lapsed: the auto-promoting follower has not pulled history for
+// longer than the lease, so it may be promoting right now, and accepting
+// a write here could put it on a forked history. Writes resume the
+// moment that follower pulls again (re-arming the lease) — or never, if
+// the cluster really did fail over. Mapped to 503/lease_expired with
+// Retry-After.
+var errLeaseExpired = errors.New("promipsd: replication lease expired; writes fenced until the auto-promoting follower pulls again")
 
 // leaseName is the fencing deadline's file, kept beside the SHARDS
 // manifest in the primary's directory.
 const leaseName = "LEASE"
 
+// leaseMagic heads the LEASE file: deadline nanos and the grantor
+// identity, newline-separated.
+const leaseMagic = "PMLEASE v2"
+
 // leaseGuard implements the primary half of lease-fenced failover.
 //
-// The lease is granted implicitly by serving replication pulls: every
-// pull a follower makes extends the fencing deadline to now+d. The
-// supervised follower, symmetrically, waits out one full request timeout
-// plus one full lease (plus margin) of refusing-to-pull before it
-// promotes — so by the time a new primary can accept its first write,
-// this guard has already been refusing writes for the margin at least
-// (see DESIGN.md for the two-clock argument). That ordering — old
-// primary fenced strictly before new primary writable — is what makes a
-// network partition produce one primary, not two.
+// The lease is granted implicitly by serving replication HISTORY pulls
+// (wal tails, snapshot streams) to ONE auto-promoting follower — the
+// grantor: every such pull extends the fencing deadline to now+d. The
+// grantor, symmetrically, waits out one full request timeout plus one
+// full lease (plus margin) of refusing-to-pull before it promotes — so
+// by the time a new primary can accept its first write, this guard has
+// already been refusing writes for the margin at least (see DESIGN.md
+// for the two-clock argument). That ordering — old primary fenced
+// strictly before new primary writable — is what makes a network
+// partition produce one primary, not two.
 //
-// The deadline survives restarts: it is persisted (atomically, fsynced)
-// whenever it advances by at least d/4, so a primary that crashes and
-// reopens inside a partition does not forget that a follower holds a
-// lease on its history. A primary that has never served a pull
-// (bootstrap, benchmarks, no replica configured) is unfenced.
+// Two classes of pulls deliberately never touch the lease:
+//
+//   - Metadata reads (manifest, shard state). A follower's Lag() — and so
+//     every /v1/readyz and /v1/stats scrape against it — issues these; if
+//     they renewed the lease, a load balancer probing a quarantining
+//     follower would keep re-arming the very lease the quarantine is
+//     waiting out, and the promotion would commit against a still-live
+//     lease: two writable primaries.
+//
+//   - Pulls without a promoter identity (plain read replicas, promipsctl
+//     snapshot). They make no promise to wait before promoting, so their
+//     liveness proves nothing about failover safety. Any number of them
+//     can follow a primary; only the one promoter's silence fences it.
+//
+// The lease binds to the grantor's identity: a history pull from a
+// DIFFERENT promoter while the grantor's lease is live is refused
+// outright. Two independent auto-promoters could each quarantine and
+// promote on their own — no lease protocol can fence two promoters
+// against each other — so the topology of at most one auto-promoting
+// follower per primary is enforced at the first pull, loudly, instead of
+// discovered as a forked history. Once the bound lease expires, a new
+// promoter identity may bind (an auto-promoting follower that restarted
+// under a fresh identity re-binds within one lease).
+//
+// The deadline and grantor survive restarts: they are persisted
+// (atomically, fsynced) whenever the deadline advances by at least d/4
+// or the grantor changes, so a primary that crashes and reopens inside a
+// partition does not forget that a follower holds a lease on its
+// history. A primary that has never served a promoter's history pull
+// (bootstrap, benchmarks, no auto-promoter configured) is unfenced.
 //
 // Deposition is sharper than expiry and also tracked here: a pull
 // stamped with a lineage epoch ABOVE the primary's own means a follower
@@ -54,7 +87,8 @@ type leaseGuard struct {
 	d   time.Duration // 0: no expiry, deposition tracking only
 
 	mu        sync.Mutex
-	attached  bool      // some follower has pulled (now or in a past run)
+	attached  bool      // a promoter's history pull armed the lease (now or in a past run)
+	grantor   string    // promoter identity the lease is bound to ("" = unknown, legacy LEASE file)
 	deadline  time.Time // fence instant: writes refused once passed
 	persisted time.Time // deadline as last written to LEASE
 	deposed   bool
@@ -62,68 +96,101 @@ type leaseGuard struct {
 }
 
 // newLeaseGuard builds the guard for the primary at dir, resuming a
-// persisted deadline if one exists. d <= 0 disables expiry (deposition
-// is still enforced).
+// persisted deadline (and grantor binding) if one exists. d <= 0
+// disables expiry (deposition is still enforced).
 func newLeaseGuard(dir string, d time.Duration) *leaseGuard {
 	g := &leaseGuard{dir: dir, d: d, peerEpoch: shard.UnstampedEpoch}
 	if d <= 0 {
 		return g
 	}
-	if b, err := os.ReadFile(filepath.Join(dir, leaseName)); err == nil && len(b) == 8 {
-		nanos := int64(binary.LittleEndian.Uint64(b))
+	if nanos, grantor, ok := readLease(filepath.Join(dir, leaseName)); ok {
 		g.attached = true
+		g.grantor = grantor
 		g.deadline = time.Unix(0, nanos)
 		g.persisted = g.deadline
 	}
 	return g
 }
 
-// served records one replication pull from a follower at lineage epoch
-// peer (shard.UnstampedEpoch if the request carried none), against this
-// primary's own epoch. It renews the lease or — when the peer's epoch
-// proves a completed failover — deposes this primary.
-func (g *leaseGuard) served(peer, own int64) error {
+// readLease parses a LEASE file: the v2 text format, or the legacy raw
+// 8-byte deadline (whose grantor identity is unknown — conservatively
+// bound to nobody, so a new promoter binds only after it expires).
+func readLease(path string) (nanos int64, grantor string, ok bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, "", false
+	}
+	if len(b) == 8 {
+		return int64(binary.LittleEndian.Uint64(b)), "", true
+	}
+	lines := strings.Split(string(b), "\n")
+	if len(lines) < 3 || lines[0] != leaseMagic {
+		return 0, "", false
+	}
+	nanos, err = strconv.ParseInt(lines[1], 10, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	return nanos, lines[2], true
+}
+
+// served records one replication pull against this primary's own epoch.
+// It enforces deposition on every pull, and renews (or binds) the write
+// lease only on a promoter's history pulls — see the type comment for
+// why metadata and non-promoter pulls are lease-neutral.
+func (g *leaseGuard) served(pull shard.ReplPull, own int64) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.deposed {
 		return fmt.Errorf("promipsd: deposed by failover epoch %d (serving %d): %w",
 			g.peerEpoch, own, promips.ErrStalePrimary)
 	}
-	if peer != shard.UnstampedEpoch && peer > own {
+	if pull.PeerEpoch != shard.UnstampedEpoch && pull.PeerEpoch > own {
 		g.deposed = true
-		g.peerEpoch = peer
+		g.peerEpoch = pull.PeerEpoch
 		return fmt.Errorf("promipsd: follower at epoch %d outranks this primary at %d: %w",
-			peer, own, promips.ErrStalePrimary)
+			pull.PeerEpoch, own, promips.ErrStalePrimary)
 	}
-	if peer > g.peerEpoch {
-		g.peerEpoch = peer
+	if pull.PeerEpoch > g.peerEpoch {
+		g.peerEpoch = pull.PeerEpoch
 	}
-	if g.d <= 0 {
+	if g.d <= 0 || pull.Promoter == "" || !pull.History {
 		return nil
 	}
+	now := time.Now()
+	if g.attached && g.grantor != pull.Promoter && now.Before(g.deadline) {
+		// A live lease bound to another promoter (or, after a legacy
+		// restart, to an unknown one). Serving history here would let two
+		// auto-promoters each converge and each believe its own silence
+		// fences this primary — the dual-primary the lease exists to
+		// prevent. Transient by design: the refused promoter retries, and
+		// binds once the bound lease expires.
+		return fmt.Errorf("promipsd: replication lease held by auto-promoting follower %q for another %s; refusing history pull from promoter %q (run at most one -auto-promote follower per primary)",
+			g.grantor, time.Until(g.deadline).Round(time.Millisecond), pull.Promoter)
+	}
+	rebound := !g.attached || g.grantor != pull.Promoter
 	g.attached = true
-	g.deadline = time.Now().Add(g.d)
-	// Persist when the durable deadline has fallen d/4 behind, bounding
-	// fsync traffic at poll cadence while keeping the on-disk fence within
-	// d/4 of the in-memory one (the follower's promotion wait absorbs the
-	// difference; see DESIGN.md).
-	if g.deadline.Sub(g.persisted) >= g.d/4 {
-		if err := g.persistLocked(); err != nil {
-			// Failing to persist must not fail the pull: the in-memory
-			// fence still holds for this process; only a crash-restart
-			// could see a deadline up to d/4 stale.
-			return nil
-		}
+	g.grantor = pull.Promoter
+	g.deadline = now.Add(g.d)
+	// Persist on a grantor change, or when the durable deadline has fallen
+	// d/4 behind — bounding fsync traffic at poll cadence while keeping
+	// the on-disk fence within d/4 of the in-memory one (the follower's
+	// promotion wait absorbs the difference; see DESIGN.md). Failing to
+	// persist must not fail the pull: the in-memory fence still holds for
+	// this process; only a crash-restart could see a deadline up to d/4
+	// stale.
+	if rebound || g.deadline.Sub(g.persisted) >= g.d/4 {
+		g.persistLocked()
 	}
 	return nil
 }
 
-// persistLocked writes the wall-clock deadline to LEASE atomically.
+// persistLocked writes the wall-clock deadline and grantor to LEASE
+// atomically.
 func (g *leaseGuard) persistLocked() error {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], uint64(g.deadline.UnixNano()))
+	body := fmt.Sprintf("%s\n%d\n%s\n", leaseMagic, g.deadline.UnixNano(), g.grantor)
 	err := fsutil.WriteAtomic(fsutil.OS, filepath.Join(g.dir, leaseName), func(f fsutil.File) error {
-		_, werr := f.Write(b[:])
+		_, werr := f.Write([]byte(body))
 		return werr
 	})
 	if err != nil {

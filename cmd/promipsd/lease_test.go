@@ -1,0 +1,240 @@
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"promips"
+	"promips/shard"
+)
+
+func historyPull(promoter string) shard.ReplPull {
+	return shard.ReplPull{PeerEpoch: shard.UnstampedEpoch, Promoter: promoter, History: true}
+}
+
+func metadataPull(promoter string) shard.ReplPull {
+	return shard.ReplPull{PeerEpoch: shard.UnstampedEpoch, Promoter: promoter, History: false}
+}
+
+// TestLeaseMetadataPullsNeverArmOrRenew: the reason a load balancer can
+// scrape a quarantining follower's /v1/readyz (which proxies ShardState
+// reads to the primary) without re-arming the old primary's lease — only
+// history pulls touch it.
+func TestLeaseMetadataPullsNeverArmOrRenew(t *testing.T) {
+	const d = 50 * time.Millisecond
+	g := newLeaseGuard(t.TempDir(), d)
+
+	// Metadata pulls do not arm: the guard stays unfenced no matter how
+	// many it serves.
+	for i := 0; i < 3; i++ {
+		if err := g.served(metadataPull("prom-A"), 0); err != nil {
+			t.Fatalf("metadata pull: %v", err)
+		}
+	}
+	time.Sleep(d + 20*time.Millisecond)
+	if err := g.checkWrite(); err != nil {
+		t.Fatalf("writes fenced by metadata-only pulls: %v", err)
+	}
+
+	// One history pull arms the lease...
+	if err := g.served(historyPull("prom-A"), 0); err != nil {
+		t.Fatalf("history pull: %v", err)
+	}
+	if err := g.checkWrite(); err != nil {
+		t.Fatalf("writes fenced under a live lease: %v", err)
+	}
+
+	// ...and a stream of metadata pulls (a readyz scraper) must NOT keep
+	// it alive: the fence lands on schedule regardless.
+	deadline := time.Now().Add(d + 40*time.Millisecond)
+	for time.Now().Before(deadline) {
+		if err := g.served(metadataPull("prom-A"), 0); err != nil {
+			t.Fatalf("metadata pull during countdown: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := g.checkWrite(); !errors.Is(err, errLeaseExpired) {
+		t.Fatalf("lease survived on metadata renewals: checkWrite = %v, want errLeaseExpired", err)
+	}
+
+	// A history pull from the grantor re-arms it.
+	if err := g.served(historyPull("prom-A"), 0); err != nil {
+		t.Fatalf("renewing history pull: %v", err)
+	}
+	if err := g.checkWrite(); err != nil {
+		t.Fatalf("writes fenced after renewal: %v", err)
+	}
+}
+
+// TestLeaseIgnoresAnonymousPulls: pulls without a promoter identity
+// (plain read replicas, promipsctl snapshot) are served but never arm the
+// lease — any number of them can follow a primary without creating a
+// fencing obligation nobody will honor.
+func TestLeaseIgnoresAnonymousPulls(t *testing.T) {
+	const d = 30 * time.Millisecond
+	g := newLeaseGuard(t.TempDir(), d)
+	if err := g.served(historyPull(""), 0); err != nil {
+		t.Fatalf("anonymous history pull: %v", err)
+	}
+	time.Sleep(d + 20*time.Millisecond)
+	if err := g.checkWrite(); err != nil {
+		t.Fatalf("anonymous pull armed the lease: %v", err)
+	}
+	if g.expired() {
+		t.Fatal("guard reports expired with no promoter ever attached")
+	}
+}
+
+// TestLeaseSingleAutoPromoter: the lease binds to one promoter identity.
+// A second promoter's history pulls are refused while the bound lease is
+// live (two independent auto-promoters could both fail over — the
+// topology the refusal enforces against), and may bind once it expires
+// (an auto-promoting follower that restarted under a fresh identity).
+func TestLeaseSingleAutoPromoter(t *testing.T) {
+	const d = 60 * time.Millisecond
+	g := newLeaseGuard(t.TempDir(), d)
+	if err := g.served(historyPull("prom-A"), 0); err != nil {
+		t.Fatalf("first promoter: %v", err)
+	}
+	err := g.served(historyPull("prom-B"), 0)
+	if err == nil {
+		t.Fatal("second promoter bound while the first one's lease was live")
+	}
+	if errors.Is(err, promips.ErrStalePrimary) {
+		t.Fatalf("second-promoter refusal must be transient (503), not a deposition: %v", err)
+	}
+	// Its metadata reads are still served (harmless, lease-neutral).
+	if err := g.served(metadataPull("prom-B"), 0); err != nil {
+		t.Fatalf("second promoter metadata pull: %v", err)
+	}
+	// The grantor keeps renewing through the refusals.
+	if err := g.served(historyPull("prom-A"), 0); err != nil {
+		t.Fatalf("grantor renewal: %v", err)
+	}
+
+	// Once the bound lease expires, the new identity binds...
+	time.Sleep(d + 20*time.Millisecond)
+	if err := g.served(historyPull("prom-B"), 0); err != nil {
+		t.Fatalf("promoter rebind after expiry: %v", err)
+	}
+	if err := g.checkWrite(); err != nil {
+		t.Fatalf("writes fenced after rebind: %v", err)
+	}
+	// ...and the roles flip: the old identity is now the outsider.
+	if err := g.served(historyPull("prom-A"), 0); err == nil {
+		t.Fatal("old promoter re-bound while the new one's lease was live")
+	}
+}
+
+// TestLeasePersistsGrantorAcrossRestart: a crash-restarted primary
+// remembers both the fence deadline and which promoter it is bound to.
+func TestLeasePersistsGrantorAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	g := newLeaseGuard(dir, time.Hour)
+	if err := g.served(historyPull("prom-A"), 0); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, leaseName))
+	if err != nil {
+		t.Fatalf("LEASE not persisted on bind: %v", err)
+	}
+	if !strings.HasPrefix(string(b), leaseMagic+"\n") || !strings.Contains(string(b), "prom-A") {
+		t.Fatalf("LEASE content %q lacks magic or grantor", b)
+	}
+
+	g2 := newLeaseGuard(dir, time.Hour)
+	if err := g2.served(historyPull("prom-B"), 0); err == nil {
+		t.Fatal("restarted guard forgot its grantor: a different promoter bound under a live lease")
+	}
+	if err := g2.served(historyPull("prom-A"), 0); err != nil {
+		t.Fatalf("restarted guard refused its own grantor: %v", err)
+	}
+	if err := g2.checkWrite(); err != nil {
+		t.Fatalf("writes fenced under the resumed live lease: %v", err)
+	}
+}
+
+// TestLeaseLegacyFileConservative: a pre-v2 LEASE file (raw 8-byte
+// deadline, grantor unknown) resumes the fence and binds to NOBODY — any
+// promoter identity is refused until the persisted deadline passes, then
+// the first one binds.
+func TestLeaseLegacyFileConservative(t *testing.T) {
+	dir := t.TempDir()
+	var b [8]byte
+	deadline := time.Now().Add(80 * time.Millisecond)
+	binary.LittleEndian.PutUint64(b[:], uint64(deadline.UnixNano()))
+	if err := os.WriteFile(filepath.Join(dir, leaseName), b[:], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g := newLeaseGuard(dir, 50*time.Millisecond)
+	if err := g.served(historyPull("prom-A"), 0); err == nil {
+		t.Fatal("promoter bound while a legacy lease of unknown grantor was live")
+	}
+	time.Sleep(time.Until(deadline) + 20*time.Millisecond)
+	if err := g.checkWrite(); !errors.Is(err, errLeaseExpired) {
+		t.Fatalf("legacy deadline not enforced: checkWrite = %v", err)
+	}
+	if err := g.served(historyPull("prom-A"), 0); err != nil {
+		t.Fatalf("bind after legacy lease expired: %v", err)
+	}
+	if err := g.checkWrite(); err != nil {
+		t.Fatalf("writes fenced after legacy rebind: %v", err)
+	}
+}
+
+// TestLeaseDepositionOnAnyPull: a peer epoch above the primary's own
+// deposes it from any pull shape — metadata, anonymous, history alike —
+// and the deposition outranks lease state permanently.
+func TestLeaseDepositionOnAnyPull(t *testing.T) {
+	g := newLeaseGuard(t.TempDir(), time.Hour)
+	pull := metadataPull("") // weakest pull shape still deposes
+	pull.PeerEpoch = 5
+	if err := g.served(pull, 1); !errors.Is(err, promips.ErrStalePrimary) {
+		t.Fatalf("outranking peer epoch: got %v, want ErrStalePrimary", err)
+	}
+	if err := g.checkWrite(); !errors.Is(err, promips.ErrStalePrimary) {
+		t.Fatalf("deposed guard allows writes: %v", err)
+	}
+	if err := g.served(historyPull("prom-A"), 1); !errors.Is(err, promips.ErrStalePrimary) {
+		t.Fatalf("deposed guard served a pull: %v", err)
+	}
+	if !g.expired() {
+		t.Fatal("deposed guard not reported as fencing")
+	}
+}
+
+// TestValidateAutoPromoteFlags: -auto-promote demands a URL-followed
+// primary AND a lease — without the lease there is no fence and a
+// partitioned primary would be twinned, not fenced.
+func TestValidateAutoPromoteFlags(t *testing.T) {
+	base := runConfig{dir: "/tmp/idx", follow: "http://primary:7845", poll: time.Second}
+	cases := []struct {
+		name string
+		mut  func(*runConfig)
+		ok   bool
+	}{
+		{"follower-no-auto", func(c *runConfig) {}, true},
+		{"auto-with-lease", func(c *runConfig) { c.autoPromote = true; c.lease = time.Second }, true},
+		{"auto-without-lease", func(c *runConfig) { c.autoPromote = true }, false},
+		{"auto-dir-followed", func(c *runConfig) { c.autoPromote = true; c.lease = time.Second; c.follow = "/mnt/primary" }, false},
+		{"no-dir", func(c *runConfig) { c.dir = "" }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mut(&cfg)
+			err := cfg.validate()
+			if tc.ok && err != nil {
+				t.Fatalf("validate() = %v, want nil", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("validate() = nil, want error")
+			}
+		})
+	}
+}

@@ -36,16 +36,32 @@
 // journal tails are drained, the manifest epoch is fenced against the old
 // primary's resurrection, and the same process starts accepting writes as
 // the new primary (and starts serving /v1/repl/* for the next replica).
-// With -auto-promote (URL-followed primaries only) a supervisor does this
-// unattended: after -suspect consecutive poll failures AND a failed
-// liveness probe it quarantines the primary — no pulls, so no lease
-// renewals — and promotes only after a full request-timeout plus -lease
-// plus margin of continued silence. A primary started with -lease fences
-// its own write path (503/lease_expired) when no follower has pulled for
-// that long, which is what makes the unattended promotion safe: by the
-// time the new primary can acknowledge a write, the partitioned old one
-// has already been refusing them (see DESIGN.md for the argument). Both
-// sides should use the same -lease value.
+// With -auto-promote (URL-followed primaries only, and -lease required) a
+// supervisor does this unattended: after -suspect consecutive poll
+// failures AND a failed liveness probe it quarantines the primary — no
+// pulls, so no lease renewals, and readiness/stats answer from local
+// state — and promotes only after a full request-timeout plus -lease plus
+// margin of continued silence. A primary started with -lease fences its
+// own write path (503/lease_expired) when its auto-promoting follower has
+// not pulled history for that long, which is what makes the unattended
+// promotion safe: by the time the new primary can acknowledge a write,
+// the partitioned old one has already been refusing them (see DESIGN.md
+// for the argument).
+//
+// Lease topology rules (the fence is only as strong as these):
+//
+//   - Run at most ONE -auto-promote follower per primary. The lease binds
+//     to that follower's identity; a primary refuses history pulls from a
+//     second auto-promoter while the lease is live, because two
+//     independent promoters could each fail over on their own — no lease
+//     can fence them against each other. Plain followers (no
+//     -auto-promote) are unlimited: their pulls never touch the lease.
+//   - The primary's -lease must be no LARGER than the follower's (same
+//     value on both sides is simplest): the follower waits out its own
+//     -lease before promoting, so a primary fencing on a longer one could
+//     still be acknowledging writes when the promotion commits.
+//   - Metadata reads (what Lag, /v1/readyz and /v1/stats scrapes issue)
+//     never renew the lease; only wal and snapshot pulls do.
 //
 // Admission is bounded: at most -searchq searches and -updateq updates run
 // at once; excess requests get 429 + Retry-After instead of queuing without
@@ -59,6 +75,8 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
@@ -102,8 +120,8 @@ func main() {
 	flag.IntVar(&cfg.shards, "shards", 0, "assert the index has exactly this shard count (0 = no assertion)")
 	flag.StringVar(&cfg.follow, "follow", "", "run as a read-only replica of this primary (index directory or promipsd base URL)")
 	flag.DurationVar(&cfg.poll, "poll", 500*time.Millisecond, "replication poll interval (with -follow)")
-	flag.BoolVar(&cfg.autoPromote, "auto-promote", false, "promote automatically when the followed primary dies (requires -follow URL)")
-	flag.DurationVar(&cfg.lease, "lease", 0, "replication write lease: a primary fences writes when no follower pulled for this long; a follower waits it out before auto-promoting (0 = disabled)")
+	flag.BoolVar(&cfg.autoPromote, "auto-promote", false, "promote automatically when the followed primary dies (requires -follow URL and -lease; run at most one per primary)")
+	flag.DurationVar(&cfg.lease, "lease", 0, "replication write lease: a primary fences writes when its auto-promoting follower has not pulled history for this long; a follower waits it out before auto-promoting (0 = disabled; both sides must set it, primary's no larger than the follower's)")
 	flag.IntVar(&cfg.suspect, "suspect", 3, "consecutive poll failures before the primary is suspected dead (with -auto-promote)")
 	flag.Parse()
 	if cfg.dir == "" {
@@ -111,13 +129,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if cfg.autoPromote && !isURL(cfg.follow) {
-		fmt.Fprintln(os.Stderr, "promipsd: -auto-promote requires -follow with a primary base URL (the supervisor probes its /healthz)")
+	if err := cfg.validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "promipsd: %v\n", err)
 		os.Exit(2)
 	}
 	if err := run(cfg); err != nil {
 		log.Fatalf("promipsd: %v", err)
 	}
+}
+
+// validate rejects flag combinations that look runnable but break the
+// failover safety argument.
+func (cfg runConfig) validate() error {
+	if cfg.dir == "" {
+		return errors.New("-dir is required")
+	}
+	if cfg.autoPromote && !isURL(cfg.follow) {
+		return errors.New("-auto-promote requires -follow with a primary base URL (the supervisor probes its /healthz)")
+	}
+	if cfg.autoPromote && cfg.lease <= 0 {
+		// Without a lease there is no fence: the follower would promote
+		// after a bare timeout while a partitioned-but-alive primary kept
+		// acknowledging writes forever — a forked history from a plain
+		// misconfiguration. The primary must be started with -lease too
+		// (no larger than this value).
+		return errors.New("-auto-promote requires -lease > 0: unattended promotion is only safe when the primary fences its writes on replication silence (start the primary with the same -lease)")
+	}
+	return nil
 }
 
 func isURL(s string) bool {
@@ -137,7 +175,11 @@ func urlOrEmpty(primary string) string {
 // and reports whether shutdown should Save it.
 func openIndex(cfg runConfig) (ix index, saveOnExit bool, err error) {
 	if cfg.follow != "" {
-		f, err := openFollower(cfg.dir, cfg.follow)
+		promoter := ""
+		if cfg.autoPromote {
+			promoter = promoterID()
+		}
+		f, err := openFollower(cfg.dir, cfg.follow, promoter)
 		if err != nil {
 			return nil, false, err
 		}
@@ -171,18 +213,35 @@ func openIndex(cfg runConfig) (ix index, saveOnExit bool, err error) {
 
 // replSource builds the replication transport for -follow: an HTTP source
 // against another promipsd's base URL, or the shared-filesystem source
-// for a directory.
-func replSource(primary string) shard.ReplSource {
+// for a directory. An auto-promoting follower identifies itself on every
+// pull (promoter != ""), binding the primary's write lease to this
+// process; plain replicas stay anonymous and lease-neutral.
+func replSource(primary, promoter string) shard.ReplSource {
 	if isURL(primary) {
-		return shard.NewHTTPSource(primary, shard.WithRequestTimeout(replRequestTimeout))
+		opts := []shard.HTTPSourceOption{shard.WithRequestTimeout(replRequestTimeout)}
+		if promoter != "" {
+			opts = append(opts, shard.WithPromoter(promoter))
+		}
+		return shard.NewHTTPSource(primary, opts...)
 	}
 	return shard.NewDirSource(primary)
 }
 
+// promoterID builds the unique identity an auto-promoting follower pulls
+// under: one per process, so a restart binds a fresh lease (within one
+// lease of the old one expiring) instead of silently inheriting a
+// promise an earlier process made.
+func promoterID() string {
+	var b [8]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails (panics on a broken OS source)
+	host, _ := os.Hostname()
+	return fmt.Sprintf("%s-%d-%s", host, os.Getpid(), hex.EncodeToString(b[:]))
+}
+
 // openFollower bootstraps (if needed) and opens the replica and converges
 // it once. The poll loop is the supervisor's, started by run.
-func openFollower(dir, primary string) (*shard.Follower, error) {
-	src := replSource(primary)
+func openFollower(dir, primary, promoter string) (*shard.Follower, error) {
+	src := replSource(primary, promoter)
 	if !shard.IsSharded(dir) {
 		log.Printf("replica %s is empty: snapshotting %s", dir, primary)
 		if err := shard.SnapshotFrom(src, dir); err != nil {

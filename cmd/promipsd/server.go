@@ -88,6 +88,14 @@ type server struct {
 	lease     atomic.Pointer[leaseGuard]
 	pollFails atomic.Int64
 	replOn    atomic.Bool
+
+	// quarantined is set by the auto-failover supervisor while it waits
+	// out the suspect primary's lease. During quarantine /v1/readyz and
+	// /v1/stats must not issue remote Lag reads: the primary is probably
+	// dead (each read would hang a probe for the full request timeout) —
+	// and if it is slow-but-alive, even metadata pulls against it are
+	// pulls the quarantine promised not to make.
+	quarantined atomic.Bool
 }
 
 // cur returns the currently served index.
@@ -160,16 +168,17 @@ func (s *server) enableRepl(dir string) {
 }
 
 // replPull vets one replication pull: only a writable sharded primary
-// serves history, and every served pull renews the write lease — or
-// deposes this primary, if the peer's lineage epoch proves a completed
-// failover elsewhere.
-func (s *server) replPull(peer int64) error {
+// serves history; the lease guard renews the write lease on the bound
+// auto-promoter's history pulls (metadata reads and plain replicas'
+// pulls are lease-neutral) — or deposes this primary, if the peer's
+// lineage epoch proves a completed failover elsewhere.
+func (s *server) replPull(pull shard.ReplPull) error {
 	ix, ok := s.cur().(*shard.Index)
 	if !ok {
 		return errors.New("not serving a writable sharded primary")
 	}
 	if g := s.lease.Load(); g != nil {
-		return g.served(peer, ix.Epoch())
+		return g.served(pull, ix.Epoch())
 	}
 	return nil
 }
@@ -472,6 +481,7 @@ func (s *server) promoteNow(why string) error {
 	s.setCur(promoted)
 	s.promoted.Store(true)
 	s.pollFails.Store(0)
+	s.quarantined.Store(false)
 	s.enableRepl(promoted.Dir())
 	log.Printf("promoted (%s): serving as primary at epoch %d (%d live points)", why, promoted.Epoch(), promoted.LiveCount())
 	return nil
@@ -498,6 +508,16 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if f, ok := cur.(*shard.Follower); ok {
+		// A quarantining follower answers from local state: reaching out to
+		// the suspect primary would hang the probe — and re-arm the lease
+		// the quarantine is waiting out, were the primary slow-but-alive.
+		if s.quarantined.Load() {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, client.ErrorBody{
+				Error: "not ready: primary suspect, failover quarantine in progress", Code: client.CodeNotReady, Retryable: true,
+			})
+			return
+		}
 		lag, err := f.Lag()
 		if err != nil {
 			writeJSON(w, http.StatusServiceUnavailable, client.ErrorBody{
@@ -542,8 +562,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Refreshes:           ix.Refreshes(),
 			ConsecutiveFailures: s.pollFails.Load(),
 			Source:              ix.Source(),
+			Quarantined:         s.quarantined.Load(),
 		}
-		if lag, err := ix.Lag(); err == nil {
+		if rep.Quarantined {
+			rep.Lag = -1 // no remote reads against a quarantined primary
+		} else if lag, err := ix.Lag(); err == nil {
 			rep.Lag = lag
 		} else {
 			rep.Lag = -1 // primary unreadable right now

@@ -146,6 +146,14 @@ func (s *supervisor) run(ctx context.Context) {
 // supervisor should exit (promotion happened or shutdown began), false
 // to resume following.
 func (s *supervisor) failover(ctx context.Context) bool {
+	// Flag the quarantine so /v1/readyz and /v1/stats answer from local
+	// state: a remote Lag read against the suspect primary would hang the
+	// probe, and — if the primary is slow-but-alive — would be a pull made
+	// during the very window that promises to make none. (Lease renewal is
+	// additionally confined server-side to the promoter's history pulls,
+	// so even an unflagged metadata read could not re-arm it.)
+	s.srv.quarantined.Store(true)
+	defer s.srv.quarantined.Store(false)
 	margin := s.poll
 	if margin < 250*time.Millisecond {
 		margin = 250 * time.Millisecond

@@ -37,10 +37,15 @@ import (
 // taxonomy applies to the wire unchanged. Every response is stamped with
 // the primary's failover epoch (X-Promips-Epoch) and integrity-checked:
 // wal chunks carry a CRC-32C header, snapshots a CRC-32C HTTP trailer
-// computed over the tar stream. Requests carry the follower's lineage
-// epoch (X-Promips-Peer-Epoch) so a deposed primary learns of its own
-// succession from the next pull and fences itself; a fenced primary
-// answers 409, which the source surfaces as ErrStalePrimary.
+// computed over the tar stream. Responses stamped below the follower's
+// lineage are refused (ErrStalePrimary) — on wal and state reads by the
+// follower's pollShard, on snapshot streams by SnapshotShard itself.
+// Requests carry the follower's lineage epoch (X-Promips-Peer-Epoch) so
+// a deposed primary learns of its own succession from the next pull and
+// fences itself; a fenced primary answers 409, which the source surfaces
+// as ErrStalePrimary. An auto-promoting follower additionally identifies
+// itself (X-Promips-Promoter) so the primary can bind its write lease to
+// that one promoter's HISTORY pulls — see ReplPull.
 const (
 	ReplPathManifest = "/v1/repl/manifest"
 	ReplPathWAL      = "/v1/repl/wal"
@@ -51,6 +56,10 @@ const (
 	ReplHeaderEpoch = "X-Promips-Epoch"
 	// ReplHeaderPeerEpoch carries the follower's lineage epoch on requests.
 	ReplHeaderPeerEpoch = "X-Promips-Peer-Epoch"
+	// ReplHeaderPromoter carries an auto-promoting follower's instance
+	// identity on requests. Followers that will never promote unattended
+	// (plain read replicas, promipsctl snapshot) send nothing.
+	ReplHeaderPromoter = "X-Promips-Promoter"
 	// ReplHeaderWALSize reports the journal's total byte size on wal reads.
 	ReplHeaderWALSize = "X-Promips-Wal-Size"
 	// ReplHeaderCrc carries the CRC-32C (Castagnoli, hex) of the response
@@ -76,13 +85,31 @@ type replState struct {
 	Epoch      int64  `json:"epoch"`
 }
 
+// ReplPull describes one replication pull to a ReplGuard.
+type ReplPull struct {
+	// PeerEpoch is the follower's lineage epoch from the request
+	// (UnstampedEpoch when the request carries none).
+	PeerEpoch int64
+	// Promoter identifies an auto-promoting follower ("" when the puller
+	// will never promote unattended). A primary's write lease binds to
+	// exactly one promoter identity: only that promoter's silence can mean
+	// a promotion is under way, so only its pulls may renew the lease.
+	Promoter string
+	// History is true for pulls that ship index history (wal tails,
+	// snapshot streams) and false for metadata-only reads (manifest, shard
+	// state — what Lag() and readiness scrapes issue). Only history pulls
+	// renew a write lease: a follower in failover quarantine has stopped
+	// pulling history, and a load balancer probing its /v1/readyz must not
+	// re-arm the very lease the quarantine is waiting out.
+	History bool
+}
+
 // ReplGuard vets one replication pull before any bytes are served.
-// peerEpoch is the follower's lineage epoch from the request
-// (UnstampedEpoch when the request carries none). Returning an error
-// wrapping promips.ErrStalePrimary refuses the pull with 409 — the
-// deposed-primary fence; any other error refuses it with 503. promipsd
-// threads its lease renewal and self-deposition through this hook.
-type ReplGuard func(peerEpoch int64) error
+// Returning an error wrapping promips.ErrStalePrimary refuses the pull
+// with 409 — the deposed-primary fence; any other error refuses it with
+// 503. promipsd threads its lease renewal and self-deposition through
+// this hook.
+type ReplGuard func(pull ReplPull) error
 
 // NewReplHandler serves the replication wire for the primary index tree
 // at dir. guard (optional) runs before every response; see ReplGuard.
@@ -106,16 +133,20 @@ type replHandler struct {
 
 func (h *replHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if h.guard != nil {
-		peer := UnstampedEpoch
+		pull := ReplPull{
+			PeerEpoch: UnstampedEpoch,
+			Promoter:  r.Header.Get(ReplHeaderPromoter),
+			History:   r.URL.Path == ReplPathWAL || r.URL.Path == ReplPathSnapshot,
+		}
 		if v := r.Header.Get(ReplHeaderPeerEpoch); v != "" {
 			e, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
 				http.Error(w, "bad "+ReplHeaderPeerEpoch, http.StatusBadRequest)
 				return
 			}
-			peer = e
+			pull.PeerEpoch = e
 		}
-		if err := h.guard(peer); err != nil {
+		if err := h.guard(pull); err != nil {
 			code := http.StatusServiceUnavailable
 			if errors.Is(err, promips.ErrStalePrimary) {
 				code = http.StatusConflict
@@ -271,6 +302,7 @@ type HTTPSource struct {
 	reqTimeout  time.Duration // manifest/state/wal reads
 	snapTimeout time.Duration // whole-shard snapshot streams
 	peerEpoch   atomic.Int64  // follower lineage, sent with every request
+	promoter    string        // auto-promoter identity, "" for plain replicas
 }
 
 // HTTPSourceOption configures NewHTTPSource.
@@ -290,6 +322,18 @@ func WithRequestTimeout(d time.Duration) HTTPSourceOption {
 // WithSnapshotTimeout bounds each whole-shard snapshot stream (default 2m).
 func WithSnapshotTimeout(d time.Duration) HTTPSourceOption {
 	return func(s *HTTPSource) { s.snapTimeout = d }
+}
+
+// WithPromoter marks this source as belonging to an auto-promoting
+// follower: every request carries id (ReplHeaderPromoter), which the
+// primary binds its write lease to. Run at most ONE auto-promoting
+// follower per primary — the primary refuses history pulls from a second
+// promoter identity while the first one's lease is live, because two
+// independent promoters could otherwise both fail over (two writable
+// primaries). Plain read replicas must not set this: their pulls neither
+// arm nor renew the lease, so any number of them can follow safely.
+func WithPromoter(id string) HTTPSourceOption {
+	return func(s *HTTPSource) { s.promoter = id }
 }
 
 // NewHTTPSource returns a ReplSource pulling from the primary promipsd at
@@ -330,6 +374,9 @@ func (s *HTTPSource) get(path string, q url.Values, timeout time.Duration) (*htt
 	}
 	if e := s.peerEpoch.Load(); e != UnstampedEpoch {
 		req.Header.Set(ReplHeaderPeerEpoch, strconv.FormatInt(e, 10))
+	}
+	if s.promoter != "" {
+		req.Header.Set(ReplHeaderPromoter, s.promoter)
 	}
 	resp, err := s.hc.Do(req)
 	if err != nil {
@@ -454,6 +501,15 @@ func (s *HTTPSource) SnapshotShard(shardN int, dst string) error {
 	}
 	defer cancel()
 	defer resp.Body.Close()
+	// Same mid-stream fence pollShard applies to state and wal reads: a
+	// stream stamped below this follower's lineage is a resurrected
+	// pre-failover primary's tree, refused before a byte is extracted.
+	// (The stamp check must not rely on the stale primary running a guard
+	// server-side — a guard-less or pre-upgrade primary stamps but never
+	// deposes itself.)
+	if stamp := respEpoch(resp); staleStamp(stamp, s.peerEpoch.Load()) {
+		return errStaleStamp("snapshot stream", stamp, s.peerEpoch.Load())
+	}
 	if err := untarTree(resp.Body, dst, resp); err != nil {
 		os.RemoveAll(dst)
 		return err

@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strconv"
 	"sync"
@@ -227,7 +228,8 @@ func TestHTTPSourceSnapshotTornStream(t *testing.T) {
 // TestReplGuardFencesPulls: a guard refusing pulls as ErrStalePrimary
 // (the deposed-primary state) surfaces to the follower as ErrStalePrimary
 // — mid-stream, not only at open — and the guard sees the follower's
-// lineage epoch on every request.
+// lineage epoch, promoter identity, and the correct history/metadata
+// classification on every request.
 func TestReplGuardFencesPulls(t *testing.T) {
 	r := rand.New(rand.NewSource(414))
 	data := randData(r, 40, 8)
@@ -235,13 +237,84 @@ func TestReplGuardFencesPulls(t *testing.T) {
 
 	var mu sync.Mutex
 	var deposed bool
-	var peers []int64
-	guard := func(peer int64) error {
+	var pulls []ReplPull
+	var history, metadata int
+	guard := func(pull ReplPull) error {
 		mu.Lock()
 		defer mu.Unlock()
-		peers = append(peers, peer)
+		pulls = append(pulls, pull)
+		if pull.History {
+			history++
+		} else {
+			metadata++
+		}
 		if deposed {
 			return fmt.Errorf("deposed: %w", promips.ErrStalePrimary)
+		}
+		return nil
+	}
+	ts := httptest.NewServer(NewReplHandler(primary.Dir(), guard))
+	t.Cleanup(ts.Close)
+	src := NewHTTPSource(ts.URL, WithPromoter("guard-test-promoter"))
+	replicaDir := filepath.Join(t.TempDir(), "replica")
+	if err := SnapshotFrom(src, replicaDir); err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	f, err := OpenFollowerFrom(replicaDir, src)
+	if err != nil {
+		t.Fatalf("open follower: %v", err)
+	}
+	defer f.Close()
+	if _, err := f.Poll(); err != nil {
+		t.Fatalf("poll while serving: %v", err)
+	}
+	if _, err := f.Lag(); err != nil {
+		t.Fatalf("lag while serving: %v", err)
+	}
+	mu.Lock()
+	if len(pulls) == 0 {
+		mu.Unlock()
+		t.Fatal("guard never saw a pull")
+	}
+	// The bootstrap made snapshot pulls and the poll made wal pulls (both
+	// history); the manifest/state reads (poll fingerprints, Lag) are
+	// metadata. Both classes must be present and correctly flagged —
+	// promipsd's lease renewal keys off History.
+	if history == 0 || metadata == 0 {
+		mu.Unlock()
+		t.Fatalf("guard saw %d history and %d metadata pulls; want both > 0", history, metadata)
+	}
+	for _, p := range pulls {
+		if p.PeerEpoch != UnstampedEpoch && p.PeerEpoch != f.Epoch() {
+			mu.Unlock()
+			t.Fatalf("guard saw peer epoch %d, follower is at %d", p.PeerEpoch, f.Epoch())
+		}
+		if p.Promoter != "guard-test-promoter" {
+			mu.Unlock()
+			t.Fatalf("guard saw promoter %q, want %q", p.Promoter, "guard-test-promoter")
+		}
+	}
+	deposed = true
+	mu.Unlock()
+	if _, err := f.Poll(); !errors.Is(err, promips.ErrStalePrimary) {
+		t.Fatalf("poll against deposed primary: got %v, want ErrStalePrimary", err)
+	}
+}
+
+// TestReplGuardNoPromoterHeader: a source without WithPromoter (a plain
+// read replica, promipsctl) pulls anonymously — the guard must see an
+// empty promoter identity, so the primary's lease stays untouched.
+func TestReplGuardNoPromoterHeader(t *testing.T) {
+	r := rand.New(rand.NewSource(416))
+	data := randData(r, 30, 8)
+	primary := buildPrimary(t, data, 2)
+	var mu sync.Mutex
+	seenPromoter := false
+	guard := func(pull ReplPull) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if pull.Promoter != "" {
+			seenPromoter = true
 		}
 		return nil
 	}
@@ -258,22 +331,39 @@ func TestReplGuardFencesPulls(t *testing.T) {
 	}
 	defer f.Close()
 	if _, err := f.Poll(); err != nil {
-		t.Fatalf("poll while serving: %v", err)
+		t.Fatalf("poll: %v", err)
 	}
 	mu.Lock()
-	if len(peers) == 0 {
-		mu.Unlock()
-		t.Fatal("guard never saw a pull")
+	defer mu.Unlock()
+	if seenPromoter {
+		t.Fatal("anonymous source sent a promoter identity")
 	}
-	for _, p := range peers {
-		if p != UnstampedEpoch && p != f.Epoch() {
-			mu.Unlock()
-			t.Fatalf("guard saw peer epoch %d, follower is at %d", p, f.Epoch())
-		}
+}
+
+// TestHTTPSourceSnapshotRejectsStaleEpoch: a snapshot stream stamped with
+// an epoch below the follower's lineage is refused before extraction —
+// even against a guard-less primary that would never depose itself — and
+// nothing is installed at the destination. This mirrors the staleStamp
+// checks the poll path applies to state and wal reads.
+func TestHTTPSourceSnapshotRejectsStaleEpoch(t *testing.T) {
+	r := rand.New(rand.NewSource(415))
+	data := randData(r, 30, 8)
+	primary := buildPrimary(t, data, 2) // manifest epoch 0, no guard
+	ts := httptest.NewServer(NewReplHandler(primary.Dir(), nil))
+	t.Cleanup(ts.Close)
+	src := NewHTTPSource(ts.URL)
+	src.SetPeerEpoch(primary.Epoch() + 1) // follower lineage is ahead
+	dst := filepath.Join(t.TempDir(), "stale-snap")
+	err := src.SnapshotShard(0, dst)
+	if !errors.Is(err, promips.ErrStalePrimary) {
+		t.Fatalf("snapshot from a stale-stamped primary: got %v, want ErrStalePrimary", err)
 	}
-	deposed = true
-	mu.Unlock()
-	if _, err := f.Poll(); !errors.Is(err, promips.ErrStalePrimary) {
-		t.Fatalf("poll against deposed primary: got %v, want ErrStalePrimary", err)
+	if _, statErr := os.Stat(dst); !os.IsNotExist(statErr) {
+		t.Fatalf("stale snapshot left %s behind", dst)
+	}
+	// The same source accepts the stream once its lineage matches.
+	src.SetPeerEpoch(primary.Epoch())
+	if err := src.SnapshotShard(0, dst); err != nil {
+		t.Fatalf("snapshot at matching lineage: %v", err)
 	}
 }
