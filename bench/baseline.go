@@ -167,6 +167,13 @@ type PerfReport struct {
 	// MeasureDegradedSearch).
 	DegradedSearch []DegradedPoint `json:"degraded_search,omitempty"`
 
+	// Mixed is the non-blocking-updates measurement: search p50/p99 under
+	// a concurrent insert stream driving freezes, seg-file flushes and
+	// (per cell) background compaction, against the same searchers
+	// read-only (see MeasureMixedWorkload). The acceptance headline is
+	// each cell's mixed-p99 / read-only-p99 ratio.
+	Mixed []MixedPoint `json:"mixed_workload,omitempty"`
+
 	Prefilter *PrefilterEffect `json:"pq_prefilter,omitempty"`
 	Gate      *GatePoint       `json:"gate,omitempty"`
 
@@ -323,6 +330,13 @@ func RunPerf(ctx context.Context, cfg PerfConfig) (*PerfReport, error) {
 		return nil, err
 	}
 	rep.InsertAck, err = MeasureInsertAck(8, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Non-blocking updates: the search tail under a live insert stream
+	// (and background auto-compaction), against the read-only tail.
+	rep.Mixed, err = MeasureMixedWorkload(ctx, env, nil, cfg.K)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,311 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"promips"
+)
+
+// Mixed read/write measurement: what the non-blocking update pipeline buys
+// the serving tail. The same searcher pool runs twice against the same
+// index state — once with the writer paused (the read-only baseline),
+// once while a rate-paced insert stream drives the whole pipeline: delta
+// freezes, background seg-file flushes and (in the auto-compact
+// configuration) background compaction folds. Snapshot reads mean none of
+// that should move the search tail; the headline is mixed p99 / read-only
+// p99, which a regression back to lock-coupled updates (a freeze, flush
+// or fold holding the lock across a search) multiplies immediately.
+//
+// Two details keep the comparison honest. The index is pre-filled with a
+// standing un-compacted backlog before either phase, so both phases pay
+// the same delta/segment scan cost and the ratio isolates the WRITER's
+// interference rather than the algorithmic cost of the points it added
+// (that cost — and auto-compaction folding it away — is what the
+// freezes/flushes/compactions columns and the auto cells are for). And
+// the stream is paced across the whole window rather than burst through
+// it, so writes are live under every recorded search — the serving shape
+// the measurement models, and the "insert-rate vs search tail" axis the
+// report records.
+
+// MixedPoint is one (worker count, auto-compact) cell of the measurement.
+type MixedPoint struct {
+	Workers     int  `json:"workers"`
+	AutoCompact bool `json:"auto_compact"`
+	// InsertsPerSec is the achieved acknowledged insert rate over the
+	// stream (paced at MixedInsertRate, so writes stay live under every
+	// recorded search instead of bursting through the window).
+	InsertsPerSec float64 `json:"inserts_per_sec"`
+	// Searches is the mixed-phase sample count behind the percentiles.
+	Searches   int     `json:"searches"`
+	ReadP50US  float64 `json:"read_only_p50_us"`
+	ReadP99US  float64 `json:"read_only_p99_us"`
+	MixedP50US float64 `json:"mixed_p50_us"`
+	MixedP99US float64 `json:"mixed_p99_us"`
+	// P99Ratio is MixedP99US / ReadP99US — the non-blocking claim in one
+	// number (≈1 when updates never block searches).
+	P99Ratio float64 `json:"mixed_p99_over_read_only"`
+	// Pipeline activity over the mixed phase, so a quiet cell (no freeze
+	// crossed, nothing flushed or folded) is visible in the report.
+	Freezes     int64 `json:"freezes"`
+	Flushes     int64 `json:"flushes"`
+	Compactions int64 `json:"compactions"`
+}
+
+// Mixed-workload parameters. The prefill plus the stream cross several
+// freeze boundaries at this threshold, so seg-file flushes land inside
+// the measured window; the paced stream defines the phase length
+// (MixedStreamInserts / MixedInsertRate, also the read-only window, so
+// the percentiles rest on comparable sample counts); and auto-compact
+// cells hold the mixed phase open up to MixedCompactWait for the
+// background compactor (which polls on its own clock) to observe the
+// flushed watermark — searchers keep running through the fold, which is
+// exactly the interval the measurement exists to cover.
+const (
+	MixedPrefill        = 2000
+	MixedStreamInserts  = 1200
+	MixedInsertRate     = 1000 // paced inserts per second
+	MixedSegmentEntries = 512
+	MixedCompactWait    = 3 * time.Second
+)
+
+// mixedPhaseWindow is the paced stream's duration and the read-only
+// phase's window.
+const mixedPhaseWindow = time.Second * MixedStreamInserts / MixedInsertRate
+
+// MeasureMixedWorkload runs the measurement grid: every worker count
+// (nil = 1, 4, 8), read-only then mixed, without and with background
+// auto-compaction. Every cell gets a fresh index over the workload's data
+// and the same insert stream, so cells differ only in the knob under test.
+func MeasureMixedWorkload(ctx context.Context, e *Env, workers []int, k int) ([]MixedPoint, error) {
+	if workers == nil {
+		workers = []int{1, 4, 8}
+	}
+	var out []MixedPoint
+	for _, auto := range []bool{false, true} {
+		for _, w := range workers {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			pt, err := measureMixedCell(ctx, e, w, k, auto)
+			if err != nil {
+				return nil, fmt.Errorf("mixed workload (workers=%d auto=%v): %w", w, auto, err)
+			}
+			out = append(out, pt)
+		}
+	}
+	return out, nil
+}
+
+func measureMixedCell(ctx context.Context, e *Env, workers, k int, auto bool) (MixedPoint, error) {
+	pt := MixedPoint{Workers: workers, AutoCompact: auto}
+	dir := filepath.Join(e.dir, fmt.Sprintf("updates-%d-%v", workers, auto))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return pt, err
+	}
+	// FsyncNever keeps the journal on (the stream is still replayable)
+	// without a per-insert fsync turning the writer into an I/O benchmark.
+	ix, err := promips.Build(e.Data, promips.Options{
+		C: e.Cfg.C, P: e.Cfg.P, M: e.Cfg.Spec.M,
+		PageSize: e.Cfg.Spec.PageSize, Seed: e.Cfg.Seed, Dir: dir,
+		SegmentEntries: MixedSegmentEntries, Fsync: promips.FsyncNever,
+	})
+	if err != nil {
+		return pt, fmt.Errorf("build: %w", err)
+	}
+	defer ix.Close()
+
+	// Warm pass: neither phase pays cold structures.
+	for _, q := range e.Queries {
+		if _, _, err := ix.Search(ctx, q, k); err != nil {
+			return pt, err
+		}
+	}
+
+	// The same prefill + stream for every cell, regenerated from a fixed
+	// seed.
+	r := rand.New(rand.NewSource(e.Cfg.Seed + 0x0DD))
+	mkPoints := func(n int) [][]float32 {
+		out := make([][]float32, n)
+		for i := range out {
+			v := make([]float32, e.Cfg.Spec.D)
+			for j := range v {
+				v[j] = float32(r.NormFloat64())
+			}
+			out[i] = v
+		}
+		return out
+	}
+	prefill, stream := mkPoints(MixedPrefill), mkPoints(MixedStreamInserts)
+
+	// Standing backlog: both phases search through the same un-compacted
+	// delta/segment state, so their difference is the live writer, not the
+	// scan cost of the points it already added.
+	for _, v := range prefill {
+		if _, err := ix.Insert(v); err != nil {
+			return pt, fmt.Errorf("prefill insert: %w", err)
+		}
+	}
+
+	// In the auto cells the compactor is part of the configured system, so
+	// it runs under BOTH phases (it starts folding the prefill backlog
+	// during the read-only window): the cell's two phases then differ only
+	// in the writer being live, which is the quantity under test.
+	var ac *promips.AutoCompactor
+	if auto {
+		ac = ix.StartAutoCompact(1)
+		defer ac.Stop()
+	}
+
+	// Phase 1: read-only baseline, writer paused.
+	readLats, err := mixedSearchPhase(ctx, ix, e.Queries, k, workers, func() error {
+		return sleepCtx(ctx, mixedPhaseWindow)
+	})
+	if err != nil {
+		return pt, err
+	}
+
+	// Phase 2: the same searchers with the paced insert stream running
+	// underneath. Pacing is deadline-based with catch-up — on a saturated
+	// box the writer may be scheduled in bursts, but the achieved rate
+	// stays at the target instead of collapsing to the scheduler's clock.
+	runsBefore := int64(0)
+	if ac != nil {
+		runsBefore = ac.Runs()
+	}
+	var insertElapsed time.Duration
+	mixedLats, err := mixedSearchPhase(ctx, ix, e.Queries, k, workers, func() error {
+		phaseStart := time.Now()
+		for i, v := range stream {
+			next := phaseStart.Add(time.Duration(i) * time.Second / MixedInsertRate)
+			if d := time.Until(next); d > 0 {
+				if err := sleepCtx(ctx, d); err != nil {
+					return err
+				}
+			}
+			if _, err := ix.Insert(v); err != nil {
+				return fmt.Errorf("insert: %w", err)
+			}
+		}
+		insertElapsed = time.Since(phaseStart)
+		if ac != nil {
+			// Hold the phase open until the compactor has folded the
+			// stream's segments (its poll clock is coarser than the
+			// stream), so the tail numbers cover a live compaction
+			// handover.
+			for ac.Runs() == runsBefore && time.Since(phaseStart) < MixedCompactWait && ctx.Err() == nil {
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+		return ctx.Err()
+	})
+	if err != nil {
+		return pt, err
+	}
+
+	us := ix.UpdateStats()
+	pt.InsertsPerSec = MixedStreamInserts / insertElapsed.Seconds()
+	pt.Searches = len(mixedLats)
+	pt.ReadP50US, pt.ReadP99US = latPctUS(readLats, 50), latPctUS(readLats, 99)
+	pt.MixedP50US, pt.MixedP99US = latPctUS(mixedLats, 50), latPctUS(mixedLats, 99)
+	if pt.ReadP99US > 0 {
+		pt.P99Ratio = pt.MixedP99US / pt.ReadP99US
+	}
+	pt.Freezes, pt.Flushes = us.Freezes, us.Flushes
+	if ac != nil {
+		pt.Compactions = ac.Runs()
+	}
+	return pt, nil
+}
+
+// mixedSearchPhase runs `workers` searcher goroutines over the query
+// workload while drive() runs in the calling goroutine, then returns every
+// recorded search latency, sorted. The searchers stop when drive returns.
+func mixedSearchPhase(ctx context.Context, ix *promips.Index, queries [][]float32, k, workers int, drive func() error) ([]time.Duration, error) {
+	var (
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		lats []time.Duration
+		sErr atomic.Pointer[error]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 4096)
+			for i := w; !stop.Load(); i++ {
+				q := queries[i%len(queries)]
+				start := time.Now()
+				if _, _, err := ix.Search(ctx, q, k); err != nil {
+					sErr.CompareAndSwap(nil, &err)
+					break
+				}
+				local = append(local, time.Since(start))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	driveErr := drive()
+	stop.Store(true)
+	wg.Wait()
+	if driveErr != nil {
+		return nil, driveErr
+	}
+	if ep := sErr.Load(); ep != nil {
+		return nil, fmt.Errorf("search during phase: %w", *ep)
+	}
+	if len(lats) == 0 {
+		return nil, fmt.Errorf("no searches completed in the phase window")
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats, nil
+}
+
+// latPctUS reads the pth percentile of sorted latencies, in microseconds.
+func latPctUS(sorted []time.Duration, p int) float64 {
+	return float64(sorted[len(sorted)*p/100]) / float64(time.Microsecond)
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// MixedWorkload renders MeasureMixedWorkload as a benchrunner table
+// (-fig updates).
+func MixedWorkload(ctx context.Context, e *Env, workers []int, k int) (Table, error) {
+	t := Table{
+		Title: fmt.Sprintf("Mixed read/write: %d/s insert stream over a %d-point backlog (freeze every %d) vs search tail — %s (k=%d)",
+			MixedInsertRate, MixedPrefill, MixedSegmentEntries, e.Cfg.Spec.Name, k),
+		Header: []string{"workers", "auto-compact", "inserts/s",
+			"read p50 us", "read p99 us", "mixed p50 us", "mixed p99 us", "p99 ratio",
+			"freezes", "flushes", "compactions"},
+	}
+	points, err := MeasureMixedWorkload(ctx, e, workers, k)
+	if err != nil {
+		return t, err
+	}
+	for _, p := range points {
+		t.AddRow(fmt.Sprint(p.Workers), fmt.Sprintf("%v", p.AutoCompact), f1(p.InsertsPerSec),
+			f1(p.ReadP50US), f1(p.ReadP99US), f1(p.MixedP50US), f1(p.MixedP99US),
+			fmt.Sprintf("%.2f", p.P99Ratio),
+			fmt.Sprint(p.Freezes), fmt.Sprint(p.Flushes), fmt.Sprint(p.Compactions))
+	}
+	return t, nil
+}

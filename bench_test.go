@@ -134,6 +134,24 @@ func BenchmarkSearch(b *testing.B) {
 	}
 }
 
+// BenchmarkSearchFiltered is the same warm hot path under a
+// WithFilter-shaped predicate rejecting every even id — the
+// filtered-serving workload (closing ROADMAP item 5's "WithFilter exists
+// but has no bench"). cmd/benchrunner -out records the same loop as the
+// report's search_filtered point.
+func BenchmarkSearchFiltered(b *testing.B) {
+	env, ix := searchBenchEnv(b)
+	params := core.SearchParams{Filter: func(id uint32) bool { return id%2 == 1 }}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := env.Queries[i%len(env.Queries)]
+		if _, _, err := ix.SearchContext(context.Background(), q, 10, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkInsertAck measures the acknowledgement cost of one Insert
 // under each journal policy. The ISSUE-5 acceptance bar: fsync=never must
 // sit within 10% of the journal-off (pre-WAL) path — the journal append is

@@ -113,6 +113,51 @@ type StatsResponse struct {
 	// CodeReadOnly, and Replication reports how converged it is.
 	ReadOnly    bool               `json:"read_only,omitempty"`
 	Replication *ReplicationStats  `json:"replication,omitempty"`
+
+	// Updates reports the LSM-style update pipeline: delta occupancy,
+	// frozen segments, the flushed-segment watermark and lifetime
+	// freeze/flush counters (summed over shards).
+	Updates *promips.UpdateStats `json:"updates,omitempty"`
+	// Lease reports the primary's write-fencing lease (present only when
+	// the server runs with -lease > 0 or has a persisted lease binding).
+	Lease *LeaseStats `json:"lease,omitempty"`
+	// AutoCompact reports the background compaction scheduler (present
+	// only when the server runs with -auto-compact > 0).
+	AutoCompact *AutoCompactStats `json:"auto_compact,omitempty"`
+}
+
+// LeaseStats reports the state of a replicated primary's write-fencing
+// lease.
+type LeaseStats struct {
+	// Attached reports that an auto-promoting follower's history pull has
+	// armed the lease (in this run or a persisted previous one).
+	Attached bool `json:"attached"`
+	// Expired reports that the fence instant has passed: writes are being
+	// refused with CodeLeaseExpired until the grantor pulls again.
+	Expired bool `json:"expired"`
+	// Deposed reports a completed failover elsewhere: this primary is
+	// permanently fenced (CodeStalePrimary).
+	Deposed bool `json:"deposed,omitempty"`
+	// Grantor is the promoter identity the lease is bound to.
+	Grantor string `json:"grantor,omitempty"`
+	// RemainingMs is how long until the fence instant, measured on the
+	// monotonic clock; <= 0 once fenced.
+	RemainingMs int64 `json:"remaining_ms"`
+	// DriftMs is how far the wall clock has stepped or slewed against the
+	// monotonic clock since the lease guard started — the margin by which
+	// the persisted (wall-stamped) deadline may be off after a restart.
+	DriftMs int64 `json:"drift_ms"`
+}
+
+// AutoCompactStats reports the background compaction scheduler.
+type AutoCompactStats struct {
+	// MinFlushed is the flushed-segment watermark that triggers a
+	// compaction run.
+	MinFlushed int `json:"min_flushed"`
+	// Runs counts completed background compactions.
+	Runs int64 `json:"runs"`
+	// Failures counts failed attempts (each retried on a later tick).
+	Failures int64 `json:"failures,omitempty"`
 }
 
 // ReplicationStats reports a follower replica's convergence.

@@ -17,7 +17,9 @@
 // degraded (fan-out tail latency with one slow shard, with and without
 // per-shard deadlines — the failure-isolation measurement), repl
 // (replication convergence over the shared-filesystem source vs the
-// /v1/repl/* HTTP wire).
+// /v1/repl/* HTTP wire), updates (search tail under a concurrent insert
+// stream with and without background auto-compaction — the non-blocking
+// updates measurement).
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: all,4,5,6,7,8,9,10,11,table2,ablations,concurrency,shards,degraded,repl")
+	fig := flag.String("fig", "all", "figure to regenerate: all,4,5,6,7,8,9,10,11,table2,ablations,concurrency,shards,degraded,repl,updates")
 	ds := flag.String("dataset", "all", "dataset: all, Netflix, Yahoo, P53, Sift")
 	n := flag.Int("n", 0, "points per dataset (0 = laptop-scale default)")
 	queries := flag.Int("queries", 0, "queries per dataset (0 = 100, the paper's workload)")
@@ -149,6 +151,11 @@ func runPerf(ctx context.Context, out, label, baselinePath string, n, queries in
 	for _, dp := range rep.DegradedSearch {
 		fmt.Printf("perf[%s]: degraded %-19s p50=%.0fus p99=%.0fus %.0f qps (%.2f shards answered, achieved p %.3f, %d degraded)\n",
 			rep.Label, dp.Config, dp.P50US, dp.P99US, dp.QPS, dp.ShardsAnsweredAvg, dp.AchievedPAvg, dp.DegradedQueries)
+	}
+	for _, mp := range rep.Mixed {
+		fmt.Printf("perf[%s]: mixed workers=%d auto=%-5v %.0f inserts/s, read p99=%.0fus mixed p99=%.0fus (%.2fx; %d freezes, %d flushes, %d compactions)\n",
+			rep.Label, mp.Workers, mp.AutoCompact, mp.InsertsPerSec, mp.ReadP99US, mp.MixedP99US, mp.P99Ratio,
+			mp.Freezes, mp.Flushes, mp.Compactions)
 	}
 	if g := rep.Gate; g != nil {
 		fmt.Printf("perf[%s]: gate n=%d queries=%d: %.2f pages/query\n", rep.Label, g.N, g.NumQueries, g.PagesPerQuery)
@@ -268,6 +275,14 @@ func runDataset(ctx context.Context, spec dataset.Spec, fig string, n, queries i
 	}
 	if fig == "all" || fig == "repl" {
 		t, err := bench.ReplTransport(ctx, env, 2, 5, 50)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		t.Fprint(os.Stdout)
+	}
+	if fig == "all" || fig == "updates" {
+		t, err := bench.MixedWorkload(ctx, env, []int{1, 4, 8}, 10)
 		if err != nil {
 			return err
 		}

@@ -55,6 +55,7 @@ type ctlIndex interface {
 	Options() promips.Options
 	Recovery() promips.RecoveryStats
 	CacheStats() promips.CacheStats
+	UpdateStats() promips.UpdateStats
 	Sizes() promips.SizeBreakdown
 	Save() error
 	Close() error
@@ -324,8 +325,36 @@ func runStats(args []string) error {
 	cs := ix.CacheStats()
 	fmt.Printf("buffer pool: %d accesses, %d hits (%.1f%%), %d misses, %d evictions, %d writes\n",
 		cs.Accesses, cs.Hits, cs.HitRatio()*100, cs.Misses, cs.Evictions, cs.Writes)
+	printUpdates(ix)
 	printJournal(ix)
 	return nil
+}
+
+// printUpdates reports the LSM-style update pipeline: how much
+// un-compacted data sits in the mutable delta and the frozen segments,
+// how many of those segments are crash-durable in their own seg files
+// (the watermark background compaction triggers on), and the lifetime
+// freeze/flush counters.
+func printUpdates(ix ctlIndex) {
+	us := ix.UpdateStats()
+	if us.DeltaEntries == 0 && us.Segments == 0 && us.Freezes == 0 && us.Tombstones == 0 {
+		return // nothing in the update pipeline; keep quiet
+	}
+	fmt.Printf("updates: delta %d entr%s, %d frozen segment(s) holding %d entr%s (%d flushed to seg files), %d tombstone(s)\n",
+		us.DeltaEntries, plural(us.DeltaEntries, "y", "ies"),
+		us.Segments, us.SegmentEntries, plural(us.SegmentEntries, "y", "ies"),
+		us.FlushedSegments, us.Tombstones)
+	if us.Freezes > 0 || us.Flushes > 0 {
+		fmt.Printf("         lifetime: %d freeze(s), %d flush(es), %d flush failure(s)\n",
+			us.Freezes, us.Flushes, us.FlushFailures)
+	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // printJournal reports the write-ahead journal's state: how many

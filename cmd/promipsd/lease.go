@@ -86,10 +86,19 @@ type leaseGuard struct {
 	dir string
 	d   time.Duration // 0: no expiry, deposition tracking only
 
+	// startWall/startMono anchor the drift measurement: both taken at
+	// construction, startWall stripped to wall-clock only (Round(0)),
+	// startMono keeping its monotonic reading. The difference of their
+	// elapsed times is how far the wall clock has stepped or slewed against
+	// the monotonic clock since this guard started — the margin by which
+	// the PERSISTED (wall-stamped) deadline may be off after a restart.
+	startWall time.Time
+	startMono time.Time
+
 	mu        sync.Mutex
 	attached  bool      // a promoter's history pull armed the lease (now or in a past run)
 	grantor   string    // promoter identity the lease is bound to ("" = unknown, legacy LEASE file)
-	deadline  time.Time // fence instant: writes refused once passed
+	deadline  time.Time // fence instant: writes refused once passed. ALWAYS monotonic-bearing (see newLeaseGuard) so expiry comparisons never follow wall-clock steps
 	persisted time.Time // deadline as last written to LEASE
 	deposed   bool
 	peerEpoch int64 // highest follower lineage epoch seen
@@ -99,17 +108,66 @@ type leaseGuard struct {
 // persisted deadline (and grantor binding) if one exists. d <= 0
 // disables expiry (deposition is still enforced).
 func newLeaseGuard(dir string, d time.Duration) *leaseGuard {
-	g := &leaseGuard{dir: dir, d: d, peerEpoch: shard.UnstampedEpoch}
+	now := time.Now()
+	g := &leaseGuard{dir: dir, d: d, peerEpoch: shard.UnstampedEpoch,
+		startWall: now.Round(0), startMono: now}
 	if d <= 0 {
 		return g
 	}
 	if nanos, grantor, ok := readLease(filepath.Join(dir, leaseName)); ok {
 		g.attached = true
 		g.grantor = grantor
-		g.deadline = time.Unix(0, nanos)
+		// Re-anchor the persisted wall-clock deadline onto the monotonic
+		// clock: time.Unix gives a wall-only Time, and comparing one of
+		// those against time.Now() falls back to wall-clock time — so an
+		// NTP step (or an operator resetting the clock backwards) could
+		// silently re-arm an expired fence, exactly the failure mode a
+		// fencing lease must not have. Computing the REMAINING duration
+		// once, against the wall clock, and adding it to a monotonic-bearing
+		// now pins every subsequent expiry comparison to the monotonic
+		// clock. (The persisted stamp itself is necessarily wall-clock — the
+		// monotonic clock does not survive the process — which is why the
+		// follower's promotion wait already budgets a safety margin; the
+		// drift stat below measures how much that margin is being eaten.)
+		remaining := time.Duration(nanos - now.Round(0).UnixNano())
+		g.deadline = now.Add(remaining)
 		g.persisted = g.deadline
 	}
 	return g
+}
+
+// leaseState is a point-in-time view of the guard for /v1/stats.
+type leaseState struct {
+	attached  bool
+	expired   bool
+	deposed   bool
+	grantor   string
+	remaining time.Duration // until the fence instant; <= 0 once fenced
+	drift     time.Duration // wall-clock drift vs monotonic since guard start
+}
+
+// state snapshots the guard. remaining is measured on the monotonic clock
+// (deadline is monotonic-bearing); drift is the wall-vs-monotonic skew
+// accumulated since the guard was built — nonzero means the wall clock
+// stepped or slewed, and the persisted deadline is off by about that much.
+func (g *leaseGuard) state() leaseState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	now := time.Now()
+	st := leaseState{
+		attached: g.attached,
+		deposed:  g.deposed,
+		grantor:  g.grantor,
+		drift:    now.Round(0).Sub(g.startWall) - now.Sub(g.startMono),
+	}
+	if g.d > 0 && g.attached {
+		st.remaining = g.deadline.Sub(now)
+		st.expired = st.remaining <= 0
+	}
+	if g.deposed {
+		st.expired = true
+	}
+	return st
 }
 
 // readLease parses a LEASE file: the v2 text format, or the legacy raw

@@ -107,6 +107,7 @@ type runConfig struct {
 	autoPromote              bool
 	lease                    time.Duration
 	suspect                  int
+	autoCompact              int
 }
 
 func main() {
@@ -123,6 +124,7 @@ func main() {
 	flag.BoolVar(&cfg.autoPromote, "auto-promote", false, "promote automatically when the followed primary dies (requires -follow URL and -lease; run at most one per primary)")
 	flag.DurationVar(&cfg.lease, "lease", 0, "replication write lease: a primary fences writes when its auto-promoting follower has not pulled history for this long; a follower waits it out before auto-promoting (0 = disabled; both sides must set it, primary's no larger than the follower's)")
 	flag.IntVar(&cfg.suspect, "suspect", 3, "consecutive poll failures before the primary is suspected dead (with -auto-promote)")
+	flag.IntVar(&cfg.autoCompact, "auto-compact", 0, "fold flushed update segments into the base index in the background once this many accumulate (0 = disabled; ids are reassigned by each fold; a follower never auto-compacts, but adopts the setting if promoted)")
 	flag.Parse()
 	if cfg.dir == "" {
 		fmt.Fprintln(os.Stderr, "promipsd: -dir is required")
@@ -281,18 +283,23 @@ func run(cfg runConfig) error {
 		searchSlots:    cfg.searchq,
 		updateSlots:    cfg.updateq,
 		leaseDur:       cfg.lease,
+		autoCompactMin: cfg.autoCompact,
 	})
 	h.stopPoll = stopPoll
 	switch f := ix.(type) {
 	case *shard.Follower:
 		// The supervisor owns polling (with failure backoff) and, when
 		// -auto-promote is set, the quarantine-then-promote failover.
+		// No auto-compact here: it starts only if this follower promotes.
 		sup := newSupervisor(f, h, cfg.poll, urlOrEmpty(cfg.follow), cfg.autoPromote, cfg.lease, cfg.suspect)
 		go sup.run(pollCtx)
 	case *shard.Index:
 		// A sharded primary serves the replication wire (and, with -lease,
 		// fences its writes on replication silence).
 		h.enableRepl(cfg.dir)
+		h.startAutoCompact(f)
+	default:
+		h.startAutoCompact(ix)
 	}
 	srv := &http.Server{
 		Addr:              cfg.addr,
@@ -324,6 +331,10 @@ func run(cfg runConfig) error {
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Printf("drain incomplete: %v", err)
 	}
+	// Stop background compaction before Save: a fold racing the shutdown
+	// Save would rebuild a generation the Save is about to supersede, and
+	// Stop cancels an in-flight fold's context so the drain stays bounded.
+	h.stopAutoCompact()
 	cur := h.cur() // promote may have swapped the served index
 	save := saveOnExit || h.promoted.Load()
 	if save {

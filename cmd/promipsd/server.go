@@ -38,6 +38,7 @@ type index interface {
 	JournalPoisoned() bool
 	CacheStats() promips.CacheStats
 	Recovery() promips.RecoveryStats
+	UpdateStats() promips.UpdateStats
 }
 
 // serverConfig sizes the server's admission control and deadlines.
@@ -57,6 +58,13 @@ type serverConfig struct {
 	// a follower pulls again. 0 disables expiry; deposition by a higher
 	// failover epoch is enforced regardless.
 	leaseDur time.Duration
+	// autoCompactMin, when > 0, runs a background compaction scheduler on
+	// any writable primary this server serves (including one it promotes
+	// mid-run): flushed update segments are folded into the base index
+	// once at least autoCompactMin of them accumulate. 0 disables it.
+	// Followers never auto-compact — their state must stay a replayable
+	// function of the primary's WAL.
+	autoCompactMin int
 }
 
 // server wires an index behind promipsd's HTTP/JSON endpoints. The served
@@ -88,6 +96,14 @@ type server struct {
 	lease     atomic.Pointer[leaseGuard]
 	pollFails atomic.Int64
 	replOn    atomic.Bool
+
+	// compactor is the background compaction scheduler (nil unless
+	// -auto-compact > 0 and a writable primary is being served). Started
+	// by main for a primary, or by promoteNow when a follower takes over;
+	// main's drain path must Stop it before Save (a Save concurrent with
+	// a compaction handover is safe but wasteful — the fold would be
+	// redone against the new generation).
+	compactor atomic.Pointer[promips.AutoCompactor]
 
 	// quarantined is set by the auto-failover supervisor while it waits
 	// out the suspect primary's lease. During quarantine /v1/readyz and
@@ -181,6 +197,39 @@ func (s *server) replPull(pull shard.ReplPull) error {
 		return g.served(pull, ix.Epoch())
 	}
 	return nil
+}
+
+// startAutoCompact launches the background compaction scheduler for ix if
+// -auto-compact is configured and ix is a writable primary (embedded or
+// sharded). Followers are skipped: a replica's state must stay a
+// replayable function of its primary's WAL, and compaction reassigns ids.
+// At most one scheduler runs; a leftover one (possible only if promotion
+// raced a restart path) is stopped first.
+func (s *server) startAutoCompact(ix index) {
+	if s.cfg.autoCompactMin <= 0 {
+		return
+	}
+	var c *promips.AutoCompactor
+	switch t := ix.(type) {
+	case *promips.Index:
+		c = t.StartAutoCompact(s.cfg.autoCompactMin)
+	case *shard.Index:
+		c = t.StartAutoCompact(s.cfg.autoCompactMin)
+	default:
+		return
+	}
+	if old := s.compactor.Swap(c); old != nil {
+		old.Stop()
+	}
+	log.Printf("auto-compact: folding flushed segments at watermark %d", s.cfg.autoCompactMin)
+}
+
+// stopAutoCompact halts the scheduler (if any) and waits for an in-flight
+// compaction to unwind. Called by main's drain path before Save/Close.
+func (s *server) stopAutoCompact() {
+	if c := s.compactor.Swap(nil); c != nil {
+		c.Stop()
+	}
 }
 
 // writeAllowed gates the update path behind the lease fence (no-op for
@@ -483,6 +532,10 @@ func (s *server) promoteNow(why string) error {
 	s.pollFails.Store(0)
 	s.quarantined.Store(false)
 	s.enableRepl(promoted.Dir())
+	// The promoted primary owns its lineage now, so background compaction
+	// (if configured) is safe — and wanted, since the replica may have
+	// accumulated flushed segments through WAL replay.
+	s.startAutoCompact(promoted)
 	log.Printf("promoted (%s): serving as primary at epoch %d (%d live points)", why, promoted.Epoch(), promoted.LiveCount())
 	return nil
 }
@@ -572,6 +625,26 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			rep.Lag = -1 // primary unreadable right now
 		}
 		resp.Replication = rep
+	}
+	us := cur.UpdateStats()
+	resp.Updates = &us
+	if g := s.lease.Load(); g != nil {
+		st := g.state()
+		resp.Lease = &client.LeaseStats{
+			Attached:    st.attached,
+			Expired:     st.expired,
+			Deposed:     st.deposed,
+			Grantor:     st.grantor,
+			RemainingMs: st.remaining.Milliseconds(),
+			DriftMs:     st.drift.Milliseconds(),
+		}
+	}
+	if c := s.compactor.Load(); c != nil {
+		resp.AutoCompact = &client.AutoCompactStats{
+			MinFlushed: s.cfg.autoCompactMin,
+			Runs:       c.Runs(),
+			Failures:   c.Failures(),
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

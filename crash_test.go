@@ -84,6 +84,10 @@ func crashWorkloadSteps(points [][]float32) []crashStep {
 		{"insert-62", func(ix *Index) error { _, err := ix.Insert(points[2]); return err }},
 		{"compact", func(ix *Index) error { _, err := ix.Compact(context.Background()); return err }},
 		{"insert-post-compact", func(ix *Index) error { _, err := ix.Insert(points[3]); return err }},
+		// The second post-compact insert hits the freeze threshold
+		// (SegmentEntries=2), so a freeze + seg-file flush also runs against
+		// the generation the Compact handover installed.
+		{"insert-post-compact-2", func(ix *Index) error { _, err := ix.Insert(points[4]); return err }},
 		{"delete-post-compact-7", func(ix *Index) error { _, err := ix.DeleteChecked(7); return err }},
 		{"save-final", func(ix *Index) error { return ix.Save() }},
 	}
@@ -98,7 +102,12 @@ func crashWorkloadSteps(points [][]float32) []crashStep {
 // every completed step.
 func runCrashWorkload(fsys fsutil.FS, dir string, data, points [][]float32,
 	stopOnError bool, record func(*Index)) (completed int, ix *Index, firstErr error) {
-	ix, err := Build(data, Options{Dir: dir, Seed: 42, M: 4, fs: fsys})
+	// SegmentEntries 2 + synchronous segment flushing put every seg-file
+	// operation — freeze, flush write, flush fsync, directory sync — on the
+	// deterministic op sequence the matrix crashes at, so "no acked write
+	// lost" is proven at every segment-flush fault point too.
+	ix, err := Build(data, Options{Dir: dir, Seed: 42, M: 4, fs: fsys,
+		SegmentEntries: 2, segFlushSync: true})
 	if err != nil {
 		return -1, nil, err
 	}
@@ -126,7 +135,7 @@ func runCrashWorkload(fsys fsutil.FS, dir string, data, points [][]float32,
 func crashMatrixInputs() (data, points, probes [][]float32) {
 	r := rand.New(rand.NewSource(4242))
 	data = randData(r, 60, 8)
-	points = randData(r, 4, 8)
+	points = randData(r, 5, 8)
 	probes = randData(r, 3, 8)
 	return
 }

@@ -70,11 +70,49 @@ type Options struct {
 	// is FsyncAlways). Persisted in the metadata, so a reopened index keeps
 	// the policy it was built with.
 	Fsync FsyncPolicy
+	// SegmentEntries caps the mutable update delta: once it holds this many
+	// inserts it freezes into an immutable, searchable segment that a
+	// background goroutine flushes to its own seg file off the index lock
+	// (see segment.go). 0 selects the default (4096); negative disables
+	// freezing — one unbounded mutable delta, the pre-segment behavior.
+	// Persisted in the metadata like the other build knobs.
+	SegmentEntries int
 
 	// fs is the filesystem seam persistence writes through; nil means the
 	// real filesystem. Unexported so gob skips it when the Options ride
 	// inside coreMeta; set it with WithFS.
 	fs fsutil.FS
+	// syncSegFlush makes segment flushes run inline on the update path
+	// instead of in the background goroutine — the crash matrix needs
+	// deterministic filesystem op counts. Test-only, never persisted.
+	syncSegFlush bool
+	// noFlusher suppresses the background flusher entirely: Compact builds
+	// its private next generation with it so the long-lived Index's own
+	// flusher (which survives the swap) stays the only segment writer.
+	noFlusher bool
+}
+
+// defaultSegmentEntries is the delta freeze threshold when
+// Options.SegmentEntries is 0.
+const defaultSegmentEntries = 4096
+
+// segmentEntries resolves the freeze threshold: ≤ 0 means disabled.
+func (o Options) segmentEntries() int {
+	if o.SegmentEntries == 0 {
+		return defaultSegmentEntries
+	}
+	if o.SegmentEntries < 0 {
+		return 0
+	}
+	return o.SegmentEntries
+}
+
+// WithSyncSegmentFlush returns a copy of o whose segment flushes run
+// synchronously on the update path — the deterministic-op-count seam the
+// crash matrix tests through, paired with WithFS.
+func (o Options) WithSyncSegmentFlush() Options {
+	o.syncSegFlush = true
+	return o
 }
 
 // FsyncPolicy selects how the update journal acknowledges Insert/Delete.
@@ -250,20 +288,49 @@ type Index struct {
 	codes   []uint32  // per id, sign code of P(o)
 	groups  []group
 
-	// mu guards the mutable query-visible state: delta, deleted,
-	// maxNorm2Sq, the closed flag and — since Compact swaps generations in
-	// place — every disk-backed component above. Searches hold it shared
-	// for their whole run (the termination conditions must see one
-	// consistent ‖oM‖² and delta set); Insert/Delete, Close and Compact's
-	// swap phase hold it exclusive.
+	// mu guards the mutable query-visible state: the delta and segment
+	// slices, the tombstone set, maxNorm2Sq, the closed flag and — since
+	// Compact swaps generations in place — every disk-backed component
+	// above. Searches DO NOT hold it for their run: they capture a
+	// snapshot under a brief shared acquisition (see segment.go) and run
+	// lock-free against it, with ref keeping the generation's files open.
+	// Insert/Delete, Close and Compact's swap phase hold it exclusive.
 	mu         sync.RWMutex
 	closed     bool
 	maxNorm2Sq float64 // ‖oM‖² (monotone: never lowered by deletes)
 
-	// Update state (see update.go): recently inserted points awaiting
-	// compaction, and tombstoned ids.
-	delta   []deltaEntry
-	deleted map[uint32]bool
+	// ref is the current generation's refcounted file handles (idist +
+	// orig). The Index owns the initial reference; snapshots take one
+	// each; retiring the generation (Compact swap, Close) releases the
+	// Index's — the files close when the last snapshot drains.
+	ref *genRef
+
+	// dir is the directory the current generation (and its seg files)
+	// lives in; follows the generation across Compact swaps.
+	dir string
+
+	// Update state (see update.go and segment.go): the mutable delta,
+	// frozen immutable segments, and the copy-on-write tombstone set
+	// (never nil). tombsSinceFreeze accumulates the ids deleted since the
+	// last freeze so each segment's flush file covers its whole window.
+	delta            []deltaEntry
+	segs             []*segment
+	segSeq           int
+	frozenEntries    int // total entries across segs
+	tombs            *tombSet
+	tombsSinceFreeze []uint32
+	segLimit         int // resolved freeze threshold (0 = disabled)
+
+	// Background segment flusher (see segment.go).
+	flusherKick     chan struct{}
+	flusherStop     chan struct{}
+	flusherDone     sync.WaitGroup
+	flusherStopOnce sync.Once
+
+	// Lifetime update-pipeline counters (UpdateStats).
+	freezes       atomic.Int64
+	flushes       atomic.Int64
+	flushFailures atomic.Int64
 
 	// journal is the write-ahead update log (wal.log in the index
 	// directory): every acknowledged Insert/Delete appends a record before
@@ -276,15 +343,6 @@ type Index struct {
 
 	// recovery describes what Open's journal replay did.
 	recovery RecoveryStats
-
-	// journalCovered counts records sitting in the journal that the
-	// persisted metadata already covers — a crash between Save's meta
-	// fsync and the journal truncation leaves them behind, and replay
-	// skips them. JournalLen subtracts it so it reports only updates a
-	// recovery would actually replay; the next successful journal Reset
-	// empties the log and clears it. Atomic: Save updates it under the
-	// shared lock, concurrent with JournalLen readers.
-	journalCovered atomic.Int64
 }
 
 // RecoveryStats reports what the journal replay at Open recovered.
@@ -403,7 +461,13 @@ func Build(data [][]float32, dir string, opts Options) (*Index, error) {
 
 	// Pre-process step 5: a fresh update journal. Build may target a
 	// directory that held an older index, so any stale wal.log is
-	// truncated, not replayed.
+	// truncated, not replayed — and stale seg files are removed for the
+	// same reason (they belong to the older index's update stream).
+	if err := removeSegFiles(opts.fsys(), dir); err != nil {
+		idx.Close()
+		st.Close()
+		return nil, err
+	}
 	if opts.Fsync != FsyncDisabled {
 		j, err := wal.Create(opts.fsys(), filepath.Join(dir, "wal.log"), opts.syncMode())
 		if err != nil {
@@ -413,26 +477,56 @@ func Build(data [][]float32, dir string, opts Options) (*Index, error) {
 		}
 		ix.journal = j
 	}
+	ix.dir = dir
+	ix.segLimit = opts.segmentEntries()
+	ix.tombs = &tombSet{}
+	ix.ref = newGenRef(idx, st)
+	ix.startFlusher()
 	return ix, nil
 }
 
+// removeSegFiles deletes stale segment flush files in dir — Build's
+// analogue of truncating a stale wal.log.
+func removeSegFiles(fsys fsutil.FS, dir string) error {
+	names, err := filepath.Glob(filepath.Join(dir, segFilePattern))
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if err := fsys.Remove(name); err != nil {
+			return fmt.Errorf("core: remove stale %s: %w", filepath.Base(name), err)
+		}
+	}
+	return nil
+}
+
 // Close releases the index's page files. Further operations return
-// ErrClosed; a second Close is a no-op.
+// ErrClosed; a second Close is a no-op. Close waits for in-flight
+// searches — snapshots pinning the current generation — to drain, so the
+// page files are really closed when it returns (the semantics the old
+// exclusive-lock Close had).
 func (ix *Index) Close() error {
 	ix.mu.Lock()
-	defer ix.mu.Unlock()
 	if ix.closed {
+		ix.mu.Unlock()
 		return nil
 	}
 	ix.closed = true
-	err := ix.idist.Close()
-	if err2 := ix.orig.Close(); err == nil {
-		err = err2
-	}
+	ix.mu.Unlock()
+	// Stop the flusher OUTSIDE the lock: its post-write section takes the
+	// lock, and its closed-check makes any in-flight write a no-op.
+	ix.stopFlusher()
+	ix.mu.Lock()
+	ref, j := ix.ref, ix.journal
+	ix.mu.Unlock()
+	// Release the Index's own reference and wait for in-flight snapshots.
+	ref.release()
+	<-ref.done
+	err := ref.closeErr
 	// Close flushes (FsyncNever buffers) but never truncates: the journal
 	// must survive Close so an unsaved index still replays at Open.
-	if ix.journal != nil {
-		if err2 := ix.journal.Close(); err == nil {
+	if j != nil {
+		if err2 := j.Close(); err == nil {
 			err = err2
 		}
 	}
@@ -460,7 +554,7 @@ func (ix *Index) JournalLen() int {
 	if ix.journal == nil {
 		return 0
 	}
-	n := ix.journal.Len() - int(ix.journalCovered.Load())
+	n := ix.journal.Len() - int(ix.journal.Covered())
 	if n < 0 {
 		n = 0
 	}
@@ -543,12 +637,14 @@ func (ix *Index) CacheStats() pager.Stats {
 // conditionA evaluates the deterministic termination test (Formula 1):
 // ‖oM‖² + ‖q‖² − 2⟨oi,q⟩/c ≤ 0. The approximation ratio c is query-local:
 // per-query overrides recompute the condition without touching the index.
-func (ix *Index) conditionA(c, normQSq, ipK float64) bool {
-	return ix.maxNorm2Sq+normQSq-2*ipK/c <= 0
+// Defined on the snapshot: a query must test against the one consistent
+// ‖oM‖² its view was captured with.
+func (sn *snapshot) conditionA(c, normQSq, ipK float64) bool {
+	return sn.maxNorm2Sq+normQSq-2*ipK/c <= 0
 }
 
 // conditionBDenominator is ‖oM‖² + ‖q‖² − 2⟨omax,q⟩/c, the denominator of
 // Formula 2. Non-positive values mean Condition A already holds.
-func (ix *Index) conditionBDenominator(c, normQSq, ipK float64) float64 {
-	return ix.maxNorm2Sq + normQSq - 2*ipK/c
+func (sn *snapshot) conditionBDenominator(c, normQSq, ipK float64) float64 {
+	return sn.maxNorm2Sq + normQSq - 2*ipK/c
 }

@@ -143,14 +143,20 @@ func (ix *Index) Save(dir string) error {
 	for i, g := range ix.groups {
 		m.Groups[i] = groupMeta{Code: g.code, MinNorm1: g.minNorm1, MinID: g.minID, Count: g.count}
 	}
-	m.Delta = make([]deltaMeta, len(ix.delta))
-	for i, e := range ix.delta {
-		m.Delta[i] = deltaMeta{ID: e.id, V: e.v}
+	// Frozen segments and the mutable delta fold into one dense Delta list
+	// (segments hold the older ids, so segments-then-delta preserves the
+	// dense ascending order validate checks).
+	m.Delta = make([]deltaMeta, 0, ix.frozenEntries+len(ix.delta))
+	for _, seg := range ix.segs {
+		for _, e := range seg.entries {
+			m.Delta = append(m.Delta, deltaMeta{ID: e.id, V: e.v})
+		}
 	}
-	m.Deleted = make([]uint32, 0, len(ix.deleted))
-	for id := range ix.deleted {
-		m.Deleted = append(m.Deleted, id)
+	for _, e := range ix.delta {
+		m.Delta = append(m.Delta, deltaMeta{ID: e.id, V: e.v})
 	}
+	m.Deleted = make([]uint32, 0, ix.tombs.count())
+	ix.tombs.each(func(id uint32) { m.Deleted = append(m.Deleted, id) })
 	sort.Slice(m.Deleted, func(i, j int) bool { return m.Deleted[i] < m.Deleted[j] })
 	err := fsutil.WriteAtomic(fsys, filepath.Join(dir, "promips.meta"), func(f fsutil.File) error {
 		return gob.NewEncoder(f).Encode(&m)
@@ -163,6 +169,17 @@ func (ix *Index) Save(dir string) error {
 	if err := fsutil.SyncDir(fsys, dir); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	// Every frozen segment is now covered by the durable meta: its seg file
+	// (flushed or not) is replay-skipped garbage from here on. The files are
+	// NOT deleted — a failed remove would have to surface from a Save that
+	// logically succeeded, and stale seg files replay as skips and are swept
+	// with the generation. Marking persisted stops the flusher from writing
+	// files nobody needs (the flag write races only other atomic accesses;
+	// the flusher's marking section takes the exclusive lock, which Save's
+	// read lock excludes).
+	for _, seg := range ix.segs {
+		seg.persisted.Store(true)
+	}
 	// The journaled updates are durable in the meta now; empty the journal.
 	// A failure here leaves a stale-but-harmless journal (replay skips
 	// records the meta already covers) and surfaces so the caller retries.
@@ -170,7 +187,6 @@ func (ix *Index) Save(dir string) error {
 		if err := ix.journal.Reset(); err != nil {
 			return fmt.Errorf("core: truncate journal: %w", err)
 		}
-		ix.journalCovered.Store(0)
 	}
 	return nil
 }
@@ -214,11 +230,14 @@ func OpenFS(dir string, fsys fsutil.FS) (*Index, error) {
 		proj: proj, idist: idist, orig: orig,
 		norm2Sq: m.Norm2Sq, norm1: m.Norm1, codes: m.Codes,
 		maxNorm2Sq: m.MaxNorm2Sq,
+		dir:        dir,
+		tombs:      &tombSet{},
 	}
 	ix.opts.fs = fsys
+	ix.segLimit = ix.opts.segmentEntries()
+	ix.ref = newGenRef(idist, orig)
 	closeAll := func() {
-		idist.Close()
-		orig.Close()
+		ix.ref.release()
 	}
 	if len(m.Sketch) > 0 {
 		sk, err := pq.UnmarshalSketch(m.Sketch)
@@ -242,10 +261,21 @@ func OpenFS(dir string, fsys fsutil.FS) (*Index, error) {
 		}
 	}
 	if len(m.Deleted) > 0 {
-		ix.deleted = make(map[uint32]bool, len(m.Deleted))
+		frozen := make(map[uint32]bool, len(m.Deleted))
 		for _, id := range m.Deleted {
-			ix.deleted[id] = true
+			frozen[id] = true
 		}
+		ix.tombs = &tombSet{frozen: frozen}
+	}
+	// Replay flushed segment files on top of the meta state, oldest first.
+	// Each seg file is a complete journal-format image of one frozen update
+	// window (atomic rename: it is either absent or whole). Records the meta
+	// already covers — every record, after a successful Save — replay as
+	// idempotent skips; records the meta predates re-enter the delta exactly
+	// as the wal.log replay below would apply them.
+	if err := ix.replaySegFiles(dir); err != nil {
+		closeAll()
+		return nil, err
 	}
 	if m.Opts.Fsync != FsyncDisabled {
 		j, recs, torn, err := wal.Open(ix.opts.fsys(), filepath.Join(dir, "wal.log"), ix.opts.syncMode())
@@ -254,15 +284,69 @@ func OpenFS(dir string, fsys fsutil.FS) (*Index, error) {
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		ix.journal = j
+		walSkipBefore := ix.recovery.Skipped
 		if err := ix.replayJournal(recs); err != nil {
 			j.Close()
 			closeAll()
 			return nil, err
 		}
 		ix.recovery.TruncatedBytes = torn
-		ix.journalCovered.Store(int64(ix.recovery.Skipped))
+		// Records the wal replay skipped are covered by the meta and the seg
+		// files; only seg-file and meta coverage counts toward the journal's
+		// covered watermark (they are a prefix of the log — inserts are dense
+		// and in order).
+		j.MarkCovered(int64(ix.recovery.Skipped - walSkipBefore))
 	}
+	// The replayed delta may be far past the freeze threshold (a whole
+	// crash window of updates): re-freeze it as one segment so JournalLen
+	// shrinks again once the flusher re-covers it, and so search snapshots
+	// scan it as the immutable structure it is.
+	ix.maybeFreezeLocked()
+	if ix.opts.syncSegFlush {
+		if err := ix.flushPendingSegments(); err != nil {
+			if ix.journal != nil {
+				ix.journal.Close()
+			}
+			closeAll()
+			return nil, err
+		}
+	}
+	ix.startFlusher()
 	return ix, nil
+}
+
+// replaySegFiles applies every seg-NNNNNN.seg flush file in dir to the
+// restored state, ascending by sequence, and resumes the segment sequence
+// counter past the highest one found. Counts land in ix.recovery alongside
+// the journal replay's.
+func (ix *Index) replaySegFiles(dir string) error {
+	matches, err := filepath.Glob(filepath.Join(dir, segFilePattern))
+	if err != nil {
+		return fmt.Errorf("core: scan seg files: %w", err)
+	}
+	sort.Strings(matches) // zero-padded seqs: lexical order is numeric order
+	fsys := ix.opts.fsys()
+	for _, path := range matches {
+		var seq int
+		if _, err := fmt.Sscanf(filepath.Base(path), "seg-%d.seg", &seq); err != nil {
+			continue // not a flush file; leave it alone
+		}
+		b, err := fsys.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("core: read seg file %s: %w", filepath.Base(path), err)
+		}
+		recs, _, err := wal.Decode(b)
+		if err != nil {
+			return fmt.Errorf("core: seg file %s: %w", filepath.Base(path), err)
+		}
+		if err := ix.replayJournal(recs); err != nil {
+			return fmt.Errorf("core: seg file %s: %w", filepath.Base(path), err)
+		}
+		if seq >= ix.segSeq {
+			ix.segSeq = seq + 1
+		}
+	}
+	return nil
 }
 
 // replayJournal applies the journal's records on top of the state the
@@ -290,7 +374,7 @@ func (ix *Index) applyRecords(recs []wal.Record) (applied, skipped int, err erro
 	for _, r := range recs {
 		switch r.Type {
 		case wal.TypeInsert:
-			next := uint32(ix.n + len(ix.delta))
+			next := uint32(ix.n + ix.frozenEntries + len(ix.delta))
 			if r.ID < next {
 				skipped++
 				continue
@@ -308,17 +392,15 @@ func (ix *Index) applyRecords(recs []wal.Record) (applied, skipped int, err erro
 			}
 			applied++
 		case wal.TypeDelete:
-			if int(r.ID) >= ix.n+len(ix.delta) {
-				return applied, skipped, fmt.Errorf("core: journal: tombstone %d outside id range %d: %w", r.ID, ix.n+len(ix.delta), errs.ErrCorruptIndex)
+			if int(r.ID) >= ix.n+ix.frozenEntries+len(ix.delta) {
+				return applied, skipped, fmt.Errorf("core: journal: tombstone %d outside id range %d: %w", r.ID, ix.n+ix.frozenEntries+len(ix.delta), errs.ErrCorruptIndex)
 			}
-			if ix.deleted[r.ID] {
+			if ix.tombs.has(r.ID) {
 				skipped++
 				continue
 			}
-			if ix.deleted == nil {
-				ix.deleted = make(map[uint32]bool)
-			}
-			ix.deleted[r.ID] = true
+			ix.tombs = ix.tombs.add(r.ID)
+			ix.tombsSinceFreeze = append(ix.tombsSinceFreeze, r.ID)
 			applied++
 		default:
 			return applied, skipped, fmt.Errorf("core: journal: record type %d: %w", r.Type, errs.ErrCorruptIndex)
@@ -381,5 +463,10 @@ func (ix *Index) ApplyWALChunk(b []byte, cont bool) (applied, skipped, records i
 		// rather than resuming mid-chunk.
 		return applied, skipped, len(recs), 0, err
 	}
+	// Freeze AFTER the whole chunk lands: the replica's segments then hold
+	// only fully-applied windows, and a replica that freezes at different
+	// boundaries than its primary still answers identically (segments and
+	// delta are scanned the same way).
+	ix.maybeFreezeLocked()
 	return applied, skipped, len(recs), bytes, nil
 }

@@ -103,13 +103,13 @@ type rankedGroup struct {
 var queryScratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
 
 // getScratch draws a scratch from the pool and binds it to this query:
-// accounting cleared, verification cursor rebound to the index's current
-// store generation (Compact may have swapped it since the scratch was last
-// used).
-func getScratch(ix *Index) *queryScratch {
+// accounting cleared, verification cursor rebound to the snapshot's store
+// generation (Compact may have swapped the index's since the scratch was
+// last used; the snapshot pins the one this query reads).
+func getScratch(sn *snapshot) *queryScratch {
 	sc := queryScratchPool.Get().(*queryScratch)
 	sc.io.Reset()
-	sc.reader.Reset(ix.orig)
+	sc.reader.Reset(sn.orig)
 	return sc
 }
 

@@ -92,13 +92,13 @@ const (
 )
 
 // resolve returns the effective (c, p) for a query.
-func (ix *Index) resolve(p SearchParams) (float64, float64, error) {
+func (sn *snapshot) resolve(p SearchParams) (float64, float64, error) {
 	c, pr := p.C, p.P
 	if c == 0 {
-		c = ix.opts.C
+		c = sn.optC
 	}
 	if pr == 0 {
-		pr = ix.opts.P
+		pr = sn.optP
 	}
 	// Negated-range form so NaN fails too: every comparison with NaN is
 	// false, and a NaN that slipped through would reach idistance's
@@ -131,31 +131,35 @@ func (ix *Index) Search(q []float32, k int) ([]Result, SearchStats, error) {
 // build-time options). Cancellation is honored between iDistance
 // sub-partition scans; the error then satisfies errors.Is(err, ctx.Err()).
 // SearchContext is safe to call from many goroutines against one shared
-// Index; each call accounts its own page accesses.
+// Index; each call accounts its own page accesses. The query runs against
+// a SNAPSHOT of the index state at call time: the index lock is held only
+// for the capture, so concurrent inserts, deletes, segment freezes and
+// compactions never block a running search (and never appear mid-query).
 func (ix *Index) SearchContext(ctx context.Context, q []float32, k int, params SearchParams) ([]Result, SearchStats, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return ix.searchLocked(ctx, q, k, params)
+	sn, err := ix.snapshot()
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	defer sn.release()
+	return sn.search(ctx, q, k, params)
 }
 
 // beginSearch is the shared validation prologue of the two query entry
-// points, run under the read lock: closed check, per-query parameter
-// resolution, dimension check, and the k clamp against the live count.
-func (ix *Index) beginSearch(q []float32, k int, params SearchParams) (c, p float64, kk int, err error) {
-	if ix.closed {
-		return 0, 0, 0, errs.ErrClosed
-	}
-	c, p, err = ix.resolve(params)
+// points: per-query parameter resolution, dimension check, and the k clamp
+// against the snapshot's live count. (The closed check already happened at
+// snapshot capture.)
+func (sn *snapshot) beginSearch(q []float32, k int, params SearchParams) (c, p float64, kk int, err error) {
+	c, p, err = sn.resolve(params)
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	if len(q) != ix.d {
-		return 0, 0, 0, fmt.Errorf("core: %w: query dim %d, want %d", errs.ErrDimMismatch, len(q), ix.d)
+	if len(q) != sn.d {
+		return 0, 0, 0, fmt.Errorf("core: %w: query dim %d, want %d", errs.ErrDimMismatch, len(q), sn.d)
 	}
 	if k <= 0 {
 		return 0, 0, 0, fmt.Errorf("core: k must be positive, got %d", k)
 	}
-	if live := ix.liveCountLocked(); k > live {
+	if live := sn.liveCount(); k > live {
 		k = live
 	}
 	if k == 0 {
@@ -164,32 +168,32 @@ func (ix *Index) beginSearch(q []float32, k int, params SearchParams) (c, p floa
 	return c, p, k, nil
 }
 
-func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params SearchParams) ([]Result, SearchStats, error) {
-	c, p, k, err := ix.beginSearch(q, k, params)
+func (sn *snapshot) search(ctx context.Context, q []float32, k int, params SearchParams) ([]Result, SearchStats, error) {
+	c, p, k, err := sn.beginSearch(q, k, params)
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
-	sc := getScratch(ix)
+	sc := getScratch(sn)
 	defer putScratch(sc)
 	io := &sc.io
 	var st SearchStats
 
-	sc.pq = ix.proj.ProjectInto(q, sc.pq)
+	sc.pq = sn.proj.ProjectInto(q, sc.pq)
 	pq := sc.pq
 	normQSq := vec.Norm2Sq(q)
 	norm1Q := vec.Norm1(q)
 
 	// Ψm⁻¹(p) is shared by Quick-Probe's Test A and Condition B below —
 	// one inverse-CDF evaluation per query, not two.
-	chiThreshold := stats.ChiSquareInvCDF(ix.m, p)
+	chiThreshold := stats.ChiSquareInvCDF(sn.m, p)
 
 	// ---- Quick-Probe (Algorithm 2) -----------------------------------
-	probeID := ix.quickProbe(pq, norm1Q, c, chiThreshold, &st, sc)
+	probeID := sn.quickProbe(pq, norm1Q, c, chiThreshold, &st, sc)
 
 	// The located point's projected distance is the estimated range
 	// (fetching its projected vector costs one page access, the only
 	// projected-point read Quick-Probe needs).
-	sc.probePt, err = ix.idist.Projected(probeID, sc.probePt, io)
+	sc.probePt, err = sn.idist.Projected(probeID, sc.probePt, io)
 	if err != nil {
 		return nil, st, err
 	}
@@ -197,7 +201,7 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 	if r <= 0 {
 		// The located point projects exactly onto the query; fall back to
 		// one ring width so the range search has volume.
-		r = ix.idist.Epsilon()
+		r = sn.idist.Epsilon()
 	}
 	st.Radius = r
 
@@ -210,9 +214,10 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 	// Ψm(dis²/denom) ≥ p is evaluated as dis² ≥ Ψm⁻¹(p)·denom.
 	top := &sc.top
 	top.reset(k)
-	// Recently inserted points are evaluated exactly up front (no disk
-	// I/O); their inner products can only tighten the conditions below.
-	ix.scanDelta(q, top, &params)
+	// Recently inserted points (frozen segments and the mutable delta) are
+	// evaluated exactly up front (no disk I/O); their inner products can
+	// only tighten the conditions below.
+	sn.scanMem(q, top, &params)
 	// sketchLUT is set once the pre-ranking pass builds the query's lookup
 	// table; it arms the sketch-bound prune inside verifyCand.
 	var sketchLUT []float64
@@ -230,18 +235,18 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 	// ⟨omax^k,q⟩ peaks after the pre-ranked window, disqualifying most of
 	// the remaining candidates from memory alone.
 	verifyCand := func(cand idistance.Candidate) (verdict int, err error) {
-		if !ix.live(cand.ID) {
+		if !sn.live(cand.ID) {
 			return candSkipped, nil // tombstoned by Delete
 		}
 		if !params.accepts(cand.ID) {
 			return candSkipped, nil // rejected by the query's filter
 		}
 		if ipK, full := top.kth(); full {
-			if ipK >= 0 && ix.norm2Sq[cand.ID]*normQSq <= ipK*ipK {
+			if ipK >= 0 && sn.norm2Sq[cand.ID]*normQSq <= ipK*ipK {
 				st.NormPruned++
 				return candPruned, nil
 			}
-			if sketchLUT != nil && ix.sketch.Bound(cand.ID, sketchLUT, normQ) <= ipK {
+			if sketchLUT != nil && sn.sketch.Bound(cand.ID, sketchLUT, normQ) <= ipK {
 				st.NormPruned++
 				return candPruned, nil
 			}
@@ -264,7 +269,7 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 		if !full {
 			return ""
 		}
-		denom := ix.conditionBDenominator(c, normQSq, ipK)
+		denom := sn.conditionBDenominator(c, normQSq, ipK)
 		if denom <= 0 {
 			return "A" // Condition A (Formula 1) holds
 		}
@@ -275,7 +280,7 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 	}
 
 	// Candidates are collected unsorted, in disk order.
-	sc.cands, err = ix.idist.CollectRangeAppend(ctx, pq, r, io, sc.cands)
+	sc.cands, err = sn.idist.CollectRangeAppend(ctx, pq, r, io, sc.cands)
 	if err != nil {
 		return nil, st, err
 	}
@@ -291,10 +296,10 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 	// unverified candidate (see DESIGN.md "I/O engine").
 	terminated := ""
 	preranked := sc.prerankIDs[:0]
-	if ix.sketch != nil && !params.NoPrerank && len(sc.cands) > k {
-		sc.lut = ix.sketch.NewLUT(q, sc.lut)
+	if sn.sketch != nil && !params.NoPrerank && len(sc.cands) > k {
+		sc.lut = sn.sketch.NewLUT(q, sc.lut)
 		sketchLUT = sc.lut
-		for _, pc := range sc.selectPrerank(ix.sketch, k) {
+		for _, pc := range sc.selectPrerank(sn.sketch, k) {
 			v, err := verifyCand(pc.cand)
 			if err != nil {
 				return nil, st, err
@@ -310,7 +315,7 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 		}
 		slices.Sort(preranked)
 		// Condition A needs no distance frontier, so it can already fire.
-		if ipK, full := top.kth(); full && ix.conditionBDenominator(c, normQSq, ipK) <= 0 {
+		if ipK, full := top.kth(); full && sn.conditionBDenominator(c, normQSq, ipK) <= 0 {
 			terminated = "A"
 		}
 	}
@@ -358,13 +363,13 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 	// miss probability by 1−p).
 	ipK, full := top.kth()
 	if full {
-		denom := ix.conditionBDenominator(c, normQSq, ipK)
+		denom := sn.conditionBDenominator(c, normQSq, ipK)
 		if denom <= 0 {
 			st.TerminatedBy = "A"
 			st.PageAccesses = io.Pages()
 			return sc.takeResults(), st, nil
 		}
-		if stats.ChiSquareCDF(ix.m, r*r/denom) >= p {
+		if stats.ChiSquareCDF(sn.m, r*r/denom) >= p {
 			st.TerminatedBy = "B"
 			st.PageAccesses = io.Pages()
 			return sc.takeResults(), st, nil
@@ -376,13 +381,13 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 	// so r' falls back to infinity.
 	rExt := math.Inf(1)
 	if full {
-		denom := ix.conditionBDenominator(c, normQSq, ipK)
+		denom := sn.conditionBDenominator(c, normQSq, ipK)
 		rExt = math.Sqrt(chiThreshold * denom)
 	}
 	st.ExtendedRadius = rExt
 
 	extCands := sc.extCands[:0]
-	err = ix.idist.Search(ctx, pq, r, rExt, io, func(cand idistance.Candidate) bool {
+	err = sn.idist.Search(ctx, pq, r, rExt, io, func(cand idistance.Candidate) bool {
 		extCands = append(extCands, cand)
 		return true
 	})
@@ -424,10 +429,10 @@ func (ix *Index) searchLocked(ctx context.Context, q []float32, k int, params Se
 // steer the probe as well. The ranking lives in the query scratch; ties in
 // the lower bound break on group index so the probe is deterministic under
 // any sorting algorithm.
-func (ix *Index) quickProbe(pq []float32, norm1Q, c, threshold float64, st *SearchStats, sc *queryScratch) uint32 {
+func (sn *snapshot) quickProbe(pq []float32, norm1Q, c, threshold float64, st *SearchStats, sc *queryScratch) uint32 {
 	codeQ := randproj.Code(pq)
 	order := sc.order[:0]
-	for i, g := range ix.groups {
+	for i, g := range sn.groups {
 		order = append(order, rankedGroup{lb: randproj.GroupLowerBound(g.code, codeQ, pq), gi: i})
 	}
 	sc.order = order
@@ -442,10 +447,10 @@ func (ix *Index) quickProbe(pq []float32, norm1Q, c, threshold float64, st *Sear
 	})
 
 	bestVal := -1.0
-	bestID := ix.groups[order[0].gi].minID
+	bestID := sn.groups[order[0].gi].minID
 	for _, rk := range order {
 		st.GroupsProbed++
-		g := ix.groups[rk.gi]
+		g := sn.groups[rk.gi]
 		ub := randproj.DistUpperBound(g.minNorm1, norm1Q)
 		if ub <= 0 {
 			// Query and point are both the origin: any range works.
@@ -473,26 +478,30 @@ func (ix *Index) SearchIncremental(q []float32, k int) ([]Result, SearchStats, e
 // Conditions A and B on every returned point. It is kept for the ablation
 // study of Quick-Probe's benefit; the results carry the same probability
 // guarantee and honor the same per-query overrides and cancellation points
-// as SearchContext. Like SearchContext, it is safe for concurrent use.
+// as SearchContext. Like SearchContext, it runs against a call-time
+// snapshot and is safe for concurrent use.
 func (ix *Index) SearchIncrementalContext(ctx context.Context, q []float32, k int, params SearchParams) ([]Result, SearchStats, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	c, p, k, err := ix.beginSearch(q, k, params)
+	sn, err := ix.snapshot()
 	if err != nil {
 		return nil, SearchStats{}, err
 	}
-	sc := getScratch(ix)
+	defer sn.release()
+	c, p, k, err := sn.beginSearch(q, k, params)
+	if err != nil {
+		return nil, SearchStats{}, err
+	}
+	sc := getScratch(sn)
 	defer putScratch(sc)
 	io := &sc.io
 	var st SearchStats
 
-	sc.pq = ix.proj.ProjectInto(q, sc.pq)
+	sc.pq = sn.proj.ProjectInto(q, sc.pq)
 	normQSq := vec.Norm2Sq(q)
 	top := &sc.top
 	top.reset(k)
-	ix.scanDelta(q, top, &params)
+	sn.scanMem(q, top, &params)
 
-	it := ix.idist.NewIterator(ctx, sc.pq, io)
+	it := sn.idist.NewIterator(ctx, sc.pq, io)
 	for {
 		cand, ok := it.Next()
 		if !ok {
@@ -502,13 +511,13 @@ func (ix *Index) SearchIncrementalContext(ctx context.Context, q []float32, k in
 			st.TerminatedBy = "exhausted"
 			break
 		}
-		if !ix.live(cand.ID) || !params.accepts(cand.ID) {
+		if !sn.live(cand.ID) || !params.accepts(cand.ID) {
 			continue
 		}
 		// The same exact Cauchy-Schwarz prune as the main path: a candidate
 		// whose norm cannot beat the current k-th inner product is counted
 		// seen without touching its store page.
-		if ipK, full := top.kth(); full && ipK >= 0 && ix.norm2Sq[cand.ID]*normQSq <= ipK*ipK {
+		if ipK, full := top.kth(); full && ipK >= 0 && sn.norm2Sq[cand.ID]*normQSq <= ipK*ipK {
 			st.NormPruned++
 		} else {
 			ip, err := sc.reader.Dot(cand.ID, q, io)
@@ -522,12 +531,12 @@ func (ix *Index) SearchIncrementalContext(ctx context.Context, q []float32, k in
 		if !full {
 			continue
 		}
-		if ix.conditionA(c, normQSq, ipK) {
+		if sn.conditionA(c, normQSq, ipK) {
 			st.TerminatedBy = "A"
 			break
 		}
-		denom := ix.conditionBDenominator(c, normQSq, ipK)
-		if denom > 0 && stats.ChiSquareCDF(ix.m, cand.Dist*cand.Dist/denom) >= p {
+		denom := sn.conditionBDenominator(c, normQSq, ipK)
+		if denom > 0 && stats.ChiSquareCDF(sn.m, cand.Dist*cand.Dist/denom) >= p {
 			st.TerminatedBy = "B"
 			break
 		}
@@ -538,19 +547,20 @@ func (ix *Index) SearchIncrementalContext(ctx context.Context, q []float32, k in
 
 // Exact scans the whole dataset through the store and returns the true
 // top-k MIP points. It is the ground truth used by the overall-ratio and
-// recall metrics and by tests of the probability guarantee. Safe for
-// concurrent use. Cancelling ctx stops the scan between store pages and
-// returns ctx.Err() — the scan is linear in the dataset, so a fanned-out
-// exact merge (promips/shard) needs the same cancellation point the
-// approximate paths have.
+// recall metrics and by tests of the probability guarantee. Like the
+// approximate paths it runs against a call-time snapshot, so it is safe
+// for concurrent use and never blocks updates. Cancelling ctx stops the
+// scan between store pages and returns ctx.Err() — the scan is linear in
+// the dataset, so a fanned-out exact merge (promips/shard) needs the same
+// cancellation point the approximate paths have.
 func (ix *Index) Exact(ctx context.Context, q []float32, k int) ([]Result, error) {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if ix.closed {
-		return nil, errs.ErrClosed
+	sn, err := ix.snapshot()
+	if err != nil {
+		return nil, err
 	}
-	if len(q) != ix.d {
-		return nil, fmt.Errorf("core: %w: query dim %d, want %d", errs.ErrDimMismatch, len(q), ix.d)
+	defer sn.release()
+	if len(q) != sn.d {
+		return nil, fmt.Errorf("core: %w: query dim %d, want %d", errs.ErrDimMismatch, len(q), sn.d)
 	}
 	if k <= 0 {
 		return nil, fmt.Errorf("core: k must be positive, got %d", k)
@@ -558,17 +568,17 @@ func (ix *Index) Exact(ctx context.Context, q []float32, k int) ([]Result, error
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if live := ix.liveCountLocked(); k > live {
+	if live := sn.liveCount(); k > live {
 		k = live
 	}
 	if k == 0 {
 		return nil, fmt.Errorf("core: %w: index has no live points", errs.ErrEmptyIndex)
 	}
 	top := newTopK(k)
-	ix.scanDelta(q, top, nil)
-	rd := ix.orig.NewReader()
-	layout := ix.idist.Layout()
-	for pos := 0; pos < ix.n; pos++ {
+	sn.scanMem(q, top, nil)
+	rd := sn.orig.NewReader()
+	layout := sn.idist.Layout()
+	for pos := 0; pos < sn.n; pos++ {
 		// Checking every position would put a branch on ctx into the inner
 		// loop for nothing: 256 positions are at most a few pages of I/O.
 		if pos&255 == 0 {
@@ -578,7 +588,7 @@ func (ix *Index) Exact(ctx context.Context, q []float32, k int) ([]Result, error
 		}
 		// The reader walks layout order; recover the id from the layout.
 		id := layout[pos]
-		if !ix.live(id) {
+		if !sn.live(id) {
 			continue
 		}
 		ip, err := rd.DotAt(pos, q, nil)

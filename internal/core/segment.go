@@ -1,0 +1,461 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"slices"
+	"sync/atomic"
+	"time"
+
+	"promips/internal/errs"
+	"promips/internal/fsutil"
+	"promips/internal/idistance"
+	"promips/internal/pq"
+	"promips/internal/randproj"
+	"promips/internal/store"
+	"promips/internal/vec"
+	"promips/internal/wal"
+)
+
+// LSM-flavored update pipeline. The mutable delta used to grow without
+// bound between compactions, and every Insert serialized behind one
+// exclusive lock held across its norm/clone work while searches held the
+// same lock shared for their whole run. This file restructures that:
+//
+//   - At SegmentEntries inserts the mutable delta FREEZES into an
+//     immutable segment — a pure pointer move under the already-held
+//     exclusive lock, no I/O. Frozen segments stay searchable exactly like
+//     the delta (their entries are scanned with exact inner products).
+//   - A background flusher writes each frozen segment to its own
+//     seg-NNNNNN.seg file (journal record format, atomic rename) OFF the
+//     index lock, then marks the journal records up to the segment's
+//     freeze watermark as covered. The wal.log stays the recovery source
+//     of truth — seg files only let JournalLen report what a recovery
+//     would actually need and give compaction a durability watermark.
+//   - Searches run against a SNAPSHOT captured under a brief RLock —
+//     generation handles (refcounted so Compact/Close cannot close pages
+//     under a running query), the delta and segment slices, and a
+//     copy-on-write tombstone view — and then never touch the lock again,
+//     so updates no longer block in-flight searches and vice versa.
+
+// segment is one frozen, immutable slice of the update delta, plus the
+// tombstones recorded in the window that ended at its freeze. entries and
+// tombs are never mutated after publication; the flags are the only
+// post-publication writes.
+type segment struct {
+	entries []deltaEntry // frozen delta, ids dense and ascending
+	tombs   []uint32     // tombstones recorded since the previous freeze
+	walMark int64        // journal record count at freeze: every record ≤ walMark is reflected in segments up to and including this one
+	seq     int          // seg file sequence number (seg-%06d.seg)
+
+	flushed   atomic.Bool // seg file durable on disk
+	persisted atomic.Bool // folded into promips.meta by Save; the seg file is now replay-skipped garbage
+}
+
+// segFileName names the flush file of segment sequence seq.
+func segFileName(seq int) string { return fmt.Sprintf("seg-%06d.seg", seq) }
+
+// segFilePattern matches flush files for directory scans and hygiene.
+const segFilePattern = "seg-*.seg"
+
+// tombSet is the copy-on-write tombstone set. frozen is immutable once
+// published (readers access it lock-free from snapshots); recent is
+// append-only under the exclusive lock, and readers only ever see a slice
+// header captured under the read lock — appends land beyond that header's
+// length or in a reallocated backing array, never in view. When recent
+// outgrows tombFoldLimit the whole set folds into a fresh frozen map and
+// the Index swaps the pointer, so membership stays O(1) amortized while a
+// snapshot's view costs two pointer copies.
+type tombSet struct {
+	frozen map[uint32]bool
+	recent []uint32
+}
+
+// tombFoldLimit bounds the linear-scanned recent tail.
+const tombFoldLimit = 64
+
+// add records id as deleted and returns the set the Index should publish
+// (the receiver, or a folded replacement). Caller holds the exclusive
+// lock and has checked !has(id).
+func (t *tombSet) add(id uint32) *tombSet {
+	if len(t.recent) >= tombFoldLimit {
+		nf := make(map[uint32]bool, len(t.frozen)+len(t.recent)+1)
+		for k := range t.frozen {
+			nf[k] = true
+		}
+		for _, k := range t.recent {
+			nf[k] = true
+		}
+		nf[id] = true
+		return &tombSet{frozen: nf}
+	}
+	t.recent = append(t.recent, id)
+	return t
+}
+
+// has reports membership against the full current set. Caller holds the
+// index lock (shared or exclusive); lock-free readers use their
+// snapshot's captured view instead.
+func (t *tombSet) has(id uint32) bool {
+	return t.frozen[id] || slices.Contains(t.recent, id)
+}
+
+// count is the number of tombstones (frozen and recent are disjoint by
+// construction — add is only called on ids not yet present).
+func (t *tombSet) count() int { return len(t.frozen) + len(t.recent) }
+
+// each calls fn for every tombstoned id. Caller holds the index lock.
+func (t *tombSet) each(fn func(id uint32)) {
+	for id := range t.frozen {
+		fn(id)
+	}
+	for _, id := range t.recent {
+		fn(id)
+	}
+}
+
+// genRef refcounts one disk generation's page-file handles. The Index
+// holds the initial reference; every snapshot acquires one more. The
+// files close exactly when the count reaches zero — after the Index has
+// retired the generation (Compact swap or Close) AND the last in-flight
+// snapshot released — so a lock-free search can never read a closed page
+// file, and Close keeps its "blocks until in-flight queries finish"
+// semantics by waiting on done.
+type genRef struct {
+	idist    *idistance.Index
+	orig     *store.Store
+	refs     atomic.Int64
+	closeErr error
+	done     chan struct{}
+}
+
+func newGenRef(idist *idistance.Index, orig *store.Store) *genRef {
+	g := &genRef{idist: idist, orig: orig, done: make(chan struct{})}
+	g.refs.Store(1)
+	return g
+}
+
+func (g *genRef) acquire() { g.refs.Add(1) }
+
+// release drops one reference, closing the files on the last one. The
+// initial (Index-owned) reference is released under the exclusive lock,
+// and acquire only runs under the read lock on a non-retired generation,
+// so the count can never resurrect from zero.
+func (g *genRef) release() {
+	if g.refs.Add(-1) != 0 {
+		return
+	}
+	err := g.idist.Close()
+	if err2 := g.orig.Close(); err == nil {
+		err = err2
+	}
+	g.closeErr = err
+	close(g.done)
+}
+
+// snapshot is one consistent, immutable view of the queryable state,
+// captured under a brief RLock. Everything a query reads lives here: the
+// generation's disk structures (pinned via ref), the per-point arrays,
+// the mutable-delta and frozen-segment slices as they stood at capture,
+// and the tombstone view (frozen map pointer + recent slice header). A
+// query against a snapshot sees exactly the states an RLock-held search
+// used to see — the state at acquisition — without excluding writers for
+// its duration. release must be called exactly once (searches defer it).
+type snapshot struct {
+	ref    *genRef
+	proj   *randproj.Projector
+	idist  *idistance.Index
+	orig   *store.Store
+	sketch *pq.Sketch
+
+	norm2Sq []float64
+	norm1   []float64
+	codes   []uint32
+	groups  []group
+
+	n, d, m    int
+	maxNorm2Sq float64
+	optC, optP float64
+
+	delta      []deltaEntry
+	segs       []*segment
+	frozenLen  int // total entries across segs
+	tombFrozen map[uint32]bool
+	tombRecent []uint32
+}
+
+// snapshot captures the current queryable state under a short read lock
+// and pins the generation's files. ErrClosed after Close.
+func (ix *Index) snapshot() (*snapshot, error) {
+	ix.mu.RLock()
+	if ix.closed {
+		ix.mu.RUnlock()
+		return nil, errs.ErrClosed
+	}
+	sn := &snapshot{
+		ref: ix.ref, proj: ix.proj, idist: ix.idist, orig: ix.orig, sketch: ix.sketch,
+		norm2Sq: ix.norm2Sq, norm1: ix.norm1, codes: ix.codes, groups: ix.groups,
+		n: ix.n, d: ix.d, m: ix.m,
+		maxNorm2Sq: ix.maxNorm2Sq,
+		optC:       ix.opts.C, optP: ix.opts.P,
+		delta: ix.delta, segs: ix.segs, frozenLen: ix.frozenEntries,
+		tombFrozen: ix.tombs.frozen, tombRecent: ix.tombs.recent,
+	}
+	sn.ref.acquire()
+	ix.mu.RUnlock()
+	return sn, nil
+}
+
+func (sn *snapshot) release() { sn.ref.release() }
+
+// live reports whether id is untombstoned in this view.
+func (sn *snapshot) live(id uint32) bool {
+	return !sn.tombFrozen[id] && !slices.Contains(sn.tombRecent, id)
+}
+
+// liveCount is the number of live points in this view.
+func (sn *snapshot) liveCount() int {
+	return sn.n + sn.frozenLen + len(sn.delta) - len(sn.tombFrozen) - len(sn.tombRecent)
+}
+
+// scanMem offers every live in-memory point (frozen segments and the
+// mutable delta) accepted by the query's filter to the accumulator —
+// exact evaluation, no disk I/O. params may be nil for an unfiltered
+// scan.
+func (sn *snapshot) scanMem(q []float32, top *topK, params *SearchParams) {
+	scan := func(entries []deltaEntry) {
+		for _, e := range entries {
+			if !sn.live(e.id) {
+				continue
+			}
+			if params != nil && !params.accepts(e.id) {
+				continue
+			}
+			top.offer(e.id, vec.Dot(e.v, q))
+		}
+	}
+	for _, seg := range sn.segs {
+		scan(seg.entries)
+	}
+	scan(sn.delta)
+}
+
+// maybeFreezeLocked freezes the mutable delta into a segment when it has
+// reached the configured size. Caller holds ix.mu exclusive.
+func (ix *Index) maybeFreezeLocked() {
+	if ix.segLimit > 0 && len(ix.delta) >= ix.segLimit {
+		ix.freezeLocked()
+	}
+}
+
+// freezeLocked turns the whole mutable delta into an immutable segment: a
+// pointer move, no I/O, no copying. The tombstones recorded since the
+// last freeze ride along so the segment's flush file replays the full
+// update window. Caller holds ix.mu exclusive and len(ix.delta) > 0.
+func (ix *Index) freezeLocked() {
+	seg := &segment{entries: ix.delta, tombs: ix.tombsSinceFreeze, seq: ix.segSeq}
+	if ix.journal != nil {
+		seg.walMark = int64(ix.journal.Len())
+	}
+	ix.segSeq++
+	ix.segs = append(ix.segs, seg)
+	ix.frozenEntries += len(seg.entries)
+	ix.delta = nil
+	ix.tombsSinceFreeze = nil
+	ix.freezes.Add(1)
+	ix.kickFlusher()
+}
+
+// errNoSegment is flushOneSegment's "nothing to do" sentinel.
+var errNoSegment = errors.New("core: no unflushed segment")
+
+// flushOneSegment writes the oldest unflushed, unpersisted segment to its
+// seg file and marks the journal coverage. It captures the segment and
+// generation identity under a read lock, does the write with NO lock
+// held, and re-validates under the exclusive lock before marking — if
+// Compact swapped generations mid-write the work is discarded (the file
+// lands in the retired generation's directory and is swept with it).
+func (ix *Index) flushOneSegment() error {
+	ix.mu.RLock()
+	if ix.closed {
+		ix.mu.RUnlock()
+		return errNoSegment
+	}
+	var seg *segment
+	for _, s := range ix.segs {
+		if !s.flushed.Load() && !s.persisted.Load() {
+			seg = s
+			break
+		}
+	}
+	if seg == nil {
+		ix.mu.RUnlock()
+		return errNoSegment
+	}
+	ref, j, dir := ix.ref, ix.journal, ix.dir
+	fsys := ix.opts.fsys()
+	ix.mu.RUnlock()
+
+	recs := make([]wal.Record, 0, len(seg.entries)+len(seg.tombs))
+	for _, e := range seg.entries {
+		recs = append(recs, wal.Record{Type: wal.TypeInsert, ID: e.id, Vec: e.v})
+	}
+	// Inserts first, then the window's deletes: a delete may target an id
+	// inserted in the same window, and replay range-checks targets.
+	for _, id := range seg.tombs {
+		recs = append(recs, wal.Record{Type: wal.TypeDelete, ID: id})
+	}
+	enc := wal.EncodeLog(recs)
+	path := filepath.Join(dir, segFileName(seg.seq))
+	err := fsutil.WriteAtomic(fsys, path, func(f fsutil.File) error {
+		_, werr := f.Write(enc)
+		return werr
+	})
+	if err == nil {
+		err = fsutil.SyncDir(fsys, dir)
+	}
+	if err != nil {
+		ix.flushFailures.Add(1)
+		return fmt.Errorf("core: flush segment %d: %w", seg.seq, err)
+	}
+
+	ix.mu.Lock()
+	// ref doubles as the generation identity: a swap while we wrote means
+	// the segment (and its walMark) belong to the retired generation.
+	if ix.ref == ref && !ix.closed && !seg.persisted.Load() {
+		seg.flushed.Store(true)
+		ix.flushes.Add(1)
+		if j != nil {
+			j.MarkCovered(seg.walMark)
+		}
+	}
+	ix.mu.Unlock()
+	return nil
+}
+
+// flushPendingSegments flushes until no unflushed segment remains — the
+// synchronous path (syncSegFlush mode, and OpenFS's post-replay freeze).
+func (ix *Index) flushPendingSegments() error {
+	for {
+		err := ix.flushOneSegment()
+		if err == errNoSegment {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// startFlusher launches the background segment flusher. Not started when
+// segmenting is disabled, in synchronous-flush mode (tests that need
+// deterministic filesystem op counts), or for the private next-generation
+// index Compact builds — the long-lived Index's own flusher adopts that
+// generation's segments at swap.
+func (ix *Index) startFlusher() {
+	if ix.segLimit <= 0 || ix.opts.syncSegFlush || ix.opts.noFlusher {
+		return
+	}
+	ix.flusherKick = make(chan struct{}, 1)
+	ix.flusherStop = make(chan struct{})
+	ix.flusherDone.Add(1)
+	go func() {
+		defer ix.flusherDone.Done()
+		for {
+			select {
+			case <-ix.flusherStop:
+				return
+			case <-ix.flusherKick:
+			}
+			for {
+				err := ix.flushOneSegment()
+				if err == errNoSegment {
+					break
+				}
+				if err != nil {
+					// Transient (disk full, a fault seam): retry after a
+					// pause, bailing out promptly on Close.
+					select {
+					case <-ix.flusherStop:
+						return
+					case <-time.After(flushRetryDelay):
+					}
+				}
+			}
+		}
+	}()
+	// Cover segments frozen before the flusher existed (OpenFS replay).
+	ix.kickFlusher()
+}
+
+// flushRetryDelay paces flusher retries after a failed segment write.
+const flushRetryDelay = 50 * time.Millisecond
+
+// kickFlusher nudges the background flusher; a no-op when it is not
+// running (synchronous mode flushes inline) or already signaled.
+func (ix *Index) kickFlusher() {
+	if ix.flusherKick == nil {
+		return
+	}
+	select {
+	case ix.flusherKick <- struct{}{}:
+	default:
+	}
+}
+
+// stopFlusher terminates the background flusher and waits it out.
+// Idempotent; safe when the flusher never started.
+func (ix *Index) stopFlusher() {
+	ix.flusherStopOnce.Do(func() {
+		if ix.flusherStop != nil {
+			close(ix.flusherStop)
+		}
+	})
+	ix.flusherDone.Wait()
+}
+
+// UpdateStats describes the update pipeline's state and lifetime
+// counters.
+type UpdateStats struct {
+	// DeltaEntries is the size of the mutable delta (inserts since the
+	// last freeze).
+	DeltaEntries int `json:"delta_entries"`
+	// Segments is the number of frozen in-memory segments awaiting
+	// compaction (persisted ones included until a Compact folds them).
+	Segments int `json:"segments"`
+	// SegmentEntries is the total entry count across those segments.
+	SegmentEntries int `json:"segment_entries"`
+	// FlushedSegments is how many of them are durable in their own seg
+	// file — the watermark automatic compaction triggers on.
+	FlushedSegments int `json:"flushed_segments"`
+	// Tombstones is the live tombstone count.
+	Tombstones int `json:"tombstones"`
+	// Freezes and Flushes count delta freezes and durable segment flushes
+	// over the index's lifetime; FlushFailures counts flush attempts that
+	// failed (each is retried).
+	Freezes       int64 `json:"freezes"`
+	Flushes       int64 `json:"flushes"`
+	FlushFailures int64 `json:"flush_failures"`
+}
+
+// UpdateStats reports the update pipeline's current state.
+func (ix *Index) UpdateStats() UpdateStats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	st := UpdateStats{
+		DeltaEntries:   len(ix.delta),
+		Segments:       len(ix.segs),
+		SegmentEntries: ix.frozenEntries,
+		Tombstones:     ix.tombs.count(),
+		Freezes:        ix.freezes.Load(),
+		Flushes:        ix.flushes.Load(),
+		FlushFailures:  ix.flushFailures.Load(),
+	}
+	for _, s := range ix.segs {
+		if s.flushed.Load() || s.persisted.Load() {
+			st.FlushedSegments++
+		}
+	}
+	return st
+}

@@ -16,17 +16,19 @@ import (
 // a short time", §I): a single B+-tree is cheap to maintain where hundreds
 // of hash tables are not. This file adds the update path:
 //
-//   - Insert appends to an in-memory delta region that every query scans
-//     exactly (the delta holds recent points, so the scan is small); the
-//     probabilistic machinery is untouched because exact evaluation of the
-//     delta can only improve the returned inner products.
+//   - Insert appends to an in-memory delta that freezes into immutable,
+//     searchable segments at Options.SegmentEntries inserts (segment.go);
+//     queries scan segments and delta exactly, so the probabilistic
+//     machinery is untouched — exact evaluation of recent points can only
+//     improve the returned inner products.
 //   - Delete tombstones a point. Tombstoned points are filtered from
 //     candidate evaluation. If the deleted point was the max-norm point
 //     oM, the stale (larger) ‖oM‖² keeps Conditions A and B conservative,
 //     so the guarantee still holds.
-//   - Compact folds delta and tombstones into a fresh on-disk generation
-//     and swaps it into this Index in place; searches keep running against
-//     the old generation during the rebuild and see the new one atomically.
+//   - Compact folds segments, delta and tombstones into a fresh on-disk
+//     generation and swaps it into this Index in place; searches keep
+//     running against the old generation during the rebuild and see the
+//     new one atomically.
 
 // deltaEntry is one inserted point not yet folded into the disk index.
 type deltaEntry struct {
@@ -36,12 +38,14 @@ type deltaEntry struct {
 }
 
 // Insert adds a point and returns its id. The point lives in the delta
-// region until Compact is called. Insert takes the index lock exclusive
-// only to SEQUENCE the update — write the journal record and apply the
-// in-memory change — and releases it before waiting for durability, so it
-// interleaves correctly with concurrent searches (each sees the state
-// before or after the insert, never a partial one) and an updater's fsync
-// never stalls readers. Under FsyncAlways the fsyncs are group-committed:
+// region (and then a frozen segment) until compaction. The per-point prep
+// — cloning the vector and computing its norm — runs BEFORE the exclusive
+// lock, so concurrent updaters overlap on it; the lock is held only to
+// SEQUENCE the update — write the journal record and apply the in-memory
+// change — and released before waiting for durability, so it interleaves
+// correctly with concurrent searches (each snapshot sees the state before
+// or after the insert, never a partial one) and an updater's fsync never
+// stalls readers. Under FsyncAlways the fsyncs are group-committed:
 // concurrent inserts that overlap one fsync are all covered by the next,
 // so N racing updaters pay ~2 fsyncs between them instead of N (see
 // wal.Journal.WaitDurable).
@@ -61,8 +65,12 @@ func (ix *Index) Insert(v []float32) (uint32, error) {
 	if len(v) != ix.d {
 		return 0, fmt.Errorf("core: %w: insert dim %d, want %d", errs.ErrDimMismatch, len(v), ix.d)
 	}
+	// Per-point prep outside the critical section: the clone is private
+	// from here on, so the norm can be computed from it lock-free too.
+	clone := vec.Clone(v)
+	n2 := vec.Norm2Sq(clone)
 	ix.mu.Lock()
-	id, lsn, err := ix.insertLocked(v, true)
+	id, lsn, err := ix.insertPreparedLocked(clone, n2, true)
 	j := ix.journal
 	ix.mu.Unlock()
 	if err != nil {
@@ -77,25 +85,39 @@ func (ix *Index) Insert(v []float32) (uint32, error) {
 			return 0, fmt.Errorf("core: insert: %w", err)
 		}
 	}
+	// Synchronous-flush mode (crash matrix): if this insert froze a
+	// segment, write it out now, on this goroutine, so filesystem op
+	// counts stay deterministic. The insert above is already applied and
+	// journaled — a flush failure here surfaces without un-acking it.
+	if ix.opts.syncSegFlush {
+		if err := ix.flushPendingSegments(); err != nil {
+			return id, err
+		}
+	}
 	return id, nil
 }
 
-// insertLocked is Insert's sequencing half; the caller holds ix.mu
-// exclusive. It writes the journal record, applies the in-memory change,
-// and returns the record's LSN — the caller waits for durability on it
-// AFTER releasing the lock (lsn 0 means nothing to wait for: the journal
-// is off, buffered, or journaled=false). Compact's fold phase inserts with
-// journaled=false: the folded records were acknowledged (and journaled) in
-// the generation being replaced, which stays the durable one until the
-// handover commits, and the new generation's metadata is persisted —
-// covering them — within the same exclusive section, so journaling them
-// again would buy nothing and cost one fsync each.
+// insertLocked clones v and sequences it — the locked-path form Compact's
+// fold uses (journaled=false: the folded records were acknowledged in the
+// generation being replaced, which stays the durable one until the
+// handover commits — see Compact).
 func (ix *Index) insertLocked(v []float32, journaled bool) (uint32, int64, error) {
+	clone := vec.Clone(v)
+	return ix.insertPreparedLocked(clone, vec.Norm2Sq(clone), journaled)
+}
+
+// insertPreparedLocked is Insert's sequencing half; the caller holds
+// ix.mu exclusive and hands over ownership of clone (with n2 = ‖clone‖²).
+// It writes the journal record, applies the in-memory change, freezes the
+// delta if it reached the segment threshold, and returns the record's LSN
+// — the caller waits for durability on it AFTER releasing the lock (lsn 0
+// means nothing to wait for: the journal is off, buffered, or
+// journaled=false).
+func (ix *Index) insertPreparedLocked(clone []float32, n2 float64, journaled bool) (uint32, int64, error) {
 	if ix.closed {
 		return 0, 0, errs.ErrClosed
 	}
-	id := uint32(ix.n + len(ix.delta))
-	clone := vec.Clone(v)
+	id := uint32(ix.n + ix.frozenEntries + len(ix.delta))
 	var lsn int64
 	if journaled && ix.journal != nil {
 		// Write-ahead: if the record cannot be WRITTEN, the insert is not
@@ -113,21 +135,21 @@ func (ix *Index) insertLocked(v []float32, journaled bool) (uint32, int64, error
 		}
 		lsn = l
 	}
-	n2 := vec.Norm2Sq(v)
 	ix.delta = append(ix.delta, deltaEntry{id: id, v: clone, ip2: n2})
 	if n2 > ix.maxNorm2Sq {
 		// A new max-norm point tightens nothing but must be respected:
 		// Condition A's proof requires ‖oM‖ to bound every live norm.
 		ix.maxNorm2Sq = n2
 	}
+	ix.maybeFreezeLocked()
 	return id, lsn, nil
 }
 
-// Delete tombstones the point with the given id (from the base index or
-// the delta). It reports whether the id was live. Like Insert, it takes the
-// index lock exclusive. Deleting from a closed index reports false; use
-// DeleteChecked to distinguish "absent" from "closed" or a journal
-// failure.
+// Delete tombstones the point with the given id (from the base index, a
+// frozen segment or the delta). It reports whether the id was live. Like
+// Insert, it takes the index lock exclusive. Deleting from a closed index
+// reports false; use DeleteChecked to distinguish "absent" from "closed"
+// or a journal failure.
 func (ix *Index) Delete(id uint32) bool {
 	ok, _ := ix.DeleteChecked(id)
 	return ok
@@ -149,7 +171,7 @@ func (ix *Index) DeleteChecked(id uint32) (bool, error) {
 		ix.mu.Unlock()
 		return false, errs.ErrClosed
 	}
-	if int(id) >= ix.n+len(ix.delta) || ix.deleted[id] {
+	if int(id) >= ix.n+ix.frozenEntries+len(ix.delta) || ix.tombs.has(id) {
 		ix.mu.Unlock()
 		return false, nil
 	}
@@ -162,10 +184,8 @@ func (ix *Index) DeleteChecked(id uint32) (bool, error) {
 		}
 		lsn = l
 	}
-	if ix.deleted == nil {
-		ix.deleted = make(map[uint32]bool)
-	}
-	ix.deleted[id] = true
+	ix.tombs = ix.tombs.add(id)
+	ix.tombsSinceFreeze = append(ix.tombsSinceFreeze, id)
 	j := ix.journal
 	ix.mu.Unlock()
 	if lsn > 0 {
@@ -183,48 +203,35 @@ func (ix *Index) LiveCount() int {
 	return ix.liveCountLocked()
 }
 
-func (ix *Index) liveCountLocked() int { return ix.n + len(ix.delta) - len(ix.deleted) }
+func (ix *Index) liveCountLocked() int {
+	return ix.n + ix.frozenEntries + len(ix.delta) - ix.tombs.count()
+}
+
+// liveLocked reports whether id is untombstoned; caller holds ix.mu.
+func (ix *Index) liveLocked(id uint32) bool { return !ix.tombs.has(id) }
 
 // NextID returns the id the next Insert would assign (base points plus
-// delta entries; ids are dense and tombstones never free one). Routers —
-// promips/shard's least-next-id shard assignment — use it to keep a
-// composed id space dense without reaching into the update state.
+// frozen-segment and delta entries; ids are dense and tombstones never
+// free one). Routers — promips/shard's least-next-id shard assignment —
+// use it to keep a composed id space dense without reaching into the
+// update state.
 func (ix *Index) NextID() uint32 {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return uint32(ix.n + len(ix.delta))
+	return uint32(ix.n + ix.frozenEntries + len(ix.delta))
 }
 
-// DeltaCount returns the number of points awaiting compaction.
+// DeltaCount returns the number of points awaiting compaction — the
+// mutable delta plus every frozen segment.
 func (ix *Index) DeltaCount() int {
 	ix.mu.RLock()
 	defer ix.mu.RUnlock()
-	return len(ix.delta)
+	return ix.frozenEntries + len(ix.delta)
 }
 
-// scanDelta offers every live delta point accepted by the query's filter to
-// the accumulator (exact evaluation; no disk I/O). params may be nil for an
-// unfiltered scan.
-func (ix *Index) scanDelta(q []float32, top *topK, params *SearchParams) {
-	for _, e := range ix.delta {
-		if ix.deleted[e.id] {
-			continue
-		}
-		if params != nil && !params.accepts(e.id) {
-			continue
-		}
-		top.offer(e.id, vec.Dot(e.v, q))
-	}
-}
-
-// live reports whether a base-index candidate id should be considered.
-func (ix *Index) live(id uint32) bool {
-	return len(ix.deleted) == 0 || !ix.deleted[id]
-}
-
-// Compact rebuilds the index into dir — folding the insert delta in and
-// dropping tombstoned points — and swaps the new generation into ix in
-// place. Ids are reassigned densely (0..Len-1); remap[newID] gives the
+// Compact rebuilds the index into dir — folding the segments and delta in
+// and dropping tombstoned points — and swaps the new generation into ix
+// in place. Ids are reassigned densely (0..Len-1); remap[newID] gives the
 // previous id so callers can relocate external references.
 //
 // The rebuild runs without the exclusive lock: concurrent searches keep
@@ -232,7 +239,8 @@ func (ix *Index) live(id uint32) bool {
 // rebuild are folded in during the brief exclusive swap phase (inserts move
 // into the new generation's delta, deletes are re-applied through the id
 // remap). The old generation's page files are closed but not removed; the
-// caller owns directory hygiene.
+// caller owns directory hygiene (the retired directory includes any seg
+// files the flusher wrote for it).
 //
 // persist, when non-nil, runs inside the exclusive section after the fold
 // and BEFORE the in-memory swap: it must make the new generation durable
@@ -267,7 +275,7 @@ func (ix *Index) Compact(ctx context.Context, dir string, persist func(next *Ind
 	buf := make([]float32, ix.d)
 	for pos := 0; pos < ix.n; pos++ {
 		id := ix.idist.Layout()[pos]
-		if !ix.live(id) {
+		if !ix.liveLocked(id) {
 			continue
 		}
 		o, err := ix.orig.VectorAt(pos, buf, nil)
@@ -278,18 +286,22 @@ func (ix *Index) Compact(ctx context.Context, dir string, persist func(next *Ind
 		liveData = append(liveData, vec.Clone(o))
 		oldIDs = append(oldIDs, id)
 	}
-	for _, e := range ix.delta {
-		if ix.deleted[e.id] {
-			continue
+	snapEntries := func(entries []deltaEntry) {
+		for _, e := range entries {
+			if ix.tombs.has(e.id) {
+				continue
+			}
+			liveData = append(liveData, vec.Clone(e.v))
+			oldIDs = append(oldIDs, e.id)
 		}
-		liveData = append(liveData, vec.Clone(e.v))
-		oldIDs = append(oldIDs, e.id)
 	}
-	idMark := uint32(ix.n + len(ix.delta)) // ids below this existed at snapshot time
-	snapDeleted := make(map[uint32]bool, len(ix.deleted))
-	for id := range ix.deleted {
-		snapDeleted[id] = true
+	for _, seg := range ix.segs {
+		snapEntries(seg.entries)
 	}
+	snapEntries(ix.delta)
+	idMark := uint32(ix.n + ix.frozenEntries + len(ix.delta)) // ids below this existed at snapshot time
+	snapDeleted := make(map[uint32]bool, ix.tombs.count())
+	ix.tombs.each(func(id uint32) { snapDeleted[id] = true })
 	opts := ix.opts
 	ix.mu.RUnlock()
 
@@ -300,10 +312,13 @@ func (ix *Index) Compact(ctx context.Context, dir string, persist func(next *Ind
 		return nil, err
 	}
 
-	// Phase 2: build the next generation. Readers are not blocked.
+	// Phase 2: build the next generation. Readers are not blocked. The
+	// next index is private until the swap, so it must not start its own
+	// flusher — ix's long-lived flusher adopts its segments at swap.
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	opts.noFlusher = true
 	next, err := Build(liveData, dir, opts)
 	if err != nil {
 		return nil, err
@@ -324,33 +339,45 @@ func (ix *Index) Compact(ctx context.Context, dir string, persist func(next *Ind
 		next.Close()
 		return nil, errs.ErrClosed
 	}
-	for id := range ix.deleted {
-		if snapDeleted[id] || id >= idMark {
-			continue // already folded out, or a during-rebuild insert handled below
+	var foldErr error
+	ix.tombs.each(func(id uint32) {
+		if foldErr != nil || snapDeleted[id] || id >= idMark {
+			return // already folded out, or a during-rebuild insert handled below
 		}
 		newID := oldToNew[id] // deleted after the snapshot ⇒ live at it ⇒ mapped
-		if next.deleted == nil {
-			next.deleted = make(map[uint32]bool)
+		if !next.tombs.has(newID) {
+			next.tombs = next.tombs.add(newID)
 		}
-		next.deleted[newID] = true
-	}
+	})
 	remap := oldIDs
-	for _, e := range ix.delta {
-		if e.id < idMark || ix.deleted[e.id] {
-			continue
+	foldEntries := func(entries []deltaEntry) {
+		for _, e := range entries {
+			if foldErr != nil || e.id < idMark || ix.tombs.has(e.id) {
+				continue
+			}
+			// next is private to this call until the swap below, so its
+			// lock is not needed; journaled=false — see insertLocked.
+			newID, _, err := next.insertLocked(e.v, false)
+			if err != nil {
+				foldErr = err
+				return
+			}
+			if int(newID) != len(remap) {
+				foldErr = fmt.Errorf("core: compact: remap misaligned at new id %d", newID)
+				return
+			}
+			remap = append(remap, e.id)
 		}
-		// next is private to this call until the swap below, so its lock is
-		// not needed; journaled=false — see insertLocked.
-		newID, _, err := next.insertLocked(e.v, false)
-		if err != nil {
-			next.Close()
-			return nil, err
-		}
-		if int(newID) != len(remap) {
-			next.Close()
-			return nil, fmt.Errorf("core: compact: remap misaligned at new id %d", newID)
-		}
-		remap = append(remap, e.id)
+	}
+	// During-rebuild inserts may themselves have frozen into segments;
+	// segments-then-delta preserves ascending id order.
+	for _, seg := range ix.segs {
+		foldEntries(seg.entries)
+	}
+	foldEntries(ix.delta)
+	if foldErr != nil {
+		next.Close()
+		return nil, foldErr
 	}
 
 	// Durable handover, still under the exclusive lock: no search observes
@@ -402,14 +429,18 @@ func (ix *Index) Compact(ctx context.Context, dir string, persist func(next *Ind
 // swapLocked installs next's state into ix (caller holds ix.mu exclusive)
 // and retires the old generation's handles.
 func (ix *Index) swapLocked(next *Index) {
-	oldIdist, oldOrig, oldJournal := ix.idist, ix.orig, ix.journal
+	oldRef, oldJournal := ix.ref, ix.journal
 	ix.n, ix.m = next.n, next.m
 	ix.proj = next.proj
 	ix.idist, ix.orig = next.idist, next.orig
+	ix.ref = next.ref
+	ix.dir = next.dir
 	ix.sketch = next.sketch
 	ix.norm2Sq, ix.norm1, ix.codes, ix.groups = next.norm2Sq, next.norm1, next.codes, next.groups
 	ix.maxNorm2Sq = next.maxNorm2Sq
-	ix.delta, ix.deleted = next.delta, next.deleted
+	ix.delta, ix.tombs = next.delta, next.tombs
+	ix.segs, ix.segSeq, ix.frozenEntries = next.segs, next.segSeq, next.frozenEntries
+	ix.tombsSinceFreeze = next.tombsSinceFreeze
 	// The journal swaps with the generation it lives in. The persist step
 	// above already saved the new generation's metadata (covering the
 	// folded updates — next's journal is empty) and flipped the pointer,
@@ -418,14 +449,18 @@ func (ix *Index) swapLocked(next *Index) {
 	// untouched until the caller retires the generation's files.
 	ix.journal = next.journal
 
-	// The old generation is retired: close best-effort. Its pages were
-	// synced at build time and never dirtied since, so a close failure
-	// loses nothing — and surfacing it would misreport the swap (which
-	// already happened) as a failed compaction, breaking the error
-	// contract above.
-	oldIdist.Close()
-	oldOrig.Close()
+	// The old generation is retired: release the Index's reference. Its
+	// pages were synced at build time and never dirtied since, so closing
+	// is best-effort — in-flight snapshots keep the files open until they
+	// drain, and a close failure loses nothing (surfacing it would
+	// misreport the swap, which already happened, as a failed compaction).
+	oldRef.release()
 	if oldJournal != nil {
 		oldJournal.Close()
+	}
+	// Adopted segments (fold-phase freezes in next) need the flusher's
+	// attention in the new directory.
+	if len(ix.segs) > 0 {
+		ix.kickFlusher()
 	}
 }

@@ -68,6 +68,11 @@ const (
 	// page-size constraint), small enough that a torn or hostile length
 	// field cannot force a huge allocation.
 	maxPayload = 1 << 24
+	// syncNeverFlushBytes is the SyncNever batching threshold: once the
+	// pending records would encode to this many bytes they are written out
+	// (unsynced) and their memory is released, bounding the journal's heap
+	// footprint at the threshold instead of the total acked update volume.
+	syncNeverFlushBytes = 1 << 20
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
@@ -129,8 +134,17 @@ type Journal struct {
 
 	count atomic.Int64 // records in the journal, pending ones included
 
-	pending []Record // SyncNever: acknowledged records awaiting encode+write
-	enc     []byte   // reusable encode scratch
+	// covered is the highest record count known to be reflected in durable
+	// storage OUTSIDE the journal — the persisted metadata (Open's replay
+	// skips that many records) or a flushed delta segment (core marks the
+	// segment's freeze watermark once its seg file is durable). Purely an
+	// accounting watermark: the file itself only ever shrinks at Reset.
+	// Monotone between Resets; Reset clears it with the records it covers.
+	covered atomic.Int64
+
+	pending      []Record // SyncNever: acknowledged records awaiting encode+write
+	pendingBytes int64    // encoded size of pending (flush threshold accounting)
+	enc          []byte   // reusable encode scratch
 
 	// Group-commit sequencer state, guarded by gmu. LSNs are 1-based record
 	// sequence numbers, monotone over the journal's whole life — Reset
@@ -360,6 +374,20 @@ func decodePayload(p []byte) (Record, error) {
 	return rec, nil
 }
 
+// EncodeLog serializes records as a complete standalone journal byte
+// stream — header magic followed by checksummed records — decodable with
+// Decode. Delta-segment flush files use it: a frozen segment written in
+// the journal's own format replays through the same torn-tail-tolerant,
+// idempotent machinery recovery already trusts.
+func EncodeLog(recs []Record) []byte {
+	b := make([]byte, 0, headerLen+len(recs)*64)
+	b = append(b, magic...)
+	for _, r := range recs {
+		b = appendRecord(b, r)
+	}
+	return b
+}
+
 // appendRecord encodes r onto dst. The vector bytes go through the bulk
 // little-endian kernel — the insert acknowledgement path runs this per
 // update, so the encode must stay near memcpy cost.
@@ -405,6 +433,17 @@ func (j *Journal) Append(r Record) (int64, error) {
 	if j.mode == SyncNever {
 		j.pending = append(j.pending, r)
 		j.count.Add(1)
+		j.pendingBytes += int64(recHdrLen + 5 + 4*len(r.Vec))
+		// Flush the batch once it reaches the byte threshold so a long-lived
+		// write-heavy journal does not retain every acknowledged Record (and
+		// its vector clone) until Close/Reset. No fsync — the SyncNever
+		// durability contract is unchanged (clean shutdown, not crash) — but
+		// the written records drop their heap refs here. A flush failure
+		// poisons the journal (the records stay acknowledged and pending,
+		// exactly like a failed Close-flush); the NEXT Append surfaces it.
+		if j.pendingBytes >= syncNeverFlushBytes {
+			j.flush()
+		}
 		return 0, nil
 	}
 	j.enc = appendRecord(j.enc[:0], r)
@@ -527,8 +566,27 @@ func (j *Journal) flush() error {
 		return err
 	}
 	j.pending = j.pending[:0]
+	j.pendingBytes = 0
 	return nil
 }
+
+// MarkCovered records that the first n journal records are reflected in
+// durable storage outside the journal (persisted metadata or a flushed
+// delta segment). Monotone: a smaller n than already marked is a no-op.
+// Safe for concurrent use; callers serialize it against Reset the same way
+// they serialize their own state transitions (core holds the index lock).
+func (j *Journal) MarkCovered(n int64) {
+	for {
+		cur := j.covered.Load()
+		if n <= cur || j.covered.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Covered returns the MarkCovered watermark: how many of the journal's
+// records durable storage outside the journal already accounts for.
+func (j *Journal) Covered() int64 { return j.covered.Load() }
 
 // Len returns the number of records currently in the journal (replayed at
 // Open plus appended since, minus Resets; pending records included). Len
@@ -597,6 +655,7 @@ func (j *Journal) Reset() error {
 	j.gcond.Broadcast()
 	j.gmu.Unlock()
 	j.pending = j.pending[:0]
+	j.pendingBytes = 0
 	if err := j.f.Truncate(headerLen); err != nil {
 		j.Poison(err)
 		return fmt.Errorf("wal: reset: %w", err)
@@ -609,6 +668,7 @@ func (j *Journal) Reset() error {
 	}
 	j.size = headerLen
 	j.count.Store(0)
+	j.covered.Store(0)
 	j.gmu.Lock()
 	j.bad = nil
 	j.gmu.Unlock()

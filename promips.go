@@ -116,6 +116,15 @@ type Options struct {
 	// Seed fixes all randomness (projections, clustering).
 	Seed int64
 
+	// SegmentEntries sets how many inserts accumulate in the mutable
+	// in-memory delta before it freezes into an immutable, searchable
+	// segment that a background goroutine flushes to its own seg file (see
+	// DESIGN.md, "Update segments & snapshot reads"). 0 selects the default
+	// (4096); a negative value disables segmenting (the delta grows until
+	// Compact, as before). Persisted with the index, so Open keeps the
+	// build-time value.
+	SegmentEntries int
+
 	// Fsync selects the write-ahead journal's durability policy for
 	// Insert/Delete acknowledgements (see FsyncPolicy; the zero value is
 	// FsyncAlways). The policy is persisted with the index, so Open keeps
@@ -127,6 +136,10 @@ type Options struct {
 	// crash-injection tests; other packages in this module set it with
 	// WithFS.
 	fs fsutil.FS
+	// segFlushSync runs segment flushes inline on the update path instead
+	// of in the background goroutine. Test-only (the crash matrix needs a
+	// deterministic filesystem op count); never persisted.
+	segFlushSync bool
 }
 
 // WithFS returns a copy of o whose persistence writes go through fsys —
@@ -271,13 +284,18 @@ func Build(data [][]float32, opts Options) (*Index, error) {
 	if fsys == nil {
 		fsys = fsutil.OS
 	}
-	inner, err := core.Build(data, dir, core.Options{
+	coreOpts := core.Options{
 		C: opts.C, P: opts.P, M: opts.M,
 		Kp: opts.Kp, Nkey: opts.Nkey, Ksp: opts.Ksp, Epsilon: opts.Epsilon,
 		PageSize: opts.PageSize, PoolSize: opts.PoolSize, MissLatency: opts.MissLatency,
-		Seed:  opts.Seed,
-		Fsync: opts.Fsync,
-	}.WithFS(fsys))
+		Seed:           opts.Seed,
+		Fsync:          opts.Fsync,
+		SegmentEntries: opts.SegmentEntries,
+	}.WithFS(fsys)
+	if opts.segFlushSync {
+		coreOpts = coreOpts.WithSyncSegmentFlush()
+	}
+	inner, err := core.Build(data, dir, coreOpts)
 	if err != nil {
 		if ownsDir {
 			os.RemoveAll(dir)
@@ -347,6 +365,20 @@ func sweepStaleGenerations(dir, active string) {
 		for _, name := range rootGenerationFiles {
 			os.Remove(filepath.Join(dir, name))
 		}
+		removeRootSegFiles(dir)
+	}
+}
+
+// removeRootSegFiles deletes (best-effort) the segment flush files of a
+// superseded root-layout generation. Their count is workload-dependent, so
+// they cannot ride the fixed rootGenerationFiles list.
+func removeRootSegFiles(dir string) {
+	matches, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		os.Remove(m)
 	}
 }
 
@@ -486,6 +518,16 @@ func (ix *Index) JournalLen() int { return ix.inner.JournalLen() }
 // /v1/readyz uses it to mark a primary alive-but-not-ready for writes.
 func (ix *Index) JournalPoisoned() bool { return ix.inner.JournalPoisoned() }
 
+// UpdateStats describes the state of the update pipeline — mutable-delta
+// size, frozen segments and how many are durable in their own seg file,
+// tombstones, and lifetime freeze/flush counters; see core.UpdateStats.
+type UpdateStats = core.UpdateStats
+
+// UpdateStats reports the update pipeline's current state. The
+// FlushedSegments watermark is what automatic background compaction
+// triggers on (see StartAutoCompact).
+func (ix *Index) UpdateStats() UpdateStats { return ix.inner.UpdateStats() }
+
 // RecoveryStats reports what the journal replay at Open recovered; see
 // core.RecoveryStats.
 type RecoveryStats = core.RecoveryStats
@@ -617,6 +659,7 @@ func (ix *Index) removeGeneration(gen string) {
 		for _, name := range rootGenerationFiles {
 			os.Remove(filepath.Join(ix.dir, name))
 		}
+		removeRootSegFiles(ix.dir)
 		return
 	}
 	os.RemoveAll(filepath.Join(ix.dir, gen))
@@ -662,8 +705,9 @@ func (ix *Index) Options() Options {
 		C:   o.C, P: o.P, M: o.M,
 		Kp: o.Kp, Nkey: o.Nkey, Ksp: o.Ksp, Epsilon: o.Epsilon,
 		PageSize: o.PageSize, PoolSize: o.PoolSize, MissLatency: o.MissLatency,
-		Seed:  o.Seed,
-		Fsync: o.Fsync,
+		Seed:           o.Seed,
+		Fsync:          o.Fsync,
+		SegmentEntries: o.SegmentEntries,
 	}
 }
 

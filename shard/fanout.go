@@ -418,6 +418,22 @@ func sumRecovery(children []*promips.Index) promips.RecoveryStats {
 	return rs
 }
 
+func sumUpdateStats(children []*promips.Index) promips.UpdateStats {
+	var us promips.UpdateStats
+	for _, c := range children {
+		u := c.UpdateStats()
+		us.DeltaEntries += u.DeltaEntries
+		us.Segments += u.Segments
+		us.SegmentEntries += u.SegmentEntries
+		us.FlushedSegments += u.FlushedSegments
+		us.Tombstones += u.Tombstones
+		us.Freezes += u.Freezes
+		us.Flushes += u.Flushes
+		us.FlushFailures += u.FlushFailures
+	}
+	return us
+}
+
 func sumSizes(children []*promips.Index) promips.SizeBreakdown {
 	var sz promips.SizeBreakdown
 	for _, c := range children {

@@ -505,6 +505,17 @@ func (f *Follower) CacheStats() promips.CacheStats {
 	return sumCache(f.children)
 }
 
+// UpdateStats sums the replica's update-pipeline state across shards. A
+// follower's segments come from WAL replay (its children freeze on the
+// same thresholds the primary does), never from local writes, and a
+// follower never compacts — segments fold only when a refreshed snapshot
+// replaces the child wholesale or the follower is promoted.
+func (f *Follower) UpdateStats() promips.UpdateStats {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return sumUpdateStats(f.children)
+}
+
 // epochOf fingerprints a primary shard's current journal epoch: the raw
 // CURRENT content, the generation it names, and a digest of that
 // generation's persisted metadata. Reads go through fsys so the fault

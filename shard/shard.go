@@ -391,6 +391,53 @@ func (ix *Index) JournalPoisoned() bool {
 // Recovery sums what every shard's journal replay recovered at Open.
 func (ix *Index) Recovery() promips.RecoveryStats { return sumRecovery(ix.children) }
 
+// UpdateStats sums the update-pipeline state — delta sizes, frozen and
+// flushed segments, tombstones, freeze/flush counters — across all shards.
+func (ix *Index) UpdateStats() promips.UpdateStats { return sumUpdateStats(ix.children) }
+
+// StartAutoCompact launches a background scheduler that compacts each
+// shard once at least minFlushed of ITS frozen segments are durable in
+// their own seg files (the per-shard watermark, not the sum — compaction
+// is a per-child rebuild, so only children that actually accumulated
+// segments pay for one). Like promips.Index.StartAutoCompact, the
+// compactions reassign ids — here global ids, since the shard-local dense
+// renumbering composes through the striping — so enable it only when no
+// external system holds ids across compactions. Stop the returned
+// scheduler before Close; a follower must never run one.
+func (ix *Index) StartAutoCompact(minFlushed int) *promips.AutoCompactor {
+	if minFlushed < 1 {
+		minFlushed = 1
+	}
+	due := func(c *promips.Index) bool {
+		return c.UpdateStats().FlushedSegments >= minFlushed
+	}
+	return promips.NewAutoCompactor(
+		func() bool {
+			for _, c := range ix.children {
+				if due(c) {
+					return true
+				}
+			}
+			return false
+		},
+		func(ctx context.Context) error {
+			var first error
+			for s, c := range ix.children {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				if !due(c) {
+					continue
+				}
+				if _, err := c.Compact(ctx); err != nil && !errors.Is(err, promips.ErrEmptyIndex) && first == nil {
+					first = fmt.Errorf("shard %d: %w", s, err)
+				}
+			}
+			return first
+		},
+	)
+}
+
 // CacheStats sums the buffer-pool counters of every shard's I/O engine.
 func (ix *Index) CacheStats() promips.CacheStats { return sumCache(ix.children) }
 
